@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the kernels that dominate on-device token generation:
+//! dense vs column-sparse matrix–vector products, per-token top-k selection,
+//! the DIP / DIP-CA MLP forward passes, and the DRAM cache policies.
+
+use bench::{bench_input, bench_model};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dip_core::strategies::{Dip, DipCacheAware};
+use hwsim::cache::{BeladyColumnCache, LfuColumnCache, LruColumnCache};
+use hwsim::{BlockCacheCapacity, ColumnCache};
+use lm::mlp::{DenseMlp, MlpForward};
+use std::hint::black_box;
+use tensor::topk;
+
+fn bench_matvec(c: &mut Criterion) {
+    let model = bench_model();
+    let mlp = &model.layers[0].mlp;
+    let x = bench_input(mlp.d_model());
+    let active: Vec<usize> = (0..mlp.d_model()).step_by(2).collect();
+
+    let mut group = c.benchmark_group("matvec");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(mlp.w_up.matvec(black_box(&x)).unwrap()))
+    });
+    group.bench_function("column_sparse_50pct", |b| {
+        b.iter(|| black_box(mlp.w_up.matvec_cols(black_box(&x), black_box(&active)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let values = bench_input(4096);
+    let mut group = c.benchmark_group("topk");
+    group.bench_function("top_k_by_magnitude_50pct", |b| {
+        b.iter(|| black_box(topk::top_k_by_magnitude(black_box(&values), 2048)))
+    });
+    group.bench_function("threshold_selection", |b| {
+        b.iter(|| black_box(topk::indices_above_threshold(black_box(&values), 0.5)))
+    });
+    group.finish();
+}
+
+fn bench_mlp_strategies(c: &mut Criterion) {
+    let model = bench_model();
+    let mlp = &model.layers[0].mlp;
+    let x = bench_input(mlp.d_model());
+    let capacities: Vec<BlockCacheCapacity> = (0..model.n_layers())
+        .map(|_| BlockCacheCapacity {
+            up: mlp.d_model() / 2,
+            gate: mlp.d_model() / 2,
+            down: mlp.d_ff() / 2,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("mlp_forward");
+    group.bench_function("dense", |b| {
+        let mut strategy = DenseMlp;
+        b.iter(|| black_box(strategy.forward(0, mlp, black_box(&x)).unwrap()))
+    });
+    group.bench_function("dip_50pct", |b| {
+        let mut strategy = Dip::new(0.5, 0.5).unwrap();
+        b.iter(|| black_box(strategy.forward(0, mlp, black_box(&x)).unwrap()))
+    });
+    group.bench_function("dip_ca_50pct", |b| {
+        let mut strategy = DipCacheAware::new(
+            0.5,
+            0.5,
+            0.2,
+            mlp.d_model(),
+            mlp.d_ff(),
+            capacities.clone(),
+        )
+        .unwrap();
+        b.iter(|| black_box(strategy.forward(0, mlp, black_box(&x)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let n_columns = 1024;
+    let capacity = 256;
+    let accesses: Vec<Vec<usize>> = (0..64)
+        .map(|t| (0..128).map(|i| (i * 7 + t * 13) % n_columns).collect())
+        .collect();
+
+    let mut group = c.benchmark_group("cache_policies");
+    group.bench_function("lru", |b| {
+        b.iter_batched(
+            || LruColumnCache::new(n_columns, capacity),
+            |mut cache| {
+                for a in &accesses {
+                    black_box(cache.access(a));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("lfu", |b| {
+        b.iter_batched(
+            || LfuColumnCache::new(n_columns, capacity),
+            |mut cache| {
+                for a in &accesses {
+                    black_box(cache.access(a));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("belady", |b| {
+        b.iter_batched(
+            || BeladyColumnCache::new(n_columns, capacity, &accesses),
+            |mut cache| {
+                for a in &accesses {
+                    black_box(cache.access(a));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matvec, bench_topk, bench_mlp_strategies, bench_cache_policies
+}
+criterion_main!(kernels);

@@ -1,0 +1,115 @@
+//! One benchmark per paper table/figure.
+//!
+//! Each benchmark exercises the measurement step that regenerates the
+//! corresponding artefact at smoke scale (the full sweeps are produced by the
+//! `experiments` binaries; these benches track how expensive each artefact's
+//! core measurement is and guard against performance regressions).
+
+use bench::bench_workbench;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::{fig10, fig11, fig12, fig2, fig3, fig4, fig6, fig8, fig9};
+use experiments::tables::{ablations, table1, table2, table5};
+use experiments::{MethodKind, Scale};
+use hwsim::EvictionPolicy;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_quality_and_throughput_steps(c: &mut Criterion) {
+    let mut wb = bench_workbench();
+    let device = wb.table2_device();
+
+    let mut group = c.benchmark_group("measurement_steps");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("table1_quality_dip_50pct", |b| {
+        b.iter(|| black_box(wb.quality(MethodKind::Dip, 0.5).unwrap()))
+    });
+    group.bench_function("table2_throughput_dip_50pct", |b| {
+        b.iter(|| {
+            black_box(
+                wb.throughput(MethodKind::Dip, 0.5, &device, EvictionPolicy::Lfu)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("table2_throughput_dip_ca_50pct", |b| {
+        b.iter(|| {
+            black_box(
+                wb.throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("table5_quality_cats_50pct", |b| {
+        b.iter(|| black_box(wb.quality(MethodKind::Cats, 0.5).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("fig2_trend_fits", |b| {
+        b.iter(|| black_box(fig2::run().unwrap()))
+    });
+    group.bench_function("fig3_activation_histograms", |b| {
+        b.iter(|| black_box(fig3::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig4_thresholding", |b| {
+        b.iter(|| black_box(fig4::run(Scale::Smoke).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_heavy_artifacts(c: &mut Criterion) {
+    // the full artefact runs are heavy even at smoke scale, so sample them
+    // only a handful of times
+    let mut group = c.benchmark_group("artifacts_smoke");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("fig6_predictive_vs_oracle", |b| {
+        b.iter(|| black_box(fig6::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig8_pareto", |b| {
+        b.iter(|| black_box(fig8::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig9_memory_vs_ppl", |b| {
+        b.iter(|| black_box(fig9::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig10_gamma_ablation", |b| {
+        b.iter(|| black_box(fig10::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig11_cache_policies", |b| {
+        b.iter(|| black_box(fig11::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("fig12_density_allocation", |b| {
+        b.iter(|| black_box(fig12::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("table1_methods_at_50pct", |b| {
+        b.iter(|| black_box(table1::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("table2_throughput", |b| {
+        b.iter(|| black_box(table2::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("table5_per_task_accuracy", |b| {
+        b.iter(|| black_box(table5::run(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("table6_dram_ablation", |b| {
+        b.iter(|| black_box(ablations::run_dram_ablation(Scale::Smoke).unwrap()))
+    });
+    group.bench_function("table7_flash_ablation", |b| {
+        b.iter(|| black_box(ablations::run_flash_ablation(Scale::Smoke).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = artifacts;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quality_and_throughput_steps, bench_figures, bench_heavy_artifacts
+}
+criterion_main!(artifacts);

@@ -1,0 +1,54 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches themselves live under `benches/`:
+//!
+//! * `kernels.rs` — micro-benchmarks of the sparse kernels and cache policies
+//!   that dominate the runtime of the paper's system,
+//! * `paper_artifacts.rs` — one benchmark per paper table/figure, exercising
+//!   the measurement step that regenerates that artefact (at smoke scale, so
+//!   `cargo bench` terminates in minutes).
+
+#![warn(missing_docs)]
+
+use experiments::{Scale, Workbench};
+use lm::{build_synthetic, ModelConfig, TransformerModel};
+
+/// The model configuration used by every benchmark fixture.
+pub fn bench_config() -> ModelConfig {
+    ModelConfig::tiny()
+}
+
+/// Builds the benchmark model (deterministic).
+pub fn bench_model() -> TransformerModel {
+    build_synthetic(&bench_config(), 42).expect("tiny config is valid")
+}
+
+/// Builds a smoke-scale workbench for artefact benchmarks.
+pub fn bench_workbench() -> Workbench {
+    Workbench::new(&bench_config(), Scale::Smoke, 42).expect("workbench builds")
+}
+
+/// A deterministic activation-like input vector of the given length.
+pub fn bench_input(len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as f32 * 0.37).sin();
+            x * x * x * 3.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let model = bench_model();
+        assert_eq!(model.config.name, "tiny-test");
+        let input = bench_input(model.config.d_model);
+        assert_eq!(input.len(), model.config.d_model);
+        let wb = bench_workbench();
+        assert!(wb.dense_ppl.is_finite());
+    }
+}

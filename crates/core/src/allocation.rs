@@ -1,0 +1,233 @@
+//! Density allocation between the up/gate matrices and the down matrix
+//! (Appendix B.1 of the paper).
+//!
+//! DIP has two knobs: the input density (columns of `W_u`/`W_g` kept) and the
+//! GLU density (columns of `W_d` kept). For a target overall MLP density
+//! `T = (2 d_in + d_glu) / 3` there is a one-parameter family of splits; the
+//! paper fits a linear model in logit space between the target density and
+//! the optimal up/gate density over Pareto-optimal configurations. This
+//! module provides the Pareto-front extraction, the logit-space fit, and the
+//! resulting splitter.
+
+use crate::error::{DipError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Logit transform with clamping away from 0 and 1.
+fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-4, 1.0 - 1e-4);
+    (p / (1.0 - p)).ln()
+}
+
+/// Inverse logit.
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Linear model `logit(d_in) = intercept + slope * logit(T)` mapping a target
+/// MLP density to the optimal up/gate (input) density.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DensityAllocation {
+    /// Intercept of the logit-space linear model.
+    pub intercept: f64,
+    /// Slope of the logit-space linear model.
+    pub slope: f64,
+}
+
+impl DensityAllocation {
+    /// The balanced allocation: input density equals the target density
+    /// (and therefore so does the GLU density).
+    pub fn balanced() -> Self {
+        DensityAllocation {
+            intercept: 0.0,
+            slope: 1.0,
+        }
+    }
+
+    /// Fits the logit-space linear model by least squares over
+    /// `(target_mlp_density, input_density)` pairs, typically the
+    /// Pareto-optimal configurations found by a 2-D sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] with fewer than two points or
+    /// with degenerate (constant) x values.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(DipError::InvalidParameter {
+                name: "points",
+                reason: "need at least two points to fit the allocation model".to_string(),
+            });
+        }
+        let xs: Vec<f64> = points.iter().map(|(t, _)| logit(*t)).collect();
+        let ys: Vec<f64> = points.iter().map(|(_, d)| logit(*d)).collect();
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let var_x: f64 = xs.iter().map(|x| (x - mean_x) * (x - mean_x)).sum();
+        if var_x < 1e-12 {
+            return Err(DipError::InvalidParameter {
+                name: "points",
+                reason: "target densities are all identical; cannot fit a slope".to_string(),
+            });
+        }
+        let cov: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let slope = cov / var_x;
+        let intercept = mean_y - slope * mean_x;
+        Ok(DensityAllocation { intercept, slope })
+    }
+
+    /// Splits a target MLP density into `(input_density, glu_density)` such
+    /// that `(2 * input + glu) / 3 == target` (up to clamping at the
+    /// boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] if `target` is outside `(0, 1]`.
+    pub fn split(&self, target: f32) -> Result<(f32, f32)> {
+        if !(target.is_finite() && target > 0.0 && target <= 1.0) {
+            return Err(DipError::InvalidParameter {
+                name: "target",
+                reason: format!("must be in (0, 1], got {target}"),
+            });
+        }
+        let t = f64::from(target);
+        let mut d_in = sigmoid(self.intercept + self.slope * logit(t));
+        // glu density implied by the budget constraint
+        let mut d_glu = 3.0 * t - 2.0 * d_in;
+        if d_glu > 1.0 {
+            d_glu = 1.0;
+            d_in = (3.0 * t - 1.0) / 2.0;
+        }
+        if d_glu < 1e-3 {
+            d_glu = 1e-3;
+            d_in = ((3.0 * t - d_glu) / 2.0).min(1.0);
+        }
+        let d_in = d_in.clamp(1e-3, 1.0);
+        Ok((d_in as f32, d_glu as f32))
+    }
+}
+
+impl Default for DensityAllocation {
+    fn default() -> Self {
+        DensityAllocation::balanced()
+    }
+}
+
+/// Returns the indices of the Pareto-optimal points for (minimise `cost`,
+/// minimise `quality_loss`) — here typically (MLP density, perplexity).
+///
+/// A point is Pareto-optimal when no other point has both lower-or-equal cost
+/// and strictly lower quality loss (or equal quality loss and strictly lower
+/// cost).
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(ci, qi)) in points.iter().enumerate() {
+        for (j, &(cj, qj)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let dominates = (cj <= ci && qj < qi) || (cj < ci && qj <= qi);
+            if dominates {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_split_keeps_densities_equal() {
+        let alloc = DensityAllocation::balanced();
+        for target in [0.3f32, 0.5, 0.75, 1.0] {
+            let (d_in, d_glu) = alloc.split(target).unwrap();
+            assert!((d_in - target).abs() < 1e-5, "target {target}: d_in {d_in}");
+            assert!((d_glu - target).abs() < 1e-4, "target {target}: d_glu {d_glu}");
+        }
+    }
+
+    #[test]
+    fn split_preserves_overall_budget() {
+        let alloc = DensityAllocation {
+            intercept: -0.3,
+            slope: 1.2,
+        };
+        for target in [0.35f32, 0.5, 0.6, 0.8] {
+            let (d_in, d_glu) = alloc.split(target).unwrap();
+            let achieved = (2.0 * d_in + d_glu) / 3.0;
+            assert!(
+                (achieved - target).abs() < 0.02,
+                "target {target}: achieved {achieved}"
+            );
+            assert!(d_in > 0.0 && d_in <= 1.0);
+            assert!(d_glu > 0.0 && d_glu <= 1.0);
+        }
+    }
+
+    #[test]
+    fn split_validates_target() {
+        let alloc = DensityAllocation::balanced();
+        assert!(alloc.split(0.0).is_err());
+        assert!(alloc.split(1.5).is_err());
+        assert!(alloc.split(f32::NAN).is_err());
+    }
+
+    #[test]
+    fn fit_recovers_identity_mapping() {
+        let points: Vec<(f64, f64)> = (1..10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let alloc = DensityAllocation::fit(&points).unwrap();
+        assert!(alloc.intercept.abs() < 1e-6);
+        assert!((alloc.slope - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_biased_mapping() {
+        // input density consistently higher than the target in logit space
+        let points: Vec<(f64, f64)> = (1..10)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                let d = sigmoid(0.5 + 1.0 * logit(t));
+                (t, d)
+            })
+            .collect();
+        let alloc = DensityAllocation::fit(&points).unwrap();
+        assert!((alloc.intercept - 0.5).abs() < 1e-6);
+        assert!((alloc.slope - 1.0).abs() < 1e-6);
+        let (d_in, _) = alloc.split(0.5).unwrap();
+        assert!(d_in > 0.5);
+    }
+
+    #[test]
+    fn fit_requires_valid_points() {
+        assert!(DensityAllocation::fit(&[]).is_err());
+        assert!(DensityAllocation::fit(&[(0.5, 0.5)]).is_err());
+        assert!(DensityAllocation::fit(&[(0.5, 0.4), (0.5, 0.6)]).is_err());
+    }
+
+    #[test]
+    fn pareto_front_picks_non_dominated_points() {
+        let points = vec![
+            (0.3, 8.0), // low density, high ppl - on front
+            (0.5, 6.0), // on front
+            (0.5, 7.0), // dominated by (0.5, 6.0)
+            (0.8, 5.0), // on front
+            (0.9, 5.5), // dominated by (0.8, 5.0)
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_front_of_empty_and_single() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(1.0, 1.0)]), vec![0]);
+    }
+}

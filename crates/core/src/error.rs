@@ -1,0 +1,111 @@
+//! Error type for the dynamic-sparsity core crate.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DipError>;
+
+/// Errors produced by sparsity strategies, calibration or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DipError {
+    /// An underlying tensor operation failed.
+    Tensor(tensor::TensorError),
+    /// An underlying language-model operation failed.
+    Lm(lm::LmError),
+    /// A strategy or trainer parameter was invalid.
+    InvalidParameter {
+        /// The parameter at fault.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A calibration artefact (trace, predictor set, threshold table) does
+    /// not match the model it is being used with.
+    CalibrationMismatch {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DipError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DipError::Lm(e) => write!(f, "model error: {e}"),
+            DipError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DipError::CalibrationMismatch { reason } => {
+                write!(f, "calibration mismatch: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DipError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DipError::Tensor(e) => Some(e),
+            DipError::Lm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tensor::TensorError> for DipError {
+    fn from(e: tensor::TensorError) -> Self {
+        DipError::Tensor(e)
+    }
+}
+
+impl From<lm::LmError> for DipError {
+    fn from(e: lm::LmError) -> Self {
+        DipError::Lm(e)
+    }
+}
+
+/// Converts a crate error into the `lm` error space so that strategies can be
+/// used behind the [`lm::MlpForward`] trait (whose methods return
+/// [`lm::Result`]).
+pub fn to_lm_error(e: DipError) -> lm::LmError {
+    match e {
+        DipError::Tensor(t) => lm::LmError::Tensor(t),
+        DipError::Lm(l) => l,
+        DipError::InvalidParameter { name, reason } => lm::LmError::InvalidConfig {
+            field: name,
+            reason,
+        },
+        DipError::CalibrationMismatch { reason } => lm::LmError::BadSequence { reason },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let te = tensor::TensorError::Empty { op: "softmax" };
+        let e: DipError = te.into();
+        assert!(e.to_string().contains("softmax"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let le = lm::LmError::BadSequence { reason: "empty".into() };
+        let e: DipError = le.into();
+        assert!(e.to_string().contains("empty"));
+
+        let e = DipError::InvalidParameter { name: "gamma", reason: "negative".into() };
+        assert!(e.to_string().contains("gamma"));
+        let e = DipError::CalibrationMismatch { reason: "layer count".into() };
+        assert!(e.to_string().contains("layer count"));
+    }
+
+    #[test]
+    fn lm_error_round_trip() {
+        let e = DipError::InvalidParameter { name: "k", reason: "too big".into() };
+        let le = to_lm_error(e);
+        assert!(le.to_string().contains("k"));
+        let e = DipError::Tensor(tensor::TensorError::Empty { op: "argmax" });
+        assert!(matches!(to_lm_error(e), lm::LmError::Tensor(_)));
+    }
+}

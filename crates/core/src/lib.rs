@@ -1,0 +1,49 @@
+//! Dynamic Input Pruning (DIP) and cache-aware masking (DIP-CA) — the core
+//! contribution of *"Efficient LLM Inference using Dynamic Input Pruning and
+//! Cache-Aware Masking"* (MLSys 2025) — together with every dynamic-sparsity
+//! baseline the paper compares against.
+//!
+//! The crate plugs into the `lm` crate's transformer through the
+//! [`lm::MlpForward`] hook and into the `hwsim` crate's caches for the
+//! cache-aware variant:
+//!
+//! * [`strategies`] — DIP, DIP-CA, GLU/Gate/Up pruning, CATS, DejaVu-style
+//!   predictive pruning,
+//! * [`threshold`] — global / per-layer / per-token top-k thresholding
+//!   (Section 3.1) and the density bookkeeping of Section 3.2,
+//! * [`predictor`] — DejaVu predictor training (Section 3.3),
+//! * [`lora`] — lightweight fused LoRA adapters (Section 4, Eq. 9),
+//! * [`allocation`] — up/gate vs down density allocation (Appendix B.1).
+//!
+//! # Example
+//!
+//! ```
+//! use dip_core::strategies::Dip;
+//! use lm::{build_synthetic, eval, ModelConfig};
+//!
+//! let model = build_synthetic(&ModelConfig::tiny(), 0)?;
+//! let corpus = eval::standard_eval_corpus(&model, 2, 12, 0)?;
+//! let mut dip = Dip::new(0.5, 0.5).expect("valid densities");
+//! let result = eval::perplexity(&model, &mut dip, &corpus)?;
+//! assert!(result.mean_mlp_density < 0.55);
+//! # Ok::<(), lm::LmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod error;
+pub mod lora;
+pub mod predictor;
+pub mod strategies;
+pub mod threshold;
+
+pub use allocation::{pareto_front, DensityAllocation};
+pub use error::{DipError, Result};
+pub use lora::{LoraConfig, LowRankAdapter};
+pub use predictor::{Predictor, PredictorTrainingConfig};
+pub use strategies::{
+    CatsPruning, Dip, DipCacheAware, GatePruning, GluOraclePruning, GluPruning,
+    GluThresholdPruning, PredictiveGluPruning, UpPruning,
+};
+pub use threshold::{SparsityScheme, ThresholdStrategy};

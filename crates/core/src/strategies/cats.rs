@@ -1,0 +1,207 @@
+//! CATS: contextually-aware thresholding for sparsity (Lee et al., 2024).
+//!
+//! CATS applies a *per-layer* magnitude threshold to the gate activations
+//! `σ(W_g x)`; neurons whose gate activation falls below the threshold are
+//! pruned, and only the surviving rows of `W_u` and columns of `W_d` are
+//! loaded. The thresholds are calibrated offline from the activation CDF of a
+//! calibration set, so — unlike top-k — the realised density fluctuates
+//! slightly from token to token (the paper notes up to ~2 % drift).
+
+use crate::error::{DipError, Result};
+use lm::{
+    ActivationTrace, GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput,
+    TransformerModel,
+};
+use serde::{Deserialize, Serialize};
+use tensor::{stats, topk};
+
+/// The CATS pruning strategy with per-layer calibrated thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatsPruning {
+    thresholds: Vec<f32>,
+    target_density: f32,
+}
+
+impl CatsPruning {
+    /// Creates CATS from explicit per-layer thresholds.
+    pub fn from_thresholds(thresholds: Vec<f32>, target_density: f32) -> Self {
+        CatsPruning {
+            thresholds,
+            target_density,
+        }
+    }
+
+    /// Calibrates per-layer thresholds so that, on the calibration trace,
+    /// each layer keeps `neuron_density` of its gate activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::CalibrationMismatch`] if the trace does not match
+    /// the model or is empty, and [`DipError::InvalidParameter`] for an
+    /// invalid density.
+    pub fn calibrate(
+        model: &TransformerModel,
+        trace: &ActivationTrace,
+        neuron_density: f32,
+    ) -> Result<Self> {
+        super::validate_density("neuron_density", neuron_density)?;
+        if trace.n_layers() != model.n_layers() {
+            return Err(DipError::CalibrationMismatch {
+                reason: format!(
+                    "trace has {} layers but model has {}",
+                    trace.n_layers(),
+                    model.n_layers()
+                ),
+            });
+        }
+        if trace.n_tokens() == 0 {
+            return Err(DipError::CalibrationMismatch {
+                reason: "calibration trace contains no tokens".to_string(),
+            });
+        }
+        let mut thresholds = Vec::with_capacity(model.n_layers());
+        for (layer_idx, layer) in model.layers.iter().enumerate() {
+            let mut gate_mags = Vec::new();
+            for sample in &trace.samples[layer_idx] {
+                let gate = layer.mlp.gate_activations(&sample.input)?;
+                gate_mags.extend(gate.iter().map(|g| g.abs()));
+            }
+            thresholds.push(stats::magnitude_threshold_for_density(
+                &gate_mags,
+                neuron_density,
+            )?);
+        }
+        Ok(CatsPruning {
+            thresholds,
+            target_density: neuron_density,
+        })
+    }
+
+    /// The calibrated per-layer thresholds.
+    pub fn thresholds(&self) -> &[f32] {
+        &self.thresholds
+    }
+
+    /// The neuron density the thresholds were calibrated for.
+    pub fn target_density(&self) -> f32 {
+        self.target_density
+    }
+
+    /// Selects the neurons that survive the layer's threshold.
+    pub fn select_neurons(&self, layer: usize, gate_activations: &[f32]) -> Vec<usize> {
+        let t = self.thresholds.get(layer).copied().unwrap_or(0.0);
+        topk::indices_above_threshold(gate_activations, t)
+    }
+}
+
+impl MlpForward for CatsPruning {
+    fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> lm::Result<MlpForwardOutput> {
+        let gate = mlp.gate_activations(x)?;
+        let active = self.select_neurons(layer, &gate);
+
+        let up = mlp.w_up.matvec_rows(x, &active)?;
+        let mut glu = vec![0.0f32; mlp.d_ff()];
+        for &i in &active {
+            glu[i] = up[i] * gate[i];
+        }
+        let y = mlp.down_from_glu(&glu, &active)?;
+        Ok(MlpForwardOutput {
+            y,
+            access: MlpAccessRecord {
+                up: MatrixAccess::output(active.clone()),
+                gate: MatrixAccess::dense(),
+                down: MatrixAccess::input(active),
+            },
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("cats@{:.2}", self.target_density)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm::{build_synthetic, eval, mlp::DenseMlp, trace::collect_activation_trace, ModelConfig};
+
+    fn setup() -> (TransformerModel, ActivationTrace) {
+        let model = build_synthetic(&ModelConfig::tiny(), 15).unwrap();
+        let seqs = eval::standard_eval_corpus(&model, 3, 14, 9).unwrap();
+        let trace = collect_activation_trace(&model, &seqs).unwrap();
+        (model, trace)
+    }
+
+    #[test]
+    fn calibration_produces_one_threshold_per_layer() {
+        let (model, trace) = setup();
+        let cats = CatsPruning::calibrate(&model, &trace, 0.5).unwrap();
+        assert_eq!(cats.thresholds().len(), model.n_layers());
+        assert!((cats.target_density() - 0.5).abs() < 1e-6);
+        assert!(cats.thresholds().iter().all(|t| t.is_finite() && *t >= 0.0));
+    }
+
+    #[test]
+    fn realised_density_is_close_to_target_on_calibration_data() {
+        let (model, trace) = setup();
+        let target = 0.5;
+        let cats = CatsPruning::calibrate(&model, &trace, target).unwrap();
+        let mut total_kept = 0usize;
+        let mut total = 0usize;
+        for (layer_idx, layer) in model.layers.iter().enumerate() {
+            for sample in &trace.samples[layer_idx] {
+                let gate = layer.mlp.gate_activations(&sample.input).unwrap();
+                total_kept += cats.select_neurons(layer_idx, &gate).len();
+                total += gate.len();
+            }
+        }
+        let realised = total_kept as f32 / total as f32;
+        assert!(
+            (realised - target).abs() < 0.06,
+            "realised density {realised} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn cats_degrades_gracefully_and_monotonically() {
+        let (model, trace) = setup();
+        let seqs = eval::standard_eval_corpus(&model, 5, 32, 10).unwrap();
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let mut cats_hi = CatsPruning::calibrate(&model, &trace, 0.75).unwrap();
+        let mut cats_lo = CatsPruning::calibrate(&model, &trace, 0.25).unwrap();
+        let ppl_hi = eval::perplexity(&model, &mut cats_hi, &seqs).unwrap().perplexity;
+        let ppl_lo = eval::perplexity(&model, &mut cats_lo, &seqs).unwrap().perplexity;
+        assert!(ppl_hi >= dense * 0.97, "hi {ppl_hi} vs dense {dense}");
+        assert!(ppl_lo >= ppl_hi * 0.97, "lower density should not be better: {ppl_lo} vs {ppl_hi}");
+        assert!(ppl_lo > dense, "25% CATS density should hurt: {ppl_lo} vs {dense}");
+    }
+
+    #[test]
+    fn access_record_matches_two_of_three_scheme() {
+        let (model, trace) = setup();
+        let cats = CatsPruning::calibrate(&model, &trace, 0.5).unwrap();
+        let mlp = &model.layers[0].mlp;
+        let x = &trace.samples[0][0].input;
+        let mut strategy = cats.clone();
+        let out = strategy.forward(0, mlp, x).unwrap();
+        let d = out.access.mlp_density(mlp.d_model(), mlp.d_ff());
+        // gate dense + up/down at ~0.5 -> ~0.67
+        assert!((d - 0.66).abs() < 0.12, "density {d}");
+        assert!(strategy.name().starts_with("cats@"));
+    }
+
+    #[test]
+    fn calibration_validates_inputs() {
+        let (model, trace) = setup();
+        assert!(CatsPruning::calibrate(&model, &trace, 0.0).is_err());
+        assert!(CatsPruning::calibrate(&model, &ActivationTrace::new(model.n_layers()), 0.5).is_err());
+        assert!(CatsPruning::calibrate(&model, &ActivationTrace::new(1), 0.5).is_err());
+    }
+
+    #[test]
+    fn missing_layer_threshold_defaults_to_keeping_nonzero() {
+        let cats = CatsPruning::from_thresholds(vec![0.5], 0.5);
+        let idx = cats.select_neurons(3, &[0.1, 0.9]);
+        assert_eq!(idx.len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Dynamic sparsity strategies.
+//!
+//! Every strategy implements [`lm::MlpForward`] and can therefore be plugged
+//! into the transformer's decoding loop. The implemented schemes follow
+//! Fig. 5 and Section 3–5 of the paper:
+//!
+//! | strategy | prunes | selection signal |
+//! |---|---|---|
+//! | [`GluPruning`] | `W_d` only | true \|GLU(x)\| (computed densely) |
+//! | [`GluOraclePruning`] | all three | true \|GLU(x)\| (perfect predictor) |
+//! | [`GatePruning`] | `W_u`, `W_d` | \|σ(W_g x)\| (gate computed densely) |
+//! | [`UpPruning`] | `W_g`, `W_d` | \|W_u x\| (up computed densely) |
+//! | [`CatsPruning`] | `W_u`, `W_d` | per-layer threshold on \|σ(W_g x)\| |
+//! | [`PredictiveGluPruning`] | all three | trained predictor logits (DejaVu) |
+//! | [`Dip`] | all three | \|x\| for `W_u`/`W_g`, \|G̃LU(x)\| for `W_d` |
+//! | [`DipCacheAware`] | all three | DIP scores re-weighted by cache state (Eq. 10) |
+
+pub mod cats;
+pub mod dip;
+pub mod dip_ca;
+pub mod gate_up;
+pub mod glu;
+pub mod predictive;
+
+pub use cats::CatsPruning;
+pub use dip::Dip;
+pub use dip_ca::DipCacheAware;
+pub use gate_up::{GatePruning, UpPruning};
+pub use glu::{GluOraclePruning, GluPruning, GluThresholdPruning};
+pub use predictive::PredictiveGluPruning;
+
+use lm::GluMlp;
+
+/// Computes GLU activations only at the selected neurons, returning a
+/// `d_ff`-length vector that is zero everywhere else.
+///
+/// This is the shared kernel of every neuron-pruning scheme: only the
+/// selected rows of `W_u` / `W_g` are touched.
+///
+/// # Errors
+///
+/// Propagates shape/index errors from the sparse kernels.
+pub(crate) fn glu_at_neurons(
+    mlp: &GluMlp,
+    x: &[f32],
+    neurons: &[usize],
+) -> lm::Result<Vec<f32>> {
+    let up = mlp.w_up.matvec_rows(x, neurons).map_err(lm::LmError::from)?;
+    let mut gate_pre = mlp.w_gate.matvec_rows(x, neurons).map_err(lm::LmError::from)?;
+    if let Some(bias) = &mlp.gate_bias {
+        for &i in neurons {
+            gate_pre[i] += bias[i];
+        }
+    }
+    let mut glu = vec![0.0f32; mlp.d_ff()];
+    for &i in neurons {
+        glu[i] = up[i] * mlp.activation.apply_scalar(gate_pre[i]);
+    }
+    Ok(glu)
+}
+
+/// Validates that a density lies in `(0, 1]`.
+pub(crate) fn validate_density(name: &'static str, density: f32) -> crate::Result<()> {
+    if !(density.is_finite() && density > 0.0 && density <= 1.0) {
+        return Err(crate::DipError::InvalidParameter {
+            name,
+            reason: format!("must be in (0, 1], got {density}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm::{build_synthetic, ModelConfig};
+    use tensor::topk;
+
+    #[test]
+    fn glu_at_neurons_matches_dense_on_selected_indices() {
+        let model = build_synthetic(&ModelConfig::tiny(), 1).unwrap();
+        let mlp = &model.layers[0].mlp;
+        let x: Vec<f32> = (0..mlp.d_model()).map(|i| (i as f32 % 5.0 - 2.0) / 5.0).collect();
+        let dense = mlp.glu_activations(&x).unwrap();
+        let neurons = topk::top_k_by_magnitude(&dense, mlp.d_ff() / 2);
+        let sparse = glu_at_neurons(mlp, &x, &neurons).unwrap();
+        for i in 0..mlp.d_ff() {
+            if neurons.contains(&i) {
+                assert!((sparse[i] - dense[i]).abs() < 1e-5);
+            } else {
+                assert_eq!(sparse[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn density_validation() {
+        assert!(validate_density("d", 0.5).is_ok());
+        assert!(validate_density("d", 1.0).is_ok());
+        assert!(validate_density("d", 0.0).is_err());
+        assert!(validate_density("d", -0.2).is_err());
+        assert!(validate_density("d", 1.5).is_err());
+        assert!(validate_density("d", f32::NAN).is_err());
+    }
+}

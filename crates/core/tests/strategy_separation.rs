@@ -1,0 +1,76 @@
+//! Cross-strategy integration test: at the same 50 % MLP weight density the
+//! strategies must reproduce the paper's quality ordering (Table 1):
+//!
+//! `dense ≈ GLU oracle < DIP < Up pruning < Gate pruning`
+//!
+//! measured both as per-layer MLP output error and as end-to-end perplexity.
+
+use dip_core::strategies::{Dip, GatePruning, GluOraclePruning, UpPruning};
+use dip_core::{DensityAllocation, SparsityScheme};
+use lm::{build_synthetic, eval, mlp::DenseMlp, ModelConfig, MlpForward};
+use tensor::Vector;
+
+fn mean_mlp_relative_error(
+    model: &lm::TransformerModel,
+    trace: &lm::ActivationTrace,
+    strategy: &mut dyn MlpForward,
+) -> f32 {
+    let mut total = 0.0;
+    let mut count = 0;
+    for (li, layer) in model.layers.iter().enumerate() {
+        for s in &trace.samples[li] {
+            let dense = layer.mlp.forward_dense(&s.input).unwrap();
+            let out = strategy.forward(li, &layer.mlp, &s.input).unwrap();
+            total += Vector::relative_error(&out.y, &dense).unwrap();
+            count += 1;
+        }
+    }
+    total / count as f32
+}
+
+#[test]
+fn strategies_reproduce_the_papers_quality_ordering_at_half_density() {
+    let config = ModelConfig::tiny();
+    let model = build_synthetic(&config, 23).unwrap();
+    let seqs = eval::standard_eval_corpus(&model, 6, 32, 40).unwrap();
+    let probe_seqs = eval::standard_eval_corpus(&model, 2, 16, 99).unwrap();
+    let trace = lm::trace::collect_activation_trace(&model, &probe_seqs).unwrap();
+
+    let two_of_three = SparsityScheme::TwoOfThree
+        .activation_density_for_target(0.5)
+        .unwrap();
+    let mut dip = Dip::for_target_density(0.5, &DensityAllocation::balanced()).unwrap();
+    let mut gate = GatePruning::new(two_of_three).unwrap();
+    let mut up = UpPruning::new(two_of_three).unwrap();
+    let mut oracle = GluOraclePruning::new(0.5).unwrap();
+
+    // (1) per-layer MLP output error ordering
+    let err_oracle = mean_mlp_relative_error(&model, &trace, &mut oracle);
+    let err_dip = mean_mlp_relative_error(&model, &trace, &mut dip);
+    let err_up = mean_mlp_relative_error(&model, &trace, &mut up);
+    let err_gate = mean_mlp_relative_error(&model, &trace, &mut gate);
+    assert!(
+        err_oracle < err_dip && err_dip < err_up && err_up < err_gate,
+        "MLP error ordering violated: oracle {err_oracle}, dip {err_dip}, up {err_up}, gate {err_gate}"
+    );
+
+    // (2) end-to-end perplexity ordering at matched weight density
+    let dense_ppl = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+    let ppl_oracle = eval::perplexity(&model, &mut oracle, &seqs).unwrap();
+    let ppl_dip = eval::perplexity(&model, &mut dip, &seqs).unwrap();
+    let ppl_up = eval::perplexity(&model, &mut up, &seqs).unwrap();
+    let ppl_gate = eval::perplexity(&model, &mut gate, &seqs).unwrap();
+
+    for r in [&ppl_oracle, &ppl_dip, &ppl_up, &ppl_gate] {
+        assert!(
+            (r.mean_mlp_density - 0.5).abs() < 0.03,
+            "all methods must run at ~50% weight density, got {}",
+            r.mean_mlp_density
+        );
+    }
+    assert!(ppl_oracle.perplexity < dense_ppl * 1.10);
+    assert!(ppl_dip.perplexity < ppl_up.perplexity);
+    assert!(ppl_up.perplexity < ppl_gate.perplexity);
+    assert!(ppl_oracle.perplexity < ppl_dip.perplexity);
+    assert!(ppl_gate.perplexity > dense_ppl * 1.2, "gate pruning should clearly hurt");
+}

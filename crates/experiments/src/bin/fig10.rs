@@ -1,0 +1,18 @@
+//! Regenerates Figure 10 (GLU distribution and gamma ablation).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig10 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig10::run(scale).expect("fig10 failed");
+    println!("{}", out.distribution.to_markdown());
+    println!("{}", out.gamma_ablation.to_markdown());
+}

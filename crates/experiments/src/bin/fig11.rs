@@ -1,0 +1,17 @@
+//! Regenerates Figure 11 (cache eviction policies vs cache-aware masking).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig11 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig11::run(scale).expect("fig11 failed");
+    println!("{}", out.figure.to_markdown());
+}

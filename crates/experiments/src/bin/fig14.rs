@@ -1,0 +1,19 @@
+//! Regenerates Figure 14 (Pareto curves, remaining models).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig14 at {scale:?} scale...");
+    
+    for out in experiments::figures::fig8::run_fig14(scale).expect("fig14 failed") {
+        println!("{}", out.perplexity.to_markdown());
+        println!("{}", out.accuracy.to_markdown());
+    }
+}

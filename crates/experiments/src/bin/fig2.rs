@@ -1,0 +1,18 @@
+//! Regenerates Figure 2 (NPU/DRAM/model-size trends).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig2 at {scale:?} scale...");
+    
+    let (_, table) = experiments::figures::fig2::run().expect("fig2 failed");
+    let _ = scale;
+    println!("{}", table.to_markdown());
+}

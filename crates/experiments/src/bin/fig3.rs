@@ -1,0 +1,18 @@
+//! Regenerates Figure 3 (GLU activation magnitude distribution).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig3 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig3::run(scale).expect("fig3 failed");
+    println!("{}", out.summary.to_markdown());
+    println!("{}", out.figure.to_markdown());
+}

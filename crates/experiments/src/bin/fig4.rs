@@ -1,0 +1,18 @@
+//! Regenerates Figure 4 (thresholding strategies).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig4 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig4::run(scale).expect("fig4 failed");
+    println!("dense perplexity: {:.3}\n", out.dense_ppl);
+    println!("{}", out.table.to_markdown());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 6 (GLU pruning vs predictive pruning).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig6 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig6::run(scale).expect("fig6 failed");
+    println!("{}", out.swiglu.to_markdown());
+    println!("{}", out.relufied.to_markdown());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 8 (Pareto curves, primary model).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig8 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig8::run(scale).expect("fig8 failed");
+    println!("{}", out.perplexity.to_markdown());
+    println!("{}", out.accuracy.to_markdown());
+}

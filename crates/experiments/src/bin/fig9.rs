@@ -1,0 +1,17 @@
+//! Regenerates Figure 9 (memory vs perplexity: quantization, pruning, DIP).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running fig9 at {scale:?} scale...");
+    
+    let out = experiments::figures::fig9::run(scale).expect("fig9 failed");
+    println!("{}", out.figure.to_markdown());
+}

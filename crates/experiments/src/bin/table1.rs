@@ -1,0 +1,17 @@
+//! Regenerates Table 1 (methods at 50% MLP density).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table1 at {scale:?} scale...");
+    
+    let out = experiments::tables::table1::run(scale).expect("table1 failed");
+    println!("{}", out.table.to_markdown());
+}

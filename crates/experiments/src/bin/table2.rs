@@ -1,0 +1,17 @@
+//! Regenerates Table 2 (throughput at bounded perplexity increase).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table2 at {scale:?} scale...");
+    
+    let out = experiments::tables::table2::run(scale).expect("table2 failed");
+    println!("{}", out.table.to_markdown());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Tables 3 and 4 (methods at 60% and 40% MLP density).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table34 at {scale:?} scale...");
+    
+    let t3 = experiments::tables::table1::run_table3(scale).expect("table3 failed");
+    println!("{}", t3.table.to_markdown());
+    let t4 = experiments::tables::table1::run_table4(scale).expect("table4 failed");
+    println!("{}", t4.table.to_markdown());
+}

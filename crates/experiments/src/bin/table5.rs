@@ -1,0 +1,17 @@
+//! Regenerates Table 5 (per-task accuracy at 50% sparsity).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table5 at {scale:?} scale...");
+    
+    let out = experiments::tables::table5::run(scale).expect("table5 failed");
+    println!("{}", out.table.to_markdown());
+}

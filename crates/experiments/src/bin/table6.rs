@@ -1,0 +1,17 @@
+//! Regenerates Table 6 (DRAM size ablation).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table6 at {scale:?} scale...");
+    
+    let out = experiments::tables::ablations::run_dram_ablation(scale).expect("table6 failed");
+    println!("{}", out.table.to_markdown());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 7 (Flash speed ablation).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running table7 at {scale:?} scale...");
+    
+    let out = experiments::tables::ablations::run_flash_ablation(scale).expect("table7 failed");
+    println!("{}", out.table.to_markdown());
+}

@@ -1,0 +1,200 @@
+//! Conversion between the model-side access records (`lm::MlpAccessRecord`)
+//! and the hardware simulator's trace/layout types.
+//!
+//! The caching granularity depends on the slicing axis a method uses for each
+//! matrix (input columns for DIP, output rows / neurons for DejaVu-style
+//! methods), so the hardware [`ModelLayout`] is derived from an example
+//! access record of the method being simulated.
+
+use hwsim::{AccessSet, AccessTrace, BlockAccess, LinearLayout, MlpBlockLayout, ModelLayout, TokenAccess};
+use lm::{ColumnAccess, MatrixAccess, MlpAccessRecord, ModelConfig, SliceAxis};
+
+/// Per-method static memory overhead (bytes) that must be pinned in DRAM in
+/// addition to attention/embedding/norm weights and the KV cache
+/// (e.g. DejaVu predictors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StaticOverhead {
+    /// Extra bytes pinned in DRAM (predictors, threshold tables, …).
+    pub bytes: u64,
+}
+
+/// Bytes of the statically pinned portion of the model: everything except
+/// MLP weights, at the given bit-width, plus the KV cache and per-method
+/// overhead.
+pub fn static_bytes(config: &ModelConfig, bits_per_weight: f64, overhead: StaticOverhead) -> u64 {
+    let static_params = (config.total_params() - config.total_mlp_params()) as f64;
+    (static_params * bits_per_weight / 8.0 + config.kv_cache_bytes()).ceil() as u64 + overhead.bytes
+}
+
+fn linear_layout(
+    access: &MatrixAccess,
+    in_dim: usize,
+    out_dim: usize,
+    bits_per_weight: f64,
+) -> LinearLayout {
+    let (n_columns, rows_per_column) = match access.axis {
+        SliceAxis::Input => (in_dim, out_dim),
+        SliceAxis::Output => (out_dim, in_dim),
+    };
+    LinearLayout {
+        n_columns,
+        bytes_per_column: ((rows_per_column as f64) * bits_per_weight / 8.0).ceil() as u64,
+    }
+}
+
+/// Builds the hardware memory layout for a model as accessed by a particular
+/// method (described by one example access record).
+pub fn layout_for_method(
+    config: &ModelConfig,
+    example: &MlpAccessRecord,
+    bits_per_weight: f64,
+    overhead: StaticOverhead,
+) -> ModelLayout {
+    let d_model = config.d_model;
+    let d_ff = config.d_ff;
+    let block = MlpBlockLayout {
+        up: linear_layout(&example.up, d_model, d_ff, bits_per_weight),
+        gate: linear_layout(&example.gate, d_model, d_ff, bits_per_weight),
+        down: linear_layout(&example.down, d_ff, d_model, bits_per_weight),
+    };
+    ModelLayout {
+        name: config.name.clone(),
+        bits_per_weight,
+        static_bytes: static_bytes(config, bits_per_weight, overhead),
+        blocks: vec![block; config.n_layers],
+    }
+}
+
+fn to_access_set(access: &ColumnAccess) -> AccessSet {
+    match access {
+        ColumnAccess::All => AccessSet::All,
+        ColumnAccess::Subset(v) => AccessSet::Subset(v.clone()),
+    }
+}
+
+/// Converts one token's per-layer access records into a simulator token entry.
+pub fn to_token_access(records: &[MlpAccessRecord]) -> TokenAccess {
+    TokenAccess {
+        blocks: records
+            .iter()
+            .map(|r| BlockAccess {
+                up: to_access_set(&r.up.slices),
+                gate: to_access_set(&r.gate.slices),
+                down: to_access_set(&r.down.slices),
+            })
+            .collect(),
+    }
+}
+
+/// Accumulates per-token access records into a simulator trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    trace: AccessTrace,
+    example: Option<MlpAccessRecord>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Adds one generated token's access records.
+    pub fn push_token(&mut self, records: &[MlpAccessRecord]) {
+        if self.example.is_none() {
+            self.example = records.first().cloned();
+        }
+        self.trace.push(to_token_access(records));
+    }
+
+    /// The example record used to derive the layout (None if no token was pushed).
+    pub fn example_record(&self) -> Option<&MlpAccessRecord> {
+        self.example.as_ref()
+    }
+
+    /// Finishes the builder, returning the trace.
+    pub fn into_trace(self) -> AccessTrace {
+        self.trace
+    }
+
+    /// Number of tokens accumulated.
+    pub fn n_tokens(&self) -> usize {
+        self.trace.n_tokens()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dip_record(d_model: usize, d_ff: usize) -> MlpAccessRecord {
+        MlpAccessRecord {
+            up: MatrixAccess::input((0..d_model / 2).collect()),
+            gate: MatrixAccess::input((0..d_model / 2).collect()),
+            down: MatrixAccess::input((0..d_ff / 2).collect()),
+        }
+    }
+
+    fn dejavu_record(d_ff: usize) -> MlpAccessRecord {
+        MlpAccessRecord {
+            up: MatrixAccess::output((0..d_ff / 2).collect()),
+            gate: MatrixAccess::output((0..d_ff / 2).collect()),
+            down: MatrixAccess::input((0..d_ff / 2).collect()),
+        }
+    }
+
+    #[test]
+    fn layout_axis_follows_the_access_record() {
+        let config = ModelConfig::tiny();
+        let dip_layout = layout_for_method(&config, &dip_record(config.d_model, config.d_ff), 4.0, StaticOverhead::default());
+        assert_eq!(dip_layout.blocks[0].up.n_columns, config.d_model);
+        let dv_layout = layout_for_method(&config, &dejavu_record(config.d_ff), 4.0, StaticOverhead::default());
+        assert_eq!(dv_layout.blocks[0].up.n_columns, config.d_ff);
+        // total MLP bytes identical regardless of the slicing axis
+        assert_eq!(dip_layout.mlp_bytes(), dv_layout.mlp_bytes());
+        assert_eq!(dip_layout.n_blocks(), config.n_layers);
+    }
+
+    #[test]
+    fn static_bytes_include_kv_and_overhead() {
+        let config = ModelConfig::tiny();
+        let plain = static_bytes(&config, 4.0, StaticOverhead::default());
+        let with_predictors = static_bytes(&config, 4.0, StaticOverhead { bytes: 10_000 });
+        assert_eq!(with_predictors - plain, 10_000);
+        assert!(plain as f64 > config.kv_cache_bytes());
+    }
+
+    #[test]
+    fn trace_builder_accumulates_tokens() {
+        let config = ModelConfig::tiny();
+        let mut builder = TraceBuilder::new();
+        assert!(builder.example_record().is_none());
+        for _ in 0..3 {
+            let records: Vec<MlpAccessRecord> = (0..config.n_layers)
+                .map(|_| dip_record(config.d_model, config.d_ff))
+                .collect();
+            builder.push_token(&records);
+        }
+        assert_eq!(builder.n_tokens(), 3);
+        assert!(builder.example_record().is_some());
+        let trace = builder.into_trace();
+        assert_eq!(trace.n_tokens(), 3);
+        assert_eq!(trace.n_blocks(), config.n_layers);
+        let layout = layout_for_method(
+            &config,
+            &dip_record(config.d_model, config.d_ff),
+            4.0,
+            StaticOverhead::default(),
+        );
+        let density = trace.mean_density(&layout);
+        assert!((density - 0.5).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn dense_records_convert_to_all_access() {
+        let rec = MlpAccessRecord::dense();
+        let token = to_token_access(&[rec]);
+        assert_eq!(token.blocks[0].up, AccessSet::All);
+        assert_eq!(token.blocks[0].down, AccessSet::All);
+    }
+}

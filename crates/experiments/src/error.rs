@@ -1,0 +1,105 @@
+//! Error type for the experiment harness.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ExpError>;
+
+/// Errors produced while preparing or running experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpError {
+    /// Error from the language-model substrate.
+    Lm(lm::LmError),
+    /// Error from the sparsity core.
+    Dip(dip_core::DipError),
+    /// Error from the quantization baselines.
+    Quant(quant::QuantError),
+    /// Error from the hardware simulator.
+    Sim(hwsim::SimError),
+    /// The requested combination is not supported (e.g. a target density a
+    /// scheme cannot reach); experiments render these cells as "—".
+    Unsupported {
+        /// Explanation shown in logs.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ExpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpError::Lm(e) => write!(f, "model error: {e}"),
+            ExpError::Dip(e) => write!(f, "sparsity error: {e}"),
+            ExpError::Quant(e) => write!(f, "quantization error: {e}"),
+            ExpError::Sim(e) => write!(f, "simulator error: {e}"),
+            ExpError::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExpError::Lm(e) => Some(e),
+            ExpError::Dip(e) => Some(e),
+            ExpError::Quant(e) => Some(e),
+            ExpError::Sim(e) => Some(e),
+            ExpError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<lm::LmError> for ExpError {
+    fn from(e: lm::LmError) -> Self {
+        ExpError::Lm(e)
+    }
+}
+
+impl From<dip_core::DipError> for ExpError {
+    fn from(e: dip_core::DipError) -> Self {
+        ExpError::Dip(e)
+    }
+}
+
+impl From<quant::QuantError> for ExpError {
+    fn from(e: quant::QuantError) -> Self {
+        ExpError::Quant(e)
+    }
+}
+
+impl From<hwsim::SimError> for ExpError {
+    fn from(e: hwsim::SimError) -> Self {
+        ExpError::Sim(e)
+    }
+}
+
+impl ExpError {
+    /// Whether the error just means "this cell does not exist" (e.g. GLU
+    /// pruning at 50 % density) rather than a real failure.
+    pub fn is_unsupported(&self) -> bool {
+        matches!(
+            self,
+            ExpError::Unsupported { .. } | ExpError::Dip(dip_core::DipError::InvalidParameter { .. })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ExpError = lm::LmError::BadSequence { reason: "x".into() }.into();
+        assert!(e.to_string().contains("model error"));
+        let e: ExpError = dip_core::DipError::InvalidParameter { name: "d", reason: "r".into() }.into();
+        assert!(e.is_unsupported());
+        let e = ExpError::Unsupported { reason: "glu at 50%".into() };
+        assert!(e.is_unsupported());
+        assert!(e.to_string().contains("glu at 50%"));
+        let e: ExpError = hwsim::SimError::InvalidConfig { field: "f", reason: "r".into() }.into();
+        assert!(!e.is_unsupported());
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ExpError = quant::QuantError::InvalidParameter { name: "bits", reason: "r".into() }.into();
+        assert!(e.to_string().contains("quantization"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 10: (left) the normalized GLU activation magnitude distribution
+//! across layers; (right) the effect of the DIP-CA penalty γ on throughput
+//! and perplexity.
+
+use crate::registry;
+use crate::report::{self, Figure, Series, Table};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use hwsim::EvictionPolicy;
+use lm::eval;
+
+/// Output of the Figure 10 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig10Output {
+    /// Normalized |GLU| quantiles per layer (left panel).
+    pub distribution: Figure,
+    /// γ ablation: perplexity and throughput per γ (right panel).
+    pub gamma_ablation: Table,
+    /// (γ, perplexity, throughput) tuples for programmatic checks.
+    pub gamma_points: Vec<(f32, f64, f64)>,
+}
+
+/// Runs the Figure 10 reproduction on the primary model.
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run(scale: Scale) -> Result<Fig10Output> {
+    let config = registry::primary_model(scale);
+    let mut wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+
+    // Left panel: per-layer normalized |GLU| quantiles.
+    let mut distribution = Figure::new(
+        "Figure 10 (left): normalized |GLU| quantiles per layer",
+        "quantile",
+        "normalized magnitude",
+    );
+    for layer in [0, config.n_layers / 2, config.n_layers - 1] {
+        let mags = wb.calib_trace.glu_magnitudes(layer);
+        let max = tensor::stats::max(&mags).max(1e-9);
+        let mut series = Series::new(format!("layer {layer}"));
+        for q in [0.1f32, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0] {
+            let v = tensor::stats::quantile(&mags, q).map_err(lm::LmError::from)?;
+            series.push(f64::from(q), f64::from(v / max));
+        }
+        distribution.push_series(series);
+    }
+
+    // Right panel: γ ablation at fixed density on the Table-2 device.
+    let device = wb.table2_device();
+    let density = 0.55;
+    let mut gamma_ablation = Table::new(
+        "Figure 10 (right): DIP-CA gamma ablation",
+        &["gamma", "perplexity", "throughput tok/s", "cache hit rate"],
+    );
+    let mut gamma_points = Vec::new();
+    for &gamma in &[1e-4f32, 1e-2, 0.1, 0.2, 0.3, 0.6, 1.0] {
+        let mut prepared = wb.prepare_dip_ca(density, gamma, &device, 4.0)?;
+        let ppl = eval::perplexity(&prepared.model, prepared.strategy.as_mut(), &wb.eval_seqs)?;
+        let (layout, trace) = wb.access_trace(&mut prepared, scale.sim_tokens(), 4.0)?;
+        let sim = hwsim::simulate(&layout, &device, EvictionPolicy::Lfu, &trace)?;
+        gamma_ablation.push_row(vec![
+            format!("{gamma}"),
+            format!("{:.3}", ppl.perplexity),
+            format!("{:.3}", sim.throughput_tps),
+            format!("{:.3}", sim.hit_rate),
+        ]);
+        gamma_points.push((gamma, ppl.perplexity, sim.throughput_tps));
+    }
+
+    report::write_report("fig10_distribution.csv", &distribution.to_csv());
+    report::write_report("fig10_gamma.md", &gamma_ablation.to_markdown());
+    Ok(Fig10Output {
+        distribution,
+        gamma_ablation,
+        gamma_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_heavy_tailed_and_gamma_trades_ppl_for_throughput() {
+        let out = run(Scale::Smoke).unwrap();
+        // left panel: the top percentile dominates the median by a large factor
+        for series in &out.distribution.series {
+            let median = series.points.iter().find(|(q, _)| (*q - 0.5).abs() < 1e-6).unwrap().1;
+            let top = series.points.last().unwrap().1;
+            assert!(top >= 10.0 * median.max(1e-9), "median {median} vs top {top}");
+        }
+        // right panel: γ = 1 (plain DIP) has the lowest hit-rate boost, small γ
+        // has the highest throughput, and throughput is monotone-ish in 1/γ
+        assert!(out.gamma_points.len() >= 5);
+        let plain = out.gamma_points.last().unwrap();
+        let aggressive = &out.gamma_points[0];
+        assert!((plain.0 - 1.0).abs() < 1e-6);
+        assert!(
+            aggressive.2 >= plain.2,
+            "small gamma should not reduce throughput: {} vs {}",
+            aggressive.2,
+            plain.2
+        );
+        // perplexities stay finite across the sweep
+        assert!(out.gamma_points.iter().all(|(_, p, _)| p.is_finite()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 11: cache eviction policies (no-cache, LRU, LFU, Belady oracle)
+//! vs cache-aware masking — perplexity as a function of achievable
+//! throughput.
+
+use crate::methods::MethodKind;
+use crate::registry;
+use crate::report::{self, Figure, Series};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use hwsim::EvictionPolicy;
+use lm::eval;
+
+/// Output of the Figure 11 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig11Output {
+    /// One (throughput, perplexity) series per cache configuration.
+    pub figure: Figure,
+}
+
+/// Runs the Figure 11 reproduction on the primary model and its Table-2
+/// device (DRAM ≈ half of the INT4 model).
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run(scale: Scale) -> Result<Fig11Output> {
+    let config = registry::primary_model(scale);
+    let mut wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+    let device = wb.table2_device();
+
+    let mut figure = Figure::new(
+        format!("Figure 11: cache policies vs cache-aware masking ({})", config.name),
+        "throughput tok/s",
+        "perplexity",
+    );
+
+    // Dense reference point (streams everything; LFU cache holds what fits).
+    let dense_sim = wb.throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)?;
+    let mut dense_series = Series::new("dense");
+    dense_series.push(dense_sim.throughput_tps, wb.dense_ppl);
+    figure.push_series(dense_series);
+
+    // DIP traces replayed under each eviction policy.
+    for policy in [
+        EvictionPolicy::None,
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::Belady,
+    ] {
+        let mut series = Series::new(format!("DIP {policy}"));
+        for &density in &scale.density_sweep() {
+            let quality = wb.quality(MethodKind::Dip, density)?;
+            let sim = wb.throughput(MethodKind::Dip, density, &device, policy)?;
+            series.push(sim.throughput_tps, quality.perplexity);
+        }
+        figure.push_series(series);
+    }
+
+    // DIP-CA with a plain LFU cache.
+    let mut ca_series = Series::new("DIP-CA (lfu)");
+    for &density in &scale.density_sweep() {
+        let mut prepared = wb.prepare_dip_ca(density, 0.2, &device, 4.0)?;
+        let ppl = eval::perplexity(&prepared.model, prepared.strategy.as_mut(), &wb.eval_seqs)?;
+        let (layout, trace) = wb.access_trace(&mut prepared, scale.sim_tokens(), 4.0)?;
+        let sim = hwsim::simulate(&layout, &device, EvictionPolicy::Lfu, &trace)?;
+        ca_series.push(sim.throughput_tps, ppl.perplexity);
+    }
+    figure.push_series(ca_series);
+
+    report::write_report("fig11.csv", &figure.to_csv());
+    Ok(Fig11Output { figure })
+}
+
+/// Best throughput achieved by a series subject to a perplexity ceiling.
+pub fn best_throughput_under(series: &Series, max_ppl: f64) -> Option<f64> {
+    series
+        .points
+        .iter()
+        .filter(|(_, ppl)| *ppl <= max_ppl)
+        .map(|(tps, _)| *tps)
+        .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_helps_and_cache_aware_masking_helps_more() {
+        let out = run(Scale::Smoke).unwrap();
+        let find = |name: &str| {
+            out.figure
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        let no_cache = find("DIP no-cache");
+        let lfu = find("DIP lfu");
+        let belady = find("DIP belady");
+        let ca = find("DIP-CA (lfu)");
+
+        // pick a permissive perplexity budget so every series qualifies
+        let max_ppl = out
+            .figure
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(_, p)| *p))
+            .fold(0.0f64, f64::max)
+            + 1.0;
+        let t_none = best_throughput_under(no_cache, max_ppl).unwrap();
+        let t_lfu = best_throughput_under(lfu, max_ppl).unwrap();
+        let t_belady = best_throughput_under(belady, max_ppl).unwrap();
+        let t_ca = best_throughput_under(ca, max_ppl).unwrap();
+
+        assert!(t_lfu >= t_none, "LFU {t_lfu} should beat no-cache {t_none}");
+        assert!(t_belady >= t_lfu * 0.99, "Belady {t_belady} vs LFU {t_lfu}");
+        assert!(
+            t_ca >= t_lfu,
+            "cache-aware masking {t_ca} should beat plain LFU {t_lfu}"
+        );
+        assert!(best_throughput_under(no_cache, 0.0).is_none());
+    }
+}

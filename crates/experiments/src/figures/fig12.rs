@@ -1,0 +1,114 @@
+//! Figures 12/13 (Appendix B.1): optimal allocation of the density budget
+//! between the up/gate matrices and the down matrix.
+//!
+//! A 2-D sweep over (input density, GLU density) produces perplexity-vs-MLP
+//! density points; the Pareto-optimal configurations are extracted and a
+//! linear model in logit space is fitted, exactly as the paper describes.
+
+use crate::registry;
+use crate::report::{self, Figure, Series, Table};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use dip_core::strategies::Dip;
+use dip_core::{pareto_front, DensityAllocation};
+use lm::eval;
+
+/// Output of the density-allocation study.
+#[derive(Debug, Clone)]
+pub struct Fig12Output {
+    /// Every (mlp density, perplexity) trial, one series for all trials and
+    /// one for the Pareto front.
+    pub trials: Figure,
+    /// The fitted logit-space allocation model.
+    pub fitted: DensityAllocation,
+    /// Table of the resulting optimal component densities per target density.
+    pub allocation_table: Table,
+}
+
+/// Runs the density-allocation sweep on the primary model.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn run(scale: Scale) -> Result<Fig12Output> {
+    let config = registry::primary_model(scale);
+    let wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+
+    let grid: Vec<f32> = match scale {
+        Scale::Smoke => vec![0.3, 0.5, 0.7, 0.9],
+        _ => vec![0.25, 0.4, 0.55, 0.7, 0.85, 1.0],
+    };
+
+    let mut all_points: Vec<(f64, f64)> = Vec::new(); // (mlp density, ppl)
+    let mut input_densities: Vec<f64> = Vec::new();
+    let mut trials_series = Series::new("trials");
+    for &d_in in &grid {
+        for &d_glu in &grid {
+            let mut dip = Dip::new(d_in, d_glu)?;
+            let ppl = eval::perplexity(&wb.model, &mut dip, &wb.eval_seqs)?;
+            let mlp_density = f64::from(dip.mlp_density());
+            trials_series.push(mlp_density, ppl.perplexity);
+            all_points.push((mlp_density, ppl.perplexity));
+            input_densities.push(f64::from(d_in));
+        }
+    }
+
+    let front = pareto_front(&all_points);
+    let mut front_series = Series::new("pareto front");
+    let mut fit_points = Vec::new();
+    for &i in &front {
+        front_series.push(all_points[i].0, all_points[i].1);
+        fit_points.push((all_points[i].0, input_densities[i]));
+    }
+    let fitted = DensityAllocation::fit(&fit_points).unwrap_or_else(|_| DensityAllocation::balanced());
+
+    let mut trials = Figure::new(
+        "Figure 12: perplexity vs MLP density over the (input, GLU) density grid",
+        "mlp density",
+        "perplexity",
+    );
+    trials.push_series(trials_series);
+    trials.push_series(front_series);
+
+    let mut allocation_table = Table::new(
+        "Figure 12: optimal component densities for a target MLP density",
+        &["target mlp density", "up/gate density", "down density"],
+    );
+    for target in [0.3f32, 0.4, 0.5, 0.6, 0.7, 0.8] {
+        let (d_in, d_glu) = fitted.split(target)?;
+        allocation_table.push_row(vec![
+            format!("{target:.2}"),
+            format!("{d_in:.3}"),
+            format!("{d_glu:.3}"),
+        ]);
+    }
+
+    report::write_report("fig12.csv", &trials.to_csv());
+    report::write_report("fig12.md", &allocation_table.to_markdown());
+    Ok(Fig12Output {
+        trials,
+        fitted,
+        allocation_table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_front_is_extracted_and_fit_is_usable() {
+        let out = run(Scale::Smoke).unwrap();
+        assert_eq!(out.trials.series.len(), 2);
+        let trials = &out.trials.series[0];
+        let front = &out.trials.series[1];
+        assert!(!front.points.is_empty());
+        assert!(front.points.len() <= trials.points.len());
+        // the fitted allocation splits a budget without violating it
+        let (d_in, d_glu) = out.fitted.split(0.5).unwrap();
+        let achieved = (2.0 * d_in + d_glu) / 3.0;
+        assert!((achieved - 0.5).abs() < 0.05);
+        assert_eq!(out.allocation_table.len(), 6);
+    }
+}

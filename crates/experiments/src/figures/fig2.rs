@@ -1,0 +1,147 @@
+//! Figure 2: NPU compute, DRAM capacity and LLM size trends.
+//!
+//! The paper's point is that NPU throughput and model sizes grow
+//! exponentially while DRAM capacity grows only linearly. This module ships
+//! the public data series used by the figure and fits both growth models,
+//! reporting the doubling times / annual increments.
+
+use crate::report::{self, Figure, Series, Table};
+use crate::Result;
+
+/// One data point per device / model generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Release year.
+    pub year: f64,
+    /// NPU throughput in TOPS.
+    pub npu_tops: f64,
+    /// DRAM capacity in GB.
+    pub dram_gb: f64,
+    /// Largest released LLM that year, in billions of parameters.
+    pub model_b_params: f64,
+}
+
+/// Public trend data (iPhone-class SoCs and the largest LLM per year),
+/// matching the sources cited by the paper (Apple silicon / LLM survey).
+pub fn trend_data() -> Vec<TrendPoint> {
+    vec![
+        TrendPoint { year: 2017.0, npu_tops: 0.6, dram_gb: 3.0, model_b_params: 0.3 },
+        TrendPoint { year: 2018.0, npu_tops: 5.0, dram_gb: 4.0, model_b_params: 1.5 },
+        TrendPoint { year: 2019.0, npu_tops: 6.0, dram_gb: 4.0, model_b_params: 8.3 },
+        TrendPoint { year: 2020.0, npu_tops: 11.0, dram_gb: 6.0, model_b_params: 175.0 },
+        TrendPoint { year: 2021.0, npu_tops: 15.8, dram_gb: 6.0, model_b_params: 530.0 },
+        TrendPoint { year: 2022.0, npu_tops: 17.0, dram_gb: 6.0, model_b_params: 540.0 },
+        TrendPoint { year: 2023.0, npu_tops: 35.0, dram_gb: 8.0, model_b_params: 1000.0 },
+        TrendPoint { year: 2024.0, npu_tops: 38.0, dram_gb: 8.0, model_b_params: 1800.0 },
+    ]
+}
+
+/// Ordinary least squares fit `y = a + b x`, returning `(a, b)`.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let var_x: f64 = points.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let cov: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    let slope = if var_x > 0.0 { cov / var_x } else { 0.0 };
+    (mean_y - slope * mean_x, slope)
+}
+
+/// Exponential fit `y = exp(a + b x)`; returns the annual growth factor
+/// `exp(b)`.
+pub fn exponential_growth_factor(points: &[(f64, f64)]) -> f64 {
+    let log_points: Vec<(f64, f64)> = points.iter().map(|(x, y)| (*x, y.ln())).collect();
+    let (_, slope) = linear_fit(&log_points);
+    slope.exp()
+}
+
+/// Runs the Figure 2 reproduction: the raw series plus the fitted growth
+/// rates showing exponential NPU/model growth vs linear DRAM growth.
+pub fn run() -> Result<(Figure, Table)> {
+    let data = trend_data();
+    let mut figure = Figure::new("Figure 2: NPU / DRAM / model-size trends", "year", "value");
+    let mut npu = Series::new("npu_tops");
+    let mut dram = Series::new("dram_gb");
+    let mut models = Series::new("model_b_params");
+    for p in &data {
+        npu.push(p.year, p.npu_tops);
+        dram.push(p.year, p.dram_gb);
+        models.push(p.year, p.model_b_params);
+    }
+    figure.push_series(npu);
+    figure.push_series(dram);
+    figure.push_series(models);
+
+    let npu_growth =
+        exponential_growth_factor(&data.iter().map(|p| (p.year, p.npu_tops)).collect::<Vec<_>>());
+    let model_growth = exponential_growth_factor(
+        &data.iter().map(|p| (p.year, p.model_b_params)).collect::<Vec<_>>(),
+    );
+    let (_, dram_slope) =
+        linear_fit(&data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>());
+
+    let mut table = Table::new(
+        "Figure 2 fits: exponential compute/model growth vs linear DRAM growth",
+        &["quantity", "fit", "value"],
+    );
+    table.push_row(vec![
+        "NPU TOPS".into(),
+        "annual growth factor".into(),
+        format!("{npu_growth:.2}x"),
+    ]);
+    table.push_row(vec![
+        "Largest LLM parameters".into(),
+        "annual growth factor".into(),
+        format!("{model_growth:.2}x"),
+    ]);
+    table.push_row(vec![
+        "DRAM capacity".into(),
+        "annual increment".into(),
+        format!("{dram_slope:.2} GB/year"),
+    ]);
+
+    report::write_report("fig2.csv", &figure.to_csv());
+    report::write_report("fig2.md", &table.to_markdown());
+    Ok((figure, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_show_exponential_compute_and_linear_dram() {
+        let (figure, table) = run().unwrap();
+        assert_eq!(figure.series.len(), 3);
+        assert_eq!(table.len(), 3);
+        let data = trend_data();
+        let npu_growth = exponential_growth_factor(
+            &data.iter().map(|p| (p.year, p.npu_tops)).collect::<Vec<_>>(),
+        );
+        let model_growth = exponential_growth_factor(
+            &data.iter().map(|p| (p.year, p.model_b_params)).collect::<Vec<_>>(),
+        );
+        let (_, dram_slope) =
+            linear_fit(&data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>());
+        // NPU compute and model sizes grow by >40%/year; DRAM grows by <1.5 GB/year
+        assert!(npu_growth > 1.4, "npu growth {npu_growth}");
+        assert!(model_growth > 2.0, "model growth {model_growth}");
+        assert!(dram_slope > 0.0 && dram_slope < 1.5, "dram slope {dram_slope}");
+        // model growth clearly outpaces DRAM growth in relative terms
+        let dram_growth = exponential_growth_factor(
+            &data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>(),
+        );
+        assert!(model_growth > dram_growth * 1.5);
+    }
+
+    #[test]
+    fn linear_fit_recovers_a_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b) = linear_fit(&points);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Figure 4: global vs per-layer vs per-token (top-k) GLU thresholding.
+
+use crate::registry;
+use crate::report::{self, Table};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use dip_core::strategies::GluThresholdPruning;
+use dip_core::ThresholdStrategy;
+use lm::eval;
+use tensor::stats::SeriesSummary;
+
+/// Result row for one thresholding strategy.
+#[derive(Debug, Clone)]
+pub struct ThresholdingResult {
+    /// Strategy name.
+    pub name: String,
+    /// Perplexity at the target average density.
+    pub perplexity: f64,
+    /// Mean realised GLU density across layers and tokens.
+    pub mean_density: f32,
+    /// Per-layer density spread (max − min of the per-layer means).
+    pub density_spread: f32,
+}
+
+/// Output of the Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig4Output {
+    /// One row per thresholding strategy.
+    pub results: Vec<ThresholdingResult>,
+    /// Dense-model perplexity for reference.
+    pub dense_ppl: f64,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Runs the Figure 4 reproduction at 50 % target GLU density.
+///
+/// # Errors
+///
+/// Propagates calibration and evaluation errors.
+pub fn run(scale: Scale) -> Result<Fig4Output> {
+    let config = registry::primary_model(scale);
+    let wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+    let density = 0.5;
+
+    let strategies = vec![
+        ThresholdStrategy::calibrate_global(&wb.calib_trace, density)?,
+        ThresholdStrategy::calibrate_per_layer(&wb.calib_trace, density)?,
+        ThresholdStrategy::top_k(density)?,
+    ];
+
+    let mut table = Table::new(
+        "Figure 4: GLU thresholding strategies at 50% target GLU density",
+        &["strategy", "perplexity", "mean density", "per-layer density spread"],
+    );
+    let mut results = Vec::new();
+    for strategy in strategies {
+        let name = strategy.name().to_string();
+        let mut pruner = GluThresholdPruning::new(strategy);
+        let ppl = eval::perplexity(&wb.model, &mut pruner, &wb.eval_seqs)?;
+
+        // per-layer density statistics from the observations the pruner recorded
+        let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); config.n_layers];
+        for (layer, d) in pruner.observed_densities() {
+            per_layer[*layer].push(*d);
+        }
+        let layer_means: Vec<f32> = per_layer
+            .iter()
+            .map(|ds| if ds.is_empty() { 0.0 } else { ds.iter().sum::<f32>() / ds.len() as f32 })
+            .collect();
+        let summary = SeriesSummary::from_slice(&layer_means).map_err(lm::LmError::from)?;
+        let mean_density = summary.mean;
+        let spread = summary.max - summary.min;
+
+        table.push_row(vec![
+            name.clone(),
+            format!("{:.3}", ppl.perplexity),
+            format!("{mean_density:.3}"),
+            format!("{spread:.3}"),
+        ]);
+        results.push(ThresholdingResult {
+            name,
+            perplexity: ppl.perplexity,
+            mean_density,
+            density_spread: spread,
+        });
+    }
+
+    report::write_report("fig4.md", &table.to_markdown());
+    report::write_report("fig4.csv", &table.to_csv());
+    Ok(Fig4Output {
+        results,
+        dense_ppl: wb.dense_ppl,
+        table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_token_and_per_layer_beat_global_thresholding() {
+        let out = run(Scale::Smoke).unwrap();
+        assert_eq!(out.results.len(), 3);
+        let global = &out.results[0];
+        let per_layer = &out.results[1];
+        let top_k = &out.results[2];
+        assert_eq!(global.name, "global-threshold");
+        assert_eq!(top_k.name, "per-token-topk");
+        // all strategies realise roughly the target average density
+        for r in &out.results {
+            assert!((r.mean_density - 0.5).abs() < 0.15, "{}: {}", r.name, r.mean_density);
+        }
+        // per-token top-k keeps a constant number of activations, so its
+        // per-layer densities are essentially identical; the global-vs-per-layer
+        // spread gap only emerges with many layers (see the Quick-scale run in
+        // EXPERIMENTS.md: 0.17 vs 0.02 on the 10-layer model)
+        assert!(top_k.density_spread < 0.05, "top-k spread {}", top_k.density_spread);
+        assert!(global.density_spread + 1e-6 >= top_k.density_spread);
+        // and it should not be better than the per-token strategy (Fig. 4's point)
+        assert!(global.perplexity >= top_k.perplexity * 0.98);
+        assert!(out.table.len() == 3);
+        assert!(out.dense_ppl <= top_k.perplexity * 1.02);
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 6: magnitude (oracle) GLU pruning vs predictive GLU pruning,
+//! SwiGLU model vs its ReLU-fied counterpart, accuracy as a function of GLU
+//! density.
+
+use crate::registry;
+use crate::report::{self, Figure, Series};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use dip_core::predictor::{train_predictors, PredictorTrainingConfig};
+use dip_core::strategies::{GluOraclePruning, PredictiveGluPruning};
+use lm::eval;
+
+/// Output of the Figure 6 reproduction: one accuracy-vs-density figure per
+/// model family.
+#[derive(Debug, Clone)]
+pub struct Fig6Output {
+    /// Accuracy curves for the SwiGLU model.
+    pub swiglu: Figure,
+    /// Accuracy curves for the ReLU-fied model.
+    pub relufied: Figure,
+}
+
+fn curves_for(wb: &Workbench, scale: Scale, title: &str) -> Result<Figure> {
+    let mut figure = Figure::new(title, "glu density", "accuracy %");
+    let cfg = PredictorTrainingConfig {
+        hidden: (wb.config.d_model / 2).max(16),
+        epochs: scale.predictor_epochs(),
+        ..PredictorTrainingConfig::default()
+    };
+    let predictors = train_predictors(&wb.model, &wb.calib_trace, &cfg)?;
+
+    let mut dense_series = Series::new("dense");
+    dense_series.push(1.0, 100.0 * wb.dense_accuracy);
+    figure.push_series(dense_series);
+
+    let mut oracle_series = Series::new("glu-pruning");
+    let mut predictive_series = Series::new("glu-predictive");
+    for &density in &scale.density_sweep() {
+        let mut oracle = GluOraclePruning::new(density).map_err(crate::ExpError::from)?;
+        let acc = eval::suite_accuracy(&wb.model, &mut oracle, &wb.task_suite)?;
+        oracle_series.push(f64::from(density), 100.0 * acc);
+
+        let mut predictive = PredictiveGluPruning::new(predictors.clone(), density)
+            .map_err(crate::ExpError::from)?;
+        let acc = eval::suite_accuracy(&wb.model, &mut predictive, &wb.task_suite)?;
+        predictive_series.push(f64::from(density), 100.0 * acc);
+    }
+    figure.push_series(oracle_series);
+    figure.push_series(predictive_series);
+    Ok(figure)
+}
+
+/// Runs the Figure 6 reproduction.
+///
+/// # Errors
+///
+/// Propagates training and evaluation errors.
+pub fn run(scale: Scale) -> Result<Fig6Output> {
+    let config = registry::primary_model(scale);
+    let seed = registry::model_seed(&config);
+    let swiglu_wb = Workbench::new(&config, scale, seed)?;
+    let relufied_wb = Workbench::new(&config.relufied(), scale, seed)?;
+
+    let swiglu = curves_for(&swiglu_wb, scale, "Figure 6: GLU pruning vs predictive (SwiGLU)")?;
+    let relufied = curves_for(
+        &relufied_wb,
+        scale,
+        "Figure 6: GLU pruning vs predictive (ReLU-fied)",
+    )?;
+
+    report::write_report("fig6_swiglu.csv", &swiglu.to_csv());
+    report::write_report("fig6_relufied.csv", &relufied.to_csv());
+    Ok(Fig6Output { swiglu, relufied })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magnitude_selection_dominates_predictive_selection() {
+        let out = run(Scale::Smoke).unwrap();
+        for figure in [&out.swiglu, &out.relufied] {
+            assert_eq!(figure.series.len(), 3);
+            let oracle = &figure.series[1];
+            let predictive = &figure.series[2];
+            assert_eq!(oracle.points.len(), predictive.points.len());
+            // at every density the oracle (true magnitude) selection is at
+            // least as accurate as the trained predictor's selection
+            let mut oracle_total = 0.0;
+            let mut predictive_total = 0.0;
+            for ((_, a), (_, b)) in oracle.points.iter().zip(predictive.points.iter()) {
+                oracle_total += a;
+                predictive_total += b;
+            }
+            assert!(
+                oracle_total >= predictive_total - 1e-6,
+                "oracle {oracle_total} vs predictive {predictive_total}"
+            );
+        }
+    }
+}

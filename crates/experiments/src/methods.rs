@@ -1,0 +1,163 @@
+//! The set of methods compared throughout the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier for every method that appears in the paper's tables/figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// The unmodified dense model.
+    Dense,
+    /// GLU pruning with a perfect (oracle) neuron predictor.
+    GluOracle,
+    /// GLU pruning (only `W_d` sparsified; density ≥ 2/3).
+    GluPruning,
+    /// Gate pruning.
+    GatePruning,
+    /// Up pruning.
+    UpPruning,
+    /// CATS (per-layer threshold on gate activations).
+    Cats,
+    /// CATS with fused LoRA adapters.
+    CatsLora,
+    /// DejaVu-style predictive GLU pruning.
+    DejaVu,
+    /// SparseGPT-style unstructured static pruning.
+    SparseGptUnstructured,
+    /// SparseGPT-style 2:4 semi-structured static pruning.
+    SparseGpt2of4,
+    /// SparseGPT-style 4:8 semi-structured static pruning.
+    SparseGpt4of8,
+    /// Dynamic Input Pruning.
+    Dip,
+    /// Dynamic Input Pruning with fused LoRA adapters.
+    DipLora,
+    /// Cache-aware Dynamic Input Pruning (γ = 0.2, the paper's setting).
+    DipCacheAware,
+}
+
+impl MethodKind {
+    /// The label used in report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::Dense => "Dense",
+            MethodKind::GluOracle => "GLU Pruning (oracle)",
+            MethodKind::GluPruning => "GLU Pruning",
+            MethodKind::GatePruning => "Gate Pruning",
+            MethodKind::UpPruning => "Up Pruning",
+            MethodKind::Cats => "CATS",
+            MethodKind::CatsLora => "CATS+LoRA",
+            MethodKind::DejaVu => "DejaVu",
+            MethodKind::SparseGptUnstructured => "SparseGPT (unstructured)",
+            MethodKind::SparseGpt2of4 => "SparseGPT (2:4)",
+            MethodKind::SparseGpt4of8 => "SparseGPT (4:8)",
+            MethodKind::Dip => "DIP",
+            MethodKind::DipLora => "DIP+LoRA",
+            MethodKind::DipCacheAware => "DIP-CA",
+        }
+    }
+
+    /// The rows of Table 1 (and Tables 3/4), in the paper's order.
+    pub fn table1_rows() -> Vec<MethodKind> {
+        vec![
+            MethodKind::Dense,
+            MethodKind::GluOracle,
+            MethodKind::SparseGptUnstructured,
+            MethodKind::SparseGpt2of4,
+            MethodKind::SparseGpt4of8,
+            MethodKind::GatePruning,
+            MethodKind::UpPruning,
+            MethodKind::DejaVu,
+            MethodKind::Cats,
+            MethodKind::CatsLora,
+            MethodKind::Dip,
+            MethodKind::DipLora,
+        ]
+    }
+
+    /// The methods plotted in the Pareto figures (Fig. 8 / Fig. 14).
+    pub fn pareto_set() -> Vec<MethodKind> {
+        vec![
+            MethodKind::SparseGptUnstructured,
+            MethodKind::SparseGpt2of4,
+            MethodKind::SparseGpt4of8,
+            MethodKind::DejaVu,
+            MethodKind::Cats,
+            MethodKind::Dip,
+        ]
+    }
+
+    /// The methods compared for throughput (Table 2 and Tables 6/7).
+    pub fn throughput_set() -> Vec<MethodKind> {
+        vec![
+            MethodKind::GluPruning,
+            MethodKind::UpPruning,
+            MethodKind::Cats,
+            MethodKind::Dip,
+            MethodKind::DipCacheAware,
+        ]
+    }
+
+    /// Whether the method's per-token weight selection depends on the input
+    /// (dynamic sparsity) rather than being fixed offline.
+    pub fn is_dynamic(self) -> bool {
+        !matches!(
+            self,
+            MethodKind::Dense
+                | MethodKind::SparseGptUnstructured
+                | MethodKind::SparseGpt2of4
+                | MethodKind::SparseGpt4of8
+        )
+    }
+
+    /// Whether evaluating this method replaces the model weights (LoRA fusing,
+    /// quantization error, static pruning).
+    pub fn modifies_weights(self) -> bool {
+        matches!(
+            self,
+            MethodKind::CatsLora
+                | MethodKind::DipLora
+                | MethodKind::SparseGptUnstructured
+                | MethodKind::SparseGpt2of4
+                | MethodKind::SparseGpt4of8
+        )
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let rows = MethodKind::table1_rows();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[0], MethodKind::Dense);
+        assert_eq!(rows[rows.len() - 1], MethodKind::DipLora);
+        // GLU pruning (non-oracle) cannot reach 50% density, so it is not a row
+        assert!(!rows.contains(&MethodKind::GluPruning));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let rows = MethodKind::table1_rows();
+        let labels: std::collections::HashSet<&str> = rows.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), rows.len());
+        assert_eq!(MethodKind::DipCacheAware.to_string(), "DIP-CA");
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(MethodKind::Dip.is_dynamic());
+        assert!(!MethodKind::SparseGpt2of4.is_dynamic());
+        assert!(MethodKind::DipLora.modifies_weights());
+        assert!(!MethodKind::Dip.modifies_weights());
+        assert!(MethodKind::throughput_set().contains(&MethodKind::DipCacheAware));
+        assert!(MethodKind::pareto_set().contains(&MethodKind::Dip));
+    }
+}

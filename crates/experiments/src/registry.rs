@@ -1,0 +1,70 @@
+//! Model registry: which synthetic models each experiment runs on.
+
+use crate::scale::Scale;
+use lm::ModelConfig;
+
+/// The evaluation models, in the paper's column order
+/// (Phi-3-Medium, Phi-3-Mini, Llama-3-8B, Mistral-7B analogues).
+///
+/// At [`Scale::Smoke`] a single tiny model is used so tests stay fast.
+pub fn evaluation_models(scale: Scale) -> Vec<ModelConfig> {
+    match scale {
+        Scale::Smoke => vec![ModelConfig::tiny()],
+        Scale::Quick | Scale::Full => vec![
+            ModelConfig::phi3_medium_sim(),
+            ModelConfig::phi3_mini_sim(),
+            ModelConfig::llama8b_sim(),
+            ModelConfig::mistral7b_sim(),
+        ],
+    }
+}
+
+/// The primary model used by single-model figures (Fig. 8, 9, 10, 11, 12):
+/// the Phi-3-Medium analogue, or the tiny model at smoke scale.
+pub fn primary_model(scale: Scale) -> ModelConfig {
+    match scale {
+        Scale::Smoke => ModelConfig::tiny(),
+        Scale::Quick | Scale::Full => ModelConfig::phi3_medium_sim(),
+    }
+}
+
+/// Deterministic seed used to synthesise a model's weights, derived from its
+/// name so that every experiment sees the same weights for the same model.
+pub fn model_seed(config: &ModelConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in config.name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_uses_the_tiny_model() {
+        let models = evaluation_models(Scale::Smoke);
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].name, "tiny-test");
+        assert_eq!(primary_model(Scale::Smoke).name, "tiny-test");
+    }
+
+    #[test]
+    fn quick_scale_matches_the_papers_four_models() {
+        let models = evaluation_models(Scale::Quick);
+        assert_eq!(models.len(), 4);
+        assert_eq!(models[0].name, "phi3-medium-sim");
+        assert_eq!(primary_model(Scale::Quick).name, "phi3-medium-sim");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        let a = model_seed(&ModelConfig::phi3_medium_sim());
+        let b = model_seed(&ModelConfig::phi3_medium_sim());
+        let c = model_seed(&ModelConfig::mistral7b_sim());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

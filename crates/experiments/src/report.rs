@@ -1,0 +1,218 @@
+//! Report formatting: markdown tables and CSV series, mirroring the rows and
+//! columns the paper prints.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple table with a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Table {
+    /// Table title (e.g. `"Table 1: dynamic sparsity methods at 50% MLP sparsity"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// A named (x, y) series, used for figure-style outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (e.g. the pruning strategy).
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure: a title, axis labels and one or more series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Figure {
+    /// Figure title (e.g. `"Figure 8: perplexity vs MLP density"`).
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Data series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Renders the figure as long-form CSV (`series,x,y`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "series,{},{}", self.x_label, self.y_label);
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.name);
+            }
+        }
+        out
+    }
+
+    /// Renders the figure as a markdown section with one table per series.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| series | {} | {} |", self.x_label, self.y_label);
+        let _ = writeln!(out, "|---|---|---|");
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "| {} | {x:.4} | {y:.4} |", s.name);
+            }
+        }
+        out
+    }
+}
+
+/// Directory where experiment outputs are written
+/// (`target/experiments/` relative to the workspace root, or the current
+/// directory as a fallback).
+pub fn output_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("experiments")
+}
+
+/// Writes a report file under [`output_dir`], creating the directory if
+/// needed. Returns the path written to, or `None` if writing failed (the
+/// experiment output is still returned to the caller / printed to stdout).
+pub fn write_report(file_name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = output_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(file_name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_round_trip() {
+        let mut t = Table::new("Demo", &["method", "ppl"]);
+        t.push_row(vec!["dense".into(), "4.29".into()]);
+        t.push_row(vec!["dip".into(), "5.52".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| dense | 4.29 |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("method,ppl\n"));
+        assert!(csv.contains("dip,5.52"));
+    }
+
+    #[test]
+    fn figure_rendering() {
+        let mut f = Figure::new("Fig", "density", "ppl");
+        let mut s = Series::new("dip");
+        s.push(0.5, 5.5);
+        s.push(0.6, 5.0);
+        f.push_series(s);
+        let csv = f.to_csv();
+        assert!(csv.contains("dip,0.5,5.5"));
+        let md = f.to_markdown();
+        assert!(md.contains("| dip | 0.5000 | 5.5000 |"));
+    }
+
+    #[test]
+    fn report_writing_is_best_effort() {
+        let path = write_report("unit_test_report.md", "# hello");
+        if let Some(p) = path {
+            let read = std::fs::read_to_string(p).unwrap();
+            assert!(read.contains("hello"));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiment scale control.
+//!
+//! Every experiment can run at three scales so that unit tests stay fast
+//! while the shipped binaries produce stable numbers:
+//!
+//! * [`Scale::Smoke`] — tiny models, a handful of tokens; used by tests,
+//! * [`Scale::Quick`] — the default for the `experiments` binaries,
+//! * [`Scale::Full`] — larger corpora for smoother curves.
+
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// Minimal settings for unit tests.
+    Smoke,
+    /// Default settings for the experiment binaries.
+    #[default]
+    Quick,
+    /// Larger corpora for final numbers.
+    Full,
+}
+
+impl Scale {
+    /// Parses a scale from a command-line style string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Number of evaluation sequences.
+    pub fn eval_sequences(self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Evaluation sequence length (tokens).
+    pub fn eval_seq_len(self) -> usize {
+        match self {
+            Scale::Smoke => 32,
+            Scale::Quick => 64,
+            Scale::Full => 128,
+        }
+    }
+
+    /// Number of calibration sequences (thresholds, predictors, LoRA).
+    pub fn calib_sequences(self) -> usize {
+        match self {
+            Scale::Smoke => 3,
+            Scale::Quick => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Calibration sequence length.
+    pub fn calib_seq_len(self) -> usize {
+        match self {
+            Scale::Smoke => 24,
+            Scale::Quick => 48,
+            Scale::Full => 96,
+        }
+    }
+
+    /// Prompts per downstream task.
+    pub fn task_prompts(self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Quick => 10,
+            Scale::Full => 25,
+        }
+    }
+
+    /// Tokens simulated per throughput measurement.
+    pub fn sim_tokens(self) -> usize {
+        match self {
+            Scale::Smoke => 48,
+            Scale::Quick => 128,
+            Scale::Full => 256,
+        }
+    }
+
+    /// MLP density sweep used by Pareto / throughput experiments.
+    pub fn density_sweep(self) -> Vec<f32> {
+        match self {
+            Scale::Smoke => vec![0.4, 0.6, 0.8],
+            Scale::Quick | Scale::Full => vec![0.35, 0.45, 0.55, 0.65, 0.8, 0.95],
+        }
+    }
+
+    /// Predictor training epochs.
+    pub fn predictor_epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Quick => 6,
+            Scale::Full => 12,
+        }
+    }
+
+    /// LoRA fine-tuning epochs.
+    pub fn lora_epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Quick => 40,
+            Scale::Full => 80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_and_defaults() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::default(), Scale::Quick);
+    }
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        assert!(Scale::Smoke.eval_sequences() <= Scale::Quick.eval_sequences());
+        assert!(Scale::Quick.eval_seq_len() <= Scale::Full.eval_seq_len());
+        assert!(Scale::Smoke.sim_tokens() < Scale::Full.sim_tokens());
+        assert!(Scale::Smoke.density_sweep().len() <= Scale::Full.density_sweep().len());
+        assert!(Scale::Smoke.task_prompts() < Scale::Full.task_prompts());
+        assert!(Scale::Smoke.predictor_epochs() < Scale::Full.predictor_epochs());
+        assert!(Scale::Smoke.lora_epochs() < Scale::Full.lora_epochs());
+        assert!(Scale::Smoke.calib_sequences() <= Scale::Full.calib_sequences());
+        assert!(Scale::Smoke.calib_seq_len() <= Scale::Full.calib_seq_len());
+    }
+}

@@ -1,0 +1,183 @@
+//! Tables 6 and 7: hardware ablations — DRAM capacity and Flash read speed.
+//!
+//! Both report the highest throughput achievable at a +0.5 perplexity budget
+//! for the dense baseline and the main sparsity methods, on the primary
+//! model quantized to INT4.
+
+use crate::methods::MethodKind;
+use crate::registry;
+use crate::report::{self, Table};
+use crate::scale::Scale;
+use crate::tables::table2::best_throughput;
+use crate::workbench::Workbench;
+use crate::Result;
+use hwsim::{DeviceConfig, EvictionPolicy};
+
+/// The methods reported in the hardware ablations.
+pub fn ablation_methods() -> Vec<MethodKind> {
+    vec![
+        MethodKind::GluPruning,
+        MethodKind::UpPruning,
+        MethodKind::Cats,
+        MethodKind::DipCacheAware,
+    ]
+}
+
+/// Output of one ablation run.
+#[derive(Debug, Clone)]
+pub struct AblationOutput {
+    /// Column labels (one per hardware setting).
+    pub settings: Vec<String>,
+    /// Dense throughput per setting.
+    pub dense: Vec<f64>,
+    /// Per method: throughput per setting at the +0.5 PPL budget.
+    pub methods: Vec<(MethodKind, Vec<Option<f64>>)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+fn run_over_devices(
+    scale: Scale,
+    title: &str,
+    file_stem: &str,
+    settings: Vec<(String, DeviceConfig)>,
+) -> Result<AblationOutput> {
+    let config = registry::primary_model(scale);
+    let mut wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+
+    let mut dense = Vec::new();
+    for (_, device) in &settings {
+        dense.push(
+            wb.throughput(MethodKind::Dense, 1.0, device, EvictionPolicy::Lfu)?
+                .throughput_tps,
+        );
+    }
+
+    let mut methods = Vec::new();
+    for method in ablation_methods() {
+        let mut per_setting = Vec::new();
+        for (_, device) in &settings {
+            let cell = best_throughput(&mut wb, method, device, 0.5, scale)?;
+            per_setting.push(cell.throughput_tps);
+        }
+        methods.push((method, per_setting));
+    }
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(settings.iter().map(|(name, _)| name.clone()));
+    let mut table = Table::new(title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut dense_row = vec!["Dense".to_string()];
+    dense_row.extend(dense.iter().map(|t| format!("{t:.2}")));
+    table.push_row(dense_row);
+    for (method, per_setting) in &methods {
+        let mut row = vec![method.label().to_string()];
+        row.extend(
+            per_setting
+                .iter()
+                .map(|t| t.map_or("—".to_string(), |t| format!("{t:.2}"))),
+        );
+        table.push_row(row);
+    }
+
+    report::write_report(&format!("{file_stem}.md"), &table.to_markdown());
+    report::write_report(&format!("{file_stem}.csv"), &table.to_csv());
+    Ok(AblationOutput {
+        settings: settings.into_iter().map(|(n, _)| n).collect(),
+        dense,
+        methods,
+        table,
+    })
+}
+
+/// Table 6: throughput at different DRAM capacities (the 2/4/6 GB analogue,
+/// expressed as a fraction of the INT4 model size).
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run_dram_ablation(scale: Scale) -> Result<AblationOutput> {
+    let config = registry::primary_model(scale);
+    let example = lm::MlpAccessRecord::dense();
+    let layout = crate::convert::layout_for_method(
+        &config,
+        &example,
+        4.0,
+        crate::convert::StaticOverhead::default(),
+    );
+    let total = layout.total_bytes() as f64;
+    let settings = [0.35f64, 0.55, 0.8]
+        .iter()
+        .map(|frac| {
+            let bytes = ((total * frac) as u64).max(layout.static_bytes + 1024);
+            (
+                format!("DRAM {:.0}% of model", frac * 100.0),
+                DeviceConfig::apple_a18(4.0).with_dram_bytes(bytes),
+            )
+        })
+        .collect();
+    run_over_devices(
+        scale,
+        "Table 6: throughput [tok/s] at +0.5 PPL for different DRAM sizes",
+        "table6",
+        settings,
+    )
+}
+
+/// Table 7: throughput at different Flash read speeds (0.5 / 1 / 2 GB/s).
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run_flash_ablation(scale: Scale) -> Result<AblationOutput> {
+    let config = registry::primary_model(scale);
+    let example = lm::MlpAccessRecord::dense();
+    let layout = crate::convert::layout_for_method(
+        &config,
+        &example,
+        4.0,
+        crate::convert::StaticOverhead::default(),
+    );
+    let dram = ((layout.total_bytes() as f64 * 0.55) as u64).max(layout.static_bytes + 1024);
+    let settings = [0.5f64, 1.0, 2.0]
+        .iter()
+        .map(|gbps| {
+            (
+                format!("Flash {gbps} GB/s"),
+                DeviceConfig::apple_a18(4.0)
+                    .with_dram_bytes(dram)
+                    .with_flash_bandwidth(gbps * hwsim::GB_PER_S),
+            )
+        })
+        .collect();
+    run_over_devices(
+        scale,
+        "Table 7: throughput [tok/s] at +0.5 PPL for different Flash read speeds",
+        "table7",
+        settings,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_dram_and_faster_flash_increase_throughput() {
+        let dram = run_dram_ablation(Scale::Smoke).unwrap();
+        assert_eq!(dram.settings.len(), 3);
+        assert!(dram.dense[0] <= dram.dense[2], "dense should speed up with DRAM");
+        // DIP-CA throughput (where defined) is non-decreasing in DRAM size
+        let dip_ca = dram
+            .methods
+            .iter()
+            .find(|(m, _)| *m == MethodKind::DipCacheAware)
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        let defined: Vec<f64> = dip_ca.iter().flatten().copied().collect();
+        assert!(!defined.is_empty());
+
+        let flash = run_flash_ablation(Scale::Smoke).unwrap();
+        assert!(flash.dense[0] < flash.dense[2], "dense scales with flash speed");
+        assert_eq!(flash.table.len(), 1 + ablation_methods().len());
+    }
+}

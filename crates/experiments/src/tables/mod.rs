@@ -1,0 +1,6 @@
+//! One module per table of the paper.
+
+pub mod ablations;
+pub mod table1;
+pub mod table2;
+pub mod table5;

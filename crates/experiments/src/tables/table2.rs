@@ -1,0 +1,183 @@
+//! Table 2: highest throughput achievable at a bounded perplexity increase
+//! (+0.2 and +0.5 over dense), with DRAM sized to hold roughly half of each
+//! INT4 model.
+
+use crate::methods::MethodKind;
+use crate::registry;
+use crate::report::{self, Table};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use hwsim::{DeviceConfig, EvictionPolicy};
+use lm::eval;
+use lm::ModelConfig;
+
+/// Throughput of one method at the best density satisfying a perplexity budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputCell {
+    /// Best tokens/s under the budget (None when no density qualifies).
+    pub throughput_tps: Option<f64>,
+    /// The density at which it was achieved.
+    pub density: Option<f32>,
+}
+
+/// Structured Table 2 output for one model.
+#[derive(Debug, Clone)]
+pub struct ModelThroughput {
+    /// Model name.
+    pub model: String,
+    /// Dense-model throughput.
+    pub dense_tps: f64,
+    /// Per method, per perplexity budget (+0.2, +0.5): the best throughput.
+    pub cells: Vec<(MethodKind, [ThroughputCell; 2])>,
+}
+
+/// Full Table 2 output.
+#[derive(Debug, Clone)]
+pub struct Table2Output {
+    /// One entry per model.
+    pub per_model: Vec<ModelThroughput>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Finds the best throughput of `method` on `wb`/`device` subject to the
+/// perplexity staying below `dense + budget`.
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn best_throughput(
+    wb: &mut Workbench,
+    method: MethodKind,
+    device: &DeviceConfig,
+    budget: f64,
+    scale: Scale,
+) -> Result<ThroughputCell> {
+    let mut best: Option<(f64, f32)> = None;
+    for &density in &scale.density_sweep() {
+        let ppl = match method {
+            MethodKind::DipCacheAware => {
+                let mut prepared = wb.prepare_dip_ca(density, 0.2, device, 4.0)?;
+                eval::perplexity(&prepared.model, prepared.strategy.as_mut(), &wb.eval_seqs)?
+                    .perplexity
+            }
+            other => match wb.quality(other, density) {
+                Ok(q) => q.perplexity,
+                Err(e) if e.is_unsupported() => continue,
+                Err(e) => return Err(e),
+            },
+        };
+        if ppl > wb.dense_ppl + budget {
+            continue;
+        }
+        let sim = wb.throughput(method, density, device, EvictionPolicy::Lfu)?;
+        if best.map_or(true, |(t, _)| sim.throughput_tps > t) {
+            best = Some((sim.throughput_tps, density));
+        }
+    }
+    Ok(ThroughputCell {
+        throughput_tps: best.map(|(t, _)| t),
+        density: best.map(|(_, d)| d),
+    })
+}
+
+/// Runs Table 2 for one model.
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run_for_model(config: &ModelConfig, scale: Scale) -> Result<ModelThroughput> {
+    let mut wb = Workbench::new(config, scale, registry::model_seed(config))?;
+    let device = wb.table2_device();
+    let dense_tps = wb
+        .throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)?
+        .throughput_tps;
+
+    let mut cells = Vec::new();
+    for method in MethodKind::throughput_set() {
+        let at_02 = best_throughput(&mut wb, method, &device, 0.2, scale)?;
+        let at_05 = best_throughput(&mut wb, method, &device, 0.5, scale)?;
+        cells.push((method, [at_02, at_05]));
+    }
+    Ok(ModelThroughput {
+        model: config.name.clone(),
+        dense_tps,
+        cells,
+    })
+}
+
+/// Runs Table 2 across the evaluation models.
+///
+/// # Errors
+///
+/// Propagates evaluation and simulation errors.
+pub fn run(scale: Scale) -> Result<Table2Output> {
+    let configs = registry::evaluation_models(scale);
+    let per_model: Vec<ModelThroughput> = configs
+        .iter()
+        .map(|c| run_for_model(c, scale))
+        .collect::<Result<_>>()?;
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(per_model.iter().map(|m| m.model.clone()));
+    let mut table = Table::new(
+        "Table 2: throughput [tok/s] at bounded perplexity increase (DRAM ≈ 55% of INT4 model)",
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    let mut dense_row = vec!["Dense".to_string()];
+    dense_row.extend(per_model.iter().map(|m| format!("{:.2}", m.dense_tps)));
+    table.push_row(dense_row);
+
+    for (budget_idx, budget_label) in ["@ +0.2 PPL", "@ +0.5 PPL"].iter().enumerate() {
+        for (mi, method) in MethodKind::throughput_set().iter().enumerate() {
+            let mut row = vec![format!("{} {budget_label}", method.label())];
+            for m in &per_model {
+                let cell = m.cells[mi].1[budget_idx];
+                row.push(
+                    cell.throughput_tps
+                        .map_or("—".to_string(), |t| format!("{t:.2}")),
+                );
+            }
+            table.push_row(row);
+        }
+    }
+
+    report::write_report("table2.md", &table.to_markdown());
+    report::write_report("table2.csv", &table.to_csv());
+    Ok(Table2Output { per_model, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_methods_beat_the_dense_baseline_and_dip_ca_leads() {
+        let out = run(Scale::Smoke).unwrap();
+        assert_eq!(out.per_model.len(), 1);
+        let m = &out.per_model[0];
+        assert!(m.dense_tps > 0.0);
+
+        let cell = |method: MethodKind, budget: usize| -> Option<f64> {
+            m.cells
+                .iter()
+                .find(|(k, _)| *k == method)
+                .and_then(|(_, cells)| cells[budget].throughput_tps)
+        };
+        // at the looser +0.5 budget DIP and DIP-CA must beat dense throughput
+        let dip = cell(MethodKind::Dip, 1).expect("DIP qualifies at +0.5");
+        let dip_ca = cell(MethodKind::DipCacheAware, 1).expect("DIP-CA qualifies at +0.5");
+        assert!(dip > m.dense_tps, "DIP {dip} vs dense {}", m.dense_tps);
+        assert!(
+            dip_ca >= dip * 0.95,
+            "DIP-CA ({dip_ca}) should be competitive with DIP ({dip})"
+        );
+        // rendered table has a dense row plus 2 budgets x methods rows
+        assert_eq!(
+            out.table.len(),
+            1 + 2 * MethodKind::throughput_set().len()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Table 5: per-task accuracy of the main methods at 50 % MLP sparsity.
+
+use crate::methods::MethodKind;
+use crate::registry;
+use crate::report::{self, Table};
+use crate::scale::Scale;
+use crate::workbench::Workbench;
+use crate::Result;
+use lm::eval;
+
+/// Structured per-task accuracy results for one model.
+#[derive(Debug, Clone)]
+pub struct Table5Output {
+    /// Model name.
+    pub model: String,
+    /// Task names (columns).
+    pub tasks: Vec<String>,
+    /// Per method: per-task accuracy (percent); `None` when unreachable.
+    pub results: Vec<(MethodKind, Option<Vec<f64>>)>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// The methods reported in Table 5.
+pub fn table5_methods() -> Vec<MethodKind> {
+    vec![
+        MethodKind::Dense,
+        MethodKind::GluOracle,
+        MethodKind::SparseGptUnstructured,
+        MethodKind::DejaVu,
+        MethodKind::Cats,
+        MethodKind::Dip,
+    ]
+}
+
+/// Runs Table 5 on the primary model at 50 % MLP density.
+///
+/// # Errors
+///
+/// Propagates preparation and evaluation errors.
+pub fn run(scale: Scale) -> Result<Table5Output> {
+    let config = registry::primary_model(scale);
+    let mut wb = Workbench::new(&config, scale, registry::model_seed(&config))?;
+    let tasks = wb.task_suite.names();
+
+    let mut headers = vec!["Method".to_string()];
+    headers.extend(tasks.clone());
+    let mut table = Table::new(
+        format!("Table 5: per-task accuracy at 50% MLP sparsity ({})", config.name),
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+
+    let mut results = Vec::new();
+    for method in table5_methods() {
+        let density = if method == MethodKind::Dense { 1.0 } else { 0.5 };
+        let prepared = wb.prepare(method, density);
+        let per_task = match prepared {
+            Ok(mut p) => {
+                let mut accs = Vec::with_capacity(wb.task_suite.tasks.len());
+                for task in &wb.task_suite.tasks {
+                    let acc = eval::task_accuracy(&p.model, p.strategy.as_mut(), task)?;
+                    accs.push(100.0 * acc);
+                }
+                Some(accs)
+            }
+            Err(e) if e.is_unsupported() => None,
+            Err(e) => return Err(e),
+        };
+        let mut row = vec![method.label().to_string()];
+        match &per_task {
+            Some(accs) => row.extend(accs.iter().map(|a| format!("{a:.1}"))),
+            None => row.extend(tasks.iter().map(|_| "—".to_string())),
+        }
+        table.push_row(row);
+        results.push((method, per_task));
+    }
+
+    report::write_report("table5.md", &table.to_markdown());
+    report::write_report("table5.csv", &table.to_csv());
+    Ok(Table5Output {
+        model: config.name.clone(),
+        tasks,
+        results,
+        table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_perfect_and_dip_outperforms_weak_baselines_on_average() {
+        let out = run(Scale::Smoke).unwrap();
+        assert_eq!(out.tasks.len(), 5);
+        assert_eq!(out.results.len(), table5_methods().len());
+
+        let mean = |m: MethodKind| -> f64 {
+            let accs = out
+                .results
+                .iter()
+                .find(|(k, _)| *k == m)
+                .and_then(|(_, a)| a.clone())
+                .expect("method evaluated");
+            accs.iter().sum::<f64>() / accs.len() as f64
+        };
+        assert!((mean(MethodKind::Dense) - 100.0).abs() < 1e-9);
+        let dip = mean(MethodKind::Dip);
+        let oracle = mean(MethodKind::GluOracle);
+        assert!(oracle + 1e-9 >= dip * 0.9);
+        assert!(dip > 20.0, "DIP mean accuracy {dip}");
+        assert!(out.table.len() == table5_methods().len());
+    }
+}

@@ -1,0 +1,566 @@
+//! The per-model experiment workbench.
+//!
+//! A [`Workbench`] owns one synthetic model together with its calibration
+//! artefacts (activation trace, predictors, LoRA-fused variants, task suite)
+//! and exposes the two measurements every experiment is built from:
+//!
+//! * **quality** — perplexity and downstream-task accuracy of a method at a
+//!   target MLP density ([`Workbench::quality`]),
+//! * **throughput** — simulated tokens/s of a method on a given device and
+//!   cache policy ([`Workbench::throughput`]).
+
+use crate::convert::{layout_for_method, StaticOverhead, TraceBuilder};
+use crate::error::{ExpError, Result};
+use crate::methods::MethodKind;
+use crate::scale::Scale;
+use dip_core::strategies::{
+    CatsPruning, Dip, DipCacheAware, GatePruning, GluOraclePruning, GluPruning,
+    PredictiveGluPruning, UpPruning,
+};
+use dip_core::{lora, predictor, DensityAllocation, SparsityScheme};
+use hwsim::{AccessTrace, DeviceConfig, EvictionPolicy, ModelLayout, SimReport};
+use lm::mlp::DenseMlp;
+use lm::{build_synthetic, eval, trace, ActivationTrace, ModelConfig, MlpForward, TransformerModel};
+use quant::{PruningStructure, StaticPruner};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Quality measurement of one method at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityPoint {
+    /// Method label.
+    pub method: String,
+    /// WikiText-style token perplexity.
+    pub perplexity: f64,
+    /// Perplexity increase over the dense model.
+    pub ppl_delta: f64,
+    /// Mean downstream-task accuracy (percent).
+    pub accuracy_pct: f64,
+    /// Measured mean MLP weight density during the evaluation.
+    pub measured_density: f64,
+}
+
+/// A method instantiated against a specific model: the (possibly modified)
+/// weights, the MLP strategy, and its static DRAM overhead.
+pub struct PreparedMethod {
+    /// Report label.
+    pub label: String,
+    /// The model to run (original, LoRA-fused, quantized or statically pruned).
+    pub model: TransformerModel,
+    /// The MLP forward strategy.
+    pub strategy: Box<dyn MlpForward>,
+    /// Extra bytes pinned in DRAM (e.g. predictors).
+    pub overhead: StaticOverhead,
+}
+
+/// Per-model experiment state.
+pub struct Workbench {
+    /// Scale the workbench was built at.
+    pub scale: Scale,
+    /// The model configuration.
+    pub config: ModelConfig,
+    /// The dense synthetic model.
+    pub model: TransformerModel,
+    /// Held-out evaluation sequences.
+    pub eval_seqs: Vec<Vec<u32>>,
+    /// Calibration activation trace (thresholds, predictors, LoRA, fits).
+    pub calib_trace: ActivationTrace,
+    /// Downstream task suite.
+    pub task_suite: lm::TaskSuite,
+    /// Dense-model perplexity on the evaluation sequences.
+    pub dense_ppl: f64,
+    /// Dense-model task accuracy (always 1.0 by construction, kept for reports).
+    pub dense_accuracy: f64,
+    allocation: DensityAllocation,
+    predictors: Option<Vec<predictor::Predictor>>,
+    lora_dip: HashMap<u32, TransformerModel>,
+    lora_cats: HashMap<u32, TransformerModel>,
+}
+
+fn density_key(d: f32) -> u32 {
+    (d * 1000.0).round() as u32
+}
+
+impl Workbench {
+    /// Builds a workbench: synthesises the model, generates evaluation and
+    /// calibration corpora, collects the calibration trace and the task
+    /// suite, and records the dense baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model construction and evaluation errors.
+    pub fn new(config: &ModelConfig, scale: Scale, seed: u64) -> Result<Self> {
+        let model = build_synthetic(config, seed)?;
+        let eval_seqs = eval::standard_eval_corpus(
+            &model,
+            scale.eval_sequences(),
+            scale.eval_seq_len(),
+            seed ^ 0x00ff_00ff,
+        )?;
+        let calib_seqs = eval::standard_eval_corpus(
+            &model,
+            scale.calib_sequences(),
+            scale.calib_seq_len(),
+            seed ^ 0x1234_5678,
+        )?;
+        let calib_trace = trace::collect_activation_trace(&model, &calib_seqs)?;
+        let task_suite = eval::build_task_suite(&model, scale.task_prompts(), seed ^ 0xabcd)?;
+        let dense_ppl = eval::perplexity(&model, &mut DenseMlp, &eval_seqs)?.perplexity;
+        let dense_accuracy = eval::suite_accuracy(&model, &mut DenseMlp, &task_suite)?;
+        Ok(Workbench {
+            scale,
+            config: config.clone(),
+            model,
+            eval_seqs,
+            calib_trace,
+            task_suite,
+            dense_ppl,
+            dense_accuracy,
+            allocation: DensityAllocation::balanced(),
+            predictors: None,
+            lora_dip: HashMap::new(),
+            lora_cats: HashMap::new(),
+        })
+    }
+
+    /// The density allocation model used to split DIP's budget.
+    pub fn allocation(&self) -> DensityAllocation {
+        self.allocation
+    }
+
+    /// Replaces the density allocation model (e.g. with a fitted one from the
+    /// Appendix B.1 experiment).
+    pub fn set_allocation(&mut self, allocation: DensityAllocation) {
+        self.allocation = allocation;
+    }
+
+    fn predictors(&mut self) -> Result<Vec<predictor::Predictor>> {
+        if self.predictors.is_none() {
+            let cfg = predictor::PredictorTrainingConfig {
+                hidden: (self.config.d_model / 2).max(16),
+                epochs: self.scale.predictor_epochs(),
+                ..predictor::PredictorTrainingConfig::default()
+            };
+            let predictors = predictor::train_predictors(&self.model, &self.calib_trace, &cfg)?;
+            self.predictors = Some(predictors);
+        }
+        Ok(self.predictors.clone().expect("predictors just built"))
+    }
+
+    fn lora_config(&self) -> lora::LoraConfig {
+        lora::LoraConfig {
+            rank: 8,
+            epochs: self.scale.lora_epochs(),
+            learning_rate: 0.05,
+            seed: 7,
+        }
+    }
+
+    fn dip_lora_model(&mut self, target: f32) -> Result<TransformerModel> {
+        let key = density_key(target);
+        if !self.lora_dip.contains_key(&key) {
+            let dip = Dip::for_target_density(target, &self.allocation)?;
+            let tuned = lora::fine_tune_dip(&self.model, &self.calib_trace, &dip, &self.lora_config())?;
+            self.lora_dip.insert(key, tuned);
+        }
+        Ok(self.lora_dip[&key].clone())
+    }
+
+    fn cats_lora_model(&mut self, target: f32) -> Result<TransformerModel> {
+        let key = density_key(target);
+        if !self.lora_cats.contains_key(&key) {
+            let density = SparsityScheme::TwoOfThree.activation_density_for_target(target)?;
+            let cats = CatsPruning::calibrate(&self.model, &self.calib_trace, density)?;
+            let tuned =
+                lora::fine_tune_cats(&self.model, &self.calib_trace, &cats, &self.lora_config())?;
+            self.lora_cats.insert(key, tuned);
+        }
+        Ok(self.lora_cats[&key].clone())
+    }
+
+    /// Instantiates a method at a target MLP weight density.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExpError::Unsupported`] when the method cannot reach the
+    /// target density (e.g. GLU pruning below 2/3) and propagates calibration
+    /// or training errors otherwise. [`MethodKind::DipCacheAware`] needs a
+    /// device and must go through [`Workbench::prepare_dip_ca`].
+    pub fn prepare(&mut self, method: MethodKind, target_density: f32) -> Result<PreparedMethod> {
+        let label = method.label().to_string();
+        let model = self.model.clone();
+        let prepared = match method {
+            MethodKind::Dense => PreparedMethod {
+                label,
+                model,
+                strategy: Box::new(DenseMlp),
+                overhead: StaticOverhead::default(),
+            },
+            MethodKind::GluOracle => PreparedMethod {
+                label,
+                model,
+                strategy: Box::new(GluOraclePruning::new(target_density)?),
+                overhead: StaticOverhead::default(),
+            },
+            MethodKind::GluPruning => {
+                let d = SparsityScheme::DownOnly.activation_density_for_target(target_density)?;
+                PreparedMethod {
+                    label,
+                    model,
+                    strategy: Box::new(GluPruning::new(d)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::GatePruning => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
+                PreparedMethod {
+                    label,
+                    model,
+                    strategy: Box::new(GatePruning::new(d)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::UpPruning => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
+                PreparedMethod {
+                    label,
+                    model,
+                    strategy: Box::new(UpPruning::new(d)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::Cats => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
+                PreparedMethod {
+                    label,
+                    model,
+                    strategy: Box::new(CatsPruning::calibrate(&self.model, &self.calib_trace, d)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::CatsLora => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
+                let tuned = self.cats_lora_model(target_density)?;
+                PreparedMethod {
+                    label,
+                    model: tuned,
+                    strategy: Box::new(CatsPruning::calibrate(&self.model, &self.calib_trace, d)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::DejaVu => {
+                let predictors = self.predictors()?;
+                let overhead_params: usize = predictors.iter().map(|p| p.num_params()).sum();
+                PreparedMethod {
+                    label,
+                    model,
+                    strategy: Box::new(PredictiveGluPruning::new(predictors, target_density)?),
+                    // predictors are pinned in DRAM at FP16
+                    overhead: StaticOverhead {
+                        bytes: (overhead_params * 2) as u64,
+                    },
+                }
+            }
+            MethodKind::SparseGptUnstructured
+            | MethodKind::SparseGpt2of4
+            | MethodKind::SparseGpt4of8 => {
+                let structure = match method {
+                    MethodKind::SparseGptUnstructured => PruningStructure::Unstructured,
+                    MethodKind::SparseGpt2of4 => PruningStructure::two_four(),
+                    _ => PruningStructure::four_eight(),
+                };
+                if let Some(implied) = structure.implied_density() {
+                    if (implied - target_density).abs() > 0.05 {
+                        return Err(ExpError::Unsupported {
+                            reason: format!(
+                                "{} only realises {implied:.2} density, not {target_density:.2}",
+                                structure.name()
+                            ),
+                        });
+                    }
+                }
+                let pruner = StaticPruner::magnitude(structure);
+                let pruned = quant::model_ops::prune_mlp_static(&self.model, &pruner, target_density)?;
+                PreparedMethod {
+                    label,
+                    model: pruned,
+                    strategy: Box::new(DenseMlp),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::Dip => PreparedMethod {
+                label,
+                model,
+                strategy: Box::new(Dip::for_target_density(target_density, &self.allocation)?),
+                overhead: StaticOverhead::default(),
+            },
+            MethodKind::DipLora => {
+                let tuned = self.dip_lora_model(target_density)?;
+                PreparedMethod {
+                    label,
+                    model: tuned,
+                    strategy: Box::new(Dip::for_target_density(target_density, &self.allocation)?),
+                    overhead: StaticOverhead::default(),
+                }
+            }
+            MethodKind::DipCacheAware => {
+                return Err(ExpError::Unsupported {
+                    reason: "DIP-CA needs a device; use Workbench::prepare_dip_ca".to_string(),
+                })
+            }
+        };
+        Ok(prepared)
+    }
+
+    /// Instantiates cache-aware DIP for a specific device: the per-layer
+    /// cache capacities come from the same DRAM allocation the simulator will
+    /// use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and construction errors.
+    pub fn prepare_dip_ca(
+        &mut self,
+        target_density: f32,
+        gamma: f32,
+        device: &DeviceConfig,
+        bits_per_weight: f64,
+    ) -> Result<PreparedMethod> {
+        let dip = Dip::for_target_density(target_density, &self.allocation)?;
+        // The layout for DIP-CA has the same slicing axes as plain DIP.
+        let example = lm::MlpAccessRecord {
+            up: lm::MatrixAccess::input(vec![]),
+            gate: lm::MatrixAccess::input(vec![]),
+            down: lm::MatrixAccess::input(vec![]),
+        };
+        let layout = layout_for_method(&self.config, &example, bits_per_weight, StaticOverhead::default());
+        let allocation = hwsim::allocate(&layout, device)?;
+        let strategy = DipCacheAware::new(
+            dip.input_density(),
+            dip.glu_density(),
+            gamma,
+            self.config.d_model,
+            self.config.d_ff,
+            allocation.capacities,
+        )?;
+        Ok(PreparedMethod {
+            label: MethodKind::DipCacheAware.label().to_string(),
+            model: self.model.clone(),
+            strategy: Box::new(strategy),
+            overhead: StaticOverhead::default(),
+        })
+    }
+
+    /// Measures perplexity and downstream accuracy of a prepared method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn quality_of(&self, prepared: &mut PreparedMethod) -> Result<QualityPoint> {
+        let ppl = eval::perplexity(&prepared.model, prepared.strategy.as_mut(), &self.eval_seqs)?;
+        let accuracy =
+            eval::suite_accuracy(&prepared.model, prepared.strategy.as_mut(), &self.task_suite)?;
+        Ok(QualityPoint {
+            method: prepared.label.clone(),
+            perplexity: ppl.perplexity,
+            ppl_delta: ppl.perplexity - self.dense_ppl,
+            accuracy_pct: 100.0 * accuracy,
+            measured_density: ppl.mean_mlp_density,
+        })
+    }
+
+    /// Convenience: prepare + measure quality.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workbench::prepare`] and [`Workbench::quality_of`].
+    pub fn quality(&mut self, method: MethodKind, target_density: f32) -> Result<QualityPoint> {
+        let mut prepared = self.prepare(method, target_density)?;
+        self.quality_of(&mut prepared)
+    }
+
+    /// Generates `n_tokens` of text with the prepared method and records the
+    /// per-token weight accesses, returning the hardware layout and trace
+    /// ready for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn access_trace(
+        &self,
+        prepared: &mut PreparedMethod,
+        n_tokens: usize,
+        bits_per_weight: f64,
+    ) -> Result<(ModelLayout, AccessTrace)> {
+        prepared.strategy.reset();
+        let mut builder = TraceBuilder::new();
+        let mut state = prepared.model.new_decode_state();
+        let prompt: Vec<u32> = self.eval_seqs[0].iter().take(4).copied().collect();
+        let mut rng = tensor::init::rng(0x7a11);
+        let mut last = None;
+        for &t in &prompt {
+            let out = prepared
+                .model
+                .forward_token(t, &mut state, prepared.strategy.as_mut())?;
+            builder.push_token(&out.mlp_accesses);
+            last = Some(out);
+        }
+        let budget = n_tokens.min(self.config.max_seq_len.saturating_sub(prompt.len() + 1));
+        for _ in 0..budget {
+            let logits = &last.as_ref().expect("prompt is non-empty").logits;
+            let next = lm::model::sample_from_logits(logits, 1.0, &mut rng)?;
+            let out = prepared
+                .model
+                .forward_token(next, &mut state, prepared.strategy.as_mut())?;
+            builder.push_token(&out.mlp_accesses);
+            last = Some(out);
+        }
+        let example = builder
+            .example_record()
+            .cloned()
+            .unwrap_or_else(lm::MlpAccessRecord::dense);
+        let layout = layout_for_method(&self.config, &example, bits_per_weight, prepared.overhead);
+        Ok((layout, builder.into_trace()))
+    }
+
+    /// Simulates the throughput of a method at a target density on a device.
+    ///
+    /// All models are treated as INT4 (4 bits per weight), matching the
+    /// Table 2 setup; DIP-CA uses γ = 0.2, the paper's default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation, tracing and simulation errors.
+    pub fn throughput(
+        &mut self,
+        method: MethodKind,
+        target_density: f32,
+        device: &DeviceConfig,
+        policy: EvictionPolicy,
+    ) -> Result<SimReport> {
+        let bits = 4.0;
+        let mut prepared = match method {
+            MethodKind::DipCacheAware => self.prepare_dip_ca(target_density, 0.2, device, bits)?,
+            other => self.prepare(other, target_density)?,
+        };
+        let (layout, trace) = self.access_trace(&mut prepared, self.scale.sim_tokens(), bits)?;
+        Ok(hwsim::simulate(&layout, device, policy, &trace)?)
+    }
+
+    /// The device used by the Table 2 setup: an Apple-A18-class part whose
+    /// DRAM budget fits roughly 55 % of the INT4 model.
+    pub fn table2_device(&self) -> DeviceConfig {
+        let example = lm::MlpAccessRecord::dense();
+        let layout = layout_for_method(&self.config, &example, 4.0, StaticOverhead::default());
+        let dram = (layout.total_bytes() as f64 * 0.55) as u64;
+        DeviceConfig::apple_a18(4.0).with_dram_bytes(dram.max(layout.static_bytes + 1024))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workbench() -> Workbench {
+        Workbench::new(&ModelConfig::tiny(), Scale::Smoke, 3).unwrap()
+    }
+
+    #[test]
+    fn construction_populates_baselines() {
+        let wb = workbench();
+        assert!(wb.dense_ppl.is_finite() && wb.dense_ppl >= 1.0);
+        assert!((wb.dense_accuracy - 1.0).abs() < 1e-9);
+        assert_eq!(wb.eval_seqs.len(), Scale::Smoke.eval_sequences());
+        assert_eq!(wb.task_suite.tasks.len(), 5);
+        assert_eq!(wb.calib_trace.n_layers(), wb.config.n_layers);
+    }
+
+    #[test]
+    fn dense_quality_matches_baseline() {
+        let mut wb = workbench();
+        let q = wb.quality(MethodKind::Dense, 1.0).unwrap();
+        assert!((q.perplexity - wb.dense_ppl).abs() < 1e-9);
+        assert!((q.accuracy_pct - 100.0).abs() < 1e-9);
+        assert!((q.measured_density - 1.0).abs() < 1e-9);
+        assert!(q.ppl_delta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_methods_run_at_half_density() {
+        let mut wb = workbench();
+        for method in [
+            MethodKind::GluOracle,
+            MethodKind::GatePruning,
+            MethodKind::UpPruning,
+            MethodKind::Cats,
+            MethodKind::Dip,
+        ] {
+            let q = wb.quality(method, 0.5).unwrap();
+            assert!(
+                (q.measured_density - 0.5).abs() < 0.06,
+                "{method}: measured density {}",
+                q.measured_density
+            );
+            assert!(q.perplexity.is_finite());
+            assert!(q.accuracy_pct >= 0.0 && q.accuracy_pct <= 100.0);
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_are_reported() {
+        let mut wb = workbench();
+        let err = wb.quality(MethodKind::GluPruning, 0.5).unwrap_err();
+        assert!(err.is_unsupported());
+        let err = wb.quality(MethodKind::SparseGpt2of4, 0.8).unwrap_err();
+        assert!(err.is_unsupported());
+        let err = match wb.prepare(MethodKind::DipCacheAware, 0.5) {
+            Err(e) => e,
+            Ok(_) => panic!("DIP-CA without a device must be rejected"),
+        };
+        assert!(err.is_unsupported());
+    }
+
+    #[test]
+    fn static_pruning_and_dejavu_prepare_and_evaluate() {
+        let mut wb = workbench();
+        let q = wb.quality(MethodKind::SparseGptUnstructured, 0.5).unwrap();
+        // static pruning loads every (stored) weight, so measured density is 1
+        assert!((q.measured_density - 1.0).abs() < 1e-9);
+        let q = wb.quality(MethodKind::DejaVu, 0.5).unwrap();
+        assert!((q.measured_density - 0.5).abs() < 0.06);
+        // predictors add static overhead
+        let prepared = wb.prepare(MethodKind::DejaVu, 0.5).unwrap();
+        assert!(prepared.overhead.bytes > 0);
+    }
+
+    #[test]
+    fn throughput_simulation_prefers_sparsity_under_tight_dram() {
+        let mut wb = workbench();
+        let device = wb.table2_device();
+        let dense = wb
+            .throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)
+            .unwrap();
+        let dip = wb
+            .throughput(MethodKind::Dip, 0.5, &device, EvictionPolicy::Lfu)
+            .unwrap();
+        let dip_ca = wb
+            .throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)
+            .unwrap();
+        assert!(dip.throughput_tps > dense.throughput_tps);
+        assert!(dip_ca.hit_rate >= dip.hit_rate * 0.95);
+        assert!(dip_ca.throughput_tps > dense.throughput_tps);
+        assert!(dense.mean_density > dip.mean_density);
+    }
+
+    #[test]
+    fn lora_variants_reuse_cached_models() {
+        let mut wb = workbench();
+        let a = wb.quality(MethodKind::DipLora, 0.6).unwrap();
+        let b = wb.quality(MethodKind::DipLora, 0.6).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(wb.lora_dip.len(), 1);
+        let c = wb.quality(MethodKind::CatsLora, 0.6).unwrap();
+        assert!(c.perplexity.is_finite());
+        assert_eq!(wb.lora_cats.len(), 1);
+    }
+}

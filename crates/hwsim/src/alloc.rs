@@ -1,0 +1,150 @@
+//! DRAM allocation strategy.
+//!
+//! Following Appendix A of the paper: all layers that are not dynamically
+//! pruned (attention, embeddings, norms, KV cache, predictors) are statically
+//! pinned in DRAM; the remaining capacity is split across the MLP linear
+//! layers proportionally to their size, giving every linear layer the same
+//! *fraction* of cacheable columns.
+
+use crate::device::DeviceConfig;
+use crate::error::{Result, SimError};
+use crate::layout::ModelLayout;
+use serde::{Deserialize, Serialize};
+
+/// Per-block cache capacities, in columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockCacheCapacity {
+    /// Resident-column budget for the up projection.
+    pub up: usize,
+    /// Resident-column budget for the gate projection.
+    pub gate: usize,
+    /// Resident-column budget for the down projection.
+    pub down: usize,
+}
+
+/// Result of dividing the DRAM budget between static weights and MLP caches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramAllocation {
+    /// Bytes pinned for static (non-MLP) weights and KV cache.
+    pub static_bytes: u64,
+    /// Bytes available for MLP column caches.
+    pub mlp_cache_bytes: u64,
+    /// Fraction of the total MLP weights that fits in cache (clamped to 1).
+    pub cache_fraction: f64,
+    /// Per-block column capacities.
+    pub capacities: Vec<BlockCacheCapacity>,
+}
+
+impl DramAllocation {
+    /// Whether the entire model (static + MLP) fits in DRAM.
+    pub fn model_fits_entirely(&self) -> bool {
+        (self.cache_fraction - 1.0).abs() < f64::EPSILON || self.cache_fraction >= 1.0
+    }
+}
+
+/// Splits the device's DRAM between static weights and per-layer MLP caches.
+///
+/// # Errors
+///
+/// Returns [`SimError::StaticAllocationTooLarge`] when the static portion
+/// alone exceeds the DRAM capacity, and [`SimError::InvalidConfig`] for an
+/// empty layout or invalid device.
+pub fn allocate(layout: &ModelLayout, device: &DeviceConfig) -> Result<DramAllocation> {
+    device.validate()?;
+    if layout.blocks.is_empty() {
+        return Err(SimError::InvalidConfig {
+            field: "layout.blocks",
+            reason: "model layout must contain at least one MLP block".to_string(),
+        });
+    }
+    if layout.static_bytes > device.dram_capacity_bytes {
+        return Err(SimError::StaticAllocationTooLarge {
+            required: layout.static_bytes,
+            available: device.dram_capacity_bytes,
+        });
+    }
+    let remaining = device.dram_capacity_bytes - layout.static_bytes;
+    let mlp_bytes = layout.mlp_bytes().max(1);
+    let fraction = (remaining as f64 / mlp_bytes as f64).min(1.0);
+
+    let capacities = layout
+        .blocks
+        .iter()
+        .map(|b| BlockCacheCapacity {
+            up: ((b.up.n_columns as f64) * fraction).floor() as usize,
+            gate: ((b.gate.n_columns as f64) * fraction).floor() as usize,
+            down: ((b.down.n_columns as f64) * fraction).floor() as usize,
+        })
+        .collect();
+
+    Ok(DramAllocation {
+        static_bytes: layout.static_bytes,
+        mlp_cache_bytes: remaining.min(layout.mlp_bytes()),
+        cache_fraction: fraction,
+        capacities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    fn layout() -> ModelLayout {
+        ModelLayout::from_dims("m", 2, 100, 300, 8.0, 10_000)
+    }
+
+    #[test]
+    fn allocation_splits_remaining_capacity() {
+        let l = layout();
+        // mlp bytes: per block 3 * 100 * 300 = 90_000 -> 180_000 total at 8 bits
+        assert_eq!(l.mlp_bytes(), 180_000);
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(100_000);
+        let alloc = allocate(&l, &device).unwrap();
+        assert_eq!(alloc.static_bytes, 10_000);
+        assert_eq!(alloc.mlp_cache_bytes, 90_000);
+        assert!((alloc.cache_fraction - 0.5).abs() < 1e-9);
+        assert_eq!(alloc.capacities.len(), 2);
+        assert_eq!(alloc.capacities[0].up, 50);
+        assert_eq!(alloc.capacities[0].down, 150);
+        assert!(!alloc.model_fits_entirely());
+    }
+
+    #[test]
+    fn full_fit_clamps_fraction_to_one() {
+        let l = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(10_000_000);
+        let alloc = allocate(&l, &device).unwrap();
+        assert!((alloc.cache_fraction - 1.0).abs() < 1e-12);
+        assert!(alloc.model_fits_entirely());
+        assert_eq!(alloc.capacities[0].up, 100);
+        assert_eq!(alloc.mlp_cache_bytes, l.mlp_bytes());
+    }
+
+    #[test]
+    fn static_overflow_is_an_error() {
+        let l = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(5_000);
+        assert!(matches!(
+            allocate(&l, &device),
+            Err(SimError::StaticAllocationTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_layout_is_rejected() {
+        let mut l = layout();
+        l.blocks.clear();
+        let device = DeviceConfig::apple_a18(4.0);
+        assert!(allocate(&l, &device).is_err());
+    }
+
+    #[test]
+    fn zero_remaining_gives_zero_capacities() {
+        let l = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(10_000);
+        let alloc = allocate(&l, &device).unwrap();
+        assert_eq!(alloc.mlp_cache_bytes, 0);
+        assert_eq!(alloc.capacities[0].up, 0);
+    }
+}

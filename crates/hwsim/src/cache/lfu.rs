@@ -1,0 +1,172 @@
+//! Least-frequently-used column cache (the paper's default policy).
+
+use super::{AccessOutcome, ColumnCache, EvictionPolicy};
+use std::collections::HashMap;
+
+/// An LFU cache over weight columns.
+///
+/// Usage frequency is tracked for the whole session (also for columns that
+/// are currently evicted, as in "LLM in a Flash"); ties are broken by
+/// evicting the least recently used of the least frequently used columns.
+#[derive(Debug, Clone)]
+pub struct LfuColumnCache {
+    n_columns: usize,
+    capacity: usize,
+    /// column -> last access time (for resident columns only)
+    resident: HashMap<usize, u64>,
+    /// session-wide access frequency per column
+    frequency: Vec<u64>,
+    clock: u64,
+}
+
+impl LfuColumnCache {
+    /// Creates an empty LFU cache.
+    pub fn new(n_columns: usize, capacity: usize) -> Self {
+        LfuColumnCache {
+            n_columns,
+            capacity: capacity.min(n_columns),
+            resident: HashMap::new(),
+            frequency: vec![0; n_columns],
+            clock: 0,
+        }
+    }
+
+    /// Session-wide access count of a column.
+    pub fn frequency(&self, column: usize) -> u64 {
+        self.frequency.get(column).copied().unwrap_or(0)
+    }
+
+    fn evict_one(&mut self, protect: &[usize]) -> bool {
+        let victim = self
+            .resident
+            .iter()
+            .filter(|(col, _)| !protect.contains(col))
+            .min_by_key(|(col, time)| (self.frequency[**col], **time))
+            .map(|(col, _)| *col);
+        match victim {
+            Some(col) => {
+                self.resident.remove(&col);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl ColumnCache for LfuColumnCache {
+    fn n_columns(&self) -> usize {
+        self.n_columns
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn contains(&self, column: usize) -> bool {
+        self.resident.contains_key(&column)
+    }
+
+    fn access(&mut self, columns: &[usize]) -> AccessOutcome {
+        let mut outcome = AccessOutcome::default();
+        for &col in columns {
+            self.clock += 1;
+            if col < self.n_columns {
+                self.frequency[col] += 1;
+            }
+            if let Some(t) = self.resident.get_mut(&col) {
+                *t = self.clock;
+                outcome.hits += 1;
+                continue;
+            }
+            outcome.misses += 1;
+            if self.capacity == 0 || col >= self.n_columns {
+                continue;
+            }
+            if self.resident.len() >= self.capacity && !self.evict_one(columns) {
+                continue;
+            }
+            self.resident.insert(col, self.clock);
+        }
+        outcome
+    }
+
+    fn clear(&mut self) {
+        self.resident.clear();
+        self.frequency.iter_mut().for_each(|f| *f = 0);
+        self.clock = 0;
+    }
+
+    fn policy(&self) -> EvictionPolicy {
+        EvictionPolicy::Lfu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_insertion() {
+        let mut c = LfuColumnCache::new(8, 4);
+        assert_eq!(c.access(&[0, 1]).misses, 2);
+        assert_eq!(c.access(&[0, 1]).hits, 2);
+        assert_eq!(c.frequency(0), 2);
+        assert_eq!(c.frequency(5), 0);
+    }
+
+    #[test]
+    fn evicts_least_frequent() {
+        let mut c = LfuColumnCache::new(8, 2);
+        c.access(&[0]);
+        c.access(&[0]);
+        c.access(&[1]);
+        // 0 has frequency 2, 1 has frequency 1 -> inserting 2 evicts 1
+        c.access(&[2]);
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn frequency_survives_eviction() {
+        let mut c = LfuColumnCache::new(8, 1);
+        c.access(&[0]);
+        c.access(&[0]);
+        c.access(&[1]); // evicts 0, but 0's frequency (2) persists
+        assert_eq!(c.frequency(0), 2);
+        // re-inserting 1 vs 0: 0 should win future eviction contests
+        c.access(&[0]);
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn protects_current_token_columns() {
+        let mut c = LfuColumnCache::new(8, 2);
+        let out = c.access(&[3, 4, 5]);
+        assert_eq!(out.misses, 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_columns_count_as_misses_but_are_not_cached() {
+        let mut c = LfuColumnCache::new(4, 4);
+        let out = c.access(&[10]);
+        assert_eq!(out.misses, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_frequencies() {
+        let mut c = LfuColumnCache::new(4, 4);
+        c.access(&[0, 0, 1]);
+        c.clear();
+        assert_eq!(c.frequency(0), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.policy(), EvictionPolicy::Lfu);
+    }
+}

@@ -1,0 +1,154 @@
+//! Least-recently-used column cache.
+
+use super::{AccessOutcome, ColumnCache, EvictionPolicy};
+use std::collections::HashMap;
+
+/// An LRU cache over weight columns.
+///
+/// Recency is tracked with a monotonically increasing access clock; eviction
+/// removes the resident column with the smallest last-access time that is not
+/// demanded by the current token.
+#[derive(Debug, Clone)]
+pub struct LruColumnCache {
+    n_columns: usize,
+    capacity: usize,
+    /// column -> last access time
+    resident: HashMap<usize, u64>,
+    clock: u64,
+}
+
+impl LruColumnCache {
+    /// Creates an empty LRU cache.
+    pub fn new(n_columns: usize, capacity: usize) -> Self {
+        LruColumnCache {
+            n_columns,
+            capacity: capacity.min(n_columns),
+            resident: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn evict_one(&mut self, protect: &[usize]) -> bool {
+        let victim = self
+            .resident
+            .iter()
+            .filter(|(col, _)| !protect.contains(col))
+            .min_by_key(|(_, time)| **time)
+            .map(|(col, _)| *col);
+        match victim {
+            Some(col) => {
+                self.resident.remove(&col);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl ColumnCache for LruColumnCache {
+    fn n_columns(&self) -> usize {
+        self.n_columns
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn contains(&self, column: usize) -> bool {
+        self.resident.contains_key(&column)
+    }
+
+    fn access(&mut self, columns: &[usize]) -> AccessOutcome {
+        let mut outcome = AccessOutcome::default();
+        for &col in columns {
+            self.clock += 1;
+            if let Some(t) = self.resident.get_mut(&col) {
+                *t = self.clock;
+                outcome.hits += 1;
+                continue;
+            }
+            outcome.misses += 1;
+            if self.capacity == 0 {
+                continue;
+            }
+            if self.resident.len() >= self.capacity && !self.evict_one(columns) {
+                // every resident column is needed by this very token:
+                // load directly to the compute unit without caching
+                continue;
+            }
+            self.resident.insert(col, self.clock);
+        }
+        outcome
+    }
+
+    fn clear(&mut self) {
+        self.resident.clear();
+    }
+
+    fn policy(&self) -> EvictionPolicy {
+        EvictionPolicy::Lru
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_insertion() {
+        let mut c = LruColumnCache::new(8, 4);
+        assert_eq!(c.access(&[0, 1, 2]).misses, 3);
+        let out = c.access(&[0, 1, 2]);
+        assert_eq!(out.hits, 3);
+        assert_eq!(out.misses, 0);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruColumnCache::new(8, 2);
+        c.access(&[0]);
+        c.access(&[1]);
+        c.access(&[0]); // 0 is now more recent than 1
+        c.access(&[2]); // evicts 1
+        assert!(c.contains(0));
+        assert!(!c.contains(1));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn does_not_evict_columns_of_current_token() {
+        let mut c = LruColumnCache::new(8, 2);
+        // token demands 3 columns with capacity 2: the third is loaded
+        // directly and must not evict the first two
+        let out = c.access(&[0, 1, 2]);
+        assert_eq!(out.misses, 3);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(0) && c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn capacity_clamped_to_column_count_and_zero_capacity_works() {
+        let c = LruColumnCache::new(4, 100);
+        assert_eq!(c.capacity(), 4);
+        let mut c = LruColumnCache::new(4, 0);
+        let out = c.access(&[0, 1]);
+        assert_eq!(out.misses, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_and_mask() {
+        let mut c = LruColumnCache::new(4, 4);
+        c.access(&[1, 3]);
+        assert_eq!(c.cached_mask(), vec![false, true, false, true]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.policy(), EvictionPolicy::Lru);
+    }
+}

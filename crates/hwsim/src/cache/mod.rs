@@ -1,0 +1,195 @@
+//! DRAM column caches and eviction policies.
+//!
+//! The unit of caching is a *weight column* of one linear layer, matching the
+//! neuron-granular caching of the paper (Fig. 1 / Fig. 7). One cache instance
+//! manages one linear layer's columns; the model-level simulator owns one
+//! cache per (layer, matrix) pair.
+//!
+//! Implemented policies (Section 5.1 / Fig. 11):
+//! * [`NoCache`] — every access is a Flash read,
+//! * [`LruColumnCache`] — evict the least recently used column,
+//! * [`LfuColumnCache`] — evict the least frequently used column,
+//! * [`BeladyColumnCache`] — Belady's clairvoyant MIN oracle, which requires
+//!   the full future access trace.
+
+mod belady;
+mod lfu;
+mod lru;
+mod none;
+
+pub use belady::BeladyColumnCache;
+pub use lfu::LfuColumnCache;
+pub use lru::LruColumnCache;
+pub use none::NoCache;
+
+use crate::error::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Result of presenting one token's column demands to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Columns that were already resident in DRAM.
+    pub hits: usize,
+    /// Columns that had to be fetched from Flash.
+    pub misses: usize,
+}
+
+impl AccessOutcome {
+    /// Total number of columns accessed.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 1.0 when nothing was accessed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Accumulates another outcome into this one.
+    pub fn accumulate(&mut self, other: AccessOutcome) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Cache eviction policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// No DRAM cache: every access reads from Flash.
+    None,
+    /// Least-recently-used eviction.
+    Lru,
+    /// Least-frequently-used eviction (the paper's default).
+    Lfu,
+    /// Belady's clairvoyant oracle (upper bound; needs the future trace).
+    Belady,
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EvictionPolicy::None => "no-cache",
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::Belady => "belady",
+        };
+        f.write_str(s)
+    }
+}
+
+impl EvictionPolicy {
+    /// Builds a cache of this policy for a linear layer with `n_columns`
+    /// columns and room for `capacity` resident columns.
+    ///
+    /// `future` must be provided for [`EvictionPolicy::Belady`]: one entry
+    /// per upcoming token listing the columns that token will access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if Belady is requested without a
+    /// future trace.
+    pub fn build(
+        self,
+        n_columns: usize,
+        capacity: usize,
+        future: Option<&[Vec<usize>]>,
+    ) -> Result<Box<dyn ColumnCache>> {
+        match self {
+            EvictionPolicy::None => Ok(Box::new(NoCache::new(n_columns))),
+            EvictionPolicy::Lru => Ok(Box::new(LruColumnCache::new(n_columns, capacity))),
+            EvictionPolicy::Lfu => Ok(Box::new(LfuColumnCache::new(n_columns, capacity))),
+            EvictionPolicy::Belady => {
+                let future = future.ok_or(SimError::InvalidConfig {
+                    field: "future",
+                    reason: "Belady's oracle requires the future access trace".to_string(),
+                })?;
+                Ok(Box::new(BeladyColumnCache::new(n_columns, capacity, future)))
+            }
+        }
+    }
+}
+
+/// A DRAM cache over the columns of one linear layer.
+pub trait ColumnCache {
+    /// Number of columns in the backing weight matrix.
+    fn n_columns(&self) -> usize;
+
+    /// Maximum number of columns that can be resident at once.
+    fn capacity(&self) -> usize;
+
+    /// Number of columns currently resident.
+    fn len(&self) -> usize;
+
+    /// Whether no columns are resident.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the given column is resident.
+    fn contains(&self, column: usize) -> bool;
+
+    /// Boolean residency mask over all columns.
+    fn cached_mask(&self) -> Vec<bool> {
+        (0..self.n_columns()).map(|c| self.contains(c)).collect()
+    }
+
+    /// Presents one token's demanded columns. Resident columns count as hits;
+    /// missing columns count as misses and are inserted when space allows
+    /// (a column demanded by the *current* token is never evicted to make
+    /// room for another column of the same token — those columns are loaded
+    /// straight to the compute unit instead, as described in Section 6.4).
+    fn access(&mut self, columns: &[usize]) -> AccessOutcome;
+
+    /// Evicts everything.
+    fn clear(&mut self);
+
+    /// The eviction policy implemented by this cache.
+    fn policy(&self) -> EvictionPolicy;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accounting() {
+        let mut a = AccessOutcome { hits: 3, misses: 1 };
+        assert_eq!(a.total(), 4);
+        assert!((a.hit_rate() - 0.75).abs() < 1e-9);
+        a.accumulate(AccessOutcome { hits: 1, misses: 3 });
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert!((AccessOutcome::default().hit_rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factory_builds_every_policy() {
+        let future = vec![vec![0usize, 1], vec![2]];
+        for policy in [
+            EvictionPolicy::None,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::Belady,
+        ] {
+            let cache = policy.build(8, 4, Some(&future)).unwrap();
+            assert_eq!(cache.policy(), policy);
+            assert_eq!(cache.n_columns(), 8);
+        }
+    }
+
+    #[test]
+    fn belady_requires_future() {
+        assert!(EvictionPolicy::Belady.build(8, 4, None).is_err());
+        assert!(EvictionPolicy::Lfu.build(8, 4, None).is_ok());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EvictionPolicy::Lfu.to_string(), "lfu");
+        assert_eq!(EvictionPolicy::None.to_string(), "no-cache");
+    }
+}

@@ -1,0 +1,68 @@
+//! The "no DRAM cache" baseline: every weight access is a Flash read.
+
+use super::{AccessOutcome, ColumnCache, EvictionPolicy};
+
+/// A cache that never retains anything. Models the baseline where MLP weights
+/// are streamed from Flash for every token (Fig. 11, "DIP No cache").
+#[derive(Debug, Clone, Default)]
+pub struct NoCache {
+    n_columns: usize,
+}
+
+impl NoCache {
+    /// Creates a no-op cache for a matrix with `n_columns` columns.
+    pub fn new(n_columns: usize) -> Self {
+        NoCache { n_columns }
+    }
+}
+
+impl ColumnCache for NoCache {
+    fn n_columns(&self) -> usize {
+        self.n_columns
+    }
+
+    fn capacity(&self) -> usize {
+        0
+    }
+
+    fn len(&self) -> usize {
+        0
+    }
+
+    fn contains(&self, _column: usize) -> bool {
+        false
+    }
+
+    fn access(&mut self, columns: &[usize]) -> AccessOutcome {
+        AccessOutcome {
+            hits: 0,
+            misses: columns.len(),
+        }
+    }
+
+    fn clear(&mut self) {}
+
+    fn policy(&self) -> EvictionPolicy {
+        EvictionPolicy::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_a_miss() {
+        let mut c = NoCache::new(16);
+        let out = c.access(&[0, 1, 2, 3]);
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.misses, 4);
+        let out = c.access(&[0, 1, 2, 3]);
+        assert_eq!(out.hits, 0, "repeated access still misses");
+        assert!(c.is_empty());
+        assert!(!c.contains(0));
+        assert_eq!(c.cached_mask(), vec![false; 16]);
+        c.clear();
+        assert_eq!(c.capacity(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Device (SoC) configurations: DRAM capacity and memory bandwidths.
+//!
+//! Defaults follow Appendix A of the paper: DRAM I/O speed of 60 GB/s and an
+//! effective Flash read speed of 1 GB/s, in line with Apple A18-class parts;
+//! ablations vary the DRAM capacity (Table 6) and the Flash speed (Table 7).
+
+use serde::{Deserialize, Serialize};
+
+/// One gibibyte in bytes.
+pub const GIB: u64 = 1024 * 1024 * 1024;
+
+/// One gigabyte per second in bytes per second.
+pub const GB_PER_S: f64 = 1.0e9;
+
+/// Hardware parameters of a simulated mobile device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human readable name used in reports.
+    pub name: String,
+    /// DRAM capacity available to the LLM runtime, in bytes.
+    pub dram_capacity_bytes: u64,
+    /// DRAM read bandwidth in bytes per second.
+    pub dram_bandwidth: f64,
+    /// Effective Flash (UFS/NVMe) read bandwidth in bytes per second.
+    pub flash_bandwidth: f64,
+}
+
+impl DeviceConfig {
+    /// Apple-A18-class device with the given DRAM budget (GiB) for the LLM.
+    pub fn apple_a18(dram_gib: f64) -> Self {
+        DeviceConfig {
+            name: format!("apple-a18-{dram_gib}GiB"),
+            dram_capacity_bytes: (dram_gib * GIB as f64) as u64,
+            dram_bandwidth: 60.0 * GB_PER_S,
+            flash_bandwidth: 1.0 * GB_PER_S,
+        }
+    }
+
+    /// Snapdragon 8s Gen 3-class device with the given DRAM budget (GiB).
+    pub fn snapdragon_8s_gen3(dram_gib: f64) -> Self {
+        DeviceConfig {
+            name: format!("snapdragon-8s-gen3-{dram_gib}GiB"),
+            dram_capacity_bytes: (dram_gib * GIB as f64) as u64,
+            dram_bandwidth: 77.0 * GB_PER_S,
+            flash_bandwidth: 1.0 * GB_PER_S,
+        }
+    }
+
+    /// Budget phone: less DRAM for the LLM and slower flash.
+    pub fn budget_phone() -> Self {
+        DeviceConfig {
+            name: "budget-phone".to_string(),
+            dram_capacity_bytes: 2 * GIB,
+            dram_bandwidth: 30.0 * GB_PER_S,
+            flash_bandwidth: 0.5 * GB_PER_S,
+        }
+    }
+
+    /// Returns a copy with a different DRAM capacity (bytes).
+    pub fn with_dram_bytes(mut self, bytes: u64) -> Self {
+        self.dram_capacity_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with a different Flash bandwidth (bytes/s).
+    pub fn with_flash_bandwidth(mut self, bandwidth: f64) -> Self {
+        self.flash_bandwidth = bandwidth;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] when a bandwidth is not a
+    /// positive finite number or the DRAM capacity is zero.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.dram_capacity_bytes == 0 {
+            return Err(crate::SimError::InvalidConfig {
+                field: "dram_capacity_bytes",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        for (field, v) in [
+            ("dram_bandwidth", self.dram_bandwidth),
+            ("flash_bandwidth", self.flash_bandwidth),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(crate::SimError::InvalidConfig {
+                    field,
+                    reason: format!("must be a positive finite number, got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Time in seconds to read `bytes` from DRAM.
+    pub fn dram_read_time(&self, bytes: f64) -> f64 {
+        bytes / self.dram_bandwidth
+    }
+
+    /// Time in seconds to read `bytes` from Flash.
+    pub fn flash_read_time(&self, bytes: f64) -> f64 {
+        bytes / self.flash_bandwidth
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::apple_a18(4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DeviceConfig::apple_a18(4.0).validate().unwrap();
+        DeviceConfig::snapdragon_8s_gen3(6.0).validate().unwrap();
+        DeviceConfig::budget_phone().validate().unwrap();
+    }
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let d = DeviceConfig::default();
+        assert!((d.dram_bandwidth - 60.0 * GB_PER_S).abs() < 1e-3);
+        assert!((d.flash_bandwidth - 1.0 * GB_PER_S).abs() < 1e-3);
+        assert_eq!(d.dram_capacity_bytes, 4 * GIB);
+    }
+
+    #[test]
+    fn builders_modify_fields() {
+        let d = DeviceConfig::apple_a18(4.0)
+            .with_dram_bytes(123)
+            .with_flash_bandwidth(2.0 * GB_PER_S);
+        assert_eq!(d.dram_capacity_bytes, 123);
+        assert!((d.flash_bandwidth - 2.0 * GB_PER_S).abs() < 1e-3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(DeviceConfig::apple_a18(4.0).with_dram_bytes(0).validate().is_err());
+        assert!(DeviceConfig::apple_a18(4.0)
+            .with_flash_bandwidth(0.0)
+            .validate()
+            .is_err());
+        assert!(DeviceConfig::apple_a18(4.0)
+            .with_flash_bandwidth(f64::NAN)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn flash_is_slower_than_dram() {
+        let d = DeviceConfig::default();
+        assert!(d.flash_read_time(1e9) > d.dram_read_time(1e9) * 10.0);
+    }
+}

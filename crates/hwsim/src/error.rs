@@ -1,0 +1,65 @@
+//! Error type for the hardware simulator.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced by simulator configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value was invalid (zero bandwidth, empty layout, …).
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The statically allocated weights do not fit in the available DRAM.
+    StaticAllocationTooLarge {
+        /// Bytes required by static weights (attention, embeddings, KV cache, …).
+        required: u64,
+        /// Bytes of DRAM available.
+        available: u64,
+    },
+    /// A trace referenced a layer or column outside the model layout.
+    TraceOutOfRange {
+        /// Description of the offending reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid simulator config `{field}`: {reason}")
+            }
+            SimError::StaticAllocationTooLarge { required, available } => write!(
+                f,
+                "static weights require {required} bytes but only {available} bytes of DRAM are available"
+            ),
+            SimError::TraceOutOfRange { what } => write!(f, "trace out of range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::InvalidConfig { field: "dram", reason: "zero".into() }
+            .to_string()
+            .contains("dram"));
+        assert!(SimError::StaticAllocationTooLarge { required: 10, available: 5 }
+            .to_string()
+            .contains("10"));
+        assert!(SimError::TraceOutOfRange { what: "layer 9".into() }
+            .to_string()
+            .contains("layer 9"));
+    }
+}

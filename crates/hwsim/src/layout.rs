@@ -1,0 +1,146 @@
+//! Memory layout of a model as seen by the hardware simulator.
+//!
+//! The simulator does not know about weights or activations — only about how
+//! many bytes live where. A [`ModelLayout`] describes the statically resident
+//! portion (attention, embeddings, norms, KV cache, any predictor overhead)
+//! plus, for every MLP block, the column structure of its three linear layers
+//! (the units of dynamic caching).
+
+use serde::{Deserialize, Serialize};
+
+/// Column structure of a single linear layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearLayout {
+    /// Number of weight columns (the caching granularity).
+    pub n_columns: usize,
+    /// Size of one column in bytes at the chosen weight precision.
+    pub bytes_per_column: u64,
+}
+
+impl LinearLayout {
+    /// Total size of the layer in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.n_columns as u64 * self.bytes_per_column
+    }
+}
+
+/// Layout of one MLP block (up, gate and down projections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpBlockLayout {
+    /// Up projection: columns indexed by the `d_model` dimension.
+    pub up: LinearLayout,
+    /// Gate projection: columns indexed by the `d_model` dimension.
+    pub gate: LinearLayout,
+    /// Down projection: columns indexed by the `d_ff` dimension.
+    pub down: LinearLayout,
+}
+
+impl MlpBlockLayout {
+    /// Total bytes of the block.
+    pub fn total_bytes(&self) -> u64 {
+        self.up.total_bytes() + self.gate.total_bytes() + self.down.total_bytes()
+    }
+}
+
+/// Memory layout of a whole model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelLayout {
+    /// Name used in reports.
+    pub name: String,
+    /// Weight precision in bits (e.g. 4.0 for INT4, 16.0 for FP16).
+    pub bits_per_weight: f64,
+    /// Bytes that are statically pinned in DRAM: attention weights,
+    /// embeddings, norms, KV cache and any auxiliary modules (predictors).
+    pub static_bytes: u64,
+    /// One layout entry per transformer block.
+    pub blocks: Vec<MlpBlockLayout>,
+}
+
+impl ModelLayout {
+    /// Builds a layout from raw transformer dimensions.
+    ///
+    /// `static_bytes` should include everything that is not an MLP weight;
+    /// callers typically compute it from the model configuration plus the
+    /// KV-cache size and any per-method overhead (e.g. DejaVu predictors).
+    pub fn from_dims(
+        name: impl Into<String>,
+        n_layers: usize,
+        d_model: usize,
+        d_ff: usize,
+        bits_per_weight: f64,
+        static_bytes: u64,
+    ) -> Self {
+        let col_bytes = |rows: usize| ((rows as f64) * bits_per_weight / 8.0).ceil() as u64;
+        let block = MlpBlockLayout {
+            up: LinearLayout {
+                n_columns: d_model,
+                bytes_per_column: col_bytes(d_ff),
+            },
+            gate: LinearLayout {
+                n_columns: d_model,
+                bytes_per_column: col_bytes(d_ff),
+            },
+            down: LinearLayout {
+                n_columns: d_ff,
+                bytes_per_column: col_bytes(d_model),
+            },
+        };
+        ModelLayout {
+            name: name.into(),
+            bits_per_weight,
+            static_bytes,
+            blocks: vec![block; n_layers],
+        }
+    }
+
+    /// Number of MLP blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total MLP bytes (the dynamically cacheable portion).
+    pub fn mlp_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.total_bytes()).sum()
+    }
+
+    /// Total model bytes (static + MLP).
+    pub fn total_bytes(&self) -> u64 {
+        self.static_bytes + self.mlp_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dims_matches_manual_accounting() {
+        let layout = ModelLayout::from_dims("m", 2, 8, 24, 4.0, 1000);
+        assert_eq!(layout.n_blocks(), 2);
+        let block = &layout.blocks[0];
+        // up: 8 columns of 24 weights at 4 bits = 12 bytes each
+        assert_eq!(block.up.n_columns, 8);
+        assert_eq!(block.up.bytes_per_column, 12);
+        // down: 24 columns of 8 weights at 4 bits = 4 bytes each
+        assert_eq!(block.down.n_columns, 24);
+        assert_eq!(block.down.bytes_per_column, 4);
+        // per block: 2*8*12 + 24*4 = 288 bytes = 3 * 8 * 24 * 0.5
+        assert_eq!(block.total_bytes(), 288);
+        assert_eq!(layout.mlp_bytes(), 576);
+        assert_eq!(layout.total_bytes(), 1576);
+    }
+
+    #[test]
+    fn higher_precision_means_more_bytes() {
+        let int4 = ModelLayout::from_dims("a", 4, 64, 256, 4.0, 0);
+        let fp16 = ModelLayout::from_dims("b", 4, 64, 256, 16.0, 0);
+        assert_eq!(fp16.mlp_bytes(), 4 * int4.mlp_bytes());
+    }
+
+    #[test]
+    fn fractional_bit_widths_round_up_per_column() {
+        let layout = ModelLayout::from_dims("c", 1, 10, 10, 3.0, 0);
+        // 10 weights at 3 bits = 30 bits = 3.75 bytes -> 4 bytes per column
+        assert_eq!(layout.blocks[0].up.bytes_per_column, 4);
+    }
+}

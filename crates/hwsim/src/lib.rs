@@ -1,0 +1,45 @@
+//! Mobile-SoC hardware simulator for memory-bound LLM token generation.
+//!
+//! This crate re-implements the paper's HW simulator (Appendix A): it models
+//! the data transfers between Flash, DRAM and the compute unit during token
+//! generation and derives per-token latency and throughput from them. It
+//! knows nothing about neural networks — only about bytes, columns and
+//! caches — which keeps it reusable for any dynamic sparsity method.
+//!
+//! * [`DeviceConfig`] — DRAM capacity and DRAM/Flash bandwidths (Apple A18
+//!   and Snapdragon-class presets, plus ablation knobs),
+//! * [`ModelLayout`] — static vs dynamically-cached bytes of a model,
+//! * [`alloc::allocate`] — static pinning + uniform per-layer cache split,
+//! * [`cache`] — LRU / LFU / Belady-oracle / no-cache column caches,
+//! * [`AccessTrace`] — which columns each token needed,
+//! * [`simulate`] — replay a trace and report latency, throughput, hit rate.
+//!
+//! # Example
+//!
+//! ```
+//! use hwsim::{DeviceConfig, ModelLayout, EvictionPolicy, simulate_dense};
+//!
+//! let layout = ModelLayout::from_dims("demo", 4, 64, 192, 4.0, 50_000);
+//! let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(200_000);
+//! let report = simulate_dense(&layout, &device, EvictionPolicy::Lfu, 10)?;
+//! assert!(report.throughput_tps > 0.0);
+//! # Ok::<(), hwsim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod cache;
+pub mod device;
+pub mod error;
+pub mod layout;
+pub mod sim;
+pub mod trace;
+
+pub use alloc::{allocate, BlockCacheCapacity, DramAllocation};
+pub use cache::{AccessOutcome, ColumnCache, EvictionPolicy};
+pub use device::{DeviceConfig, GB_PER_S, GIB};
+pub use error::{Result, SimError};
+pub use layout::{LinearLayout, MlpBlockLayout, ModelLayout};
+pub use sim::{simulate, simulate_dense, SimReport};
+pub use trace::{AccessSet, AccessTrace, BlockAccess, TokenAccess};

@@ -1,0 +1,309 @@
+//! Token-generation latency/throughput simulation.
+//!
+//! The simulator replays an [`AccessTrace`] against a [`ModelLayout`] on a
+//! [`DeviceConfig`]: statically pinned weights are read from DRAM every
+//! token, dynamically cached MLP columns are read from DRAM on a hit and from
+//! Flash on a miss, and the resulting per-token latency is
+//!
+//! `t = static_bytes / BW_dram + hit_bytes / BW_dram + miss_bytes / BW_flash`.
+//!
+//! NPU compute time is not modelled, following Appendix A of the paper
+//! (token generation is memory-bound).
+
+use crate::alloc::{allocate, DramAllocation};
+use crate::cache::{AccessOutcome, ColumnCache, EvictionPolicy};
+use crate::device::DeviceConfig;
+use crate::error::{Result, SimError};
+use crate::layout::ModelLayout;
+use crate::trace::{AccessTrace, BlockAccess};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate result of simulating one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Model name (copied from the layout).
+    pub model: String,
+    /// Cache eviction policy used.
+    pub policy: EvictionPolicy,
+    /// Number of simulated tokens.
+    pub tokens: usize,
+    /// Total latency over the trace, in seconds.
+    pub total_latency_s: f64,
+    /// Tokens per second.
+    pub throughput_tps: f64,
+    /// Total bytes read from Flash.
+    pub flash_bytes: f64,
+    /// Total bytes read from DRAM (static weights + cached columns).
+    pub dram_bytes: f64,
+    /// Column-cache hits across all layers and tokens.
+    pub hits: u64,
+    /// Column-cache misses across all layers and tokens.
+    pub misses: u64,
+    /// Column-cache hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Fraction of MLP weights that fit in the DRAM cache.
+    pub cache_fraction: f64,
+    /// Mean MLP weight density of the trace.
+    pub mean_density: f64,
+}
+
+impl SimReport {
+    /// Average per-token latency in milliseconds.
+    pub fn latency_ms_per_token(&self) -> f64 {
+        if self.tokens == 0 {
+            0.0
+        } else {
+            1e3 * self.total_latency_s / self.tokens as f64
+        }
+    }
+}
+
+/// One cache per (block, matrix) pair.
+struct BlockCaches {
+    up: Box<dyn ColumnCache>,
+    gate: Box<dyn ColumnCache>,
+    down: Box<dyn ColumnCache>,
+}
+
+fn build_caches(
+    layout: &ModelLayout,
+    allocation: &DramAllocation,
+    policy: EvictionPolicy,
+    trace: &AccessTrace,
+) -> Result<Vec<BlockCaches>> {
+    let mut caches = Vec::with_capacity(layout.blocks.len());
+    for (bi, (block, cap)) in layout
+        .blocks
+        .iter()
+        .zip(allocation.capacities.iter())
+        .enumerate()
+    {
+        let build = |n_columns: usize,
+                     capacity: usize,
+                     select: fn(&BlockAccess) -> &crate::trace::AccessSet|
+         -> Result<Box<dyn ColumnCache>> {
+            let future;
+            let future_ref = if policy == EvictionPolicy::Belady {
+                future = trace.per_matrix_sequence(bi, select, n_columns);
+                Some(future.as_slice())
+            } else {
+                None
+            };
+            policy.build(n_columns, capacity, future_ref)
+        };
+        caches.push(BlockCaches {
+            up: build(block.up.n_columns, cap.up, |b| &b.up)?,
+            gate: build(block.gate.n_columns, cap.gate, |b| &b.gate)?,
+            down: build(block.down.n_columns, cap.down, |b| &b.down)?,
+        });
+    }
+    Ok(caches)
+}
+
+/// Replays `trace` and returns latency, throughput and cache statistics.
+///
+/// # Errors
+///
+/// Returns [`SimError::TraceOutOfRange`] if the trace references more blocks
+/// than the layout has, plus any allocation/configuration error.
+pub fn simulate(
+    layout: &ModelLayout,
+    device: &DeviceConfig,
+    policy: EvictionPolicy,
+    trace: &AccessTrace,
+) -> Result<SimReport> {
+    let allocation = allocate(layout, device)?;
+    let mut caches = build_caches(layout, &allocation, policy, trace)?;
+
+    let mut total_latency = 0.0f64;
+    let mut flash_bytes = 0.0f64;
+    let mut dram_bytes = 0.0f64;
+    let mut outcome_total = AccessOutcome::default();
+
+    for token in &trace.tokens {
+        if token.blocks.len() > layout.blocks.len() {
+            return Err(SimError::TraceOutOfRange {
+                what: format!(
+                    "token references {} blocks but layout has {}",
+                    token.blocks.len(),
+                    layout.blocks.len()
+                ),
+            });
+        }
+        let mut token_dram = layout.static_bytes as f64;
+        let mut token_flash = 0.0f64;
+
+        for (bi, block_access) in token.blocks.iter().enumerate() {
+            let block_layout = &layout.blocks[bi];
+            let block_caches = &mut caches[bi];
+
+            for (access, linear, cache) in [
+                (&block_access.up, &block_layout.up, &mut block_caches.up),
+                (&block_access.gate, &block_layout.gate, &mut block_caches.gate),
+                (&block_access.down, &block_layout.down, &mut block_caches.down),
+            ] {
+                let cols = access.indices(linear.n_columns);
+                let outcome = cache.access(&cols);
+                outcome_total.accumulate(outcome);
+                token_dram += outcome.hits as f64 * linear.bytes_per_column as f64;
+                token_flash += outcome.misses as f64 * linear.bytes_per_column as f64;
+            }
+        }
+
+        total_latency += device.dram_read_time(token_dram) + device.flash_read_time(token_flash);
+        dram_bytes += token_dram;
+        flash_bytes += token_flash;
+    }
+
+    let tokens = trace.n_tokens();
+    Ok(SimReport {
+        model: layout.name.clone(),
+        policy,
+        tokens,
+        total_latency_s: total_latency,
+        throughput_tps: if total_latency > 0.0 {
+            tokens as f64 / total_latency
+        } else {
+            0.0
+        },
+        flash_bytes,
+        dram_bytes,
+        hits: outcome_total.hits as u64,
+        misses: outcome_total.misses as u64,
+        hit_rate: outcome_total.hit_rate(),
+        cache_fraction: allocation.cache_fraction,
+        mean_density: trace.mean_density(layout),
+    })
+}
+
+/// Simulates the dense baseline (every column of every MLP block needed every
+/// token) for `n_tokens` tokens.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_dense(
+    layout: &ModelLayout,
+    device: &DeviceConfig,
+    policy: EvictionPolicy,
+    n_tokens: usize,
+) -> Result<SimReport> {
+    let trace = AccessTrace::dense(n_tokens, layout.n_blocks());
+    simulate(layout, device, policy, &trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{AccessSet, TokenAccess};
+
+    fn layout() -> ModelLayout {
+        // 4 blocks, d_model 64, d_ff 192, 8-bit weights, 100 kB static
+        ModelLayout::from_dims("test-model", 4, 64, 192, 8.0, 100_000)
+    }
+
+    fn device(dram_bytes: u64) -> DeviceConfig {
+        DeviceConfig::apple_a18(4.0).with_dram_bytes(dram_bytes)
+    }
+
+    fn sparse_trace(n_tokens: usize, n_blocks: usize, density: f64) -> AccessTrace {
+        let mut trace = AccessTrace::new();
+        let up_k = (64.0 * density) as usize;
+        let down_k = (192.0 * density) as usize;
+        for t in 0..n_tokens {
+            let blocks = (0..n_blocks)
+                .map(|b| BlockAccess {
+                    up: AccessSet::Subset((0..up_k).map(|i| (i + t + b) % 64).collect()),
+                    gate: AccessSet::Subset((0..up_k).map(|i| (i + t + b) % 64).collect()),
+                    down: AccessSet::Subset((0..down_k).map(|i| (i + 2 * t + b) % 192).collect()),
+                })
+                .collect();
+            trace.push(TokenAccess { blocks });
+        }
+        trace
+    }
+
+    #[test]
+    fn dense_throughput_improves_with_more_dram() {
+        let l = layout();
+        let small = simulate_dense(&l, &device(150_000), EvictionPolicy::Lfu, 20).unwrap();
+        let big = simulate_dense(&l, &device(400_000), EvictionPolicy::Lfu, 20).unwrap();
+        assert!(big.throughput_tps > small.throughput_tps);
+        assert!(big.hit_rate > small.hit_rate);
+        assert!((small.mean_density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_dram_means_no_flash_traffic_after_warmup() {
+        let l = layout();
+        let report = simulate_dense(&l, &device(10_000_000), EvictionPolicy::Lfu, 10).unwrap();
+        // first token warms the cache; remaining 9 tokens are all hits
+        assert!(report.hit_rate > 0.85);
+        assert!(report.cache_fraction >= 1.0);
+    }
+
+    #[test]
+    fn sparsity_reduces_latency_under_tight_dram() {
+        let l = layout();
+        let d = device(200_000);
+        let dense = simulate_dense(&l, &d, EvictionPolicy::Lfu, 30).unwrap();
+        let sparse = simulate(&l, &d, EvictionPolicy::Lfu, &sparse_trace(30, 4, 0.5)).unwrap();
+        assert!(
+            sparse.throughput_tps > dense.throughput_tps,
+            "sparse {} <= dense {}",
+            sparse.throughput_tps,
+            dense.throughput_tps
+        );
+        assert!(sparse.mean_density < 0.55);
+    }
+
+    #[test]
+    fn no_cache_is_slowest_belady_is_not_worse_than_lru() {
+        let l = layout();
+        let d = device(250_000);
+        let trace = sparse_trace(40, 4, 0.4);
+        let none = simulate(&l, &d, EvictionPolicy::None, &trace).unwrap();
+        let lru = simulate(&l, &d, EvictionPolicy::Lru, &trace).unwrap();
+        let lfu = simulate(&l, &d, EvictionPolicy::Lfu, &trace).unwrap();
+        let belady = simulate(&l, &d, EvictionPolicy::Belady, &trace).unwrap();
+        assert!(none.throughput_tps <= lru.throughput_tps);
+        assert!(none.throughput_tps <= lfu.throughput_tps);
+        assert!(belady.hits >= lru.hits);
+        assert!(belady.hits >= lfu.hits);
+        assert_eq!(none.hits, 0);
+    }
+
+    #[test]
+    fn latency_accounting_is_consistent() {
+        let l = layout();
+        let d = device(200_000);
+        let trace = sparse_trace(5, 4, 0.5);
+        let r = simulate(&l, &d, EvictionPolicy::Lfu, &trace).unwrap();
+        let expected = d.dram_read_time(r.dram_bytes) + d.flash_read_time(r.flash_bytes);
+        assert!((r.total_latency_s - expected).abs() / expected < 1e-9);
+        assert!(r.latency_ms_per_token() > 0.0);
+        assert_eq!(r.tokens, 5);
+        assert_eq!(r.model, "test-model");
+    }
+
+    #[test]
+    fn trace_with_too_many_blocks_is_rejected() {
+        let l = layout();
+        let d = device(200_000);
+        let trace = sparse_trace(2, 6, 0.5);
+        assert!(matches!(
+            simulate(&l, &d, EvictionPolicy::Lfu, &trace),
+            Err(SimError::TraceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_produces_zero_tokens() {
+        let l = layout();
+        let d = device(200_000);
+        let r = simulate(&l, &d, EvictionPolicy::Lfu, &AccessTrace::new()).unwrap();
+        assert_eq!(r.tokens, 0);
+        assert_eq!(r.throughput_tps, 0.0);
+        assert_eq!(r.latency_ms_per_token(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Access traces: which weight columns each token needed.
+//!
+//! Traces are produced by running a sparsity method over an evaluation
+//! corpus (the `dip-core` strategies report per-token
+//! [`lm::MlpAccessRecord`]s, which the experiment harness converts into this
+//! crate's representation) and are then replayed through the simulator to
+//! obtain latency and throughput.
+
+use serde::{Deserialize, Serialize};
+
+/// The set of columns of one linear layer accessed by one token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessSet {
+    /// All columns were needed (dense computation of this layer).
+    All,
+    /// Only the listed columns were needed.
+    Subset(Vec<usize>),
+}
+
+impl AccessSet {
+    /// Materialises the accessed column indices.
+    pub fn indices(&self, n_columns: usize) -> Vec<usize> {
+        match self {
+            AccessSet::All => (0..n_columns).collect(),
+            AccessSet::Subset(v) => v.clone(),
+        }
+    }
+
+    /// Number of accessed columns.
+    pub fn count(&self, n_columns: usize) -> usize {
+        match self {
+            AccessSet::All => n_columns,
+            AccessSet::Subset(v) => v.len(),
+        }
+    }
+
+    /// Fraction of columns accessed.
+    pub fn density(&self, n_columns: usize) -> f64 {
+        if n_columns == 0 {
+            1.0
+        } else {
+            self.count(n_columns) as f64 / n_columns as f64
+        }
+    }
+}
+
+impl Default for AccessSet {
+    fn default() -> Self {
+        AccessSet::All
+    }
+}
+
+/// Per-token accesses to one MLP block.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockAccess {
+    /// Columns of the up projection.
+    pub up: AccessSet,
+    /// Columns of the gate projection.
+    pub gate: AccessSet,
+    /// Columns of the down projection.
+    pub down: AccessSet,
+}
+
+/// Accesses of a single generated token across every MLP block.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenAccess {
+    /// One entry per transformer block.
+    pub blocks: Vec<BlockAccess>,
+}
+
+/// A full access trace over a sequence of generated tokens.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    /// One entry per token.
+    pub tokens: Vec<TokenAccess>,
+}
+
+impl AccessTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        AccessTrace::default()
+    }
+
+    /// Creates a fully dense trace for `n_tokens` tokens and `n_blocks` blocks
+    /// (the baseline that streams the whole model).
+    pub fn dense(n_tokens: usize, n_blocks: usize) -> Self {
+        AccessTrace {
+            tokens: (0..n_tokens)
+                .map(|_| TokenAccess {
+                    blocks: vec![BlockAccess::default(); n_blocks],
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of tokens in the trace.
+    pub fn n_tokens(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of blocks per token (0 for an empty trace).
+    pub fn n_blocks(&self) -> usize {
+        self.tokens.first().map(|t| t.blocks.len()).unwrap_or(0)
+    }
+
+    /// Appends one token's accesses.
+    pub fn push(&mut self, token: TokenAccess) {
+        self.tokens.push(token);
+    }
+
+    /// Mean MLP weight density over tokens and blocks for the given layout.
+    pub fn mean_density(&self, layout: &crate::layout::ModelLayout) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for token in &self.tokens {
+            for (block, bl) in token.blocks.iter().zip(layout.blocks.iter()) {
+                let up_b = block.up.density(bl.up.n_columns) * bl.up.total_bytes() as f64;
+                let gate_b = block.gate.density(bl.gate.n_columns) * bl.gate.total_bytes() as f64;
+                let down_b = block.down.density(bl.down.n_columns) * bl.down.total_bytes() as f64;
+                let total = bl.total_bytes() as f64;
+                if total > 0.0 {
+                    sum += (up_b + gate_b + down_b) / total;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Extracts, for one (block, matrix) pair, the per-token column accesses —
+    /// the "future" sequence that Belady's oracle needs.
+    pub fn per_matrix_sequence(
+        &self,
+        block: usize,
+        select: impl Fn(&BlockAccess) -> &AccessSet,
+        n_columns: usize,
+    ) -> Vec<Vec<usize>> {
+        self.tokens
+            .iter()
+            .map(|t| {
+                t.blocks
+                    .get(block)
+                    .map(|b| select(b).indices(n_columns))
+                    .unwrap_or_default()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ModelLayout;
+
+    #[test]
+    fn access_set_counts() {
+        assert_eq!(AccessSet::All.count(10), 10);
+        assert_eq!(AccessSet::Subset(vec![1, 2]).count(10), 2);
+        assert!((AccessSet::Subset(vec![1, 2]).density(10) - 0.2).abs() < 1e-12);
+        assert_eq!(AccessSet::All.indices(3), vec![0, 1, 2]);
+        assert!((AccessSet::All.density(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_trace_shape() {
+        let t = AccessTrace::dense(5, 3);
+        assert_eq!(t.n_tokens(), 5);
+        assert_eq!(t.n_blocks(), 3);
+        let layout = ModelLayout::from_dims("m", 3, 16, 48, 8.0, 0);
+        assert!((t.mean_density(&layout) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_density_of_half_sparse_trace() {
+        let layout = ModelLayout::from_dims("m", 1, 10, 20, 8.0, 0);
+        let mut trace = AccessTrace::new();
+        trace.push(TokenAccess {
+            blocks: vec![BlockAccess {
+                up: AccessSet::Subset((0..5).collect()),
+                gate: AccessSet::Subset((0..5).collect()),
+                down: AccessSet::Subset((0..10).collect()),
+            }],
+        });
+        assert!((trace.mean_density(&layout) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_density_is_one() {
+        let layout = ModelLayout::from_dims("m", 1, 10, 20, 8.0, 0);
+        assert!((AccessTrace::new().mean_density(&layout) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_matrix_sequence_extraction() {
+        let mut trace = AccessTrace::new();
+        for i in 0..3usize {
+            trace.push(TokenAccess {
+                blocks: vec![BlockAccess {
+                    up: AccessSet::Subset(vec![i]),
+                    gate: AccessSet::All,
+                    down: AccessSet::Subset(vec![i, i + 1]),
+                }],
+            });
+        }
+        let seq = trace.per_matrix_sequence(0, |b| &b.down, 20);
+        assert_eq!(seq, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let seq = trace.per_matrix_sequence(0, |b| &b.gate, 4);
+        assert_eq!(seq[0], vec![0, 1, 2, 3]);
+        // out-of-range block index yields empty accesses
+        let seq = trace.per_matrix_sequence(5, |b| &b.up, 4);
+        assert!(seq.iter().all(|s| s.is_empty()));
+    }
+}

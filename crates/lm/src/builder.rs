@@ -1,0 +1,205 @@
+//! Synthetic model construction.
+//!
+//! Real pretrained checkpoints are not available in this environment (see
+//! DESIGN.md §1), so models are *generated*: weights are random but
+//! statistically calibrated so that
+//!
+//! 1. GLU activation magnitudes are heavy-tailed — a small fraction of
+//!    neurons fire orders of magnitude more strongly than the rest, matching
+//!    the distribution the paper reports for Phi-3-Medium (Fig. 10, left);
+//! 2. the output distribution is peaked (low-entropy) so that pruning error
+//!    visibly degrades perplexity and downstream-task agreement;
+//! 3. ReLU-fied variants exhibit high *natural* activation sparsity
+//!    (80–90 % exact zeros), matching TurboSparse-style models (Fig. 3).
+
+use crate::attention::Attention;
+use crate::config::ModelConfig;
+use crate::error::Result;
+use crate::mlp::GluMlp;
+use crate::model::{TransformerLayer, TransformerModel};
+use crate::norm::RmsNorm;
+use tensor::{init, Activation};
+
+/// Builds a synthetic model for the given configuration and seed.
+///
+/// The same `(config, seed)` pair always produces bit-identical weights, so
+/// every experiment in the workspace is reproducible.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use lm::{build_synthetic, ModelConfig};
+/// let model = build_synthetic(&ModelConfig::tiny(), 7).unwrap();
+/// assert_eq!(model.n_layers(), ModelConfig::tiny().n_layers);
+/// ```
+pub fn build_synthetic(config: &ModelConfig, seed: u64) -> Result<TransformerModel> {
+    config.validate()?;
+    let mut rng = init::rng(seed);
+    let head_dim = config.head_dim();
+
+    let embedding = init::xavier_matrix(&mut rng, config.vocab_size, config.d_model);
+
+    let mut layers = Vec::with_capacity(config.n_layers);
+    for _ in 0..config.n_layers {
+        let attn = Attention::new(
+            init::xavier_matrix(&mut rng, config.n_heads * head_dim, config.d_model),
+            init::xavier_matrix(&mut rng, config.n_kv_heads * head_dim, config.d_model),
+            init::xavier_matrix(&mut rng, config.n_kv_heads * head_dim, config.d_model),
+            init::xavier_matrix(&mut rng, config.d_model, config.n_heads * head_dim),
+            config.n_heads,
+            config.n_kv_heads,
+            config.rope_theta,
+        );
+
+        // Heavy-tailed gains on the up rows concentrate GLU magnitude in a
+        // few neurons (Fig. 10 left). Keeping the gate rows milder makes the
+        // gate activation alone a poor proxy for |GLU| — the reason Gate
+        // pruning trails Up pruning and DIP in the paper's tables.
+        let w_up = init::heavy_tailed_matrix(
+            &mut rng,
+            config.d_ff,
+            config.d_model,
+            config.heavy_tail_sigma,
+        );
+        let w_gate = init::heavy_tailed_matrix(
+            &mut rng,
+            config.d_ff,
+            config.d_model,
+            0.4 * config.heavy_tail_sigma,
+        );
+        let w_down = init::xavier_matrix(&mut rng, config.d_model, config.d_ff);
+        let mut mlp = GluMlp::new(w_up, w_gate, w_down, config.activation);
+
+        if config.activation == Activation::Relu {
+            // Shift gate pre-activations negative by roughly one standard
+            // deviation per neuron so that ~80-90% of gate outputs are exact
+            // zeros, mimicking ReLU-fied LLMs.
+            let bias: Vec<f32> = (0..config.d_ff)
+                .map(|r| {
+                    let row = mlp.w_gate.row(r).expect("row exists");
+                    let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    -norm
+                })
+                .collect();
+            mlp.gate_bias = Some(bias);
+        }
+
+        // Heavy-tailed per-channel gains on the MLP input norm emulate the
+        // outlier channels of real residual streams: a few input coordinates
+        // carry most of the energy, which is what makes per-token top-k
+        // input pruning (DIP) cheap in accuracy.
+        let mut mlp_norm = RmsNorm::new(config.d_model);
+        for g in mlp_norm.gain_mut() {
+            *g = (0.8 * config.heavy_tail_sigma * init::sample_standard_normal(&mut rng)).exp();
+        }
+
+        layers.push(TransformerLayer {
+            attn_norm: RmsNorm::new(config.d_model),
+            attn,
+            mlp_norm,
+            mlp,
+        });
+    }
+
+    let final_norm = RmsNorm::new(config.d_model);
+    let mut lm_head = init::xavier_matrix(&mut rng, config.vocab_size, config.d_model);
+    lm_head.scale_in_place(config.head_gain);
+
+    TransformerModel::from_parts(config.clone(), embedding, layers, final_norm, lm_head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::DenseMlp;
+    use tensor::stats;
+
+    #[test]
+    fn building_is_deterministic() {
+        let c = ModelConfig::tiny();
+        let a = build_synthetic(&c, 3).unwrap();
+        let b = build_synthetic(&c, 3).unwrap();
+        assert_eq!(
+            a.layers[0].mlp.w_gate.as_slice(),
+            b.layers[0].mlp.w_gate.as_slice()
+        );
+        let c2 = build_synthetic(&c, 4).unwrap();
+        assert_ne!(
+            a.layers[0].mlp.w_gate.as_slice(),
+            c2.layers[0].mlp.w_gate.as_slice()
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut c = ModelConfig::tiny();
+        c.n_layers = 0;
+        assert!(build_synthetic(&c, 0).is_err());
+    }
+
+    #[test]
+    fn swiglu_model_has_low_natural_sparsity_relufied_has_high() {
+        let config = ModelConfig::tiny();
+        let swiglu = build_synthetic(&config, 11).unwrap();
+        let relu = build_synthetic(&config.relufied(), 11).unwrap();
+
+        let natural_sparsity = |model: &TransformerModel| -> f32 {
+            let mut state = model.new_decode_state();
+            let mut zeros = 0usize;
+            let mut total = 0usize;
+            let mut hook = DenseMlp;
+            for t in 0..16u32 {
+                // exercise the MLP path through the full model
+                model
+                    .forward_token(t % config.vocab_size as u32, &mut state, &mut hook)
+                    .unwrap();
+            }
+            // measure on the first layer with a normalized probe input
+            let probe = vec![0.3; config.d_model];
+            for layer in &model.layers {
+                let glu = layer.mlp.glu_activations(&probe).unwrap();
+                zeros += glu.iter().filter(|v| **v == 0.0).count();
+                total += glu.len();
+            }
+            zeros as f32 / total as f32
+        };
+
+        assert!(natural_sparsity(&swiglu) < 0.1);
+        assert!(natural_sparsity(&relu) > 0.5);
+    }
+
+    #[test]
+    fn glu_activations_are_heavy_tailed() {
+        let model = build_synthetic(&ModelConfig::tiny(), 5).unwrap();
+        let probe = vec![0.2; model.config.d_model];
+        let glu: Vec<f32> = model.layers[0]
+            .mlp
+            .glu_activations(&probe)
+            .unwrap()
+            .iter()
+            .map(|v| v.abs())
+            .collect();
+        let p95 = stats::quantile(&glu, 0.95).unwrap();
+        let p50 = stats::quantile(&glu, 0.5).unwrap();
+        // the top activations should dominate the median by a large factor
+        assert!(p95 > 4.0 * p50.max(1e-6), "p95={p95}, p50={p50}");
+    }
+
+    #[test]
+    fn output_distribution_is_peaked() {
+        let model = build_synthetic(&ModelConfig::tiny(), 5).unwrap();
+        let mut state = model.new_decode_state();
+        let out = model.forward_token_dense(1, &mut state).unwrap();
+        let lp = out.log_probs().unwrap();
+        let entropy: f32 = lp.iter().map(|l| -l.exp() * l).sum();
+        let uniform_entropy = (model.config.vocab_size as f32).ln();
+        assert!(
+            entropy < 0.8 * uniform_entropy,
+            "entropy {entropy} vs uniform {uniform_entropy}"
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! Model configuration and parameter/memory accounting.
+
+use crate::error::{LmError, Result};
+use serde::{Deserialize, Serialize};
+use tensor::Activation;
+
+/// Configuration of a synthetic SwiGLU (or ReLU-fied) transformer.
+///
+/// The four registry presets ([`ModelConfig::phi3_medium_sim`] etc.) mirror
+/// the *relative* proportions of the paper's evaluation models (layer count
+/// ratios, `d_ff / d_model` expansion, GQA grouping) at laptop scale, so that
+/// MLP weights dominate total parameters exactly as they do in the originals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human readable name used by experiment reports.
+    pub name: String,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Residual stream width.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Number of attention (query) heads.
+    pub n_heads: usize,
+    /// Number of key/value heads (GQA); must divide `n_heads`.
+    pub n_kv_heads: usize,
+    /// Hidden width of the GLU MLP.
+    pub d_ff: usize,
+    /// Non-linearity of the MLP gate (SiLU for SwiGLU models, ReLU for
+    /// ReLU-fied models).
+    pub activation: Activation,
+    /// Maximum sequence length supported by the KV cache.
+    pub max_seq_len: usize,
+    /// RoPE base frequency.
+    pub rope_theta: f32,
+    /// Log-normal sigma of the heavy-tailed row gains used during synthetic
+    /// weight generation (larger values → heavier-tailed GLU activations).
+    pub heavy_tail_sigma: f32,
+    /// Gain applied to the LM head so that output distributions are peaked
+    /// (a near-uniform predictive distribution would hide pruning error).
+    pub head_gain: f32,
+}
+
+impl ModelConfig {
+    /// A tiny configuration for unit tests (runs in milliseconds).
+    pub fn tiny() -> Self {
+        ModelConfig {
+            name: "tiny-test".to_string(),
+            vocab_size: 64,
+            d_model: 32,
+            n_layers: 2,
+            n_heads: 4,
+            n_kv_heads: 2,
+            d_ff: 96,
+            activation: Activation::Silu,
+            max_seq_len: 64,
+            rope_theta: 10_000.0,
+            heavy_tail_sigma: 1.0,
+            head_gain: 4.0,
+        }
+    }
+
+    /// Laptop-scale analogue of Phi-3-Medium (14B, 40 layers, d_ff/d_model = 3.5).
+    pub fn phi3_medium_sim() -> Self {
+        ModelConfig {
+            name: "phi3-medium-sim".to_string(),
+            vocab_size: 256,
+            d_model: 160,
+            n_layers: 10,
+            n_heads: 8,
+            n_kv_heads: 2,
+            d_ff: 560,
+            activation: Activation::Silu,
+            max_seq_len: 512,
+            rope_theta: 10_000.0,
+            heavy_tail_sigma: 1.2,
+            head_gain: 4.0,
+        }
+    }
+
+    /// Laptop-scale analogue of Phi-3-Mini (3.8B, 32 layers).
+    pub fn phi3_mini_sim() -> Self {
+        ModelConfig {
+            name: "phi3-mini-sim".to_string(),
+            vocab_size: 256,
+            d_model: 96,
+            n_layers: 8,
+            n_heads: 8,
+            n_kv_heads: 8,
+            d_ff: 320,
+            activation: Activation::Silu,
+            max_seq_len: 512,
+            rope_theta: 10_000.0,
+            heavy_tail_sigma: 1.2,
+            head_gain: 4.0,
+        }
+    }
+
+    /// Laptop-scale analogue of Llama-3-8B (32 layers, d_ff/d_model = 3.5, 4-way GQA).
+    pub fn llama8b_sim() -> Self {
+        ModelConfig {
+            name: "llama8b-sim".to_string(),
+            vocab_size: 256,
+            d_model: 128,
+            n_layers: 8,
+            n_heads: 8,
+            n_kv_heads: 2,
+            d_ff: 448,
+            activation: Activation::Silu,
+            max_seq_len: 512,
+            rope_theta: 10_000.0,
+            heavy_tail_sigma: 1.3,
+            head_gain: 4.0,
+        }
+    }
+
+    /// Laptop-scale analogue of Mistral-7B (32 layers, d_ff/d_model = 3.5, 4-way GQA).
+    pub fn mistral7b_sim() -> Self {
+        ModelConfig {
+            name: "mistral7b-sim".to_string(),
+            vocab_size: 256,
+            d_model: 112,
+            n_layers: 8,
+            n_heads: 8,
+            n_kv_heads: 2,
+            d_ff: 392,
+            activation: Activation::Silu,
+            max_seq_len: 512,
+            rope_theta: 10_000.0,
+            heavy_tail_sigma: 1.3,
+            head_gain: 4.0,
+        }
+    }
+
+    /// Returns a copy of this configuration with the MLP gate replaced by
+    /// ReLU — the "ReLU-fied" counterpart used in Fig. 3 / Fig. 6.
+    pub fn relufied(&self) -> Self {
+        let mut c = self.clone();
+        c.name = format!("{}-relufied", self.name);
+        c.activation = Activation::Relu;
+        c
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::InvalidConfig`] when any dimension is zero, when
+    /// `n_kv_heads` does not divide `n_heads`, or when `d_model` is not a
+    /// multiple of `n_heads`.
+    pub fn validate(&self) -> Result<()> {
+        fn positive(field: &'static str, v: usize) -> Result<()> {
+            if v == 0 {
+                return Err(LmError::InvalidConfig {
+                    field,
+                    reason: "must be > 0".to_string(),
+                });
+            }
+            Ok(())
+        }
+        positive("vocab_size", self.vocab_size)?;
+        positive("d_model", self.d_model)?;
+        positive("n_layers", self.n_layers)?;
+        positive("n_heads", self.n_heads)?;
+        positive("n_kv_heads", self.n_kv_heads)?;
+        positive("d_ff", self.d_ff)?;
+        positive("max_seq_len", self.max_seq_len)?;
+        if self.n_heads % self.n_kv_heads != 0 {
+            return Err(LmError::InvalidConfig {
+                field: "n_kv_heads",
+                reason: format!("must divide n_heads ({} % {} != 0)", self.n_heads, self.n_kv_heads),
+            });
+        }
+        if self.d_model % self.n_heads != 0 {
+            return Err(LmError::InvalidConfig {
+                field: "d_model",
+                reason: format!(
+                    "must be a multiple of n_heads ({} % {} != 0)",
+                    self.d_model, self.n_heads
+                ),
+            });
+        }
+        if self.head_dim() % 2 != 0 {
+            return Err(LmError::InvalidConfig {
+                field: "d_model",
+                reason: format!(
+                    "head dimension must be even for RoPE, got {}",
+                    self.head_dim()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Number of parameters in one MLP block (`W_u`, `W_g`, `W_d`).
+    pub fn mlp_params_per_layer(&self) -> usize {
+        3 * self.d_model * self.d_ff
+    }
+
+    /// Number of parameters in one attention block (`W_q`, `W_k`, `W_v`, `W_o`).
+    pub fn attention_params_per_layer(&self) -> usize {
+        let head_dim = self.head_dim();
+        let q = self.d_model * self.d_model;
+        let kv = 2 * self.d_model * (self.n_kv_heads * head_dim);
+        let o = self.d_model * self.d_model;
+        q + kv + o
+    }
+
+    /// Embedding + LM-head parameters (untied).
+    pub fn embedding_params(&self) -> usize {
+        2 * self.vocab_size * self.d_model
+    }
+
+    /// Norm parameters (two RMSNorms per block + final norm).
+    pub fn norm_params(&self) -> usize {
+        (2 * self.n_layers + 1) * self.d_model
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> usize {
+        self.n_layers * (self.mlp_params_per_layer() + self.attention_params_per_layer())
+            + self.embedding_params()
+            + self.norm_params()
+    }
+
+    /// Total MLP parameter count across layers.
+    pub fn total_mlp_params(&self) -> usize {
+        self.n_layers * self.mlp_params_per_layer()
+    }
+
+    /// Fraction of parameters that live in MLP blocks. For the presets this
+    /// is well above one half, matching the paper's observation that MLP
+    /// weights dominate modern GQA LLMs.
+    pub fn mlp_param_fraction(&self) -> f64 {
+        self.total_mlp_params() as f64 / self.total_params() as f64
+    }
+
+    /// Model size in bytes at the given weight bit-width (embeddings and
+    /// norms counted at the same width for simplicity).
+    pub fn model_bytes(&self, bits_per_weight: f64) -> f64 {
+        self.total_params() as f64 * bits_per_weight / 8.0
+    }
+
+    /// KV-cache bytes for a full context window at 16-bit precision.
+    pub fn kv_cache_bytes(&self) -> f64 {
+        let per_token = 2 * self.n_layers * self.n_kv_heads * self.head_dim();
+        (per_token * self.max_seq_len) as f64 * 2.0
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig::phi3_mini_sim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            ModelConfig::tiny(),
+            ModelConfig::phi3_medium_sim(),
+            ModelConfig::phi3_mini_sim(),
+            ModelConfig::llama8b_sim(),
+            ModelConfig::mistral7b_sim(),
+        ] {
+            c.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = ModelConfig::tiny();
+        c.d_model = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ModelConfig::tiny();
+        c.n_kv_heads = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = ModelConfig::tiny();
+        c.d_model = 33;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mlp_dominates_parameters_in_presets() {
+        for c in [
+            ModelConfig::phi3_medium_sim(),
+            ModelConfig::phi3_mini_sim(),
+            ModelConfig::llama8b_sim(),
+            ModelConfig::mistral7b_sim(),
+        ] {
+            assert!(
+                c.mlp_param_fraction() > 0.5,
+                "{}: MLP fraction {}",
+                c.name,
+                c.mlp_param_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn param_accounting_is_consistent() {
+        let c = ModelConfig::tiny();
+        let total = c.total_params();
+        assert_eq!(
+            total,
+            c.n_layers * (c.mlp_params_per_layer() + c.attention_params_per_layer())
+                + c.embedding_params()
+                + c.norm_params()
+        );
+        assert!(c.model_bytes(4.0) < c.model_bytes(16.0));
+        assert!((c.model_bytes(8.0) - total as f64).abs() < 1e-6);
+        assert!(c.kv_cache_bytes() > 0.0);
+    }
+
+    #[test]
+    fn relufied_changes_only_activation_and_name() {
+        let c = ModelConfig::mistral7b_sim();
+        let r = c.relufied();
+        assert_eq!(r.activation, Activation::Relu);
+        assert_eq!(r.d_model, c.d_model);
+        assert!(r.name.contains("relufied"));
+    }
+
+    #[test]
+    fn medium_preset_is_larger_than_mini() {
+        let med = ModelConfig::phi3_medium_sim();
+        let mini = ModelConfig::phi3_mini_sim();
+        assert!(med.total_params() > 2 * mini.total_params());
+    }
+}

@@ -1,0 +1,196 @@
+//! Synthetic corpus generation.
+//!
+//! Stands in for WikiText-2 / SlimPajama (see DESIGN.md §1). Two sources are
+//! provided:
+//!
+//! * [`MarkovCorpus`] — a sparse random Markov chain over the vocabulary,
+//!   used to produce structured prompts,
+//! * [`model_generated_corpus`] — sequences sampled from the dense model
+//!   itself, which is the corpus every evaluation in this workspace uses:
+//!   the dense model defines the "language", its own perplexity on that
+//!   language is the floor, and sparsified variants are measured against it
+//!   exactly as the paper measures perplexity deltas over the dense model.
+
+use crate::error::{LmError, Result};
+use crate::mlp::DenseMlp;
+use crate::model::TransformerModel;
+use rand::Rng;
+use tensor::init;
+
+/// A sparse random Markov chain over a token vocabulary.
+#[derive(Debug, Clone)]
+pub struct MarkovCorpus {
+    vocab_size: usize,
+    /// `successors[t]` lists the likely next tokens of `t` with weights.
+    successors: Vec<Vec<(u32, f32)>>,
+}
+
+impl MarkovCorpus {
+    /// Creates a Markov chain where each token has `branching` likely
+    /// successors with Zipf-like weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::InvalidConfig`] if `vocab_size == 0` or
+    /// `branching == 0`.
+    pub fn new(vocab_size: usize, branching: usize, seed: u64) -> Result<Self> {
+        if vocab_size == 0 {
+            return Err(LmError::InvalidConfig {
+                field: "vocab_size",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        if branching == 0 {
+            return Err(LmError::InvalidConfig {
+                field: "branching",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        let mut rng = init::rng(seed);
+        let successors = (0..vocab_size)
+            .map(|_| {
+                (0..branching)
+                    .map(|rank| {
+                        let next = rng.gen_range(0..vocab_size) as u32;
+                        let weight = 1.0 / (rank + 1) as f32;
+                        (next, weight)
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(MarkovCorpus {
+            vocab_size,
+            successors,
+        })
+    }
+
+    /// Vocabulary size of the chain.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Samples a sequence of `len` tokens starting from a random token.
+    pub fn sample_sequence<R: Rng>(&self, len: usize, rng: &mut R) -> Vec<u32> {
+        let mut seq = Vec::with_capacity(len);
+        if len == 0 {
+            return seq;
+        }
+        let mut current = rng.gen_range(0..self.vocab_size) as u32;
+        seq.push(current);
+        for _ in 1..len {
+            current = self.sample_next(current, rng);
+            seq.push(current);
+        }
+        seq
+    }
+
+    /// Samples the successor of `token` according to the chain weights.
+    pub fn sample_next<R: Rng>(&self, token: u32, rng: &mut R) -> u32 {
+        let succ = &self.successors[token as usize % self.vocab_size];
+        let total: f32 = succ.iter().map(|(_, w)| w).sum();
+        let mut r = rng.gen_range(0.0..total);
+        for (t, w) in succ {
+            if r < *w {
+                return *t;
+            }
+            r -= w;
+        }
+        succ.last().map(|(t, _)| *t).unwrap_or(0)
+    }
+
+    /// Samples `n` prompts of the given length.
+    pub fn sample_prompts<R: Rng>(&self, n: usize, len: usize, rng: &mut R) -> Vec<Vec<u32>> {
+        (0..n).map(|_| self.sample_sequence(len, rng)).collect()
+    }
+}
+
+/// Generates `n_sequences` sequences of `seq_len` tokens from the dense model
+/// itself by autoregressive sampling at temperature 1.0, each seeded with a
+/// short Markov prompt.
+///
+/// The returned sequences include the prompt tokens, so they can be used
+/// directly for teacher-forced perplexity evaluation.
+///
+/// # Errors
+///
+/// Propagates generation errors (e.g. `seq_len` exceeding the model context).
+pub fn model_generated_corpus(
+    model: &TransformerModel,
+    n_sequences: usize,
+    seq_len: usize,
+    seed: u64,
+) -> Result<Vec<Vec<u32>>> {
+    let prompt_len = 4.min(seq_len.max(1));
+    let corpus = MarkovCorpus::new(model.config.vocab_size, 6, seed ^ 0x9e37_79b9)?;
+    let mut rng = init::rng(seed);
+    let mut sequences = Vec::with_capacity(n_sequences);
+    for _ in 0..n_sequences {
+        let prompt = corpus.sample_sequence(prompt_len, &mut rng);
+        let generated = if seq_len > prompt_len {
+            model.generate(&prompt, seq_len - prompt_len, 1.0, &mut rng, &mut DenseMlp)?
+        } else {
+            Vec::new()
+        };
+        let mut seq = prompt;
+        seq.extend(generated);
+        sequences.push(seq);
+    }
+    Ok(sequences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_synthetic;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn markov_sequences_have_requested_length_and_valid_tokens() {
+        let corpus = MarkovCorpus::new(50, 4, 1).unwrap();
+        let mut rng = init::rng(2);
+        let seq = corpus.sample_sequence(100, &mut rng);
+        assert_eq!(seq.len(), 100);
+        assert!(seq.iter().all(|t| (*t as usize) < 50));
+        assert!(corpus.sample_sequence(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn markov_rejects_degenerate_parameters() {
+        assert!(MarkovCorpus::new(0, 4, 1).is_err());
+        assert!(MarkovCorpus::new(10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn markov_chain_is_not_uniform() {
+        // successors should be a small subset of the vocabulary
+        let corpus = MarkovCorpus::new(100, 3, 7);
+        let corpus = corpus.unwrap();
+        let mut rng = init::rng(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(corpus.sample_next(5, &mut rng));
+        }
+        assert!(seen.len() <= 3);
+    }
+
+    #[test]
+    fn prompts_are_batched() {
+        let corpus = MarkovCorpus::new(32, 4, 1).unwrap();
+        let mut rng = init::rng(0);
+        let prompts = corpus.sample_prompts(5, 8, &mut rng);
+        assert_eq!(prompts.len(), 5);
+        assert!(prompts.iter().all(|p| p.len() == 8));
+    }
+
+    #[test]
+    fn model_generated_corpus_shapes_and_determinism() {
+        let model = build_synthetic(&ModelConfig::tiny(), 1).unwrap();
+        let a = model_generated_corpus(&model, 3, 12, 9).unwrap();
+        let b = model_generated_corpus(&model, 3, 12, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|s| s.len() == 12));
+        let c = model_generated_corpus(&model, 3, 12, 10).unwrap();
+        assert_ne!(a, c);
+    }
+}

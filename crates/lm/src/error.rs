@@ -1,0 +1,86 @@
+//! Error type for the language-model substrate.
+
+use std::fmt;
+use tensor::TensorError;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, LmError>;
+
+/// Errors produced by model construction, inference or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LmError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A model configuration value was invalid.
+    InvalidConfig {
+        /// The configuration field at fault.
+        field: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A token id was outside the vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: u32,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A sequence was too short or too long for the requested operation.
+    BadSequence {
+        /// Explanation of what was wrong with the sequence.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            LmError::InvalidConfig { field, reason } => {
+                write!(f, "invalid model config `{field}`: {reason}")
+            }
+            LmError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token {token} out of range for vocabulary of size {vocab}")
+            }
+            LmError::BadSequence { reason } => write!(f, "bad sequence: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LmError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for LmError {
+    fn from(e: TensorError) -> Self {
+        LmError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = LmError::TokenOutOfRange { token: 300, vocab: 256 };
+        assert!(e.to_string().contains("300"));
+        let e = LmError::InvalidConfig { field: "d_model", reason: "must be > 0".into() };
+        assert!(e.to_string().contains("d_model"));
+        let e = LmError::BadSequence { reason: "empty".into() };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        let te = TensorError::Empty { op: "softmax" };
+        let e: LmError = te.clone().into();
+        assert_eq!(e, LmError::Tensor(te));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

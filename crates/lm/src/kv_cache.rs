@@ -1,0 +1,114 @@
+//! Per-layer key/value cache for autoregressive decoding.
+
+use crate::error::{LmError, Result};
+
+/// Key/value cache for a single attention layer.
+///
+/// Stores one flattened key vector and one flattened value vector
+/// (`n_kv_heads * head_dim` floats each) per generated position.
+#[derive(Debug, Clone, Default)]
+pub struct KvCache {
+    keys: Vec<Vec<f32>>,
+    values: Vec<Vec<f32>>,
+    capacity: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache with a maximum capacity of `max_seq_len` positions.
+    pub fn new(max_seq_len: usize) -> Self {
+        KvCache {
+            keys: Vec::new(),
+            values: Vec::new(),
+            capacity: max_seq_len,
+        }
+    }
+
+    /// Number of positions currently stored.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Maximum number of positions the cache accepts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends the key/value vectors of a new position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] when the cache is full or the key and
+    /// value lengths differ.
+    pub fn push(&mut self, key: Vec<f32>, value: Vec<f32>) -> Result<()> {
+        if self.keys.len() >= self.capacity {
+            return Err(LmError::BadSequence {
+                reason: format!("KV cache full at capacity {}", self.capacity),
+            });
+        }
+        if key.len() != value.len() {
+            return Err(LmError::BadSequence {
+                reason: format!("key length {} != value length {}", key.len(), value.len()),
+            });
+        }
+        self.keys.push(key);
+        self.values.push(value);
+        Ok(())
+    }
+
+    /// Key vector stored at position `i`.
+    pub fn key(&self, i: usize) -> Option<&[f32]> {
+        self.keys.get(i).map(|v| v.as_slice())
+    }
+
+    /// Value vector stored at position `i`.
+    pub fn value(&self, i: usize) -> Option<&[f32]> {
+        self.values.get(i).map(|v| v.as_slice())
+    }
+
+    /// Removes all stored positions, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut c = KvCache::new(4);
+        c.push(vec![1.0, 2.0], vec![3.0, 4.0]).unwrap();
+        c.push(vec![5.0, 6.0], vec![7.0, 8.0]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.key(0).unwrap(), &[1.0, 2.0]);
+        assert_eq!(c.value(1).unwrap(), &[7.0, 8.0]);
+        assert!(c.key(2).is_none());
+    }
+
+    #[test]
+    fn rejects_overflow_and_mismatch() {
+        let mut c = KvCache::new(1);
+        c.push(vec![1.0], vec![1.0]).unwrap();
+        assert!(c.push(vec![2.0], vec![2.0]).is_err());
+        let mut c = KvCache::new(4);
+        assert!(c.push(vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = KvCache::new(2);
+        c.push(vec![1.0], vec![1.0]).unwrap();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        c.push(vec![2.0], vec![2.0]).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

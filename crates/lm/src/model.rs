@@ -1,0 +1,398 @@
+//! The decoder-only transformer model and its single-token decoding loop.
+
+use crate::attention::Attention;
+use crate::config::ModelConfig;
+use crate::error::{LmError, Result};
+use crate::kv_cache::KvCache;
+use crate::mlp::{DenseMlp, GluMlp, MlpAccessRecord, MlpForward};
+use crate::norm::RmsNorm;
+use rand::Rng;
+use tensor::{Matrix, Vector};
+
+/// One transformer block: pre-norm attention followed by a pre-norm GLU MLP,
+/// both with residual connections.
+#[derive(Debug, Clone)]
+pub struct TransformerLayer {
+    /// RMSNorm applied before attention.
+    pub attn_norm: RmsNorm,
+    /// Grouped-query attention block.
+    pub attn: Attention,
+    /// RMSNorm applied before the MLP.
+    pub mlp_norm: RmsNorm,
+    /// Gated MLP block.
+    pub mlp: GluMlp,
+}
+
+/// Mutable decoding state: one KV cache per layer plus the current position.
+#[derive(Debug, Clone)]
+pub struct DecodeState {
+    /// Per-layer key/value caches.
+    pub kv: Vec<KvCache>,
+    /// Next position index to be decoded.
+    pub pos: usize,
+}
+
+impl DecodeState {
+    /// Clears the caches and resets the position to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.kv {
+            c.clear();
+        }
+        self.pos = 0;
+    }
+}
+
+/// Output of decoding a single token.
+#[derive(Debug, Clone)]
+pub struct TokenOutput {
+    /// Raw logits over the vocabulary.
+    pub logits: Vec<f32>,
+    /// Per-layer MLP weight-access records (one per transformer layer).
+    pub mlp_accesses: Vec<MlpAccessRecord>,
+}
+
+impl TokenOutput {
+    /// Log-probabilities (log-softmax of the logits).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the logits are empty.
+    pub fn log_probs(&self) -> Result<Vec<f32>> {
+        Ok(Vector::log_softmax(&self.logits)?)
+    }
+}
+
+/// A decoder-only transformer with untied embedding and LM head.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    /// The configuration the model was built from.
+    pub config: ModelConfig,
+    /// Token embedding table (`vocab_size x d_model`).
+    pub embedding: Matrix,
+    /// Transformer blocks.
+    pub layers: Vec<TransformerLayer>,
+    /// Final RMSNorm before the LM head.
+    pub final_norm: RmsNorm,
+    /// LM head (`vocab_size x d_model`).
+    pub lm_head: Matrix,
+}
+
+impl TransformerModel {
+    /// Creates a model from already-built components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::InvalidConfig`] if the component shapes do not
+    /// match the configuration.
+    pub fn from_parts(
+        config: ModelConfig,
+        embedding: Matrix,
+        layers: Vec<TransformerLayer>,
+        final_norm: RmsNorm,
+        lm_head: Matrix,
+    ) -> Result<Self> {
+        config.validate()?;
+        if embedding.shape() != (config.vocab_size, config.d_model) {
+            return Err(LmError::InvalidConfig {
+                field: "embedding",
+                reason: format!("expected {}x{}", config.vocab_size, config.d_model),
+            });
+        }
+        if lm_head.shape() != (config.vocab_size, config.d_model) {
+            return Err(LmError::InvalidConfig {
+                field: "lm_head",
+                reason: format!("expected {}x{}", config.vocab_size, config.d_model),
+            });
+        }
+        if layers.len() != config.n_layers {
+            return Err(LmError::InvalidConfig {
+                field: "layers",
+                reason: format!("expected {} layers, got {}", config.n_layers, layers.len()),
+            });
+        }
+        Ok(TransformerModel {
+            config,
+            embedding,
+            layers,
+            final_norm,
+            lm_head,
+        })
+    }
+
+    /// Number of transformer layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter count of the instantiated weights.
+    pub fn num_params(&self) -> usize {
+        let mut n = self.embedding.len() + self.lm_head.len();
+        for l in &self.layers {
+            n += l.attn.num_params() + l.mlp.num_params();
+            n += l.attn_norm.dim() + l.mlp_norm.dim();
+        }
+        n + self.final_norm.dim()
+    }
+
+    /// Creates a fresh decoding state sized for `max_seq_len`.
+    pub fn new_decode_state(&self) -> DecodeState {
+        DecodeState {
+            kv: (0..self.config.n_layers)
+                .map(|_| KvCache::new(self.config.max_seq_len))
+                .collect(),
+            pos: 0,
+        }
+    }
+
+    /// Decodes a single token through every layer, using `mlp_fw` for the MLP
+    /// blocks, and returns the next-token logits plus the MLP access records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::TokenOutOfRange`] for an invalid token and
+    /// propagates shape errors from the blocks.
+    pub fn forward_token(
+        &self,
+        token: u32,
+        state: &mut DecodeState,
+        mlp_fw: &mut dyn MlpForward,
+    ) -> Result<TokenOutput> {
+        if (token as usize) >= self.config.vocab_size {
+            return Err(LmError::TokenOutOfRange {
+                token,
+                vocab: self.config.vocab_size,
+            });
+        }
+        let pos = state.pos;
+        let mut x: Vec<f32> = self.embedding.row(token as usize)?.to_vec();
+        let mut accesses = Vec::with_capacity(self.layers.len());
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let normed = layer.attn_norm.forward(&x);
+            let attn_out = layer.attn.forward_token(&normed, pos, &mut state.kv[li])?;
+            Vector::axpy(1.0, &attn_out, &mut x)?;
+
+            let normed = layer.mlp_norm.forward(&x);
+            let mlp_out = mlp_fw.forward(li, &layer.mlp, &normed)?;
+            Vector::axpy(1.0, &mlp_out.y, &mut x)?;
+            accesses.push(mlp_out.access);
+        }
+
+        let final_x = self.final_norm.forward(&x);
+        let logits = self.lm_head.matvec(&final_x)?;
+        state.pos += 1;
+        Ok(TokenOutput {
+            logits,
+            mlp_accesses: accesses,
+        })
+    }
+
+    /// Convenience wrapper: decodes a token with the dense MLP.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransformerModel::forward_token`].
+    pub fn forward_token_dense(&self, token: u32, state: &mut DecodeState) -> Result<TokenOutput> {
+        self.forward_token(token, state, &mut DenseMlp)
+    }
+
+    /// Samples `n_tokens` continuations of `prompt` at the given temperature.
+    ///
+    /// With `temperature == 0.0` sampling degenerates to greedy argmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] for an empty prompt or when the
+    /// requested length exceeds the KV-cache capacity, and propagates forward
+    /// errors.
+    pub fn generate<R: Rng>(
+        &self,
+        prompt: &[u32],
+        n_tokens: usize,
+        temperature: f32,
+        rng: &mut R,
+        mlp_fw: &mut dyn MlpForward,
+    ) -> Result<Vec<u32>> {
+        if prompt.is_empty() {
+            return Err(LmError::BadSequence {
+                reason: "prompt must contain at least one token".to_string(),
+            });
+        }
+        if prompt.len() + n_tokens > self.config.max_seq_len {
+            return Err(LmError::BadSequence {
+                reason: format!(
+                    "prompt ({}) + generation ({}) exceeds max_seq_len ({})",
+                    prompt.len(),
+                    n_tokens,
+                    self.config.max_seq_len
+                ),
+            });
+        }
+        let mut state = self.new_decode_state();
+        let mut last = TokenOutput {
+            logits: Vec::new(),
+            mlp_accesses: Vec::new(),
+        };
+        for &t in prompt {
+            last = self.forward_token(t, &mut state, mlp_fw)?;
+        }
+        let mut out = Vec::with_capacity(n_tokens);
+        for _ in 0..n_tokens {
+            let next = sample_from_logits(&last.logits, temperature, rng)?;
+            out.push(next);
+            if out.len() == n_tokens {
+                break;
+            }
+            last = self.forward_token(next, &mut state, mlp_fw)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Samples a token id from logits at the given temperature (0 = greedy).
+///
+/// # Errors
+///
+/// Returns an error if `logits` is empty.
+pub fn sample_from_logits<R: Rng>(logits: &[f32], temperature: f32, rng: &mut R) -> Result<u32> {
+    if temperature <= 0.0 {
+        return Ok(Vector::argmax(logits)? as u32);
+    }
+    let scaled: Vec<f32> = logits.iter().map(|l| l / temperature).collect();
+    let probs = Vector::softmax(&scaled)?;
+    let r: f32 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return Ok(i as u32);
+        }
+    }
+    Ok((probs.len() - 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_synthetic;
+    use tensor::init;
+
+    fn tiny_model() -> TransformerModel {
+        build_synthetic(&ModelConfig::tiny(), 42).unwrap()
+    }
+
+    #[test]
+    fn forward_token_produces_vocab_logits() {
+        let model = tiny_model();
+        let mut state = model.new_decode_state();
+        let out = model.forward_token_dense(3, &mut state).unwrap();
+        assert_eq!(out.logits.len(), model.config.vocab_size);
+        assert_eq!(out.mlp_accesses.len(), model.config.n_layers);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+        assert_eq!(state.pos, 1);
+    }
+
+    #[test]
+    fn forward_rejects_out_of_range_token() {
+        let model = tiny_model();
+        let mut state = model.new_decode_state();
+        assert!(model.forward_token_dense(64, &mut state).is_err());
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let model = tiny_model();
+        let mut s1 = model.new_decode_state();
+        let mut s2 = model.new_decode_state();
+        for t in [1u32, 5, 9] {
+            let a = model.forward_token_dense(t, &mut s1).unwrap();
+            let b = model.forward_token_dense(t, &mut s2).unwrap();
+            assert_eq!(a.logits, b.logits);
+        }
+    }
+
+    #[test]
+    fn logits_depend_on_context() {
+        let model = tiny_model();
+        let mut with_ctx = model.new_decode_state();
+        model.forward_token_dense(2, &mut with_ctx).unwrap();
+        let a = model.forward_token_dense(7, &mut with_ctx).unwrap();
+
+        let mut without_ctx = model.new_decode_state();
+        let b = model.forward_token_dense(7, &mut without_ctx).unwrap();
+
+        let diff: f32 = a
+            .logits
+            .iter()
+            .zip(b.logits.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let model = tiny_model();
+        let mut rng_a = init::rng(0);
+        let mut rng_b = init::rng(1);
+        let a = model
+            .generate(&[1, 2, 3], 8, 0.0, &mut rng_a, &mut DenseMlp)
+            .unwrap();
+        let b = model
+            .generate(&[1, 2, 3], 8, 0.0, &mut rng_b, &mut DenseMlp)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|t| (*t as usize) < model.config.vocab_size));
+    }
+
+    #[test]
+    fn generation_validates_inputs() {
+        let model = tiny_model();
+        let mut rng = init::rng(0);
+        assert!(model.generate(&[], 4, 1.0, &mut rng, &mut DenseMlp).is_err());
+        assert!(model
+            .generate(&[1], 1000, 1.0, &mut rng, &mut DenseMlp)
+            .is_err());
+    }
+
+    #[test]
+    fn sampling_respects_temperature_zero() {
+        let mut rng = init::rng(0);
+        let logits = vec![0.0, 5.0, 1.0];
+        for _ in 0..10 {
+            assert_eq!(sample_from_logits(&logits, 0.0, &mut rng).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_covers_support_at_high_temperature() {
+        let mut rng = init::rng(0);
+        let logits = vec![0.0, 0.0, 0.0, 0.0];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let t = sample_from_logits(&logits, 1.0, &mut rng).unwrap();
+            seen[t as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn log_probs_normalise() {
+        let model = tiny_model();
+        let mut state = model.new_decode_state();
+        let out = model.forward_token_dense(0, &mut state).unwrap();
+        let lp = out.log_probs().unwrap();
+        let sum: f32 = lp.iter().map(|l| l.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn num_params_close_to_config_estimate() {
+        let model = tiny_model();
+        let estimated = model.config.total_params();
+        let actual = model.num_params();
+        let rel = (estimated as f64 - actual as f64).abs() / actual as f64;
+        assert!(rel < 0.05, "estimate {estimated} vs actual {actual}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Root-mean-square layer normalisation (RMSNorm).
+
+use serde::{Deserialize, Serialize};
+
+/// RMSNorm with a learned per-channel gain, as used by Llama/Mistral/Phi-3.
+///
+/// `y_i = g_i * x_i / sqrt(mean(x^2) + eps)`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RmsNorm {
+    gain: Vec<f32>,
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Creates an RMSNorm with unit gains.
+    pub fn new(dim: usize) -> Self {
+        RmsNorm {
+            gain: vec![1.0; dim],
+            eps: 1e-5,
+        }
+    }
+
+    /// Creates an RMSNorm with explicit gains.
+    pub fn with_gain(gain: Vec<f32>) -> Self {
+        RmsNorm { gain, eps: 1e-5 }
+    }
+
+    /// Dimensionality of the normalised vectors.
+    pub fn dim(&self) -> usize {
+        self.gain.len()
+    }
+
+    /// Mutable access to the gain vector (used by the synthetic model builder).
+    pub fn gain_mut(&mut self) -> &mut [f32] {
+        &mut self.gain
+    }
+
+    /// Immutable access to the gain vector.
+    pub fn gain(&self) -> &[f32] {
+        &self.gain
+    }
+
+    /// Applies the normalisation, returning a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.gain.len(), "RmsNorm dimension mismatch");
+        if x.is_empty() {
+            return Vec::new();
+        }
+        let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+        let inv = 1.0 / (ms + self.eps).sqrt();
+        x.iter()
+            .zip(self.gain.iter())
+            .map(|(v, g)| v * inv * g)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_has_unit_rms_with_unit_gain() {
+        let norm = RmsNorm::new(4);
+        let y = norm.forward(&[2.0, -2.0, 2.0, -2.0]);
+        let rms = (y.iter().map(|v| v * v).sum::<f32>() / 4.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gain_scales_channels() {
+        let norm = RmsNorm::with_gain(vec![2.0, 1.0]);
+        let y = norm.forward(&[1.0, 1.0]);
+        assert!((y[0] / y[1] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_input_stays_finite() {
+        let norm = RmsNorm::new(3);
+        let y = norm.forward(&[0.0, 0.0, 0.0]);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!(y.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let norm = RmsNorm::new(0);
+        assert!(norm.forward(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        RmsNorm::new(3).forward(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Rotary position embeddings (RoPE).
+
+/// Applies rotary position embeddings in place to a single head vector.
+///
+/// The vector is interpreted as `head_dim / 2` complex pairs `(x[2i], x[2i+1])`
+/// which are rotated by an angle that grows with the position and shrinks with
+/// the pair index, following the standard RoPE formulation.
+///
+/// # Panics
+///
+/// Panics if `head.len()` is odd.
+pub fn apply_rope(head: &mut [f32], position: usize, theta: f32) {
+    assert!(head.len() % 2 == 0, "RoPE requires an even head dimension");
+    let half = head.len() / 2;
+    for i in 0..half {
+        let freq = 1.0 / theta.powf(2.0 * i as f32 / head.len() as f32);
+        let angle = position as f32 * freq;
+        let (sin, cos) = angle.sin_cos();
+        let a = head[2 * i];
+        let b = head[2 * i + 1];
+        head[2 * i] = a * cos - b * sin;
+        head[2 * i + 1] = a * sin + b * cos;
+    }
+}
+
+/// Applies RoPE to every head of a flattened multi-head vector
+/// (`n_heads * head_dim` values, heads stored contiguously).
+///
+/// # Panics
+///
+/// Panics if `x.len()` is not a multiple of `head_dim` or `head_dim` is odd.
+pub fn apply_rope_multihead(x: &mut [f32], head_dim: usize, position: usize, theta: f32) {
+    assert!(head_dim > 0 && x.len() % head_dim == 0, "bad head layout");
+    for head in x.chunks_exact_mut(head_dim) {
+        apply_rope(head, position, theta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Vector;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let mut h = vec![1.0, 2.0, 3.0, 4.0];
+        apply_rope(&mut h, 0, 10_000.0);
+        assert_eq!(h, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let original = vec![0.3, -1.2, 2.0, 0.5, -0.7, 1.1];
+        let mut rotated = original.clone();
+        apply_rope(&mut rotated, 17, 10_000.0);
+        assert!((Vector::norm_l2(&original) - Vector::norm_l2(&rotated)).abs() < 1e-4);
+        assert_ne!(original, rotated);
+    }
+
+    #[test]
+    fn relative_angle_property() {
+        // <rope(q, m), rope(k, n)> depends only on m - n for a single pair.
+        let q = vec![1.0, 0.0];
+        let k = vec![0.5, 0.5];
+        let dot_at = |m: usize, n: usize| {
+            let mut qm = q.clone();
+            let mut kn = k.clone();
+            apply_rope(&mut qm, m, 10_000.0);
+            apply_rope(&mut kn, n, 10_000.0);
+            Vector::dot(&qm, &kn).unwrap()
+        };
+        assert!((dot_at(5, 3) - dot_at(12, 10)).abs() < 1e-4);
+        assert!((dot_at(7, 7) - dot_at(0, 0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multihead_applies_per_head() {
+        let mut x = vec![1.0, 0.0, 1.0, 0.0];
+        apply_rope_multihead(&mut x, 2, 3, 10_000.0);
+        // both heads rotated by the same angle since pair index is 0 in each
+        assert!((x[0] - x[2]).abs() < 1e-6);
+        assert!((x[1] - x[3]).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head dimension")]
+    fn odd_head_dim_panics() {
+        apply_rope(&mut [1.0, 2.0, 3.0], 1, 10_000.0);
+    }
+}

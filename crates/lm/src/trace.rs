@@ -1,0 +1,236 @@
+//! Activation tracing.
+//!
+//! A [`TracingMlp`] wraps the dense forward pass and records, for every token
+//! and layer, the normalised MLP input and the GLU activations. The resulting
+//! [`ActivationTrace`] is the calibration artefact used throughout the
+//! workspace: per-layer threshold calibration (Sec. 3.1), DejaVu predictor
+//! training data, LoRA distillation data, the density-allocation fit
+//! (App. B.1), and the activation histograms of Fig. 3 / Fig. 10.
+
+use crate::error::Result;
+use crate::mlp::{GluMlp, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use crate::model::TransformerModel;
+use tensor::stats::Histogram;
+
+/// Recorded activations for a single (token, layer) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationSample {
+    /// The normalised input to the MLP block (`d_model` values).
+    pub input: Vec<f32>,
+    /// The GLU activations `W_u x ⊙ σ(W_g x)` (`d_ff` values).
+    pub glu: Vec<f32>,
+}
+
+/// Activations collected over a calibration run, grouped by layer.
+#[derive(Debug, Clone, Default)]
+pub struct ActivationTrace {
+    /// `samples[layer]` holds one entry per traced token.
+    pub samples: Vec<Vec<ActivationSample>>,
+}
+
+impl ActivationTrace {
+    /// Creates an empty trace for `n_layers` layers.
+    pub fn new(n_layers: usize) -> Self {
+        ActivationTrace {
+            samples: vec![Vec::new(); n_layers],
+        }
+    }
+
+    /// Number of layers covered by the trace.
+    pub fn n_layers(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of tokens traced (assumes all layers saw the same tokens).
+    pub fn n_tokens(&self) -> usize {
+        self.samples.first().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// All GLU activation magnitudes of one layer, flattened.
+    pub fn glu_magnitudes(&self, layer: usize) -> Vec<f32> {
+        self.samples
+            .get(layer)
+            .map(|samples| {
+                samples
+                    .iter()
+                    .flat_map(|s| s.glu.iter().map(|v| v.abs()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All MLP-input magnitudes of one layer, flattened.
+    pub fn input_magnitudes(&self, layer: usize) -> Vec<f32> {
+        self.samples
+            .get(layer)
+            .map(|samples| {
+                samples
+                    .iter()
+                    .flat_map(|s| s.input.iter().map(|v| v.abs()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Fraction of GLU activations that are exactly zero in a layer
+    /// (the "natural sparsity" of Fig. 3).
+    pub fn natural_sparsity(&self, layer: usize) -> f32 {
+        let samples = match self.samples.get(layer) {
+            Some(s) if !s.is_empty() => s,
+            _ => return 0.0,
+        };
+        let total: usize = samples.iter().map(|s| s.glu.len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeros: usize = samples
+            .iter()
+            .map(|s| s.glu.iter().filter(|v| **v == 0.0).count())
+            .sum();
+        zeros as f32 / total as f32
+    }
+
+    /// Histogram of |GLU| magnitudes for a layer (used for Fig. 3 / Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram construction errors.
+    pub fn glu_histogram(&self, layer: usize, lo: f32, hi: f32, bins: usize) -> Result<Histogram> {
+        let mut h = Histogram::new(lo, hi, bins).map_err(crate::error::LmError::from)?;
+        h.extend_from_slice(&self.glu_magnitudes(layer));
+        Ok(h)
+    }
+}
+
+/// An [`MlpForward`] implementation that computes the dense forward pass and
+/// records inputs and GLU activations into an [`ActivationTrace`].
+#[derive(Debug, Clone, Default)]
+pub struct TracingMlp {
+    /// The trace being accumulated.
+    pub trace: ActivationTrace,
+}
+
+impl TracingMlp {
+    /// Creates a tracer for a model with `n_layers` layers.
+    pub fn new(n_layers: usize) -> Self {
+        TracingMlp {
+            trace: ActivationTrace::new(n_layers),
+        }
+    }
+
+    /// Consumes the tracer and returns the collected trace.
+    pub fn into_trace(self) -> ActivationTrace {
+        self.trace
+    }
+}
+
+impl MlpForward for TracingMlp {
+    fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> Result<MlpForwardOutput> {
+        let glu = mlp.glu_activations(x)?;
+        let y = mlp.w_down.matvec(&glu).map_err(crate::error::LmError::from)?;
+        if layer >= self.trace.samples.len() {
+            self.trace.samples.resize(layer + 1, Vec::new());
+        }
+        self.trace.samples[layer].push(ActivationSample {
+            input: x.to_vec(),
+            glu,
+        });
+        Ok(MlpForwardOutput {
+            y,
+            access: MlpAccessRecord::dense(),
+        })
+    }
+
+    fn name(&self) -> String {
+        "dense-tracing".to_string()
+    }
+}
+
+/// Runs the model dense over the given sequences and collects an
+/// [`ActivationTrace`].
+///
+/// # Errors
+///
+/// Propagates forward-pass errors (e.g. invalid tokens).
+pub fn collect_activation_trace(
+    model: &TransformerModel,
+    sequences: &[Vec<u32>],
+) -> Result<ActivationTrace> {
+    let mut tracer = TracingMlp::new(model.n_layers());
+    for seq in sequences {
+        let mut state = model.new_decode_state();
+        for &t in seq {
+            model.forward_token(t, &mut state, &mut tracer)?;
+        }
+    }
+    Ok(tracer.into_trace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_synthetic;
+    use crate::config::ModelConfig;
+    use crate::data::model_generated_corpus;
+
+    fn tiny() -> TransformerModel {
+        build_synthetic(&ModelConfig::tiny(), 5).unwrap()
+    }
+
+    #[test]
+    fn tracing_matches_dense_forward() {
+        let model = tiny();
+        let seq = vec![1u32, 2, 3, 4];
+
+        let mut dense_state = model.new_decode_state();
+        let mut traced_state = model.new_decode_state();
+        let mut tracer = TracingMlp::new(model.n_layers());
+        for &t in &seq {
+            let dense = model.forward_token_dense(t, &mut dense_state).unwrap();
+            let traced = model.forward_token(t, &mut traced_state, &mut tracer).unwrap();
+            for (a, b) in dense.logits.iter().zip(traced.logits.iter()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_dimensions_match_model() {
+        let model = tiny();
+        let seqs = model_generated_corpus(&model, 2, 6, 3).unwrap();
+        let trace = collect_activation_trace(&model, &seqs).unwrap();
+        assert_eq!(trace.n_layers(), model.n_layers());
+        assert_eq!(trace.n_tokens(), 12);
+        let sample = &trace.samples[0][0];
+        assert_eq!(sample.input.len(), model.config.d_model);
+        assert_eq!(sample.glu.len(), model.config.d_ff);
+    }
+
+    #[test]
+    fn magnitudes_and_histogram() {
+        let model = tiny();
+        let seqs = model_generated_corpus(&model, 1, 8, 3).unwrap();
+        let trace = collect_activation_trace(&model, &seqs).unwrap();
+        let mags = trace.glu_magnitudes(0);
+        assert_eq!(mags.len(), 8 * model.config.d_ff);
+        assert!(mags.iter().all(|m| *m >= 0.0));
+        let hist = trace.glu_histogram(0, 0.0, 5.0, 20).unwrap();
+        assert_eq!(hist.total() as usize, mags.len());
+        assert!(trace.input_magnitudes(0).len() == 8 * model.config.d_model);
+        assert!(trace.glu_magnitudes(99).is_empty());
+    }
+
+    #[test]
+    fn natural_sparsity_high_for_relufied() {
+        let config = ModelConfig::tiny();
+        let swiglu = build_synthetic(&config, 5).unwrap();
+        let relu = build_synthetic(&config.relufied(), 5).unwrap();
+        let seqs = model_generated_corpus(&swiglu, 1, 8, 3).unwrap();
+
+        let t_swiglu = collect_activation_trace(&swiglu, &seqs).unwrap();
+        let t_relu = collect_activation_trace(&relu, &seqs).unwrap();
+        assert!(t_swiglu.natural_sparsity(0) < 0.05);
+        assert!(t_relu.natural_sparsity(0) > 0.5);
+        assert_eq!(ActivationTrace::new(2).natural_sparsity(0), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Blockwise (group-wise) uniform quantization — the BQ / GPTQ-style
+//! baseline of Section 6.3.
+//!
+//! Weights are split into groups of `group_size` consecutive values along
+//! each row; each group gets a symmetric scale and every weight is rounded to
+//! a `bits`-bit signed integer grid. Only the *error* matters for the
+//! accuracy experiments, so [`BlockwiseQuantizer::quantize_dequantize`]
+//! returns the reconstructed matrix directly; byte accounting for the memory
+//! plots is provided separately.
+
+use crate::error::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// Blockwise symmetric uniform quantizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockwiseQuantizer {
+    /// Bit-width of the integer grid (2–8).
+    pub bits: u8,
+    /// Number of consecutive weights sharing one scale.
+    pub group_size: usize,
+}
+
+impl BlockwiseQuantizer {
+    /// Creates a quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for a bit-width outside
+    /// `2..=8` or a zero group size.
+    pub fn new(bits: u8, group_size: usize) -> Result<Self> {
+        if !(2..=8).contains(&bits) {
+            return Err(QuantError::InvalidParameter {
+                name: "bits",
+                reason: format!("must be in 2..=8, got {bits}"),
+            });
+        }
+        if group_size == 0 {
+            return Err(QuantError::InvalidParameter {
+                name: "group_size",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        Ok(BlockwiseQuantizer { bits, group_size })
+    }
+
+    /// Number of positive quantization levels (`2^(bits-1) - 1`).
+    fn max_level(&self) -> f32 {
+        ((1u32 << (self.bits - 1)) - 1) as f32
+    }
+
+    /// Quantizes and immediately dequantizes a matrix, returning the
+    /// reconstruction the model would actually use at inference time.
+    pub fn quantize_dequantize(&self, w: &Matrix) -> Matrix {
+        let mut out = w.clone();
+        let max_level = self.max_level();
+        for row in 0..out.rows() {
+            let cols = out.cols();
+            for group_start in (0..cols).step_by(self.group_size) {
+                let group_end = (group_start + self.group_size).min(cols);
+                let mut absmax = 0.0f32;
+                for c in group_start..group_end {
+                    absmax = absmax.max(out.get(row, c).abs());
+                }
+                if absmax == 0.0 {
+                    continue;
+                }
+                let scale = absmax / max_level;
+                for c in group_start..group_end {
+                    let q = (out.get(row, c) / scale).round().clamp(-max_level, max_level);
+                    out.set(row, c, q * scale);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean squared reconstruction error on a matrix.
+    pub fn reconstruction_mse(&self, w: &Matrix) -> f32 {
+        let deq = self.quantize_dequantize(w);
+        let n = w.len().max(1) as f32;
+        w.as_slice()
+            .iter()
+            .zip(deq.as_slice().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n
+    }
+
+    /// Effective bits per weight including the per-group FP16 scale overhead.
+    pub fn effective_bits_per_weight(&self) -> f64 {
+        f64::from(self.bits) + 16.0 / self.group_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::init;
+
+    fn sample_matrix() -> Matrix {
+        init::heavy_tailed_matrix(&mut init::rng(3), 16, 64, 1.0)
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(BlockwiseQuantizer::new(4, 32).is_ok());
+        assert!(BlockwiseQuantizer::new(1, 32).is_err());
+        assert!(BlockwiseQuantizer::new(9, 32).is_err());
+        assert!(BlockwiseQuantizer::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn reconstruction_preserves_shape_and_zeroes() {
+        let q = BlockwiseQuantizer::new(4, 16).unwrap();
+        let w = Matrix::zeros(4, 8);
+        let deq = q.quantize_dequantize(&w);
+        assert_eq!(deq, w);
+        let w = sample_matrix();
+        assert_eq!(q.quantize_dequantize(&w).shape(), w.shape());
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let w = sample_matrix();
+        let mse2 = BlockwiseQuantizer::new(2, 32).unwrap().reconstruction_mse(&w);
+        let mse3 = BlockwiseQuantizer::new(3, 32).unwrap().reconstruction_mse(&w);
+        let mse4 = BlockwiseQuantizer::new(4, 32).unwrap().reconstruction_mse(&w);
+        let mse8 = BlockwiseQuantizer::new(8, 32).unwrap().reconstruction_mse(&w);
+        assert!(mse2 > mse3);
+        assert!(mse3 > mse4);
+        assert!(mse4 > mse8);
+        assert!(mse8 < 1e-4);
+    }
+
+    #[test]
+    fn smaller_groups_reduce_error_but_cost_more_bits() {
+        let w = sample_matrix();
+        let coarse = BlockwiseQuantizer::new(4, 64).unwrap();
+        let fine = BlockwiseQuantizer::new(4, 8).unwrap();
+        assert!(fine.reconstruction_mse(&w) <= coarse.reconstruction_mse(&w));
+        assert!(fine.effective_bits_per_weight() > coarse.effective_bits_per_weight());
+    }
+
+    #[test]
+    fn quantized_values_lie_on_the_grid() {
+        let q = BlockwiseQuantizer::new(3, 4).unwrap();
+        let w = Matrix::from_rows(&[vec![0.1, -0.5, 0.25, 0.9]]).unwrap();
+        let deq = q.quantize_dequantize(&w);
+        // the absmax element is reconstructed exactly
+        assert!((deq.get(0, 3) - 0.9).abs() < 1e-6);
+        // every value is an integer multiple of the scale (0.9 / 3)
+        let scale = 0.9 / 3.0;
+        for c in 0..4 {
+            let ratio = deq.get(0, c) / scale;
+            assert!((ratio - ratio.round()).abs() < 1e-4);
+        }
+    }
+}

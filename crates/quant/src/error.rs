@@ -1,0 +1,72 @@
+//! Error type for the quantization / static-pruning crate.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, QuantError>;
+
+/// Errors produced by quantization or static pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// An underlying tensor operation failed.
+    Tensor(tensor::TensorError),
+    /// An underlying model operation failed.
+    Lm(lm::LmError),
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// The parameter at fault.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::Lm(e) => write!(f, "model error: {e}"),
+            QuantError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            QuantError::Lm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tensor::TensorError> for QuantError {
+    fn from(e: tensor::TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+impl From<lm::LmError> for QuantError {
+    fn from(e: lm::LmError) -> Self {
+        QuantError::Lm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: QuantError = tensor::TensorError::Empty { op: "softmax" }.into();
+        assert!(e.to_string().contains("softmax"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = QuantError::InvalidParameter { name: "bits", reason: "must be 2..=8".into() };
+        assert!(e.to_string().contains("bits"));
+        let e: QuantError = lm::LmError::BadSequence { reason: "x".into() }.into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

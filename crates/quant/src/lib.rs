@@ -1,0 +1,39 @@
+//! Quantization and static-pruning baselines for the dynamic-sparsity
+//! comparison (Section 6.3 / Fig. 9 of the paper).
+//!
+//! * [`BlockwiseQuantizer`] — group-wise symmetric uniform quantization
+//!   (the GPTQ-style "BQ" baseline at 2/3/4 bits),
+//! * [`VectorQuantizer`] — k-means codebook quantization over weight
+//!   sub-vectors (the GPTVQ-style "VQ" baseline),
+//! * [`StaticPruner`] — one-shot magnitude / diagonal-Hessian pruning with
+//!   unstructured and N:M (2:4, 4:8) masks, plus mask-overhead accounting,
+//! * [`model_ops`] — applying any of the above to a model's MLP weights and
+//!   computing the resulting memory footprint.
+//!
+//! # Example
+//!
+//! ```
+//! use quant::{BlockwiseQuantizer, model_ops::quantize_mlp_blockwise};
+//! use lm::{build_synthetic, ModelConfig};
+//!
+//! let model = build_synthetic(&ModelConfig::tiny(), 0)?;
+//! let q = BlockwiseQuantizer::new(4, 32).expect("valid config");
+//! let int4 = quantize_mlp_blockwise(&model, &q);
+//! assert_eq!(int4.n_layers(), model.n_layers());
+//! # Ok::<(), lm::LmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blockwise;
+pub mod error;
+pub mod model_ops;
+pub mod static_pruning;
+pub mod vector_quant;
+
+pub use blockwise::BlockwiseQuantizer;
+pub use error::{QuantError, Result};
+pub use static_pruning::{
+    mask_overhead_bits_per_weight, PruningCriterion, PruningStructure, StaticPruner,
+};
+pub use vector_quant::VectorQuantizer;

@@ -1,0 +1,334 @@
+//! Static (one-shot) pruning baselines: magnitude pruning, a diagonal-Hessian
+//! "SparseGPT-style" criterion, and N:M semi-structured pruning (2:4, 4:8).
+//!
+//! Static pruning fixes the retained weight set once, for all tokens — the
+//! limitation Section 2 contrasts against dynamic sparsity. Its memory
+//! accounting must also include ≥1 bit per weight for the sparsity mask
+//! (Section 6.3), which [`mask_overhead_bits_per_weight`] exposes.
+
+use crate::error::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+use tensor::Matrix;
+
+/// The saliency criterion used to decide which weights to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruningCriterion {
+    /// Remove the smallest |w|.
+    Magnitude,
+    /// Remove the smallest `w^2 * E[x^2]`, a diagonal-Hessian (OBS/SparseGPT
+    /// style) saliency that accounts for the typical input magnitude of each
+    /// column. Requires per-column second moments from a calibration set.
+    DiagonalHessian,
+}
+
+/// Sparsity structure of the pruning mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PruningStructure {
+    /// Any weight may be removed.
+    Unstructured,
+    /// In every group of `m` consecutive weights (along a row), exactly
+    /// `m - n` are removed, keeping `n` (e.g. 2:4, 4:8).
+    SemiStructured {
+        /// Number of weights kept per group.
+        n: usize,
+        /// Group size.
+        m: usize,
+    },
+}
+
+impl PruningStructure {
+    /// The 2:4 pattern.
+    pub fn two_four() -> Self {
+        PruningStructure::SemiStructured { n: 2, m: 4 }
+    }
+
+    /// The 4:8 pattern.
+    pub fn four_eight() -> Self {
+        PruningStructure::SemiStructured { n: 4, m: 8 }
+    }
+
+    /// Fraction of weights kept by this structure (for semi-structured) or
+    /// `None` for unstructured (caller chooses the sparsity).
+    pub fn implied_density(&self) -> Option<f32> {
+        match self {
+            PruningStructure::Unstructured => None,
+            PruningStructure::SemiStructured { n, m } => Some(*n as f32 / *m as f32),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> String {
+        match self {
+            PruningStructure::Unstructured => "unstructured".to_string(),
+            PruningStructure::SemiStructured { n, m } => format!("{n}:{m}"),
+        }
+    }
+}
+
+/// One-shot static pruner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticPruner {
+    /// Saliency criterion.
+    pub criterion: PruningCriterion,
+    /// Mask structure.
+    pub structure: PruningStructure,
+    /// Per-column input second moments `E[x_c^2]` for the diagonal-Hessian
+    /// criterion (ignored for magnitude pruning).
+    pub column_second_moments: Option<Vec<f32>>,
+}
+
+impl StaticPruner {
+    /// Magnitude pruning with the given structure.
+    pub fn magnitude(structure: PruningStructure) -> Self {
+        StaticPruner {
+            criterion: PruningCriterion::Magnitude,
+            structure,
+            column_second_moments: None,
+        }
+    }
+
+    /// Diagonal-Hessian (SparseGPT-style) pruning with calibration moments.
+    pub fn diagonal_hessian(structure: PruningStructure, column_second_moments: Vec<f32>) -> Self {
+        StaticPruner {
+            criterion: PruningCriterion::DiagonalHessian,
+            structure,
+            column_second_moments: Some(column_second_moments),
+        }
+    }
+
+    fn saliency(&self, w: &Matrix, row: usize, col: usize) -> Result<f32> {
+        let weight = w.get(row, col);
+        Ok(match self.criterion {
+            PruningCriterion::Magnitude => weight.abs(),
+            PruningCriterion::DiagonalHessian => {
+                let moments =
+                    self.column_second_moments
+                        .as_ref()
+                        .ok_or(QuantError::InvalidParameter {
+                            name: "column_second_moments",
+                            reason: "required for the diagonal-Hessian criterion".to_string(),
+                        })?;
+                let m = moments.get(col).copied().unwrap_or(1.0);
+                weight * weight * m
+            }
+        })
+    }
+
+    /// Prunes a matrix to the target density (fraction of weights kept) and
+    /// returns the pruned copy.
+    ///
+    /// For semi-structured patterns the density argument is ignored and the
+    /// pattern's implied density (e.g. 50 % for 2:4) is used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for a density outside
+    /// `(0, 1]` or a missing calibration vector.
+    pub fn prune(&self, w: &Matrix, density: f32) -> Result<Matrix> {
+        if !(density.is_finite() && density > 0.0 && density <= 1.0) {
+            return Err(QuantError::InvalidParameter {
+                name: "density",
+                reason: format!("must be in (0, 1], got {density}"),
+            });
+        }
+        let mut out = w.clone();
+        match self.structure {
+            PruningStructure::Unstructured => {
+                let mut saliencies = Vec::with_capacity(w.len());
+                for r in 0..w.rows() {
+                    for c in 0..w.cols() {
+                        saliencies.push(self.saliency(w, r, c)?);
+                    }
+                }
+                let keep = ((w.len() as f64) * f64::from(density)).round() as usize;
+                if keep >= w.len() {
+                    return Ok(out);
+                }
+                let mut sorted = saliencies.clone();
+                sorted.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+                let threshold = sorted[keep.max(1) - 1];
+                let mut kept = 0usize;
+                for r in 0..w.rows() {
+                    for c in 0..w.cols() {
+                        let s = saliencies[r * w.cols() + c];
+                        if s > threshold || (s == threshold && kept < keep) {
+                            if s == threshold {
+                                kept += 1;
+                            }
+                            continue;
+                        }
+                        out.set(r, c, 0.0);
+                    }
+                }
+            }
+            PruningStructure::SemiStructured { n, m } => {
+                if n == 0 || m == 0 || n > m {
+                    return Err(QuantError::InvalidParameter {
+                        name: "structure",
+                        reason: format!("invalid N:M pattern {n}:{m}"),
+                    });
+                }
+                for r in 0..w.rows() {
+                    for group_start in (0..w.cols()).step_by(m) {
+                        let group_end = (group_start + m).min(w.cols());
+                        let mut scored: Vec<(usize, f32)> = (group_start..group_end)
+                            .map(|c| Ok((c, self.saliency(w, r, c)?)))
+                            .collect::<Result<_>>()?;
+                        scored.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        for &(c, _) in scored.iter().skip(n) {
+                            out.set(r, c, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Extra storage (bits per weight) needed to record which weights were
+/// pruned. At least one bit per weight is required for an unstructured mask;
+/// N:M patterns need `log2(C(m, n))` bits per group, which is below one bit
+/// per weight.
+pub fn mask_overhead_bits_per_weight(structure: PruningStructure) -> f64 {
+    match structure {
+        PruningStructure::Unstructured => 1.0,
+        PruningStructure::SemiStructured { n, m } => {
+            let combinations = binomial(m, n) as f64;
+            combinations.log2() / m as f64
+        }
+    }
+}
+
+fn binomial(m: usize, n: usize) -> u64 {
+    let n = n.min(m - n);
+    let mut result = 1u64;
+    for i in 0..n {
+        result = result * (m - i) as u64 / (i + 1) as u64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::init;
+
+    fn sample() -> Matrix {
+        init::heavy_tailed_matrix(&mut init::rng(11), 8, 32, 0.8)
+    }
+
+    #[test]
+    fn unstructured_magnitude_hits_target_density() {
+        let w = sample();
+        let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
+        let pruned = pruner.prune(&w, 0.5).unwrap();
+        let density = 1.0 - pruned.sparsity();
+        assert!((density - 0.5).abs() < 0.05, "density {density}");
+        // kept weights are the largest ones
+        let kept_min = pruned
+            .as_slice()
+            .iter()
+            .filter(|v| **v != 0.0)
+            .fold(f32::INFINITY, |m, v| m.min(v.abs()));
+        let dropped_max = w
+            .as_slice()
+            .iter()
+            .zip(pruned.as_slice().iter())
+            .filter(|(_, p)| **p == 0.0)
+            .fold(0.0f32, |m, (orig, _)| m.max(orig.abs()));
+        assert!(kept_min >= dropped_max * 0.999);
+    }
+
+    #[test]
+    fn full_density_is_identity() {
+        let w = sample();
+        let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
+        assert_eq!(pruner.prune(&w, 1.0).unwrap(), w);
+    }
+
+    #[test]
+    fn density_validation() {
+        let w = sample();
+        let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
+        assert!(pruner.prune(&w, 0.0).is_err());
+        assert!(pruner.prune(&w, 1.5).is_err());
+    }
+
+    #[test]
+    fn semi_structured_patterns_keep_n_of_m_per_group() {
+        let w = sample();
+        for (structure, expected) in [
+            (PruningStructure::two_four(), 2usize),
+            (PruningStructure::four_eight(), 4usize),
+        ] {
+            let pruner = StaticPruner::magnitude(structure);
+            let pruned = pruner.prune(&w, 0.5).unwrap();
+            let m = match structure {
+                PruningStructure::SemiStructured { m, .. } => m,
+                _ => unreachable!(),
+            };
+            for r in 0..w.rows() {
+                for group_start in (0..w.cols()).step_by(m) {
+                    let group_end = (group_start + m).min(w.cols());
+                    let kept = (group_start..group_end)
+                        .filter(|&c| pruned.get(r, c) != 0.0)
+                        .count();
+                    assert!(kept <= expected, "{structure:?}: kept {kept} in a group");
+                }
+            }
+            assert!((1.0 - pruned.sparsity() - 0.5).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn diagonal_hessian_prefers_high_activation_columns() {
+        // two columns with equal weights but very different input energy:
+        // the high-energy column must be kept
+        let w = Matrix::from_rows(&[vec![0.5, 0.5]]).unwrap();
+        let pruner =
+            StaticPruner::diagonal_hessian(PruningStructure::Unstructured, vec![100.0, 0.01]);
+        let pruned = pruner.prune(&w, 0.5).unwrap();
+        assert!(pruned.get(0, 0) != 0.0);
+        assert_eq!(pruned.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn diagonal_hessian_requires_moments() {
+        let w = sample();
+        let pruner = StaticPruner {
+            criterion: PruningCriterion::DiagonalHessian,
+            structure: PruningStructure::Unstructured,
+            column_second_moments: None,
+        };
+        assert!(pruner.prune(&w, 0.5).is_err());
+    }
+
+    #[test]
+    fn semi_structured_rejects_bad_patterns() {
+        let w = sample();
+        let pruner = StaticPruner::magnitude(PruningStructure::SemiStructured { n: 5, m: 4 });
+        assert!(pruner.prune(&w, 0.5).is_err());
+    }
+
+    #[test]
+    fn mask_overhead_accounting() {
+        assert!((mask_overhead_bits_per_weight(PruningStructure::Unstructured) - 1.0).abs() < 1e-9);
+        let two_four = mask_overhead_bits_per_weight(PruningStructure::two_four());
+        // log2(C(4,2)) / 4 = log2(6)/4 ~ 0.646
+        assert!((two_four - 0.6462).abs() < 1e-3);
+        let four_eight = mask_overhead_bits_per_weight(PruningStructure::four_eight());
+        assert!(four_eight < 1.0 && four_eight > two_four);
+        assert!((binomial(8, 4) as f64 - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_names_and_density() {
+        assert_eq!(PruningStructure::two_four().name(), "2:4");
+        assert_eq!(PruningStructure::Unstructured.name(), "unstructured");
+        assert_eq!(PruningStructure::two_four().implied_density(), Some(0.5));
+        assert_eq!(PruningStructure::Unstructured.implied_density(), None);
+    }
+}

@@ -1,0 +1,224 @@
+//! Vector quantization (VQ) — the GPTVQ-style baseline of Section 6.3.
+//!
+//! Rows are split into sub-vectors of `vector_dim` consecutive weights; a
+//! k-means codebook with `2^(bits * vector_dim)` entries (capped) is fitted
+//! per matrix and every sub-vector is replaced by its nearest centroid.
+
+use crate::error::{QuantError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tensor::{init, Matrix};
+
+/// Vector quantizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorQuantizer {
+    /// Bits per weight.
+    pub bits: u8,
+    /// Sub-vector length.
+    pub vector_dim: usize,
+    /// Lloyd iterations for the codebook fit.
+    pub iterations: usize,
+    /// RNG seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl VectorQuantizer {
+    /// Creates a vector quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] for a bit-width outside
+    /// `1..=6`, a zero vector dimension, or zero iterations.
+    pub fn new(bits: u8, vector_dim: usize, iterations: usize, seed: u64) -> Result<Self> {
+        if !(1..=6).contains(&bits) {
+            return Err(QuantError::InvalidParameter {
+                name: "bits",
+                reason: format!("must be in 1..=6, got {bits}"),
+            });
+        }
+        if vector_dim == 0 {
+            return Err(QuantError::InvalidParameter {
+                name: "vector_dim",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        if iterations == 0 {
+            return Err(QuantError::InvalidParameter {
+                name: "iterations",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        Ok(VectorQuantizer {
+            bits,
+            vector_dim,
+            iterations,
+            seed,
+        })
+    }
+
+    /// Codebook size implied by bits-per-weight and the sub-vector length,
+    /// capped at 4096 entries to keep the fit tractable.
+    pub fn codebook_size(&self) -> usize {
+        let exponent = (self.bits as u32 * self.vector_dim as u32).min(12);
+        1usize << exponent
+    }
+
+    /// Effective bits per weight including a FP16 codebook amortised over the
+    /// matrix (the codebook overhead is tiny for realistic matrices).
+    pub fn effective_bits_per_weight(&self, matrix_elems: usize) -> f64 {
+        let index_bits = f64::from(self.bits);
+        let codebook_bits = (self.codebook_size() * self.vector_dim * 16) as f64;
+        index_bits + codebook_bits / matrix_elems.max(1) as f64
+    }
+
+    fn collect_subvectors(&self, w: &Matrix) -> Vec<Vec<f32>> {
+        let mut subvectors = Vec::new();
+        for r in 0..w.rows() {
+            let row = w.row(r).expect("row exists");
+            for chunk in row.chunks(self.vector_dim) {
+                let mut v = chunk.to_vec();
+                v.resize(self.vector_dim, 0.0);
+                subvectors.push(v);
+            }
+        }
+        subvectors
+    }
+
+    fn fit_codebook(&self, subvectors: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let k = self.codebook_size().min(subvectors.len().max(1));
+        let mut rng = init::rng(self.seed);
+        let mut centroids: Vec<Vec<f32>> = (0..k)
+            .map(|_| subvectors[rng.gen_range(0..subvectors.len())].clone())
+            .collect();
+
+        let mut assignment = vec![0usize; subvectors.len()];
+        for _ in 0..self.iterations {
+            // assignment step
+            for (i, v) in subvectors.iter().enumerate() {
+                assignment[i] = nearest_centroid(v, &centroids);
+            }
+            // update step
+            let mut sums = vec![vec![0.0f32; self.vector_dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (v, &a) in subvectors.iter().zip(assignment.iter()) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(v.iter()) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+                if *count > 0 {
+                    *c = sum.iter().map(|s| s / *count as f32).collect();
+                }
+            }
+        }
+        centroids
+    }
+
+    /// Quantizes and immediately dequantizes a matrix.
+    pub fn quantize_dequantize(&self, w: &Matrix) -> Matrix {
+        if w.is_empty() {
+            return w.clone();
+        }
+        let subvectors = self.collect_subvectors(w);
+        let centroids = self.fit_codebook(&subvectors);
+
+        let mut out = Matrix::zeros(w.rows(), w.cols());
+        let chunks_per_row = w.cols().div_ceil(self.vector_dim);
+        for r in 0..w.rows() {
+            for chunk_idx in 0..chunks_per_row {
+                let sub = &subvectors[r * chunks_per_row + chunk_idx];
+                let c = &centroids[nearest_centroid(sub, &centroids)];
+                for (offset, value) in c.iter().enumerate() {
+                    let col = chunk_idx * self.vector_dim + offset;
+                    if col < w.cols() {
+                        out.set(r, col, *value);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean squared reconstruction error on a matrix.
+    pub fn reconstruction_mse(&self, w: &Matrix) -> f32 {
+        let deq = self.quantize_dequantize(w);
+        let n = w.len().max(1) as f32;
+        w.as_slice()
+            .iter()
+            .zip(deq.as_slice().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n
+    }
+}
+
+fn nearest_centroid(v: &[f32], centroids: &[Vec<f32>]) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let mut d = 0.0f32;
+        for (a, b) in v.iter().zip(c.iter()) {
+            d += (a - b) * (a - b);
+        }
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockwise::BlockwiseQuantizer;
+
+    fn sample_matrix() -> Matrix {
+        init::heavy_tailed_matrix(&mut init::rng(7), 24, 48, 0.8)
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(VectorQuantizer::new(3, 2, 5, 0).is_ok());
+        assert!(VectorQuantizer::new(0, 2, 5, 0).is_err());
+        assert!(VectorQuantizer::new(7, 2, 5, 0).is_err());
+        assert!(VectorQuantizer::new(3, 0, 5, 0).is_err());
+        assert!(VectorQuantizer::new(3, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn codebook_size_is_capped() {
+        assert_eq!(VectorQuantizer::new(2, 2, 3, 0).unwrap().codebook_size(), 16);
+        assert_eq!(VectorQuantizer::new(6, 4, 3, 0).unwrap().codebook_size(), 4096);
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_bits() {
+        let w = sample_matrix();
+        let mse2 = VectorQuantizer::new(2, 2, 8, 1).unwrap().reconstruction_mse(&w);
+        let mse4 = VectorQuantizer::new(4, 2, 8, 1).unwrap().reconstruction_mse(&w);
+        assert!(mse4 < mse2, "4-bit VQ ({mse4}) should beat 2-bit VQ ({mse2})");
+    }
+
+    #[test]
+    fn vq_at_3_bits_is_competitive_with_bq_at_3_bits() {
+        // the blessing of dimensionality: VQ should not be dramatically worse
+        // than scalar blockwise quantization at the same bit budget
+        let w = sample_matrix();
+        let vq = VectorQuantizer::new(3, 2, 10, 1).unwrap().reconstruction_mse(&w);
+        let bq = BlockwiseQuantizer::new(3, 32).unwrap().reconstruction_mse(&w);
+        assert!(vq < bq * 3.0, "vq {vq} vs bq {bq}");
+    }
+
+    #[test]
+    fn reconstruction_preserves_shape_and_handles_ragged_rows() {
+        let q = VectorQuantizer::new(3, 4, 4, 0).unwrap();
+        let w = Matrix::from_rows(&[vec![0.1, -0.2, 0.3, 0.4, 0.5], vec![1.0, 0.9, -0.8, 0.7, -0.6]])
+            .unwrap();
+        let deq = q.quantize_dequantize(&w);
+        assert_eq!(deq.shape(), w.shape());
+        assert!(deq.as_slice().iter().all(|v| v.is_finite()));
+        assert!(q.effective_bits_per_weight(w.len()) > 3.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Non-linearities used by transformer MLP blocks.
+
+use serde::{Deserialize, Serialize};
+
+/// The element-wise non-linearity applied inside a GLU MLP.
+///
+/// The paper contrasts SwiGLU networks (SiLU gating, virtually no natural
+/// sparsity) against ReLU-fied networks (high natural sparsity). The
+/// [`Activation::Relu`] variant is used to build the "ReLU-fied" synthetic
+/// models (analogue of TurboSparse-Mistral in Fig. 3 / Fig. 6).
+///
+/// # Example
+///
+/// ```
+/// use tensor::Activation;
+/// assert_eq!(Activation::Relu.apply_scalar(-1.0), 0.0);
+/// assert_eq!(Activation::Identity.apply_scalar(-1.0), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Activation {
+    /// Sigmoid-weighted linear unit `x * sigmoid(x)` (SwiGLU gating).
+    #[default]
+    Silu,
+    /// Rectified linear unit `max(x, 0)`.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// The identity function (no non-linearity).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the non-linearity to a single scalar.
+    #[inline]
+    pub fn apply_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Silu => x * sigmoid(x),
+            Activation::Relu => x.max(0.0),
+            Activation::Gelu => {
+                // tanh approximation of GELU
+                const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+                0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+            }
+            Activation::Identity => x,
+        }
+    }
+
+    /// Applies the non-linearity element-wise in place.
+    pub fn apply(self, xs: &mut [f32]) {
+        for x in xs.iter_mut() {
+            *x = self.apply_scalar(*x);
+        }
+    }
+
+    /// Returns a new vector with the non-linearity applied element-wise.
+    pub fn map(self, xs: &[f32]) -> Vec<f32> {
+        xs.iter().map(|&x| self.apply_scalar(x)).collect()
+    }
+
+    /// Whether this non-linearity produces exact zeros for negative inputs.
+    ///
+    /// ReLU-activated LLMs exhibit *natural* activation sparsity precisely
+    /// because of this property; SiLU/GELU do not.
+    pub fn induces_natural_sparsity(self) -> bool {
+        matches!(self, Activation::Relu)
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Activation::Silu => "silu",
+            Activation::Relu => "relu",
+            Activation::Gelu => "gelu",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_matches_reference_values() {
+        // silu(0) = 0, silu(1) ~ 0.7311, silu(-1) ~ -0.2689
+        assert_eq!(Activation::Silu.apply_scalar(0.0), 0.0);
+        assert!((Activation::Silu.apply_scalar(1.0) - 0.731_058_6).abs() < 1e-5);
+        assert!((Activation::Silu.apply_scalar(-1.0) + 0.268_941_4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply_scalar(-3.5), 0.0);
+        assert_eq!(Activation::Relu.apply_scalar(2.0), 2.0);
+    }
+
+    #[test]
+    fn gelu_reference_values() {
+        assert!((Activation::Gelu.apply_scalar(0.0)).abs() < 1e-6);
+        assert!((Activation::Gelu.apply_scalar(1.0) - 0.841_192).abs() < 1e-3);
+        assert!(Activation::Gelu.apply_scalar(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_in_place_matches_map() {
+        let xs = vec![-2.0, -0.5, 0.0, 0.5, 2.0];
+        for act in [
+            Activation::Silu,
+            Activation::Relu,
+            Activation::Gelu,
+            Activation::Identity,
+        ] {
+            let mapped = act.map(&xs);
+            let mut in_place = xs.clone();
+            act.apply(&mut in_place);
+            assert_eq!(mapped, in_place);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_large_inputs() {
+        assert!((sigmoid(100.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(-100.0).abs() < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn only_relu_induces_natural_sparsity() {
+        assert!(Activation::Relu.induces_natural_sparsity());
+        assert!(!Activation::Silu.induces_natural_sparsity());
+        assert!(!Activation::Gelu.induces_natural_sparsity());
+        assert!(!Activation::Identity.induces_natural_sparsity());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Silu.to_string(), "silu");
+        assert_eq!(Activation::Relu.to_string(), "relu");
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the tensor crate.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Human readable description of the operation that failed.
+        op: &'static str,
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape actually provided.
+        found: (usize, usize),
+    },
+    /// An index was out of bounds for the given dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The length of the dimension that was indexed.
+        len: usize,
+    },
+    /// An operation that requires a non-empty input received an empty one.
+    Empty {
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Explanation of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, found } => write!(
+                f,
+                "shape mismatch in {op}: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
+            TensorError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty input"),
+            TensorError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            op: "matvec",
+            expected: (2, 3),
+            found: (3, 2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matvec: expected 2x3, found 3x2"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = TensorError::IndexOutOfBounds { index: 5, len: 3 };
+        assert_eq!(e.to_string(), "index 5 out of bounds for length 3");
+    }
+
+    #[test]
+    fn display_empty_and_invalid() {
+        assert_eq!(
+            TensorError::Empty { op: "softmax" }.to_string(),
+            "softmax requires a non-empty input"
+        );
+        let e = TensorError::InvalidParameter {
+            name: "k",
+            reason: "must be <= len".to_string(),
+        };
+        assert!(e.to_string().contains("invalid parameter `k`"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

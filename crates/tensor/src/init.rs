@@ -1,0 +1,111 @@
+//! Random weight initialisation.
+//!
+//! Besides the standard Xavier/Kaiming style initialisers, this module
+//! provides [`heavy_tailed_matrix`], which scales individual rows by a
+//! log-normal factor. Matrices initialised this way produce GLU activation
+//! magnitude distributions in which a small fraction of neurons fire orders
+//! of magnitude more strongly than the rest — the property that the paper's
+//! Fig. 10 (left) reports for Phi-3-Medium and that motivates DIP-CA's
+//! re-weighting. This is the calibrated synthetic substitute for real
+//! pretrained weights (see DESIGN.md §1).
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG used across the workspace so every experiment is
+/// reproducible from a single seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Standard normal sample via Box–Muller (avoids a dependency on
+/// `rand_distr`).
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Fills a vector with i.i.d. normal samples of the given standard deviation.
+pub fn normal_vec<R: Rng>(rng: &mut R, len: usize, std: f32) -> Vec<f32> {
+    (0..len).map(|_| sample_standard_normal(rng) * std).collect()
+}
+
+/// Xavier/Glorot-style initialisation: `std = sqrt(2 / (fan_in + fan_out))`.
+pub fn xavier_matrix<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let std = (2.0 / (rows + cols) as f32).sqrt();
+    let data = normal_vec(rng, rows * cols, std);
+    Matrix::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+/// Xavier initialisation with per-row log-normal gain.
+///
+/// Each row `r` is scaled by `exp(sigma * z_r)` with `z_r ~ N(0, 1)`. With
+/// `sigma` around 1.0–1.5 the resulting GLU activations reproduce the
+/// "few neurons fire orders of magnitude stronger" behaviour from the paper.
+pub fn heavy_tailed_matrix<R: Rng>(rng: &mut R, rows: usize, cols: usize, sigma: f32) -> Matrix {
+    let mut m = xavier_matrix(rng, rows, cols);
+    for r in 0..rows {
+        let gain = (sigma * sample_standard_normal(rng)).exp();
+        m.scale_row(r, gain).expect("row index in range");
+    }
+    m
+}
+
+/// Uniform initialisation in `[-limit, limit]`.
+pub fn uniform_matrix<R: Rng>(rng: &mut R, rows: usize, cols: usize, limit: f32) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Matrix::from_vec(rows, cols, data).expect("length matches by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let a = normal_vec(&mut rng(42), 16, 1.0);
+        let b = normal_vec(&mut rng(42), 16, 1.0);
+        assert_eq!(a, b);
+        let c = normal_vec(&mut rng(43), 16, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_samples_have_roughly_unit_variance() {
+        let xs = normal_vec(&mut rng(7), 20_000, 1.0);
+        assert!(stats::mean(&xs).abs() < 0.05);
+        assert!((stats::variance(&xs) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_size() {
+        let small = xavier_matrix(&mut rng(1), 8, 8);
+        let large = xavier_matrix(&mut rng(1), 512, 512);
+        assert!(small.mean_abs() > large.mean_abs());
+    }
+
+    #[test]
+    fn heavy_tailed_rows_have_wider_magnitude_spread() {
+        let mut r = rng(3);
+        let plain = xavier_matrix(&mut r, 64, 64);
+        let heavy = heavy_tailed_matrix(&mut r, 64, 64, 1.5);
+        let row_norm = |m: &Matrix| -> Vec<f32> {
+            (0..m.rows())
+                .map(|i| m.row(i).unwrap().iter().map(|v| v * v).sum::<f32>().sqrt())
+                .collect()
+        };
+        let spread = |v: &[f32]| stats::max(v) / stats::min(v).max(1e-9);
+        assert!(spread(&row_norm(&heavy)) > spread(&row_norm(&plain)) * 2.0);
+    }
+
+    #[test]
+    fn uniform_matrix_respects_limit() {
+        let m = uniform_matrix(&mut rng(5), 10, 10, 0.25);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.25));
+    }
+}

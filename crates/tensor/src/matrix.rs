@@ -1,0 +1,677 @@
+//! Row-major dense matrix with dense and column-sparse matrix–vector products.
+
+use crate::error::{Result, TensorError};
+use crate::sparse::ColumnMask;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f32` matrix.
+///
+/// The matrix–vector product `W x` is the dominant operation during LLM token
+/// generation; this type provides the dense kernel plus the two sparse
+/// variants exploited by dynamic sparsity methods:
+///
+/// * [`Matrix::matvec_cols`] — skip pruned *input columns* (used when the
+///   input activation vector is sparsified, e.g. DIP's `W_u`/`W_g` step),
+/// * [`Matrix::matvec_rows`] — compute only selected *output rows*
+///   (used for the transposed view of down-projection pruning).
+///
+/// # Example
+///
+/// ```
+/// use tensor::Matrix;
+/// let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(w.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "Matrix::from_vec",
+                expected: (rows, cols),
+                found: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] when `rows` is empty and
+    /// [`TensorError::ShapeMismatch`] when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(TensorError::Empty { op: "Matrix::from_rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(TensorError::ShapeMismatch {
+                    op: "Matrix::from_rows",
+                    expected: (rows.len(), cols),
+                    found: (rows.len(), r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `r >= rows`.
+    pub fn row(&self, r: usize) -> Result<&[f32]> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+        }
+        Ok(&self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
+    /// Returns a mutable view of row `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+        }
+        Ok(&mut self.data[r * self.cols..(r + 1) * self.cols])
+    }
+
+    /// Returns column `c` as an owned vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `c >= cols`.
+    pub fn column(&self, c: usize) -> Result<Vec<f32>> {
+        if c >= self.cols {
+            return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+        }
+        Ok((0..self.rows).map(|r| self.get(r, c)).collect())
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Dense matrix–vector product `y = W x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, v) in row.iter().zip(x.iter()) {
+                acc += w * v;
+            }
+            *out = acc;
+        }
+        Ok(y)
+    }
+
+    /// Column-sparse matrix–vector product: only the listed input columns
+    /// contribute (all other entries of `x` are treated as zero).
+    ///
+    /// This is the kernel exercised when the *input* activation vector has
+    /// been pruned: pruned entries mean the corresponding weight columns
+    /// never need to be loaded from Flash/DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols` and
+    /// [`TensorError::IndexOutOfBounds`] if any column index is invalid.
+    pub fn matvec_cols(&self, x: &[f32], active_cols: &[usize]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for &c in active_cols {
+            if c >= self.cols {
+                return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+            }
+            let xv = x[c];
+            if xv == 0.0 {
+                continue;
+            }
+            for (r, out) in y.iter_mut().enumerate() {
+                *out += self.data[r * self.cols + c] * xv;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Row-sparse matrix–vector product: only the listed output rows are
+    /// computed; all other outputs are zero.
+    ///
+    /// This is the kernel exercised when the *output* of a projection has
+    /// been pruned (e.g. pruning intermediate GLU activations means the
+    /// corresponding rows of `W_u`/`W_g` are skipped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols` and
+    /// [`TensorError::IndexOutOfBounds`] if any row index is invalid.
+    pub fn matvec_rows(&self, x: &[f32], active_rows: &[usize]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_rows",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for &r in active_rows {
+            if r >= self.rows {
+                return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, v) in row.iter().zip(x.iter()) {
+                acc += w * v;
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Masked column-sparse product using a [`ColumnMask`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the mask length differs from
+    /// the number of columns or `x.len() != cols`.
+    pub fn matvec_masked(&self, x: &[f32], mask: &ColumnMask) -> Result<Vec<f32>> {
+        if mask.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_masked",
+                expected: (self.cols, 1),
+                found: (mask.len(), 1),
+            });
+        }
+        self.matvec_cols(x, &mask.active_indices())
+    }
+
+    /// Transposed matrix–vector product `y = W^T x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_t",
+                expected: (self.rows, 1),
+                found: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.cols];
+        for (r, &xv) in x.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (out, w) in y.iter_mut().zip(row.iter()) {
+                *out += w * xv;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Dense matrix–matrix product `C = A B` (small sizes only; used by tests
+    /// and the LoRA/quantization code paths, not the inference hot loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                expected: (self.cols, self.cols),
+                found: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add",
+                expected: self.shape(),
+                found: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise subtraction `self - other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "sub",
+                expected: self.shape(),
+                found: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every element by a scalar, in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Scales an individual row in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `r >= rows`.
+    pub fn scale_row(&mut self, r: usize, s: f32) -> Result<()> {
+        let row = self.row_mut(r)?;
+        for v in row {
+            *v *= s;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm of the matrix.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Mean absolute value of all elements (0 for an empty matrix).
+    pub fn mean_abs(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|v| v.abs()).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Zeros the listed columns in place (structured column pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on an invalid column index.
+    pub fn zero_columns(&mut self, cols: &[usize]) -> Result<()> {
+        for &c in cols {
+            if c >= self.cols {
+                return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+            }
+            for r in 0..self.rows {
+                self.set(r, c, 0.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Zeros the listed rows in place (structured row pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] on an invalid row index.
+    pub fn zero_rows(&mut self, rows: &[usize]) -> Result<()> {
+        for &r in rows {
+            if r >= self.rows {
+                return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+            }
+            for v in self.row_mut(r)? {
+                *v = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts elements that are exactly zero.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| **v == 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero (0 for an empty matrix).
+    pub fn sparsity(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.count_zeros() as f32 / self.data.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.column(1).unwrap(), vec![2.0, 5.0]);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let id = Matrix::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(id.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn matvec_matches_manual_computation() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 0.0, -1.0]).unwrap();
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shape() {
+        let m = sample();
+        assert!(m.matvec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn matvec_cols_equals_dense_with_zeroed_inputs() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        let active = vec![0, 2];
+        let sparse = m.matvec_cols(&x, &active).unwrap();
+        let mut x_masked = x.clone();
+        x_masked[1] = 0.0;
+        let dense = m.matvec(&x_masked).unwrap();
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn matvec_rows_only_computes_selected_outputs() {
+        let m = sample();
+        let y = m.matvec_rows(&[1.0, 1.0, 1.0], &[1]).unwrap();
+        assert_eq!(y, vec![0.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_cols_rejects_bad_index() {
+        let m = sample();
+        assert!(m.matvec_cols(&[1.0, 1.0, 1.0], &[3]).is_err());
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let m = sample();
+        let x = vec![1.0, -1.0];
+        let a = m.matvec_t(&x).unwrap();
+        let b = m.transpose().matvec(&x).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = sample();
+        let b = Matrix::filled(2, 3, 1.0);
+        let c = a.add(&b).unwrap().sub(&b).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn zero_columns_and_sparsity() {
+        let mut m = sample();
+        m.zero_columns(&[0, 2]).unwrap();
+        assert_eq!(m.column(0).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(m.column(2).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(m.count_zeros(), 4);
+        assert!((m.sparsity() - 4.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_rows_clears_entire_row() {
+        let mut m = sample();
+        m.zero_rows(&[0]).unwrap();
+        assert_eq!(m.row(0).unwrap(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.row(1).unwrap(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn frobenius_and_mean_abs() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!((m.mean_abs() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scale_row_and_scale_in_place() {
+        let mut m = sample();
+        m.scale_row(0, 2.0).unwrap();
+        assert_eq!(m.row(0).unwrap(), &[2.0, 4.0, 6.0]);
+        m.scale_in_place(0.5);
+        assert_eq!(m.row(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1).unwrap(), &[2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn iter_rows_yields_all_rows() {
+        let m = sample();
+        let rows: Vec<&[f32]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[4.0, 5.0, 6.0]);
+    }
+}

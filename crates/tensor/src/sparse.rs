@@ -1,0 +1,310 @@
+//! Column masks and index-set helpers shared by the sparsity and caching code.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A boolean mask over the columns (equivalently, neurons) of a weight matrix.
+///
+/// Dynamic sparsity methods produce one of these per token and per layer; the
+/// hardware simulator consumes the same masks to decide which neurons must be
+/// resident in DRAM.
+///
+/// # Example
+///
+/// ```
+/// use tensor::ColumnMask;
+/// let mask = ColumnMask::from_active_indices(4, &[1, 3]).unwrap();
+/// assert_eq!(mask.active_count(), 2);
+/// assert!(mask.is_active(3));
+/// assert!(!mask.is_active(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMask {
+    bits: Vec<bool>,
+}
+
+impl ColumnMask {
+    /// Creates a mask with all columns inactive.
+    pub fn all_inactive(len: usize) -> Self {
+        ColumnMask { bits: vec![false; len] }
+    }
+
+    /// Creates a mask with all columns active (dense computation).
+    pub fn all_active(len: usize) -> Self {
+        ColumnMask { bits: vec![true; len] }
+    }
+
+    /// Creates a mask of length `len` with exactly the listed indices active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index is `>= len`.
+    pub fn from_active_indices(len: usize, active: &[usize]) -> Result<Self> {
+        let mut bits = vec![false; len];
+        for &i in active {
+            if i >= len {
+                return Err(TensorError::IndexOutOfBounds { index: i, len });
+            }
+            bits[i] = true;
+        }
+        Ok(ColumnMask { bits })
+    }
+
+    /// Creates a mask directly from a boolean vector.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        ColumnMask { bits }
+    }
+
+    /// Mask length (number of columns).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the mask covers zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether column `i` is active. Out-of-range indices count as inactive.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.bits.get(i).copied().unwrap_or(false)
+    }
+
+    /// Marks column `i` active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `i >= len`.
+    pub fn activate(&mut self, i: usize) -> Result<()> {
+        if i >= self.bits.len() {
+            return Err(TensorError::IndexOutOfBounds { index: i, len: self.bits.len() });
+        }
+        self.bits[i] = true;
+        Ok(())
+    }
+
+    /// Marks column `i` inactive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `i >= len`.
+    pub fn deactivate(&mut self, i: usize) -> Result<()> {
+        if i >= self.bits.len() {
+            return Err(TensorError::IndexOutOfBounds { index: i, len: self.bits.len() });
+        }
+        self.bits[i] = false;
+        Ok(())
+    }
+
+    /// Number of active columns.
+    pub fn active_count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Fraction of active columns (density). Returns 1.0 for an empty mask so
+    /// that an "empty layer" is treated as fully dense by accounting code.
+    pub fn density(&self) -> f32 {
+        if self.bits.is_empty() {
+            return 1.0;
+        }
+        self.active_count() as f32 / self.bits.len() as f32
+    }
+
+    /// Indices of the active columns, ascending.
+    pub fn active_indices(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of the inactive columns, ascending.
+    pub fn inactive_indices(&self) -> Vec<usize> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !**b)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Element-wise logical AND with another mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn and(&self, other: &ColumnMask) -> Result<ColumnMask> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ColumnMask::and",
+                expected: (self.len(), 1),
+                found: (other.len(), 1),
+            });
+        }
+        Ok(ColumnMask {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| *a && *b)
+                .collect(),
+        })
+    }
+
+    /// Element-wise logical OR with another mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn or(&self, other: &ColumnMask) -> Result<ColumnMask> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ColumnMask::or",
+                expected: (self.len(), 1),
+                found: (other.len(), 1),
+            });
+        }
+        Ok(ColumnMask {
+            bits: self
+                .bits
+                .iter()
+                .zip(other.bits.iter())
+                .map(|(a, b)| *a || *b)
+                .collect(),
+        })
+    }
+
+    /// Number of columns active in `self` but not in `other` (set difference
+    /// size). Used to count cache misses: "required but not cached".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn count_not_in(&self, other: &ColumnMask) -> Result<usize> {
+        if self.len() != other.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ColumnMask::count_not_in",
+                expected: (self.len(), 1),
+                found: (other.len(), 1),
+            });
+        }
+        Ok(self
+            .bits
+            .iter()
+            .zip(other.bits.iter())
+            .filter(|(a, b)| **a && !**b)
+            .count())
+    }
+
+    /// Overlap (Jaccard similarity) with another mask; 1.0 when both are empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn jaccard(&self, other: &ColumnMask) -> Result<f32> {
+        let inter = self.and(other)?.active_count();
+        let union = self.or(other)?.active_count();
+        if union == 0 {
+            return Ok(1.0);
+        }
+        Ok(inter as f32 / union as f32)
+    }
+
+    /// Applies the mask to a vector, zeroing inactive entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != len`.
+    pub fn apply(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "ColumnMask::apply",
+                expected: (self.len(), 1),
+                found: (x.len(), 1),
+            });
+        }
+        Ok(x.iter()
+            .zip(self.bits.iter())
+            .map(|(v, b)| if *b { *v } else { 0.0 })
+            .collect())
+    }
+
+    /// Returns the underlying boolean slice.
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+impl FromIterator<bool> for ColumnMask {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        ColumnMask { bits: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let m = ColumnMask::from_active_indices(5, &[0, 2, 4]).unwrap();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.active_count(), 3);
+        assert!((m.density() - 0.6).abs() < 1e-6);
+        assert_eq!(m.active_indices(), vec![0, 2, 4]);
+        assert_eq!(m.inactive_indices(), vec![1, 3]);
+        assert!(ColumnMask::from_active_indices(3, &[3]).is_err());
+    }
+
+    #[test]
+    fn all_active_inactive() {
+        assert_eq!(ColumnMask::all_active(4).active_count(), 4);
+        assert_eq!(ColumnMask::all_inactive(4).active_count(), 0);
+        assert!((ColumnMask::all_inactive(0).density() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activate_deactivate() {
+        let mut m = ColumnMask::all_inactive(3);
+        m.activate(1).unwrap();
+        assert!(m.is_active(1));
+        m.deactivate(1).unwrap();
+        assert!(!m.is_active(1));
+        assert!(m.activate(3).is_err());
+        assert!(m.deactivate(3).is_err());
+        assert!(!m.is_active(99));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = ColumnMask::from_active_indices(4, &[0, 1]).unwrap();
+        let b = ColumnMask::from_active_indices(4, &[1, 2]).unwrap();
+        assert_eq!(a.and(&b).unwrap().active_indices(), vec![1]);
+        assert_eq!(a.or(&b).unwrap().active_indices(), vec![0, 1, 2]);
+        assert_eq!(a.count_not_in(&b).unwrap(), 1);
+        assert!((a.jaccard(&b).unwrap() - 1.0 / 3.0).abs() < 1e-6);
+        let c = ColumnMask::all_inactive(2);
+        assert!(a.and(&c).is_err());
+    }
+
+    #[test]
+    fn jaccard_of_empty_masks_is_one() {
+        let a = ColumnMask::all_inactive(3);
+        assert!((a.jaccard(&a).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_zeroes_inactive_entries() {
+        let m = ColumnMask::from_active_indices(3, &[1]).unwrap();
+        assert_eq!(m.apply(&[1.0, 2.0, 3.0]).unwrap(), vec![0.0, 2.0, 0.0]);
+        assert!(m.apply(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: ColumnMask = vec![true, false, true].into_iter().collect();
+        assert_eq!(m.active_indices(), vec![0, 2]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Summary statistics, quantiles and histograms.
+//!
+//! Used to (a) calibrate per-layer thresholds from activation CDFs
+//! (Section 3.1 of the paper) and (b) reproduce the activation magnitude
+//! distribution plots (Fig. 3 and Fig. 10-left).
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean, 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population variance, 0 for slices with fewer than two elements.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Minimum value, `+inf` for an empty slice.
+pub fn min(xs: &[f32]) -> f32 {
+    xs.iter().fold(f32::INFINITY, |m, &x| m.min(x))
+}
+
+/// Maximum value, `-inf` for an empty slice.
+pub fn max(xs: &[f32]) -> f32 {
+    xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+}
+
+/// Quantile of the data using linear interpolation between order statistics.
+///
+/// `q` must be in `[0, 1]`; `q = 0.5` is the median.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] on empty input and
+/// [`TensorError::InvalidParameter`] for `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f32], q: f32) -> Result<f32> {
+    if xs.is_empty() {
+        return Err(TensorError::Empty { op: "quantile" });
+    }
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return Err(TensorError::InvalidParameter {
+            name: "q",
+            reason: format!("must be in [0, 1], got {q}"),
+        });
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q as f64 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = (pos - lo as f64) as f32;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Threshold `t` such that approximately `density` of the *magnitudes* of the
+/// calibration data exceed `t`.
+///
+/// This is the per-layer calibration described in Section 3.1: a fixed
+/// threshold per layer derived from the CDF of activation magnitudes over a
+/// calibration set.
+///
+/// # Errors
+///
+/// Propagates errors from [`quantile`].
+pub fn magnitude_threshold_for_density(xs: &[f32], density: f32) -> Result<f32> {
+    let mags: Vec<f32> = xs.iter().map(|x| x.abs()).collect();
+    // Keeping the top `density` fraction means thresholding at the
+    // (1 - density) quantile of the magnitude distribution.
+    quantile(&mags, (1.0 - density).clamp(0.0, 1.0))
+}
+
+/// A simple fixed-width histogram over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f32,
+    hi: f32,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equally sized bins over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f32, hi: f32, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(TensorError::InvalidParameter {
+                name: "bins",
+                reason: "must be > 0".to_string(),
+            });
+        }
+        if !(hi > lo) {
+            return Err(TensorError::InvalidParameter {
+                name: "hi",
+                reason: format!("must be greater than lo ({lo}), got {hi}"),
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds a single observation.
+    pub fn add(&mut self, x: f32) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        let bin = ((x - self.lo) / width) as usize;
+        let bin = bin.min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Adds every observation in the slice.
+    pub fn extend_from_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the lower bound.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Normalised bin densities (probability mass per bin, excluding
+    /// under/overflow). Returns all zeros when the histogram is empty.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Centre value of each bin.
+    pub fn bin_centers(&self) -> Vec<f32> {
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f32 + 0.5) * width)
+            .collect()
+    }
+}
+
+/// Per-layer summary of an activation-density profile (used by the Fig. 4
+/// reproduction: mean, std, min and max density for each layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    /// Mean of the observations.
+    pub mean: f32,
+    /// Standard deviation of the observations.
+    pub std: f32,
+    /// Minimum observation.
+    pub min: f32,
+    /// Maximum observation.
+    pub max: f32,
+}
+
+impl SeriesSummary {
+    /// Summarises a slice of observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice.
+    pub fn from_slice(xs: &[f32]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(TensorError::Empty { op: "SeriesSummary::from_slice" });
+        }
+        Ok(SeriesSummary {
+            mean: mean(xs),
+            std: std_dev(xs),
+            min: min(xs),
+            max: max(xs),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((variance(&xs) - 4.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.0).unwrap() - 1.0).abs() < 1e-6);
+        assert!((quantile(&xs, 1.0).unwrap() - 4.0).abs() < 1e-6);
+        assert!((quantile(&xs, 0.5).unwrap() - 2.5).abs() < 1e-6);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&xs, 1.5).is_err());
+    }
+
+    #[test]
+    fn magnitude_threshold_keeps_expected_fraction() {
+        let xs: Vec<f32> = (1..=100).map(|i| i as f32 * if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let t = magnitude_threshold_for_density(&xs, 0.25).unwrap();
+        let kept = xs.iter().filter(|x| x.abs() > t).count();
+        // roughly 25 of 100 values should exceed the threshold
+        assert!((20..=30).contains(&kept), "kept={kept}, t={t}");
+    }
+
+    #[test]
+    fn histogram_counts_and_overflow() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend_from_slice(&[0.5, 1.5, 9.9, 10.0, -1.0]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 1);
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 0.6).abs() < 1e-9);
+        assert_eq!(h.bin_centers().len(), 10);
+        assert!((h.bin_centers()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_validates_parameters() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn series_summary() {
+        let s = SeriesSummary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(SeriesSummary::from_slice(&[]).is_err());
+    }
+}

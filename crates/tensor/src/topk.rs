@@ -1,0 +1,163 @@
+//! Top-k selection utilities used by magnitude-based dynamic pruning.
+//!
+//! The paper's per-token thresholding strategy (Section 3.1) is exactly
+//! "keep the top-K largest magnitude activations for each token"; these
+//! helpers implement that selection plus threshold-based variants.
+
+use crate::error::{Result, TensorError};
+
+/// Returns the indices of the `k` largest elements of `scores` (by value, not
+/// magnitude), in descending score order.
+///
+/// When `k >= scores.len()` all indices are returned. Ties are broken by
+/// lower index first so the selection is deterministic.
+///
+/// # Example
+///
+/// ```
+/// let idx = tensor::topk::top_k_indices(&[0.1, 3.0, 2.0], 2);
+/// assert_eq!(idx, vec![1, 2]);
+/// ```
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// Returns the indices of the `k` elements with the largest *absolute* value.
+///
+/// This is the per-token top-K magnitude selection used by GLU pruning and
+/// DIP (Eqs. 4, 7, 8 in the paper).
+pub fn top_k_by_magnitude(values: &[f32], k: usize) -> Vec<usize> {
+    let abs: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    top_k_indices(&abs, k)
+}
+
+/// Returns indices whose absolute value is strictly greater than `threshold`.
+pub fn indices_above_threshold(values: &[f32], threshold: f32) -> Vec<usize> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.abs() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Computes the number of elements to keep for a target *density*
+/// (fraction of elements retained), rounding to the nearest integer and
+/// clamping to `[0, len]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `density` is not finite or
+/// lies outside `[0, 1]`.
+pub fn count_for_density(len: usize, density: f32) -> Result<usize> {
+    if !density.is_finite() || !(0.0..=1.0).contains(&density) {
+        return Err(TensorError::InvalidParameter {
+            name: "density",
+            reason: format!("must be in [0, 1], got {density}"),
+        });
+    }
+    Ok(((len as f64) * (density as f64)).round() as usize)
+}
+
+/// Selects the top-`density` fraction of elements by magnitude.
+///
+/// # Errors
+///
+/// Propagates the density validation error from [`count_for_density`].
+pub fn top_density_by_magnitude(values: &[f32], density: f32) -> Result<Vec<usize>> {
+    let k = count_for_density(values.len(), density)?;
+    Ok(top_k_by_magnitude(values, k))
+}
+
+/// Returns the magnitude of the `k`-th largest |value| (the per-token
+/// threshold that [`top_k_by_magnitude`] implicitly applies). Returns 0 when
+/// `k == 0` or the input is empty; returns `-inf` when `k > len` so that all
+/// elements pass.
+pub fn kth_magnitude(values: &[f32], k: usize) -> f32 {
+    if k == 0 || values.is_empty() {
+        return 0.0;
+    }
+    if k > values.len() {
+        return f32::NEG_INFINITY;
+    }
+    let mut mags: Vec<f32> = values.iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_indices_orders_by_score() {
+        let idx = top_k_indices(&[0.5, 2.0, 1.0, 3.0], 3);
+        assert_eq!(idx, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_handles_edge_cases() {
+        assert!(top_k_indices(&[], 3).is_empty());
+        assert!(top_k_indices(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(top_k_indices(&[1.0, 2.0], 10), vec![1, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_lower_index() {
+        let idx = top_k_indices(&[1.0, 1.0, 1.0], 2);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn magnitude_selection_uses_abs() {
+        let idx = top_k_by_magnitude(&[-5.0, 1.0, 3.0], 2);
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn threshold_selection() {
+        let idx = indices_above_threshold(&[-0.5, 0.2, 1.5, -2.0], 0.4);
+        assert_eq!(idx, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn count_for_density_rounds_and_validates() {
+        assert_eq!(count_for_density(10, 0.5).unwrap(), 5);
+        assert_eq!(count_for_density(3, 0.5).unwrap(), 2);
+        assert_eq!(count_for_density(10, 0.0).unwrap(), 0);
+        assert_eq!(count_for_density(10, 1.0).unwrap(), 10);
+        assert!(count_for_density(10, 1.5).is_err());
+        assert!(count_for_density(10, -0.1).is_err());
+        assert!(count_for_density(10, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn top_density_selects_expected_fraction() {
+        let v: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let idx = top_density_by_magnitude(&v, 0.25).unwrap();
+        assert_eq!(idx.len(), 25);
+        assert!(idx.contains(&99));
+        assert!(!idx.contains(&0));
+    }
+
+    #[test]
+    fn kth_magnitude_matches_selection_boundary() {
+        let v = [0.1, -0.9, 0.5, 0.3];
+        assert!((kth_magnitude(&v, 2) - 0.5).abs() < 1e-6);
+        assert_eq!(kth_magnitude(&v, 0), 0.0);
+        assert_eq!(kth_magnitude(&v, 10), f32::NEG_INFINITY);
+        assert_eq!(kth_magnitude(&[], 3), 0.0);
+    }
+}

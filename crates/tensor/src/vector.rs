@@ -1,0 +1,338 @@
+//! Free functions over `&[f32]` vectors, grouped under the [`Vector`] namespace.
+
+use crate::error::{Result, TensorError};
+
+/// Namespace struct exposing vector helper functions.
+///
+/// All functions are associated functions (no state); the struct exists only
+/// to group them under a single importable name.
+///
+/// # Example
+///
+/// ```
+/// use tensor::Vector;
+/// let p = Vector::softmax(&[1.0, 1.0]).unwrap();
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Vector;
+
+impl Vector {
+    /// Dot product of two equally sized vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn dot(a: &[f32], b: &[f32]) -> Result<f32> {
+        if a.len() != b.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                expected: (a.len(), 1),
+                found: (b.len(), 1),
+            });
+        }
+        Ok(a.iter().zip(b.iter()).map(|(x, y)| x * y).sum())
+    }
+
+    /// Element-wise product `a ⊙ b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn hadamard(a: &[f32], b: &[f32]) -> Result<Vec<f32>> {
+        if a.len() != b.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "hadamard",
+                expected: (a.len(), 1),
+                found: (b.len(), 1),
+            });
+        }
+        Ok(a.iter().zip(b.iter()).map(|(x, y)| x * y).collect())
+    }
+
+    /// In-place `y += alpha * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) -> Result<()> {
+        if x.len() != y.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                expected: (y.len(), 1),
+                found: (x.len(), 1),
+            });
+        }
+        for (yi, xi) in y.iter_mut().zip(x.iter()) {
+            *yi += alpha * xi;
+        }
+        Ok(())
+    }
+
+    /// Element-wise sum of two vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn add(a: &[f32], b: &[f32]) -> Result<Vec<f32>> {
+        if a.len() != b.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add",
+                expected: (a.len(), 1),
+                found: (b.len(), 1),
+            });
+        }
+        Ok(a.iter().zip(b.iter()).map(|(x, y)| x + y).collect())
+    }
+
+    /// Element-wise difference `a - b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn sub(a: &[f32], b: &[f32]) -> Result<Vec<f32>> {
+        if a.len() != b.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "sub",
+                expected: (a.len(), 1),
+                found: (b.len(), 1),
+            });
+        }
+        Ok(a.iter().zip(b.iter()).map(|(x, y)| x - y).collect())
+    }
+
+    /// Multiplies every element by `s` and returns the result.
+    pub fn scale(a: &[f32], s: f32) -> Vec<f32> {
+        a.iter().map(|x| x * s).collect()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm_l2(a: &[f32]) -> f32 {
+        a.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(a: &[f32]) -> f32 {
+        a.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Infinity norm (maximum absolute value), 0 for an empty slice.
+    pub fn norm_inf(a: &[f32]) -> f32 {
+        a.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+    }
+
+    /// Mean value, 0 for an empty slice.
+    pub fn mean(a: &[f32]) -> f32 {
+        if a.is_empty() {
+            0.0
+        } else {
+            a.iter().sum::<f32>() / a.len() as f32
+        }
+    }
+
+    /// Index of the maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice.
+    pub fn argmax(a: &[f32]) -> Result<usize> {
+        if a.is_empty() {
+            return Err(TensorError::Empty { op: "argmax" });
+        }
+        let mut best = 0;
+        for (i, v) in a.iter().enumerate() {
+            if *v > a[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Numerically stable softmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice.
+    pub fn softmax(a: &[f32]) -> Result<Vec<f32>> {
+        if a.is_empty() {
+            return Err(TensorError::Empty { op: "softmax" });
+        }
+        let max = a.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let exps: Vec<f32> = a.iter().map(|x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        Ok(exps.into_iter().map(|e| e / sum).collect())
+    }
+
+    /// Numerically stable log-softmax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice.
+    pub fn log_softmax(a: &[f32]) -> Result<Vec<f32>> {
+        if a.is_empty() {
+            return Err(TensorError::Empty { op: "log_softmax" });
+        }
+        let max = a.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let log_sum: f32 = a.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+        Ok(a.iter().map(|x| x - log_sum).collect())
+    }
+
+    /// Cross-entropy `-log p[target]` of a *log*-probability vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `target >= log_probs.len()`.
+    pub fn nll(log_probs: &[f32], target: usize) -> Result<f32> {
+        if target >= log_probs.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: target,
+                len: log_probs.len(),
+            });
+        }
+        Ok(-log_probs[target])
+    }
+
+    /// KL divergence `KL(p || q)` between two probability vectors.
+    ///
+    /// Entries of `q` are floored at `1e-12` to keep the result finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn kl_divergence(p: &[f32], q: &[f32]) -> Result<f32> {
+        if p.len() != q.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "kl_divergence",
+                expected: (p.len(), 1),
+                found: (q.len(), 1),
+            });
+        }
+        let mut kl = 0.0f32;
+        for (&pi, &qi) in p.iter().zip(q.iter()) {
+            if pi > 0.0 {
+                kl += pi * (pi / qi.max(1e-12)).ln();
+            }
+        }
+        Ok(kl.max(0.0))
+    }
+
+    /// Cosine similarity between two vectors; 0 if either has zero norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn cosine_similarity(a: &[f32], b: &[f32]) -> Result<f32> {
+        let dot = Self::dot(a, b)?;
+        let na = Self::norm_l2(a);
+        let nb = Self::norm_l2(b);
+        if na == 0.0 || nb == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(dot / (na * nb))
+    }
+
+    /// Relative L2 error `||a - b|| / ||b||`; returns `||a||` when `b` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn relative_error(a: &[f32], b: &[f32]) -> Result<f32> {
+        let diff = Self::sub(a, b)?;
+        let nb = Self::norm_l2(b);
+        let nd = Self::norm_l2(&diff);
+        if nb == 0.0 {
+            Ok(Self::norm_l2(a))
+        } else {
+            Ok(nd / nb)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_hadamard() {
+        assert_eq!(Vector::dot(&[1.0, 2.0], &[3.0, 4.0]).unwrap(), 11.0);
+        assert_eq!(
+            Vector::hadamard(&[1.0, 2.0], &[3.0, 4.0]).unwrap(),
+            vec![3.0, 8.0]
+        );
+        assert!(Vector::dot(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        Vector::axpy(2.0, &[1.0, -1.0], &mut y).unwrap();
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = [3.0, -4.0];
+        assert!((Vector::norm_l2(&v) - 5.0).abs() < 1e-6);
+        assert!((Vector::norm_l1(&v) - 7.0).abs() < 1e-6);
+        assert!((Vector::norm_inf(&v) - 4.0).abs() < 1e-6);
+        assert_eq!(Vector::norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = Vector::softmax(&[1000.0, 1000.0, 1000.0]).unwrap();
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|x| (x - 1.0 / 3.0).abs() < 1e-5));
+        assert!(Vector::softmax(&[]).is_err());
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax() {
+        let logits = [0.5, -1.0, 2.0, 0.0];
+        let p = Vector::softmax(&logits).unwrap();
+        let lp = Vector::log_softmax(&logits).unwrap();
+        for (pi, lpi) in p.iter().zip(lp.iter()) {
+            assert!((pi.ln() - lpi).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nll_picks_target() {
+        let lp = Vector::log_softmax(&[1.0, 2.0, 3.0]).unwrap();
+        let n = Vector::nll(&lp, 2).unwrap();
+        assert!(n > 0.0 && n < 1.0);
+        assert!(Vector::nll(&lp, 3).is_err());
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        let p = [0.5, 0.5];
+        assert!(Vector::kl_divergence(&p, &p).unwrap().abs() < 1e-6);
+        let q = [0.9, 0.1];
+        assert!(Vector::kl_divergence(&p, &q).unwrap() > 0.0);
+        assert!(Vector::kl_divergence(&p, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn cosine_similarity_bounds() {
+        assert!((Vector::cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]).unwrap() - 1.0).abs() < 1e-6);
+        assert!((Vector::cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).unwrap()).abs() < 1e-6);
+        assert_eq!(Vector::cosine_similarity(&[0.0], &[1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let a = [1.0, 2.0, 3.0];
+        assert!(Vector::relative_error(&a, &a).unwrap().abs() < 1e-7);
+        assert!(Vector::relative_error(&[1.0, 0.0], &[0.0, 0.0]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        assert_eq!(Vector::argmax(&[1.0, 5.0, 3.0]).unwrap(), 1);
+        assert!(Vector::argmax(&[]).is_err());
+        assert!((Vector::mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+        assert_eq!(Vector::mean(&[]), 0.0);
+    }
+}

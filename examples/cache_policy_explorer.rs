@@ -1,0 +1,65 @@
+//! Cache-policy explorer: replay the same DIP access trace through every
+//! DRAM eviction policy (no cache, LRU, LFU, Belady's oracle) and compare it
+//! against cache-aware masking — the Fig. 11 study as an interactive tool.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cache_policy_explorer
+//! ```
+
+use experiments::{MethodKind, Scale, Workbench};
+use hwsim::EvictionPolicy;
+use lm::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::phi3_mini_sim();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 17)?;
+    let device = wb.table2_device();
+    let density = 0.5;
+
+    println!(
+        "model {} on {} (DRAM holds ~55% of the INT4 weights), DIP @ {:.0}% density\n",
+        config.name,
+        device.name,
+        density * 100.0
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>14} {:>14}",
+        "configuration", "tok/s", "hit rate", "flash MiB/tok", "dram MiB/tok"
+    );
+
+    let mib = f64::from(1u32 << 20);
+    for policy in [
+        EvictionPolicy::None,
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::Belady,
+    ] {
+        let report = wb.throughput(MethodKind::Dip, density, &device, policy)?;
+        println!(
+            "{:<26} {:>10.2} {:>11.1}% {:>14.2} {:>14.2}",
+            format!("DIP + {policy}"),
+            report.throughput_tps,
+            100.0 * report.hit_rate,
+            report.flash_bytes / report.tokens.max(1) as f64 / mib,
+            report.dram_bytes / report.tokens.max(1) as f64 / mib,
+        );
+    }
+
+    // Cache-aware masking changes the mask itself, so it can beat even the
+    // Belady oracle that is stuck with the mask DIP chose.
+    let report = wb.throughput(MethodKind::DipCacheAware, density, &device, EvictionPolicy::Lfu)?;
+    println!(
+        "{:<26} {:>10.2} {:>11.1}% {:>14.2} {:>14.2}",
+        "DIP-CA + lfu (gamma=0.2)",
+        report.throughput_tps,
+        100.0 * report.hit_rate,
+        report.flash_bytes / report.tokens.max(1) as f64 / mib,
+        report.dram_bytes / report.tokens.max(1) as f64 / mib,
+    );
+
+    println!("\nBelady's oracle bounds what any eviction policy can do for a fixed mask;");
+    println!("cache-aware masking side-steps the bound by choosing a cache-friendly mask.");
+    Ok(())
+}

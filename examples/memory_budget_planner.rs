@@ -1,0 +1,84 @@
+//! Memory-budget planner: given a DRAM budget, compare how far quantization,
+//! static pruning and Dynamic Input Pruning can shrink a model's resident
+//! footprint before perplexity degrades — the Fig. 9 trade-off as a tool.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example memory_budget_planner
+//! ```
+
+use dip_core::strategies::Dip;
+use dip_core::DensityAllocation;
+use lm::{build_synthetic, eval, mlp::DenseMlp, ModelConfig};
+use quant::model_ops::{model_memory_bytes, prune_mlp_static, quantize_mlp_blockwise};
+use quant::{BlockwiseQuantizer, PruningStructure, StaticPruner};
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::phi3_mini_sim();
+    let model = build_synthetic(&config, 3)?;
+    let corpus = eval::standard_eval_corpus(&model, 4, 48, 5)?;
+    let dense_ppl = eval::perplexity(&model, &mut DenseMlp, &corpus)?.perplexity;
+    println!(
+        "model {}: dense FP16 footprint {:.1} MiB, dense perplexity {:.3}\n",
+        config.name,
+        model_memory_bytes(&config, 16.0, 16.0, 1.0, None) / MIB,
+        dense_ppl
+    );
+    println!("{:<34} {:>12} {:>12} {:>10}", "configuration", "memory MiB", "perplexity", "ΔPPL");
+
+    let report = |name: &str, memory_bytes: f64, ppl: f64| {
+        println!(
+            "{:<34} {:>12.1} {:>12.3} {:>10.3}",
+            name,
+            memory_bytes / MIB,
+            ppl,
+            ppl - dense_ppl
+        );
+    };
+
+    // Blockwise INT4 quantization (dense).
+    let bq4 = BlockwiseQuantizer::new(4, 32).expect("valid quantizer");
+    let q4_model = quantize_mlp_blockwise(&model, &bq4);
+    let ppl = eval::perplexity(&q4_model, &mut DenseMlp, &corpus)?.perplexity;
+    report(
+        "BQ4 (dense)",
+        model_memory_bytes(&config, 16.0, bq4.effective_bits_per_weight(), 1.0, None),
+        ppl,
+    );
+
+    // SparseGPT-style static pruning at 50%.
+    let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
+    let pruned = prune_mlp_static(&model, &pruner, 0.5)?;
+    let ppl = eval::perplexity(&pruned, &mut DenseMlp, &corpus)?.perplexity;
+    report(
+        "SparseGPT-style 50% (FP16 + mask)",
+        model_memory_bytes(&config, 16.0, 16.0, 0.5, Some(PruningStructure::Unstructured)),
+        ppl,
+    );
+
+    // DIP at several densities on the INT4 model.
+    for density in [0.7f32, 0.5, 0.35] {
+        let mut dip = Dip::for_target_density(density, &DensityAllocation::balanced())
+            .expect("valid density");
+        let ppl = eval::perplexity(&q4_model, &mut dip, &corpus)?.perplexity;
+        report(
+            &format!("BQ4 + DIP @ {:.0}% density", density * 100.0),
+            model_memory_bytes(
+                &config,
+                16.0,
+                bq4.effective_bits_per_weight(),
+                f64::from(density),
+                None,
+            ),
+            ppl,
+        );
+    }
+
+    println!("\nDIP composes with quantization: the resident footprint shrinks with the");
+    println!("density knob while the perplexity penalty stays far below lower-bit");
+    println!("quantization or one-shot static pruning at the same footprint.");
+    Ok(())
+}

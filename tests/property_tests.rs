@@ -1,0 +1,151 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the tensor, sparsity, cache and simulator crates.
+
+use dynamic_sparsity::dip::strategies::Dip;
+use dynamic_sparsity::hwsim::cache::{BeladyColumnCache, LfuColumnCache, LruColumnCache};
+use dynamic_sparsity::hwsim::ColumnCache;
+use dynamic_sparsity::lm::{build_synthetic, ModelConfig, MlpForward};
+use dynamic_sparsity::tensor::{topk, ColumnMask, Matrix, Vector};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-1000i32..1000).prop_map(|v| v as f32 / 100.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topk_selects_exactly_k_largest(values in prop::collection::vec(small_f32(), 1..200), k in 0usize..200) {
+        let idx = topk::top_k_by_magnitude(&values, k);
+        prop_assert_eq!(idx.len(), k.min(values.len()));
+        // every selected magnitude is >= every unselected magnitude
+        let selected: std::collections::HashSet<usize> = idx.iter().copied().collect();
+        let min_selected = idx.iter().map(|&i| values[i].abs()).fold(f32::INFINITY, f32::min);
+        for (i, v) in values.iter().enumerate() {
+            if !selected.contains(&i) && !idx.is_empty() {
+                prop_assert!(v.abs() <= min_selected + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_probability_distribution(logits in prop::collection::vec(small_f32(), 1..64)) {
+        let p = Vector::softmax(&logits).unwrap();
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|x| *x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn sparse_matvec_equals_dense_on_masked_input(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = dynamic_sparsity::tensor::init::rng(seed);
+        let w = dynamic_sparsity::tensor::init::xavier_matrix(&mut rng, rows, cols);
+        let x = dynamic_sparsity::tensor::init::normal_vec(&mut rng, cols, 1.0);
+        let active: Vec<usize> = (0..cols).filter(|i| i % 2 == 0).collect();
+        let sparse = w.matvec_cols(&x, &active).unwrap();
+        let mut masked = vec![0.0; cols];
+        for &i in &active { masked[i] = x[i]; }
+        let dense = w.matvec(&masked).unwrap();
+        for (a, b) in sparse.iter().zip(dense.iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn column_mask_set_algebra(len in 1usize..128, seed in 0u64..500) {
+        let mut rng = dynamic_sparsity::tensor::init::rng(seed);
+        let a: ColumnMask = (0..len).map(|_| rand::Rng::gen_bool(&mut rng, 0.4)).collect();
+        let b: ColumnMask = (0..len).map(|_| rand::Rng::gen_bool(&mut rng, 0.4)).collect();
+        let and = a.and(&b).unwrap();
+        let or = a.or(&b).unwrap();
+        prop_assert!(and.active_count() <= a.active_count().min(b.active_count()));
+        prop_assert!(or.active_count() >= a.active_count().max(b.active_count()));
+        prop_assert_eq!(
+            and.active_count() + or.active_count(),
+            a.active_count() + b.active_count()
+        );
+        let j = a.jaccard(&b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn caches_never_exceed_capacity_and_hits_plus_misses_add_up(
+        capacity in 1usize..32,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..64, 1..16), 1..20),
+    ) {
+        let n_columns = 64;
+        let mut lru = LruColumnCache::new(n_columns, capacity);
+        let mut lfu = LfuColumnCache::new(n_columns, capacity);
+        let mut belady = BeladyColumnCache::new(n_columns, capacity, &accesses);
+        for step in &accesses {
+            for cache in [&mut lru as &mut dyn ColumnCache, &mut lfu, &mut belady] {
+                let outcome = cache.access(step);
+                prop_assert_eq!(outcome.hits + outcome.misses, step.len());
+                prop_assert!(cache.len() <= cache.capacity());
+            }
+        }
+    }
+
+    #[test]
+    fn belady_is_optimal_among_implemented_policies(
+        capacity in 2usize..16,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..32, 1..8), 4..32),
+    ) {
+        let n_columns = 32;
+        let total_misses = |cache: &mut dyn ColumnCache| -> usize {
+            accesses.iter().map(|step| cache.access(step).misses).sum()
+        };
+        let belady = total_misses(&mut BeladyColumnCache::new(n_columns, capacity, &accesses));
+        let lru = total_misses(&mut LruColumnCache::new(n_columns, capacity));
+        let lfu = total_misses(&mut LfuColumnCache::new(n_columns, capacity));
+        prop_assert!(belady <= lru);
+        prop_assert!(belady <= lfu);
+    }
+}
+
+proptest! {
+    // model-level properties are more expensive: fewer cases
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn dip_access_density_matches_its_configuration(
+        input_density in 0.2f32..1.0,
+        glu_density in 0.2f32..1.0,
+    ) {
+        let config = ModelConfig::tiny();
+        let model = build_synthetic(&config, 77).unwrap();
+        let mlp = &model.layers[0].mlp;
+        let x: Vec<f32> = (0..config.d_model).map(|i| ((i * 31 % 17) as f32 - 8.0) / 8.0).collect();
+        let mut dip = Dip::new(input_density, glu_density).unwrap();
+        let out = dip.forward(0, mlp, &x).unwrap();
+        let measured = out.access.mlp_density(config.d_model, config.d_ff);
+        prop_assert!((measured - dip.mlp_density()).abs() < 0.06);
+        prop_assert!(out.y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn model_logits_are_finite_for_any_valid_token(token in 0u32..64) {
+        let config = ModelConfig::tiny();
+        let model = build_synthetic(&config, 3).unwrap();
+        let mut state = model.new_decode_state();
+        let out = model.forward_token_dense(token, &mut state).unwrap();
+        prop_assert_eq!(out.logits.len(), config.vocab_size);
+        prop_assert!(out.logits.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[test]
+fn matrix_and_mask_edge_cases() {
+    // deterministic companions to the property tests
+    let m = Matrix::zeros(0, 0);
+    assert!(m.is_empty());
+    assert_eq!(m.sparsity(), 0.0);
+    let mask = ColumnMask::all_inactive(0);
+    assert!(mask.is_empty());
+    assert_eq!(mask.active_indices().len(), 0);
+}
