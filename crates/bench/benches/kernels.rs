@@ -22,7 +22,13 @@ fn bench_matvec(c: &mut Criterion) {
         b.iter(|| black_box(mlp.w_up.matvec(black_box(&x)).unwrap()))
     });
     group.bench_function("column_sparse_50pct", |b| {
-        b.iter(|| black_box(mlp.w_up.matvec_cols(black_box(&x), black_box(&active)).unwrap()))
+        b.iter(|| {
+            black_box(
+                mlp.w_up
+                    .matvec_cols(black_box(&x), black_box(&active))
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }
@@ -61,15 +67,9 @@ fn bench_mlp_strategies(c: &mut Criterion) {
         b.iter(|| black_box(strategy.forward(0, mlp, black_box(&x)).unwrap()))
     });
     group.bench_function("dip_ca_50pct", |b| {
-        let mut strategy = DipCacheAware::new(
-            0.5,
-            0.5,
-            0.2,
-            mlp.d_model(),
-            mlp.d_ff(),
-            capacities.clone(),
-        )
-        .unwrap();
+        let mut strategy =
+            DipCacheAware::new(0.5, 0.5, 0.2, mlp.d_model(), mlp.d_ff(), capacities.clone())
+                .unwrap();
         b.iter(|| black_box(strategy.forward(0, mlp, black_box(&x)).unwrap()))
     });
     group.finish();

@@ -1,0 +1,124 @@
+//! Benchmarks of the multi-session serving engine: end-to-end fleet runs
+//! (dense vs DIP vs DIP-CA under shared-cache contention) plus the
+//! interleaved shared-cache replay in isolation.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lm::{build_synthetic, SliceAxis};
+use serve::{GenRequest, ServeConfig, ServeEngine, SparsityPolicy};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SLOTS: usize = 8;
+
+fn engine() -> ServeEngine {
+    let config = bench_config();
+    let model = build_synthetic(&config, 42).expect("tiny config is valid");
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [SliceAxis::Input; 3],
+        4.0,
+        SLOTS,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(SLOTS))
+        .expect("serve config is valid")
+}
+
+fn fleet(strategy: SparsityPolicy) -> Vec<GenRequest> {
+    (0..SLOTS)
+        .map(|i| GenRequest::new(i as u64, vec![(i % 5) as u32 + 1], 8, strategy))
+        .collect()
+}
+
+fn bench_fleet_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_fleet");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("dense_8_sessions", |b| {
+        let mut engine = engine();
+        b.iter(|| black_box(engine.run(fleet(SparsityPolicy::Dense)).unwrap()))
+    });
+    group.bench_function("dip_50pct_8_sessions", |b| {
+        let mut engine = engine();
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(fleet(SparsityPolicy::Dip { density: 0.5 }))
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("dip_ca_50pct_8_sessions", |b| {
+        let mut engine = engine();
+        b.iter(|| {
+            black_box(
+                engine
+                    .run(fleet(SparsityPolicy::DipCacheAware {
+                        density: 0.5,
+                        gamma: 0.2,
+                    }))
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_concurrent_replay(c: &mut Criterion) {
+    // Isolate the shared-cache replay from model execution: price a fixed
+    // 8-stream interleave.
+    let layout = hwsim::ModelLayout::from_dims("replay-bench", 4, 64, 192, 4.0, 100_000);
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(260_000);
+    let streams: Vec<hwsim::AccessTrace> = (0..8)
+        .map(|s| {
+            let mut trace = hwsim::AccessTrace::new();
+            for t in 0..16 {
+                let blocks = (0..4)
+                    .map(|b| hwsim::BlockAccess {
+                        up: hwsim::AccessSet::Subset(
+                            (0..32).map(|i| (i + s * 3 + t + b) % 64).collect(),
+                        ),
+                        gate: hwsim::AccessSet::Subset(
+                            (0..32).map(|i| (i + s * 3 + t + b) % 64).collect(),
+                        ),
+                        down: hwsim::AccessSet::Subset(
+                            (0..96).map(|i| (i + s * 5 + t + b) % 192).collect(),
+                        ),
+                    })
+                    .collect();
+                trace.push(hwsim::TokenAccess { blocks });
+            }
+            trace
+        })
+        .collect();
+    let order = hwsim::round_robin_order(&streams);
+
+    let mut group = c.benchmark_group("serve_replay");
+    group.sample_size(20);
+    group.bench_function("simulate_concurrent_8x16", |b| {
+        b.iter(|| {
+            black_box(
+                hwsim::simulate_concurrent(
+                    &layout,
+                    &device,
+                    hwsim::EvictionPolicy::Lfu,
+                    &streams,
+                    &order,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = serving;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet_runs, bench_concurrent_replay
+}
+criterion_main!(serving);

@@ -1,0 +1,254 @@
+//! Vendored mini property-testing harness.
+//!
+//! Implements the subset of the `proptest` API that this workspace's tests
+//! use — the [`proptest!`] macro, range strategies, `prop_map`,
+//! `prop::collection::vec`, `ProptestConfig::with_cases` and the
+//! `prop_assert*` macros — on top of the vendored `rand` crate. Unlike the
+//! real proptest there is no shrinking: a failing case panics with the seed
+//! and case index so it can be reproduced deterministically.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+#[doc(hidden)]
+pub use rand as rng_impl;
+
+/// A source of random test inputs (stand-in for proptest's `Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f32, f64);
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (stand-in for `proptest::collection`).
+pub mod collection {
+    use super::{SampleRange, Strategy};
+    use rand::rngs::StdRng;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample_single(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace module mirroring `proptest::prop` paths used via the prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Test-runner configuration (stand-in for `proptest::test_runner`).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The default seed properties derive their RNG stream from.
+pub const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Asserts a condition inside a property (panics with case context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` that runs the body for `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = <$crate::rng_impl::rngs::StdRng as $crate::rng_impl::SeedableRng>::seed_from_u64(
+                    $crate::DEFAULT_SEED ^ (stringify!($name).len() as u64),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let run = || -> () { $body };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "property `{}` failed at case {} (seed {:#x})",
+                            stringify!($name),
+                            case,
+                            $crate::DEFAULT_SEED,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn scaled() -> impl Strategy<Value = f32> {
+        (-100i32..100).prop_map(|v| v as f32 / 10.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 2usize..9, y in -4i32..4) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+        }
+
+        #[test]
+        fn vectors_respect_length(v in prop::collection::vec(0u32..10, 1..17)) {
+            prop_assert!(!v.is_empty() && v.len() < 17);
+            prop_assert!(v.iter().all(|e| *e < 10));
+        }
+
+        #[test]
+        fn map_applies(x in scaled()) {
+            prop_assert!((-10.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn nested_collections(m in prop::collection::vec(prop::collection::vec(0usize..5, 1..4), 1..6)) {
+            prop_assert!(m.iter().all(|row| !row.is_empty()));
+            prop_assert_ne!(m.len(), 0);
+        }
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(8).cases, 8);
+    }
+}

@@ -1,0 +1,44 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! workspace vendors the tiny subset of serde it actually relies on: the
+//! `Serialize` / `Deserialize` marker traits and their derive macros. No code
+//! in the workspace serializes through serde at runtime (reports are rendered
+//! as markdown/CSV by hand), so the traits carry no methods; deriving them
+//! simply asserts "this type is plain data", which keeps every type
+//! source-compatible with the real serde should the build ever move back to
+//! the registry.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {} impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<K: Deserialize, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {}
+impl Serialize for std::path::PathBuf {}
+impl Deserialize for std::path::PathBuf {}

@@ -1,0 +1,64 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` generates visitor-based (de)serializers; this
+//! stand-in only needs to emit empty marker-trait impls, so it parses the
+//! item header by hand (no `syn`/`quote`, which are unavailable offline).
+//! Only non-generic `struct`s and `enum`s are supported — which is every type
+//! that derives serde traits in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name that follows the `struct` / `enum` / `union`
+/// keyword, skipping attributes, doc comments and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // `#[...]` / `#![...]`: skip the bracketed group that follows.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                if p.as_char() == '<' {
+                                    panic!(
+                                        "vendored serde_derive does not support generic type `{name}`"
+                                    );
+                                }
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{kw}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum found in derive input")
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -150,7 +150,10 @@ mod tests {
         for target in [0.3f32, 0.5, 0.75, 1.0] {
             let (d_in, d_glu) = alloc.split(target).unwrap();
             assert!((d_in - target).abs() < 1e-5, "target {target}: d_in {d_in}");
-            assert!((d_glu - target).abs() < 1e-4, "target {target}: d_glu {d_glu}");
+            assert!(
+                (d_glu - target).abs() < 1e-4,
+                "target {target}: d_glu {d_glu}"
+            );
         }
     }
 
@@ -182,7 +185,9 @@ mod tests {
 
     #[test]
     fn fit_recovers_identity_mapping() {
-        let points: Vec<(f64, f64)> = (1..10).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let points: Vec<(f64, f64)> = (1..10)
+            .map(|i| (i as f64 / 10.0, i as f64 / 10.0))
+            .collect();
         let alloc = DensityAllocation::fit(&points).unwrap();
         assert!(alloc.intercept.abs() < 1e-6);
         assert!((alloc.slope - 1.0).abs() < 1e-6);

@@ -90,19 +90,29 @@ mod tests {
         assert!(e.to_string().contains("softmax"));
         assert!(std::error::Error::source(&e).is_some());
 
-        let le = lm::LmError::BadSequence { reason: "empty".into() };
+        let le = lm::LmError::BadSequence {
+            reason: "empty".into(),
+        };
         let e: DipError = le.into();
         assert!(e.to_string().contains("empty"));
 
-        let e = DipError::InvalidParameter { name: "gamma", reason: "negative".into() };
+        let e = DipError::InvalidParameter {
+            name: "gamma",
+            reason: "negative".into(),
+        };
         assert!(e.to_string().contains("gamma"));
-        let e = DipError::CalibrationMismatch { reason: "layer count".into() };
+        let e = DipError::CalibrationMismatch {
+            reason: "layer count".into(),
+        };
         assert!(e.to_string().contains("layer count"));
     }
 
     #[test]
     fn lm_error_round_trip() {
-        let e = DipError::InvalidParameter { name: "k", reason: "too big".into() };
+        let e = DipError::InvalidParameter {
+            name: "k",
+            reason: "too big".into(),
+        };
         let le = to_lm_error(e);
         assert!(le.to_string().contains("k"));
         let e = DipError::Tensor(tensor::TensorError::Empty { op: "argmax" });

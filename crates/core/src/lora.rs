@@ -13,8 +13,8 @@
 //! sparsification error. The simplification is documented in DESIGN.md §1.
 
 use crate::error::{DipError, Result};
-use crate::strategies::dip::Dip;
 use crate::strategies::cats::CatsPruning;
+use crate::strategies::dip::Dip;
 use lm::{ActivationTrace, TransformerModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -176,7 +176,11 @@ pub fn train_adapter(
             loss += Vector::dot(&err, &err).map_err(DipError::from)?;
             count += 1;
         }
-        Ok(if count == 0 { f32::INFINITY } else { loss / count as f32 })
+        Ok(if count == 0 {
+            f32::INFINITY
+        } else {
+            loss / count as f32
+        })
     };
 
     // Normalise the step size by the average input energy so that the
@@ -212,7 +216,12 @@ pub fn train_adapter(
     // require a real improvement on held-out data before fusing anything
     if best_val > 0.98 * zero_val {
         let mut zero_rng = init::rng(cfg.seed.wrapping_add(seed_offset));
-        return Ok(LowRankAdapter::new_random(out_dim, in_dim, cfg.rank, &mut zero_rng));
+        return Ok(LowRankAdapter::new_random(
+            out_dim,
+            in_dim,
+            cfg.rank,
+            &mut zero_rng,
+        ));
     }
     Ok(best)
 }
@@ -311,7 +320,10 @@ pub fn fine_tune_dip(
             let active_glu = topk::top_k_by_magnitude(&glu, k_glu);
             let glu_masked = masked(&glu, &active_glu);
             let y_dense = original.w_down.matvec(&s.glu).map_err(DipError::from)?;
-            let y_sparse = original.w_down.matvec(&glu_masked).map_err(DipError::from)?;
+            let y_sparse = original
+                .w_down
+                .matvec(&glu_masked)
+                .map_err(DipError::from)?;
             down_residuals.push(Vector::sub(&y_dense, &y_sparse).map_err(DipError::from)?);
             glu_inputs.push(glu_masked);
         }
@@ -359,7 +371,9 @@ pub fn fine_tune_cats(
         let mut glu_inputs = Vec::with_capacity(samples.len());
         let mut residuals = Vec::with_capacity(samples.len());
         for s in samples {
-            let gate = original.gate_activations(&s.input).map_err(DipError::from)?;
+            let gate = original
+                .gate_activations(&s.input)
+                .map_err(DipError::from)?;
             let active = cats.select_neurons(layer_idx, &gate);
             let up = original
                 .w_up
@@ -368,11 +382,21 @@ pub fn fine_tune_cats(
             let glu: Vec<f32> = up.iter().zip(gate.iter()).map(|(u, g)| u * g).collect();
             let glu_masked = masked(&glu, &active);
             let y_dense = original.w_down.matvec(&s.glu).map_err(DipError::from)?;
-            let y_sparse = original.w_down.matvec(&glu_masked).map_err(DipError::from)?;
+            let y_sparse = original
+                .w_down
+                .matvec(&glu_masked)
+                .map_err(DipError::from)?;
             residuals.push(Vector::sub(&y_dense, &y_sparse).map_err(DipError::from)?);
             glu_inputs.push(glu_masked);
         }
-        let adapter = train_adapter(&glu_inputs, &residuals, d_model, d_ff, cfg, layer_idx as u64)?;
+        let adapter = train_adapter(
+            &glu_inputs,
+            &residuals,
+            d_model,
+            d_ff,
+            cfg,
+            layer_idx as u64,
+        )?;
         layer.mlp.w_down = layer
             .mlp
             .w_down

@@ -152,8 +152,9 @@ impl Predictor {
         if k == 0 {
             return Ok(1.0);
         }
-        let predicted: std::collections::HashSet<usize> =
-            topk::top_k_indices(&self.forward(x)?, k).into_iter().collect();
+        let predicted: std::collections::HashSet<usize> = topk::top_k_indices(&self.forward(x)?, k)
+            .into_iter()
+            .collect();
         let truth = topk::top_k_by_magnitude(glu, k);
         let hit = truth.iter().filter(|i| predicted.contains(i)).count();
         Ok(hit as f32 / truth.len().max(1) as f32)
@@ -354,11 +355,9 @@ mod tests {
             let mean_recall = |preds: &[Predictor]| -> f32 {
                 let mut total = 0.0;
                 let mut count = 0usize;
-                for layer in 0..model.n_layers() {
-                    for sample in &test_trace.samples[layer] {
-                        total += preds[layer]
-                            .top_k_recall(&sample.input, &sample.glu, k)
-                            .unwrap();
+                for (pred, samples) in preds.iter().zip(&test_trace.samples) {
+                    for sample in samples {
+                        total += pred.top_k_recall(&sample.input, &sample.glu, k).unwrap();
                         count += 1;
                     }
                 }

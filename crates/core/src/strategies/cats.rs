@@ -166,14 +166,26 @@ mod tests {
     fn cats_degrades_gracefully_and_monotonically() {
         let (model, trace) = setup();
         let seqs = eval::standard_eval_corpus(&model, 5, 32, 10).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let mut cats_hi = CatsPruning::calibrate(&model, &trace, 0.75).unwrap();
         let mut cats_lo = CatsPruning::calibrate(&model, &trace, 0.25).unwrap();
-        let ppl_hi = eval::perplexity(&model, &mut cats_hi, &seqs).unwrap().perplexity;
-        let ppl_lo = eval::perplexity(&model, &mut cats_lo, &seqs).unwrap().perplexity;
+        let ppl_hi = eval::perplexity(&model, &mut cats_hi, &seqs)
+            .unwrap()
+            .perplexity;
+        let ppl_lo = eval::perplexity(&model, &mut cats_lo, &seqs)
+            .unwrap()
+            .perplexity;
         assert!(ppl_hi >= dense * 0.97, "hi {ppl_hi} vs dense {dense}");
-        assert!(ppl_lo >= ppl_hi * 0.97, "lower density should not be better: {ppl_lo} vs {ppl_hi}");
-        assert!(ppl_lo > dense, "25% CATS density should hurt: {ppl_lo} vs {dense}");
+        assert!(
+            ppl_lo >= ppl_hi * 0.97,
+            "lower density should not be better: {ppl_lo} vs {ppl_hi}"
+        );
+        assert!(
+            ppl_lo > dense,
+            "25% CATS density should hurt: {ppl_lo} vs {dense}"
+        );
     }
 
     #[test]
@@ -194,7 +206,9 @@ mod tests {
     fn calibration_validates_inputs() {
         let (model, trace) = setup();
         assert!(CatsPruning::calibrate(&model, &trace, 0.0).is_err());
-        assert!(CatsPruning::calibrate(&model, &ActivationTrace::new(model.n_layers()), 0.5).is_err());
+        assert!(
+            CatsPruning::calibrate(&model, &ActivationTrace::new(model.n_layers()), 0.5).is_err()
+        );
         assert!(CatsPruning::calibrate(&model, &ActivationTrace::new(1), 0.5).is_err());
     }
 

@@ -132,7 +132,9 @@ mod tests {
     fn full_density_matches_dense_forward() {
         let model = model();
         let mlp = &model.layers[0].mlp;
-        let x: Vec<f32> = (0..mlp.d_model()).map(|i| (i as f32 - 15.0) / 30.0).collect();
+        let x: Vec<f32> = (0..mlp.d_model())
+            .map(|i| (i as f32 - 15.0) / 30.0)
+            .collect();
         let dense = mlp.forward_dense(&x).unwrap();
         let mut dip = Dip::new(1.0, 1.0).unwrap();
         let out = dip.forward(0, mlp, &x).unwrap();
@@ -186,14 +188,21 @@ mod tests {
     fn perplexity_degrades_monotonically_with_density() {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 5, 32, 41).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let mut previous = dense;
         for density in [0.8f32, 0.6, 0.4] {
             let mut dip = Dip::for_target_density(density, &DensityAllocation::balanced()).unwrap();
-            let ppl = eval::perplexity(&model, &mut dip, &seqs).unwrap().perplexity;
+            let ppl = eval::perplexity(&model, &mut dip, &seqs)
+                .unwrap()
+                .perplexity;
             // small slack: on a short synthetic corpus mild pruning can land a
             // hair below the dense perplexity
-            assert!(ppl >= dense * 0.97, "density {density}: ppl {ppl} vs dense {dense}");
+            assert!(
+                ppl >= dense * 0.97,
+                "density {density}: ppl {ppl} vs dense {dense}"
+            );
             assert!(
                 ppl >= previous * 0.97,
                 "ppl should not improve as density falls: {ppl} vs {previous}"

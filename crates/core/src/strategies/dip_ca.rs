@@ -116,6 +116,21 @@ impl DipCacheAware {
         &self.capacities
     }
 
+    /// Feeds another tenant's weight accesses into the internal cache
+    /// models.
+    ///
+    /// In a multi-session serving deployment the DRAM column cache is shared
+    /// by every session, so a cache-aware mask must account for co-tenant
+    /// traffic (dense streams, plain DIP, other DIP-CA configurations) that
+    /// hits and evicts the same columns. Layers outside the configured
+    /// capacity list are ignored.
+    pub fn observe_access(&mut self, layer: usize, input_cols: &[usize], glu_cols: &[usize]) {
+        if let Some(caches) = self.caches.get_mut(layer) {
+            caches.input.access(input_cols);
+            caches.glu.access(glu_cols);
+        }
+    }
+
     /// Cache-aware re-weighting of magnitude scores (Eq. 10).
     ///
     /// Exposed for testing and for the γ-ablation experiment.
@@ -263,15 +278,9 @@ mod tests {
         let caps = capacities(&config, 0.3);
 
         let hit_rate = |gamma: f32| -> f64 {
-            let mut strategy = DipCacheAware::new(
-                0.5,
-                0.5,
-                gamma,
-                config.d_model,
-                config.d_ff,
-                caps.clone(),
-            )
-            .unwrap();
+            let mut strategy =
+                DipCacheAware::new(0.5, 0.5, gamma, config.d_model, config.d_ff, caps.clone())
+                    .unwrap();
             // run the evaluation, then replay the recorded accesses through a
             // fresh LFU cache of the same capacity to measure the hit rate
             let mut state = model.new_decode_state();
@@ -318,8 +327,12 @@ mod tests {
             capacities(&config, 0.3),
         )
         .unwrap();
-        let plain = eval::perplexity(&model, &mut dip, &seqs).unwrap().perplexity;
-        let aware = eval::perplexity(&model, &mut dip_ca, &seqs).unwrap().perplexity;
+        let plain = eval::perplexity(&model, &mut dip, &seqs)
+            .unwrap()
+            .perplexity;
+        let aware = eval::perplexity(&model, &mut dip_ca, &seqs)
+            .unwrap()
+            .perplexity;
         // cache-aware masking trades a bounded amount of accuracy
         assert!(aware < plain * 1.5, "aware {aware} vs plain {plain}");
     }
@@ -353,6 +366,45 @@ mod tests {
     }
 
     #[test]
+    fn observed_co_tenant_traffic_shifts_the_selection() {
+        let config = ModelConfig::tiny();
+        let model = model();
+        let mlp = &model.layers[0].mlp;
+        // near-uniform input: the cache-aware re-weighting dominates selection
+        let x: Vec<f32> = (0..config.d_model)
+            .map(|i| 0.5 + 1e-4 * (i as f32))
+            .collect();
+        let fresh = || {
+            DipCacheAware::new(
+                0.5,
+                0.5,
+                0.2,
+                config.d_model,
+                config.d_ff,
+                capacities(&config, 0.4),
+            )
+            .unwrap()
+        };
+
+        let mut isolated = fresh();
+        let baseline = isolated.forward(0, mlp, &x).unwrap();
+
+        // a co-tenant hammers a disjoint set of input columns first
+        let mut contended = fresh();
+        let foreign: Vec<usize> = (0..config.d_model / 3).collect();
+        for _ in 0..8 {
+            contended.observe_access(0, &foreign, &foreign);
+        }
+        let after = contended.forward(0, mlp, &x).unwrap();
+        assert_ne!(
+            baseline.access, after.access,
+            "observed co-tenant traffic must influence the cache-aware mask"
+        );
+        // out-of-range layers are ignored rather than panicking
+        contended.observe_access(99, &foreign, &foreign);
+    }
+
+    #[test]
     fn unknown_layer_is_an_error() {
         let config = ModelConfig::tiny();
         let model = model();
@@ -363,7 +415,11 @@ mod tests {
             0.2,
             config.d_model,
             config.d_ff,
-            vec![BlockCacheCapacity { up: 4, gate: 4, down: 8 }],
+            vec![BlockCacheCapacity {
+                up: 4,
+                gate: 4,
+                down: 8,
+            }],
         )
         .unwrap();
         assert!(s.forward(5, mlp, &vec![0.1; config.d_model]).is_err());

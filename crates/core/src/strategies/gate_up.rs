@@ -132,10 +132,14 @@ mod tests {
     fn full_density_recovers_dense_output() {
         let model = model();
         let mlp = &model.layers[0].mlp;
-        let x: Vec<f32> = (0..mlp.d_model()).map(|i| (i as f32 - 10.0) / 20.0).collect();
+        let x: Vec<f32> = (0..mlp.d_model())
+            .map(|i| (i as f32 - 10.0) / 20.0)
+            .collect();
         let dense = mlp.forward_dense(&x).unwrap();
-        for strategy in [&mut GatePruning::new(1.0).unwrap() as &mut dyn MlpForward,
-                         &mut UpPruning::new(1.0).unwrap() as &mut dyn MlpForward] {
+        for strategy in [
+            &mut GatePruning::new(1.0).unwrap() as &mut dyn MlpForward,
+            &mut UpPruning::new(1.0).unwrap() as &mut dyn MlpForward,
+        ] {
             let out = strategy.forward(0, mlp, &x).unwrap();
             for (a, b) in out.y.iter().zip(dense.iter()) {
                 assert!((a - b).abs() < 1e-4, "{}", strategy.name());
@@ -154,7 +158,10 @@ mod tests {
             .unwrap()
             .access
             .mlp_density(mlp.d_model(), mlp.d_ff());
-        assert!((d - (1.0 + 2.0 * 0.5) / 3.0).abs() < 0.02, "gate density {d}");
+        assert!(
+            (d - (1.0 + 2.0 * 0.5) / 3.0).abs() < 0.02,
+            "gate density {d}"
+        );
 
         let mut up = UpPruning::new(0.5).unwrap();
         let d = up
@@ -172,22 +179,36 @@ mod tests {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 2, 14, 4).unwrap();
         let mut oracle = crate::strategies::GluOraclePruning::new(0.4).unwrap();
-        let ppl_oracle = eval::perplexity(&model, &mut oracle, &seqs).unwrap().perplexity;
+        let ppl_oracle = eval::perplexity(&model, &mut oracle, &seqs)
+            .unwrap()
+            .perplexity;
         let mut gate = GatePruning::new(0.4).unwrap();
-        let ppl_gate = eval::perplexity(&model, &mut gate, &seqs).unwrap().perplexity;
+        let ppl_gate = eval::perplexity(&model, &mut gate, &seqs)
+            .unwrap()
+            .perplexity;
         let mut up = UpPruning::new(0.4).unwrap();
         let ppl_up = eval::perplexity(&model, &mut up, &seqs).unwrap().perplexity;
-        assert!(ppl_gate >= ppl_oracle * 0.999, "gate {ppl_gate} vs oracle {ppl_oracle}");
-        assert!(ppl_up >= ppl_oracle * 0.999, "up {ppl_up} vs oracle {ppl_oracle}");
+        assert!(
+            ppl_gate >= ppl_oracle * 0.999,
+            "gate {ppl_gate} vs oracle {ppl_oracle}"
+        );
+        assert!(
+            ppl_up >= ppl_oracle * 0.999,
+            "up {ppl_up} vs oracle {ppl_oracle}"
+        );
     }
 
     #[test]
     fn pruning_degrades_relative_to_dense() {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 2, 14, 4).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let mut gate = GatePruning::new(0.3).unwrap();
-        let ppl = eval::perplexity(&model, &mut gate, &seqs).unwrap().perplexity;
+        let ppl = eval::perplexity(&model, &mut gate, &seqs)
+            .unwrap()
+            .perplexity;
         assert!(ppl >= dense);
     }
 

@@ -191,8 +191,15 @@ mod tests {
         let x = vec![0.2; mlp.d_model()];
 
         let mut glu = GluPruning::new(0.5).unwrap();
-        let d = glu.forward(0, mlp, &x).unwrap().access.mlp_density(mlp.d_model(), mlp.d_ff());
-        assert!((d - (2.0 + 0.5) / 3.0).abs() < 0.02, "glu pruning density {d}");
+        let d = glu
+            .forward(0, mlp, &x)
+            .unwrap()
+            .access
+            .mlp_density(mlp.d_model(), mlp.d_ff());
+        assert!(
+            (d - (2.0 + 0.5) / 3.0).abs() < 0.02,
+            "glu pruning density {d}"
+        );
 
         let mut oracle = GluOraclePruning::new(0.5).unwrap();
         let d = oracle
@@ -207,7 +214,9 @@ mod tests {
     fn oracle_and_glu_pruning_produce_identical_outputs_at_same_density() {
         let model = model();
         let mlp = &model.layers[1].mlp;
-        let x: Vec<f32> = (0..mlp.d_model()).map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.5).collect();
+        let x: Vec<f32> = (0..mlp.d_model())
+            .map(|i| ((i * 7) % 13) as f32 / 13.0 - 0.5)
+            .collect();
         let mut a = GluPruning::new(0.4).unwrap();
         let mut b = GluOraclePruning::new(0.4).unwrap();
         let ya = a.forward(1, mlp, &x).unwrap().y;
@@ -219,12 +228,17 @@ mod tests {
     fn pruning_error_grows_as_density_falls() {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 5, 32, 3).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let mut ppl_prev = dense;
         for density in [0.75f32, 0.5, 0.25] {
             let mut s = GluPruning::new(density).unwrap();
             let ppl = eval::perplexity(&model, &mut s, &seqs).unwrap().perplexity;
-            assert!(ppl >= dense * 0.97, "density {density}: ppl {ppl} < dense {dense}");
+            assert!(
+                ppl >= dense * 0.97,
+                "density {density}: ppl {ppl} < dense {dense}"
+            );
             assert!(
                 ppl >= ppl_prev * 0.97,
                 "perplexity should not improve much as density falls: {ppl} vs {ppl_prev}"
@@ -234,7 +248,10 @@ mod tests {
         // Keeping only the top-25% GLU activations loses very little because
         // the activation magnitudes are heavy-tailed — the same reason the
         // paper's GLU-pruning oracle stays close to the dense model.
-        assert!(ppl_prev < dense * 1.5, "25% GLU density should still be benign");
+        assert!(
+            ppl_prev < dense * 1.5,
+            "25% GLU density should still be benign"
+        );
     }
 
     #[test]

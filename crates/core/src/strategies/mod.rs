@@ -40,13 +40,15 @@ use lm::GluMlp;
 /// # Errors
 ///
 /// Propagates shape/index errors from the sparse kernels.
-pub(crate) fn glu_at_neurons(
-    mlp: &GluMlp,
-    x: &[f32],
-    neurons: &[usize],
-) -> lm::Result<Vec<f32>> {
-    let up = mlp.w_up.matvec_rows(x, neurons).map_err(lm::LmError::from)?;
-    let mut gate_pre = mlp.w_gate.matvec_rows(x, neurons).map_err(lm::LmError::from)?;
+pub(crate) fn glu_at_neurons(mlp: &GluMlp, x: &[f32], neurons: &[usize]) -> lm::Result<Vec<f32>> {
+    let up = mlp
+        .w_up
+        .matvec_rows(x, neurons)
+        .map_err(lm::LmError::from)?;
+    let mut gate_pre = mlp
+        .w_gate
+        .matvec_rows(x, neurons)
+        .map_err(lm::LmError::from)?;
     if let Some(bias) = &mlp.gate_bias {
         for &i in neurons {
             gate_pre[i] += bias[i];
@@ -80,7 +82,9 @@ mod tests {
     fn glu_at_neurons_matches_dense_on_selected_indices() {
         let model = build_synthetic(&ModelConfig::tiny(), 1).unwrap();
         let mlp = &model.layers[0].mlp;
-        let x: Vec<f32> = (0..mlp.d_model()).map(|i| (i as f32 % 5.0 - 2.0) / 5.0).collect();
+        let x: Vec<f32> = (0..mlp.d_model())
+            .map(|i| (i as f32 % 5.0 - 2.0) / 5.0)
+            .collect();
         let dense = mlp.glu_activations(&x).unwrap();
         let neurons = topk::top_k_by_magnitude(&dense, mlp.d_ff() / 2);
         let sparse = glu_at_neurons(mlp, &x, &neurons).unwrap();

@@ -142,8 +142,12 @@ mod tests {
         let (model, mut dejavu) = trained_strategy(0.5);
         let seqs = eval::standard_eval_corpus(&model, 2, 14, 33).unwrap();
         let mut oracle = crate::strategies::GluOraclePruning::new(0.5).unwrap();
-        let ppl_oracle = eval::perplexity(&model, &mut oracle, &seqs).unwrap().perplexity;
-        let ppl_dejavu = eval::perplexity(&model, &mut dejavu, &seqs).unwrap().perplexity;
+        let ppl_oracle = eval::perplexity(&model, &mut oracle, &seqs)
+            .unwrap()
+            .perplexity;
+        let ppl_dejavu = eval::perplexity(&model, &mut dejavu, &seqs)
+            .unwrap()
+            .perplexity;
         assert!(
             ppl_dejavu >= ppl_oracle,
             "dejavu {ppl_dejavu} should not beat the oracle {ppl_oracle}"

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig10 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig10::run(scale).expect("fig10 failed");
     println!("{}", out.distribution.to_markdown());
     println!("{}", out.gamma_ablation.to_markdown());

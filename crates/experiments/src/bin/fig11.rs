@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig11 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig11::run(scale).expect("fig11 failed");
     println!("{}", out.figure.to_markdown());
 }

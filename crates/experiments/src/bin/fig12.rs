@@ -11,9 +11,12 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig12 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig12::run(scale).expect("fig12 failed");
     println!("{}", out.trials.to_markdown());
-    println!("fitted allocation: intercept={:.3} slope={:.3}\n", out.fitted.intercept, out.fitted.slope);
+    println!(
+        "fitted allocation: intercept={:.3} slope={:.3}\n",
+        out.fitted.intercept, out.fitted.slope
+    );
     println!("{}", out.allocation_table.to_markdown());
 }

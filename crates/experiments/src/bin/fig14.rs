@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig14 at {scale:?} scale...");
-    
+
     for out in experiments::figures::fig8::run_fig14(scale).expect("fig14 failed") {
         println!("{}", out.perplexity.to_markdown());
         println!("{}", out.accuracy.to_markdown());

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig2 at {scale:?} scale...");
-    
+
     let (_, table) = experiments::figures::fig2::run().expect("fig2 failed");
     let _ = scale;
     println!("{}", table.to_markdown());

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig3 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig3::run(scale).expect("fig3 failed");
     println!("{}", out.summary.to_markdown());
     println!("{}", out.figure.to_markdown());

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig4 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig4::run(scale).expect("fig4 failed");
     println!("dense perplexity: {:.3}\n", out.dense_ppl);
     println!("{}", out.table.to_markdown());

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig6 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig6::run(scale).expect("fig6 failed");
     println!("{}", out.swiglu.to_markdown());
     println!("{}", out.relufied.to_markdown());

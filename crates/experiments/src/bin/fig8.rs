@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig8 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig8::run(scale).expect("fig8 failed");
     println!("{}", out.perplexity.to_markdown());
     println!("{}", out.accuracy.to_markdown());

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running fig9 at {scale:?} scale...");
-    
+
     let out = experiments::figures::fig9::run(scale).expect("fig9 failed");
     println!("{}", out.figure.to_markdown());
 }

@@ -1,0 +1,18 @@
+//! Runs the multi-user serving scenario (strategies × schedulers under
+//! shared-cache contention).
+use experiments::Scale;
+
+fn scale_from_args() -> Scale {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Quick)
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running serving scenario at {scale:?} scale...");
+
+    let out = experiments::serving::run(scale).expect("serving scenario failed");
+    println!("{}", out.table.to_markdown());
+}

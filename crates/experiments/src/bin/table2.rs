@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running table2 at {scale:?} scale...");
-    
+
     let out = experiments::tables::table2::run(scale).expect("table2 failed");
     println!("{}", out.table.to_markdown());
 }

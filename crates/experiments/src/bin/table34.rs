@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running table34 at {scale:?} scale...");
-    
+
     let t3 = experiments::tables::table1::run_table3(scale).expect("table3 failed");
     println!("{}", t3.table.to_markdown());
     let t4 = experiments::tables::table1::run_table4(scale).expect("table4 failed");

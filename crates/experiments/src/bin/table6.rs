@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running table6 at {scale:?} scale...");
-    
+
     let out = experiments::tables::ablations::run_dram_ablation(scale).expect("table6 failed");
     println!("{}", out.table.to_markdown());
 }

@@ -11,7 +11,7 @@ fn scale_from_args() -> Scale {
 fn main() {
     let scale = scale_from_args();
     eprintln!("running table7 at {scale:?} scale...");
-    
+
     let out = experiments::tables::ablations::run_flash_ablation(scale).expect("table7 failed");
     println!("{}", out.table.to_markdown());
 }

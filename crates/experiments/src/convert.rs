@@ -6,8 +6,8 @@
 //! methods), so the hardware [`ModelLayout`] is derived from an example
 //! access record of the method being simulated.
 
-use hwsim::{AccessSet, AccessTrace, BlockAccess, LinearLayout, MlpBlockLayout, ModelLayout, TokenAccess};
-use lm::{ColumnAccess, MatrixAccess, MlpAccessRecord, ModelConfig, SliceAxis};
+use hwsim::{AccessTrace, LinearLayout, MlpBlockLayout, ModelLayout, TokenAccess};
+use lm::{MatrixAccess, MlpAccessRecord, ModelConfig};
 
 /// Per-method static memory overhead (bytes) that must be pinned in DRAM in
 /// addition to attention/embedding/norm weights and the KV cache
@@ -32,14 +32,7 @@ fn linear_layout(
     out_dim: usize,
     bits_per_weight: f64,
 ) -> LinearLayout {
-    let (n_columns, rows_per_column) = match access.axis {
-        SliceAxis::Input => (in_dim, out_dim),
-        SliceAxis::Output => (out_dim, in_dim),
-    };
-    LinearLayout {
-        n_columns,
-        bytes_per_column: ((rows_per_column as f64) * bits_per_weight / 8.0).ceil() as u64,
-    }
+    serve::layout::linear_layout_for_axis(access.axis, in_dim, out_dim, bits_per_weight)
 }
 
 /// Builds the hardware memory layout for a model as accessed by a particular
@@ -65,25 +58,10 @@ pub fn layout_for_method(
     }
 }
 
-fn to_access_set(access: &ColumnAccess) -> AccessSet {
-    match access {
-        ColumnAccess::All => AccessSet::All,
-        ColumnAccess::Subset(v) => AccessSet::Subset(v.clone()),
-    }
-}
-
-/// Converts one token's per-layer access records into a simulator token entry.
+/// Converts one token's per-layer access records into a simulator token entry
+/// (delegates to the serving layer's conversion so the two stay identical).
 pub fn to_token_access(records: &[MlpAccessRecord]) -> TokenAccess {
-    TokenAccess {
-        blocks: records
-            .iter()
-            .map(|r| BlockAccess {
-                up: to_access_set(&r.up.slices),
-                gate: to_access_set(&r.gate.slices),
-                down: to_access_set(&r.down.slices),
-            })
-            .collect(),
-    }
+    serve::layout::to_token_access(records)
 }
 
 /// Accumulates per-token access records into a simulator trace.
@@ -146,9 +124,19 @@ mod tests {
     #[test]
     fn layout_axis_follows_the_access_record() {
         let config = ModelConfig::tiny();
-        let dip_layout = layout_for_method(&config, &dip_record(config.d_model, config.d_ff), 4.0, StaticOverhead::default());
+        let dip_layout = layout_for_method(
+            &config,
+            &dip_record(config.d_model, config.d_ff),
+            4.0,
+            StaticOverhead::default(),
+        );
         assert_eq!(dip_layout.blocks[0].up.n_columns, config.d_model);
-        let dv_layout = layout_for_method(&config, &dejavu_record(config.d_ff), 4.0, StaticOverhead::default());
+        let dv_layout = layout_for_method(
+            &config,
+            &dejavu_record(config.d_ff),
+            4.0,
+            StaticOverhead::default(),
+        );
         assert_eq!(dv_layout.blocks[0].up.n_columns, config.d_ff);
         // total MLP bytes identical regardless of the slicing axis
         assert_eq!(dip_layout.mlp_bytes(), dv_layout.mlp_bytes());
@@ -194,7 +182,7 @@ mod tests {
     fn dense_records_convert_to_all_access() {
         let rec = MlpAccessRecord::dense();
         let token = to_token_access(&[rec]);
-        assert_eq!(token.blocks[0].up, AccessSet::All);
-        assert_eq!(token.blocks[0].down, AccessSet::All);
+        assert_eq!(token.blocks[0].up, hwsim::AccessSet::All);
+        assert_eq!(token.blocks[0].down, hwsim::AccessSet::All);
     }
 }

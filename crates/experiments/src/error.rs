@@ -16,6 +16,8 @@ pub enum ExpError {
     Quant(quant::QuantError),
     /// Error from the hardware simulator.
     Sim(hwsim::SimError),
+    /// Error from the serving engine.
+    Serve(serve::ServeError),
     /// The requested combination is not supported (e.g. a target density a
     /// scheme cannot reach); experiments render these cells as "—".
     Unsupported {
@@ -31,6 +33,7 @@ impl fmt::Display for ExpError {
             ExpError::Dip(e) => write!(f, "sparsity error: {e}"),
             ExpError::Quant(e) => write!(f, "quantization error: {e}"),
             ExpError::Sim(e) => write!(f, "simulator error: {e}"),
+            ExpError::Serve(e) => write!(f, "serving error: {e}"),
             ExpError::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
         }
     }
@@ -43,6 +46,7 @@ impl std::error::Error for ExpError {
             ExpError::Dip(e) => Some(e),
             ExpError::Quant(e) => Some(e),
             ExpError::Sim(e) => Some(e),
+            ExpError::Serve(e) => Some(e),
             ExpError::Unsupported { .. } => None,
         }
     }
@@ -72,13 +76,20 @@ impl From<hwsim::SimError> for ExpError {
     }
 }
 
+impl From<serve::ServeError> for ExpError {
+    fn from(e: serve::ServeError) -> Self {
+        ExpError::Serve(e)
+    }
+}
+
 impl ExpError {
     /// Whether the error just means "this cell does not exist" (e.g. GLU
     /// pruning at 50 % density) rather than a real failure.
     pub fn is_unsupported(&self) -> bool {
         matches!(
             self,
-            ExpError::Unsupported { .. } | ExpError::Dip(dip_core::DipError::InvalidParameter { .. })
+            ExpError::Unsupported { .. }
+                | ExpError::Dip(dip_core::DipError::InvalidParameter { .. })
         )
     }
 }
@@ -91,15 +102,36 @@ mod tests {
     fn conversions_and_display() {
         let e: ExpError = lm::LmError::BadSequence { reason: "x".into() }.into();
         assert!(e.to_string().contains("model error"));
-        let e: ExpError = dip_core::DipError::InvalidParameter { name: "d", reason: "r".into() }.into();
+        let e: ExpError = dip_core::DipError::InvalidParameter {
+            name: "d",
+            reason: "r".into(),
+        }
+        .into();
         assert!(e.is_unsupported());
-        let e = ExpError::Unsupported { reason: "glu at 50%".into() };
+        let e = ExpError::Unsupported {
+            reason: "glu at 50%".into(),
+        };
         assert!(e.is_unsupported());
         assert!(e.to_string().contains("glu at 50%"));
-        let e: ExpError = hwsim::SimError::InvalidConfig { field: "f", reason: "r".into() }.into();
+        let e: ExpError = hwsim::SimError::InvalidConfig {
+            field: "f",
+            reason: "r".into(),
+        }
+        .into();
         assert!(!e.is_unsupported());
         assert!(std::error::Error::source(&e).is_some());
-        let e: ExpError = quant::QuantError::InvalidParameter { name: "bits", reason: "r".into() }.into();
+        let e: ExpError = quant::QuantError::InvalidParameter {
+            name: "bits",
+            reason: "r".into(),
+        }
+        .into();
         assert!(e.to_string().contains("quantization"));
+        let e: ExpError = serve::ServeError::InvalidConfig {
+            field: "slots",
+            reason: "r".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("serving"));
+        assert!(!e.is_unsupported());
     }
 }

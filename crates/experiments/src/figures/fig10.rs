@@ -87,9 +87,17 @@ mod tests {
         let out = run(Scale::Smoke).unwrap();
         // left panel: the top percentile dominates the median by a large factor
         for series in &out.distribution.series {
-            let median = series.points.iter().find(|(q, _)| (*q - 0.5).abs() < 1e-6).unwrap().1;
+            let median = series
+                .points
+                .iter()
+                .find(|(q, _)| (*q - 0.5).abs() < 1e-6)
+                .unwrap()
+                .1;
             let top = series.points.last().unwrap().1;
-            assert!(top >= 10.0 * median.max(1e-9), "median {median} vs top {top}");
+            assert!(
+                top >= 10.0 * median.max(1e-9),
+                "median {median} vs top {top}"
+            );
         }
         // right panel: γ = 1 (plain DIP) has the lowest hit-rate boost, small γ
         // has the highest throughput, and throughput is monotone-ish in 1/γ

@@ -30,7 +30,10 @@ pub fn run(scale: Scale) -> Result<Fig11Output> {
     let device = wb.table2_device();
 
     let mut figure = Figure::new(
-        format!("Figure 11: cache policies vs cache-aware masking ({})", config.name),
+        format!(
+            "Figure 11: cache policies vs cache-aware masking ({})",
+            config.name
+        ),
         "throughput tok/s",
         "perplexity",
     );

@@ -61,7 +61,8 @@ pub fn run(scale: Scale) -> Result<Fig12Output> {
         front_series.push(all_points[i].0, all_points[i].1);
         fit_points.push((all_points[i].0, input_densities[i]));
     }
-    let fitted = DensityAllocation::fit(&fit_points).unwrap_or_else(|_| DensityAllocation::balanced());
+    let fitted =
+        DensityAllocation::fit(&fit_points).unwrap_or_else(|_| DensityAllocation::balanced());
 
     let mut trials = Figure::new(
         "Figure 12: perplexity vs MLP density over the (input, GLU) density grid",

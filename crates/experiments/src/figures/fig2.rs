@@ -25,14 +25,54 @@ pub struct TrendPoint {
 /// matching the sources cited by the paper (Apple silicon / LLM survey).
 pub fn trend_data() -> Vec<TrendPoint> {
     vec![
-        TrendPoint { year: 2017.0, npu_tops: 0.6, dram_gb: 3.0, model_b_params: 0.3 },
-        TrendPoint { year: 2018.0, npu_tops: 5.0, dram_gb: 4.0, model_b_params: 1.5 },
-        TrendPoint { year: 2019.0, npu_tops: 6.0, dram_gb: 4.0, model_b_params: 8.3 },
-        TrendPoint { year: 2020.0, npu_tops: 11.0, dram_gb: 6.0, model_b_params: 175.0 },
-        TrendPoint { year: 2021.0, npu_tops: 15.8, dram_gb: 6.0, model_b_params: 530.0 },
-        TrendPoint { year: 2022.0, npu_tops: 17.0, dram_gb: 6.0, model_b_params: 540.0 },
-        TrendPoint { year: 2023.0, npu_tops: 35.0, dram_gb: 8.0, model_b_params: 1000.0 },
-        TrendPoint { year: 2024.0, npu_tops: 38.0, dram_gb: 8.0, model_b_params: 1800.0 },
+        TrendPoint {
+            year: 2017.0,
+            npu_tops: 0.6,
+            dram_gb: 3.0,
+            model_b_params: 0.3,
+        },
+        TrendPoint {
+            year: 2018.0,
+            npu_tops: 5.0,
+            dram_gb: 4.0,
+            model_b_params: 1.5,
+        },
+        TrendPoint {
+            year: 2019.0,
+            npu_tops: 6.0,
+            dram_gb: 4.0,
+            model_b_params: 8.3,
+        },
+        TrendPoint {
+            year: 2020.0,
+            npu_tops: 11.0,
+            dram_gb: 6.0,
+            model_b_params: 175.0,
+        },
+        TrendPoint {
+            year: 2021.0,
+            npu_tops: 15.8,
+            dram_gb: 6.0,
+            model_b_params: 530.0,
+        },
+        TrendPoint {
+            year: 2022.0,
+            npu_tops: 17.0,
+            dram_gb: 6.0,
+            model_b_params: 540.0,
+        },
+        TrendPoint {
+            year: 2023.0,
+            npu_tops: 35.0,
+            dram_gb: 8.0,
+            model_b_params: 1000.0,
+        },
+        TrendPoint {
+            year: 2024.0,
+            npu_tops: 38.0,
+            dram_gb: 8.0,
+            model_b_params: 1800.0,
+        },
     ]
 }
 
@@ -41,7 +81,10 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
     let n = points.len() as f64;
     let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
     let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-    let var_x: f64 = points.iter().map(|(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let var_x: f64 = points
+        .iter()
+        .map(|(x, _)| (x - mean_x) * (x - mean_x))
+        .sum();
     let cov: f64 = points
         .iter()
         .map(|(x, y)| (x - mean_x) * (y - mean_y))
@@ -75,13 +118,19 @@ pub fn run() -> Result<(Figure, Table)> {
     figure.push_series(dram);
     figure.push_series(models);
 
-    let npu_growth =
-        exponential_growth_factor(&data.iter().map(|p| (p.year, p.npu_tops)).collect::<Vec<_>>());
-    let model_growth = exponential_growth_factor(
-        &data.iter().map(|p| (p.year, p.model_b_params)).collect::<Vec<_>>(),
+    let npu_growth = exponential_growth_factor(
+        &data
+            .iter()
+            .map(|p| (p.year, p.npu_tops))
+            .collect::<Vec<_>>(),
     );
-    let (_, dram_slope) =
-        linear_fit(&data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>());
+    let model_growth = exponential_growth_factor(
+        &data
+            .iter()
+            .map(|p| (p.year, p.model_b_params))
+            .collect::<Vec<_>>(),
+    );
+    let (_, dram_slope) = linear_fit(&data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>());
 
     let mut table = Table::new(
         "Figure 2 fits: exponential compute/model growth vs linear DRAM growth",
@@ -119,17 +168,26 @@ mod tests {
         assert_eq!(table.len(), 3);
         let data = trend_data();
         let npu_growth = exponential_growth_factor(
-            &data.iter().map(|p| (p.year, p.npu_tops)).collect::<Vec<_>>(),
+            &data
+                .iter()
+                .map(|p| (p.year, p.npu_tops))
+                .collect::<Vec<_>>(),
         );
         let model_growth = exponential_growth_factor(
-            &data.iter().map(|p| (p.year, p.model_b_params)).collect::<Vec<_>>(),
+            &data
+                .iter()
+                .map(|p| (p.year, p.model_b_params))
+                .collect::<Vec<_>>(),
         );
         let (_, dram_slope) =
             linear_fit(&data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>());
         // NPU compute and model sizes grow by >40%/year; DRAM grows by <1.5 GB/year
         assert!(npu_growth > 1.4, "npu growth {npu_growth}");
         assert!(model_growth > 2.0, "model growth {model_growth}");
-        assert!(dram_slope > 0.0 && dram_slope < 1.5, "dram slope {dram_slope}");
+        assert!(
+            dram_slope > 0.0 && dram_slope < 1.5,
+            "dram slope {dram_slope}"
+        );
         // model growth clearly outpaces DRAM growth in relative terms
         let dram_growth = exponential_growth_factor(
             &data.iter().map(|p| (p.year, p.dram_gb)).collect::<Vec<_>>(),

@@ -30,7 +30,8 @@ pub fn run(scale: Scale) -> Result<Fig3Output> {
     let swiglu = build_synthetic(&config, seed)?;
     let relufied = build_synthetic(&config.relufied(), seed)?;
 
-    let seqs = eval::standard_eval_corpus(&swiglu, scale.eval_sequences(), scale.eval_seq_len(), 3)?;
+    let seqs =
+        eval::standard_eval_corpus(&swiglu, scale.eval_sequences(), scale.eval_seq_len(), 3)?;
     let trace_swiglu = trace::collect_activation_trace(&swiglu, &seqs)?;
     let trace_relu = trace::collect_activation_trace(&relufied, &seqs)?;
 
@@ -63,8 +64,14 @@ pub fn run(scale: Scale) -> Result<Fig3Output> {
         summary.push_row(vec![
             name.to_string(),
             format!("{:.3}", natural[i]),
-            format!("{:.4}", tensor::stats::quantile(&mags, 0.5).map_err(lm::LmError::from)?),
-            format!("{:.4}", tensor::stats::quantile(&mags, 0.99).map_err(lm::LmError::from)?),
+            format!(
+                "{:.4}",
+                tensor::stats::quantile(&mags, 0.5).map_err(lm::LmError::from)?
+            ),
+            format!(
+                "{:.4}",
+                tensor::stats::quantile(&mags, 0.99).map_err(lm::LmError::from)?
+            ),
         ]);
     }
 

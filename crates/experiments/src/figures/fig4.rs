@@ -52,7 +52,12 @@ pub fn run(scale: Scale) -> Result<Fig4Output> {
 
     let mut table = Table::new(
         "Figure 4: GLU thresholding strategies at 50% target GLU density",
-        &["strategy", "perplexity", "mean density", "per-layer density spread"],
+        &[
+            "strategy",
+            "perplexity",
+            "mean density",
+            "per-layer density spread",
+        ],
     );
     let mut results = Vec::new();
     for strategy in strategies {
@@ -67,7 +72,13 @@ pub fn run(scale: Scale) -> Result<Fig4Output> {
         }
         let layer_means: Vec<f32> = per_layer
             .iter()
-            .map(|ds| if ds.is_empty() { 0.0 } else { ds.iter().sum::<f32>() / ds.len() as f32 })
+            .map(|ds| {
+                if ds.is_empty() {
+                    0.0
+                } else {
+                    ds.iter().sum::<f32>() / ds.len() as f32
+                }
+            })
             .collect();
         let summary = SeriesSummary::from_slice(&layer_means).map_err(lm::LmError::from)?;
         let mean_density = summary.mean;
@@ -108,16 +119,26 @@ mod tests {
         let per_layer = &out.results[1];
         let top_k = &out.results[2];
         assert_eq!(global.name, "global-threshold");
+        assert_eq!(per_layer.name, "per-layer-threshold");
         assert_eq!(top_k.name, "per-token-topk");
         // all strategies realise roughly the target average density
         for r in &out.results {
-            assert!((r.mean_density - 0.5).abs() < 0.15, "{}: {}", r.name, r.mean_density);
+            assert!(
+                (r.mean_density - 0.5).abs() < 0.15,
+                "{}: {}",
+                r.name,
+                r.mean_density
+            );
         }
         // per-token top-k keeps a constant number of activations, so its
         // per-layer densities are essentially identical; the global-vs-per-layer
         // spread gap only emerges with many layers (see the Quick-scale run in
         // EXPERIMENTS.md: 0.17 vs 0.02 on the 10-layer model)
-        assert!(top_k.density_spread < 0.05, "top-k spread {}", top_k.density_spread);
+        assert!(
+            top_k.density_spread < 0.05,
+            "top-k spread {}",
+            top_k.density_spread
+        );
         assert!(global.density_spread + 1e-6 >= top_k.density_spread);
         // and it should not be better than the per-token strategy (Fig. 4's point)
         assert!(global.perplexity >= top_k.perplexity * 0.98);

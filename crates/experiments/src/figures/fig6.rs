@@ -62,7 +62,11 @@ pub fn run(scale: Scale) -> Result<Fig6Output> {
     let swiglu_wb = Workbench::new(&config, scale, seed)?;
     let relufied_wb = Workbench::new(&config.relufied(), scale, seed)?;
 
-    let swiglu = curves_for(&swiglu_wb, scale, "Figure 6: GLU pruning vs predictive (SwiGLU)")?;
+    let swiglu = curves_for(
+        &swiglu_wb,
+        scale,
+        "Figure 6: GLU pruning vs predictive (SwiGLU)",
+    )?;
     let relufied = curves_for(
         &relufied_wb,
         scale,

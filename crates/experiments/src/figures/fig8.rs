@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn dip_dominates_the_baselines_on_average() {
         let out = run(Scale::Smoke).unwrap();
-        assert_eq!(out.perplexity.series.len(), 1 + MethodKind::pareto_set().len());
+        assert_eq!(
+            out.perplexity.series.len(),
+            1 + MethodKind::pareto_set().len()
+        );
         let find = |name: &str| {
             out.perplexity
                 .series
@@ -126,7 +129,10 @@ mod tests {
         // GLU" set is partially static, which makes predictors stronger than
         // on real SwiGLU checkpoints — see EXPERIMENTS.md.)
         assert!(dip <= cats * 1.05, "DIP {dip} vs CATS {cats}");
-        assert!(dip <= sparsegpt * 1.05, "DIP {dip} vs SparseGPT {sparsegpt}");
+        assert!(
+            dip <= sparsegpt * 1.05,
+            "DIP {dip} vs SparseGPT {sparsegpt}"
+        );
 
         // accuracy figures carry the same series
         assert_eq!(out.accuracy.series.len(), out.perplexity.series.len());

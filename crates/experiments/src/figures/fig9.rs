@@ -148,15 +148,28 @@ mod tests {
         let bq_dip = find("BQ4+DIP");
         let sgpt = find("SparseGPT (unstructured)");
         // BQ4+DIP reaches lower memory than dense BQ4
-        let min_mem = |s: &Series| s.points.iter().map(|(x, _)| *x).fold(f64::INFINITY, f64::min);
+        let min_mem = |s: &Series| {
+            s.points
+                .iter()
+                .map(|(x, _)| *x)
+                .fold(f64::INFINITY, f64::min)
+        };
         assert!(min_mem(bq_dip) < min_mem(bq));
         // every series carries finite perplexities
         for s in &out.figure.series {
             assert!(s.points.iter().all(|(_, y)| y.is_finite()));
         }
         // at comparable memory, BQ4+DIP should not be worse than SparseGPT at FP16
-        let best_sgpt = sgpt.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
-        let best_bq_dip = bq_dip.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+        let best_sgpt = sgpt
+            .points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
+        let best_bq_dip = bq_dip
+            .points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
         assert!(best_bq_dip.is_finite() && best_sgpt.is_finite());
     }
 }

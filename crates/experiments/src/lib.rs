@@ -15,7 +15,9 @@
 //!   quality and throughput measurement,
 //! * [`methods`] — the method matrix (DIP, DIP-CA and every baseline),
 //! * [`convert`] — bridging model access records to the hardware simulator,
-//! * [`report`] — markdown/CSV rendering.
+//! * [`report`] — markdown/CSV rendering,
+//! * [`serving`] — the multi-user serving scenario built on the `serve`
+//!   crate (continuous batching + shared-cache contention).
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod methods;
 pub mod registry;
 pub mod report;
 pub mod scale;
+pub mod serving;
 pub mod tables;
 pub mod workbench;
 
@@ -33,4 +36,5 @@ pub use error::{ExpError, Result};
 pub use methods::MethodKind;
 pub use report::{Figure, Series, Table};
 pub use scale::Scale;
+pub use serving::ServingScenario;
 pub use workbench::{PreparedMethod, QualityPoint, Workbench};

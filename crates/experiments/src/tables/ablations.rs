@@ -65,7 +65,10 @@ fn run_over_devices(
 
     let mut headers = vec!["Method".to_string()];
     headers.extend(settings.iter().map(|(name, _)| name.clone()));
-    let mut table = Table::new(title, &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut table = Table::new(
+        title,
+        &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
     let mut dense_row = vec!["Dense".to_string()];
     dense_row.extend(dense.iter().map(|t| format!("{t:.2}")));
     table.push_row(dense_row);
@@ -165,7 +168,10 @@ mod tests {
     fn more_dram_and_faster_flash_increase_throughput() {
         let dram = run_dram_ablation(Scale::Smoke).unwrap();
         assert_eq!(dram.settings.len(), 3);
-        assert!(dram.dense[0] <= dram.dense[2], "dense should speed up with DRAM");
+        assert!(
+            dram.dense[0] <= dram.dense[2],
+            "dense should speed up with DRAM"
+        );
         // DIP-CA throughput (where defined) is non-decreasing in DRAM size
         let dip_ca = dram
             .methods
@@ -177,7 +183,10 @@ mod tests {
         assert!(!defined.is_empty());
 
         let flash = run_flash_ablation(Scale::Smoke).unwrap();
-        assert!(flash.dense[0] < flash.dense[2], "dense scales with flash speed");
+        assert!(
+            flash.dense[0] < flash.dense[2],
+            "dense scales with flash speed"
+        );
         assert_eq!(flash.table.len(), 1 + ablation_methods().len());
     }
 }

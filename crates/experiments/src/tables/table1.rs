@@ -62,7 +62,11 @@ pub fn run_at_density(scale: Scale, target_density: f32) -> Result<MethodsTable>
 
     let mut results = Vec::new();
     for method in MethodKind::table1_rows() {
-        let density = if method == MethodKind::Dense { 1.0 } else { target_density };
+        let density = if method == MethodKind::Dense {
+            1.0
+        } else {
+            target_density
+        };
         let mut points: Vec<Option<QualityPoint>> = Vec::new();
         for wb in workbenches.iter_mut() {
             match wb.quality(method, density) {
@@ -86,10 +90,7 @@ pub fn run_at_density(scale: Scale, target_density: f32) -> Result<MethodsTable>
 
     let file = format!("table_density_{:.0}.md", target_density * 100.0);
     report::write_report(&file, &table.to_markdown());
-    report::write_report(
-        &file.replace(".md", ".csv"),
-        &table.to_csv(),
-    );
+    report::write_report(&file.replace(".md", ".csv"), &table.to_csv());
     Ok(MethodsTable {
         target_density,
         models,

@@ -72,7 +72,7 @@ pub fn best_throughput(
             continue;
         }
         let sim = wb.throughput(method, density, device, EvictionPolicy::Lfu)?;
-        if best.map_or(true, |(t, _)| sim.throughput_tps > t) {
+        if best.is_none_or(|(t, _)| sim.throughput_tps > t) {
             best = Some((sim.throughput_tps, density));
         }
     }
@@ -175,9 +175,6 @@ mod tests {
             "DIP-CA ({dip_ca}) should be competitive with DIP ({dip})"
         );
         // rendered table has a dense row plus 2 budgets x methods rows
-        assert_eq!(
-            out.table.len(),
-            1 + 2 * MethodKind::throughput_set().len()
-        );
+        assert_eq!(out.table.len(), 1 + 2 * MethodKind::throughput_set().len());
     }
 }

@@ -46,13 +46,20 @@ pub fn run(scale: Scale) -> Result<Table5Output> {
     let mut headers = vec!["Method".to_string()];
     headers.extend(tasks.clone());
     let mut table = Table::new(
-        format!("Table 5: per-task accuracy at 50% MLP sparsity ({})", config.name),
+        format!(
+            "Table 5: per-task accuracy at 50% MLP sparsity ({})",
+            config.name
+        ),
         &headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
     );
 
     let mut results = Vec::new();
     for method in table5_methods() {
-        let density = if method == MethodKind::Dense { 1.0 } else { 0.5 };
+        let density = if method == MethodKind::Dense {
+            1.0
+        } else {
+            0.5
+        };
         let prepared = wb.prepare(method, density);
         let per_task = match prepared {
             Ok(mut p) => {

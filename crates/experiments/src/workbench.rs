@@ -20,7 +20,9 @@ use dip_core::strategies::{
 use dip_core::{lora, predictor, DensityAllocation, SparsityScheme};
 use hwsim::{AccessTrace, DeviceConfig, EvictionPolicy, ModelLayout, SimReport};
 use lm::mlp::DenseMlp;
-use lm::{build_synthetic, eval, trace, ActivationTrace, ModelConfig, MlpForward, TransformerModel};
+use lm::{
+    build_synthetic, eval, trace, ActivationTrace, MlpForward, ModelConfig, TransformerModel,
+};
 use quant::{PruningStructure, StaticPruner};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -160,7 +162,8 @@ impl Workbench {
         let key = density_key(target);
         if !self.lora_dip.contains_key(&key) {
             let dip = Dip::for_target_density(target, &self.allocation)?;
-            let tuned = lora::fine_tune_dip(&self.model, &self.calib_trace, &dip, &self.lora_config())?;
+            let tuned =
+                lora::fine_tune_dip(&self.model, &self.calib_trace, &dip, &self.lora_config())?;
             self.lora_dip.insert(key, tuned);
         }
         Ok(self.lora_dip[&key].clone())
@@ -280,7 +283,8 @@ impl Workbench {
                     }
                 }
                 let pruner = StaticPruner::magnitude(structure);
-                let pruned = quant::model_ops::prune_mlp_static(&self.model, &pruner, target_density)?;
+                let pruned =
+                    quant::model_ops::prune_mlp_static(&self.model, &pruner, target_density)?;
                 PreparedMethod {
                     label,
                     model: pruned,
@@ -333,7 +337,12 @@ impl Workbench {
             gate: lm::MatrixAccess::input(vec![]),
             down: lm::MatrixAccess::input(vec![]),
         };
-        let layout = layout_for_method(&self.config, &example, bits_per_weight, StaticOverhead::default());
+        let layout = layout_for_method(
+            &self.config,
+            &example,
+            bits_per_weight,
+            StaticOverhead::default(),
+        );
         let allocation = hwsim::allocate(&layout, device)?;
         let strategy = DipCacheAware::new(
             dip.input_density(),
@@ -358,8 +367,11 @@ impl Workbench {
     /// Propagates evaluation errors.
     pub fn quality_of(&self, prepared: &mut PreparedMethod) -> Result<QualityPoint> {
         let ppl = eval::perplexity(&prepared.model, prepared.strategy.as_mut(), &self.eval_seqs)?;
-        let accuracy =
-            eval::suite_accuracy(&prepared.model, prepared.strategy.as_mut(), &self.task_suite)?;
+        let accuracy = eval::suite_accuracy(
+            &prepared.model,
+            prepared.strategy.as_mut(),
+            &self.task_suite,
+        )?;
         Ok(QualityPoint {
             method: prepared.label.clone(),
             perplexity: ppl.perplexity,

@@ -143,7 +143,9 @@ mod tests {
         // pseudo-random but deterministic trace
         let mut state = 123456789u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let n_columns = 32;
@@ -157,8 +159,14 @@ mod tests {
             );
             let lru = total_misses(&mut LruColumnCache::new(n_columns, capacity), &trace);
             let lfu = total_misses(&mut LfuColumnCache::new(n_columns, capacity), &trace);
-            assert!(belady <= lru, "capacity {capacity}: belady {belady} vs lru {lru}");
-            assert!(belady <= lfu, "capacity {capacity}: belady {belady} vs lfu {lfu}");
+            assert!(
+                belady <= lru,
+                "capacity {capacity}: belady {belady} vs lru {lru}"
+            );
+            assert!(
+                belady <= lfu,
+                "capacity {capacity}: belady {belady} vs lfu {lfu}"
+            );
         }
     }
 

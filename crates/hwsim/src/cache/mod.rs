@@ -107,7 +107,9 @@ impl EvictionPolicy {
                     field: "future",
                     reason: "Belady's oracle requires the future access trace".to_string(),
                 })?;
-                Ok(Box::new(BeladyColumnCache::new(n_columns, capacity, future)))
+                Ok(Box::new(BeladyColumnCache::new(
+                    n_columns, capacity, future,
+                )))
             }
         }
     }

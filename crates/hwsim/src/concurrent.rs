@@ -1,0 +1,391 @@
+//! Multi-stream trace replay: several sessions sharing one DRAM column cache.
+//!
+//! Single-stream simulation ([`crate::simulate`]) answers "how fast is one
+//! user's token loop"; a serving system needs "what happens when many users'
+//! decode steps are interleaved through the *same* DRAM cache". This module
+//! replays an interleaving of per-session [`AccessTrace`]s through one shared
+//! set of column caches (one per block/matrix, exactly as in the
+//! single-stream simulator) and reports both the aggregate cost and the
+//! per-stream cost, including each stream's wall-clock completion time under
+//! the serial memory-bus model.
+//!
+//! The interleave order is supplied by the caller (the `serve` crate's
+//! continuous-batching scheduler produces it); [`round_robin_order`] builds
+//! the default fair interleave. With a single stream the replay degenerates
+//! to the single-stream simulator, and the aggregate [`SimReport`] is
+//! *identical* to [`crate::simulate`] on that trace — both run through the
+//! same [`crate::sim::replay_token_costs`] core.
+
+use crate::cache::EvictionPolicy;
+use crate::device::DeviceConfig;
+use crate::error::{Result, SimError};
+use crate::layout::ModelLayout;
+use crate::sim::{replay_token_costs, report_from_costs, SimReport};
+use crate::trace::AccessTrace;
+use serde::{Deserialize, Serialize};
+
+/// Per-stream statistics of a concurrent replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStats {
+    /// Index of the stream in the input slice.
+    pub stream: usize,
+    /// Number of tokens this stream contributed.
+    pub tokens: usize,
+    /// Sum of this stream's own token service times, in seconds.
+    pub service_s: f64,
+    /// Wall-clock time at which the stream's first token finished (seconds
+    /// from the start of the replay; 0 for an empty stream).
+    pub first_token_s: f64,
+    /// Wall-clock time at which the stream's last token finished.
+    pub completion_s: f64,
+    /// Tokens per second of wall-clock time until this stream completed.
+    pub throughput_tps: f64,
+    /// Shared-cache hits attributed to this stream's tokens.
+    pub hits: u64,
+    /// Shared-cache misses attributed to this stream's tokens.
+    pub misses: u64,
+    /// Hit rate of this stream's accesses in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Bytes this stream read from Flash.
+    pub flash_bytes: f64,
+    /// Bytes this stream read from DRAM.
+    pub dram_bytes: f64,
+}
+
+/// Result of replaying several interleaved streams through one shared cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentReport {
+    /// Aggregate statistics over the whole interleaved replay. With a single
+    /// stream this equals [`crate::simulate`] on that stream's trace.
+    pub aggregate: SimReport,
+    /// Per-stream statistics, in input order.
+    pub streams: Vec<StreamStats>,
+    /// The interleave that was replayed: `(stream, service_latency_s)` per
+    /// scheduled token, in execution order.
+    pub schedule: Vec<(usize, f64)>,
+}
+
+impl ConcurrentReport {
+    /// Wall-clock time of the whole replay (seconds).
+    pub fn makespan_s(&self) -> f64 {
+        self.aggregate.total_latency_s
+    }
+
+    /// Jain's fairness index over the streams' service shares, in
+    /// `(0, 1]`; 1 means every stream received identical service time.
+    pub fn jain_fairness(&self) -> f64 {
+        let shares: Vec<f64> = self
+            .streams
+            .iter()
+            .filter(|s| s.tokens > 0)
+            .map(|s| s.service_s)
+            .collect();
+        jain_index(&shares)
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative shares.
+pub fn jain_index(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = shares.iter().sum();
+    let sq_sum: f64 = shares.iter().map(|x| x * x).sum();
+    if sq_sum <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (shares.len() as f64 * sq_sum)
+}
+
+/// Builds the default fair interleave: round-robin over all non-exhausted
+/// streams until every stream's tokens are scheduled.
+pub fn round_robin_order(streams: &[AccessTrace]) -> Vec<usize> {
+    let mut remaining: Vec<usize> = streams.iter().map(AccessTrace::n_tokens).collect();
+    let total: usize = remaining.iter().sum();
+    let mut order = Vec::with_capacity(total);
+    while order.len() < total {
+        for (i, rem) in remaining.iter_mut().enumerate() {
+            if *rem > 0 {
+                *rem -= 1;
+                order.push(i);
+            }
+        }
+    }
+    order
+}
+
+/// Flattens per-stream traces into one interleaved trace following `order`.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `order` references an unknown
+/// stream or does not schedule every token of every stream exactly once.
+pub fn interleave(streams: &[AccessTrace], order: &[usize]) -> Result<AccessTrace> {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut merged = AccessTrace::new();
+    for &s in order {
+        let stream = streams.get(s).ok_or_else(|| SimError::InvalidConfig {
+            field: "order",
+            reason: format!(
+                "order references stream {s} but only {} exist",
+                streams.len()
+            ),
+        })?;
+        let cursor = &mut cursors[s];
+        let token = stream
+            .tokens
+            .get(*cursor)
+            .ok_or_else(|| SimError::InvalidConfig {
+                field: "order",
+                reason: format!(
+                    "order schedules {} tokens of stream {s} but it only has {}",
+                    *cursor + 1,
+                    stream.n_tokens()
+                ),
+            })?;
+        *cursor += 1;
+        merged.push(token.clone());
+    }
+    for (s, (&cursor, stream)) in cursors.iter().zip(streams.iter()).enumerate() {
+        if cursor != stream.n_tokens() {
+            return Err(SimError::InvalidConfig {
+                field: "order",
+                reason: format!(
+                    "order schedules {cursor} of stream {s}'s {} tokens",
+                    stream.n_tokens()
+                ),
+            });
+        }
+    }
+    Ok(merged)
+}
+
+/// Replays the interleaving of `streams` given by `order` through one shared
+/// set of column caches and prices every token with the serial memory-bus
+/// model of [`crate::simulate`].
+///
+/// Tokens execute strictly in `order`; each token's wall-clock completion is
+/// the running sum of service latencies (the memory bus is the bottleneck
+/// resource, so decode steps of concurrent sessions serialise on it — the
+/// same assumption Appendix A makes for a single stream).
+///
+/// # Errors
+///
+/// Propagates [`interleave`] validation errors plus any allocation or trace
+/// error from the underlying replay.
+pub fn simulate_concurrent(
+    layout: &ModelLayout,
+    device: &DeviceConfig,
+    policy: EvictionPolicy,
+    streams: &[AccessTrace],
+    order: &[usize],
+) -> Result<ConcurrentReport> {
+    let merged = interleave(streams, order)?;
+    let (costs, cache_fraction) = replay_token_costs(layout, device, policy, &merged)?;
+    let aggregate = report_from_costs(layout, policy, &merged, &costs, cache_fraction);
+
+    let mut stats: Vec<StreamStats> = (0..streams.len())
+        .map(|i| StreamStats {
+            stream: i,
+            tokens: 0,
+            service_s: 0.0,
+            first_token_s: 0.0,
+            completion_s: 0.0,
+            throughput_tps: 0.0,
+            hits: 0,
+            misses: 0,
+            hit_rate: 1.0,
+            flash_bytes: 0.0,
+            dram_bytes: 0.0,
+        })
+        .collect();
+
+    let mut clock = 0.0f64;
+    let mut schedule = Vec::with_capacity(order.len());
+    for (&s, cost) in order.iter().zip(costs.iter()) {
+        clock += cost.latency_s;
+        let st = &mut stats[s];
+        if st.tokens == 0 {
+            st.first_token_s = clock;
+        }
+        st.tokens += 1;
+        st.service_s += cost.latency_s;
+        st.completion_s = clock;
+        st.hits += cost.hits as u64;
+        st.misses += cost.misses as u64;
+        st.flash_bytes += cost.flash_bytes;
+        st.dram_bytes += cost.dram_bytes;
+        schedule.push((s, cost.latency_s));
+    }
+    for st in &mut stats {
+        let accesses = st.hits + st.misses;
+        st.hit_rate = if accesses == 0 {
+            1.0
+        } else {
+            st.hits as f64 / accesses as f64
+        };
+        st.throughput_tps = if st.completion_s > 0.0 {
+            st.tokens as f64 / st.completion_s
+        } else {
+            0.0
+        };
+    }
+
+    Ok(ConcurrentReport {
+        aggregate,
+        streams: stats,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use crate::trace::{AccessSet, BlockAccess, TokenAccess};
+
+    fn layout() -> ModelLayout {
+        ModelLayout::from_dims("concurrent-test", 4, 64, 192, 8.0, 100_000)
+    }
+
+    fn device(dram_bytes: u64) -> DeviceConfig {
+        DeviceConfig::apple_a18(4.0).with_dram_bytes(dram_bytes)
+    }
+
+    fn sparse_stream(n_tokens: usize, phase: usize, density: f64) -> AccessTrace {
+        let up_k = (64.0 * density) as usize;
+        let down_k = (192.0 * density) as usize;
+        let mut trace = AccessTrace::new();
+        for t in 0..n_tokens {
+            let blocks = (0..4)
+                .map(|b| BlockAccess {
+                    up: AccessSet::Subset(
+                        (0..up_k).map(|i| (i + phase + t / 4 + b) % 64).collect(),
+                    ),
+                    gate: AccessSet::Subset(
+                        (0..up_k).map(|i| (i + phase + t / 4 + b) % 64).collect(),
+                    ),
+                    down: AccessSet::Subset(
+                        (0..down_k)
+                            .map(|i| (i + 2 * phase + t / 4 + b) % 192)
+                            .collect(),
+                    ),
+                })
+                .collect();
+            trace.push(TokenAccess { blocks });
+        }
+        trace
+    }
+
+    #[test]
+    fn single_stream_matches_simulate_exactly() {
+        let l = layout();
+        let d = device(220_000);
+        let stream = sparse_stream(24, 0, 0.5);
+        for policy in [
+            EvictionPolicy::None,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::Belady,
+        ] {
+            let single = simulate(&l, &d, policy, &stream).unwrap();
+            let order = round_robin_order(std::slice::from_ref(&stream));
+            let multi =
+                simulate_concurrent(&l, &d, policy, std::slice::from_ref(&stream), &order).unwrap();
+            assert_eq!(multi.aggregate, single, "policy {policy}");
+            assert_eq!(multi.streams.len(), 1);
+            assert_eq!(multi.streams[0].tokens, 24);
+            assert!((multi.streams[0].completion_s - single.total_latency_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_unequal_streams() {
+        let streams = vec![sparse_stream(3, 0, 0.5), sparse_stream(1, 7, 0.5)];
+        let order = round_robin_order(&streams);
+        assert_eq!(order, vec![0, 1, 0, 0]);
+        let merged = interleave(&streams, &order).unwrap();
+        assert_eq!(merged.n_tokens(), 4);
+        assert_eq!(merged.tokens[1], streams[1].tokens[0]);
+    }
+
+    #[test]
+    fn bad_orders_are_rejected() {
+        let streams = vec![sparse_stream(2, 0, 0.5)];
+        // unknown stream index
+        assert!(interleave(&streams, &[0, 1]).is_err());
+        // stream over-scheduled
+        assert!(interleave(&streams, &[0, 0, 0]).is_err());
+        // stream under-scheduled
+        assert!(interleave(&streams, &[0]).is_err());
+    }
+
+    #[test]
+    fn contention_lowers_per_stream_hit_rate() {
+        // Two streams with disjoint working sets thrash a small shared cache;
+        // each stream alone in the same cache does strictly better.
+        let l = layout();
+        let d = device(180_000);
+        let a = sparse_stream(40, 0, 0.4);
+        let b = sparse_stream(40, 29, 0.4);
+        let streams = vec![a.clone(), b];
+        let order = round_robin_order(&streams);
+        let shared = simulate_concurrent(&l, &d, EvictionPolicy::Lru, &streams, &order).unwrap();
+        let alone = simulate(&l, &d, EvictionPolicy::Lru, &a).unwrap();
+        assert!(
+            shared.streams[0].hit_rate < alone.hit_rate,
+            "shared {} vs alone {}",
+            shared.streams[0].hit_rate,
+            alone.hit_rate
+        );
+    }
+
+    #[test]
+    fn completion_times_are_monotone_in_schedule_position() {
+        let l = layout();
+        let d = device(200_000);
+        let streams = vec![sparse_stream(6, 0, 0.5), sparse_stream(12, 3, 0.5)];
+        let order = round_robin_order(&streams);
+        let report = simulate_concurrent(&l, &d, EvictionPolicy::Lfu, &streams, &order).unwrap();
+        // the shorter stream finishes first under round-robin
+        assert!(report.streams[0].completion_s < report.streams[1].completion_s);
+        assert!(report.streams[0].first_token_s <= report.streams[0].completion_s);
+        // makespan equals the last completion
+        let last = report
+            .streams
+            .iter()
+            .map(|s| s.completion_s)
+            .fold(0.0f64, f64::max);
+        assert!((report.makespan_s() - last).abs() < 1e-12);
+        // schedule records every token
+        assert_eq!(report.schedule.len(), 18);
+    }
+
+    #[test]
+    fn fairness_index_behaves() {
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[10.0, 1.0, 1.0]);
+        assert!(skewed < 0.6, "skewed shares must score low, got {skewed}");
+
+        let l = layout();
+        let d = device(200_000);
+        let streams = vec![sparse_stream(10, 0, 0.5), sparse_stream(10, 5, 0.5)];
+        let order = round_robin_order(&streams);
+        let report = simulate_concurrent(&l, &d, EvictionPolicy::Lfu, &streams, &order).unwrap();
+        // same density and round-robin service, but different working sets ->
+        // high (not perfect) fairness: cold-start misses are not split evenly
+        let fairness = report.jain_fairness();
+        assert!(fairness > 0.75 && fairness <= 1.0, "fairness {fairness}");
+    }
+
+    #[test]
+    fn empty_streams_produce_empty_report() {
+        let l = layout();
+        let d = device(200_000);
+        let report = simulate_concurrent(&l, &d, EvictionPolicy::Lfu, &[], &[]).unwrap();
+        assert_eq!(report.aggregate.tokens, 0);
+        assert!(report.streams.is_empty());
+        assert!((report.jain_fairness() - 1.0).abs() < 1e-12);
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        assert!(DeviceConfig::apple_a18(4.0).with_dram_bytes(0).validate().is_err());
+        assert!(DeviceConfig::apple_a18(4.0)
+            .with_dram_bytes(0)
+            .validate()
+            .is_err());
         assert!(DeviceConfig::apple_a18(4.0)
             .with_flash_bandwidth(0.0)
             .validate()

@@ -52,14 +52,22 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SimError::InvalidConfig { field: "dram", reason: "zero".into() }
-            .to_string()
-            .contains("dram"));
-        assert!(SimError::StaticAllocationTooLarge { required: 10, available: 5 }
-            .to_string()
-            .contains("10"));
-        assert!(SimError::TraceOutOfRange { what: "layer 9".into() }
-            .to_string()
-            .contains("layer 9"));
+        assert!(SimError::InvalidConfig {
+            field: "dram",
+            reason: "zero".into()
+        }
+        .to_string()
+        .contains("dram"));
+        assert!(SimError::StaticAllocationTooLarge {
+            required: 10,
+            available: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(SimError::TraceOutOfRange {
+            what: "layer 9".into()
+        }
+        .to_string()
+        .contains("layer 9"));
     }
 }

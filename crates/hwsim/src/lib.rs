@@ -12,7 +12,9 @@
 //! * [`alloc::allocate`] — static pinning + uniform per-layer cache split,
 //! * [`cache`] — LRU / LFU / Belady-oracle / no-cache column caches,
 //! * [`AccessTrace`] — which columns each token needed,
-//! * [`simulate`] — replay a trace and report latency, throughput, hit rate.
+//! * [`simulate`] — replay a trace and report latency, throughput, hit rate,
+//! * [`simulate_concurrent`] — replay *several* sessions' traces interleaved
+//!   through one shared cache (multi-tenant contention; see [`concurrent`]).
 //!
 //! # Example
 //!
@@ -30,6 +32,7 @@
 
 pub mod alloc;
 pub mod cache;
+pub mod concurrent;
 pub mod device;
 pub mod error;
 pub mod layout;
@@ -38,8 +41,11 @@ pub mod trace;
 
 pub use alloc::{allocate, BlockCacheCapacity, DramAllocation};
 pub use cache::{AccessOutcome, ColumnCache, EvictionPolicy};
+pub use concurrent::{
+    interleave, jain_index, round_robin_order, simulate_concurrent, ConcurrentReport, StreamStats,
+};
 pub use device::{DeviceConfig, GB_PER_S, GIB};
 pub use error::{Result, SimError};
 pub use layout::{LinearLayout, MlpBlockLayout, ModelLayout};
-pub use sim::{simulate, simulate_dense, SimReport};
+pub use sim::{simulate, simulate_dense, SimReport, TokenCost};
 pub use trace::{AccessSet, AccessTrace, BlockAccess, TokenAccess};

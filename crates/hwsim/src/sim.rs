@@ -100,25 +100,42 @@ fn build_caches(
     Ok(caches)
 }
 
-/// Replays `trace` and returns latency, throughput and cache statistics.
+/// Cost of serving one token of a trace: bytes moved, cache outcome and the
+/// resulting service latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenCost {
+    /// Bytes read from DRAM for this token (static weights + cache hits).
+    pub dram_bytes: f64,
+    /// Bytes read from Flash for this token (cache misses).
+    pub flash_bytes: f64,
+    /// Service time of this token in seconds.
+    pub latency_s: f64,
+    /// Column-cache hits across all layers.
+    pub hits: usize,
+    /// Column-cache misses across all layers.
+    pub misses: usize,
+}
+
+/// Replays `trace` through one set of caches, returning the per-token costs.
+///
+/// This is the shared core of [`simulate`] and
+/// [`crate::simulate_concurrent`]: the concurrent simulator replays an
+/// *interleaved* multi-session trace through it, so both entry points price
+/// tokens identically by construction.
 ///
 /// # Errors
 ///
 /// Returns [`SimError::TraceOutOfRange`] if the trace references more blocks
 /// than the layout has, plus any allocation/configuration error.
-pub fn simulate(
+pub fn replay_token_costs(
     layout: &ModelLayout,
     device: &DeviceConfig,
     policy: EvictionPolicy,
     trace: &AccessTrace,
-) -> Result<SimReport> {
+) -> Result<(Vec<TokenCost>, f64)> {
     let allocation = allocate(layout, device)?;
     let mut caches = build_caches(layout, &allocation, policy, trace)?;
-
-    let mut total_latency = 0.0f64;
-    let mut flash_bytes = 0.0f64;
-    let mut dram_bytes = 0.0f64;
-    let mut outcome_total = AccessOutcome::default();
+    let mut costs = Vec::with_capacity(trace.n_tokens());
 
     for token in &trace.tokens {
         if token.blocks.len() > layout.blocks.len() {
@@ -132,6 +149,7 @@ pub fn simulate(
         }
         let mut token_dram = layout.static_bytes as f64;
         let mut token_flash = 0.0f64;
+        let mut outcome_token = AccessOutcome::default();
 
         for (bi, block_access) in token.blocks.iter().enumerate() {
             let block_layout = &layout.blocks[bi];
@@ -139,24 +157,60 @@ pub fn simulate(
 
             for (access, linear, cache) in [
                 (&block_access.up, &block_layout.up, &mut block_caches.up),
-                (&block_access.gate, &block_layout.gate, &mut block_caches.gate),
-                (&block_access.down, &block_layout.down, &mut block_caches.down),
+                (
+                    &block_access.gate,
+                    &block_layout.gate,
+                    &mut block_caches.gate,
+                ),
+                (
+                    &block_access.down,
+                    &block_layout.down,
+                    &mut block_caches.down,
+                ),
             ] {
                 let cols = access.indices(linear.n_columns);
                 let outcome = cache.access(&cols);
-                outcome_total.accumulate(outcome);
+                outcome_token.accumulate(outcome);
                 token_dram += outcome.hits as f64 * linear.bytes_per_column as f64;
                 token_flash += outcome.misses as f64 * linear.bytes_per_column as f64;
             }
         }
 
-        total_latency += device.dram_read_time(token_dram) + device.flash_read_time(token_flash);
-        dram_bytes += token_dram;
-        flash_bytes += token_flash;
+        costs.push(TokenCost {
+            dram_bytes: token_dram,
+            flash_bytes: token_flash,
+            latency_s: device.dram_read_time(token_dram) + device.flash_read_time(token_flash),
+            hits: outcome_token.hits,
+            misses: outcome_token.misses,
+        });
     }
 
-    let tokens = trace.n_tokens();
-    Ok(SimReport {
+    Ok((costs, allocation.cache_fraction))
+}
+
+/// Aggregates per-token costs into a [`SimReport`].
+pub(crate) fn report_from_costs(
+    layout: &ModelLayout,
+    policy: EvictionPolicy,
+    trace: &AccessTrace,
+    costs: &[TokenCost],
+    cache_fraction: f64,
+) -> SimReport {
+    let mut total = AccessOutcome::default();
+    let mut total_latency = 0.0f64;
+    let mut flash_bytes = 0.0f64;
+    let mut dram_bytes = 0.0f64;
+    for c in costs {
+        total.accumulate(AccessOutcome {
+            hits: c.hits,
+            misses: c.misses,
+        });
+        total_latency += c.latency_s;
+        flash_bytes += c.flash_bytes;
+        dram_bytes += c.dram_bytes;
+    }
+    let tokens = costs.len();
+    SimReport {
         model: layout.name.clone(),
         policy,
         tokens,
@@ -168,12 +222,34 @@ pub fn simulate(
         },
         flash_bytes,
         dram_bytes,
-        hits: outcome_total.hits as u64,
-        misses: outcome_total.misses as u64,
-        hit_rate: outcome_total.hit_rate(),
-        cache_fraction: allocation.cache_fraction,
+        hits: total.hits as u64,
+        misses: total.misses as u64,
+        hit_rate: total.hit_rate(),
+        cache_fraction,
         mean_density: trace.mean_density(layout),
-    })
+    }
+}
+
+/// Replays `trace` and returns latency, throughput and cache statistics.
+///
+/// # Errors
+///
+/// Returns [`SimError::TraceOutOfRange`] if the trace references more blocks
+/// than the layout has, plus any allocation/configuration error.
+pub fn simulate(
+    layout: &ModelLayout,
+    device: &DeviceConfig,
+    policy: EvictionPolicy,
+    trace: &AccessTrace,
+) -> Result<SimReport> {
+    let (costs, cache_fraction) = replay_token_costs(layout, device, policy, trace)?;
+    Ok(report_from_costs(
+        layout,
+        policy,
+        trace,
+        &costs,
+        cache_fraction,
+    ))
 }
 
 /// Simulates the dense baseline (every column of every MLP block needed every

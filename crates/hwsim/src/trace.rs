@@ -2,16 +2,17 @@
 //!
 //! Traces are produced by running a sparsity method over an evaluation
 //! corpus (the `dip-core` strategies report per-token
-//! [`lm::MlpAccessRecord`]s, which the experiment harness converts into this
+//! `lm::MlpAccessRecord`s, which the experiment harness converts into this
 //! crate's representation) and are then replayed through the simulator to
 //! obtain latency and throughput.
 
 use serde::{Deserialize, Serialize};
 
 /// The set of columns of one linear layer accessed by one token.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum AccessSet {
     /// All columns were needed (dense computation of this layer).
+    #[default]
     All,
     /// Only the listed columns were needed.
     Subset(Vec<usize>),
@@ -41,12 +42,6 @@ impl AccessSet {
         } else {
             self.count(n_columns) as f64 / n_columns as f64
         }
-    }
-}
-
-impl Default for AccessSet {
-    fn default() -> Self {
-        AccessSet::All
     }
 }
 

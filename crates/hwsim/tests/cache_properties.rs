@@ -1,0 +1,166 @@
+//! Property tests over the cache policies and the simulators: on random
+//! traces the eviction-policy hierarchy must hold — Belady's clairvoyant
+//! oracle is at least as good as LRU and LFU, which are at least as good as
+//! no cache — and the concurrent simulator restricted to one session must
+//! agree with the single-stream simulator exactly.
+
+use hwsim::cache::{BeladyColumnCache, LfuColumnCache, LruColumnCache, NoCache};
+use hwsim::{
+    round_robin_order, simulate, simulate_concurrent, AccessSet, AccessTrace, BlockAccess,
+    ColumnCache, DeviceConfig, EvictionPolicy, ModelLayout, TokenAccess,
+};
+use proptest::prelude::*;
+
+const N_COLUMNS: usize = 48;
+
+fn hit_rate(cache: &mut dyn ColumnCache, accesses: &[Vec<usize>]) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for step in accesses {
+        let outcome = cache.access(step);
+        hits += outcome.hits;
+        total += outcome.total();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Builds a well-formed random access trace out of proptest's raw material:
+/// per token, one sorted deduplicated column subset per matrix.
+fn to_trace(raw: &[Vec<usize>], n_blocks: usize) -> AccessTrace {
+    let mut trace = AccessTrace::new();
+    for step in raw {
+        let mut columns: Vec<usize> = step.iter().map(|c| c % N_COLUMNS).collect();
+        columns.sort_unstable();
+        columns.dedup();
+        let blocks = (0..n_blocks)
+            .map(|b| {
+                let shifted: Vec<usize> = columns.iter().map(|c| (c + b) % N_COLUMNS).collect();
+                BlockAccess {
+                    up: AccessSet::Subset(shifted.clone()),
+                    gate: AccessSet::Subset(shifted.clone()),
+                    down: AccessSet::Subset(shifted),
+                }
+            })
+            .collect();
+        trace.push(TokenAccess { blocks });
+    }
+    trace
+}
+
+fn layout() -> ModelLayout {
+    // every matrix gets N_COLUMNS columns so raw subsets are valid everywhere
+    ModelLayout::from_dims("prop-test", 2, N_COLUMNS, N_COLUMNS, 8.0, 10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eviction_policy_hierarchy_on_raw_caches(
+        capacity in 1usize..32,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..N_COLUMNS, 1..12), 2..24),
+    ) {
+        let deduped: Vec<Vec<usize>> = accesses
+            .iter()
+            .map(|step| {
+                let mut s = step.clone();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let belady = hit_rate(
+            &mut BeladyColumnCache::new(N_COLUMNS, capacity, &deduped),
+            &deduped,
+        );
+        let lru = hit_rate(&mut LruColumnCache::new(N_COLUMNS, capacity), &deduped);
+        let lfu = hit_rate(&mut LfuColumnCache::new(N_COLUMNS, capacity), &deduped);
+        let none = hit_rate(&mut NoCache::new(N_COLUMNS), &deduped);
+
+        prop_assert!(belady + 1e-12 >= lru.max(lfu), "belady {belady} < max(lru {lru}, lfu {lfu})");
+        prop_assert!(lru.max(lfu) >= none, "max(lru, lfu) < no-cache {none}");
+        prop_assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn eviction_policy_hierarchy_through_the_simulator(
+        dram_extra in 2_000u64..40_000,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..N_COLUMNS, 1..10), 2..16),
+    ) {
+        let layout = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(layout.static_bytes + dram_extra);
+        let trace = to_trace(&accesses, layout.n_blocks());
+
+        let run = |policy| simulate(&layout, &device, policy, &trace).unwrap();
+        let belady = run(EvictionPolicy::Belady);
+        let lru = run(EvictionPolicy::Lru);
+        let lfu = run(EvictionPolicy::Lfu);
+        let none = run(EvictionPolicy::None);
+
+        prop_assert!(belady.hits >= lru.hits.max(lfu.hits));
+        prop_assert!(lru.hits.max(lfu.hits) >= none.hits);
+        prop_assert_eq!(none.hits, 0);
+        // more hits can only help latency
+        prop_assert!(belady.total_latency_s <= lru.total_latency_s.min(lfu.total_latency_s) + 1e-12);
+        prop_assert!(lru.total_latency_s.min(lfu.total_latency_s) <= none.total_latency_s + 1e-12);
+    }
+
+    #[test]
+    fn concurrent_with_one_session_matches_simulate(
+        dram_extra in 2_000u64..40_000,
+        policy_idx in 0usize..4,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..N_COLUMNS, 1..10), 1..16),
+    ) {
+        let layout = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(layout.static_bytes + dram_extra);
+        let trace = to_trace(&accesses, layout.n_blocks());
+        let policy = [
+            EvictionPolicy::None,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::Belady,
+        ][policy_idx];
+
+        let single = simulate(&layout, &device, policy, &trace).unwrap();
+        let streams = [trace];
+        let order = round_robin_order(&streams);
+        let multi = simulate_concurrent(&layout, &device, policy, &streams, &order).unwrap();
+
+        prop_assert_eq!(&multi.aggregate, &single);
+        prop_assert_eq!(multi.streams.len(), 1);
+        prop_assert_eq!(multi.streams[0].tokens, single.tokens);
+        prop_assert_eq!(multi.streams[0].hits, single.hits);
+        prop_assert_eq!(multi.streams[0].misses, single.misses);
+        prop_assert!((multi.streams[0].completion_s - single.total_latency_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn concurrent_aggregate_matches_flattened_single_stream(
+        n_streams in 2usize..5,
+        accesses in prop::collection::vec(prop::collection::vec(0usize..N_COLUMNS, 1..8), 2..10),
+    ) {
+        // the concurrent replay of K streams equals simulate() on the
+        // interleaved trace — shared-cache pricing is order-dependent only
+        let layout = layout();
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(layout.static_bytes + 20_000);
+        let streams: Vec<AccessTrace> = (0..n_streams)
+            .map(|s| {
+                let shifted: Vec<Vec<usize>> = accesses
+                    .iter()
+                    .map(|step| step.iter().map(|c| (c + s * 7) % N_COLUMNS).collect())
+                    .collect();
+                to_trace(&shifted, layout.n_blocks())
+            })
+            .collect();
+        let order = round_robin_order(&streams);
+        let merged = hwsim::interleave(&streams, &order).unwrap();
+
+        let multi = simulate_concurrent(&layout, &device, EvictionPolicy::Lfu, &streams, &order).unwrap();
+        let flat = simulate(&layout, &device, EvictionPolicy::Lfu, &merged).unwrap();
+        prop_assert_eq!(&multi.aggregate, &flat);
+    }
+}

@@ -53,7 +53,10 @@ impl Attention {
         assert_eq!(w_v.rows(), n_kv_heads * head_dim, "w_v rows mismatch");
         assert_eq!(w_o.cols(), n_heads * head_dim, "w_o cols mismatch");
         assert_eq!(w_o.rows(), d_model, "w_o rows mismatch");
-        assert!(n_heads % n_kv_heads == 0, "n_kv_heads must divide n_heads");
+        assert!(
+            n_heads.is_multiple_of(n_kv_heads),
+            "n_kv_heads must divide n_heads"
+        );
         Attention {
             w_q,
             w_k,

@@ -165,13 +165,16 @@ impl ModelConfig {
         positive("n_kv_heads", self.n_kv_heads)?;
         positive("d_ff", self.d_ff)?;
         positive("max_seq_len", self.max_seq_len)?;
-        if self.n_heads % self.n_kv_heads != 0 {
+        if !self.n_heads.is_multiple_of(self.n_kv_heads) {
             return Err(LmError::InvalidConfig {
                 field: "n_kv_heads",
-                reason: format!("must divide n_heads ({} % {} != 0)", self.n_heads, self.n_kv_heads),
+                reason: format!(
+                    "must divide n_heads ({} % {} != 0)",
+                    self.n_heads, self.n_kv_heads
+                ),
             });
         }
-        if self.d_model % self.n_heads != 0 {
+        if !self.d_model.is_multiple_of(self.n_heads) {
             return Err(LmError::InvalidConfig {
                 field: "d_model",
                 reason: format!(
@@ -180,7 +183,7 @@ impl ModelConfig {
                 ),
             });
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             return Err(LmError::InvalidConfig {
                 field: "d_model",
                 reason: format!(
@@ -272,7 +275,8 @@ mod tests {
             ModelConfig::llama8b_sim(),
             ModelConfig::mistral7b_sim(),
         ] {
-            c.validate().unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
+            c.validate()
+                .unwrap_or_else(|e| panic!("{} invalid: {e}", c.name));
         }
     }
 

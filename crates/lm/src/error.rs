@@ -40,7 +40,10 @@ impl fmt::Display for LmError {
                 write!(f, "invalid model config `{field}`: {reason}")
             }
             LmError::TokenOutOfRange { token, vocab } => {
-                write!(f, "token {token} out of range for vocabulary of size {vocab}")
+                write!(
+                    f,
+                    "token {token} out of range for vocabulary of size {vocab}"
+                )
             }
             LmError::BadSequence { reason } => write!(f, "bad sequence: {reason}"),
         }
@@ -68,11 +71,19 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = LmError::TokenOutOfRange { token: 300, vocab: 256 };
+        let e = LmError::TokenOutOfRange {
+            token: 300,
+            vocab: 256,
+        };
         assert!(e.to_string().contains("300"));
-        let e = LmError::InvalidConfig { field: "d_model", reason: "must be > 0".into() };
+        let e = LmError::InvalidConfig {
+            field: "d_model",
+            reason: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("d_model"));
-        let e = LmError::BadSequence { reason: "empty".into() };
+        let e = LmError::BadSequence {
+            reason: "empty".into(),
+        };
         assert!(e.to_string().contains("empty"));
     }
 

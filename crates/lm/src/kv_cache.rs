@@ -75,6 +75,80 @@ impl KvCache {
         self.keys.clear();
         self.values.clear();
     }
+
+    /// Drops every position at index `len` or later, keeping the first `len`.
+    ///
+    /// A no-op when the cache already holds `len` or fewer positions. This is
+    /// the building block for rolling a session back to a shared prompt
+    /// prefix (prefix reuse is not yet wired into the serving engine).
+    pub fn truncate(&mut self, len: usize) {
+        self.keys.truncate(len);
+        self.values.truncate(len);
+    }
+}
+
+/// A pool of [`crate::model::DecodeState`]s for session-scoped reuse.
+///
+/// A serving engine creates and retires one decode state per user session;
+/// allocating `n_layers` fresh [`KvCache`]s for every arrival churns the
+/// allocator. The pool recycles released states whose shape (layer count and
+/// per-layer capacity) matches the requesting model: `acquire` returns a
+/// cleared recycled state when one fits and builds a fresh one otherwise.
+#[derive(Debug, Default)]
+pub struct DecodeStatePool {
+    free: Vec<crate::model::DecodeState>,
+    reused: u64,
+    built: u64,
+}
+
+impl DecodeStatePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        DecodeStatePool::default()
+    }
+
+    /// Number of idle states currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// How many acquisitions were served by recycling a released state.
+    pub fn reuse_count(&self) -> u64 {
+        self.reused
+    }
+
+    /// How many acquisitions had to build a fresh state.
+    pub fn build_count(&self) -> u64 {
+        self.built
+    }
+
+    fn fits(state: &crate::model::DecodeState, model: &crate::model::TransformerModel) -> bool {
+        state.kv.len() == model.n_layers()
+            && state
+                .kv
+                .first()
+                .map(|c| c.capacity() == model.config.max_seq_len)
+                .unwrap_or(model.n_layers() == 0)
+    }
+
+    /// Returns a reset decode state for `model`, recycling a pooled one when
+    /// its shape matches.
+    pub fn acquire(&mut self, model: &crate::model::TransformerModel) -> crate::model::DecodeState {
+        if let Some(pos) = self.free.iter().position(|s| Self::fits(s, model)) {
+            let mut state = self.free.swap_remove(pos);
+            state.reset();
+            self.reused += 1;
+            state
+        } else {
+            self.built += 1;
+            model.new_decode_state()
+        }
+    }
+
+    /// Returns a finished session's state to the pool for later reuse.
+    pub fn release(&mut self, state: crate::model::DecodeState) {
+        self.free.push(state);
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +173,52 @@ mod tests {
         assert!(c.push(vec![2.0], vec![2.0]).is_err());
         let mut c = KvCache::new(4);
         assert!(c.push(vec![1.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn truncate_drops_suffix_only() {
+        let mut c = KvCache::new(4);
+        for i in 0..3 {
+            c.push(vec![i as f32], vec![i as f32]).unwrap();
+        }
+        c.truncate(5); // no-op beyond current length
+        assert_eq!(c.len(), 3);
+        c.truncate(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key(0).unwrap(), &[0.0]);
+        assert!(c.key(1).is_none());
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn pool_recycles_matching_states() {
+        use crate::builder::build_synthetic;
+        use crate::config::ModelConfig;
+
+        let model = build_synthetic(&ModelConfig::tiny(), 2).unwrap();
+        let mut pool = DecodeStatePool::new();
+        let mut state = pool.acquire(&model);
+        assert_eq!(pool.build_count(), 1);
+
+        // dirty the state, release it, and acquire again: same shape comes back reset
+        model.forward_token_dense(1, &mut state).unwrap();
+        assert_eq!(state.pos, 1);
+        pool.release(state);
+        assert_eq!(pool.idle(), 1);
+        let state = pool.acquire(&model);
+        assert_eq!(state.pos, 0);
+        assert!(state.kv.iter().all(|c| c.is_empty()));
+        assert_eq!(pool.reuse_count(), 1);
+        assert_eq!(pool.idle(), 0);
+
+        // a model with a different shape does not reuse the pooled state
+        pool.release(state);
+        let mut other_config = ModelConfig::tiny();
+        other_config.max_seq_len = 128;
+        let other = build_synthetic(&other_config, 2).unwrap();
+        let _ = pool.acquire(&other);
+        assert_eq!(pool.build_count(), 2);
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use builder::build_synthetic;
 pub use config::ModelConfig;
 pub use error::{LmError, Result};
 pub use eval::{EvalResult, Task, TaskSuite};
+pub use kv_cache::{DecodeStatePool, KvCache};
 pub use mlp::{
     ColumnAccess, DenseMlp, GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput,
     MlpMatrix, SliceAxis,

@@ -59,9 +59,10 @@ pub enum SliceAxis {
 }
 
 /// The set of weight slices of one linear layer accessed for one token.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ColumnAccess {
     /// Every slice was needed (dense computation).
+    #[default]
     All,
     /// Only the listed slices were needed.
     Subset(Vec<usize>),
@@ -90,12 +91,6 @@ impl ColumnAccess {
             ColumnAccess::All => (0..total).collect(),
             ColumnAccess::Subset(v) => v.clone(),
         }
-    }
-}
-
-impl Default for ColumnAccess {
-    fn default() -> Self {
-        ColumnAccess::All
     }
 }
 
@@ -268,7 +263,11 @@ impl GluMlp {
     ///
     /// Panics if the matrix shapes are inconsistent.
     pub fn new(w_up: Matrix, w_gate: Matrix, w_down: Matrix, activation: Activation) -> Self {
-        assert_eq!(w_up.shape(), w_gate.shape(), "W_u and W_g must have equal shapes");
+        assert_eq!(
+            w_up.shape(),
+            w_gate.shape(),
+            "W_u and W_g must have equal shapes"
+        );
         assert_eq!(w_down.cols(), w_up.rows(), "W_d cols must equal d_ff");
         assert_eq!(w_down.rows(), w_up.cols(), "W_d rows must equal d_model");
         GluMlp {

@@ -350,7 +350,9 @@ mod tests {
     fn generation_validates_inputs() {
         let model = tiny_model();
         let mut rng = init::rng(0);
-        assert!(model.generate(&[], 4, 1.0, &mut rng, &mut DenseMlp).is_err());
+        assert!(model
+            .generate(&[], 4, 1.0, &mut rng, &mut DenseMlp)
+            .is_err());
         assert!(model
             .generate(&[1], 1000, 1.0, &mut rng, &mut DenseMlp)
             .is_err());

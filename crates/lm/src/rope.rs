@@ -10,7 +10,10 @@
 ///
 /// Panics if `head.len()` is odd.
 pub fn apply_rope(head: &mut [f32], position: usize, theta: f32) {
-    assert!(head.len() % 2 == 0, "RoPE requires an even head dimension");
+    assert!(
+        head.len().is_multiple_of(2),
+        "RoPE requires an even head dimension"
+    );
     let half = head.len() / 2;
     for i in 0..half {
         let freq = 1.0 / theta.powf(2.0 * i as f32 / head.len() as f32);
@@ -30,7 +33,10 @@ pub fn apply_rope(head: &mut [f32], position: usize, theta: f32) {
 ///
 /// Panics if `x.len()` is not a multiple of `head_dim` or `head_dim` is odd.
 pub fn apply_rope_multihead(x: &mut [f32], head_dim: usize, position: usize, theta: f32) {
-    assert!(head_dim > 0 && x.len() % head_dim == 0, "bad head layout");
+    assert!(
+        head_dim > 0 && x.len().is_multiple_of(head_dim),
+        "bad head layout"
+    );
     for head in x.chunks_exact_mut(head_dim) {
         apply_rope(head, position, theta);
     }

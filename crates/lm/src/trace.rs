@@ -127,7 +127,10 @@ impl TracingMlp {
 impl MlpForward for TracingMlp {
     fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> Result<MlpForwardOutput> {
         let glu = mlp.glu_activations(x)?;
-        let y = mlp.w_down.matvec(&glu).map_err(crate::error::LmError::from)?;
+        let y = mlp
+            .w_down
+            .matvec(&glu)
+            .map_err(crate::error::LmError::from)?;
         if layer >= self.trace.samples.len() {
             self.trace.samples.resize(layer + 1, Vec::new());
         }
@@ -187,7 +190,9 @@ mod tests {
         let mut tracer = TracingMlp::new(model.n_layers());
         for &t in &seq {
             let dense = model.forward_token_dense(t, &mut dense_state).unwrap();
-            let traced = model.forward_token(t, &mut traced_state, &mut tracer).unwrap();
+            let traced = model
+                .forward_token(t, &mut traced_state, &mut tracer)
+                .unwrap();
             for (a, b) in dense.logits.iter().zip(traced.logits.iter()) {
                 assert!((a - b).abs() < 1e-5);
             }

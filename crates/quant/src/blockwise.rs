@@ -67,7 +67,9 @@ impl BlockwiseQuantizer {
                 }
                 let scale = absmax / max_level;
                 for c in group_start..group_end {
-                    let q = (out.get(row, c) / scale).round().clamp(-max_level, max_level);
+                    let q = (out.get(row, c) / scale)
+                        .round()
+                        .clamp(-max_level, max_level);
                     out.set(row, c, q * scale);
                 }
             }
@@ -123,10 +125,18 @@ mod tests {
     #[test]
     fn more_bits_means_less_error() {
         let w = sample_matrix();
-        let mse2 = BlockwiseQuantizer::new(2, 32).unwrap().reconstruction_mse(&w);
-        let mse3 = BlockwiseQuantizer::new(3, 32).unwrap().reconstruction_mse(&w);
-        let mse4 = BlockwiseQuantizer::new(4, 32).unwrap().reconstruction_mse(&w);
-        let mse8 = BlockwiseQuantizer::new(8, 32).unwrap().reconstruction_mse(&w);
+        let mse2 = BlockwiseQuantizer::new(2, 32)
+            .unwrap()
+            .reconstruction_mse(&w);
+        let mse3 = BlockwiseQuantizer::new(3, 32)
+            .unwrap()
+            .reconstruction_mse(&w);
+        let mse4 = BlockwiseQuantizer::new(4, 32)
+            .unwrap()
+            .reconstruction_mse(&w);
+        let mse8 = BlockwiseQuantizer::new(8, 32)
+            .unwrap()
+            .reconstruction_mse(&w);
         assert!(mse2 > mse3);
         assert!(mse3 > mse4);
         assert!(mse4 > mse8);

@@ -64,7 +64,10 @@ mod tests {
         let e: QuantError = tensor::TensorError::Empty { op: "softmax" }.into();
         assert!(e.to_string().contains("softmax"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = QuantError::InvalidParameter { name: "bits", reason: "must be 2..=8".into() };
+        let e = QuantError::InvalidParameter {
+            name: "bits",
+            reason: "must be 2..=8".into(),
+        };
         assert!(e.to_string().contains("bits"));
         let e: QuantError = lm::LmError::BadSequence { reason: "x".into() }.into();
         assert!(e.to_string().contains("model error"));

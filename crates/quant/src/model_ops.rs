@@ -101,18 +101,27 @@ mod tests {
     fn blockwise_quantization_perturbs_but_preserves_quality_at_4_bits() {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 4, 24, 11).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
 
         let q4 = quantize_mlp_blockwise(&model, &BlockwiseQuantizer::new(4, 32).unwrap());
-        let ppl4 = eval::perplexity(&q4, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let ppl4 = eval::perplexity(&q4, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let q2 = quantize_mlp_blockwise(&model, &BlockwiseQuantizer::new(2, 32).unwrap());
-        let ppl2 = eval::perplexity(&q2, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let ppl2 = eval::perplexity(&q2, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
 
         assert!(ppl4 < ppl2, "4-bit ({ppl4}) should beat 2-bit ({ppl2})");
         // the divergence-style perplexity is very sensitive to weight noise,
         // so "close" here only means "within 2x of dense", while 2-bit should
         // be far worse
-        assert!(ppl4 < dense * 2.0, "4-bit should stay close to dense: {ppl4} vs {dense}");
+        assert!(
+            ppl4 < dense * 2.0,
+            "4-bit should stay close to dense: {ppl4} vs {dense}"
+        );
         assert!(ppl2 > dense, "2-bit should visibly hurt: {ppl2} vs {dense}");
         // weights actually changed
         assert_ne!(
@@ -137,12 +146,16 @@ mod tests {
     fn static_pruning_reduces_density_and_quality() {
         let model = model();
         let seqs = eval::standard_eval_corpus(&model, 4, 24, 12).unwrap();
-        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let dense = eval::perplexity(&model, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         let pruner = StaticPruner::magnitude(PruningStructure::Unstructured);
         let pruned = prune_mlp_static(&model, &pruner, 0.5).unwrap();
         let sparsity = pruned.layers[0].mlp.w_up.sparsity();
         assert!((sparsity - 0.5).abs() < 0.05);
-        let ppl = eval::perplexity(&pruned, &mut DenseMlp, &seqs).unwrap().perplexity;
+        let ppl = eval::perplexity(&pruned, &mut DenseMlp, &seqs)
+            .unwrap()
+            .perplexity;
         assert!(ppl >= dense * 0.97);
     }
 
@@ -152,13 +165,8 @@ mod tests {
         let dense_fp16 = model_memory_bytes(&config, 16.0, 16.0, 1.0, None);
         let dense_int4 = model_memory_bytes(&config, 4.0, 4.0, 1.0, None);
         let dip_int4_half = model_memory_bytes(&config, 4.0, 4.0, 0.5, None);
-        let sparsegpt_int4_half = model_memory_bytes(
-            &config,
-            4.0,
-            4.0,
-            0.5,
-            Some(PruningStructure::Unstructured),
-        );
+        let sparsegpt_int4_half =
+            model_memory_bytes(&config, 4.0, 4.0, 0.5, Some(PruningStructure::Unstructured));
         assert!(dense_int4 < dense_fp16);
         assert!(dip_int4_half < dense_int4);
         // SparseGPT stores only the surviving weights but pays one mask bit

@@ -189,16 +189,29 @@ mod tests {
 
     #[test]
     fn codebook_size_is_capped() {
-        assert_eq!(VectorQuantizer::new(2, 2, 3, 0).unwrap().codebook_size(), 16);
-        assert_eq!(VectorQuantizer::new(6, 4, 3, 0).unwrap().codebook_size(), 4096);
+        assert_eq!(
+            VectorQuantizer::new(2, 2, 3, 0).unwrap().codebook_size(),
+            16
+        );
+        assert_eq!(
+            VectorQuantizer::new(6, 4, 3, 0).unwrap().codebook_size(),
+            4096
+        );
     }
 
     #[test]
     fn reconstruction_error_decreases_with_bits() {
         let w = sample_matrix();
-        let mse2 = VectorQuantizer::new(2, 2, 8, 1).unwrap().reconstruction_mse(&w);
-        let mse4 = VectorQuantizer::new(4, 2, 8, 1).unwrap().reconstruction_mse(&w);
-        assert!(mse4 < mse2, "4-bit VQ ({mse4}) should beat 2-bit VQ ({mse2})");
+        let mse2 = VectorQuantizer::new(2, 2, 8, 1)
+            .unwrap()
+            .reconstruction_mse(&w);
+        let mse4 = VectorQuantizer::new(4, 2, 8, 1)
+            .unwrap()
+            .reconstruction_mse(&w);
+        assert!(
+            mse4 < mse2,
+            "4-bit VQ ({mse4}) should beat 2-bit VQ ({mse2})"
+        );
     }
 
     #[test]
@@ -206,16 +219,23 @@ mod tests {
         // the blessing of dimensionality: VQ should not be dramatically worse
         // than scalar blockwise quantization at the same bit budget
         let w = sample_matrix();
-        let vq = VectorQuantizer::new(3, 2, 10, 1).unwrap().reconstruction_mse(&w);
-        let bq = BlockwiseQuantizer::new(3, 32).unwrap().reconstruction_mse(&w);
+        let vq = VectorQuantizer::new(3, 2, 10, 1)
+            .unwrap()
+            .reconstruction_mse(&w);
+        let bq = BlockwiseQuantizer::new(3, 32)
+            .unwrap()
+            .reconstruction_mse(&w);
         assert!(vq < bq * 3.0, "vq {vq} vs bq {bq}");
     }
 
     #[test]
     fn reconstruction_preserves_shape_and_handles_ragged_rows() {
         let q = VectorQuantizer::new(3, 4, 4, 0).unwrap();
-        let w = Matrix::from_rows(&[vec![0.1, -0.2, 0.3, 0.4, 0.5], vec![1.0, 0.9, -0.8, 0.7, -0.6]])
-            .unwrap();
+        let w = Matrix::from_rows(&[
+            vec![0.1, -0.2, 0.3, 0.4, 0.5],
+            vec![1.0, 0.9, -0.8, 0.7, -0.6],
+        ])
+        .unwrap();
         let deq = q.quantize_dequantize(&w);
         assert_eq!(deq.shape(), w.shape());
         assert!(deq.as_slice().iter().all(|v| v.is_finite()));

@@ -1,0 +1,626 @@
+//! The serving engine: admission, continuous batching, shared-cache replay.
+//!
+//! [`ServeEngine::run`] drives a closed batch of [`GenRequest`]s (all queued
+//! at t = 0) to completion:
+//!
+//! 1. **Admission.** Up to `max_concurrent` sessions hold a KV-cache slot;
+//!    whenever a slot frees, the scheduler admits the next waiting request.
+//!    Decode states are recycled through [`lm::DecodeStatePool`].
+//! 2. **Token loop.** One token is served per step (prefill or decode — the
+//!    memory bus serialises either way); the scheduler picks whose. Every
+//!    served token's weight accesses are recorded into the session's
+//!    [`hwsim::AccessTrace`], and the step's session into the global
+//!    interleave order.
+//! 3. **Pricing.** The per-session traces are replayed in that exact order
+//!    through one *shared* DRAM column cache
+//!    ([`hwsim::simulate_concurrent`]), which prices every token and yields
+//!    wall-clock completion times under multi-tenant cache contention.
+//!
+//! The decode pass and the pricing pass are deliberately separate: model
+//! execution decides *which* columns each token needs (for DIP-CA, guided by
+//! the shared cache model), while the hardware replay decides what that
+//! traffic *costs* on a given device.
+
+use crate::error::{Result, ServeError};
+use crate::layout::layout_for_serving;
+use crate::report::{percentile, RequestStats, ServeReport};
+use crate::request::GenRequest;
+use crate::scheduler::SchedulerPolicy;
+use crate::session::Session;
+use crate::strategy::{resolve_axes, SparsityPolicy, StrategyFactory};
+use hwsim::{simulate_concurrent, AccessTrace, DeviceConfig, EvictionPolicy};
+use lm::{ActivationTrace, DecodeStatePool, ModelConfig, TransformerModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a serving deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// KV-cache slots: the maximum number of concurrently active sessions.
+    /// Each slot pins one full-context KV cache in DRAM.
+    pub max_concurrent: usize,
+    /// Continuous-batching scheduler policy.
+    pub scheduler: SchedulerPolicy,
+    /// Eviction policy of the shared DRAM column cache.
+    pub eviction: EvictionPolicy,
+    /// The simulated device the deployment runs on.
+    pub device: DeviceConfig,
+    /// Weight precision in bits (4.0 = INT4, the paper's serving setup).
+    pub bits_per_weight: f64,
+    /// Per-session context budget in tokens (`None` = the model's full
+    /// `max_seq_len`). Each KV slot pins this much context in DRAM, so
+    /// bounding it frees DRAM for the shared weight cache.
+    pub kv_budget_tokens: Option<usize>,
+    /// Seed for sampling temperature > 0 requests.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A default serving configuration on the given device: 8 slots, FIFO
+    /// continuous batching, LFU shared cache, INT4 weights.
+    pub fn new(device: DeviceConfig) -> Self {
+        ServeConfig {
+            max_concurrent: 8,
+            scheduler: SchedulerPolicy::Fifo,
+            eviction: EvictionPolicy::Lfu,
+            device,
+            bits_per_weight: 4.0,
+            kv_budget_tokens: None,
+            seed: 0x5e42,
+        }
+    }
+
+    /// Returns a copy with the given per-session context budget.
+    pub fn with_kv_budget(mut self, tokens: usize) -> Self {
+        self.kv_budget_tokens = Some(tokens);
+        self
+    }
+
+    /// Returns a copy with the given number of KV slots.
+    pub fn with_max_concurrent(mut self, slots: usize) -> Self {
+        self.max_concurrent = slots;
+        self
+    }
+
+    /// Returns a copy with the given scheduler policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns a copy with the given eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero slots, a non-positive
+    /// bit width, or an invalid device.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_concurrent == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "max_concurrent",
+                reason: "need at least one KV slot".to_string(),
+            });
+        }
+        if !(self.bits_per_weight.is_finite() && self.bits_per_weight > 0.0) {
+            return Err(ServeError::InvalidConfig {
+                field: "bits_per_weight",
+                reason: format!("must be positive, got {}", self.bits_per_weight),
+            });
+        }
+        if let Some(budget) = self.kv_budget_tokens {
+            if budget < 2 {
+                return Err(ServeError::InvalidConfig {
+                    field: "kv_budget_tokens",
+                    reason: format!("context budget must be at least 2 tokens, got {budget}"),
+                });
+            }
+        }
+        self.device.validate()?;
+        Ok(())
+    }
+}
+
+/// A multi-session token-generation serving engine.
+pub struct ServeEngine {
+    model: TransformerModel,
+    config: ServeConfig,
+    pool: DecodeStatePool,
+    calibration: Option<ActivationTrace>,
+}
+
+impl ServeEngine {
+    /// Creates an engine around a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration validation errors.
+    pub fn new(model: TransformerModel, config: ServeConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(ServeEngine {
+            model,
+            config,
+            pool: DecodeStatePool::new(),
+            calibration: None,
+        })
+    }
+
+    /// The model configuration being served.
+    pub fn model_config(&self) -> &ModelConfig {
+        &self.model.config
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The decode-state pool (exposed for reuse diagnostics).
+    pub fn state_pool(&self) -> &DecodeStatePool {
+        &self.pool
+    }
+
+    /// Supplies a calibration trace for CATS requests (otherwise one is
+    /// collected on demand from a small model-generated corpus).
+    pub fn with_calibration(mut self, trace: ActivationTrace) -> Self {
+        self.calibration = Some(trace);
+        self
+    }
+
+    fn ensure_calibration(&mut self) -> Result<()> {
+        if self.calibration.is_none() {
+            let seqs = lm::eval::standard_eval_corpus(&self.model, 2, 16, self.config.seed)?;
+            self.calibration = Some(lm::trace::collect_activation_trace(&self.model, &seqs)?);
+        }
+        Ok(())
+    }
+
+    /// The effective per-session context window: the configured budget
+    /// clamped to the model's `max_seq_len`.
+    pub fn context_window(&self) -> usize {
+        self.config
+            .kv_budget_tokens
+            .unwrap_or(self.model.config.max_seq_len)
+            .min(self.model.config.max_seq_len)
+    }
+
+    fn validate_requests(&self, requests: &[GenRequest]) -> Result<()> {
+        let config = &self.model.config;
+        let window = self.context_window();
+        for r in requests {
+            if r.prompt.is_empty() {
+                return Err(ServeError::InvalidRequest {
+                    id: r.id,
+                    reason: "prompt must contain at least one token".to_string(),
+                });
+            }
+            if let Some(&bad) = r
+                .prompt
+                .iter()
+                .find(|&&t| (t as usize) >= config.vocab_size)
+            {
+                return Err(ServeError::InvalidRequest {
+                    id: r.id,
+                    reason: format!(
+                        "prompt token {bad} outside vocabulary of {}",
+                        config.vocab_size
+                    ),
+                });
+            }
+            // every served token (prefill or decode) pushes exactly one KV
+            // entry, so a request fits iff its total tokens fit the window
+            if r.total_tokens() > window {
+                return Err(ServeError::InvalidRequest {
+                    id: r.id,
+                    reason: format!(
+                        "prompt ({}) + generation ({}) exceeds the context window ({window})",
+                        r.prompt.len(),
+                        r.max_new_tokens,
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves a closed batch of requests to completion and reports
+    /// per-request latencies and fleet aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates request validation, strategy construction, model forward
+    /// and simulation errors.
+    pub fn run(&mut self, requests: Vec<GenRequest>) -> Result<ServeReport> {
+        self.validate_requests(&requests)?;
+        if requests.iter().any(|r| r.strategy.needs_calibration()) {
+            self.ensure_calibration()?;
+        }
+
+        // Shared layout + DRAM split, fixed for the whole run.
+        let policies: Vec<SparsityPolicy> = requests.iter().map(|r| r.strategy).collect();
+        let axes = resolve_axes(&policies)?;
+        let layout = layout_for_serving(
+            &self.model.config,
+            axes,
+            self.config.bits_per_weight,
+            self.config.max_concurrent,
+            self.context_window(),
+        );
+        let allocation = hwsim::allocate(&layout, &self.config.device)?;
+
+        let n_streams = requests.len();
+        let mut factory = StrategyFactory::new();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut waiting: Vec<GenRequest> = requests;
+        let mut active: Vec<Session> = Vec::new();
+        let mut finished: Vec<Session> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut next_stream = 0usize;
+
+        while !waiting.is_empty() || !active.is_empty() {
+            // Admission: fill free KV slots following the scheduler policy.
+            while active.len() < self.config.max_concurrent && !waiting.is_empty() {
+                let idx = self
+                    .config
+                    .scheduler
+                    .next_admission(&waiting)
+                    .expect("queue is non-empty");
+                let request = waiting.remove(idx);
+                let strategy = factory.instantiate(
+                    request.strategy,
+                    &self.model,
+                    &allocation.capacities,
+                    self.calibration.as_ref(),
+                )?;
+                let state = self.pool.acquire(&self.model);
+                active.push(Session::new(
+                    next_stream,
+                    request,
+                    order.len(),
+                    state,
+                    strategy,
+                ));
+                next_stream += 1;
+            }
+
+            // Serve one token of one active session.
+            let idx = self
+                .config
+                .scheduler
+                .next_service(&active)
+                .expect("active set is non-empty");
+            let step = order.len();
+            let records = active[idx].step(&self.model, &mut rng, step)?;
+            active[idx].last_served_step = step;
+            order.push(active[idx].stream);
+            // Let every *other* shared cache-aware model see this traffic:
+            // the physical DRAM cache is shared, so their view must include
+            // co-tenant accesses.
+            factory.observe_cross_traffic(
+                crate::strategy::dip_ca_key(active[idx].request.strategy),
+                &records,
+                self.model.config.d_model,
+                self.model.config.d_ff,
+            );
+
+            if active[idx].remaining_tokens() == 0 {
+                let mut session = active.swap_remove(idx);
+                // Return the KV slot's decode state to the pool for the next
+                // admission; the session keeps only its bookkeeping.
+                let state = std::mem::replace(
+                    &mut session.state,
+                    lm::DecodeState {
+                        kv: Vec::new(),
+                        pos: 0,
+                    },
+                );
+                self.pool.release(state);
+                finished.push(session);
+            }
+        }
+
+        self.build_report(&layout, finished, order, n_streams)
+    }
+
+    fn build_report(
+        &self,
+        layout: &hwsim::ModelLayout,
+        mut finished: Vec<Session>,
+        order: Vec<usize>,
+        n_streams: usize,
+    ) -> Result<ServeReport> {
+        finished.sort_by_key(|s| s.stream);
+        let streams: Vec<AccessTrace> = {
+            // move (not clone) each session's recorded trace into stream order
+            let mut traces = vec![AccessTrace::new(); n_streams];
+            for s in &mut finished {
+                traces[s.stream] = std::mem::take(&mut s.trace);
+            }
+            traces
+        };
+        let sim = simulate_concurrent(
+            layout,
+            &self.config.device,
+            self.config.eviction,
+            &streams,
+            &order,
+        )?;
+
+        // Wall-clock completion of each schedule position.
+        let mut clock = 0.0f64;
+        let completion_at: Vec<f64> = sim
+            .schedule
+            .iter()
+            .map(|(_, latency)| {
+                clock += latency;
+                clock
+            })
+            .collect();
+
+        let mut request_stats = Vec::with_capacity(finished.len());
+        let mut completions = Vec::with_capacity(finished.len());
+        let mut first_token_sum = 0.0f64;
+        let mut total_generated = 0usize;
+        let mut total_prefill = 0usize;
+        for s in &finished {
+            let stream_stats = &sim.streams[s.stream];
+            let first_token_s = s
+                .first_token_position()
+                .map(|p| completion_at[p])
+                .unwrap_or(0.0);
+            let generated = s.generated.len();
+            total_generated += generated;
+            total_prefill += s.request.prompt.len();
+            first_token_sum += first_token_s;
+            completions.push(stream_stats.completion_s);
+            request_stats.push(RequestStats {
+                id: s.request.id,
+                stream: s.stream,
+                strategy: s.request.strategy.label(),
+                prompt_tokens: s.request.prompt.len(),
+                generated_tokens: generated,
+                admitted_step: s.admitted_step,
+                first_token_s,
+                completion_s: stream_stats.completion_s,
+                service_s: stream_stats.service_s,
+                throughput_tps: if stream_stats.completion_s > 0.0 {
+                    generated as f64 / stream_stats.completion_s
+                } else {
+                    0.0
+                },
+                hit_rate: stream_stats.hit_rate,
+                flash_bytes: stream_stats.flash_bytes,
+                dram_bytes: stream_stats.dram_bytes,
+            });
+        }
+
+        let makespan = sim.makespan_s();
+        let n = finished.len().max(1);
+        Ok(ServeReport {
+            model: self.model.config.name.clone(),
+            scheduler: self.config.scheduler,
+            eviction: self.config.eviction,
+            max_concurrent: self.config.max_concurrent,
+            requests: request_stats,
+            total_prefill_tokens: total_prefill,
+            total_generated_tokens: total_generated,
+            makespan_s: makespan,
+            aggregate_tps: if makespan > 0.0 {
+                total_generated as f64 / makespan
+            } else {
+                0.0
+            },
+            latency_p50_s: percentile(&completions, 0.50),
+            latency_p95_s: percentile(&completions, 0.95),
+            latency_p99_s: percentile(&completions, 0.99),
+            mean_first_token_s: first_token_sum / n as f64,
+            cache_hit_rate: sim.aggregate.hit_rate,
+            cache_fraction: sim.aggregate.cache_fraction,
+            fairness: sim.jain_fairness(),
+            mean_density: sim.aggregate.mean_density,
+            flash_bytes: sim.aggregate.flash_bytes,
+            dram_bytes: sim.aggregate.dram_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm::{build_synthetic, ModelConfig};
+
+    fn tiny_engine(slots: usize, cache_fraction: f64) -> ServeEngine {
+        let config = ModelConfig::tiny();
+        let model = build_synthetic(&config, 7).unwrap();
+        let layout = layout_for_serving(
+            &config,
+            [lm::SliceAxis::Input; 3],
+            4.0,
+            slots,
+            config.max_seq_len,
+        );
+        // DRAM = everything static + `cache_fraction` of the MLP weights
+        let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * cache_fraction) as u64;
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+        ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(slots)).unwrap()
+    }
+
+    fn dense_requests(n: usize, prompt_len: usize, new_tokens: usize) -> Vec<GenRequest> {
+        (0..n)
+            .map(|i| {
+                GenRequest::new(
+                    i as u64,
+                    vec![(i % 7) as u32 + 1; prompt_len],
+                    new_tokens,
+                    SparsityPolicy::Dense,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let device = DeviceConfig::apple_a18(4.0);
+        assert!(ServeConfig::new(device.clone()).validate().is_ok());
+        assert!(ServeConfig::new(device.clone())
+            .with_max_concurrent(0)
+            .validate()
+            .is_err());
+        let mut bad = ServeConfig::new(device);
+        bad.bits_per_weight = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn closed_batch_runs_to_completion() {
+        let mut engine = tiny_engine(2, 0.6);
+        let report = engine.run(dense_requests(5, 2, 4)).unwrap();
+        assert_eq!(report.requests.len(), 5);
+        assert_eq!(report.total_generated_tokens, 20);
+        assert_eq!(report.total_prefill_tokens, 10);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.aggregate_tps > 0.0);
+        assert!(report.latency_p50_s <= report.latency_p95_s);
+        assert!(report.latency_p95_s <= report.latency_p99_s);
+        assert!(report.latency_p99_s <= report.makespan_s + 1e-12);
+        assert!(report.fairness > 0.0 && report.fairness <= 1.0);
+        // every request got all its tokens and a sensible timeline
+        for r in &report.requests {
+            assert_eq!(r.generated_tokens, 4);
+            assert!(r.first_token_s > 0.0);
+            assert!(r.first_token_s <= r.completion_s);
+            assert!(r.service_s <= r.completion_s + 1e-12);
+        }
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn kv_slots_are_recycled_through_the_pool() {
+        let mut engine = tiny_engine(2, 0.6);
+        engine.run(dense_requests(6, 2, 3)).unwrap();
+        // 6 sessions through 2 slots: at most 2 fresh states, at least 4 reuses
+        assert!(engine.state_pool().build_count() <= 2);
+        assert!(engine.state_pool().reuse_count() >= 4);
+    }
+
+    #[test]
+    fn srf_finishes_short_requests_first() {
+        let make = |scheduler| {
+            let mut engine = tiny_engine(2, 0.6);
+            engine.config.scheduler = scheduler;
+            let mut requests = dense_requests(1, 2, 30);
+            requests.push(GenRequest::new(1, vec![3, 4], 2, SparsityPolicy::Dense));
+            engine.run(requests).unwrap()
+        };
+        let by_id = |report: &ServeReport, id: u64| {
+            report
+                .requests
+                .iter()
+                .find(|r| r.id == id)
+                .cloned()
+                .expect("request present")
+        };
+        let srf = make(SchedulerPolicy::ShortestRemainingFirst);
+        let short = by_id(&srf, 1);
+        let long = by_id(&srf, 0);
+        assert!(short.completion_s < long.completion_s);
+        // under SRF the short request barely queues behind the long one
+        let fifo = make(SchedulerPolicy::Fifo);
+        assert!(short.completion_s <= by_id(&fifo, 1).completion_s + 1e-12);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_up_front() {
+        let mut engine = tiny_engine(2, 0.6);
+        let empty = vec![GenRequest::new(9, vec![], 4, SparsityPolicy::Dense)];
+        assert!(matches!(
+            engine.run(empty),
+            Err(ServeError::InvalidRequest { id: 9, .. })
+        ));
+        let oov = vec![GenRequest::new(3, vec![999], 4, SparsityPolicy::Dense)];
+        assert!(engine.run(oov).is_err());
+        let too_long = vec![GenRequest::new(4, vec![1], 400, SparsityPolicy::Dense)];
+        assert!(engine.run(too_long).is_err());
+
+        // a request that exactly fills the context window is accepted
+        let window = engine.context_window();
+        let exact = vec![GenRequest::new(
+            5,
+            vec![1, 2],
+            window - 2,
+            SparsityPolicy::Dense,
+        )];
+        let report = engine.run(exact).unwrap();
+        assert_eq!(report.total_generated_tokens, window - 2);
+        let over = vec![GenRequest::new(
+            6,
+            vec![1, 2],
+            window - 1,
+            SparsityPolicy::Dense,
+        )];
+        assert!(engine.run(over).is_err());
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_report() {
+        let mut engine = tiny_engine(2, 0.6);
+        let report = engine.run(Vec::new()).unwrap();
+        assert!(report.requests.is_empty());
+        assert_eq!(report.total_generated_tokens, 0);
+        assert_eq!(report.aggregate_tps, 0.0);
+    }
+
+    #[test]
+    fn mixed_strategies_share_one_run() {
+        let mut engine = tiny_engine(3, 0.55);
+        let requests = vec![
+            GenRequest::new(0, vec![1, 2], 4, SparsityPolicy::Dense),
+            GenRequest::new(1, vec![2, 3], 4, SparsityPolicy::Dip { density: 0.5 }),
+            GenRequest::new(
+                2,
+                vec![3, 4],
+                4,
+                SparsityPolicy::DipCacheAware {
+                    density: 0.5,
+                    gamma: 0.2,
+                },
+            ),
+        ];
+        let report = engine.run(requests).unwrap();
+        assert_eq!(report.requests.len(), 3);
+        // the dense request moved more bytes than the pruned ones
+        assert!(
+            report.requests[0].dram_bytes + report.requests[0].flash_bytes
+                > report.requests[1].dram_bytes + report.requests[1].flash_bytes
+        );
+        assert!(report.mean_density < 1.0);
+    }
+
+    #[test]
+    fn cats_requests_calibrate_lazily_and_conflict_with_dip() {
+        let mut engine = tiny_engine(2, 0.6);
+        let cats = vec![GenRequest::new(
+            0,
+            vec![1, 2],
+            3,
+            SparsityPolicy::Cats { density: 0.5 },
+        )];
+        let report = engine.run(cats).unwrap();
+        assert_eq!(report.requests.len(), 1);
+        assert!(report.mean_density < 0.9);
+
+        let conflict = vec![
+            GenRequest::new(0, vec![1], 2, SparsityPolicy::Cats { density: 0.5 }),
+            GenRequest::new(1, vec![1], 2, SparsityPolicy::Dip { density: 0.5 }),
+        ];
+        assert!(matches!(
+            engine.run(conflict),
+            Err(ServeError::IncompatibleStrategies { .. })
+        ));
+    }
+}

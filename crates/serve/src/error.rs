@@ -1,0 +1,111 @@
+//! Error type for the serving engine.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors produced while configuring or running the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Error from the language-model substrate.
+    Lm(lm::LmError),
+    /// Error from the sparsity core.
+    Dip(dip_core::DipError),
+    /// Error from the hardware simulator.
+    Sim(hwsim::SimError),
+    /// An engine configuration value was invalid.
+    InvalidConfig {
+        /// The configuration field at fault.
+        field: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A submitted request cannot be served by this engine.
+    InvalidRequest {
+        /// The request id.
+        id: u64,
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// Two admitted requests demand incompatible weight-slicing axes for the
+    /// same matrix, so they cannot share one column cache.
+    IncompatibleStrategies {
+        /// Explanation of the axis conflict.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Lm(e) => write!(f, "model error: {e}"),
+            ServeError::Dip(e) => write!(f, "sparsity error: {e}"),
+            ServeError::Sim(e) => write!(f, "simulator error: {e}"),
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve config `{field}`: {reason}")
+            }
+            ServeError::InvalidRequest { id, reason } => {
+                write!(f, "invalid request {id}: {reason}")
+            }
+            ServeError::IncompatibleStrategies { reason } => {
+                write!(f, "incompatible strategies: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Lm(e) => Some(e),
+            ServeError::Dip(e) => Some(e),
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lm::LmError> for ServeError {
+    fn from(e: lm::LmError) -> Self {
+        ServeError::Lm(e)
+    }
+}
+
+impl From<dip_core::DipError> for ServeError {
+    fn from(e: dip_core::DipError) -> Self {
+        ServeError::Dip(e)
+    }
+}
+
+impl From<hwsim::SimError> for ServeError {
+    fn from(e: hwsim::SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: ServeError = lm::LmError::BadSequence { reason: "x".into() }.into();
+        assert!(e.to_string().contains("model error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: ServeError = hwsim::SimError::TraceOutOfRange { what: "w".into() }.into();
+        assert!(e.to_string().contains("simulator"));
+        let e: ServeError = dip_core::DipError::CalibrationMismatch { reason: "r".into() }.into();
+        assert!(e.to_string().contains("sparsity"));
+        let e = ServeError::InvalidRequest {
+            id: 7,
+            reason: "empty prompt".into(),
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ServeError::IncompatibleStrategies {
+            reason: "axes".into(),
+        };
+        assert!(e.to_string().contains("axes"));
+    }
+}

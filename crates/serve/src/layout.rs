@@ -1,0 +1,147 @@
+//! Bridging the model configuration and per-token access records to the
+//! hardware simulator's multi-tenant memory layout.
+//!
+//! Mirrors the single-stream conversion in `experiments::convert` with one
+//! serving-specific difference: the statically pinned DRAM region holds one
+//! KV cache *per concurrent session slot*, not one — admitting more
+//! concurrent users shrinks the DRAM left for the shared weight cache, which
+//! is exactly the contention axis the serving scenario studies.
+
+use hwsim::{AccessSet, BlockAccess, LinearLayout, MlpBlockLayout, ModelLayout, TokenAccess};
+use lm::{ColumnAccess, MlpAccessRecord, ModelConfig, SliceAxis};
+
+/// Bytes of the statically pinned portion for a serving deployment:
+/// non-MLP weights at `bits_per_weight` plus `kv_slots` KV caches of
+/// `kv_tokens` context each (FP16, as in the paper's accounting).
+///
+/// `kv_tokens` is the deployment's per-session context budget — serving
+/// engines bound it well below the model's maximum so KV slots do not
+/// swallow the DRAM that the shared weight cache needs.
+pub fn static_bytes_multi_session(
+    config: &ModelConfig,
+    bits_per_weight: f64,
+    kv_slots: usize,
+    kv_tokens: usize,
+) -> u64 {
+    let static_params = (config.total_params() - config.total_mlp_params()) as f64;
+    let kv_fraction = (kv_tokens.min(config.max_seq_len)) as f64 / config.max_seq_len as f64;
+    let kv_bytes = config.kv_cache_bytes() * kv_fraction * kv_slots as f64;
+    (static_params * bits_per_weight / 8.0 + kv_bytes).ceil() as u64
+}
+
+/// Column structure of one linear layer when sliced along `axis`: input-axis
+/// slices are weight columns (one per input dimension), output-axis slices
+/// are weight rows. Shared with `experiments::convert`.
+pub fn linear_layout_for_axis(
+    axis: SliceAxis,
+    in_dim: usize,
+    out_dim: usize,
+    bits_per_weight: f64,
+) -> LinearLayout {
+    let (n_columns, rows_per_column) = match axis {
+        SliceAxis::Input => (in_dim, out_dim),
+        SliceAxis::Output => (out_dim, in_dim),
+    };
+    LinearLayout {
+        n_columns,
+        bytes_per_column: ((rows_per_column as f64) * bits_per_weight / 8.0).ceil() as u64,
+    }
+}
+
+/// Builds the shared memory layout of a serving deployment, given the
+/// resolved per-matrix slicing axes (`[up, gate, down]`, see
+/// [`crate::strategy::resolve_axes`]).
+pub fn layout_for_serving(
+    config: &ModelConfig,
+    axes: [SliceAxis; 3],
+    bits_per_weight: f64,
+    kv_slots: usize,
+    kv_tokens: usize,
+) -> ModelLayout {
+    let d_model = config.d_model;
+    let d_ff = config.d_ff;
+    let block = MlpBlockLayout {
+        up: linear_layout_for_axis(axes[0], d_model, d_ff, bits_per_weight),
+        gate: linear_layout_for_axis(axes[1], d_model, d_ff, bits_per_weight),
+        down: linear_layout_for_axis(axes[2], d_ff, d_model, bits_per_weight),
+    };
+    ModelLayout {
+        name: format!("{}-serve", config.name),
+        bits_per_weight,
+        static_bytes: static_bytes_multi_session(config, bits_per_weight, kv_slots, kv_tokens),
+        blocks: vec![block; config.n_layers],
+    }
+}
+
+fn to_access_set(access: &ColumnAccess) -> AccessSet {
+    match access {
+        ColumnAccess::All => AccessSet::All,
+        ColumnAccess::Subset(v) => AccessSet::Subset(v.clone()),
+    }
+}
+
+/// Converts one token's per-layer access records into a simulator trace token.
+pub fn to_token_access(records: &[MlpAccessRecord]) -> TokenAccess {
+    TokenAccess {
+        blocks: records
+            .iter()
+            .map(|r| BlockAccess {
+                up: to_access_set(&r.up.slices),
+                gate: to_access_set(&r.gate.slices),
+                down: to_access_set(&r.down.slices),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_slots_scale_static_bytes() {
+        let config = ModelConfig::tiny();
+        let full = config.max_seq_len;
+        let one = static_bytes_multi_session(&config, 4.0, 1, full);
+        let eight = static_bytes_multi_session(&config, 4.0, 8, full);
+        let kv = config.kv_cache_bytes() as u64;
+        assert_eq!(eight - one, 7 * kv);
+    }
+
+    #[test]
+    fn kv_budget_shrinks_static_bytes() {
+        let config = ModelConfig::tiny();
+        let full = static_bytes_multi_session(&config, 4.0, 4, config.max_seq_len);
+        let half = static_bytes_multi_session(&config, 4.0, 4, config.max_seq_len / 2);
+        let kv = config.kv_cache_bytes();
+        assert_eq!(full - half, (kv * 4.0 / 2.0).ceil() as u64);
+        // budgets beyond the model maximum are clamped
+        let over = static_bytes_multi_session(&config, 4.0, 4, config.max_seq_len * 10);
+        assert_eq!(over, full);
+    }
+
+    #[test]
+    fn layout_follows_resolved_axes() {
+        let config = ModelConfig::tiny();
+        let full = config.max_seq_len;
+        let input_axes = [SliceAxis::Input; 3];
+        let layout = layout_for_serving(&config, input_axes, 4.0, 2, full);
+        assert_eq!(layout.blocks[0].up.n_columns, config.d_model);
+        assert_eq!(layout.blocks[0].down.n_columns, config.d_ff);
+        assert_eq!(layout.n_blocks(), config.n_layers);
+
+        let cats_axes = [SliceAxis::Output, SliceAxis::Input, SliceAxis::Input];
+        let cats_layout = layout_for_serving(&config, cats_axes, 4.0, 2, full);
+        assert_eq!(cats_layout.blocks[0].up.n_columns, config.d_ff);
+        // same total MLP bytes regardless of slicing axis
+        assert_eq!(layout.mlp_bytes(), cats_layout.mlp_bytes());
+    }
+
+    #[test]
+    fn dense_records_convert_to_all() {
+        let token = to_token_access(&[MlpAccessRecord::dense()]);
+        assert_eq!(token.blocks[0].up, AccessSet::All);
+        assert_eq!(token.blocks[0].gate, AccessSet::All);
+        assert_eq!(token.blocks[0].down, AccessSet::All);
+    }
+}

@@ -1,0 +1,56 @@
+//! Multi-session sparse-inference serving engine.
+//!
+//! The paper evaluates Dynamic Input Pruning one token stream at a time;
+//! this crate opens the *many users* axis: a token-generation serving engine
+//! that admits a stream of requests, schedules them with continuous batching,
+//! keeps one KV cache per session (recycled through
+//! [`lm::DecodeStatePool`]), runs a pluggable sparsity strategy per request
+//! through the [`lm::MlpForward`] hook, and prices the resulting weight
+//! traffic on a *shared* DRAM column cache under multi-tenant contention
+//! ([`hwsim::simulate_concurrent`]).
+//!
+//! * [`GenRequest`] — one user's prompt + generation budget + strategy,
+//! * [`SparsityPolicy`] — `Dense`, `Dip`, `DipCacheAware` (shared cache
+//!   model), or `Cats`,
+//! * [`SchedulerPolicy`] — FIFO or shortest-remaining-first continuous
+//!   batching,
+//! * [`ServeEngine`] / [`ServeConfig`] — the engine itself,
+//! * [`ServeReport`] — per-request latency (p50/p95/p99), aggregate
+//!   tokens/sec, fairness and shared-cache hit rate.
+//!
+//! # Example
+//!
+//! ```
+//! use serve::{GenRequest, ServeConfig, ServeEngine, SparsityPolicy};
+//! use lm::{build_synthetic, ModelConfig};
+//!
+//! let model = build_synthetic(&ModelConfig::tiny(), 1)?;
+//! let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(400_000);
+//! let mut engine = ServeEngine::new(model, ServeConfig::new(device))?;
+//! let requests = (0..4)
+//!     .map(|i| GenRequest::new(i, vec![1 + i as u32], 4, SparsityPolicy::Dip { density: 0.5 }))
+//!     .collect();
+//! let report = engine.run(requests)?;
+//! assert_eq!(report.requests.len(), 4);
+//! assert!(report.aggregate_tps > 0.0);
+//! # Ok::<(), serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod layout;
+pub mod report;
+pub mod request;
+pub mod scheduler;
+pub mod session;
+pub mod strategy;
+
+pub use engine::{ServeConfig, ServeEngine};
+pub use error::{Result, ServeError};
+pub use report::{percentile, RequestStats, ServeReport};
+pub use request::GenRequest;
+pub use scheduler::SchedulerPolicy;
+pub use session::{Session, SessionPhase};
+pub use strategy::{resolve_axes, SharedStrategy, SparsityPolicy, StrategyFactory};

@@ -1,0 +1,139 @@
+//! Serving-run reports: per-request stats and fleet-level aggregates.
+
+use crate::scheduler::SchedulerPolicy;
+use hwsim::EvictionPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one completed request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Caller-chosen request id.
+    pub id: u64,
+    /// Stream index in the shared-cache replay (submission order).
+    pub stream: usize,
+    /// Strategy label the request ran under.
+    pub strategy: String,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Number of generated tokens.
+    pub generated_tokens: usize,
+    /// Engine step at which the request was admitted to a KV slot.
+    pub admitted_step: usize,
+    /// Wall-clock completion of the first *generated* token, in seconds from
+    /// the start of the run (0 when nothing was generated).
+    pub first_token_s: f64,
+    /// Wall-clock completion of the request.
+    pub completion_s: f64,
+    /// Service time this request consumed on the memory bus.
+    pub service_s: f64,
+    /// Generated tokens per second of end-to-end latency.
+    pub throughput_tps: f64,
+    /// Shared-cache hit rate of this request's weight accesses.
+    pub hit_rate: f64,
+    /// Bytes this request read from Flash.
+    pub flash_bytes: f64,
+    /// Bytes this request read from DRAM.
+    pub dram_bytes: f64,
+}
+
+/// Aggregate report of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Model name.
+    pub model: String,
+    /// Scheduling policy of the run.
+    pub scheduler: SchedulerPolicy,
+    /// Shared-cache eviction policy.
+    pub eviction: EvictionPolicy,
+    /// KV-cache slots (maximum concurrent sessions).
+    pub max_concurrent: usize,
+    /// Per-request statistics, in submission order.
+    pub requests: Vec<RequestStats>,
+    /// Total prompt tokens prefilled across requests.
+    pub total_prefill_tokens: usize,
+    /// Total tokens generated across requests.
+    pub total_generated_tokens: usize,
+    /// Wall-clock length of the run in seconds.
+    pub makespan_s: f64,
+    /// Generated tokens per second of wall-clock time, across all requests.
+    pub aggregate_tps: f64,
+    /// Median end-to-end request latency (seconds).
+    pub latency_p50_s: f64,
+    /// 95th-percentile end-to-end request latency (seconds).
+    pub latency_p95_s: f64,
+    /// 99th-percentile end-to-end request latency (seconds).
+    pub latency_p99_s: f64,
+    /// Mean wall-clock time to each request's first generated token.
+    pub mean_first_token_s: f64,
+    /// Hit rate of the shared DRAM column cache over the whole run.
+    pub cache_hit_rate: f64,
+    /// Fraction of the MLP weights the shared cache can hold.
+    pub cache_fraction: f64,
+    /// Jain fairness index over per-request service times.
+    pub fairness: f64,
+    /// Mean MLP weight density of the replayed traffic.
+    pub mean_density: f64,
+    /// Total bytes read from Flash.
+    pub flash_bytes: f64,
+    /// Total bytes read from DRAM.
+    pub dram_bytes: f64,
+}
+
+impl ServeReport {
+    /// Renders a short human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} | {} requests, {} slots, {}/{} | {:.2} tok/s | p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms | hit rate {:.1}% | fairness {:.3}",
+            self.model,
+            self.requests.len(),
+            self.max_concurrent,
+            self.scheduler,
+            self.eviction,
+            self.aggregate_tps,
+            1e3 * self.latency_p50_s,
+            1e3 * self.latency_p95_s,
+            1e3 * self.latency_p99_s,
+            100.0 * self.cache_hit_rate,
+            self.fairness,
+        )
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample; `q` in `[0, 1]`.
+/// Returns 0 for an empty sample.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 0.99), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let v: Vec<f64> = (0..100).map(|i| (i * 37 % 101) as f64).collect();
+        let p50 = percentile(&v, 0.5);
+        let p95 = percentile(&v, 0.95);
+        let p99 = percentile(&v, 0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+}

@@ -1,0 +1,58 @@
+//! Generation requests: what a user session asks the engine to do.
+
+use crate::strategy::SparsityPolicy;
+use serde::{Deserialize, Serialize};
+
+/// One user's generation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenRequest {
+    /// Caller-chosen request id, echoed in the report.
+    pub id: u64,
+    /// Prompt token ids (must be non-empty and within the model vocabulary).
+    pub prompt: Vec<u32>,
+    /// Number of tokens to generate after the prompt.
+    pub max_new_tokens: usize,
+    /// Sampling temperature (0 = greedy).
+    pub temperature: f32,
+    /// The sparsity strategy this request's MLP forward passes run with.
+    pub strategy: SparsityPolicy,
+}
+
+impl GenRequest {
+    /// Creates a request with greedy sampling.
+    pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize, strategy: SparsityPolicy) -> Self {
+        GenRequest {
+            id,
+            prompt,
+            max_new_tokens,
+            temperature: 0.0,
+            strategy,
+        }
+    }
+
+    /// Returns a copy with the given sampling temperature.
+    pub fn with_temperature(mut self, temperature: f32) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Total tokens this request will push through the model (prompt prefill
+    /// plus generated tokens) — the scheduler's notion of request length.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_length() {
+        let r = GenRequest::new(3, vec![1, 2, 3], 10, SparsityPolicy::Dense).with_temperature(0.7);
+        assert_eq!(r.id, 3);
+        assert_eq!(r.total_tokens(), 13);
+        assert!((r.temperature - 0.7).abs() < 1e-6);
+        assert_eq!(r.strategy, SparsityPolicy::Dense);
+    }
+}

@@ -1,0 +1,144 @@
+//! Continuous-batching schedulers.
+//!
+//! The engine serves one token per step (the memory bus is the serial
+//! bottleneck resource — see `hwsim::concurrent`), admitting a waiting
+//! request whenever a KV-cache slot frees up. The scheduling policy decides
+//! two things: which waiting request is admitted next, and which *active*
+//! session's token is served next.
+//!
+//! * [`SchedulerPolicy::Fifo`] — admit in arrival order; serve the active
+//!   session that has waited longest since its last token
+//!   (least-recently-served, i.e. fair round-robin under continuous
+//!   batching).
+//! * [`SchedulerPolicy::ShortestRemainingFirst`] — admit the shortest
+//!   waiting request first and always serve the active session with the
+//!   fewest remaining tokens. Short interactive requests overtake long
+//!   batch jobs, trading fairness for lower median latency.
+
+use crate::request::GenRequest;
+use crate::session::Session;
+use serde::{Deserialize, Serialize};
+
+/// Which continuous-batching policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SchedulerPolicy {
+    /// First-in-first-out admission, least-recently-served token order.
+    #[default]
+    Fifo,
+    /// Shortest-remaining-first admission and token order.
+    ShortestRemainingFirst,
+}
+
+impl std::fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::ShortestRemainingFirst => "srf",
+        };
+        f.write_str(s)
+    }
+}
+
+impl SchedulerPolicy {
+    /// Index (into `waiting`) of the request to admit next, or `None` when
+    /// the queue is empty.
+    pub fn next_admission(&self, waiting: &[GenRequest]) -> Option<usize> {
+        match self {
+            SchedulerPolicy::Fifo => {
+                if waiting.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            }
+            SchedulerPolicy::ShortestRemainingFirst => waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.total_tokens(), *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Index (into `active`) of the session whose token is served next, or
+    /// `None` when nothing is active.
+    pub fn next_service(&self, active: &[Session]) -> Option<usize> {
+        match self {
+            SchedulerPolicy::Fifo => active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (s.last_served_step, s.stream))
+                .map(|(i, _)| i),
+            SchedulerPolicy::ShortestRemainingFirst => active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (s.remaining_tokens(), s.stream))
+                .map(|(i, _)| i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::SparsityPolicy;
+    use lm::mlp::DenseMlp;
+    use lm::{build_synthetic, ModelConfig};
+
+    fn request(id: u64, prompt_len: usize, new_tokens: usize) -> GenRequest {
+        GenRequest::new(id, vec![1; prompt_len], new_tokens, SparsityPolicy::Dense)
+    }
+
+    fn session(stream: usize, prompt_len: usize, new_tokens: usize) -> Session {
+        let model = build_synthetic(&ModelConfig::tiny(), 1).unwrap();
+        Session::new(
+            stream,
+            request(stream as u64, prompt_len, new_tokens),
+            0,
+            model.new_decode_state(),
+            Box::new(DenseMlp),
+        )
+    }
+
+    #[test]
+    fn fifo_admits_in_arrival_order() {
+        let waiting = vec![request(0, 4, 30), request(1, 1, 1)];
+        assert_eq!(SchedulerPolicy::Fifo.next_admission(&waiting), Some(0));
+        assert_eq!(
+            SchedulerPolicy::ShortestRemainingFirst.next_admission(&waiting),
+            Some(1)
+        );
+        assert_eq!(SchedulerPolicy::Fifo.next_admission(&[]), None);
+    }
+
+    #[test]
+    fn fifo_serves_least_recently_served() {
+        let mut a = session(0, 2, 4);
+        let mut b = session(1, 2, 4);
+        a.last_served_step = 10;
+        b.last_served_step = 3;
+        let active = vec![a, b];
+        assert_eq!(SchedulerPolicy::Fifo.next_service(&active), Some(1));
+    }
+
+    #[test]
+    fn srf_serves_fewest_remaining() {
+        let short = session(0, 1, 2);
+        let long = session(1, 1, 40);
+        let active = vec![long, short];
+        assert_eq!(
+            SchedulerPolicy::ShortestRemainingFirst.next_service(&active),
+            Some(1)
+        );
+        assert_eq!(
+            SchedulerPolicy::ShortestRemainingFirst.next_service(&[]),
+            None
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedulerPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(SchedulerPolicy::ShortestRemainingFirst.to_string(), "srf");
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Fifo);
+    }
+}

@@ -1,0 +1,166 @@
+//! One admitted user session: decode state, strategy and access bookkeeping.
+
+use crate::error::Result;
+use crate::layout::to_token_access;
+use crate::request::GenRequest;
+use hwsim::AccessTrace;
+use lm::model::sample_from_logits;
+use lm::{DecodeState, MlpForward, TransformerModel};
+use rand::rngs::StdRng;
+
+/// Lifecycle phase of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Prompt tokens are still being prefilled.
+    Prefill,
+    /// New tokens are being generated.
+    Decode,
+    /// All requested tokens have been produced.
+    Finished,
+}
+
+/// A request that has been admitted and holds a KV-cache slot.
+pub struct Session {
+    /// Stream index used in the shared-cache replay (submission order).
+    pub stream: usize,
+    /// The request being served.
+    pub request: GenRequest,
+    /// Engine step at which the session was admitted.
+    pub admitted_step: usize,
+    /// Per-layer KV caches + position (from the engine's state pool).
+    pub state: DecodeState,
+    /// The MLP strategy instance for this session.
+    pub strategy: Box<dyn MlpForward>,
+    /// Tokens generated so far.
+    pub generated: Vec<u32>,
+    /// Weight-access trace of every served token (prefill + decode).
+    pub trace: AccessTrace,
+    /// Step at which this session was last served (scheduler bookkeeping for
+    /// least-recently-served token ordering).
+    pub last_served_step: usize,
+    /// Global schedule position of the last prefill forward pass — the step
+    /// whose completion makes the first generated token available.
+    last_prefill_position: Option<usize>,
+    next_prompt_idx: usize,
+    last_logits: Vec<f32>,
+}
+
+impl Session {
+    /// Creates a session around an acquired decode state and strategy.
+    pub fn new(
+        stream: usize,
+        request: GenRequest,
+        admitted_step: usize,
+        state: DecodeState,
+        strategy: Box<dyn MlpForward>,
+    ) -> Self {
+        Session {
+            stream,
+            request,
+            admitted_step,
+            state,
+            strategy,
+            generated: Vec::new(),
+            trace: AccessTrace::new(),
+            last_served_step: admitted_step,
+            last_prefill_position: None,
+            next_prompt_idx: 0,
+            last_logits: Vec::new(),
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> SessionPhase {
+        if self.next_prompt_idx < self.request.prompt.len() {
+            SessionPhase::Prefill
+        } else if self.generated.len() < self.request.max_new_tokens {
+            SessionPhase::Decode
+        } else {
+            SessionPhase::Finished
+        }
+    }
+
+    /// Tokens still to be served (prefill + decode).
+    pub fn remaining_tokens(&self) -> usize {
+        (self.request.prompt.len() - self.next_prompt_idx)
+            + (self.request.max_new_tokens - self.generated.len())
+    }
+
+    /// Serves one token (the next prompt token during prefill, a sampled
+    /// continuation during decode), recording its weight accesses and its
+    /// position `step` in the global schedule. Returns the per-layer access
+    /// records of the served token so the engine can propagate them to
+    /// co-tenant cache models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass and sampling errors.
+    pub fn step(
+        &mut self,
+        model: &TransformerModel,
+        rng: &mut StdRng,
+        step: usize,
+    ) -> Result<Vec<lm::MlpAccessRecord>> {
+        debug_assert!(self.phase() != SessionPhase::Finished);
+        let token = if self.next_prompt_idx < self.request.prompt.len() {
+            let t = self.request.prompt[self.next_prompt_idx];
+            self.next_prompt_idx += 1;
+            if self.next_prompt_idx == self.request.prompt.len() {
+                self.last_prefill_position = Some(step);
+            }
+            t
+        } else {
+            let t = sample_from_logits(&self.last_logits, self.request.temperature, rng)?;
+            self.generated.push(t);
+            t
+        };
+        let out = model.forward_token(token, &mut self.state, self.strategy.as_mut())?;
+        self.trace.push(to_token_access(&out.mlp_accesses));
+        self.last_logits = out.logits;
+        Ok(out.mlp_accesses)
+    }
+
+    /// Schedule position whose completion makes the first generated token
+    /// available: the *last prefill* forward pass — its logits are what the
+    /// first new token is sampled from. `None` when nothing was generated.
+    pub fn first_token_position(&self) -> Option<usize> {
+        if self.generated.is_empty() {
+            None
+        } else {
+            self.last_prefill_position
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::SparsityPolicy;
+    use lm::mlp::DenseMlp;
+    use lm::{build_synthetic, ModelConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn session_walks_through_prefill_then_decode() {
+        let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
+        let request = GenRequest::new(1, vec![1, 2], 3, SparsityPolicy::Dense);
+        let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
+        let mut rng = StdRng::seed_from_u64(0);
+
+        assert_eq!(session.phase(), SessionPhase::Prefill);
+        assert_eq!(session.remaining_tokens(), 5);
+        assert!(session.first_token_position().is_none());
+
+        for step in 0..5 {
+            session.step(&model, &mut rng, step * 2).unwrap();
+        }
+        assert_eq!(session.phase(), SessionPhase::Finished);
+        assert_eq!(session.remaining_tokens(), 0);
+        assert_eq!(session.generated.len(), 3);
+        assert_eq!(session.trace.n_tokens(), 5);
+        // the first generated token is sampled from the logits of the second
+        // (last) prompt forward, scheduled at position 2
+        assert_eq!(session.first_token_position(), Some(2));
+        assert!(session.generated.iter().all(|t| (*t as usize) < 64));
+    }
+}

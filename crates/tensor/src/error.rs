@@ -41,7 +41,11 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::ShapeMismatch { op, expected, found } => write!(
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                found,
+            } => write!(
                 f,
                 "shape mismatch in {op}: expected {}x{}, found {}x{}",
                 expected.0, expected.1, found.0, found.1

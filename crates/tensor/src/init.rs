@@ -29,7 +29,9 @@ pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f32 {
 
 /// Fills a vector with i.i.d. normal samples of the given standard deviation.
 pub fn normal_vec<R: Rng>(rng: &mut R, len: usize, std: f32) -> Vec<f32> {
-    (0..len).map(|_| sample_standard_normal(rng) * std).collect()
+    (0..len)
+        .map(|_| sample_standard_normal(rng) * std)
+        .collect()
 }
 
 /// Xavier/Glorot-style initialisation: `std = sqrt(2 / (fan_in + fan_out))`.

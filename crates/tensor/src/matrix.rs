@@ -81,7 +81,9 @@ impl Matrix {
     /// [`TensorError::ShapeMismatch`] when rows have inconsistent lengths.
     pub fn from_rows(rows: &[Vec<f32>]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(TensorError::Empty { op: "Matrix::from_rows" });
+            return Err(TensorError::Empty {
+                op: "Matrix::from_rows",
+            });
         }
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
@@ -176,7 +178,10 @@ impl Matrix {
     /// Returns [`TensorError::IndexOutOfBounds`] if `r >= rows`.
     pub fn row(&self, r: usize) -> Result<&[f32]> {
         if r >= self.rows {
-            return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                len: self.rows,
+            });
         }
         Ok(&self.data[r * self.cols..(r + 1) * self.cols])
     }
@@ -188,7 +193,10 @@ impl Matrix {
     /// Returns [`TensorError::IndexOutOfBounds`] if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
         if r >= self.rows {
-            return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                len: self.rows,
+            });
         }
         Ok(&mut self.data[r * self.cols..(r + 1) * self.cols])
     }
@@ -200,7 +208,10 @@ impl Matrix {
     /// Returns [`TensorError::IndexOutOfBounds`] if `c >= cols`.
     pub fn column(&self, c: usize) -> Result<Vec<f32>> {
         if c >= self.cols {
-            return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+            return Err(TensorError::IndexOutOfBounds {
+                index: c,
+                len: self.cols,
+            });
         }
         Ok((0..self.rows).map(|r| self.get(r, c)).collect())
     }
@@ -257,7 +268,10 @@ impl Matrix {
         let mut y = vec![0.0f32; self.rows];
         for &c in active_cols {
             if c >= self.cols {
-                return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: c,
+                    len: self.cols,
+                });
             }
             let xv = x[c];
             if xv == 0.0 {
@@ -292,7 +306,10 @@ impl Matrix {
         let mut y = vec![0.0f32; self.rows];
         for &r in active_rows {
             if r >= self.rows {
-                return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: r,
+                    len: self.rows,
+                });
             }
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0f32;
@@ -481,7 +498,10 @@ impl Matrix {
     pub fn zero_columns(&mut self, cols: &[usize]) -> Result<()> {
         for &c in cols {
             if c >= self.cols {
-                return Err(TensorError::IndexOutOfBounds { index: c, len: self.cols });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: c,
+                    len: self.cols,
+                });
             }
             for r in 0..self.rows {
                 self.set(r, c, 0.0);
@@ -498,7 +518,10 @@ impl Matrix {
     pub fn zero_rows(&mut self, rows: &[usize]) -> Result<()> {
         for &r in rows {
             if r >= self.rows {
-                return Err(TensorError::IndexOutOfBounds { index: r, len: self.rows });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: r,
+                    len: self.rows,
+                });
             }
             for v in self.row_mut(r)? {
                 *v = 0.0;
@@ -526,11 +549,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            vec![1.0, 2.0, 3.0],
-            vec![4.0, 5.0, 6.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
     }
 
     #[test]
@@ -615,7 +634,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]

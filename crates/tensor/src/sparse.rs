@@ -26,12 +26,16 @@ pub struct ColumnMask {
 impl ColumnMask {
     /// Creates a mask with all columns inactive.
     pub fn all_inactive(len: usize) -> Self {
-        ColumnMask { bits: vec![false; len] }
+        ColumnMask {
+            bits: vec![false; len],
+        }
     }
 
     /// Creates a mask with all columns active (dense computation).
     pub fn all_active(len: usize) -> Self {
-        ColumnMask { bits: vec![true; len] }
+        ColumnMask {
+            bits: vec![true; len],
+        }
     }
 
     /// Creates a mask of length `len` with exactly the listed indices active.
@@ -77,7 +81,10 @@ impl ColumnMask {
     /// Returns [`TensorError::IndexOutOfBounds`] if `i >= len`.
     pub fn activate(&mut self, i: usize) -> Result<()> {
         if i >= self.bits.len() {
-            return Err(TensorError::IndexOutOfBounds { index: i, len: self.bits.len() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: i,
+                len: self.bits.len(),
+            });
         }
         self.bits[i] = true;
         Ok(())
@@ -90,7 +97,10 @@ impl ColumnMask {
     /// Returns [`TensorError::IndexOutOfBounds`] if `i >= len`.
     pub fn deactivate(&mut self, i: usize) -> Result<()> {
         if i >= self.bits.len() {
-            return Err(TensorError::IndexOutOfBounds { index: i, len: self.bits.len() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: i,
+                len: self.bits.len(),
+            });
         }
         self.bits[i] = false;
         Ok(())
@@ -239,7 +249,9 @@ impl ColumnMask {
 
 impl FromIterator<bool> for ColumnMask {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
-        ColumnMask { bits: iter.into_iter().collect() }
+        ColumnMask {
+            bits: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -108,7 +108,8 @@ impl Histogram {
                 reason: "must be > 0".to_string(),
             });
         }
-        if !(hi > lo) {
+        // rejects hi <= lo and NaN bounds alike
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(TensorError::InvalidParameter {
                 name: "hi",
                 reason: format!("must be greater than lo ({lo}), got {hi}"),
@@ -211,7 +212,9 @@ impl SeriesSummary {
     /// Returns [`TensorError::Empty`] on an empty slice.
     pub fn from_slice(xs: &[f32]) -> Result<Self> {
         if xs.is_empty() {
-            return Err(TensorError::Empty { op: "SeriesSummary::from_slice" });
+            return Err(TensorError::Empty {
+                op: "SeriesSummary::from_slice",
+            });
         }
         Ok(SeriesSummary {
             mean: mean(xs),
@@ -248,7 +251,9 @@ mod tests {
 
     #[test]
     fn magnitude_threshold_keeps_expected_fraction() {
-        let xs: Vec<f32> = (1..=100).map(|i| i as f32 * if i % 2 == 0 { -1.0 } else { 1.0 }).collect();
+        let xs: Vec<f32> = (1..=100)
+            .map(|i| i as f32 * if i % 2 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let t = magnitude_threshold_for_density(&xs, 0.25).unwrap();
         let kept = xs.iter().filter(|x| x.abs() > t).count();
         // roughly 25 of 100 values should exceed the threshold

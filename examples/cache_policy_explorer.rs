@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cache-aware masking changes the mask itself, so it can beat even the
     // Belady oracle that is stuck with the mask DIP chose.
-    let report = wb.throughput(MethodKind::DipCacheAware, density, &device, EvictionPolicy::Lfu)?;
+    let report = wb.throughput(
+        MethodKind::DipCacheAware,
+        density,
+        &device,
+        EvictionPolicy::Lfu,
+    )?;
     println!(
         "{:<26} {:>10.2} {:>11.1}% {:>14.2} {:>14.2}",
         "DIP-CA + lfu (gamma=0.2)",

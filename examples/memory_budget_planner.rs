@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model_memory_bytes(&config, 16.0, 16.0, 1.0, None) / MIB,
         dense_ppl
     );
-    println!("{:<34} {:>12} {:>12} {:>10}", "configuration", "memory MiB", "perplexity", "ΔPPL");
+    println!(
+        "{:<34} {:>12} {:>12} {:>10}",
+        "configuration", "memory MiB", "perplexity", "ΔPPL"
+    );
 
     let report = |name: &str, memory_bytes: f64, ppl: f64| {
         println!(
@@ -55,7 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ppl = eval::perplexity(&pruned, &mut DenseMlp, &corpus)?.perplexity;
     report(
         "SparseGPT-style 50% (FP16 + mask)",
-        model_memory_bytes(&config, 16.0, 16.0, 0.5, Some(PruningStructure::Unstructured)),
+        model_memory_bytes(
+            &config,
+            16.0,
+            16.0,
+            0.5,
+            Some(PruningStructure::Unstructured),
+        ),
         ppl,
     );
 

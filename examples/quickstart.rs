@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device: DeviceConfig = wb.table2_device();
     let dense_tput = wb.throughput(MethodKind::Dense, 1.0, &device, EvictionPolicy::Lfu)?;
     let dip_tput = wb.throughput(MethodKind::Dip, 0.5, &device, EvictionPolicy::Lfu)?;
-    let dip_ca_tput = wb.throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)?;
+    let dip_ca_tput =
+        wb.throughput(MethodKind::DipCacheAware, 0.5, &device, EvictionPolicy::Lfu)?;
     println!(
         "throughput on {}: dense {:.2} tok/s, DIP {:.2} tok/s, DIP-CA {:.2} tok/s",
         device.name, dense_tput.throughput_tps, dip_tput.throughput_tps, dip_ca_tput.throughput_tps

@@ -9,6 +9,8 @@
 //!   and the dynamic-sparsity baselines from the paper,
 //! * [`quant`] — quantization and static-pruning baselines,
 //! * [`hwsim`] — the mobile-SoC (Flash/DRAM/cache) hardware simulator,
+//! * [`serve`] — the multi-session serving engine (continuous batching,
+//!   shared-cache contention),
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
@@ -18,4 +20,5 @@ pub use experiments;
 pub use hwsim;
 pub use lm;
 pub use quant;
+pub use serve;
 pub use tensor;

@@ -70,7 +70,8 @@ fn dip_ca_reuses_cached_columns_across_the_full_stack() {
         .collect();
 
     let mut dip = Dip::new(0.5, 0.5).unwrap();
-    let mut dip_ca = DipCacheAware::new(0.5, 0.5, 0.2, config.d_model, config.d_ff, capacities).unwrap();
+    let mut dip_ca =
+        DipCacheAware::new(0.5, 0.5, 0.2, config.d_model, config.d_ff, capacities).unwrap();
     let plain = eval::perplexity(&model, &mut dip, &corpus).unwrap();
     let aware = eval::perplexity(&model, &mut dip_ca, &corpus).unwrap();
     let dense = eval::perplexity(&model, &mut DenseMlp, &corpus).unwrap();

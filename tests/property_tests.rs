@@ -4,7 +4,7 @@
 use dynamic_sparsity::dip::strategies::Dip;
 use dynamic_sparsity::hwsim::cache::{BeladyColumnCache, LfuColumnCache, LruColumnCache};
 use dynamic_sparsity::hwsim::ColumnCache;
-use dynamic_sparsity::lm::{build_synthetic, ModelConfig, MlpForward};
+use dynamic_sparsity::lm::{build_synthetic, MlpForward, ModelConfig};
 use dynamic_sparsity::tensor::{topk, ColumnMask, Matrix, Vector};
 use proptest::prelude::*;
 
