@@ -5,7 +5,7 @@
 use bench::bench_config;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lm::{build_synthetic, SliceAxis};
-use serve::{GenRequest, ServeConfig, ServeEngine, SparsityPolicy};
+use serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -27,7 +27,7 @@ fn engine() -> ServeEngine {
         .expect("serve config is valid")
 }
 
-fn fleet(strategy: SparsityPolicy) -> Vec<GenRequest> {
+fn fleet(strategy: StrategySpec) -> Vec<GenRequest> {
     (0..SLOTS)
         .map(|i| GenRequest::new(i as u64, vec![(i % 5) as u32 + 1], 8, strategy))
         .collect()
@@ -40,14 +40,14 @@ fn bench_fleet_runs(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.bench_function("dense_8_sessions", |b| {
         let mut engine = engine();
-        b.iter(|| black_box(engine.run(fleet(SparsityPolicy::Dense)).unwrap()))
+        b.iter(|| black_box(engine.run(fleet(StrategySpec::Dense)).unwrap()))
     });
     group.bench_function("dip_50pct_8_sessions", |b| {
         let mut engine = engine();
         b.iter(|| {
             black_box(
                 engine
-                    .run(fleet(SparsityPolicy::Dip { density: 0.5 }))
+                    .run(fleet(StrategySpec::Dip { density: 0.5 }))
                     .unwrap(),
             )
         })
@@ -57,7 +57,7 @@ fn bench_fleet_runs(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 engine
-                    .run(fleet(SparsityPolicy::DipCacheAware {
+                    .run(fleet(StrategySpec::DipCacheAware {
                         density: 0.5,
                         gamma: 0.2,
                     }))

@@ -65,6 +65,26 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8, f32, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+// Tuples of strategies are strategies, as in the real proptest.
+impl_tuple_strategy!(
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+);
+
 /// Strategy producing a constant value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);

@@ -25,6 +25,13 @@ pub enum DipError {
         /// Explanation of the mismatch.
         reason: String,
     },
+    /// Two strategy specs demand incompatible weight-slicing axes for the
+    /// same matrix, so they cannot share one column cache
+    /// (see [`crate::spec::resolve_axes`]).
+    IncompatibleSpecs {
+        /// Explanation of the axis conflict.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DipError {
@@ -37,6 +44,9 @@ impl fmt::Display for DipError {
             }
             DipError::CalibrationMismatch { reason } => {
                 write!(f, "calibration mismatch: {reason}")
+            }
+            DipError::IncompatibleSpecs { reason } => {
+                write!(f, "incompatible strategy specs: {reason}")
             }
         }
     }
@@ -76,6 +86,10 @@ pub fn to_lm_error(e: DipError) -> lm::LmError {
             reason,
         },
         DipError::CalibrationMismatch { reason } => lm::LmError::BadSequence { reason },
+        DipError::IncompatibleSpecs { reason } => lm::LmError::InvalidConfig {
+            field: "strategy-specs",
+            reason,
+        },
     }
 }
 

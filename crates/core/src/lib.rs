@@ -9,6 +9,10 @@
 //!
 //! * [`strategies`] — DIP, DIP-CA, GLU/Gate/Up pruning, CATS, DejaVu-style
 //!   predictive pruning,
+//! * [`spec`] — the declarative strategy API: a serializable
+//!   [`spec::StrategySpec`] per method plus the [`spec::StrategyRegistry`]
+//!   that builds ready strategies (shared by the experiment harness and the
+//!   serving engine),
 //! * [`threshold`] — global / per-layer / per-token top-k thresholding
 //!   (Section 3.1) and the density bookkeeping of Section 3.2,
 //! * [`predictor`] — DejaVu predictor training (Section 3.3),
@@ -35,6 +39,7 @@ pub mod allocation;
 pub mod error;
 pub mod lora;
 pub mod predictor;
+pub mod spec;
 pub mod strategies;
 pub mod threshold;
 
@@ -42,6 +47,10 @@ pub use allocation::{pareto_front, DensityAllocation};
 pub use error::{DipError, Result};
 pub use lora::{LoraConfig, LowRankAdapter};
 pub use predictor::{Predictor, PredictorTrainingConfig};
+pub use spec::{
+    resolve_axes, BuildEnv, BuiltStrategy, NmPattern, PredictorSpec, SharedMlpForward,
+    StrategyRegistry, StrategySpec, WeightTransform,
+};
 pub use strategies::{
     CatsPruning, Dip, DipCacheAware, GatePruning, GluOraclePruning, GluPruning,
     GluThresholdPruning, PredictiveGluPruning, UpPruning,

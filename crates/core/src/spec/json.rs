@@ -1,0 +1,524 @@
+//! JSON (de)serialization of [`StrategySpec`].
+//!
+//! The workspace vendors a marker-only `serde` stand-in (the build
+//! environment is offline), so specs carry their own JSON codec: a flat
+//! object per spec —
+//!
+//! ```json
+//! {"method": "dip-ca", "density": 0.5, "gamma": 0.2}
+//! ```
+//!
+//! with method-specific optional keys (`rank` for LoRA variants, `hidden` /
+//! `epochs` for the DejaVu predictor, `pattern` for SparseGPT). A workload
+//! mix is a JSON array of such objects; [`StrategySpec::list_from_json`]
+//! parses it, so serving fleets are declarative (no recompilation for a new
+//! mix).
+//!
+//! Floats are written with Rust's shortest round-trip formatting, so
+//! `serialize → deserialize` reproduces the spec exactly (property-tested in
+//! `tests/spec_roundtrip.rs`).
+
+use super::{NmPattern, PredictorSpec, StrategySpec};
+use crate::error::{DipError, Result};
+
+/// A parsed JSON value (the tiny subset this crate needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (insertion-ordered).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f32(&self) -> Option<f32> {
+        match self {
+            JsonValue::Number(n) => Some(*n as f32),
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u32),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn err(reason: impl Into<String>) -> DipError {
+    DipError::InvalidParameter {
+        name: "json",
+        reason: reason.into(),
+    }
+}
+
+/// Maximum container nesting the parser accepts. Spec files are flat
+/// arrays of flat objects; the bound exists so hostile input fails with a
+/// typed error instead of overflowing the stack.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document.
+///
+/// # Errors
+///
+/// Returns [`DipError::InvalidParameter`] on malformed input, container
+/// nesting deeper than 64 levels, or trailing garbage.
+pub fn parse_json(input: &str) -> Result<JsonValue> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<()> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue> {
+    if depth > MAX_DEPTH {
+        return Err(err(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII digits");
+    text.parse::<f64>()
+        .map(JsonValue::Number)
+        .map_err(|_| err(format!("invalid number `{text}` at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let escaped = bytes
+                    .get(*pos)
+                    .ok_or_else(|| err("unterminated escape sequence"))?;
+                out.push(match escaped {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => return Err(err(format!("unsupported escape `\\{}`", *other as char))),
+                });
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (the input is a valid &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| err("invalid UTF-8"))?;
+                let c = rest.chars().next().expect("non-empty remainder");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(err("unterminated string"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(err(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+/// Formats an `f32` so that parsing the result reproduces the value exactly
+/// (Rust's `{}` emits the shortest round-trip decimal).
+fn fmt_f32(v: f32) -> String {
+    format!("{v}")
+}
+
+impl StrategySpec {
+    /// Serializes the spec as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![format!("\"method\":\"{}\"", self.method_name())];
+        if !matches!(self, StrategySpec::Dense) {
+            fields.push(format!("\"density\":{}", fmt_f32(self.density())));
+        }
+        match *self {
+            StrategySpec::CatsLora { rank, .. } | StrategySpec::DipLora { rank, .. } => {
+                fields.push(format!("\"rank\":{rank}"));
+            }
+            StrategySpec::Predictive { predictor, .. } => {
+                if let Some(hidden) = predictor.hidden {
+                    fields.push(format!("\"hidden\":{hidden}"));
+                }
+                if let Some(epochs) = predictor.epochs {
+                    fields.push(format!("\"epochs\":{epochs}"));
+                }
+            }
+            StrategySpec::SparseGpt { pattern, .. } => {
+                fields.push(format!("\"pattern\":\"{}\"", pattern.name()));
+            }
+            StrategySpec::DipCacheAware { gamma, .. } => {
+                fields.push(format!("\"gamma\":{}", fmt_f32(gamma)));
+            }
+            _ => {}
+        }
+        format!("{{{}}}", fields.join(","))
+    }
+
+    /// Parses a spec from a JSON object produced by [`StrategySpec::to_json`]
+    /// (or hand-written in the same schema). The parsed spec is validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] for malformed JSON, an unknown
+    /// method, a missing/invalid field, or parameters that fail
+    /// [`StrategySpec::validate`].
+    pub fn from_json(input: &str) -> Result<Self> {
+        Self::from_value(&parse_json(input)?)
+    }
+
+    /// Builds a spec from an already parsed [`JsonValue`] object.
+    ///
+    /// # Errors
+    ///
+    /// See [`StrategySpec::from_json`].
+    pub fn from_value(value: &JsonValue) -> Result<Self> {
+        let method = value
+            .get("method")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| err("spec object needs a string `method` field"))?;
+        let density = |v: &JsonValue| -> Result<f32> {
+            v.get("density")
+                .and_then(JsonValue::as_f32)
+                .ok_or_else(|| err(format!("method `{method}` needs a numeric `density`")))
+        };
+        let rank = |v: &JsonValue| -> Result<u32> {
+            v.get("rank")
+                .and_then(JsonValue::as_u32)
+                .ok_or_else(|| err(format!("method `{method}` needs an integer `rank`")))
+        };
+        let spec = match method {
+            "dense" => StrategySpec::Dense,
+            "glu" => StrategySpec::GluPruning {
+                density: density(value)?,
+            },
+            "glu-oracle" => StrategySpec::GluOracle {
+                density: density(value)?,
+            },
+            "gate" => StrategySpec::GatePruning {
+                density: density(value)?,
+            },
+            "up" => StrategySpec::UpPruning {
+                density: density(value)?,
+            },
+            "cats" => StrategySpec::Cats {
+                density: density(value)?,
+            },
+            "cats-lora" => StrategySpec::CatsLora {
+                density: density(value)?,
+                rank: rank(value)?,
+            },
+            "dejavu" => StrategySpec::Predictive {
+                density: density(value)?,
+                predictor: PredictorSpec {
+                    hidden: value.get("hidden").and_then(JsonValue::as_u32),
+                    epochs: value.get("epochs").and_then(JsonValue::as_u32),
+                },
+            },
+            "sparse-gpt" => StrategySpec::SparseGpt {
+                density: density(value)?,
+                pattern: match value.get("pattern") {
+                    None => NmPattern::Unstructured,
+                    Some(p) => p.as_str().and_then(NmPattern::parse).ok_or_else(|| {
+                        err("invalid `pattern` (use \"unstructured\" or \"n:m\")")
+                    })?,
+                },
+            },
+            "dip" => StrategySpec::Dip {
+                density: density(value)?,
+            },
+            "dip-lora" => StrategySpec::DipLora {
+                density: density(value)?,
+                rank: rank(value)?,
+            },
+            "dip-ca" => StrategySpec::DipCacheAware {
+                density: density(value)?,
+                gamma: value
+                    .get("gamma")
+                    .and_then(JsonValue::as_f32)
+                    .ok_or_else(|| err("method `dip-ca` needs a numeric `gamma`"))?,
+            },
+            other => {
+                return Err(err(format!(
+                    "unknown method `{other}` (known: {})",
+                    StrategySpec::METHOD_NAMES.join(", ")
+                )))
+            }
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes a list of specs as a JSON array (one object per line).
+    pub fn list_to_json(specs: &[StrategySpec]) -> String {
+        let items: Vec<String> = specs.iter().map(|s| format!("  {}", s.to_json())).collect();
+        format!("[\n{}\n]\n", items.join(",\n"))
+    }
+
+    /// Parses a JSON array of spec objects (a declarative workload mix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] for malformed JSON, a
+    /// non-array document, or any invalid spec object.
+    pub fn list_from_json(input: &str) -> Result<Vec<StrategySpec>> {
+        match parse_json(input)? {
+            JsonValue::Array(items) => items.iter().map(StrategySpec::from_value).collect(),
+            _ => Err(err("expected a JSON array of spec objects")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_method() {
+        let specs = vec![
+            StrategySpec::Dense,
+            StrategySpec::GluPruning { density: 0.75 },
+            StrategySpec::GluOracle { density: 0.5 },
+            StrategySpec::GatePruning { density: 0.45 },
+            StrategySpec::UpPruning { density: 0.62 },
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::CatsLora {
+                density: 0.55,
+                rank: 8,
+            },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec {
+                    hidden: Some(24),
+                    epochs: Some(3),
+                },
+            },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec::default(),
+            },
+            StrategySpec::SparseGpt {
+                density: 0.5,
+                pattern: NmPattern::NofM { n: 2, m: 4 },
+            },
+            StrategySpec::SparseGpt {
+                density: 0.31,
+                pattern: NmPattern::Unstructured,
+            },
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::DipLora {
+                density: 0.5,
+                rank: 4,
+            },
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            },
+        ];
+        for spec in &specs {
+            let json = spec.to_json();
+            let back = StrategySpec::from_json(&json).unwrap_or_else(|e| {
+                panic!("failed to parse `{json}`: {e}");
+            });
+            assert_eq!(*spec, back, "round trip through `{json}`");
+        }
+        let list = StrategySpec::list_to_json(&specs);
+        assert_eq!(StrategySpec::list_from_json(&list).unwrap(), specs);
+    }
+
+    #[test]
+    fn parses_hand_written_specs() {
+        let spec = StrategySpec::from_json(
+            r#" { "method" : "dip-ca" , "density" : 0.5 , "gamma" : 0.2 } "#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec,
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2
+            }
+        );
+        // pattern defaults to unstructured
+        let spec = StrategySpec::from_json(r#"{"method":"sparse-gpt","density":0.4}"#).unwrap();
+        assert_eq!(
+            spec,
+            StrategySpec::SparseGpt {
+                density: 0.4,
+                pattern: NmPattern::Unstructured
+            }
+        );
+        let list = StrategySpec::list_from_json("[]").unwrap();
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(StrategySpec::from_json("").is_err());
+        assert!(StrategySpec::from_json("{").is_err());
+        assert!(StrategySpec::from_json("{}").is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"warp-drive"}"#).is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"dip"}"#).is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"dip","density":"x"}"#).is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"dip","density":1.7}"#).is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"dip-ca","density":0.5}"#).is_err());
+        assert!(StrategySpec::from_json(r#"{"method":"dip-lora","density":0.5}"#).is_err());
+        assert!(
+            StrategySpec::from_json(r#"{"method":"sparse-gpt","density":0.5,"pattern":"x"}"#)
+                .is_err()
+        );
+        assert!(StrategySpec::from_json(r#"{"method":"dense"} trailing"#).is_err());
+        assert!(StrategySpec::list_from_json(r#"{"method":"dense"}"#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_fails_with_an_error_not_a_stack_overflow() {
+        let hostile = "[".repeat(100_000);
+        assert!(parse_json(&hostile).is_err());
+        let nested = format!("{}1{}", "[".repeat(65), "]".repeat(65));
+        assert!(parse_json(&nested).is_err());
+        let fine = format!("{}1{}", "[".repeat(10), "]".repeat(10));
+        assert!(parse_json(&fine).is_ok());
+    }
+
+    #[test]
+    fn json_value_parser_covers_the_basics() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":true,"c":null,"d":"s\n"}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(2.5),
+                JsonValue::Number(-300.0),
+            ]))
+        );
+        assert_eq!(v.get("b"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("d"), Some(&JsonValue::String("s\n".to_string())));
+        assert_eq!(v.get("missing"), None);
+    }
+}

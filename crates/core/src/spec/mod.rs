@@ -1,0 +1,683 @@
+//! The declarative strategy API: one serializable [`StrategySpec`] per
+//! sparsity method, shared by every harness in the workspace.
+//!
+//! The paper contributes a *family* of dynamic-sparsity methods; this module
+//! is the single place that names them. A spec carries the method, its target
+//! overall MLP weight density and the method-specific parameters (γ for
+//! cache-aware masking, LoRA rank, predictor configuration, N:M pattern), and
+//! owns the metadata every consumer needs:
+//!
+//! * [`StrategySpec::label`] — the stable report label,
+//! * [`StrategySpec::axis_requirements`] — the weight-slicing axis each MLP
+//!   matrix is loaded along (`[up, gate, down]`),
+//! * [`StrategySpec::needs_calibration`] — whether building needs an
+//!   activation trace (CATS thresholds, predictor training, LoRA tuning),
+//! * [`StrategySpec::weight_transform`] — whether the method replaces model
+//!   weights (static pruning, LoRA fusing) before the strategy runs,
+//! * [`StrategySpec::shared_cache_key`] — whether sessions with this spec
+//!   must share one cache-model cell (DIP-CA in a multi-tenant engine),
+//! * [`resolve_axes`] — axis-compatibility across a mix of specs.
+//!
+//! [`registry::StrategyRegistry`] turns a spec into a ready
+//! [`lm::MlpForward`] strategy, memoizing calibration artefacts and handing
+//! every DIP-CA session of a run the *same* shared cache model. Specs
+//! round-trip through JSON ([`StrategySpec::to_json`] /
+//! [`StrategySpec::from_json`]), so workload mixes are declarative: the
+//! serving harness accepts a JSON list of specs and needs no recompilation
+//! for a new mix.
+
+pub mod json;
+pub mod registry;
+
+pub use registry::{BuildEnv, BuiltStrategy, SharedMlpForward, StrategyRegistry};
+
+use crate::error::{DipError, Result};
+use crate::threshold::SparsityScheme;
+use lm::SliceAxis;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the trained predictor behind DejaVu-style pruning.
+///
+/// `None` fields resolve at build time: `hidden` falls back to the
+/// registry's configured default (see
+/// [`StrategyRegistry::set_predictor_defaults`]) or, absent that, to the
+/// model-derived `max(d_model / 2, 16)`; `epochs` falls back to the
+/// registry's default epoch count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictorSpec {
+    /// Hidden width of each per-layer predictor.
+    pub hidden: Option<u32>,
+    /// Training epochs over the calibration trace.
+    pub epochs: Option<u32>,
+}
+
+/// Sparsity pattern of a SparseGPT-style static pruner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NmPattern {
+    /// Unstructured magnitude pruning to the target density.
+    Unstructured,
+    /// Semi-structured N:M pruning (keep `n` of every `m` weights).
+    NofM {
+        /// Weights kept per group.
+        n: u32,
+        /// Group size.
+        m: u32,
+    },
+}
+
+impl NmPattern {
+    /// The density this pattern realises regardless of the requested target
+    /// (`None` for unstructured pruning, which hits any target).
+    pub fn implied_density(&self) -> Option<f32> {
+        match self {
+            NmPattern::Unstructured => None,
+            NmPattern::NofM { n, m } => Some(*n as f32 / *m as f32),
+        }
+    }
+
+    /// Short pattern name (`unstructured`, `2:4`, …).
+    pub fn name(&self) -> String {
+        match self {
+            NmPattern::Unstructured => "unstructured".to_string(),
+            NmPattern::NofM { n, m } => format!("{n}:{m}"),
+        }
+    }
+
+    /// Parses a pattern name produced by [`NmPattern::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "unstructured" {
+            return Some(NmPattern::Unstructured);
+        }
+        let (n, m) = s.split_once(':')?;
+        Some(NmPattern::NofM {
+            n: n.parse().ok()?,
+            m: m.parse().ok()?,
+        })
+    }
+}
+
+/// A weight transform a spec requires *before* its strategy runs: these
+/// methods replace model weights (offline surgery), which a per-request
+/// serving engine cannot do against a shared model but the experiment
+/// workbench applies when preparing a method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightTransform {
+    /// SparseGPT-style static magnitude pruning of the MLP weights.
+    SparseGpt {
+        /// The sparsity pattern.
+        pattern: NmPattern,
+    },
+    /// Fuse LoRA adapters fine-tuned against the DIP mask.
+    LoraDip {
+        /// LoRA rank.
+        rank: u32,
+    },
+    /// Fuse LoRA adapters fine-tuned against the CATS mask.
+    LoraCats {
+        /// LoRA rank.
+        rank: u32,
+    },
+}
+
+/// One declarative sparsity strategy: method + target overall MLP weight
+/// density + method-specific parameters.
+///
+/// `density` is always the *target overall MLP weight density* in `(0, 1]`;
+/// builders convert it to per-matrix activation densities through
+/// [`SparsityScheme`] exactly as the paper's evaluation does.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategySpec {
+    /// Stream the dense model (every weight column, every token).
+    Dense,
+    /// GLU pruning: dense GLU, prune columns of `W_d` only (density ≥ 2/3).
+    GluPruning {
+        /// Target MLP weight density in `[2/3 .., 1]`.
+        density: f32,
+    },
+    /// GLU pruning with a perfect (oracle) neuron predictor.
+    GluOracle {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+    },
+    /// Gate pruning: select neurons from the densely computed gate signal.
+    GatePruning {
+        /// Target MLP weight density in `(1/3 .., 1]`.
+        density: f32,
+    },
+    /// Up pruning: select neurons from the densely computed up signal.
+    UpPruning {
+        /// Target MLP weight density in `(1/3 .., 1]`.
+        density: f32,
+    },
+    /// CATS per-layer threshold pruning (needs a calibration trace).
+    Cats {
+        /// Target MLP weight density in `(1/3 .., 1]`.
+        density: f32,
+    },
+    /// CATS with fused LoRA adapters (weight transform + calibration).
+    CatsLora {
+        /// Target MLP weight density in `(1/3 .., 1]`.
+        density: f32,
+        /// LoRA rank.
+        rank: u32,
+    },
+    /// DejaVu-style predictive GLU pruning (trains predictors from a trace).
+    Predictive {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+        /// Predictor configuration.
+        predictor: PredictorSpec,
+    },
+    /// SparseGPT-style static pruning (weight transform; dense access).
+    SparseGpt {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+        /// Sparsity pattern.
+        pattern: NmPattern,
+    },
+    /// Dynamic Input Pruning at a target overall MLP weight density.
+    Dip {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+    },
+    /// DIP with fused LoRA adapters (weight transform).
+    DipLora {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+        /// LoRA rank.
+        rank: u32,
+    },
+    /// Cache-aware DIP: selection re-weighted by the (shared) DRAM cache
+    /// state.
+    DipCacheAware {
+        /// Target MLP weight density in `(0, 1]`.
+        density: f32,
+        /// Cache-aware penalty γ in `(0, 1]` (the paper uses 0.2).
+        gamma: f32,
+    },
+}
+
+/// Quantises a float parameter for use in a sharing/memoization key.
+pub(crate) fn param_key(v: f32) -> u32 {
+    (v * 10_000.0).round() as u32
+}
+
+impl StrategySpec {
+    /// Every method name understood by [`StrategySpec::from_json`], in the
+    /// strategy table's order.
+    pub const METHOD_NAMES: [&'static str; 12] = [
+        "dense",
+        "glu",
+        "glu-oracle",
+        "gate",
+        "up",
+        "cats",
+        "cats-lora",
+        "dejavu",
+        "sparse-gpt",
+        "dip",
+        "dip-lora",
+        "dip-ca",
+    ];
+
+    /// The method's stable kebab-case name (the `method` key in JSON).
+    pub fn method_name(&self) -> &'static str {
+        match self {
+            StrategySpec::Dense => "dense",
+            StrategySpec::GluPruning { .. } => "glu",
+            StrategySpec::GluOracle { .. } => "glu-oracle",
+            StrategySpec::GatePruning { .. } => "gate",
+            StrategySpec::UpPruning { .. } => "up",
+            StrategySpec::Cats { .. } => "cats",
+            StrategySpec::CatsLora { .. } => "cats-lora",
+            StrategySpec::Predictive { .. } => "dejavu",
+            StrategySpec::SparseGpt { .. } => "sparse-gpt",
+            StrategySpec::Dip { .. } => "dip",
+            StrategySpec::DipLora { .. } => "dip-lora",
+            StrategySpec::DipCacheAware { .. } => "dip-ca",
+        }
+    }
+
+    /// The target overall MLP weight density (1.0 for the dense model).
+    pub fn density(&self) -> f32 {
+        match *self {
+            StrategySpec::Dense => 1.0,
+            StrategySpec::GluPruning { density }
+            | StrategySpec::GluOracle { density }
+            | StrategySpec::GatePruning { density }
+            | StrategySpec::UpPruning { density }
+            | StrategySpec::Cats { density }
+            | StrategySpec::CatsLora { density, .. }
+            | StrategySpec::Predictive { density, .. }
+            | StrategySpec::SparseGpt { density, .. }
+            | StrategySpec::Dip { density }
+            | StrategySpec::DipLora { density, .. }
+            | StrategySpec::DipCacheAware { density, .. } => density,
+        }
+    }
+
+    /// Short label used in reports; stable across serialization round-trips.
+    pub fn label(&self) -> String {
+        match self {
+            StrategySpec::Dense => "dense".to_string(),
+            StrategySpec::GluPruning { density } => format!("glu@{density:.2}"),
+            StrategySpec::GluOracle { density } => format!("glu-oracle@{density:.2}"),
+            StrategySpec::GatePruning { density } => format!("gate@{density:.2}"),
+            StrategySpec::UpPruning { density } => format!("up@{density:.2}"),
+            StrategySpec::Cats { density } => format!("cats@{density:.2}"),
+            StrategySpec::CatsLora { density, rank } => format!("cats+lora{rank}@{density:.2}"),
+            StrategySpec::Predictive { density, .. } => format!("dejavu@{density:.2}"),
+            StrategySpec::SparseGpt { density, pattern } => {
+                format!("sparse-gpt[{}]@{density:.2}", pattern.name())
+            }
+            StrategySpec::Dip { density } => format!("dip@{density:.2}"),
+            StrategySpec::DipLora { density, rank } => format!("dip+lora{rank}@{density:.2}"),
+            StrategySpec::DipCacheAware { density, gamma } => {
+                format!("dip-ca@{density:.2}(g={gamma})")
+            }
+        }
+    }
+
+    /// The weight-slicing axis each MLP matrix is loaded along
+    /// (`[up, gate, down]`); `None` means dense access, which is compatible
+    /// with any axis.
+    pub fn axis_requirements(&self) -> [Option<SliceAxis>; 3] {
+        match self {
+            StrategySpec::Dense | StrategySpec::SparseGpt { .. } => [None, None, None],
+            // GLU pruning computes up/gate densely and prunes W_d columns.
+            StrategySpec::GluPruning { .. } => [None, None, Some(SliceAxis::Input)],
+            // Whole-neuron schemes: rows of W_u/W_g, columns of W_d.
+            StrategySpec::GluOracle { .. } | StrategySpec::Predictive { .. } => [
+                Some(SliceAxis::Output),
+                Some(SliceAxis::Output),
+                Some(SliceAxis::Input),
+            ],
+            StrategySpec::GatePruning { .. }
+            | StrategySpec::Cats { .. }
+            | StrategySpec::CatsLora { .. } => {
+                [Some(SliceAxis::Output), None, Some(SliceAxis::Input)]
+            }
+            StrategySpec::UpPruning { .. } => {
+                [None, Some(SliceAxis::Output), Some(SliceAxis::Input)]
+            }
+            StrategySpec::Dip { .. }
+            | StrategySpec::DipLora { .. }
+            | StrategySpec::DipCacheAware { .. } => [
+                Some(SliceAxis::Input),
+                Some(SliceAxis::Input),
+                Some(SliceAxis::Input),
+            ],
+        }
+    }
+
+    /// Whether building this spec needs a calibration activation trace
+    /// (CATS thresholds, predictor training, LoRA fine-tuning).
+    pub fn needs_calibration(&self) -> bool {
+        matches!(
+            self,
+            StrategySpec::Cats { .. }
+                | StrategySpec::CatsLora { .. }
+                | StrategySpec::DipLora { .. }
+                | StrategySpec::Predictive { .. }
+        )
+    }
+
+    /// The offline weight transform this spec requires, if any. Specs with a
+    /// transform cannot run per-request against a shared model (the serving
+    /// engine rejects them); the experiment workbench applies the transform
+    /// when preparing the method.
+    pub fn weight_transform(&self) -> Option<WeightTransform> {
+        match *self {
+            StrategySpec::SparseGpt { pattern, .. } => Some(WeightTransform::SparseGpt { pattern }),
+            StrategySpec::DipLora { rank, .. } => Some(WeightTransform::LoraDip { rank }),
+            StrategySpec::CatsLora { rank, .. } => Some(WeightTransform::LoraCats { rank }),
+            _ => None,
+        }
+    }
+
+    /// Whether this spec's per-token weight selection depends on the input
+    /// (dynamic sparsity) rather than being fixed offline.
+    pub fn is_dynamic(&self) -> bool {
+        !matches!(self, StrategySpec::Dense | StrategySpec::SparseGpt { .. })
+    }
+
+    /// The cache-model sharing key: sessions whose specs return the same
+    /// `Some(key)` must consult *one* shared cache model (DIP-CA in a
+    /// multi-tenant engine, where the physical DRAM cache is shared).
+    /// `None` for strategies without cache-dependent state.
+    pub fn shared_cache_key(&self) -> Option<(u32, u32)> {
+        match *self {
+            StrategySpec::DipCacheAware { density, gamma } => {
+                Some((param_key(density), param_key(gamma)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Validates every parameter of the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] for densities outside the
+    /// method's reachable range (e.g. GLU pruning below 2/3), γ outside
+    /// `(0, 1]`, a zero LoRA rank, an inconsistent N:M pattern, or an N:M
+    /// pattern whose implied density is far from the requested target.
+    pub fn validate(&self) -> Result<()> {
+        let density = self.density();
+        if !(density.is_finite() && density > 0.0 && density <= 1.0) {
+            return Err(DipError::InvalidParameter {
+                name: "density",
+                reason: format!("must be in (0, 1], got {density}"),
+            });
+        }
+        match *self {
+            StrategySpec::GluPruning { density } => {
+                SparsityScheme::DownOnly.activation_density_for_target(density)?;
+            }
+            StrategySpec::GatePruning { density }
+            | StrategySpec::UpPruning { density }
+            | StrategySpec::Cats { density }
+            | StrategySpec::CatsLora { density, .. } => {
+                SparsityScheme::TwoOfThree.activation_density_for_target(density)?;
+            }
+            StrategySpec::DipCacheAware { gamma, .. }
+                if !(gamma.is_finite() && gamma > 0.0 && gamma <= 1.0) =>
+            {
+                return Err(DipError::InvalidParameter {
+                    name: "gamma",
+                    reason: format!("must be in (0, 1], got {gamma}"),
+                });
+            }
+            StrategySpec::SparseGpt { density, pattern } => {
+                if let NmPattern::NofM { n, m } = pattern {
+                    if n == 0 || m == 0 || n >= m {
+                        return Err(DipError::InvalidParameter {
+                            name: "pattern",
+                            reason: format!("N:M pattern needs 0 < n < m, got {n}:{m}"),
+                        });
+                    }
+                }
+                if let Some(implied) = pattern.implied_density() {
+                    if (implied - density).abs() > 0.05 {
+                        return Err(DipError::InvalidParameter {
+                            name: "density",
+                            reason: format!(
+                                "{} pruning only realises {implied:.2} density, not {density:.2}",
+                                pattern.name()
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let StrategySpec::CatsLora { rank: 0, .. } | StrategySpec::DipLora { rank: 0, .. } =
+            *self
+        {
+            return Err(DipError::InvalidParameter {
+                name: "rank",
+                reason: "LoRA rank must be at least 1".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Checks that every spec's axis demands agree per matrix, returning the
+/// resolved axes (`[up, gate, down]`, defaulting to the input axis wherever
+/// every spec is dense).
+///
+/// Slices along different axes cannot share one column cache, so a serving
+/// run must reject e.g. a CATS request (output-axis `W_u`) next to a DIP
+/// request (input-axis `W_u`) before any token is served.
+///
+/// # Errors
+///
+/// Returns [`DipError::IncompatibleSpecs`] on a conflict.
+pub fn resolve_axes(specs: &[StrategySpec]) -> Result<[SliceAxis; 3]> {
+    let names = ["up", "gate", "down"];
+    let mut resolved: [Option<SliceAxis>; 3] = [None, None, None];
+    for spec in specs {
+        for (i, need) in spec.axis_requirements().iter().enumerate() {
+            match (resolved[i], *need) {
+                (_, None) => {}
+                (None, Some(a)) => resolved[i] = Some(a),
+                (Some(a), Some(b)) if a == b => {}
+                (Some(a), Some(b)) => {
+                    return Err(DipError::IncompatibleSpecs {
+                        reason: format!(
+                            "matrix `{}` is sliced along {a:?} by one spec and {b:?} by `{}`; \
+                             slices along different axes cannot share one column cache",
+                            names[i],
+                            spec.label()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok([
+        resolved[0].unwrap_or(SliceAxis::Input),
+        resolved[1].unwrap_or(SliceAxis::Input),
+        resolved[2].unwrap_or(SliceAxis::Input),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs() -> Vec<StrategySpec> {
+        vec![
+            StrategySpec::Dense,
+            StrategySpec::GluPruning { density: 0.75 },
+            StrategySpec::GluOracle { density: 0.5 },
+            StrategySpec::GatePruning { density: 0.5 },
+            StrategySpec::UpPruning { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::CatsLora {
+                density: 0.5,
+                rank: 8,
+            },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec::default(),
+            },
+            StrategySpec::SparseGpt {
+                density: 0.5,
+                pattern: NmPattern::NofM { n: 2, m: 4 },
+            },
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::DipLora {
+                density: 0.5,
+                rank: 8,
+            },
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn labels_and_method_names_are_distinct() {
+        let specs = all_specs();
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(StrategySpec::label).collect();
+        assert_eq!(labels.len(), specs.len());
+        let names: std::collections::HashSet<&str> =
+            specs.iter().map(StrategySpec::method_name).collect();
+        assert_eq!(names.len(), specs.len());
+        for spec in &specs {
+            assert!(StrategySpec::METHOD_NAMES.contains(&spec.method_name()));
+            assert_eq!(spec.to_string(), spec.label());
+        }
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for spec in all_specs() {
+            assert!(spec.validate().is_ok(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(StrategySpec::Dip { density: 0.0 }.validate().is_err());
+        assert!(StrategySpec::Dip { density: 1.5 }.validate().is_err());
+        assert!(StrategySpec::Dip { density: f32::NAN }.validate().is_err());
+        // GLU pruning cannot reach 50 % density (W_u/W_g stay dense).
+        assert!(StrategySpec::GluPruning { density: 0.5 }
+            .validate()
+            .is_err());
+        assert!(StrategySpec::GatePruning { density: 0.2 }
+            .validate()
+            .is_err());
+        assert!(StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(StrategySpec::DipLora {
+            density: 0.5,
+            rank: 0
+        }
+        .validate()
+        .is_err());
+        // 2:4 pruning realises 0.5 density, not 0.8.
+        assert!(StrategySpec::SparseGpt {
+            density: 0.8,
+            pattern: NmPattern::NofM { n: 2, m: 4 }
+        }
+        .validate()
+        .is_err());
+        assert!(StrategySpec::SparseGpt {
+            density: 0.5,
+            pattern: NmPattern::NofM { n: 4, m: 4 }
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn metadata_flags() {
+        assert!(!StrategySpec::Dense.is_dynamic());
+        assert!(StrategySpec::Dip { density: 0.5 }.is_dynamic());
+        assert!(StrategySpec::Cats { density: 0.5 }.needs_calibration());
+        assert!(StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec::default()
+        }
+        .needs_calibration());
+        assert!(!StrategySpec::Dip { density: 0.5 }.needs_calibration());
+        assert!(StrategySpec::SparseGpt {
+            density: 0.5,
+            pattern: NmPattern::Unstructured
+        }
+        .weight_transform()
+        .is_some());
+        assert!(StrategySpec::Dip { density: 0.5 }
+            .weight_transform()
+            .is_none());
+        assert!(StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.2
+        }
+        .shared_cache_key()
+        .is_some());
+        assert!(StrategySpec::Dip { density: 0.5 }
+            .shared_cache_key()
+            .is_none());
+        assert_eq!(StrategySpec::Dense.density(), 1.0);
+    }
+
+    #[test]
+    fn shared_cache_keys_distinguish_parameters() {
+        let a = StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.2,
+        };
+        let b = StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.9,
+        };
+        let c = StrategySpec::DipCacheAware {
+            density: 0.4,
+            gamma: 0.2,
+        };
+        assert_ne!(a.shared_cache_key(), b.shared_cache_key());
+        assert_ne!(a.shared_cache_key(), c.shared_cache_key());
+        assert_eq!(a.shared_cache_key(), a.shared_cache_key());
+    }
+
+    #[test]
+    fn axis_resolution_accepts_input_axis_family() {
+        let axes = resolve_axes(&[
+            StrategySpec::Dense,
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::GluPruning { density: 0.75 },
+            StrategySpec::DipCacheAware {
+                density: 0.4,
+                gamma: 0.2,
+            },
+        ])
+        .unwrap();
+        assert_eq!(axes, [SliceAxis::Input; 3]);
+    }
+
+    #[test]
+    fn axis_resolution_accepts_output_axis_family() {
+        let axes = resolve_axes(&[
+            StrategySpec::Dense,
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::GatePruning { density: 0.5 },
+            StrategySpec::UpPruning { density: 0.5 },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec::default(),
+            },
+        ])
+        .unwrap();
+        assert_eq!(axes[0], SliceAxis::Output);
+        assert_eq!(axes[1], SliceAxis::Output);
+        assert_eq!(axes[2], SliceAxis::Input);
+    }
+
+    #[test]
+    fn axis_resolution_rejects_mixed_axes() {
+        let err = resolve_axes(&[
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DipError::IncompatibleSpecs { .. }));
+        let err = resolve_axes(&[
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec::default(),
+            },
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DipError::IncompatibleSpecs { .. }));
+    }
+
+    #[test]
+    fn empty_mix_defaults_to_input_axes() {
+        assert_eq!(resolve_axes(&[]).unwrap(), [SliceAxis::Input; 3]);
+        assert_eq!(
+            resolve_axes(&[StrategySpec::Dense]).unwrap(),
+            [SliceAxis::Input; 3]
+        );
+    }
+}

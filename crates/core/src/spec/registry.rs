@@ -1,0 +1,667 @@
+//! Turning a [`StrategySpec`] into a ready [`lm::MlpForward`] strategy.
+//!
+//! [`StrategyRegistry`] owns the construction knowledge that used to be
+//! scattered across the serving engine and the experiment workbench:
+//!
+//! * density conversion through [`SparsityScheme`] and the DIP
+//!   [`DensityAllocation`] split,
+//! * **calibration hooks** — CATS thresholds are calibrated once per density
+//!   and memoized; DejaVu predictors are trained once per configuration and
+//!   memoized,
+//! * **shared state** — every DIP-CA spec with the same `(density, γ)` gets
+//!   the *same* [`SharedMlpForward`] cell, so in a multi-tenant engine all
+//!   of its sessions consult one cache model (the physical DRAM cache is
+//!   shared; per-session copies would optimise for a cache that does not
+//!   exist), and [`StrategyRegistry::observe_cross_traffic`] feeds co-tenant
+//!   traffic into each shared model.
+//!
+//! Weight transforms ([`StrategySpec::weight_transform`]) are *not* applied
+//! here — they are offline model surgery (static pruning, LoRA fusing) owned
+//! by the caller that owns the model (the experiment workbench); the
+//! registry builds the runtime strategy that runs on the transformed model.
+
+use crate::allocation::DensityAllocation;
+use crate::error::{DipError, Result};
+use crate::predictor::{train_predictors, Predictor, PredictorTrainingConfig};
+use crate::spec::{param_key, StrategySpec};
+use crate::strategies::{
+    CatsPruning, Dip, DipCacheAware, GatePruning, GluOraclePruning, GluPruning,
+    PredictiveGluPruning, UpPruning,
+};
+use crate::threshold::SparsityScheme;
+use hwsim::BlockCacheCapacity;
+use lm::mlp::DenseMlp;
+use lm::{ActivationTrace, GluMlp, MlpForward, MlpForwardOutput, TransformerModel};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything a registry needs to build strategies for one model.
+pub struct BuildEnv<'a> {
+    /// The model the strategies will run on (pre-transform weights; CATS
+    /// calibration and predictor training read it).
+    pub model: &'a TransformerModel,
+    /// Calibration activation trace, required by specs with
+    /// [`StrategySpec::needs_calibration`].
+    pub calibration: Option<&'a ActivationTrace>,
+    /// Per-layer cache capacities sizing DIP-CA's cache model (from the same
+    /// DRAM allocation the simulator uses); required by DIP-CA specs.
+    pub capacities: Option<&'a [BlockCacheCapacity]>,
+}
+
+/// A built strategy plus its static memory footprint.
+pub struct BuiltStrategy {
+    /// The ready MLP forward strategy.
+    pub strategy: Box<dyn MlpForward>,
+    /// Extra bytes the method pins in DRAM (e.g. DejaVu predictors at FP16).
+    pub overhead_bytes: u64,
+}
+
+impl std::fmt::Debug for BuiltStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltStrategy")
+            .field("strategy", &self.strategy.name())
+            .field("overhead_bytes", &self.overhead_bytes)
+            .finish()
+    }
+}
+
+/// One strategy instance shared by several sessions (interior-mutable
+/// because [`MlpForward::forward`] takes `&mut self` and sessions
+/// interleave). Used for DIP-CA, whose cache model must be shared by every
+/// session that shares the physical DRAM cache.
+#[derive(Clone)]
+pub struct SharedMlpForward {
+    inner: Rc<RefCell<DipCacheAware>>,
+}
+
+impl SharedMlpForward {
+    /// Wraps a cache-aware strategy for shared use.
+    pub fn new(strategy: DipCacheAware) -> Self {
+        SharedMlpForward {
+            inner: Rc::new(RefCell::new(strategy)),
+        }
+    }
+
+    /// Feeds a co-tenant's weight accesses into the shared cache model (see
+    /// [`DipCacheAware::observe_access`]).
+    pub fn observe_access(&self, layer: usize, input_cols: &[usize], glu_cols: &[usize]) {
+        self.inner
+            .borrow_mut()
+            .observe_access(layer, input_cols, glu_cols);
+    }
+}
+
+impl MlpForward for SharedMlpForward {
+    fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> lm::Result<MlpForwardOutput> {
+        self.inner.borrow_mut().forward(layer, mlp, x)
+    }
+
+    fn name(&self) -> String {
+        format!("shared({})", self.inner.borrow().name())
+    }
+
+    fn reset(&mut self) {
+        self.inner.borrow_mut().reset();
+    }
+}
+
+/// Builds strategies from specs, memoizing calibration artefacts and shared
+/// cache-model cells across the lifetime of one run.
+pub struct StrategyRegistry {
+    allocation: DensityAllocation,
+    predictor_defaults: PredictorTrainingConfig,
+    /// `Some` once [`StrategyRegistry::set_predictor_defaults`] has been
+    /// called: the configured hidden width then overrides the model-derived
+    /// formula for specs that leave `hidden` unset.
+    predictor_hidden_default: Option<usize>,
+    shared_dip_ca: Vec<((u32, u32), SharedMlpForward)>,
+    calibrated_cats: Vec<(u32, CatsPruning)>,
+    trained_predictors: Vec<((usize, usize), Vec<Predictor>)>,
+}
+
+impl StrategyRegistry {
+    /// Creates a registry with the balanced density allocation and default
+    /// predictor-training hyper-parameters.
+    pub fn new() -> Self {
+        StrategyRegistry {
+            allocation: DensityAllocation::balanced(),
+            predictor_defaults: PredictorTrainingConfig::default(),
+            predictor_hidden_default: None,
+            shared_dip_ca: Vec::new(),
+            calibrated_cats: Vec::new(),
+            trained_predictors: Vec::new(),
+        }
+    }
+
+    /// The density allocation model used to split DIP's budget.
+    pub fn allocation(&self) -> DensityAllocation {
+        self.allocation
+    }
+
+    /// Replaces the density allocation model (e.g. with a fitted one from
+    /// the Appendix B.1 experiment).
+    pub fn set_allocation(&mut self, allocation: DensityAllocation) {
+        self.allocation = allocation;
+    }
+
+    /// Replaces the default predictor-training hyper-parameters used when a
+    /// [`super::PredictorSpec`] leaves fields unset. Every field is honored:
+    /// `defaults.hidden` becomes the fallback hidden width (instead of the
+    /// model-derived `max(d_model / 2, 16)`), `defaults.epochs` the fallback
+    /// epoch count, and learning rate / target fraction / seed apply to all
+    /// subsequent training runs.
+    pub fn set_predictor_defaults(&mut self, defaults: PredictorTrainingConfig) {
+        self.predictor_hidden_default = Some(defaults.hidden);
+        self.predictor_defaults = defaults;
+    }
+
+    /// Number of distinct shared DIP-CA cache-model cells built so far.
+    pub fn shared_cell_count(&self) -> usize {
+        self.shared_dip_ca.len()
+    }
+
+    /// Number of distinct CATS calibrations memoized so far.
+    pub fn calibrated_cats_count(&self) -> usize {
+        self.calibrated_cats.len()
+    }
+
+    fn calibration<'a>(env: &BuildEnv<'a>, spec: &StrategySpec) -> Result<&'a ActivationTrace> {
+        env.calibration.ok_or_else(|| DipError::InvalidParameter {
+            name: "calibration",
+            reason: format!("`{}` requires a calibration trace", spec.label()),
+        })
+    }
+
+    fn cats(
+        &mut self,
+        env: &BuildEnv<'_>,
+        spec: &StrategySpec,
+        density: f32,
+    ) -> Result<CatsPruning> {
+        // Thresholds depend only on (model, density): calibrate once per
+        // density and clone for each session.
+        let key = param_key(density);
+        if let Some((_, cats)) = self.calibrated_cats.iter().find(|(k, _)| *k == key) {
+            return Ok(cats.clone());
+        }
+        let trace = Self::calibration(env, spec)?;
+        let neuron_density = SparsityScheme::TwoOfThree.activation_density_for_target(density)?;
+        let cats = CatsPruning::calibrate(env.model, trace, neuron_density)?;
+        self.calibrated_cats.push((key, cats.clone()));
+        Ok(cats)
+    }
+
+    fn predictors(
+        &mut self,
+        env: &BuildEnv<'_>,
+        spec: &StrategySpec,
+        predictor: super::PredictorSpec,
+    ) -> Result<Vec<Predictor>> {
+        let hidden = predictor.hidden.map(|h| h as usize).unwrap_or_else(|| {
+            self.predictor_hidden_default
+                .unwrap_or_else(|| (env.model.config.d_model / 2).max(16))
+        });
+        let epochs = predictor
+            .epochs
+            .map(|e| e as usize)
+            .unwrap_or(self.predictor_defaults.epochs);
+        let key = (hidden, epochs);
+        if let Some((_, trained)) = self.trained_predictors.iter().find(|(k, _)| *k == key) {
+            return Ok(trained.clone());
+        }
+        let trace = Self::calibration(env, spec)?;
+        let cfg = PredictorTrainingConfig {
+            hidden,
+            epochs,
+            ..self.predictor_defaults
+        };
+        let trained = train_predictors(env.model, trace, &cfg)?;
+        self.trained_predictors.push((key, trained.clone()));
+        Ok(trained)
+    }
+
+    /// Builds the runtime strategy for a spec.
+    ///
+    /// Weight-transforming specs ([`StrategySpec::weight_transform`]) get
+    /// the strategy that runs *after* the transform (dense access for
+    /// SparseGPT, the base mask for LoRA variants); applying the transform to
+    /// the model is the caller's responsibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DipError::InvalidParameter`] when the spec fails
+    /// [`StrategySpec::validate`], when a calibration-requiring spec is built
+    /// without `env.calibration`, or when a DIP-CA spec is built without
+    /// `env.capacities`; propagates construction/calibration/training errors.
+    pub fn build(&mut self, spec: &StrategySpec, env: &BuildEnv<'_>) -> Result<BuiltStrategy> {
+        spec.validate()?;
+        let plain = |strategy: Box<dyn MlpForward>| BuiltStrategy {
+            strategy,
+            overhead_bytes: 0,
+        };
+        Ok(match *spec {
+            StrategySpec::Dense | StrategySpec::SparseGpt { .. } => plain(Box::new(DenseMlp)),
+            StrategySpec::GluPruning { density } => {
+                let d = SparsityScheme::DownOnly.activation_density_for_target(density)?;
+                plain(Box::new(GluPruning::new(d)?))
+            }
+            StrategySpec::GluOracle { density } => plain(Box::new(GluOraclePruning::new(density)?)),
+            StrategySpec::GatePruning { density } => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(density)?;
+                plain(Box::new(GatePruning::new(d)?))
+            }
+            StrategySpec::UpPruning { density } => {
+                let d = SparsityScheme::TwoOfThree.activation_density_for_target(density)?;
+                plain(Box::new(UpPruning::new(d)?))
+            }
+            StrategySpec::Cats { density } | StrategySpec::CatsLora { density, .. } => {
+                plain(Box::new(self.cats(env, spec, density)?))
+            }
+            StrategySpec::Predictive { density, predictor } => {
+                let predictors = self.predictors(env, spec, predictor)?;
+                let params: usize = predictors.iter().map(Predictor::num_params).sum();
+                BuiltStrategy {
+                    strategy: Box::new(PredictiveGluPruning::new(predictors, density)?),
+                    // predictors are pinned in DRAM at FP16
+                    overhead_bytes: (params * 2) as u64,
+                }
+            }
+            StrategySpec::Dip { density } | StrategySpec::DipLora { density, .. } => plain(
+                Box::new(Dip::for_target_density(density, &self.allocation)?),
+            ),
+            StrategySpec::DipCacheAware { density, gamma } => {
+                let key = spec.shared_cache_key().expect("DIP-CA has a sharing key");
+                if let Some((_, shared)) = self.shared_dip_ca.iter().find(|(k, _)| *k == key) {
+                    return Ok(plain(Box::new(shared.clone())));
+                }
+                let capacities = env.capacities.ok_or_else(|| DipError::InvalidParameter {
+                    name: "capacities",
+                    reason: format!(
+                        "`{}` needs per-layer cache capacities (a device allocation)",
+                        spec.label()
+                    ),
+                })?;
+                let (input_d, glu_d) = self.allocation.split(density)?;
+                let strategy = DipCacheAware::new(
+                    input_d,
+                    glu_d,
+                    gamma,
+                    env.model.config.d_model,
+                    env.model.config.d_ff,
+                    capacities.to_vec(),
+                )?;
+                let shared = SharedMlpForward::new(strategy);
+                self.shared_dip_ca.push((key, shared.clone()));
+                plain(Box::new(shared))
+            }
+        })
+    }
+
+    /// Feeds one served token's weight accesses into every shared DIP-CA
+    /// cache model except the one that produced it (`served`, a
+    /// [`StrategySpec::shared_cache_key`]) — its own forward pass already
+    /// updated itself. This keeps each cache-aware mask consistent with the
+    /// *shared* DRAM cache that all tenants' traffic flows through.
+    ///
+    /// Axis note: mixes of DIP-CA with output-axis strategies are rejected
+    /// by [`super::resolve_axes`] before any token is served, so the `up`
+    /// and `down` records seen here are always input-axis (or dense `All`).
+    pub fn observe_cross_traffic(
+        &self,
+        served: Option<(u32, u32)>,
+        records: &[lm::MlpAccessRecord],
+        d_model: usize,
+        d_ff: usize,
+    ) {
+        if self.shared_dip_ca.iter().all(|(k, _)| served == Some(*k)) {
+            return;
+        }
+        // materialise the per-layer column indices once, not once per model
+        let per_layer: Vec<(Vec<usize>, Vec<usize>)> = records
+            .iter()
+            .map(|rec| {
+                (
+                    rec.up.slices.indices(d_model),
+                    rec.down.slices.indices(d_ff),
+                )
+            })
+            .collect();
+        for (k, shared) in &self.shared_dip_ca {
+            if served == Some(*k) {
+                continue;
+            }
+            for (layer, (input_cols, glu_cols)) in per_layer.iter().enumerate() {
+                shared.observe_access(layer, input_cols, glu_cols);
+            }
+        }
+    }
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> Self {
+        StrategyRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PredictorSpec;
+    use lm::{build_synthetic, ModelConfig};
+
+    fn capacities(config: &ModelConfig) -> Vec<BlockCacheCapacity> {
+        (0..config.n_layers)
+            .map(|_| BlockCacheCapacity {
+                up: config.d_model / 2,
+                gate: config.d_model / 2,
+                down: config.d_ff / 2,
+            })
+            .collect()
+    }
+
+    fn model() -> TransformerModel {
+        build_synthetic(&ModelConfig::tiny(), 5).unwrap()
+    }
+
+    fn trace(model: &TransformerModel) -> ActivationTrace {
+        let seqs = lm::eval::standard_eval_corpus(model, 2, 12, 1).unwrap();
+        lm::trace::collect_activation_trace(model, &seqs).unwrap()
+    }
+
+    #[test]
+    fn every_non_shared_spec_builds_and_runs() {
+        let model = model();
+        let trace = trace(&model);
+        let mut registry = StrategyRegistry::new();
+        let env = BuildEnv {
+            model: &model,
+            calibration: Some(&trace),
+            capacities: None,
+        };
+        let specs = vec![
+            StrategySpec::Dense,
+            StrategySpec::GluPruning { density: 0.75 },
+            StrategySpec::GluOracle { density: 0.5 },
+            StrategySpec::GatePruning { density: 0.5 },
+            StrategySpec::UpPruning { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec {
+                    hidden: Some(16),
+                    epochs: Some(1),
+                },
+            },
+            StrategySpec::SparseGpt {
+                density: 0.5,
+                pattern: crate::spec::NmPattern::NofM { n: 2, m: 4 },
+            },
+            StrategySpec::Dip { density: 0.5 },
+        ];
+        let x = vec![0.2f32; model.config.d_model];
+        let mlp = &model.layers[0].mlp;
+        for spec in &specs {
+            let mut built = registry.build(spec, &env).unwrap();
+            assert!(
+                built.strategy.forward(0, mlp, &x).is_ok(),
+                "{}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn predictive_reports_overhead_and_memoizes_training() {
+        let model = model();
+        let trace = trace(&model);
+        let mut registry = StrategyRegistry::new();
+        let env = BuildEnv {
+            model: &model,
+            calibration: Some(&trace),
+            capacities: None,
+        };
+        let spec = StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec {
+                hidden: Some(16),
+                epochs: Some(1),
+            },
+        };
+        let built = registry.build(&spec, &env).unwrap();
+        assert!(built.overhead_bytes > 0);
+        registry.build(&spec, &env).unwrap();
+        assert_eq!(registry.trained_predictors.len(), 1);
+        // a different configuration trains again
+        let other = StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec {
+                hidden: Some(20),
+                epochs: Some(1),
+            },
+        };
+        registry.build(&other, &env).unwrap();
+        assert_eq!(registry.trained_predictors.len(), 2);
+    }
+
+    #[test]
+    fn predictor_defaults_are_honored_including_hidden() {
+        let model = model();
+        let trace = trace(&model);
+        let mut registry = StrategyRegistry::new();
+        registry.set_predictor_defaults(PredictorTrainingConfig {
+            hidden: 12,
+            epochs: 1,
+            ..PredictorTrainingConfig::default()
+        });
+        let env = BuildEnv {
+            model: &model,
+            calibration: Some(&trace),
+            capacities: None,
+        };
+        let spec = StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec::default(),
+        };
+        registry.build(&spec, &env).unwrap();
+        assert_eq!(
+            registry.trained_predictors[0].0,
+            (12, 1),
+            "unset spec fields must resolve to the configured defaults"
+        );
+        // an explicit spec value still wins over the default
+        let explicit = StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec {
+                hidden: Some(20),
+                epochs: Some(2),
+            },
+        };
+        registry.build(&explicit, &env).unwrap();
+        assert_eq!(registry.trained_predictors[1].0, (20, 2));
+    }
+
+    #[test]
+    fn cats_calibration_is_memoized_per_density() {
+        let model = model();
+        let trace = trace(&model);
+        let mut registry = StrategyRegistry::new();
+        let spec = StrategySpec::Cats { density: 0.5 };
+        registry
+            .build(
+                &spec,
+                &BuildEnv {
+                    model: &model,
+                    calibration: Some(&trace),
+                    capacities: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.calibrated_cats_count(), 1);
+        // same density: memoized thresholds are reused, no trace needed
+        registry
+            .build(
+                &spec,
+                &BuildEnv {
+                    model: &model,
+                    calibration: None,
+                    capacities: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.calibrated_cats_count(), 1);
+        // a different density calibrates again
+        registry
+            .build(
+                &StrategySpec::Cats { density: 0.7 },
+                &BuildEnv {
+                    model: &model,
+                    calibration: Some(&trace),
+                    capacities: None,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.calibrated_cats_count(), 2);
+    }
+
+    #[test]
+    fn calibration_requiring_specs_fail_without_a_trace() {
+        let model = model();
+        let mut registry = StrategyRegistry::new();
+        let env = BuildEnv {
+            model: &model,
+            calibration: None,
+            capacities: None,
+        };
+        for spec in [
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec::default(),
+            },
+        ] {
+            let err = registry.build(&spec, &env).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DipError::InvalidParameter {
+                        name: "calibration",
+                        ..
+                    }
+                ),
+                "{}: {err}",
+                spec.label()
+            );
+        }
+    }
+
+    #[test]
+    fn dip_ca_shares_one_cell_per_configuration() {
+        let config = ModelConfig::tiny();
+        let model = model();
+        let caps = capacities(&config);
+        let mut registry = StrategyRegistry::new();
+        let env = BuildEnv {
+            model: &model,
+            calibration: None,
+            capacities: Some(&caps),
+        };
+        let spec = StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.2,
+        };
+        let mut a = registry.build(&spec, &env).unwrap();
+        let mut b = registry.build(&spec, &env).unwrap();
+        assert_eq!(registry.shared_cell_count(), 1);
+        assert!(a.strategy.name().starts_with("shared("));
+
+        // the two handles share cache state: a's accesses influence b's view.
+        let x = vec![0.3f32; config.d_model];
+        let mlp = &model.layers[0].mlp;
+        let first = a.strategy.forward(0, mlp, &x).unwrap();
+        let second = b.strategy.forward(0, mlp, &x).unwrap();
+        assert_eq!(
+            first.access, second.access,
+            "warm shared cache keeps the selection stable"
+        );
+
+        // a different gamma gets its own cell
+        let other = StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.9,
+        };
+        registry.build(&other, &env).unwrap();
+        assert_eq!(registry.shared_cell_count(), 2);
+    }
+
+    #[test]
+    fn dip_ca_without_capacities_is_rejected() {
+        let model = model();
+        let mut registry = StrategyRegistry::new();
+        let err = registry
+            .build(
+                &StrategySpec::DipCacheAware {
+                    density: 0.5,
+                    gamma: 0.2,
+                },
+                &BuildEnv {
+                    model: &model,
+                    calibration: None,
+                    capacities: None,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DipError::InvalidParameter {
+                name: "capacities",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cross_traffic_observation_reaches_other_models_only() {
+        let config = ModelConfig::tiny();
+        let model = model();
+        let caps = capacities(&config);
+        let spec = StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.2,
+        };
+        let key = spec.shared_cache_key().unwrap();
+        // near-uniform input so the cache-aware bias dominates the selection
+        let x: Vec<f32> = (0..config.d_model).map(|i| 0.5 + 1e-4 * i as f32).collect();
+        let mlp = &model.layers[0].mlp;
+        // a partial co-tenant token
+        let records: Vec<lm::MlpAccessRecord> = (0..config.n_layers)
+            .map(|_| lm::MlpAccessRecord {
+                up: lm::MatrixAccess::input((0..config.d_model / 3).collect()),
+                gate: lm::MatrixAccess::input((0..config.d_model / 3).collect()),
+                down: lm::MatrixAccess::input((0..config.d_ff / 3).collect()),
+            })
+            .collect();
+
+        let run_with = |served: Option<(u32, u32)>| {
+            let mut registry = StrategyRegistry::new();
+            let env = BuildEnv {
+                model: &model,
+                calibration: None,
+                capacities: Some(&caps),
+            };
+            let mut built = registry.build(&spec, &env).unwrap();
+            for _ in 0..8 {
+                registry.observe_cross_traffic(served, &records, config.d_model, config.d_ff);
+            }
+            built.strategy.forward(0, mlp, &x).unwrap().access
+        };
+
+        // traffic attributed to the model itself is not double-counted...
+        let own = run_with(Some(key));
+        // ...but a co-tenant's traffic shifts the cache-aware selection
+        let foreign = run_with(None);
+        assert_ne!(
+            own, foreign,
+            "co-tenant traffic must reach the shared model"
+        );
+    }
+}

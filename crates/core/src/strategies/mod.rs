@@ -2,18 +2,23 @@
 //!
 //! Every strategy implements [`lm::MlpForward`] and can therefore be plugged
 //! into the transformer's decoding loop. The implemented schemes follow
-//! Fig. 5 and Section 3–5 of the paper:
+//! Fig. 5 and Section 3–5 of the paper. Each is named by a declarative
+//! [`crate::spec::StrategySpec`] (the *spec name* column) that owns its
+//! metadata: the weight-slicing axis per matrix (`[up, gate, down]`; `-`
+//! means dense access) and whether building it needs a calibration trace:
 //!
-//! | strategy | prunes | selection signal |
-//! |---|---|---|
-//! | [`GluPruning`] | `W_d` only | true \|GLU(x)\| (computed densely) |
-//! | [`GluOraclePruning`] | all three | true \|GLU(x)\| (perfect predictor) |
-//! | [`GatePruning`] | `W_u`, `W_d` | \|σ(W_g x)\| (gate computed densely) |
-//! | [`UpPruning`] | `W_g`, `W_d` | \|W_u x\| (up computed densely) |
-//! | [`CatsPruning`] | `W_u`, `W_d` | per-layer threshold on \|σ(W_g x)\| |
-//! | [`PredictiveGluPruning`] | all three | trained predictor logits (DejaVu) |
-//! | [`Dip`] | all three | \|x\| for `W_u`/`W_g`, \|G̃LU(x)\| for `W_d` |
-//! | [`DipCacheAware`] | all three | DIP scores re-weighted by cache state (Eq. 10) |
+//! | strategy | spec name | prunes | selection signal | slicing axes | calibration |
+//! |---|---|---|---|---|---|
+//! | (dense baseline) | `dense` | nothing | — | `[-, -, -]` | no |
+//! | [`GluPruning`] | `glu` | `W_d` only | true \|GLU(x)\| (computed densely) | `[-, -, in]` | no |
+//! | [`GluOraclePruning`] | `glu-oracle` | all three | true \|GLU(x)\| (perfect predictor) | `[out, out, in]` | no |
+//! | [`GatePruning`] | `gate` | `W_u`, `W_d` | \|σ(W_g x)\| (gate computed densely) | `[out, -, in]` | no |
+//! | [`UpPruning`] | `up` | `W_g`, `W_d` | \|W_u x\| (up computed densely) | `[-, out, in]` | no |
+//! | [`CatsPruning`] | `cats` / `cats-lora` | `W_u`, `W_d` | per-layer threshold on \|σ(W_g x)\| | `[out, -, in]` | thresholds (+LoRA tuning) |
+//! | [`PredictiveGluPruning`] | `dejavu` | all three | trained predictor logits (DejaVu) | `[out, out, in]` | predictor training |
+//! | (static pruning) | `sparse-gpt` | weights offline | magnitude / N:M pattern | `[-, -, -]` | no |
+//! | [`Dip`] | `dip` / `dip-lora` | all three | \|x\| for `W_u`/`W_g`, \|G̃LU(x)\| for `W_d` | `[in, in, in]` | no (+LoRA tuning) |
+//! | [`DipCacheAware`] | `dip-ca` | all three | DIP scores re-weighted by cache state (Eq. 10) | `[in, in, in]` | no (needs device capacities) |
 
 pub mod cats;
 pub mod dip;

@@ -1,0 +1,118 @@
+//! Property tests for the declarative strategy API: any valid
+//! [`StrategySpec`] must survive a JSON serialize → deserialize round trip
+//! *identically*, and its report label must be stable across the round trip.
+
+use dip_core::spec::{NmPattern, PredictorSpec, StrategySpec};
+use proptest::prelude::*;
+
+/// A density grid in (0, 1] with two-decimal resolution (representable
+/// exactly enough that equality is meaningful after a round trip).
+fn density() -> impl Strategy<Value = f32> {
+    (1u32..=100).prop_map(|i| i as f32 / 100.0)
+}
+
+/// Densities reachable by two-of-three neuron-pruning schemes (> 1/3).
+fn two_of_three_density() -> impl Strategy<Value = f32> {
+    (34u32..=100).prop_map(|i| i as f32 / 100.0)
+}
+
+/// Densities reachable by down-only GLU pruning (≥ 2/3).
+fn down_only_density() -> impl Strategy<Value = f32> {
+    (67u32..=100).prop_map(|i| i as f32 / 100.0)
+}
+
+fn gamma() -> impl Strategy<Value = f32> {
+    (1u32..=10).prop_map(|i| i as f32 / 10.0)
+}
+
+/// One random spec drawn across every method family.
+fn any_spec() -> impl Strategy<Value = StrategySpec> {
+    (0u32..9, density(), gamma(), 1u32..=16, 0u32..3).prop_map(
+        |(method, density, gamma, rank, sub)| match method {
+            0 => StrategySpec::Dense,
+            1 => StrategySpec::GluOracle { density },
+            2 => StrategySpec::Cats {
+                density: density.max(0.34),
+            },
+            3 => StrategySpec::CatsLora {
+                density: density.max(0.34),
+                rank,
+            },
+            4 => StrategySpec::Predictive {
+                density,
+                predictor: match sub {
+                    0 => PredictorSpec::default(),
+                    1 => PredictorSpec {
+                        hidden: Some(8 + rank),
+                        epochs: None,
+                    },
+                    _ => PredictorSpec {
+                        hidden: Some(8 + rank),
+                        epochs: Some(1 + sub),
+                    },
+                },
+            },
+            5 => StrategySpec::SparseGpt {
+                density,
+                pattern: NmPattern::Unstructured,
+            },
+            6 => StrategySpec::Dip { density },
+            7 => StrategySpec::DipLora { density, rank },
+            _ => StrategySpec::DipCacheAware { density, gamma },
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_round_trip_is_identity(spec in any_spec()) {
+        prop_assert!(spec.validate().is_ok(), "generated spec must be valid: {}", spec.label());
+        let json = spec.to_json();
+        let back = StrategySpec::from_json(&json).expect("round trip parses");
+        prop_assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn label_is_stable_across_round_trip(spec in any_spec()) {
+        let back = StrategySpec::from_json(&spec.to_json()).expect("round trip parses");
+        prop_assert_eq!(spec.label(), back.label());
+        prop_assert_eq!(spec.method_name(), back.method_name());
+    }
+
+    #[test]
+    fn list_round_trip_preserves_order(
+        specs in prop::collection::vec(any_spec(), 1..8),
+    ) {
+        let json = StrategySpec::list_to_json(&specs);
+        let back = StrategySpec::list_from_json(&json).expect("list parses");
+        prop_assert_eq!(specs, back);
+    }
+
+    #[test]
+    fn gate_up_glu_variants_round_trip(
+        d23 in two_of_three_density(),
+        d_down in down_only_density(),
+        pick in 0u32..2,
+    ) {
+        let neuron = if pick == 0 {
+            StrategySpec::GatePruning { density: d23 }
+        } else {
+            StrategySpec::UpPruning { density: d23 }
+        };
+        prop_assert_eq!(neuron, StrategySpec::from_json(&neuron.to_json()).unwrap());
+        let glu = StrategySpec::GluPruning { density: d_down };
+        prop_assert_eq!(glu, StrategySpec::from_json(&glu.to_json()).unwrap());
+    }
+
+    #[test]
+    fn nm_patterns_round_trip(n in 1u32..8, extra in 1u32..8) {
+        let m = n + extra;
+        let spec = StrategySpec::SparseGpt {
+            density: n as f32 / m as f32,
+            pattern: NmPattern::NofM { n, m },
+        };
+        prop_assert_eq!(spec, StrategySpec::from_json(&spec.to_json()).unwrap());
+    }
+}

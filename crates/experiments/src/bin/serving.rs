@@ -1,18 +1,45 @@
 //! Runs the multi-user serving scenario (strategies × schedulers under
 //! shared-cache contention).
-use experiments::Scale;
+//!
+//! ```text
+//! serving [smoke|quick|full] [specs.json]
+//! ```
+//!
+//! Without a spec file the built-in comparison matrix runs. With one, the
+//! file must hold a JSON array of strategy specs (see
+//! `examples/serving_specs.json`); the scenario runs one homogeneous fleet
+//! per spec plus a heterogeneous mix of all of them — new workload mixes
+//! need no recompilation.
 
-fn scale_from_args() -> Scale {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Quick)
-}
+use experiments::Scale;
+use serve::StrategySpec;
 
 fn main() {
-    let scale = scale_from_args();
-    eprintln!("running serving scenario at {scale:?} scale...");
+    let mut scale = Scale::Quick;
+    let mut spec_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match Scale::parse(&arg) {
+            Some(s) => scale = s,
+            None => spec_path = Some(arg),
+        }
+    }
 
-    let out = experiments::serving::run(scale).expect("serving scenario failed");
+    let out = match spec_path {
+        None => {
+            eprintln!("running serving scenario at {scale:?} scale (built-in matrix)...");
+            experiments::serving::run(scale).expect("serving scenario failed")
+        }
+        Some(path) => {
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read spec file `{path}`: {e}"));
+            let specs = StrategySpec::list_from_json(&json)
+                .unwrap_or_else(|e| panic!("cannot parse spec file `{path}`: {e}"));
+            eprintln!(
+                "running serving scenario at {scale:?} scale with {} specs from `{path}`...",
+                specs.len()
+            );
+            experiments::serving::run_with_specs(scale, &specs).expect("serving scenario failed")
+        }
+    };
     println!("{}", out.table.to_markdown());
 }

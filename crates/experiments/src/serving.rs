@@ -1,25 +1,63 @@
 //! The multi-user serving scenario (beyond the paper's single-stream study).
 //!
-//! Runs one fleet of concurrent sessions per (strategy, scheduler)
-//! configuration through the `serve` engine on a DRAM-constrained device and
-//! tabulates aggregate tokens/sec, request-latency percentiles,
-//! time-to-first-token, shared-cache hit rate and fairness. This is the
-//! many-users counterpart of Table 2: the single-stream throughput ordering
-//! (dense < DIP < DIP-CA) must survive multi-tenant cache contention.
+//! Runs one fleet of concurrent sessions per [`ServingCell`] through the
+//! `serve` engine on a DRAM-constrained device and tabulates aggregate
+//! tokens/sec, request-latency percentiles, time-to-first-token, shared-cache
+//! hit rate and fairness. This is the many-users counterpart of Table 2: the
+//! single-stream throughput ordering (dense < DIP < DIP-CA) must survive
+//! multi-tenant cache contention.
+//!
+//! Cells are **declarative**: each names a scheduler and a list of
+//! [`StrategySpec`]s that the fleet's sessions cycle through (one spec =
+//! homogeneous fleet, several = heterogeneous mix). [`run_with_specs`]
+//! builds the comparison from an arbitrary spec list — the `serving` binary
+//! reads that list from a JSON file, so new workload mixes need no
+//! recompilation.
 
 use crate::error::Result;
 use crate::report::Table;
 use crate::scale::Scale;
 use lm::{build_synthetic, ModelConfig, SliceAxis};
-use serve::{GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, SparsityPolicy};
+use serve::{GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, StrategySpec};
 
-/// One serving configuration of the comparison matrix.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One serving configuration of the comparison matrix: a fleet whose
+/// sessions cycle through `strategies`, served under `scheduler`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServingCell {
-    /// The per-request sparsity strategy.
-    pub strategy: SparsityPolicy,
+    /// Row label (the spec label for homogeneous fleets).
+    pub label: String,
+    /// The per-request strategy specs, assigned round-robin to sessions.
+    pub strategies: Vec<StrategySpec>,
     /// The continuous-batching scheduler.
     pub scheduler: SchedulerPolicy,
+}
+
+impl ServingCell {
+    /// A homogeneous fleet: every session runs `spec`.
+    pub fn uniform(spec: StrategySpec, scheduler: SchedulerPolicy) -> Self {
+        ServingCell {
+            label: spec.label(),
+            strategies: vec![spec],
+            scheduler,
+        }
+    }
+
+    /// A heterogeneous fleet cycling through `specs`.
+    pub fn mix(specs: Vec<StrategySpec>, scheduler: SchedulerPolicy) -> Self {
+        let label = format!(
+            "mix({})",
+            specs
+                .iter()
+                .map(StrategySpec::method_name)
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        ServingCell {
+            label,
+            strategies: specs,
+            scheduler,
+        }
+    }
 }
 
 /// Results of the serving scenario.
@@ -58,41 +96,42 @@ fn scenario_model(scale: Scale) -> ModelConfig {
     }
 }
 
-/// The comparison matrix: strategies under FIFO, plus DIP-CA under SRF to
-/// show the scheduler axis.
+/// The default comparison matrix: strategies under FIFO, plus DIP-CA under
+/// SRF to show the scheduler axis.
 pub fn cells() -> Vec<ServingCell> {
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
     vec![
-        ServingCell {
-            strategy: SparsityPolicy::Dense,
-            scheduler: SchedulerPolicy::Fifo,
-        },
-        ServingCell {
-            strategy: SparsityPolicy::Cats { density: 0.5 },
-            scheduler: SchedulerPolicy::Fifo,
-        },
-        ServingCell {
-            strategy: SparsityPolicy::Dip { density: 0.5 },
-            scheduler: SchedulerPolicy::Fifo,
-        },
-        ServingCell {
-            strategy: SparsityPolicy::DipCacheAware {
-                density: 0.5,
-                gamma: 0.2,
-            },
-            scheduler: SchedulerPolicy::Fifo,
-        },
-        ServingCell {
-            strategy: SparsityPolicy::DipCacheAware {
-                density: 0.5,
-                gamma: 0.2,
-            },
-            scheduler: SchedulerPolicy::ShortestRemainingFirst,
-        },
+        ServingCell::uniform(StrategySpec::Dense, SchedulerPolicy::Fifo),
+        ServingCell::uniform(StrategySpec::Cats { density: 0.5 }, SchedulerPolicy::Fifo),
+        ServingCell::uniform(StrategySpec::Dip { density: 0.5 }, SchedulerPolicy::Fifo),
+        ServingCell::uniform(dip_ca, SchedulerPolicy::Fifo),
+        ServingCell::uniform(dip_ca, SchedulerPolicy::ShortestRemainingFirst),
     ]
 }
 
-/// Builds the fleet of requests for one cell.
-pub fn fleet(scale: Scale, strategy: SparsityPolicy) -> Vec<GenRequest> {
+/// Builds the comparison matrix for an arbitrary spec list: one homogeneous
+/// FIFO fleet per spec, plus — when the specs' slicing axes are compatible —
+/// one heterogeneous fleet mixing them all under shared-cache contention.
+pub fn cells_from_specs(specs: &[StrategySpec]) -> Vec<ServingCell> {
+    let mut cells: Vec<ServingCell> = specs
+        .iter()
+        .map(|s| ServingCell::uniform(*s, SchedulerPolicy::Fifo))
+        .collect();
+    if specs.len() > 1 && dip_core::spec::resolve_axes(specs).is_ok() {
+        cells.push(ServingCell::mix(specs.to_vec(), SchedulerPolicy::Fifo));
+    }
+    cells
+}
+
+/// Builds the fleet of requests for one cell (sessions cycle through the
+/// cell's strategy specs). An empty spec list yields an empty fleet.
+pub fn fleet(scale: Scale, strategies: &[StrategySpec]) -> Vec<GenRequest> {
+    if strategies.is_empty() {
+        return Vec::new();
+    }
     let n = fleet_size(scale);
     let tokens = tokens_per_session(scale);
     (0..n)
@@ -101,23 +140,55 @@ pub fn fleet(scale: Scale, strategy: SparsityPolicy) -> Vec<GenRequest> {
                 i as u64,
                 vec![(i % 5) as u32 + 1, (i % 11) as u32 + 2],
                 tokens,
-                strategy,
+                strategies[i % strategies.len()],
             )
         })
         .collect()
 }
 
-/// Runs the serving comparison at the given scale.
+/// Runs the default serving comparison at the given scale.
 ///
 /// # Errors
 ///
 /// Propagates engine construction and run errors.
 pub fn run(scale: Scale) -> Result<ServingScenario> {
+    run_cells(scale, cells())
+}
+
+/// Runs the serving comparison for a declarative spec list (see
+/// [`cells_from_specs`]).
+///
+/// # Errors
+///
+/// Returns an error for an empty spec list and propagates engine errors.
+pub fn run_with_specs(scale: Scale, specs: &[StrategySpec]) -> Result<ServingScenario> {
+    if specs.is_empty() {
+        return Err(crate::error::ExpError::Unsupported {
+            reason: "the serving scenario needs at least one strategy spec".to_string(),
+        });
+    }
+    run_cells(scale, cells_from_specs(specs))
+}
+
+/// Runs the serving comparison over an explicit cell list.
+///
+/// # Errors
+///
+/// Returns [`crate::error::ExpError::Unsupported`] for a cell with no
+/// strategies and propagates engine construction and run errors.
+pub fn run_cells(scale: Scale, cells: Vec<ServingCell>) -> Result<ServingScenario> {
+    if let Some(cell) = cells.iter().find(|c| c.strategies.is_empty()) {
+        return Err(crate::error::ExpError::Unsupported {
+            reason: format!("serving cell `{}` names no strategy specs", cell.label),
+        });
+    }
     let config = scenario_model(scale);
     let slots = fleet_size(scale);
     // Per-session context is budgeted to what the fleet actually needs, and
     // the shared column cache gets ~55% of the INT4 MLP weights on top of the
-    // pinned static region — the Table 2 constraint, now multi-tenant.
+    // pinned static region — the Table 2 constraint, now multi-tenant. (The
+    // DRAM budget is axis-independent: total MLP bytes are identical
+    // whichever axis the cache slices along.)
     let kv_budget = (4 + tokens_per_session(scale) + 2).min(config.max_seq_len);
     let layout =
         serve::layout::layout_for_serving(&config, [SliceAxis::Input; 3], 4.0, slots, kv_budget);
@@ -143,16 +214,16 @@ pub fn run(scale: Scale) -> Result<ServingScenario> {
     );
 
     let mut results = Vec::new();
-    for cell in cells() {
+    for cell in cells {
         let model = build_synthetic(&config, 13)?;
         let serve_config = ServeConfig::new(device.clone())
             .with_max_concurrent(slots)
             .with_scheduler(cell.scheduler)
             .with_kv_budget(kv_budget);
         let mut engine = ServeEngine::new(model, serve_config)?;
-        let report = engine.run(fleet(scale, cell.strategy))?;
+        let report = engine.run(fleet(scale, &cell.strategies))?;
         table.push_row(vec![
-            cell.strategy.label(),
+            cell.label.clone(),
             cell.scheduler.to_string(),
             format!("{:.2}", report.aggregate_tps),
             format!("{:.2}", 1e3 * report.latency_p50_s),
@@ -178,13 +249,13 @@ mod tests {
 
     fn report_for(
         scenario: &ServingScenario,
-        strategy: SparsityPolicy,
+        spec: StrategySpec,
         scheduler: SchedulerPolicy,
     ) -> &ServeReport {
         scenario
             .results
             .iter()
-            .find(|(c, _)| c.strategy == strategy && c.scheduler == scheduler)
+            .find(|(c, _)| c.strategies == vec![spec] && c.scheduler == scheduler)
             .map(|(_, r)| r)
             .expect("cell present")
     }
@@ -195,15 +266,15 @@ mod tests {
         assert_eq!(scenario.results.len(), cells().len());
         assert_eq!(scenario.table.len(), cells().len());
 
-        let dense = report_for(&scenario, SparsityPolicy::Dense, SchedulerPolicy::Fifo);
+        let dense = report_for(&scenario, StrategySpec::Dense, SchedulerPolicy::Fifo);
         let dip = report_for(
             &scenario,
-            SparsityPolicy::Dip { density: 0.5 },
+            StrategySpec::Dip { density: 0.5 },
             SchedulerPolicy::Fifo,
         );
         let dip_ca = report_for(
             &scenario,
-            SparsityPolicy::DipCacheAware {
+            StrategySpec::DipCacheAware {
                 density: 0.5,
                 gamma: 0.2,
             },
@@ -213,5 +284,47 @@ mod tests {
         assert!(dip_ca.aggregate_tps > dense.aggregate_tps);
         assert!(dip_ca.cache_hit_rate > dense.cache_hit_rate);
         assert!(scenario.table.to_markdown().contains("Serving"));
+    }
+
+    #[test]
+    fn declarative_spec_list_drives_the_scenario() {
+        // A JSON mix (the `serving` binary's input format) including a
+        // non-DIP-family strategy, driven end-to-end.
+        let specs = StrategySpec::list_from_json(
+            r#"[
+                {"method": "dense"},
+                {"method": "glu", "density": 0.75},
+                {"method": "dip", "density": 0.5},
+                {"method": "dip-ca", "density": 0.5, "gamma": 0.2}
+            ]"#,
+        )
+        .unwrap();
+        let scenario = run_with_specs(Scale::Smoke, &specs).unwrap();
+        // one homogeneous cell per spec + the heterogeneous mix
+        assert_eq!(scenario.results.len(), specs.len() + 1);
+        let (mix_cell, mix_report) = scenario.results.last().unwrap();
+        assert!(mix_cell.label.starts_with("mix("));
+        assert_eq!(mix_report.requests.len(), fleet_size(Scale::Smoke));
+        // the mixed fleet really is heterogeneous
+        let labels: std::collections::HashSet<&str> = mix_report
+            .requests
+            .iter()
+            .map(|r| r.strategy.as_str())
+            .collect();
+        assert_eq!(labels.len(), specs.len());
+        assert!(mix_report.aggregate_tps > 0.0);
+
+        // axis-incompatible lists skip the mix row but keep the per-spec rows
+        let conflicting = vec![
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
+        ];
+        assert_eq!(cells_from_specs(&conflicting).len(), 2);
+
+        assert!(run_with_specs(Scale::Smoke, &[]).is_err());
+        // a hand-built cell with no strategies is a typed error, not a panic
+        let empty_cell = ServingCell::mix(vec![], SchedulerPolicy::Fifo);
+        assert!(run_cells(Scale::Smoke, vec![empty_cell]).is_err());
+        assert!(fleet(Scale::Smoke, &[]).is_empty());
     }
 }

@@ -13,12 +13,14 @@ use crate::convert::{layout_for_method, StaticOverhead, TraceBuilder};
 use crate::error::{ExpError, Result};
 use crate::methods::MethodKind;
 use crate::scale::Scale;
-use dip_core::strategies::{
-    CatsPruning, Dip, DipCacheAware, GatePruning, GluOraclePruning, GluPruning,
-    PredictiveGluPruning, UpPruning,
+use dip_core::spec::{
+    BuildEnv, NmPattern, PredictorSpec, StrategyRegistry, StrategySpec, WeightTransform,
 };
+use dip_core::strategies::{CatsPruning, Dip};
 use dip_core::{lora, predictor, DensityAllocation, SparsityScheme};
-use hwsim::{AccessTrace, DeviceConfig, EvictionPolicy, ModelLayout, SimReport};
+use hwsim::{
+    AccessTrace, BlockCacheCapacity, DeviceConfig, EvictionPolicy, ModelLayout, SimReport,
+};
 use lm::mlp::DenseMlp;
 use lm::{
     build_synthetic, eval, trace, ActivationTrace, MlpForward, ModelConfig, TransformerModel,
@@ -73,8 +75,7 @@ pub struct Workbench {
     pub dense_ppl: f64,
     /// Dense-model task accuracy (always 1.0 by construction, kept for reports).
     pub dense_accuracy: f64,
-    allocation: DensityAllocation,
-    predictors: Option<Vec<predictor::Predictor>>,
+    registry: StrategyRegistry,
     lora_dip: HashMap<u32, TransformerModel>,
     lora_cats: HashMap<u32, TransformerModel>,
 }
@@ -109,6 +110,12 @@ impl Workbench {
         let task_suite = eval::build_task_suite(&model, scale.task_prompts(), seed ^ 0xabcd)?;
         let dense_ppl = eval::perplexity(&model, &mut DenseMlp, &eval_seqs)?.perplexity;
         let dense_accuracy = eval::suite_accuracy(&model, &mut DenseMlp, &task_suite)?;
+        let mut registry = StrategyRegistry::new();
+        registry.set_predictor_defaults(predictor::PredictorTrainingConfig {
+            hidden: (config.d_model / 2).max(16),
+            epochs: scale.predictor_epochs(),
+            ..predictor::PredictorTrainingConfig::default()
+        });
         Ok(Workbench {
             scale,
             config: config.clone(),
@@ -118,8 +125,7 @@ impl Workbench {
             task_suite,
             dense_ppl,
             dense_accuracy,
-            allocation: DensityAllocation::balanced(),
-            predictors: None,
+            registry,
             lora_dip: HashMap::new(),
             lora_cats: HashMap::new(),
         })
@@ -127,58 +133,141 @@ impl Workbench {
 
     /// The density allocation model used to split DIP's budget.
     pub fn allocation(&self) -> DensityAllocation {
-        self.allocation
+        self.registry.allocation()
     }
 
     /// Replaces the density allocation model (e.g. with a fitted one from the
     /// Appendix B.1 experiment).
     pub fn set_allocation(&mut self, allocation: DensityAllocation) {
-        self.allocation = allocation;
+        self.registry.set_allocation(allocation);
     }
 
-    fn predictors(&mut self) -> Result<Vec<predictor::Predictor>> {
-        if self.predictors.is_none() {
-            let cfg = predictor::PredictorTrainingConfig {
-                hidden: (self.config.d_model / 2).max(16),
-                epochs: self.scale.predictor_epochs(),
-                ..predictor::PredictorTrainingConfig::default()
-            };
-            let predictors = predictor::train_predictors(&self.model, &self.calib_trace, &cfg)?;
-            self.predictors = Some(predictors);
+    /// The declarative spec a method runs as on this workbench: the thin
+    /// [`MethodKind::spec`] table with the scale-dependent predictor
+    /// configuration filled in.
+    pub fn spec_for(&self, method: MethodKind, target_density: f32) -> StrategySpec {
+        match method.spec(target_density) {
+            StrategySpec::Predictive { density, .. } => StrategySpec::Predictive {
+                density,
+                predictor: PredictorSpec {
+                    hidden: Some((self.config.d_model / 2).max(16) as u32),
+                    epochs: Some(self.scale.predictor_epochs() as u32),
+                },
+            },
+            spec => spec,
         }
-        Ok(self.predictors.clone().expect("predictors just built"))
     }
 
-    fn lora_config(&self) -> lora::LoraConfig {
+    fn lora_config(&self, rank: u32) -> lora::LoraConfig {
         lora::LoraConfig {
-            rank: 8,
+            rank: rank as usize,
             epochs: self.scale.lora_epochs(),
             learning_rate: 0.05,
             seed: 7,
         }
     }
 
-    fn dip_lora_model(&mut self, target: f32) -> Result<TransformerModel> {
+    fn dip_lora_model(&mut self, target: f32, rank: u32) -> Result<TransformerModel> {
         let key = density_key(target);
         if !self.lora_dip.contains_key(&key) {
-            let dip = Dip::for_target_density(target, &self.allocation)?;
-            let tuned =
-                lora::fine_tune_dip(&self.model, &self.calib_trace, &dip, &self.lora_config())?;
+            let dip = Dip::for_target_density(target, &self.registry.allocation())?;
+            let tuned = lora::fine_tune_dip(
+                &self.model,
+                &self.calib_trace,
+                &dip,
+                &self.lora_config(rank),
+            )?;
             self.lora_dip.insert(key, tuned);
         }
         Ok(self.lora_dip[&key].clone())
     }
 
-    fn cats_lora_model(&mut self, target: f32) -> Result<TransformerModel> {
+    fn cats_lora_model(&mut self, target: f32, rank: u32) -> Result<TransformerModel> {
         let key = density_key(target);
         if !self.lora_cats.contains_key(&key) {
             let density = SparsityScheme::TwoOfThree.activation_density_for_target(target)?;
             let cats = CatsPruning::calibrate(&self.model, &self.calib_trace, density)?;
-            let tuned =
-                lora::fine_tune_cats(&self.model, &self.calib_trace, &cats, &self.lora_config())?;
+            let tuned = lora::fine_tune_cats(
+                &self.model,
+                &self.calib_trace,
+                &cats,
+                &self.lora_config(rank),
+            )?;
             self.lora_cats.insert(key, tuned);
         }
         Ok(self.lora_cats[&key].clone())
+    }
+
+    /// Applies the spec's offline weight transform
+    /// ([`StrategySpec::weight_transform`]) to the workbench model, returning
+    /// the model the strategy should run on.
+    fn transformed_model(&mut self, spec: &StrategySpec) -> Result<TransformerModel> {
+        match spec.weight_transform() {
+            None => Ok(self.model.clone()),
+            Some(WeightTransform::SparseGpt { pattern }) => {
+                let structure = match pattern {
+                    NmPattern::Unstructured => PruningStructure::Unstructured,
+                    NmPattern::NofM { n, m } => PruningStructure::SemiStructured {
+                        n: n as usize,
+                        m: m as usize,
+                    },
+                };
+                let pruner = StaticPruner::magnitude(structure);
+                Ok(quant::model_ops::prune_mlp_static(
+                    &self.model,
+                    &pruner,
+                    spec.density(),
+                )?)
+            }
+            Some(WeightTransform::LoraDip { rank }) => self.dip_lora_model(spec.density(), rank),
+            Some(WeightTransform::LoraCats { rank }) => self.cats_lora_model(spec.density(), rank),
+        }
+    }
+
+    /// Instantiates an arbitrary strategy spec: applies its weight transform
+    /// (if any) and builds its runtime strategy through the shared
+    /// [`StrategyRegistry`]. `capacities` is required by specs with shared
+    /// cache state (DIP-CA) and ignored otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for unreachable configurations (rendered as
+    /// "—" cells, see [`ExpError::is_unsupported`]) and propagates
+    /// calibration/training errors.
+    pub fn prepare_spec(
+        &mut self,
+        spec: &StrategySpec,
+        capacities: Option<&[BlockCacheCapacity]>,
+    ) -> Result<PreparedMethod> {
+        spec.validate()?;
+        let model = self.transformed_model(spec)?;
+        // Shared cache cells are a *serving* concern (sessions sharing one
+        // physical cache); single-stream preparation always builds a fresh
+        // instance so different devices never reuse stale capacities.
+        let mut fresh;
+        let registry = if spec.shared_cache_key().is_some() {
+            fresh = StrategyRegistry::new();
+            fresh.set_allocation(self.registry.allocation());
+            &mut fresh
+        } else {
+            &mut self.registry
+        };
+        let built = registry.build(
+            spec,
+            &BuildEnv {
+                model: &self.model,
+                calibration: Some(&self.calib_trace),
+                capacities,
+            },
+        )?;
+        Ok(PreparedMethod {
+            label: spec.label(),
+            model,
+            strategy: built.strategy,
+            overhead: StaticOverhead {
+                bytes: built.overhead_bytes,
+            },
+        })
     }
 
     /// Instantiates a method at a target MLP weight density.
@@ -190,129 +279,15 @@ impl Workbench {
     /// or training errors otherwise. [`MethodKind::DipCacheAware`] needs a
     /// device and must go through [`Workbench::prepare_dip_ca`].
     pub fn prepare(&mut self, method: MethodKind, target_density: f32) -> Result<PreparedMethod> {
-        let label = method.label().to_string();
-        let model = self.model.clone();
-        let prepared = match method {
-            MethodKind::Dense => PreparedMethod {
-                label,
-                model,
-                strategy: Box::new(DenseMlp),
-                overhead: StaticOverhead::default(),
-            },
-            MethodKind::GluOracle => PreparedMethod {
-                label,
-                model,
-                strategy: Box::new(GluOraclePruning::new(target_density)?),
-                overhead: StaticOverhead::default(),
-            },
-            MethodKind::GluPruning => {
-                let d = SparsityScheme::DownOnly.activation_density_for_target(target_density)?;
-                PreparedMethod {
-                    label,
-                    model,
-                    strategy: Box::new(GluPruning::new(d)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::GatePruning => {
-                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
-                PreparedMethod {
-                    label,
-                    model,
-                    strategy: Box::new(GatePruning::new(d)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::UpPruning => {
-                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
-                PreparedMethod {
-                    label,
-                    model,
-                    strategy: Box::new(UpPruning::new(d)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::Cats => {
-                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
-                PreparedMethod {
-                    label,
-                    model,
-                    strategy: Box::new(CatsPruning::calibrate(&self.model, &self.calib_trace, d)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::CatsLora => {
-                let d = SparsityScheme::TwoOfThree.activation_density_for_target(target_density)?;
-                let tuned = self.cats_lora_model(target_density)?;
-                PreparedMethod {
-                    label,
-                    model: tuned,
-                    strategy: Box::new(CatsPruning::calibrate(&self.model, &self.calib_trace, d)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::DejaVu => {
-                let predictors = self.predictors()?;
-                let overhead_params: usize = predictors.iter().map(|p| p.num_params()).sum();
-                PreparedMethod {
-                    label,
-                    model,
-                    strategy: Box::new(PredictiveGluPruning::new(predictors, target_density)?),
-                    // predictors are pinned in DRAM at FP16
-                    overhead: StaticOverhead {
-                        bytes: (overhead_params * 2) as u64,
-                    },
-                }
-            }
-            MethodKind::SparseGptUnstructured
-            | MethodKind::SparseGpt2of4
-            | MethodKind::SparseGpt4of8 => {
-                let structure = match method {
-                    MethodKind::SparseGptUnstructured => PruningStructure::Unstructured,
-                    MethodKind::SparseGpt2of4 => PruningStructure::two_four(),
-                    _ => PruningStructure::four_eight(),
-                };
-                if let Some(implied) = structure.implied_density() {
-                    if (implied - target_density).abs() > 0.05 {
-                        return Err(ExpError::Unsupported {
-                            reason: format!(
-                                "{} only realises {implied:.2} density, not {target_density:.2}",
-                                structure.name()
-                            ),
-                        });
-                    }
-                }
-                let pruner = StaticPruner::magnitude(structure);
-                let pruned =
-                    quant::model_ops::prune_mlp_static(&self.model, &pruner, target_density)?;
-                PreparedMethod {
-                    label,
-                    model: pruned,
-                    strategy: Box::new(DenseMlp),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::Dip => PreparedMethod {
-                label,
-                model,
-                strategy: Box::new(Dip::for_target_density(target_density, &self.allocation)?),
-                overhead: StaticOverhead::default(),
-            },
-            MethodKind::DipLora => {
-                let tuned = self.dip_lora_model(target_density)?;
-                PreparedMethod {
-                    label,
-                    model: tuned,
-                    strategy: Box::new(Dip::for_target_density(target_density, &self.allocation)?),
-                    overhead: StaticOverhead::default(),
-                }
-            }
-            MethodKind::DipCacheAware => {
-                return Err(ExpError::Unsupported {
-                    reason: "DIP-CA needs a device; use Workbench::prepare_dip_ca".to_string(),
-                })
-            }
-        };
+        if method == MethodKind::DipCacheAware {
+            return Err(ExpError::Unsupported {
+                reason: "DIP-CA needs a device; use Workbench::prepare_dip_ca".to_string(),
+            });
+        }
+        let spec = self.spec_for(method, target_density);
+        let mut prepared = self.prepare_spec(&spec, None)?;
+        // report rows use the paper's method labels, not the spec labels
+        prepared.label = method.label().to_string();
         Ok(prepared)
     }
 
@@ -330,7 +305,6 @@ impl Workbench {
         device: &DeviceConfig,
         bits_per_weight: f64,
     ) -> Result<PreparedMethod> {
-        let dip = Dip::for_target_density(target_density, &self.allocation)?;
         // The layout for DIP-CA has the same slicing axes as plain DIP.
         let example = lm::MlpAccessRecord {
             up: lm::MatrixAccess::input(vec![]),
@@ -344,20 +318,13 @@ impl Workbench {
             StaticOverhead::default(),
         );
         let allocation = hwsim::allocate(&layout, device)?;
-        let strategy = DipCacheAware::new(
-            dip.input_density(),
-            dip.glu_density(),
+        let spec = StrategySpec::DipCacheAware {
+            density: target_density,
             gamma,
-            self.config.d_model,
-            self.config.d_ff,
-            allocation.capacities,
-        )?;
-        Ok(PreparedMethod {
-            label: MethodKind::DipCacheAware.label().to_string(),
-            model: self.model.clone(),
-            strategy: Box::new(strategy),
-            overhead: StaticOverhead::default(),
-        })
+        };
+        let mut prepared = self.prepare_spec(&spec, Some(&allocation.capacities))?;
+        prepared.label = MethodKind::DipCacheAware.label().to_string();
+        Ok(prepared)
     }
 
     /// Measures perplexity and downstream accuracy of a prepared method.

@@ -27,7 +27,7 @@ use crate::report::{percentile, RequestStats, ServeReport};
 use crate::request::GenRequest;
 use crate::scheduler::SchedulerPolicy;
 use crate::session::Session;
-use crate::strategy::{resolve_axes, SparsityPolicy, StrategyFactory};
+use crate::strategy::{resolve_axes, StrategyFactory, StrategySpec};
 use hwsim::{simulate_concurrent, AccessTrace, DeviceConfig, EvictionPolicy};
 use lm::{ActivationTrace, DecodeStatePool, ModelConfig, TransformerModel};
 use rand::rngs::StdRng;
@@ -224,6 +224,24 @@ impl ServeEngine {
                     ),
                 });
             }
+            r.strategy
+                .validate()
+                .map_err(|e| ServeError::InvalidRequest {
+                    id: r.id,
+                    reason: e.to_string(),
+                })?;
+            // weight-transforming specs (static pruning, LoRA fusing) would
+            // rewrite the model every co-tenant is concurrently decoding with
+            if r.strategy.weight_transform().is_some() {
+                return Err(ServeError::InvalidRequest {
+                    id: r.id,
+                    reason: format!(
+                        "`{}` requires an offline weight transform; serve the \
+                         transformed model instead",
+                        r.strategy.label()
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -242,8 +260,8 @@ impl ServeEngine {
         }
 
         // Shared layout + DRAM split, fixed for the whole run.
-        let policies: Vec<SparsityPolicy> = requests.iter().map(|r| r.strategy).collect();
-        let axes = resolve_axes(&policies)?;
+        let specs: Vec<StrategySpec> = requests.iter().map(|r| r.strategy).collect();
+        let axes = resolve_axes(&specs)?;
         let layout = layout_for_serving(
             &self.model.config,
             axes,
@@ -272,7 +290,7 @@ impl ServeEngine {
                     .expect("queue is non-empty");
                 let request = waiting.remove(idx);
                 let strategy = factory.instantiate(
-                    request.strategy,
+                    &request.strategy,
                     &self.model,
                     &allocation.capacities,
                     self.calibration.as_ref(),
@@ -302,7 +320,7 @@ impl ServeEngine {
             // the physical DRAM cache is shared, so their view must include
             // co-tenant accesses.
             factory.observe_cross_traffic(
-                crate::strategy::dip_ca_key(active[idx].request.strategy),
+                active[idx].request.strategy.shared_cache_key(),
                 &records,
                 self.model.config.d_model,
                 self.model.config.d_ff,
@@ -457,7 +475,7 @@ mod tests {
                     i as u64,
                     vec![(i % 7) as u32 + 1; prompt_len],
                     new_tokens,
-                    SparsityPolicy::Dense,
+                    StrategySpec::Dense,
                 )
             })
             .collect()
@@ -514,7 +532,7 @@ mod tests {
             let mut engine = tiny_engine(2, 0.6);
             engine.config.scheduler = scheduler;
             let mut requests = dense_requests(1, 2, 30);
-            requests.push(GenRequest::new(1, vec![3, 4], 2, SparsityPolicy::Dense));
+            requests.push(GenRequest::new(1, vec![3, 4], 2, StrategySpec::Dense));
             engine.run(requests).unwrap()
         };
         let by_id = |report: &ServeReport, id: u64| {
@@ -537,14 +555,14 @@ mod tests {
     #[test]
     fn invalid_requests_are_rejected_up_front() {
         let mut engine = tiny_engine(2, 0.6);
-        let empty = vec![GenRequest::new(9, vec![], 4, SparsityPolicy::Dense)];
+        let empty = vec![GenRequest::new(9, vec![], 4, StrategySpec::Dense)];
         assert!(matches!(
             engine.run(empty),
             Err(ServeError::InvalidRequest { id: 9, .. })
         ));
-        let oov = vec![GenRequest::new(3, vec![999], 4, SparsityPolicy::Dense)];
+        let oov = vec![GenRequest::new(3, vec![999], 4, StrategySpec::Dense)];
         assert!(engine.run(oov).is_err());
-        let too_long = vec![GenRequest::new(4, vec![1], 400, SparsityPolicy::Dense)];
+        let too_long = vec![GenRequest::new(4, vec![1], 400, StrategySpec::Dense)];
         assert!(engine.run(too_long).is_err());
 
         // a request that exactly fills the context window is accepted
@@ -553,7 +571,7 @@ mod tests {
             5,
             vec![1, 2],
             window - 2,
-            SparsityPolicy::Dense,
+            StrategySpec::Dense,
         )];
         let report = engine.run(exact).unwrap();
         assert_eq!(report.total_generated_tokens, window - 2);
@@ -561,7 +579,7 @@ mod tests {
             6,
             vec![1, 2],
             window - 1,
-            SparsityPolicy::Dense,
+            StrategySpec::Dense,
         )];
         assert!(engine.run(over).is_err());
     }
@@ -579,13 +597,13 @@ mod tests {
     fn mixed_strategies_share_one_run() {
         let mut engine = tiny_engine(3, 0.55);
         let requests = vec![
-            GenRequest::new(0, vec![1, 2], 4, SparsityPolicy::Dense),
-            GenRequest::new(1, vec![2, 3], 4, SparsityPolicy::Dip { density: 0.5 }),
+            GenRequest::new(0, vec![1, 2], 4, StrategySpec::Dense),
+            GenRequest::new(1, vec![2, 3], 4, StrategySpec::Dip { density: 0.5 }),
             GenRequest::new(
                 2,
                 vec![3, 4],
                 4,
-                SparsityPolicy::DipCacheAware {
+                StrategySpec::DipCacheAware {
                     density: 0.5,
                     gamma: 0.2,
                 },
@@ -608,15 +626,15 @@ mod tests {
             0,
             vec![1, 2],
             3,
-            SparsityPolicy::Cats { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
         )];
         let report = engine.run(cats).unwrap();
         assert_eq!(report.requests.len(), 1);
         assert!(report.mean_density < 0.9);
 
         let conflict = vec![
-            GenRequest::new(0, vec![1], 2, SparsityPolicy::Cats { density: 0.5 }),
-            GenRequest::new(1, vec![1], 2, SparsityPolicy::Dip { density: 0.5 }),
+            GenRequest::new(0, vec![1], 2, StrategySpec::Cats { density: 0.5 }),
+            GenRequest::new(1, vec![1], 2, StrategySpec::Dip { density: 0.5 }),
         ];
         assert!(matches!(
             engine.run(conflict),

@@ -9,26 +9,34 @@
 //! traffic on a *shared* DRAM column cache under multi-tenant contention
 //! ([`hwsim::simulate_concurrent`]).
 //!
-//! * [`GenRequest`] — one user's prompt + generation budget + strategy,
-//! * [`SparsityPolicy`] — `Dense`, `Dip`, `DipCacheAware` (shared cache
-//!   model), or `Cats`,
+//! * [`GenRequest`] — one user's prompt + generation budget + strategy spec,
+//! * [`StrategySpec`] (from [`dip_core::spec`]) — *any* strategy of the
+//!   paper's family: dense, GLU/gate/up pruning, CATS, DejaVu-style
+//!   predictive pruning, DIP, DIP-CA (shared cache model). Specs are
+//!   serializable, so a workload mix is a JSON list — no recompilation,
 //! * [`SchedulerPolicy`] — FIFO or shortest-remaining-first continuous
 //!   batching,
 //! * [`ServeEngine`] / [`ServeConfig`] — the engine itself,
 //! * [`ServeReport`] — per-request latency (p50/p95/p99), aggregate
 //!   tokens/sec, fairness and shared-cache hit rate.
 //!
+//! Specs that need an offline weight transform (SparseGPT static pruning,
+//! LoRA fusing) are rejected per-request — the engine serves one shared
+//! model; transform the model first and serve that.
+//!
 //! # Example
 //!
 //! ```
-//! use serve::{GenRequest, ServeConfig, ServeEngine, SparsityPolicy};
+//! use serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
 //! use lm::{build_synthetic, ModelConfig};
 //!
 //! let model = build_synthetic(&ModelConfig::tiny(), 1)?;
 //! let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(400_000);
 //! let mut engine = ServeEngine::new(model, ServeConfig::new(device))?;
+//! let spec = StrategySpec::from_json(r#"{"method": "dip", "density": 0.5}"#)
+//!     .map_err(serve::ServeError::Dip)?;
 //! let requests = (0..4)
-//!     .map(|i| GenRequest::new(i, vec![1 + i as u32], 4, SparsityPolicy::Dip { density: 0.5 }))
+//!     .map(|i| GenRequest::new(i, vec![1 + i as u32], 4, spec))
 //!     .collect();
 //! let report = engine.run(requests)?;
 //! assert_eq!(report.requests.len(), 4);
@@ -53,4 +61,8 @@ pub use report::{percentile, RequestStats, ServeReport};
 pub use request::GenRequest;
 pub use scheduler::SchedulerPolicy;
 pub use session::{Session, SessionPhase};
-pub use strategy::{resolve_axes, SharedStrategy, SparsityPolicy, StrategyFactory};
+#[allow(deprecated)]
+pub use strategy::SparsityPolicy;
+pub use strategy::{
+    resolve_axes, NmPattern, PredictorSpec, SharedMlpForward, StrategyFactory, StrategySpec,
+};

@@ -99,14 +99,20 @@ impl ServeReport {
     }
 }
 
-/// Nearest-rank percentile of an unsorted sample; `q` in `[0, 1]`.
-/// Returns 0 for an empty sample.
+/// Nearest-rank percentile of an unsorted sample; `q` is clamped to
+/// `[0, 1]`.
+///
+/// Every input is total-ordered (`f64::total_cmp`), so the function never
+/// panics: an **empty sample returns `0.0`** by definition (there is no
+/// latency to report, and reports render the run as idle rather than
+/// crashing), a single-element sample returns that element for every `q`,
+/// and NaNs sort last instead of aborting the sort.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
@@ -124,8 +130,31 @@ mod tests {
         assert_eq!(percentile(&v, 0.99), 5.0);
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 5.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_sample_is_defined() {
+        // The documented empty-slice contract: 0.0 at every quantile, no
+        // index panic.
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(percentile(&[], q), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentile_of_single_element_is_that_element() {
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_tolerates_non_finite_samples() {
+        // total_cmp sorts NaN last and infinities at the extremes: the
+        // median of a poisoned sample is still a defined value.
+        let v = vec![2.0, f64::NAN, 1.0, f64::INFINITY, f64::NEG_INFINITY];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.0), f64::NEG_INFINITY);
     }
 
     #[test]

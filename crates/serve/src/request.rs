@@ -1,6 +1,6 @@
 //! Generation requests: what a user session asks the engine to do.
 
-use crate::strategy::SparsityPolicy;
+use crate::strategy::StrategySpec;
 use serde::{Deserialize, Serialize};
 
 /// One user's generation request.
@@ -14,13 +14,14 @@ pub struct GenRequest {
     pub max_new_tokens: usize,
     /// Sampling temperature (0 = greedy).
     pub temperature: f32,
-    /// The sparsity strategy this request's MLP forward passes run with.
-    pub strategy: SparsityPolicy,
+    /// The sparsity strategy spec this request's MLP forward passes run
+    /// with (any strategy of the `dip_core::spec` family).
+    pub strategy: StrategySpec,
 }
 
 impl GenRequest {
     /// Creates a request with greedy sampling.
-    pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize, strategy: SparsityPolicy) -> Self {
+    pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize, strategy: StrategySpec) -> Self {
         GenRequest {
             id,
             prompt,
@@ -49,10 +50,10 @@ mod tests {
 
     #[test]
     fn construction_and_length() {
-        let r = GenRequest::new(3, vec![1, 2, 3], 10, SparsityPolicy::Dense).with_temperature(0.7);
+        let r = GenRequest::new(3, vec![1, 2, 3], 10, StrategySpec::Dense).with_temperature(0.7);
         assert_eq!(r.id, 3);
         assert_eq!(r.total_tokens(), 13);
         assert!((r.temperature - 0.7).abs() < 1e-6);
-        assert_eq!(r.strategy, SparsityPolicy::Dense);
+        assert_eq!(r.strategy, StrategySpec::Dense);
     }
 }

@@ -13,7 +13,9 @@
 //! * [`SchedulerPolicy::ShortestRemainingFirst`] — admit the shortest
 //!   waiting request first and always serve the active session with the
 //!   fewest remaining tokens. Short interactive requests overtake long
-//!   batch jobs, trading fairness for lower median latency.
+//!   batch jobs, trading fairness for lower median latency. Ties on the
+//!   remaining budget break deterministically by request id, so a run's
+//!   schedule is a pure function of its request set.
 
 use crate::request::GenRequest;
 use crate::session::Session;
@@ -54,7 +56,7 @@ impl SchedulerPolicy {
             SchedulerPolicy::ShortestRemainingFirst => waiting
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, r)| (r.total_tokens(), *i))
+                .min_by_key(|(_, r)| (r.total_tokens(), r.id))
                 .map(|(i, _)| i),
         }
     }
@@ -71,7 +73,7 @@ impl SchedulerPolicy {
             SchedulerPolicy::ShortestRemainingFirst => active
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, s)| (s.remaining_tokens(), s.stream))
+                .min_by_key(|(_, s)| (s.remaining_tokens(), s.request.id))
                 .map(|(i, _)| i),
         }
     }
@@ -80,12 +82,12 @@ impl SchedulerPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::SparsityPolicy;
+    use crate::strategy::StrategySpec;
     use lm::mlp::DenseMlp;
     use lm::{build_synthetic, ModelConfig};
 
     fn request(id: u64, prompt_len: usize, new_tokens: usize) -> GenRequest {
-        GenRequest::new(id, vec![1; prompt_len], new_tokens, SparsityPolicy::Dense)
+        GenRequest::new(id, vec![1; prompt_len], new_tokens, StrategySpec::Dense)
     }
 
     fn session(stream: usize, prompt_len: usize, new_tokens: usize) -> Session {
@@ -133,6 +135,97 @@ mod tests {
             SchedulerPolicy::ShortestRemainingFirst.next_service(&[]),
             None
         );
+    }
+
+    fn session_with_id(id: u64, stream: usize, new_tokens: usize) -> Session {
+        let model = build_synthetic(&ModelConfig::tiny(), 1).unwrap();
+        Session::new(
+            stream,
+            request(id, 1, new_tokens),
+            0,
+            model.new_decode_state(),
+            Box::new(DenseMlp),
+        )
+    }
+
+    #[test]
+    fn srf_breaks_remaining_budget_ties_by_request_id() {
+        // Four sessions with identical remaining budgets; ids deliberately
+        // out of order relative to stream (admission) order. The winner must
+        // be the smallest *request id*, not the smallest stream index or the
+        // position in the vector.
+        let active = vec![
+            session_with_id(7, 0, 5),
+            session_with_id(3, 1, 5),
+            session_with_id(9, 2, 5),
+            session_with_id(3, 3, 5), /* duplicate id: stable on first */
+        ];
+        let pick = SchedulerPolicy::ShortestRemainingFirst.next_service(&active);
+        assert_eq!(pick, Some(1), "id 3 wins the tie");
+
+        // Deterministic across repeated evaluations of the same state.
+        for _ in 0..10 {
+            assert_eq!(
+                SchedulerPolicy::ShortestRemainingFirst.next_service(&active),
+                pick
+            );
+        }
+
+        // The same tie among *waiting* requests also resolves by id.
+        let waiting = vec![request(5, 1, 4), request(2, 1, 4), request(8, 1, 4)];
+        for _ in 0..10 {
+            assert_eq!(
+                SchedulerPolicy::ShortestRemainingFirst.next_admission(&waiting),
+                Some(1),
+                "id 2 wins the admission tie"
+            );
+        }
+    }
+
+    #[test]
+    fn srf_tie_break_is_stable_across_runs() {
+        // End-to-end determinism: serving the same tied fleet twice yields
+        // the same completion order (a pure function of the request set).
+        use crate::{GenRequest, ServeConfig, ServeEngine};
+        let run = || {
+            let config = ModelConfig::tiny();
+            let model = build_synthetic(&config, 13).unwrap();
+            let layout = crate::layout::layout_for_serving(
+                &config,
+                [lm::SliceAxis::Input; 3],
+                4.0,
+                2,
+                config.max_seq_len,
+            );
+            let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+            let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+            let mut engine = ServeEngine::new(
+                model,
+                ServeConfig::new(device)
+                    .with_max_concurrent(2)
+                    .with_scheduler(SchedulerPolicy::ShortestRemainingFirst),
+            )
+            .unwrap();
+            // equal budgets everywhere: ordering is decided purely by id
+            let requests: Vec<GenRequest> = [4u64, 1, 3, 2]
+                .into_iter()
+                .map(|id| GenRequest::new(id, vec![1, 2], 4, StrategySpec::Dense))
+                .collect();
+            let report = engine.run(requests).unwrap();
+            report
+                .requests
+                .iter()
+                .map(|r| (r.id, r.completion_s))
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "tied SRF schedules must be reproducible");
+        // with everything tied, completion order follows request id
+        let mut by_completion = first.clone();
+        by_completion.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let ids: Vec<u64> = by_completion.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::SparsityPolicy;
+    use crate::strategy::StrategySpec;
     use lm::mlp::DenseMlp;
     use lm::{build_synthetic, ModelConfig};
     use rand::SeedableRng;
@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn session_walks_through_prefill_then_decode() {
         let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
-        let request = GenRequest::new(1, vec![1, 2], 3, SparsityPolicy::Dense);
+        let request = GenRequest::new(1, vec![1, 2], 3, StrategySpec::Dense);
         let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
         let mut rng = StdRng::seed_from_u64(0);
 

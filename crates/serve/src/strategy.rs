@@ -1,161 +1,54 @@
-//! Per-request sparsity strategies and their engine-side instantiation.
+//! Engine-side strategy instantiation on top of the shared declarative
+//! strategy API ([`dip_core::spec`]).
 //!
-//! Requests name a [`SparsityPolicy`]; the engine turns it into a concrete
-//! [`lm::MlpForward`] implementation from the `dip-core` crate. Two details
-//! are serving-specific:
+//! Requests name a [`StrategySpec`]; the engine turns it into a concrete
+//! [`lm::MlpForward`] implementation through one
+//! [`dip_core::spec::StrategyRegistry`] per run, which owns the details that
+//! used to be serving-specific re-implementations:
 //!
 //! * **Shared cache model for DIP-CA.** Cache-aware masking re-weights
 //!   activation scores by "is this column currently in DRAM". In a
 //!   multi-tenant engine the DRAM column cache is shared, so every DIP-CA
-//!   session must consult (and update) *one* cache model rather than a
-//!   private copy — otherwise each session optimises for a cache that does
-//!   not exist. [`SharedStrategy`] wraps one `DipCacheAware` instance in a
-//!   shared cell handed to every DIP-CA session of a run, and the engine
-//!   additionally feeds *co-tenant* traffic (dense/DIP/other-γ sessions)
-//!   into each shared model via [`StrategyFactory::observe_cross_traffic`],
-//!   so the model tracks everything that flows through the physical cache.
-//! * **Axis compatibility.** The DRAM cache holds weight *slices*; DIP-family
-//!   methods slice `W_u`/`W_g` by input column while CATS slices them by
-//!   output neuron. Slices along different axes cannot share one cache, so
-//!   the engine checks [`SparsityPolicy::axis_requirements`] across all
-//!   requests of a run before building the shared layout.
+//!   session with the same `(density, γ)` gets the *same*
+//!   [`dip_core::spec::SharedMlpForward`] cell, and the engine feeds
+//!   *co-tenant* traffic (dense/DIP/other-γ sessions) into each shared model
+//!   via [`StrategyFactory::observe_cross_traffic`].
+//! * **Axis compatibility.** The DRAM cache holds weight *slices*; specs
+//!   declare which axis they slice each matrix along
+//!   ([`StrategySpec::axis_requirements`]), and [`resolve_axes`] rejects
+//!   mixes that cannot share one column cache before any token is served.
+//! * **Calibration and training hooks.** CATS thresholds are calibrated and
+//!   DejaVu predictors trained lazily from the engine's calibration trace,
+//!   memoized per configuration by the registry.
+//!
+//! Specs that require an offline *weight transform* (SparseGPT static
+//! pruning, LoRA fusing — [`StrategySpec::weight_transform`]) are rejected:
+//! a per-request strategy cannot rewrite the model that every other tenant
+//! is concurrently decoding with. Those methods run in the single-stream
+//! experiment workbench, which owns its model.
 
 use crate::error::{Result, ServeError};
-use dip_core::strategies::{CatsPruning, Dip, DipCacheAware};
-use dip_core::{DensityAllocation, SparsityScheme};
-use lm::mlp::DenseMlp;
-use lm::{ActivationTrace, GluMlp, MlpForward, MlpForwardOutput, SliceAxis, TransformerModel};
-use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::rc::Rc;
+use dip_core::spec::{BuildEnv, StrategyRegistry};
+use lm::{ActivationTrace, MlpForward, SliceAxis, TransformerModel};
 
-/// The sparsity strategy a request runs under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum SparsityPolicy {
-    /// Stream the dense model (every weight column, every token).
-    Dense,
-    /// Dynamic Input Pruning at a target overall MLP weight density.
-    Dip {
-        /// Target MLP weight density in `(0, 1]`.
-        density: f32,
-    },
-    /// Cache-aware DIP: DIP whose selection is re-weighted by the *shared*
-    /// DRAM cache state (one cache model per engine run).
-    DipCacheAware {
-        /// Target MLP weight density in `(0, 1]`.
-        density: f32,
-        /// Cache-aware penalty γ in `(0, 1]` (the paper uses 0.2).
-        gamma: f32,
-    },
-    /// CATS threshold pruning at a target overall MLP weight density
-    /// (requires a calibration trace; the engine calibrates lazily).
-    Cats {
-        /// Target MLP weight density in `(0, 1]`.
-        density: f32,
-    },
-}
+pub use dip_core::spec::{NmPattern, PredictorSpec, SharedMlpForward, StrategySpec};
 
-impl SparsityPolicy {
-    /// Short label used in reports.
-    pub fn label(&self) -> String {
-        match self {
-            SparsityPolicy::Dense => "dense".to_string(),
-            SparsityPolicy::Dip { density } => format!("dip@{density:.2}"),
-            SparsityPolicy::DipCacheAware { density, gamma } => {
-                format!("dip-ca@{density:.2}(g={gamma})")
-            }
-            SparsityPolicy::Cats { density } => format!("cats@{density:.2}"),
-        }
-    }
+/// Former name of the per-request strategy type, kept as an alias for
+/// downstream code written against the closed pre-spec enum.
+#[deprecated(note = "use `StrategySpec` — the open strategy API shared with `dip_core`")]
+pub type SparsityPolicy = StrategySpec;
 
-    /// The weight-slicing axis each MLP matrix is loaded along
-    /// (`[up, gate, down]`); `None` means dense access, which is compatible
-    /// with any axis.
-    pub fn axis_requirements(&self) -> [Option<SliceAxis>; 3] {
-        match self {
-            SparsityPolicy::Dense => [None, None, None],
-            SparsityPolicy::Dip { .. } | SparsityPolicy::DipCacheAware { .. } => [
-                Some(SliceAxis::Input),
-                Some(SliceAxis::Input),
-                Some(SliceAxis::Input),
-            ],
-            // CATS skips whole neurons: rows of W_u (output axis), dense gate,
-            // columns of W_d (input axis).
-            SparsityPolicy::Cats { .. } => [Some(SliceAxis::Output), None, Some(SliceAxis::Input)],
-        }
-    }
-
-    /// Whether this policy needs a calibration trace.
-    pub fn needs_calibration(&self) -> bool {
-        matches!(self, SparsityPolicy::Cats { .. })
-    }
-}
-
-/// One DIP-CA instance shared by several sessions (interior-mutable because
-/// [`MlpForward::forward`] takes `&mut self` and sessions interleave).
-#[derive(Clone)]
-pub struct SharedStrategy {
-    inner: Rc<RefCell<DipCacheAware>>,
-}
-
-impl SharedStrategy {
-    /// Wraps a cache-aware strategy for shared use.
-    pub fn new(strategy: DipCacheAware) -> Self {
-        SharedStrategy {
-            inner: Rc::new(RefCell::new(strategy)),
-        }
-    }
-
-    /// Feeds a co-tenant's weight accesses into the shared cache model (see
-    /// [`DipCacheAware::observe_access`]).
-    pub fn observe_access(&self, layer: usize, input_cols: &[usize], glu_cols: &[usize]) {
-        self.inner
-            .borrow_mut()
-            .observe_access(layer, input_cols, glu_cols);
-    }
-}
-
-impl MlpForward for SharedStrategy {
-    fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> lm::Result<MlpForwardOutput> {
-        self.inner.borrow_mut().forward(layer, mlp, x)
-    }
-
-    fn name(&self) -> String {
-        format!("shared({})", self.inner.borrow().name())
-    }
-
-    fn reset(&mut self) {
-        self.inner.borrow_mut().reset();
-    }
-}
-
-/// Builds concrete strategies for one engine run, sharing the DIP-CA cache
-/// model across sessions with identical (density, γ).
+/// Builds concrete strategies for one engine run (a thin serving adapter
+/// over [`StrategyRegistry`]).
 pub struct StrategyFactory {
-    allocation: DensityAllocation,
-    shared_dip_ca: Vec<((u32, u32), SharedStrategy)>,
-    calibrated_cats: Vec<(u32, CatsPruning)>,
-}
-
-fn key(v: f32) -> u32 {
-    (v * 10_000.0).round() as u32
-}
-
-/// The cache-sharing key of a DIP-CA policy; `None` for every other policy.
-pub(crate) fn dip_ca_key(policy: SparsityPolicy) -> Option<(u32, u32)> {
-    match policy {
-        SparsityPolicy::DipCacheAware { density, gamma } => Some((key(density), key(gamma))),
-        _ => None,
-    }
+    registry: StrategyRegistry,
 }
 
 impl StrategyFactory {
     /// Creates a factory using the balanced density-allocation model.
     pub fn new() -> Self {
         StrategyFactory {
-            allocation: DensityAllocation::balanced(),
-            shared_dip_ca: Vec::new(),
-            calibrated_cats: Vec::new(),
+            registry: StrategyRegistry::new(),
         }
     }
 
@@ -163,72 +56,42 @@ impl StrategyFactory {
     ///
     /// `capacities` sizes DIP-CA's shared cache model (one entry per layer,
     /// from the same DRAM allocation the simulator uses) and `calibration`
-    /// provides the CATS thresholds' calibration trace.
+    /// provides the trace behind CATS thresholds and predictor training.
     ///
     /// # Errors
     ///
-    /// Propagates strategy construction/calibration errors; requesting CATS
-    /// without a calibration trace is an [`ServeError::InvalidConfig`].
+    /// Returns [`ServeError::InvalidConfig`] for weight-transforming specs
+    /// and propagates strategy construction/calibration errors (requesting a
+    /// calibration-requiring spec without a trace included).
     pub fn instantiate(
         &mut self,
-        policy: SparsityPolicy,
+        spec: &StrategySpec,
         model: &TransformerModel,
         capacities: &[hwsim::BlockCacheCapacity],
         calibration: Option<&ActivationTrace>,
     ) -> Result<Box<dyn MlpForward>> {
-        match policy {
-            SparsityPolicy::Dense => Ok(Box::new(DenseMlp)),
-            SparsityPolicy::Dip { density } => {
-                let (input_d, glu_d) = self.allocation.split(density)?;
-                Ok(Box::new(Dip::new(input_d, glu_d)?))
-            }
-            SparsityPolicy::DipCacheAware { density, gamma } => {
-                let k = dip_ca_key(policy).expect("policy is DIP-CA");
-                if let Some((_, shared)) = self.shared_dip_ca.iter().find(|(kk, _)| *kk == k) {
-                    return Ok(Box::new(shared.clone()));
-                }
-                let (input_d, glu_d) = self.allocation.split(density)?;
-                let strategy = DipCacheAware::new(
-                    input_d,
-                    glu_d,
-                    gamma,
-                    model.config.d_model,
-                    model.config.d_ff,
-                    capacities.to_vec(),
-                )?;
-                let shared = SharedStrategy::new(strategy);
-                self.shared_dip_ca.push((k, shared.clone()));
-                Ok(Box::new(shared))
-            }
-            SparsityPolicy::Cats { density } => {
-                // thresholds depend only on (model, density); calibrate once
-                // per density and clone for each session
-                let k = key(density);
-                if let Some((_, cats)) = self.calibrated_cats.iter().find(|(kk, _)| *kk == k) {
-                    return Ok(Box::new(cats.clone()));
-                }
-                let calibration = calibration.ok_or(ServeError::InvalidConfig {
-                    field: "calibration",
-                    reason: "CATS requires a calibration trace".to_string(),
-                })?;
-                let neuron_density =
-                    SparsityScheme::TwoOfThree.activation_density_for_target(density)?;
-                let cats = CatsPruning::calibrate(model, calibration, neuron_density)?;
-                self.calibrated_cats.push((k, cats.clone()));
-                Ok(Box::new(cats))
-            }
+        if spec.weight_transform().is_some() {
+            return Err(ServeError::InvalidConfig {
+                field: "strategy",
+                reason: format!(
+                    "`{}` requires an offline weight transform and cannot run \
+                     per-request against the shared serving model",
+                    spec.label()
+                ),
+            });
         }
+        let env = BuildEnv {
+            model,
+            calibration,
+            capacities: Some(capacities),
+        };
+        Ok(self.registry.build(spec, &env)?.strategy)
     }
 
     /// Feeds one served token's weight accesses into every shared DIP-CA
-    /// cache model except the one that produced it (`served`) — its own
-    /// forward pass already updated itself. This keeps each cache-aware mask
-    /// consistent with the *shared* DRAM cache that all tenants' traffic
-    /// flows through.
-    ///
-    /// Axis note: mixes of DIP-CA with output-axis strategies (CATS) are
-    /// rejected by [`resolve_axes`] before any token is served, so the `up`
-    /// and `down` records seen here are always input-axis (or dense `All`).
+    /// cache model except the one that produced it (`served`, the serving
+    /// session's [`StrategySpec::shared_cache_key`]). See
+    /// [`StrategyRegistry::observe_cross_traffic`].
     pub fn observe_cross_traffic(
         &self,
         served: Option<(u32, u32)>,
@@ -236,27 +99,13 @@ impl StrategyFactory {
         d_model: usize,
         d_ff: usize,
     ) {
-        if self.shared_dip_ca.iter().all(|(k, _)| served == Some(*k)) {
-            return;
-        }
-        // materialise the per-layer column indices once, not once per model
-        let per_layer: Vec<(Vec<usize>, Vec<usize>)> = records
-            .iter()
-            .map(|rec| {
-                (
-                    rec.up.slices.indices(d_model),
-                    rec.down.slices.indices(d_ff),
-                )
-            })
-            .collect();
-        for (k, shared) in &self.shared_dip_ca {
-            if served == Some(*k) {
-                continue;
-            }
-            for (layer, (input_cols, glu_cols)) in per_layer.iter().enumerate() {
-                shared.observe_access(layer, input_cols, glu_cols);
-            }
-        }
+        self.registry
+            .observe_cross_traffic(served, records, d_model, d_ff);
+    }
+
+    /// Number of distinct shared DIP-CA cells built so far (diagnostics).
+    pub fn shared_cell_count(&self) -> usize {
+        self.registry.shared_cell_count()
     }
 }
 
@@ -268,38 +117,18 @@ impl Default for StrategyFactory {
 
 /// Checks that every request's axis demands agree per matrix, returning the
 /// resolved axes (`[up, gate, down]`, defaulting to the input axis wherever
-/// every request is dense).
+/// every request is dense). Delegates to [`dip_core::spec::resolve_axes`].
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::IncompatibleStrategies`] on a conflict.
-pub fn resolve_axes(policies: &[SparsityPolicy]) -> Result<[SliceAxis; 3]> {
-    let names = ["up", "gate", "down"];
-    let mut resolved: [Option<SliceAxis>; 3] = [None, None, None];
-    for p in policies {
-        for (i, need) in p.axis_requirements().iter().enumerate() {
-            match (resolved[i], *need) {
-                (_, None) => {}
-                (None, Some(a)) => resolved[i] = Some(a),
-                (Some(a), Some(b)) if a == b => {}
-                (Some(a), Some(b)) => {
-                    return Err(ServeError::IncompatibleStrategies {
-                        reason: format!(
-                            "matrix `{}` is sliced along {a:?} by one request and {b:?} by `{}`; \
-                             slices along different axes cannot share one column cache",
-                            names[i],
-                            p.label()
-                        ),
-                    });
-                }
-            }
+pub fn resolve_axes(specs: &[StrategySpec]) -> Result<[SliceAxis; 3]> {
+    dip_core::spec::resolve_axes(specs).map_err(|e| match e {
+        dip_core::DipError::IncompatibleSpecs { reason } => {
+            ServeError::IncompatibleStrategies { reason }
         }
-    }
-    Ok([
-        resolved[0].unwrap_or(SliceAxis::Input),
-        resolved[1].unwrap_or(SliceAxis::Input),
-        resolved[2].unwrap_or(SliceAxis::Input),
-    ])
+        other => ServeError::Dip(other),
+    })
 }
 
 #[cfg(test)]
@@ -318,51 +147,21 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_distinct() {
-        let labels: Vec<String> = [
-            SparsityPolicy::Dense,
-            SparsityPolicy::Dip { density: 0.5 },
-            SparsityPolicy::DipCacheAware {
-                density: 0.5,
-                gamma: 0.2,
-            },
-            SparsityPolicy::Cats { density: 0.5 },
-        ]
-        .iter()
-        .map(SparsityPolicy::label)
-        .collect();
-        let unique: std::collections::HashSet<&String> = labels.iter().collect();
-        assert_eq!(unique.len(), labels.len());
-    }
-
-    #[test]
-    fn axis_resolution_accepts_dip_family_and_dense() {
+    fn axis_resolution_maps_conflicts_to_serve_errors() {
         let axes = resolve_axes(&[
-            SparsityPolicy::Dense,
-            SparsityPolicy::Dip { density: 0.5 },
-            SparsityPolicy::DipCacheAware {
+            StrategySpec::Dense,
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::DipCacheAware {
                 density: 0.4,
                 gamma: 0.2,
             },
         ])
         .unwrap();
         assert_eq!(axes, [SliceAxis::Input; 3]);
-    }
 
-    #[test]
-    fn axis_resolution_accepts_cats_with_dense_only() {
-        let axes =
-            resolve_axes(&[SparsityPolicy::Cats { density: 0.5 }, SparsityPolicy::Dense]).unwrap();
-        assert_eq!(axes[0], SliceAxis::Output);
-        assert_eq!(axes[1], SliceAxis::Input);
-        assert_eq!(axes[2], SliceAxis::Input);
-    }
-
-    #[test]
-    fn axis_resolution_rejects_cats_plus_dip() {
         let err = resolve_axes(&[
-            SparsityPolicy::Dip { density: 0.5 },
-            SparsityPolicy::Cats { density: 0.5 },
+            StrategySpec::Dip { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
         ])
         .unwrap_err();
         assert!(matches!(err, ServeError::IncompatibleStrategies { .. }));
@@ -374,13 +173,13 @@ mod tests {
         let model = build_synthetic(&config, 5).unwrap();
         let caps = capacities(&config);
         let mut factory = StrategyFactory::new();
-        let policy = SparsityPolicy::DipCacheAware {
+        let spec = StrategySpec::DipCacheAware {
             density: 0.5,
             gamma: 0.2,
         };
-        let mut a = factory.instantiate(policy, &model, &caps, None).unwrap();
-        let mut b = factory.instantiate(policy, &model, &caps, None).unwrap();
-        assert_eq!(factory.shared_dip_ca.len(), 1);
+        let mut a = factory.instantiate(&spec, &model, &caps, None).unwrap();
+        let mut b = factory.instantiate(&spec, &model, &caps, None).unwrap();
+        assert_eq!(factory.shared_cell_count(), 1);
         assert!(a.name().starts_with("shared("));
 
         // the two handles share cache state: a's accesses influence b's view.
@@ -393,54 +192,46 @@ mod tests {
             "warm shared cache keeps the selection stable"
         );
 
-        // a different gamma gets its own instance
-        let other = SparsityPolicy::DipCacheAware {
+        let other = StrategySpec::DipCacheAware {
             density: 0.5,
             gamma: 0.9,
         };
-        factory.instantiate(other, &model, &caps, None).unwrap();
-        assert_eq!(factory.shared_dip_ca.len(), 2);
+        factory.instantiate(&other, &model, &caps, None).unwrap();
+        assert_eq!(factory.shared_cell_count(), 2);
     }
 
     #[test]
-    fn cross_traffic_observation_reaches_other_models_only() {
+    fn weight_transforming_specs_are_rejected() {
         let config = ModelConfig::tiny();
         let model = build_synthetic(&config, 5).unwrap();
-        let caps = capacities(&config);
-        let policy = SparsityPolicy::DipCacheAware {
-            density: 0.5,
-            gamma: 0.2,
-        };
-        let k = dip_ca_key(policy).unwrap();
-        // near-uniform input so the cache-aware bias dominates the selection
-        let x: Vec<f32> = (0..config.d_model).map(|i| 0.5 + 1e-4 * i as f32).collect();
-        let mlp = &model.layers[0].mlp;
-        // a dense co-tenant token: every input column, every glu column
-        let dense_records: Vec<lm::MlpAccessRecord> = (0..config.n_layers)
-            .map(|_| lm::MlpAccessRecord {
-                up: lm::MatrixAccess::input((0..config.d_model / 3).collect()),
-                gate: lm::MatrixAccess::input((0..config.d_model / 3).collect()),
-                down: lm::MatrixAccess::input((0..config.d_ff / 3).collect()),
-            })
-            .collect();
-
-        let run_with = |served: Option<(u32, u32)>| {
-            let mut factory = StrategyFactory::new();
-            let mut strategy = factory.instantiate(policy, &model, &caps, None).unwrap();
-            for _ in 0..8 {
-                factory.observe_cross_traffic(served, &dense_records, config.d_model, config.d_ff);
-            }
-            strategy.forward(0, mlp, &x).unwrap().access
-        };
-
-        // traffic attributed to the model itself is not double-counted...
-        let own = run_with(Some(k));
-        // ...but a co-tenant's traffic shifts the cache-aware selection
-        let foreign = run_with(None);
-        assert_ne!(
-            own, foreign,
-            "co-tenant traffic must reach the shared model"
-        );
+        let mut factory = StrategyFactory::new();
+        for spec in [
+            StrategySpec::SparseGpt {
+                density: 0.5,
+                pattern: NmPattern::NofM { n: 2, m: 4 },
+            },
+            StrategySpec::DipLora {
+                density: 0.5,
+                rank: 8,
+            },
+            StrategySpec::CatsLora {
+                density: 0.5,
+                rank: 8,
+            },
+        ] {
+            let result = factory.instantiate(&spec, &model, &[], None);
+            assert!(
+                matches!(
+                    result,
+                    Err(ServeError::InvalidConfig {
+                        field: "strategy",
+                        ..
+                    })
+                ),
+                "{} must be rejected",
+                spec.label()
+            );
+        }
     }
 
     #[test]
@@ -448,53 +239,44 @@ mod tests {
         let config = ModelConfig::tiny();
         let model = build_synthetic(&config, 5).unwrap();
         let mut factory = StrategyFactory::new();
-        let result = factory.instantiate(SparsityPolicy::Cats { density: 0.5 }, &model, &[], None);
-        assert!(matches!(result, Err(ServeError::InvalidConfig { .. })));
+        let result = factory.instantiate(&StrategySpec::Cats { density: 0.5 }, &model, &[], None);
+        assert!(matches!(
+            result,
+            Err(ServeError::Dip(dip_core::DipError::InvalidParameter {
+                name: "calibration",
+                ..
+            }))
+        ));
     }
 
     #[test]
-    fn cats_calibration_is_memoized_per_density() {
+    fn non_dip_family_specs_instantiate_for_serving() {
         let config = ModelConfig::tiny();
         let model = build_synthetic(&config, 5).unwrap();
         let seqs = lm::eval::standard_eval_corpus(&model, 2, 12, 1).unwrap();
         let trace = lm::trace::collect_activation_trace(&model, &seqs).unwrap();
         let mut factory = StrategyFactory::new();
-        let policy = SparsityPolicy::Cats { density: 0.5 };
-        factory
-            .instantiate(policy, &model, &[], Some(&trace))
-            .unwrap();
-        assert_eq!(factory.calibrated_cats.len(), 1);
-        // same density: the cached thresholds are reused (works even without
-        // a calibration trace because no recalibration happens)
-        factory.instantiate(policy, &model, &[], None).unwrap();
-        assert_eq!(factory.calibrated_cats.len(), 1);
-        // a different density calibrates again
-        factory
-            .instantiate(
-                SparsityPolicy::Cats { density: 0.7 },
-                &model,
-                &[],
-                Some(&trace),
-            )
-            .unwrap();
-        assert_eq!(factory.calibrated_cats.len(), 2);
-    }
-
-    #[test]
-    fn dense_and_dip_instantiate() {
-        let config = ModelConfig::tiny();
-        let model = build_synthetic(&config, 5).unwrap();
-        let mut factory = StrategyFactory::new();
-        let mut dense = factory
-            .instantiate(SparsityPolicy::Dense, &model, &[], None)
-            .unwrap();
-        assert_eq!(dense.name(), "dense");
-        let mut dip = factory
-            .instantiate(SparsityPolicy::Dip { density: 0.5 }, &model, &[], None)
-            .unwrap();
         let x = vec![0.2f32; config.d_model];
         let mlp = &model.layers[0].mlp;
-        assert!(dense.forward(0, mlp, &x).is_ok());
-        assert!(dip.forward(0, mlp, &x).is_ok());
+        for spec in [
+            StrategySpec::Dense,
+            StrategySpec::GluPruning { density: 0.75 },
+            StrategySpec::GatePruning { density: 0.5 },
+            StrategySpec::UpPruning { density: 0.5 },
+            StrategySpec::Cats { density: 0.5 },
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec {
+                    hidden: Some(16),
+                    epochs: Some(1),
+                },
+            },
+            StrategySpec::Dip { density: 0.5 },
+        ] {
+            let mut strategy = factory
+                .instantiate(&spec, &model, &[], Some(&trace))
+                .unwrap();
+            assert!(strategy.forward(0, mlp, &x).is_ok(), "{}", spec.label());
+        }
     }
 }

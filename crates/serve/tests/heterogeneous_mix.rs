@@ -1,0 +1,178 @@
+//! ISSUE 2 acceptance: the engine accepts *arbitrary* strategy specs — a
+//! heterogeneous 8-session mix including non-DIP-family strategies
+//! (DejaVu-style predictive pruning, gate pruning) runs on the shared cache
+//! and produces a well-formed report; declarative JSON mixes run end-to-end.
+
+use lm::{build_synthetic, ModelConfig, SliceAxis};
+use serve::{
+    GenRequest, PredictorSpec, ServeConfig, ServeEngine, ServeError, ServeReport, StrategySpec,
+};
+
+const N_SESSIONS: usize = 8;
+const NEW_TOKENS: usize = 8;
+
+fn engine(axes: [SliceAxis; 3]) -> ServeEngine {
+    let config = ModelConfig::tiny();
+    let model = build_synthetic(&config, 13).unwrap();
+    let layout = serve::layout::layout_for_serving(&config, axes, 4.0, N_SESSIONS, 32);
+    let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(N_SESSIONS)
+            .with_kv_budget(32),
+    )
+    .unwrap()
+}
+
+fn fleet(specs: &[StrategySpec]) -> Vec<GenRequest> {
+    (0..N_SESSIONS)
+        .map(|i| {
+            GenRequest::new(
+                i as u64,
+                vec![(i % 5) as u32 + 1, (i % 11) as u32 + 7],
+                NEW_TOKENS,
+                specs[i % specs.len()],
+            )
+        })
+        .collect()
+}
+
+fn assert_well_formed(report: &ServeReport, requests: &[GenRequest]) {
+    assert_eq!(report.requests.len(), N_SESSIONS);
+    assert_eq!(report.total_generated_tokens, N_SESSIONS * NEW_TOKENS);
+    assert!(report.makespan_s > 0.0);
+    assert!(report.aggregate_tps > 0.0);
+    assert!(report.latency_p50_s > 0.0);
+    assert!(report.latency_p50_s <= report.latency_p95_s);
+    assert!(report.latency_p95_s <= report.latency_p99_s);
+    assert!(report.latency_p99_s <= report.makespan_s + 1e-12);
+    assert!(report.fairness > 0.0 && report.fairness <= 1.0 + 1e-12);
+    assert!(report.cache_hit_rate >= 0.0 && report.cache_hit_rate <= 1.0);
+    assert!(report.mean_density > 0.0 && report.mean_density <= 1.0 + 1e-12);
+    // every request is reported under the label of the spec it asked for
+    for (r, stat) in requests.iter().zip(report.requests.iter()) {
+        assert_eq!(stat.id, r.id);
+        assert_eq!(stat.strategy, r.strategy.label());
+        assert_eq!(stat.generated_tokens, NEW_TOKENS);
+        assert!(stat.first_token_s > 0.0);
+        assert!(stat.first_token_s <= stat.completion_s);
+    }
+    assert!(!report.summary().is_empty());
+}
+
+#[test]
+fn output_axis_mix_with_predictive_and_gate_pruning_runs_on_the_shared_cache() {
+    // Five different strategy families — dense + CATS + gate + up + DejaVu
+    // predictive — share one engine run and one DRAM column cache. Each
+    // spec's axis requirements agree per matrix (up: Output, gate: Output,
+    // down: Input), which is exactly what resolve_axes checks from the spec.
+    let specs = [
+        StrategySpec::Dense,
+        StrategySpec::Cats { density: 0.5 },
+        StrategySpec::GatePruning { density: 0.5 },
+        StrategySpec::UpPruning { density: 0.5 },
+        StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec {
+                hidden: Some(16),
+                epochs: Some(1),
+            },
+        },
+    ];
+    let axes = serve::resolve_axes(&specs).unwrap();
+    assert_eq!(axes[0], SliceAxis::Output);
+    assert_eq!(axes[2], SliceAxis::Input);
+
+    let requests = fleet(&specs);
+    let mut engine = engine(axes);
+    let report = engine.run(requests.clone()).unwrap();
+    assert_well_formed(&report, &requests);
+
+    // heterogeneity is visible in the report: several distinct labels ran
+    let labels: std::collections::HashSet<&str> = report
+        .requests
+        .iter()
+        .map(|r| r.strategy.as_str())
+        .collect();
+    assert_eq!(labels.len(), specs.len());
+    // ...and the pruned sessions moved fewer bytes than the dense ones
+    let bytes = |label: &str| {
+        report
+            .requests
+            .iter()
+            .filter(|r| r.strategy == label)
+            .map(|r| r.dram_bytes + r.flash_bytes)
+            .sum::<f64>()
+    };
+    assert!(bytes("dense") > bytes("gate@0.50"));
+    assert!(bytes("dense") > bytes("dejavu@0.50"));
+}
+
+#[test]
+fn input_axis_mix_with_glu_pruning_and_shared_dip_ca_runs() {
+    // The input-axis family: dense, GLU pruning (non-DIP-family), DIP and
+    // DIP-CA (with its shared cache cell) in one run.
+    let specs = [
+        StrategySpec::Dense,
+        StrategySpec::GluPruning { density: 0.75 },
+        StrategySpec::Dip { density: 0.5 },
+        StrategySpec::DipCacheAware {
+            density: 0.5,
+            gamma: 0.2,
+        },
+    ];
+    let axes = serve::resolve_axes(&specs).unwrap();
+    assert_eq!(axes, [SliceAxis::Input; 3]);
+
+    let requests = fleet(&specs);
+    let mut engine = engine(axes);
+    let report = engine.run(requests.clone()).unwrap();
+    assert_well_formed(&report, &requests);
+    assert!(report.mean_density < 1.0);
+}
+
+#[test]
+fn json_mix_runs_end_to_end_without_recompilation() {
+    // The declarative path: the mix arrives as a JSON list of specs.
+    let json = r#"[
+        {"method": "dense"},
+        {"method": "cats", "density": 0.5},
+        {"method": "gate", "density": 0.5},
+        {"method": "dejavu", "density": 0.5, "hidden": 16, "epochs": 1}
+    ]"#;
+    let specs = StrategySpec::list_from_json(json).unwrap();
+    assert_eq!(specs.len(), 4);
+    let requests = fleet(&specs);
+    let mut engine = engine(serve::resolve_axes(&specs).unwrap());
+    let report = engine.run(requests.clone()).unwrap();
+    assert_well_formed(&report, &requests);
+}
+
+#[test]
+fn axis_incompatible_mixes_are_rejected_before_serving() {
+    // DejaVu slices W_u by output neuron, DIP by input column: they cannot
+    // share one column cache and the run must fail fast.
+    let specs = [
+        StrategySpec::Dip { density: 0.5 },
+        StrategySpec::Predictive {
+            density: 0.5,
+            predictor: PredictorSpec::default(),
+        },
+    ];
+    let mut engine = engine([SliceAxis::Input; 3]);
+    let err = engine.run(fleet(&specs)).unwrap_err();
+    assert!(matches!(err, ServeError::IncompatibleStrategies { .. }));
+}
+
+#[test]
+fn weight_transforming_specs_are_rejected_per_request() {
+    let mut engine = engine([SliceAxis::Input; 3]);
+    let specs = [StrategySpec::SparseGpt {
+        density: 0.5,
+        pattern: serve::NmPattern::NofM { n: 2, m: 4 },
+    }];
+    let err = engine.run(fleet(&specs)).unwrap_err();
+    assert!(matches!(err, ServeError::InvalidRequest { id: 0, .. }));
+}

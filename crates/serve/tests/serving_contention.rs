@@ -4,7 +4,7 @@
 //! and shared-cache hit rate, with per-request latency percentiles reported.
 
 use lm::{build_synthetic, ModelConfig, SliceAxis};
-use serve::{GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, SparsityPolicy};
+use serve::{GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, StrategySpec};
 
 const N_SESSIONS: usize = 8;
 const NEW_TOKENS: usize = 12;
@@ -27,7 +27,7 @@ fn engine(cache_fraction: f64, slots: usize) -> ServeEngine {
     ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(slots)).unwrap()
 }
 
-fn fleet(strategy: SparsityPolicy) -> Vec<GenRequest> {
+fn fleet(strategy: StrategySpec) -> Vec<GenRequest> {
     (0..N_SESSIONS)
         .map(|i| {
             GenRequest::new(
@@ -40,15 +40,15 @@ fn fleet(strategy: SparsityPolicy) -> Vec<GenRequest> {
         .collect()
 }
 
-fn run(strategy: SparsityPolicy) -> ServeReport {
+fn run(strategy: StrategySpec) -> ServeReport {
     let mut engine = engine(0.55, N_SESSIONS);
     engine.run(fleet(strategy)).unwrap()
 }
 
 #[test]
 fn dip_ca_beats_dense_streaming_under_multi_tenant_contention() {
-    let dense = run(SparsityPolicy::Dense);
-    let dip_ca = run(SparsityPolicy::DipCacheAware {
+    let dense = run(StrategySpec::Dense);
+    let dip_ca = run(StrategySpec::DipCacheAware {
         density: 0.5,
         gamma: 0.2,
     });
@@ -86,8 +86,8 @@ fn dip_ca_beats_dense_streaming_under_multi_tenant_contention() {
 fn dip_ca_also_beats_plain_dip_on_shared_cache_hit_rate() {
     // Cache-aware masking's whole point: at identical density, biasing the
     // mask toward resident columns heats the shared cache.
-    let dip = run(SparsityPolicy::Dip { density: 0.5 });
-    let dip_ca = run(SparsityPolicy::DipCacheAware {
+    let dip = run(StrategySpec::Dip { density: 0.5 });
+    let dip_ca = run(StrategySpec::DipCacheAware {
         density: 0.5,
         gamma: 0.2,
     });
@@ -106,11 +106,11 @@ fn continuous_batching_beats_sequential_service_on_first_token_latency() {
     // FCFS). On a serial memory bus batching cannot shrink the makespan, but
     // it interleaves every user's prefill early: mean time-to-first-token
     // drops sharply versus making user 8 wait behind 7 whole jobs.
-    let batched = run(SparsityPolicy::Dip { density: 0.5 });
+    let batched = run(StrategySpec::Dip { density: 0.5 });
 
     let mut sequential_engine = engine(0.55, 1);
     let sequential = sequential_engine
-        .run(fleet(SparsityPolicy::Dip { density: 0.5 }))
+        .run(fleet(StrategySpec::Dip { density: 0.5 }))
         .unwrap();
 
     assert!(
@@ -136,14 +136,14 @@ fn scheduler_policies_differ_on_mixed_workloads() {
         99,
         vec![1, 2, 3],
         40,
-        SparsityPolicy::Dip { density: 0.5 },
+        StrategySpec::Dip { density: 0.5 },
     )];
     for i in 0..6 {
         requests.push(GenRequest::new(
             i,
             vec![(i % 5) as u32 + 1],
             4,
-            SparsityPolicy::Dip { density: 0.5 },
+            StrategySpec::Dip { density: 0.5 },
         ));
     }
 

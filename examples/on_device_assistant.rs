@@ -15,21 +15,21 @@
 //! ```
 
 use dynamic_sparsity::serve::{
-    GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, SparsityPolicy,
+    GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, StrategySpec,
 };
 use lm::{build_synthetic, ModelConfig, SliceAxis};
 
 const SESSIONS: usize = 6;
 const TOKENS_PER_SESSION: usize = 12;
 
-fn fleet(strategy: SparsityPolicy) -> Vec<GenRequest> {
+fn fleet(strategies: &[StrategySpec]) -> Vec<GenRequest> {
     (0..SESSIONS)
         .map(|i| {
             GenRequest::new(
                 i as u64,
                 vec![(i % 5) as u32 + 1, (i % 7) as u32 + 3],
                 TOKENS_PER_SESSION,
-                strategy,
+                strategies[i % strategies.len()],
             )
         })
         .collect()
@@ -65,20 +65,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("(a real 7B-class model at INT4 is ~3.9 GiB against a ~2 GiB budget)\n");
 
-    let scenarios = [
-        SparsityPolicy::Dense,
-        SparsityPolicy::Cats { density: 0.5 },
-        SparsityPolicy::Dip { density: 0.5 },
-        SparsityPolicy::DipCacheAware {
-            density: 0.5,
-            gamma: 0.2,
-        },
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
+    // homogeneous fleets per strategy, plus a heterogeneous mix: the chat
+    // window streams dense while keyboard/summariser sessions run pruned —
+    // any spec of the `dip_core::spec` family can ride the same engine run.
+    let scenarios: Vec<(String, Vec<StrategySpec>)> = vec![
+        ("dense".to_string(), vec![StrategySpec::Dense]),
+        (
+            "cats@0.50".to_string(),
+            vec![StrategySpec::Cats { density: 0.5 }],
+        ),
+        (
+            "dip@0.50".to_string(),
+            vec![StrategySpec::Dip { density: 0.5 }],
+        ),
+        (dip_ca.label(), vec![dip_ca]),
+        (
+            "mix(dense+glu+dip+dip-ca)".to_string(),
+            vec![
+                StrategySpec::Dense,
+                StrategySpec::GluPruning { density: 0.75 },
+                StrategySpec::Dip { density: 0.5 },
+                dip_ca,
+            ],
+        ),
     ];
     println!(
-        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "strategy", "tok/s", "p50 ms", "p99 ms", "TTFT ms", "hit rate", "fairness"
     );
-    for strategy in scenarios {
+    for (label, strategies) in &scenarios {
         let model = build_synthetic(&config, 42)?;
         let mut engine = ServeEngine::new(
             model,
@@ -86,10 +105,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_max_concurrent(SESSIONS)
                 .with_kv_budget(KV_BUDGET),
         )?;
-        let report = engine.run(fleet(strategy))?;
+        let report = engine.run(fleet(strategies))?;
         println!(
-            "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>9.1}% {:>10.3}",
-            strategy.label(),
+            "{:<26} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>9.1}% {:>10.3}",
+            label,
             report.aggregate_tps,
             1e3 * report.latency_p50_s,
             1e3 * report.latency_p99_s,
@@ -135,7 +154,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             99,
             vec![1, 2, 3],
             48,
-            SparsityPolicy::DipCacheAware {
+            StrategySpec::DipCacheAware {
                 density: 0.5,
                 gamma: 0.2,
             },
@@ -145,7 +164,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 i as u64,
                 vec![(i % 5) as u32 + 1],
                 4,
-                SparsityPolicy::DipCacheAware {
+                StrategySpec::DipCacheAware {
                     density: 0.5,
                     gamma: 0.2,
                 },
