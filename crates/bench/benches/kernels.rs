@@ -33,6 +33,107 @@ fn bench_matvec(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel variants at phi3-mini shapes (`W_u`: d_ff × d_model = 320 × 96):
+/// naive reference vs allocating vs `_into` vs gathered column-sparse vs
+/// pre-transposed mirror vs worker-pool threaded. The perf trajectory's
+/// `BENCH_PR3.json` is produced from the same comparisons by the
+/// `perf_report` bin.
+fn bench_kernels_phi3_shapes(c: &mut Criterion) {
+    use lm::ModelConfig;
+    let config = ModelConfig::phi3_mini_sim();
+    let model = lm::build_synthetic(&config, 42).expect("phi3-mini-sim builds");
+    let mlp = &model.layers[0].mlp;
+    let x = bench_input(mlp.d_model());
+    let active: Vec<usize> = (0..mlp.d_model()).step_by(2).collect();
+    let mirror = mlp.w_up.transpose();
+    let mut out = vec![0.0f32; mlp.d_ff()];
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("matvec_reference", |b| {
+        b.iter(|| {
+            tensor::reference::matvec_into(black_box(&mlp.w_up), black_box(&x), &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("matvec_alloc", |b| {
+        b.iter(|| black_box(mlp.w_up.matvec(black_box(&x)).unwrap()))
+    });
+    group.bench_function("matvec_into", |b| {
+        b.iter(|| {
+            mlp.w_up.matvec_into(black_box(&x), &mut out).unwrap();
+            black_box(&out);
+        })
+    });
+    group.bench_function("matvec_mirrored", |b| {
+        b.iter(|| {
+            mlp.w_up
+                .matvec_mirrored(black_box(&mirror), black_box(&x), &mut out)
+                .unwrap();
+            black_box(&out);
+        })
+    });
+    group.bench_function("matvec_cols_reference_50pct", |b| {
+        b.iter(|| {
+            tensor::reference::matvec_cols_into(
+                black_box(&mlp.w_up),
+                black_box(&x),
+                black_box(&active),
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.bench_function("matvec_cols_gathered_50pct", |b| {
+        b.iter(|| {
+            mlp.w_up
+                .matvec_cols_into(black_box(&x), black_box(&active), &mut out)
+                .unwrap();
+            black_box(&out);
+        })
+    });
+    group.bench_function("matvec_cols_mirrored_50pct", |b| {
+        b.iter(|| {
+            mlp.w_up
+                .matvec_cols_mirrored(
+                    black_box(&mirror),
+                    black_box(&x),
+                    black_box(&active),
+                    &mut out,
+                )
+                .unwrap();
+            black_box(&out);
+        })
+    });
+
+    // the threaded kernel only forks past its size threshold — use an
+    // LM-head-scale matrix so the pool path actually runs
+    let big = tensor::Matrix::from_vec(
+        1024,
+        256,
+        (0..1024 * 256)
+            .map(|i| ((i * 37) % 113) as f32 / 113.0 - 0.5)
+            .collect(),
+    )
+    .unwrap();
+    let big_x = bench_input(256);
+    let mut big_out = vec![0.0f32; 1024];
+    let pool = tensor::WorkerPool::global();
+    group.bench_function("matvec_big_sequential", |b| {
+        b.iter(|| {
+            big.matvec_into(black_box(&big_x), &mut big_out).unwrap();
+            black_box(&big_out);
+        })
+    });
+    group.bench_function("matvec_big_threaded", |b| {
+        b.iter(|| {
+            big.matvec_into_threaded(black_box(&big_x), &mut big_out, pool)
+                .unwrap();
+            black_box(&big_out);
+        })
+    });
+    group.finish();
+}
+
 fn bench_topk(c: &mut Criterion) {
     let values = bench_input(4096);
     let mut group = c.benchmark_group("topk");
@@ -122,6 +223,7 @@ fn bench_cache_policies(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_matvec, bench_topk, bench_mlp_strategies, bench_cache_policies
+    targets = bench_matvec, bench_kernels_phi3_shapes, bench_topk, bench_mlp_strategies,
+        bench_cache_policies
 }
 criterion_main!(kernels);

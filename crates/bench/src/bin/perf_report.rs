@@ -1,0 +1,438 @@
+//! `perf_report` — the perf-trajectory measurement bin.
+//!
+//! Measures honest before/after numbers for the decode hot path **in one
+//! binary**: "before" routes every matrix kernel through the naive scalar
+//! reference loops (`tensor::kernels::set_reference_mode`) and decodes
+//! through the allocating `forward_token`; "after" uses the optimised
+//! `_into` kernels through the zero-allocation `forward_token_into` scratch
+//! path. Because the optimised kernels are bitwise identical to the
+//! references, the two modes compute the same numbers — only speed differs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf_report -- --quick [--out FILE] [--check BASELINE]
+//! ```
+//!
+//! Writes a flat JSON report (default `BENCH_PR3.json`). With `--check`, the
+//! *speedup ratios* (optimised ÷ reference, measured on the current machine,
+//! so the check is host-independent) are compared against the committed
+//! baseline and the process exits non-zero if any single-stream decode
+//! speedup regressed by more than 20 %.
+
+use dip_core::strategies::{Dip, DipCacheAware};
+use hwsim::BlockCacheCapacity;
+use lm::mlp::DenseMlp;
+use lm::{build_synthetic, DecodeScratch, MlpForward, ModelConfig, SliceAxis, TransformerModel};
+use serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Opts {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_PR3.json".to_string(),
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" | "quick" => opts.quick = true,
+            "--out" => opts.out = args.next().expect("--out needs a path"),
+            "--check" => opts.check = Some(args.next().expect("--check needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: perf_report [--quick] [--out FILE] [--check BASELINE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Context window of the single-stream decode measurement: 64-token
+/// assistant turns (matching the serving fleet's short-generation
+/// workload), so the measurement stresses the weight-streaming kernels the
+/// paper's system is bound by rather than long-context attention.
+const DECODE_CONTEXT: usize = 64;
+
+/// One token through a faithful replica of the *seed* decode loop: per-op
+/// allocations, per-head attention passes over the KV cache (each position
+/// re-sliced once per head), allocating softmax, allocating MLP strategy
+/// API. Combined with reference-mode kernels this reproduces the pre-PR
+/// scalar path inside the current binary (bitwise-identical outputs, seed
+/// speed profile).
+fn seed_forward_token(
+    model: &TransformerModel,
+    token: u32,
+    state: &mut lm::DecodeState,
+    strategy: &mut dyn MlpForward,
+) -> Vec<f32> {
+    use tensor::Vector;
+    let pos = state.pos;
+    let mut x: Vec<f32> = model.embedding.row(token as usize).unwrap().to_vec();
+    for (li, layer) in model.layers.iter().enumerate() {
+        let normed = layer.attn_norm.forward(&x);
+        // seed-style attention: project, rope, then one pass over the whole
+        // cache per head
+        let attn = &layer.attn;
+        let head_dim = model.config.d_model / model.config.n_heads;
+        let group = model.config.n_heads / model.config.n_kv_heads;
+        let mut q = attn.w_q.matvec(&normed).unwrap();
+        let mut k = attn.w_k.matvec(&normed).unwrap();
+        let v = attn.w_v.matvec(&normed).unwrap();
+        lm::rope::apply_rope_multihead(&mut q, head_dim, pos, model.config.rope_theta);
+        lm::rope::apply_rope_multihead(&mut k, head_dim, pos, model.config.rope_theta);
+        let cache = &mut state.kv[li];
+        cache.push(k, v).unwrap();
+        let seq_len = cache.len();
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut attended = vec![0.0f32; model.config.n_heads * head_dim];
+        for h in 0..model.config.n_heads {
+            let kv_head = h / group;
+            let q_head = &q[h * head_dim..(h + 1) * head_dim];
+            let mut scores = Vec::with_capacity(seq_len);
+            for t in 0..seq_len {
+                let key = cache.key(t).unwrap();
+                let k_head = &key[kv_head * head_dim..(kv_head + 1) * head_dim];
+                scores.push(Vector::dot(q_head, k_head).unwrap() * scale);
+            }
+            let weights = Vector::softmax(&scores).unwrap();
+            let out = &mut attended[h * head_dim..(h + 1) * head_dim];
+            for (t, &w) in weights.iter().enumerate() {
+                let value = cache.value(t).unwrap();
+                let v_head = &value[kv_head * head_dim..(kv_head + 1) * head_dim];
+                for (o, vv) in out.iter_mut().zip(v_head.iter()) {
+                    *o += w * vv;
+                }
+            }
+        }
+        let attn_out = attn.w_o.matvec(&attended).unwrap();
+        Vector::axpy(1.0, &attn_out, &mut x).unwrap();
+
+        let normed = layer.mlp_norm.forward(&x);
+        let mlp_out = strategy.forward(li, &layer.mlp, &normed).unwrap();
+        Vector::axpy(1.0, &mlp_out.y, &mut x).unwrap();
+    }
+    let final_x = model.final_norm.forward(&x);
+    state.pos += 1;
+    model.lm_head.matvec(&final_x).unwrap()
+}
+
+/// Decodes `n_tokens` through the seed-replica loop (the pre-PR path when
+/// reference mode is on) and returns tokens/sec of wall-clock time.
+fn decode_tps_alloc(
+    model: &TransformerModel,
+    strategy: &mut dyn MlpForward,
+    n_tokens: usize,
+) -> f64 {
+    strategy.reset();
+    let mut state = model.new_decode_state();
+    for i in 0..32 {
+        black_box(seed_forward_token(
+            model,
+            (i % 255) as u32,
+            &mut state,
+            strategy,
+        ));
+        if state.pos >= DECODE_CONTEXT {
+            state.reset();
+        }
+    }
+    let start = Instant::now();
+    for i in 0..n_tokens {
+        let token = (i % (model.config.vocab_size - 1)) as u32;
+        black_box(seed_forward_token(model, token, &mut state, strategy));
+        if state.pos >= DECODE_CONTEXT {
+            state.reset();
+        }
+    }
+    n_tokens as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Decodes `n_tokens` through the zero-allocation scratch path.
+fn decode_tps_scratch(
+    model: &TransformerModel,
+    strategy: &mut dyn MlpForward,
+    n_tokens: usize,
+) -> f64 {
+    strategy.reset();
+    let mut state = model.new_decode_state();
+    let mut scratch = DecodeScratch::for_model(model);
+    for i in 0..32 {
+        model
+            .forward_token_into((i % 255) as u32, &mut state, strategy, &mut scratch)
+            .expect("warm-up");
+        if state.pos >= DECODE_CONTEXT {
+            state.reset();
+        }
+    }
+    let start = Instant::now();
+    for i in 0..n_tokens {
+        let token = (i % (model.config.vocab_size - 1)) as u32;
+        model
+            .forward_token_into(token, &mut state, strategy, &mut scratch)
+            .expect("decode");
+        black_box(&scratch.logits);
+        if state.pos >= DECODE_CONTEXT {
+            state.reset();
+        }
+    }
+    n_tokens as f64 / start.elapsed().as_secs_f64()
+}
+
+fn capacities(config: &ModelConfig) -> Vec<BlockCacheCapacity> {
+    (0..config.n_layers)
+        .map(|_| BlockCacheCapacity {
+            up: config.d_model / 2,
+            gate: config.d_model / 2,
+            down: config.d_ff / 2,
+        })
+        .collect()
+}
+
+/// Runs an 8-session fleet of `spec` requests through the serve engine and
+/// returns wall-clock tokens/sec (prefill + decode tokens over the run's
+/// real elapsed time — the wall-clock counterpart of the simulated
+/// `aggregate_tps`).
+fn fleet_wall_tps(config: &ModelConfig, spec: StrategySpec, tokens_per_session: usize) -> f64 {
+    let sessions = 8usize;
+    let kv_budget = (4 + tokens_per_session + 2).min(config.max_seq_len);
+    let layout =
+        serve::layout::layout_for_serving(config, [SliceAxis::Input; 3], 4.0, sessions, kv_budget);
+    let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let model = build_synthetic(config, 13).expect("model builds");
+    let serve_config = ServeConfig::new(device)
+        .with_max_concurrent(sessions)
+        .with_kv_budget(kv_budget);
+    let mut engine = ServeEngine::new(model, serve_config).expect("engine builds");
+    let requests: Vec<GenRequest> = (0..sessions)
+        .map(|i| {
+            GenRequest::new(
+                i as u64,
+                vec![(i % 5) as u32 + 1, (i % 11) as u32 + 2],
+                tokens_per_session,
+                spec,
+            )
+        })
+        .collect();
+    let total_tokens: usize = requests.iter().map(|r| r.total_tokens()).sum();
+    let start = Instant::now();
+    let report = engine.run(requests).expect("fleet runs");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(report.total_generated_tokens, sessions * tokens_per_session);
+    total_tokens as f64 / elapsed
+}
+
+/// Best-of-`reps` tokens/sec: rerunning the whole measurement and keeping
+/// the fastest run filters out noisy-neighbor windows on shared runners
+/// (the CI regression gate compares ratios of these).
+fn best_tps(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::MIN, f64::max)
+}
+
+/// Times `f` and returns the best-of-`reps` nanoseconds per call.
+fn best_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    best
+}
+
+fn main() {
+    let opts = parse_args();
+    let (decode_tokens, kernel_reps) = if opts.quick { (512, 30) } else { (2048, 80) };
+    let config = ModelConfig::phi3_mini_sim();
+    let model = build_synthetic(&config, 42).expect("phi3-mini-sim builds");
+    let mut entries: Vec<(String, f64)> = Vec::new();
+
+    // ---- kernel micro-benchmarks at phi3-mini shapes ----
+    let mlp = &model.layers[0].mlp;
+    let x: Vec<f32> = (0..mlp.d_model())
+        .map(|i| {
+            let v = (i as f32 * 0.37).sin();
+            v * v * v * 3.0
+        })
+        .collect();
+    let active: Vec<usize> = (0..mlp.d_model()).step_by(2).collect();
+    let mirror = mlp.w_up.transpose();
+    let mut out = vec![0.0f32; mlp.d_ff()];
+
+    let naive_matvec = best_ns(kernel_reps, 200, || {
+        tensor::reference::matvec_into(&mlp.w_up, black_box(&x), &mut out)
+    });
+    let fast_matvec = best_ns(kernel_reps, 200, || {
+        mlp.w_up.matvec_into(black_box(&x), &mut out).unwrap()
+    });
+    let mirrored_matvec = best_ns(kernel_reps, 200, || {
+        mlp.w_up
+            .matvec_mirrored(&mirror, black_box(&x), &mut out)
+            .unwrap()
+    });
+    let naive_cols = best_ns(kernel_reps, 200, || {
+        tensor::reference::matvec_cols_into(&mlp.w_up, black_box(&x), &active, &mut out)
+    });
+    let fast_cols = best_ns(kernel_reps, 200, || {
+        mlp.w_up
+            .matvec_cols_into(black_box(&x), &active, &mut out)
+            .unwrap()
+    });
+    let mirrored_cols = best_ns(kernel_reps, 200, || {
+        mlp.w_up
+            .matvec_cols_mirrored(&mirror, black_box(&x), &active, &mut out)
+            .unwrap()
+    });
+    entries.push(("kernel_matvec_reference_ns".into(), naive_matvec));
+    entries.push(("kernel_matvec_optimized_ns".into(), fast_matvec));
+    entries.push(("kernel_matvec_mirrored_ns".into(), mirrored_matvec));
+    entries.push((
+        "kernel_matvec_speedup".into(),
+        naive_matvec / mirrored_matvec.min(fast_matvec),
+    ));
+    entries.push(("kernel_matvec_cols50_reference_ns".into(), naive_cols));
+    entries.push(("kernel_matvec_cols50_gathered_ns".into(), fast_cols));
+    entries.push(("kernel_matvec_cols50_mirrored_ns".into(), mirrored_cols));
+    entries.push((
+        "kernel_matvec_cols50_speedup".into(),
+        naive_cols / mirrored_cols.min(fast_cols),
+    ));
+
+    // ---- single-stream decode, before (reference kernels + allocating
+    //      path) vs after (optimised kernels + scratch path) ----
+    let strategies: Vec<(&str, Box<dyn MlpForward>)> = vec![
+        ("dense", Box::new(DenseMlp)),
+        ("dip", Box::new(Dip::new(0.5, 0.5).unwrap())),
+        (
+            "dip_ca",
+            Box::new(
+                DipCacheAware::new(
+                    0.5,
+                    0.5,
+                    0.2,
+                    config.d_model,
+                    config.d_ff,
+                    capacities(&config),
+                )
+                .unwrap(),
+            ),
+        ),
+    ];
+    for (name, mut strategy) in strategies {
+        tensor::kernels::set_reference_mode(true);
+        let before = best_tps(3, || {
+            decode_tps_alloc(&model, strategy.as_mut(), decode_tokens)
+        });
+        tensor::kernels::set_reference_mode(false);
+        let after = best_tps(3, || {
+            decode_tps_scratch(&model, strategy.as_mut(), decode_tokens)
+        });
+        println!(
+            "decode {name}: {before:.0} -> {after:.0} tok/s ({:.2}x)",
+            after / before
+        );
+        entries.push((format!("decode_{name}_reference_tps"), before));
+        entries.push((format!("decode_{name}_optimized_tps"), after));
+        entries.push((format!("decode_{name}_speedup"), after / before));
+    }
+
+    // ---- 8-session fleet through the serve engine (wall clock) ----
+    let fleet_tokens = if opts.quick { 16 } else { 48 };
+    for (name, spec) in [
+        ("dense", StrategySpec::Dense),
+        ("dip", StrategySpec::Dip { density: 0.5 }),
+        (
+            "dip_ca",
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            },
+        ),
+    ] {
+        tensor::kernels::set_reference_mode(true);
+        let before = best_tps(3, || fleet_wall_tps(&config, spec, fleet_tokens));
+        tensor::kernels::set_reference_mode(false);
+        let after = best_tps(3, || fleet_wall_tps(&config, spec, fleet_tokens));
+        println!(
+            "fleet8 {name}: {before:.0} -> {after:.0} tok/s ({:.2}x)",
+            after / before
+        );
+        entries.push((format!("fleet8_{name}_reference_tps"), before));
+        entries.push((format!("fleet8_{name}_optimized_tps"), after));
+        entries.push((format!("fleet8_{name}_speedup"), after / before));
+    }
+
+    // ---- write the report ----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"model\": \"{}\",", config.name);
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if opts.quick { "quick" } else { "full" }
+    );
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{k}\": {v:.3}{comma}");
+    }
+    json.push_str("}\n");
+    std::fs::write(&opts.out, &json).expect("write report");
+    println!("wrote {}", opts.out);
+
+    // ---- regression check against the committed baseline ----
+    if let Some(baseline_path) = opts.check {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read baseline");
+        let mut failures = Vec::new();
+        for key in [
+            "decode_dense_speedup",
+            "decode_dip_speedup",
+            "decode_dip_ca_speedup",
+        ] {
+            let expected = extract_number(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks `{key}`"));
+            let measured = entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .expect("measured entry present");
+            // speedup is self-normalising (both modes run on this host), so
+            // the check transfers across machines; >20% regression fails
+            if measured < expected * 0.8 {
+                failures.push(format!(
+                    "{key}: measured {measured:.2}x vs baseline {expected:.2}x (>20% regression)"
+                ));
+            } else {
+                println!("check {key}: {measured:.2}x vs baseline {expected:.2}x — ok");
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("regression check passed");
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON document.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -96,6 +96,20 @@ impl MlpForward for SharedMlpForward {
         self.inner.borrow_mut().forward(layer, mlp, x)
     }
 
+    fn forward_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut lm::MlpWorkspace,
+        access: &mut lm::MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        self.inner
+            .borrow_mut()
+            .forward_scratch(layer, mlp, x, ws, access, mirrors)
+    }
+
     fn name(&self) -> String {
         format!("shared({})", self.inner.borrow().name())
     }
@@ -117,6 +131,9 @@ pub struct StrategyRegistry {
     shared_dip_ca: Vec<((u32, u32), SharedMlpForward)>,
     calibrated_cats: Vec<(u32, CatsPruning)>,
     trained_predictors: Vec<((usize, usize), Vec<Predictor>)>,
+    /// Reused index buffers for the scratch-based cross-traffic observer.
+    obs_input: Vec<usize>,
+    obs_glu: Vec<usize>,
 }
 
 impl StrategyRegistry {
@@ -130,6 +147,8 @@ impl StrategyRegistry {
             shared_dip_ca: Vec::new(),
             calibrated_cats: Vec::new(),
             trained_predictors: Vec::new(),
+            obs_input: Vec::new(),
+            obs_glu: Vec::new(),
         }
     }
 
@@ -317,22 +336,65 @@ impl StrategyRegistry {
             return;
         }
         // materialise the per-layer column indices once, not once per model
-        let per_layer: Vec<(Vec<usize>, Vec<usize>)> = records
-            .iter()
-            .map(|rec| {
-                (
-                    rec.up.slices.indices(d_model),
-                    rec.down.slices.indices(d_ff),
-                )
-            })
-            .collect();
-        for (k, shared) in &self.shared_dip_ca {
+        for (layer, rec) in records.iter().enumerate() {
+            let mut input_cols = Vec::new();
+            rec.up.slices.extend_indices(d_model, &mut input_cols);
+            let mut glu_cols = Vec::new();
+            rec.down.slices.extend_indices(d_ff, &mut glu_cols);
+            Self::fan_out_layer(&self.shared_dip_ca, served, layer, &input_cols, &glu_cols);
+        }
+    }
+
+    /// Feeds one layer's co-tenant column accesses into every shared cell
+    /// except the serving one — the single propagation rule behind both
+    /// `observe_cross_traffic` variants.
+    fn fan_out_layer(
+        shared_cells: &[((u32, u32), SharedMlpForward)],
+        served: Option<(u32, u32)>,
+        layer: usize,
+        input_cols: &[usize],
+        glu_cols: &[usize],
+    ) {
+        for (k, shared) in shared_cells {
             if served == Some(*k) {
                 continue;
             }
-            for (layer, (input_cols, glu_cols)) in per_layer.iter().enumerate() {
-                shared.observe_access(layer, input_cols, glu_cols);
+            shared.observe_access(layer, input_cols, glu_cols);
+        }
+    }
+
+    /// Allocation-free [`StrategyRegistry::observe_cross_traffic`] fed from
+    /// the decode scratch's per-layer access records: the column-index
+    /// buffers are reused across tokens, so steady-state serving performs no
+    /// per-token allocation here.
+    pub fn observe_cross_traffic_scratch(
+        &mut self,
+        served: Option<(u32, u32)>,
+        accesses: &[lm::MlpAccessScratch],
+        d_model: usize,
+        d_ff: usize,
+    ) {
+        if self.shared_dip_ca.iter().all(|(k, _)| served == Some(*k)) {
+            return;
+        }
+        for (layer, acc) in accesses.iter().enumerate() {
+            self.obs_input.clear();
+            match acc.up.subset() {
+                Some(s) => self.obs_input.extend_from_slice(s),
+                None => self.obs_input.extend(0..d_model),
             }
+            self.obs_glu.clear();
+            match acc.down.subset() {
+                Some(s) => self.obs_glu.extend_from_slice(s),
+                None => self.obs_glu.extend(0..d_ff),
+            }
+            Self::fan_out_layer(
+                &self.shared_dip_ca,
+                served,
+                layer,
+                &self.obs_input,
+                &self.obs_glu,
+            );
         }
     }
 }

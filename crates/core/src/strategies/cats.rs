@@ -9,8 +9,8 @@
 
 use crate::error::{DipError, Result};
 use lm::{
-    ActivationTrace, GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput,
-    TransformerModel,
+    ActivationTrace, GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward,
+    MlpForwardOutput, MlpWorkspace, SliceAxis, TransformerModel,
 };
 use serde::{Deserialize, Serialize};
 use tensor::{stats, topk};
@@ -113,6 +113,33 @@ impl MlpForward for CatsPruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        ws.ensure(mlp.d_model(), mlp.d_ff());
+        mlp.gate_activations_into(x, &mut ws.gate, mirrors.map(|m| &m.gate))?;
+        let t = self.thresholds.get(layer).copied().unwrap_or(0.0);
+        topk::indices_above_threshold_into(&ws.gate, t, &mut ws.active_a);
+
+        mlp.w_up.matvec_rows_into(x, &ws.active_a, &mut ws.up)?;
+        ws.glu.fill(0.0);
+        for &i in &ws.active_a {
+            ws.glu[i] = ws.up[i] * ws.gate[i];
+        }
+        mlp.down_from_glu_into(&ws.glu, &ws.active_a, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_subset(SliceAxis::Output, &ws.active_a);
+        access.gate.set_all(SliceAxis::Input);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {

@@ -12,7 +12,10 @@
 
 use crate::allocation::DensityAllocation;
 use crate::error::to_lm_error;
-use lm::{GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use lm::{
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
+    MlpWorkspace, SliceAxis,
+};
 use serde::{Deserialize, Serialize};
 use tensor::topk;
 
@@ -95,6 +98,43 @@ impl MlpForward for Dip {
                 down: MatrixAccess::input(active_glu),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        ws.ensure(mlp.d_model(), mlp.d_ff());
+
+        let k_in = topk::count_for_density(x.len(), self.input_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        topk::top_k_by_magnitude_into(x, k_in, &mut ws.scores, &mut ws.active_a);
+
+        mlp.up_activations_input_pruned_into(x, &ws.active_a, &mut ws.up, mirrors.map(|m| &m.up))?;
+        mlp.gate_activations_input_pruned_into(
+            x,
+            &ws.active_a,
+            &mut ws.gate,
+            mirrors.map(|m| &m.gate),
+        )?;
+        for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+            *g = u * gate;
+        }
+
+        let k_glu = topk::count_for_density(ws.glu.len(), self.glu_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        topk::top_k_by_magnitude_into(&ws.glu, k_glu, &mut ws.scores, &mut ws.active_b);
+        mlp.down_from_glu_into(&ws.glu, &ws.active_b, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_subset(SliceAxis::Input, &ws.active_a);
+        access.gate.set_subset(SliceAxis::Input, &ws.active_a);
+        access.down.set_subset(SliceAxis::Input, &ws.active_b);
+        Ok(())
     }
 
     fn name(&self) -> String {

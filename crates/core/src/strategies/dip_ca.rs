@@ -19,7 +19,10 @@
 use crate::error::{DipError, Result};
 use hwsim::cache::LfuColumnCache;
 use hwsim::{BlockCacheCapacity, ColumnCache};
-use lm::{GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use lm::{
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
+    MlpWorkspace, SliceAxis,
+};
 use tensor::topk;
 
 use crate::error::to_lm_error;
@@ -152,12 +155,44 @@ impl DipCacheAware {
         density: f32,
         gamma: f32,
     ) -> Result<Vec<usize>> {
-        let cached = cache.cached_mask();
-        let scores = Self::reweight(values, &cached, gamma);
-        let k = topk::count_for_density(values.len(), density)?;
-        let active = topk::top_k_indices(&scores, k);
-        cache.access(&active);
+        let mut mask = Vec::new();
+        let mut scores = Vec::new();
+        let mut active = Vec::new();
+        Self::select_into(
+            values,
+            cache,
+            density,
+            gamma,
+            &mut mask,
+            &mut scores,
+            &mut active,
+        )?;
         Ok(active)
+    }
+
+    /// Allocation-free [`DipCacheAware::select`]: mask / score / index
+    /// buffers are caller-owned and reused. Selection (and therefore the
+    /// cache update) is identical to the allocating variant.
+    fn select_into(
+        values: &[f32],
+        cache: &mut LfuColumnCache,
+        density: f32,
+        gamma: f32,
+        mask: &mut Vec<bool>,
+        scores: &mut Vec<f32>,
+        out: &mut Vec<usize>,
+    ) -> Result<()> {
+        cache.cached_mask_into(mask);
+        let norm = values.iter().fold(0.0f32, |m, v| m.max(v.abs())).max(1e-12);
+        scores.clear();
+        scores.extend(values.iter().zip(mask.iter()).map(|(v, &c)| {
+            let penalty = if c { 1.0 } else { gamma };
+            v.abs() * penalty / norm
+        }));
+        let k = topk::count_for_density(values.len(), density)?;
+        topk::top_k_indices_into(scores, k, out);
+        cache.access(out);
+        Ok(())
     }
 }
 
@@ -188,6 +223,62 @@ impl MlpForward for DipCacheAware {
                 down: MatrixAccess::input(active_glu),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        let caches = self.caches.get_mut(layer).ok_or_else(|| {
+            to_lm_error(DipError::CalibrationMismatch {
+                reason: format!("no cache allocation for layer {layer}"),
+            })
+        })?;
+        ws.ensure(mlp.d_model(), mlp.d_ff());
+
+        Self::select_into(
+            x,
+            &mut caches.input,
+            self.input_density,
+            self.gamma,
+            &mut ws.mask,
+            &mut ws.aux,
+            &mut ws.active_a,
+        )
+        .map_err(to_lm_error)?;
+
+        mlp.up_activations_input_pruned_into(x, &ws.active_a, &mut ws.up, mirrors.map(|m| &m.up))?;
+        mlp.gate_activations_input_pruned_into(
+            x,
+            &ws.active_a,
+            &mut ws.gate,
+            mirrors.map(|m| &m.gate),
+        )?;
+        for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+            *g = u * gate;
+        }
+
+        Self::select_into(
+            &ws.glu,
+            &mut caches.glu,
+            self.glu_density,
+            self.gamma,
+            &mut ws.mask,
+            &mut ws.aux,
+            &mut ws.active_b,
+        )
+        .map_err(to_lm_error)?;
+        mlp.down_from_glu_into(&ws.glu, &ws.active_b, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_subset(SliceAxis::Input, &ws.active_a);
+        access.gate.set_subset(SliceAxis::Input, &ws.active_a);
+        access.down.set_subset(SliceAxis::Input, &ws.active_b);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -289,12 +380,14 @@ mod tests {
                 .collect();
             let mut hits = 0u64;
             let mut total = 0u64;
+            let mut cols: Vec<usize> = Vec::new();
             for seq in &seqs {
                 state.reset();
                 for &t in seq {
                     let out = model.forward_token(t, &mut state, &mut strategy).unwrap();
                     for (li, access) in out.mlp_accesses.iter().enumerate() {
-                        let cols = access.up.slices.indices(config.d_model);
+                        cols.clear();
+                        access.up.slices.extend_indices(config.d_model, &mut cols);
                         let outcome = caches[li].access(&cols);
                         hits += outcome.hits as u64;
                         total += outcome.total() as u64;

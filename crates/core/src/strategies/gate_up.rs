@@ -7,7 +7,10 @@
 //! why they trail DIP in the paper's tables.
 
 use crate::error::to_lm_error;
-use lm::{GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use lm::{
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
+    MlpWorkspace, SliceAxis,
+};
 use tensor::topk;
 
 /// Gate pruning: select neurons by `|σ(W_g x)|` (gate computed densely), then
@@ -55,6 +58,34 @@ impl MlpForward for GatePruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        ws.ensure(mlp.d_model(), mlp.d_ff());
+        mlp.gate_activations_into(x, &mut ws.gate, mirrors.map(|m| &m.gate))?;
+        let k = topk::count_for_density(ws.gate.len(), self.neuron_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        topk::top_k_by_magnitude_into(&ws.gate, k, &mut ws.scores, &mut ws.active_a);
+
+        mlp.w_up.matvec_rows_into(x, &ws.active_a, &mut ws.up)?;
+        ws.glu.fill(0.0);
+        for &i in &ws.active_a {
+            ws.glu[i] = ws.up[i] * ws.gate[i];
+        }
+        mlp.down_from_glu_into(&ws.glu, &ws.active_a, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_subset(SliceAxis::Output, &ws.active_a);
+        access.gate.set_all(SliceAxis::Input);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -112,6 +143,39 @@ impl MlpForward for UpPruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        ws.ensure(mlp.d_model(), mlp.d_ff());
+        mlp.up_activations_into(x, &mut ws.up, mirrors.map(|m| &m.up))?;
+        let k = topk::count_for_density(ws.up.len(), self.neuron_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        topk::top_k_by_magnitude_into(&ws.up, k, &mut ws.scores, &mut ws.active_a);
+
+        mlp.w_gate.matvec_rows_into(x, &ws.active_a, &mut ws.gate)?;
+        if let Some(bias) = &mlp.gate_bias {
+            for &i in &ws.active_a {
+                ws.gate[i] += bias[i];
+            }
+        }
+        ws.glu.fill(0.0);
+        for &i in &ws.active_a {
+            ws.glu[i] = ws.up[i] * mlp.activation.apply_scalar(ws.gate[i]);
+        }
+        mlp.down_from_glu_into(&ws.glu, &ws.active_a, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_all(SliceAxis::Input);
+        access.gate.set_subset(SliceAxis::Output, &ws.active_a);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {

@@ -3,8 +3,32 @@
 
 use crate::error::to_lm_error;
 use crate::threshold::ThresholdStrategy;
-use lm::{GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use lm::{
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
+    MlpWorkspace, SliceAxis,
+};
 use tensor::topk;
+
+/// Shared scratch body of [`GluPruning`] and [`GluOraclePruning`] (identical
+/// computation, different access accounting): dense GLU activations, top-k
+/// magnitude selection into `ws.active_a`, pruned down projection.
+fn glu_prune_scratch(
+    mlp: &GluMlp,
+    x: &[f32],
+    density: f32,
+    ws: &mut MlpWorkspace,
+    mirrors: Option<&lm::MlpMirrors>,
+) -> lm::Result<()> {
+    ws.ensure(mlp.d_model(), mlp.d_ff());
+    mlp.up_activations_into(x, &mut ws.up, mirrors.map(|m| &m.up))?;
+    mlp.gate_activations_into(x, &mut ws.gate, mirrors.map(|m| &m.gate))?;
+    for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+        *g = u * gate;
+    }
+    let k = topk::count_for_density(ws.glu.len(), density).map_err(|e| to_lm_error(e.into()))?;
+    topk::top_k_by_magnitude_into(&ws.glu, k, &mut ws.scores, &mut ws.active_a);
+    mlp.down_from_glu_into(&ws.glu, &ws.active_a, &mut ws.y, mirrors.map(|m| &m.down))
+}
 
 /// GLU pruning: the GLU activations are computed densely, the smallest
 /// magnitudes are pruned, and only the corresponding columns of `W_d` are
@@ -48,6 +72,22 @@ impl MlpForward for GluPruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        glu_prune_scratch(mlp, x, self.glu_density, ws, mirrors)?;
+        access.up.set_all(SliceAxis::Input);
+        access.gate.set_all(SliceAxis::Input);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -98,6 +138,22 @@ impl MlpForward for GluOraclePruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        glu_prune_scratch(mlp, x, self.neuron_density, ws, mirrors)?;
+        access.up.set_subset(SliceAxis::Output, &ws.active_a);
+        access.gate.set_subset(SliceAxis::Output, &ws.active_a);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {

@@ -46,24 +46,38 @@ use lm::GluMlp;
 ///
 /// Propagates shape/index errors from the sparse kernels.
 pub(crate) fn glu_at_neurons(mlp: &GluMlp, x: &[f32], neurons: &[usize]) -> lm::Result<Vec<f32>> {
-    let up = mlp
-        .w_up
-        .matvec_rows(x, neurons)
+    let mut ws = lm::MlpWorkspace::new(mlp.d_model(), mlp.d_ff());
+    ws.active_a.extend_from_slice(neurons);
+    glu_at_neurons_scratch(mlp, x, &mut ws)?;
+    Ok(std::mem::take(&mut ws.glu))
+}
+
+/// Allocation-free [`glu_at_neurons`]: the neuron list is read from
+/// [`lm::MlpWorkspace::active_a`], the up/gate buffers are reused and the
+/// result lands in [`lm::MlpWorkspace::glu`]. Bitwise identical to the
+/// allocating variant.
+pub(crate) fn glu_at_neurons_scratch(
+    mlp: &GluMlp,
+    x: &[f32],
+    ws: &mut lm::MlpWorkspace,
+) -> lm::Result<()> {
+    ws.ensure(mlp.d_model(), mlp.d_ff());
+    mlp.w_up
+        .matvec_rows_into(x, &ws.active_a, &mut ws.up)
         .map_err(lm::LmError::from)?;
-    let mut gate_pre = mlp
-        .w_gate
-        .matvec_rows(x, neurons)
+    mlp.w_gate
+        .matvec_rows_into(x, &ws.active_a, &mut ws.gate)
         .map_err(lm::LmError::from)?;
     if let Some(bias) = &mlp.gate_bias {
-        for &i in neurons {
-            gate_pre[i] += bias[i];
+        for &i in &ws.active_a {
+            ws.gate[i] += bias[i];
         }
     }
-    let mut glu = vec![0.0f32; mlp.d_ff()];
-    for &i in neurons {
-        glu[i] = up[i] * mlp.activation.apply_scalar(gate_pre[i]);
+    ws.glu.fill(0.0);
+    for &i in &ws.active_a {
+        ws.glu[i] = ws.up[i] * mlp.activation.apply_scalar(ws.gate[i]);
     }
-    Ok(glu)
+    Ok(())
 }
 
 /// Validates that a density lies in `(0, 1]`.

@@ -8,7 +8,10 @@
 
 use crate::error::to_lm_error;
 use crate::predictor::Predictor;
-use lm::{GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput};
+use lm::{
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
+    MlpWorkspace, SliceAxis,
+};
 use tensor::topk;
 
 /// DejaVu-style predictive pruning with one trained predictor per layer.
@@ -79,6 +82,36 @@ impl MlpForward for PredictiveGluPruning {
                 down: MatrixAccess::input(active),
             },
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        let predictor = self.predictors.get(layer).ok_or_else(|| {
+            to_lm_error(crate::DipError::CalibrationMismatch {
+                reason: format!("no predictor for layer {layer}"),
+            })
+        })?;
+        // the predictor's own forward still allocates its logits (cold
+        // two-layer MLP; DejaVu is not on the zero-allocation hot path)
+        let logits = predictor.forward(x).map_err(to_lm_error)?;
+        let k = topk::count_for_density(logits.len(), self.neuron_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        topk::top_k_indices_into(&logits, k, &mut ws.active_a);
+
+        super::glu_at_neurons_scratch(mlp, x, ws)?;
+        mlp.down_from_glu_into(&ws.glu, &ws.active_a, &mut ws.y, mirrors.map(|m| &m.down))?;
+
+        access.up.set_subset(SliceAxis::Output, &ws.active_a);
+        access.gate.set_subset(SliceAxis::Output, &ws.active_a);
+        access.down.set_subset(SliceAxis::Input, &ws.active_a);
+        Ok(())
     }
 
     fn name(&self) -> String {

@@ -85,6 +85,17 @@ impl TraceBuilder {
         self.trace.push(to_token_access(records));
     }
 
+    /// Adds one generated token's access records straight from the decode
+    /// scratch (the trace still owns its indices, so this allocates for the
+    /// trace only).
+    pub fn push_token_scratch(&mut self, accesses: &[lm::MlpAccessScratch]) {
+        if self.example.is_none() {
+            self.example = accesses.first().map(lm::MlpAccessScratch::to_record);
+        }
+        self.trace
+            .push(serve::layout::to_token_access_scratch(accesses));
+    }
+
     /// The example record used to derive the layout (None if no token was pushed).
     pub fn example_record(&self) -> Option<&MlpAccessRecord> {
         self.example.as_ref()

@@ -146,17 +146,18 @@ pub fn fleet(scale: Scale, strategies: &[StrategySpec]) -> Vec<GenRequest> {
         .collect()
 }
 
-/// Runs the default serving comparison at the given scale.
+/// Runs the default serving comparison at the given scale (cells fan out
+/// across cores; see [`run_cells_parallel`]).
 ///
 /// # Errors
 ///
 /// Propagates engine construction and run errors.
 pub fn run(scale: Scale) -> Result<ServingScenario> {
-    run_cells(scale, cells())
+    run_cells_parallel(scale, cells())
 }
 
 /// Runs the serving comparison for a declarative spec list (see
-/// [`cells_from_specs`]).
+/// [`cells_from_specs`]); cells fan out across cores.
 ///
 /// # Errors
 ///
@@ -167,16 +168,40 @@ pub fn run_with_specs(scale: Scale, specs: &[StrategySpec]) -> Result<ServingSce
             reason: "the serving scenario needs at least one strategy spec".to_string(),
         });
     }
-    run_cells(scale, cells_from_specs(specs))
+    run_cells_parallel(scale, cells_from_specs(specs))
 }
 
-/// Runs the serving comparison over an explicit cell list.
+/// Runs the serving comparison over an explicit cell list, one cell after
+/// another on the calling thread.
 ///
 /// # Errors
 ///
 /// Returns [`crate::error::ExpError::Unsupported`] for a cell with no
 /// strategies and propagates engine construction and run errors.
 pub fn run_cells(scale: Scale, cells: Vec<ServingCell>) -> Result<ServingScenario> {
+    run_cells_impl(scale, cells, false)
+}
+
+/// Runs the serving comparison with one OS thread per cell.
+///
+/// Cells are *independent* fleet runs (each builds its own model and
+/// engine, with its own shared-cache state), so fanning them across cores
+/// changes wall-clock time only: the reports are **bitwise identical** to
+/// [`run_cells`] — each engine's token interleave is still decided solely
+/// by its scheduler, and results are collected in cell order.
+///
+/// # Errors
+///
+/// Same as [`run_cells`].
+pub fn run_cells_parallel(scale: Scale, cells: Vec<ServingCell>) -> Result<ServingScenario> {
+    run_cells_impl(scale, cells, true)
+}
+
+fn run_cells_impl(
+    scale: Scale,
+    cells: Vec<ServingCell>,
+    parallel: bool,
+) -> Result<ServingScenario> {
     if let Some(cell) = cells.iter().find(|c| c.strategies.is_empty()) {
         return Err(crate::error::ExpError::Unsupported {
             reason: format!("serving cell `{}` names no strategy specs", cell.label),
@@ -194,6 +219,32 @@ pub fn run_cells(scale: Scale, cells: Vec<ServingCell>) -> Result<ServingScenari
         serve::layout::layout_for_serving(&config, [SliceAxis::Input; 3], 4.0, slots, kv_budget);
     let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
     let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+
+    let run_one = |cell: &ServingCell| -> Result<ServeReport> {
+        let model = build_synthetic(&config, 13)?;
+        let serve_config = ServeConfig::new(device.clone())
+            .with_max_concurrent(slots)
+            .with_scheduler(cell.scheduler)
+            .with_kv_budget(kv_budget);
+        let mut engine = ServeEngine::new(model, serve_config)?;
+        Ok(engine.run(fleet(scale, &cell.strategies))?)
+    };
+
+    let reports: Vec<Result<ServeReport>> = if parallel && cells.len() > 1 {
+        let run_one = &run_one;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .iter()
+                .map(|cell| scope.spawn(move || run_one(cell)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serving cell thread panicked"))
+                .collect()
+        })
+    } else {
+        cells.iter().map(run_one).collect()
+    };
 
     let mut table = Table::new(
         format!(
@@ -214,14 +265,8 @@ pub fn run_cells(scale: Scale, cells: Vec<ServingCell>) -> Result<ServingScenari
     );
 
     let mut results = Vec::new();
-    for cell in cells {
-        let model = build_synthetic(&config, 13)?;
-        let serve_config = ServeConfig::new(device.clone())
-            .with_max_concurrent(slots)
-            .with_scheduler(cell.scheduler)
-            .with_kv_budget(kv_budget);
-        let mut engine = ServeEngine::new(model, serve_config)?;
-        let report = engine.run(fleet(scale, &cell.strategies))?;
+    for (cell, report) in cells.into_iter().zip(reports) {
+        let report = report?;
         table.push_row(vec![
             cell.label.clone(),
             cell.scheduler.to_string(),

@@ -374,25 +374,30 @@ impl Workbench {
         prepared.strategy.reset();
         let mut builder = TraceBuilder::new();
         let mut state = prepared.model.new_decode_state();
+        // one reused scratch for the whole trace run (the allocation-free
+        // decode hot path; see `lm::scratch`)
+        let mut scratch = lm::DecodeScratch::for_model(&prepared.model);
         let prompt: Vec<u32> = self.eval_seqs[0].iter().take(4).copied().collect();
         let mut rng = tensor::init::rng(0x7a11);
-        let mut last = None;
         for &t in &prompt {
-            let out = prepared
-                .model
-                .forward_token(t, &mut state, prepared.strategy.as_mut())?;
-            builder.push_token(&out.mlp_accesses);
-            last = Some(out);
+            prepared.model.forward_token_into(
+                t,
+                &mut state,
+                prepared.strategy.as_mut(),
+                &mut scratch,
+            )?;
+            builder.push_token_scratch(&scratch.accesses);
         }
         let budget = n_tokens.min(self.config.max_seq_len.saturating_sub(prompt.len() + 1));
         for _ in 0..budget {
-            let logits = &last.as_ref().expect("prompt is non-empty").logits;
-            let next = lm::model::sample_from_logits(logits, 1.0, &mut rng)?;
-            let out = prepared
-                .model
-                .forward_token(next, &mut state, prepared.strategy.as_mut())?;
-            builder.push_token(&out.mlp_accesses);
-            last = Some(out);
+            let next = lm::model::sample_from_logits(&scratch.logits, 1.0, &mut rng)?;
+            prepared.model.forward_token_into(
+                next,
+                &mut state,
+                prepared.strategy.as_mut(),
+                &mut scratch,
+            )?;
+            builder.push_token_scratch(&scratch.accesses);
         }
         let example = builder
             .example_record()

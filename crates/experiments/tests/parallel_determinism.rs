@@ -1,0 +1,60 @@
+//! Threaded fleet runs must be *bitwise* reproducible: fanning the serving
+//! cells across OS threads (and routing kernels through the worker pool)
+//! may change wall-clock time only, never a number in a `ServeReport`.
+
+use experiments::{serving, Scale};
+use serve::{SchedulerPolicy, StrategySpec};
+
+fn test_cells() -> Vec<serving::ServingCell> {
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
+    vec![
+        serving::ServingCell::uniform(StrategySpec::Dense, SchedulerPolicy::Fifo),
+        serving::ServingCell::uniform(StrategySpec::Dip { density: 0.5 }, SchedulerPolicy::Fifo),
+        serving::ServingCell::uniform(dip_ca, SchedulerPolicy::Fifo),
+        serving::ServingCell::mix(
+            vec![
+                StrategySpec::Dense,
+                StrategySpec::Dip { density: 0.5 },
+                dip_ca,
+            ],
+            SchedulerPolicy::ShortestRemainingFirst,
+        ),
+    ]
+}
+
+#[test]
+fn parallel_fleet_runs_reproduce_sequential_reports_exactly() {
+    let sequential = serving::run_cells(Scale::Smoke, test_cells()).unwrap();
+    let parallel = serving::run_cells_parallel(Scale::Smoke, test_cells()).unwrap();
+
+    assert_eq!(sequential.results.len(), parallel.results.len());
+    for ((cell_s, report_s), (cell_p, report_p)) in
+        sequential.results.iter().zip(parallel.results.iter())
+    {
+        assert_eq!(cell_s, cell_p, "cell order must be preserved");
+        // ServeReport is plain data with derived PartialEq — full equality
+        // means every latency, byte count and hit rate is bit-identical
+        assert_eq!(
+            report_s, report_p,
+            "threaded run diverged for cell `{}`",
+            cell_s.label
+        );
+    }
+    assert_eq!(
+        sequential.table.to_markdown(),
+        parallel.table.to_markdown(),
+        "rendered tables must match"
+    );
+}
+
+#[test]
+fn parallel_runs_are_reproducible_across_invocations() {
+    let a = serving::run_cells_parallel(Scale::Smoke, test_cells()).unwrap();
+    let b = serving::run_cells_parallel(Scale::Smoke, test_cells()).unwrap();
+    for ((_, ra), (_, rb)) in a.results.iter().zip(b.results.iter()) {
+        assert_eq!(ra, rb);
+    }
+}

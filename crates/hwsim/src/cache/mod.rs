@@ -136,7 +136,16 @@ pub trait ColumnCache {
 
     /// Boolean residency mask over all columns.
     fn cached_mask(&self) -> Vec<bool> {
-        (0..self.n_columns()).map(|c| self.contains(c)).collect()
+        let mut out = Vec::new();
+        self.cached_mask_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`ColumnCache::cached_mask`]: refills `out` in place
+    /// (cleared first; capacity is reused across calls).
+    fn cached_mask_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend((0..self.n_columns()).map(|c| self.contains(c)));
     }
 
     /// Presents one token's demanded columns. Resident columns count as hits;

@@ -136,6 +136,9 @@ pub fn replay_token_costs(
     let allocation = allocate(layout, device)?;
     let mut caches = build_caches(layout, &allocation, policy, trace)?;
     let mut costs = Vec::with_capacity(trace.n_tokens());
+    // one reused column-index buffer for the whole replay — `AccessSet::All`
+    // tokens materialise into it instead of allocating per (token, matrix)
+    let mut cols: Vec<usize> = Vec::new();
 
     for token in &trace.tokens {
         if token.blocks.len() > layout.blocks.len() {
@@ -168,7 +171,8 @@ pub fn replay_token_costs(
                     &mut block_caches.down,
                 ),
             ] {
-                let cols = access.indices(linear.n_columns);
+                cols.clear();
+                access.extend_indices(linear.n_columns, &mut cols);
                 let outcome = cache.access(&cols);
                 outcome_token.accumulate(outcome);
                 token_dram += outcome.hits as f64 * linear.bytes_per_column as f64;

@@ -19,11 +19,28 @@ pub enum AccessSet {
 }
 
 impl AccessSet {
-    /// Materialises the accessed column indices.
+    /// Materialises the accessed column indices (allocates; prefer
+    /// [`AccessSet::extend_indices`] / [`AccessSet::for_each_index`] on hot
+    /// paths).
     pub fn indices(&self, n_columns: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.extend_indices(n_columns, &mut out);
+        out
+    }
+
+    /// Appends the accessed column indices to a reused buffer (not cleared).
+    pub fn extend_indices(&self, n_columns: usize, out: &mut Vec<usize>) {
         match self {
-            AccessSet::All => (0..n_columns).collect(),
-            AccessSet::Subset(v) => v.clone(),
+            AccessSet::All => out.extend(0..n_columns),
+            AccessSet::Subset(v) => out.extend_from_slice(v),
+        }
+    }
+
+    /// Visits every accessed column index in order without materialising.
+    pub fn for_each_index(&self, n_columns: usize, mut f: impl FnMut(usize)) {
+        match self {
+            AccessSet::All => (0..n_columns).for_each(&mut f),
+            AccessSet::Subset(v) => v.iter().copied().for_each(&mut f),
         }
     }
 

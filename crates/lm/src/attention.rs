@@ -3,6 +3,7 @@
 use crate::error::Result;
 use crate::kv_cache::KvCache;
 use crate::rope;
+use crate::scratch::AttnScratch;
 use serde::{Deserialize, Serialize};
 use tensor::{Matrix, Vector};
 
@@ -81,42 +82,105 @@ impl Attention {
     ///
     /// Propagates shape errors from the underlying projections and cache.
     pub fn forward_token(&self, x: &[f32], pos: usize, cache: &mut KvCache) -> Result<Vec<f32>> {
-        let mut q = self.w_q.matvec(x)?;
-        let mut k = self.w_k.matvec(x)?;
-        let v = self.w_v.matvec(x)?;
+        let mut scratch = AttnScratch::default();
+        let mut out = vec![0.0f32; self.w_o.rows()];
+        self.forward_token_into(x, pos, cache, &mut scratch, &mut out, None)?;
+        Ok(out)
+    }
 
-        rope::apply_rope_multihead(&mut q, self.head_dim, pos, self.rope_theta);
-        rope::apply_rope_multihead(&mut k, self.head_dim, pos, self.rope_theta);
+    /// Allocation-free [`Attention::forward_token`]: projections, per-head
+    /// scores/weights and the attended vector live in `scratch`, the output
+    /// (`d_model` values) is written into `out`. `mirrors`, when given, are
+    /// this block's pre-transposed projections (see
+    /// [`crate::scratch::ModelMirrors`]). Bitwise identical to the
+    /// allocating variant either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying projections and cache.
+    pub fn forward_token_into(
+        &self,
+        x: &[f32],
+        pos: usize,
+        cache: &mut KvCache,
+        scratch: &mut AttnScratch,
+        out: &mut [f32],
+        mirrors: Option<&crate::scratch::AttnMirrors>,
+    ) -> Result<()> {
+        scratch.q.resize(self.n_heads * self.head_dim, 0.0);
+        scratch.k.resize(self.n_kv_heads * self.head_dim, 0.0);
+        scratch.v.resize(self.n_kv_heads * self.head_dim, 0.0);
+        scratch.attended.resize(self.n_heads * self.head_dim, 0.0);
 
-        cache.push(k, v)?;
+        match mirrors {
+            Some(m) => {
+                self.w_q.matvec_mirrored(&m.q, x, &mut scratch.q)?;
+                self.w_k.matvec_mirrored(&m.k, x, &mut scratch.k)?;
+                self.w_v.matvec_mirrored(&m.v, x, &mut scratch.v)?;
+            }
+            None => {
+                self.w_q.matvec_into(x, &mut scratch.q)?;
+                self.w_k.matvec_into(x, &mut scratch.k)?;
+                self.w_v.matvec_into(x, &mut scratch.v)?;
+            }
+        }
+
+        rope::apply_rope_multihead(&mut scratch.q, self.head_dim, pos, self.rope_theta);
+        rope::apply_rope_multihead(&mut scratch.k, self.head_dim, pos, self.rope_theta);
+
+        cache.push_slices(&scratch.k, &scratch.v)?;
 
         let group = self.n_heads / self.n_kv_heads;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let seq_len = cache.len();
-        let mut attended = vec![0.0f32; self.n_heads * self.head_dim];
+        scratch.attended.fill(0.0);
+        // [head][position] score/weight matrices so the cached key/value
+        // rows are streamed over exactly once (position-outer), instead of
+        // once per head; per-output accumulation order is unchanged
+        // (ascending position), so results stay bitwise identical
+        scratch.scores.resize(self.n_heads * seq_len, 0.0);
+        scratch.weights.resize(self.n_heads * seq_len, 0.0);
 
-        for h in 0..self.n_heads {
-            let kv_head = h / group;
-            let q_head = &q[h * self.head_dim..(h + 1) * self.head_dim];
-
-            let mut scores = Vec::with_capacity(seq_len);
-            for t in 0..seq_len {
-                let key = cache.key(t).expect("position exists");
+        for t in 0..seq_len {
+            let key = cache.key(t).expect("position exists");
+            for h in 0..self.n_heads {
+                let kv_head = h / group;
+                let q_head = &scratch.q[h * self.head_dim..(h + 1) * self.head_dim];
                 let k_head = &key[kv_head * self.head_dim..(kv_head + 1) * self.head_dim];
-                scores.push(Vector::dot(q_head, k_head)? * scale);
+                // inlined dot (identical accumulation order to Vector::dot,
+                // without the per-call shape check — lengths are fixed by
+                // the head layout); this loop runs heads × positions times
+                // per layer per token
+                let mut acc = 0.0f32;
+                for (&qv, &kv) in q_head.iter().zip(k_head.iter()) {
+                    acc += qv * kv;
+                }
+                scratch.scores[h * seq_len + t] = acc * scale;
             }
-            let weights = Vector::softmax(&scores)?;
-            let out = &mut attended[h * self.head_dim..(h + 1) * self.head_dim];
-            for (t, &w) in weights.iter().enumerate() {
-                let value = cache.value(t).expect("position exists");
+        }
+        for h in 0..self.n_heads {
+            Vector::softmax_into(
+                &scratch.scores[h * seq_len..(h + 1) * seq_len],
+                &mut scratch.weights[h * seq_len..(h + 1) * seq_len],
+            )?;
+        }
+        for t in 0..seq_len {
+            let value = cache.value(t).expect("position exists");
+            for h in 0..self.n_heads {
+                let kv_head = h / group;
+                let w = scratch.weights[h * seq_len + t];
                 let v_head = &value[kv_head * self.head_dim..(kv_head + 1) * self.head_dim];
-                for (o, vv) in out.iter_mut().zip(v_head.iter()) {
+                let head_out = &mut scratch.attended[h * self.head_dim..(h + 1) * self.head_dim];
+                for (o, vv) in head_out.iter_mut().zip(v_head.iter()) {
                     *o += w * vv;
                 }
             }
         }
 
-        Ok(self.w_o.matvec(&attended)?)
+        match mirrors {
+            Some(m) => Ok(self.w_o.matvec_mirrored(&m.o, &scratch.attended, out)?),
+            None => Ok(self.w_o.matvec_into(&scratch.attended, out)?),
+        }
     }
 }
 

@@ -5,11 +5,18 @@ use crate::error::{LmError, Result};
 /// Key/value cache for a single attention layer.
 ///
 /// Stores one flattened key vector and one flattened value vector
-/// (`n_kv_heads * head_dim` floats each) per generated position.
+/// (`n_kv_heads * head_dim` floats each) per generated position, in two
+/// *flat* contiguous buffers: the first push of a (fresh or cleared) cache
+/// fixes the per-position width and reserves the full
+/// `capacity × width` storage up front, so steady-state decode appends
+/// without ever reallocating — and sequential attention walks over the
+/// cached positions stream through contiguous memory.
 #[derive(Debug, Clone, Default)]
 pub struct KvCache {
-    keys: Vec<Vec<f32>>,
-    values: Vec<Vec<f32>>,
+    keys: Vec<f32>,
+    values: Vec<f32>,
+    dim: usize,
+    len: usize,
     capacity: usize,
 }
 
@@ -19,18 +26,20 @@ impl KvCache {
         KvCache {
             keys: Vec::new(),
             values: Vec::new(),
+            dim: 0,
+            len: 0,
             capacity: max_seq_len,
         }
     }
 
     /// Number of positions currently stored.
     pub fn len(&self) -> usize {
-        self.keys.len()
+        self.len
     }
 
     /// Whether the cache holds no positions.
     pub fn is_empty(&self) -> bool {
-        self.keys.is_empty()
+        self.len == 0
     }
 
     /// Maximum number of positions the cache accepts.
@@ -42,10 +51,21 @@ impl KvCache {
     ///
     /// # Errors
     ///
-    /// Returns [`LmError::BadSequence`] when the cache is full or the key and
-    /// value lengths differ.
+    /// See [`KvCache::push_slices`].
     pub fn push(&mut self, key: Vec<f32>, value: Vec<f32>) -> Result<()> {
-        if self.keys.len() >= self.capacity {
+        self.push_slices(&key, &value)
+    }
+
+    /// Appends the key/value vectors of a new position from borrowed slices
+    /// (the allocation-free decode path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] when the cache is full, the key and
+    /// value lengths differ, or the width does not match the positions
+    /// already stored.
+    pub fn push_slices(&mut self, key: &[f32], value: &[f32]) -> Result<()> {
+        if self.len >= self.capacity {
             return Err(LmError::BadSequence {
                 reason: format!("KV cache full at capacity {}", self.capacity),
             });
@@ -55,25 +75,45 @@ impl KvCache {
                 reason: format!("key length {} != value length {}", key.len(), value.len()),
             });
         }
-        self.keys.push(key);
-        self.values.push(value);
+        if self.len == 0 {
+            self.dim = key.len();
+            self.keys.reserve_exact(self.capacity * self.dim);
+            self.values.reserve_exact(self.capacity * self.dim);
+        } else if key.len() != self.dim {
+            return Err(LmError::BadSequence {
+                reason: format!("key/value width {} != cached width {}", key.len(), self.dim),
+            });
+        }
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
+        self.len += 1;
         Ok(())
     }
 
     /// Key vector stored at position `i`.
     pub fn key(&self, i: usize) -> Option<&[f32]> {
-        self.keys.get(i).map(|v| v.as_slice())
+        if i < self.len {
+            Some(&self.keys[i * self.dim..(i + 1) * self.dim])
+        } else {
+            None
+        }
     }
 
     /// Value vector stored at position `i`.
     pub fn value(&self, i: usize) -> Option<&[f32]> {
-        self.values.get(i).map(|v| v.as_slice())
+        if i < self.len {
+            Some(&self.values[i * self.dim..(i + 1) * self.dim])
+        } else {
+            None
+        }
     }
 
-    /// Removes all stored positions, keeping the capacity.
+    /// Removes all stored positions, keeping the capacity (and the flat
+    /// buffers' reserved storage, so a recycled cache never reallocates).
     pub fn clear(&mut self) {
         self.keys.clear();
         self.values.clear();
+        self.len = 0;
     }
 
     /// Drops every position at index `len` or later, keeping the first `len`.
@@ -82,8 +122,11 @@ impl KvCache {
     /// the building block for rolling a session back to a shared prompt
     /// prefix (prefix reuse is not yet wired into the serving engine).
     pub fn truncate(&mut self, len: usize) {
-        self.keys.truncate(len);
-        self.values.truncate(len);
+        if len < self.len {
+            self.keys.truncate(len * self.dim);
+            self.values.truncate(len * self.dim);
+            self.len = len;
+        }
     }
 }
 

@@ -37,6 +37,7 @@ pub mod mlp;
 pub mod model;
 pub mod norm;
 pub mod rope;
+pub mod scratch;
 pub mod trace;
 
 pub use builder::build_synthetic;
@@ -49,4 +50,8 @@ pub use mlp::{
     MlpMatrix, SliceAxis,
 };
 pub use model::{DecodeState, TokenOutput, TransformerModel};
+pub use scratch::{
+    AccessBuf, AttnMirrors, AttnScratch, DecodeScratch, LayerMirrors, MlpAccessScratch, MlpMirrors,
+    MlpWorkspace, ModelMirrors,
+};
 pub use trace::{ActivationTrace, TracingMlp};

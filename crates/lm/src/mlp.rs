@@ -19,6 +19,7 @@
 //!   rows of `W_u`/`W_g`.
 
 use crate::error::Result;
+use crate::scratch::{MlpAccessScratch, MlpWorkspace};
 use serde::{Deserialize, Serialize};
 use tensor::{Activation, Matrix};
 
@@ -85,11 +86,36 @@ impl ColumnAccess {
         self.count(total) as f32 / total as f32
     }
 
-    /// The accessed slice indices (materialised).
+    /// The accessed slice indices (materialised — allocates; prefer
+    /// [`ColumnAccess::for_each_index`] / [`ColumnAccess::extend_indices`]
+    /// on hot paths).
     pub fn indices(&self, total: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.extend_indices(total, &mut out);
+        out
+    }
+
+    /// Visits every accessed slice index in order without materialising.
+    pub fn for_each_index(&self, total: usize, mut f: impl FnMut(usize)) {
         match self {
-            ColumnAccess::All => (0..total).collect(),
-            ColumnAccess::Subset(v) => v.clone(),
+            ColumnAccess::All => (0..total).for_each(&mut f),
+            ColumnAccess::Subset(v) => v.iter().copied().for_each(&mut f),
+        }
+    }
+
+    /// Appends the accessed slice indices to a reused buffer (not cleared).
+    pub fn extend_indices(&self, total: usize, out: &mut Vec<usize>) {
+        match self {
+            ColumnAccess::All => out.extend(0..total),
+            ColumnAccess::Subset(v) => out.extend_from_slice(v),
+        }
+    }
+
+    /// Borrows the subset indices (`None` for a dense access).
+    pub fn as_subset(&self) -> Option<&[usize]> {
+        match self {
+            ColumnAccess::All => None,
+            ColumnAccess::Subset(v) => Some(v),
         }
     }
 }
@@ -210,6 +236,37 @@ pub trait MlpForward {
     /// Implementations propagate shape errors from the underlying kernels.
     fn forward(&mut self, layer: usize, mlp: &GluMlp, x: &[f32]) -> Result<MlpForwardOutput>;
 
+    /// Allocation-free forward pass: leaves the block output in
+    /// [`MlpWorkspace::y`] and the access report in `access`, reusing every
+    /// buffer across tokens. `mirrors`, when present, are this layer's
+    /// pre-transposed weight mirrors (see [`crate::scratch::ModelMirrors`])
+    /// for the SIMD-friendly mirrored kernels.
+    ///
+    /// The default falls back to [`MlpForward::forward`] and copies; the
+    /// strategies on the decode hot path override it with zero-allocation
+    /// implementations that are bitwise identical to their allocating
+    /// counterparts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlpForward::forward`].
+    fn forward_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        let _ = mirrors;
+        let out = self.forward(layer, mlp, x)?;
+        ws.y.clear();
+        ws.y.extend_from_slice(&out.y);
+        access.set_from(&out.access);
+        Ok(())
+    }
+
     /// Human-readable strategy name used in reports.
     fn name(&self) -> String {
         "custom".to_string()
@@ -230,6 +287,20 @@ impl MlpForward for DenseMlp {
             y: mlp.forward_dense(x)?,
             access: MlpAccessRecord::dense(),
         })
+    }
+
+    fn forward_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        access: &mut MlpAccessScratch,
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        mlp.forward_dense_into(x, ws, mirrors)?;
+        access.set_dense();
+        Ok(())
     }
 
     fn name(&self) -> String {
@@ -393,6 +464,162 @@ impl GluMlp {
     /// Returns a shape or index error from the underlying sparse kernel.
     pub fn down_from_glu(&self, glu: &[f32], active: &[usize]) -> Result<Vec<f32>> {
         Ok(self.w_down.matvec_cols(glu, active)?)
+    }
+
+    // ----- allocation-free variants (see `crate::scratch`) -----
+    //
+    // Each `_into` method is bitwise identical to its allocating
+    // counterpart; it differs only in writing into a caller-owned buffer.
+    // The `mirror` arguments optionally route the matvec through the
+    // SIMD-friendly pre-transposed kernels (`Matrix::matvec_mirrored` /
+    // `Matrix::matvec_cols_mirrored`), which are themselves bitwise
+    // identical to the row-major kernels.
+
+    /// Allocation-free [`GluMlp::gate_preactivations`]; `mirror`, when
+    /// given, must be `w_gate.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x.len() != d_model` or `out.len() != d_ff`.
+    pub fn gate_preactivations_into(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => self.w_gate.matvec_mirrored(t, x, out)?,
+            None => self.w_gate.matvec_into(x, out)?,
+        }
+        if let Some(bias) = &self.gate_bias {
+            for (gi, bi) in out.iter_mut().zip(bias.iter()) {
+                *gi += bi;
+            }
+        }
+        Ok(())
+    }
+
+    /// Allocation-free [`GluMlp::gate_activations`]; `mirror`, when given,
+    /// must be `w_gate.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x.len() != d_model` or `out.len() != d_ff`.
+    pub fn gate_activations_into(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        self.gate_preactivations_into(x, out, mirror)?;
+        self.activation.apply(out);
+        Ok(())
+    }
+
+    /// Allocation-free [`GluMlp::up_activations`]; `mirror`, when given,
+    /// must be `w_up.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x.len() != d_model` or `out.len() != d_ff`.
+    pub fn up_activations_into(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => Ok(self.w_up.matvec_mirrored(t, x, out)?),
+            None => Ok(self.w_up.matvec_into(x, out)?),
+        }
+    }
+
+    /// Allocation-free [`GluMlp::gate_activations_input_pruned`]; `mirror`,
+    /// when given, must be `w_gate.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the sparse kernel.
+    pub fn gate_activations_input_pruned_into(
+        &self,
+        x: &[f32],
+        active_inputs: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => self.w_gate.matvec_cols_mirrored(t, x, active_inputs, out)?,
+            None => self.w_gate.matvec_cols_into(x, active_inputs, out)?,
+        }
+        if let Some(bias) = &self.gate_bias {
+            for (gi, bi) in out.iter_mut().zip(bias.iter()) {
+                *gi += bi;
+            }
+        }
+        self.activation.apply(out);
+        Ok(())
+    }
+
+    /// Allocation-free [`GluMlp::up_activations_input_pruned`]; `mirror`,
+    /// when given, must be `w_up.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the sparse kernel.
+    pub fn up_activations_input_pruned_into(
+        &self,
+        x: &[f32],
+        active_inputs: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => Ok(self.w_up.matvec_cols_mirrored(t, x, active_inputs, out)?),
+            None => Ok(self.w_up.matvec_cols_into(x, active_inputs, out)?),
+        }
+    }
+
+    /// Allocation-free [`GluMlp::down_from_glu`]; `mirror`, when given,
+    /// must be `w_down.transpose()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the sparse kernel.
+    pub fn down_from_glu_into(
+        &self,
+        glu: &[f32],
+        active: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => Ok(self.w_down.matvec_cols_mirrored(t, glu, active, out)?),
+            None => Ok(self.w_down.matvec_cols_into(glu, active, out)?),
+        }
+    }
+
+    /// Allocation-free dense forward pass: computes up/gate/GLU activations
+    /// in the workspace and leaves `W_d GLU(x)` in [`MlpWorkspace::y`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x.len() != d_model`.
+    pub fn forward_dense_into(
+        &self,
+        x: &[f32],
+        ws: &mut MlpWorkspace,
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        ws.ensure(self.d_model(), self.d_ff());
+        self.up_activations_into(x, &mut ws.up, mirrors.map(|m| &m.up))?;
+        self.gate_activations_into(x, &mut ws.gate, mirrors.map(|m| &m.gate))?;
+        for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+            *g = u * gate;
+        }
+        match mirrors {
+            Some(m) => Ok(self.w_down.matvec_mirrored(&m.down, &ws.glu, &mut ws.y)?),
+            None => Ok(self.w_down.matvec_into(&ws.glu, &mut ws.y)?),
+        }
     }
 }
 

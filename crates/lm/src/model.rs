@@ -6,8 +6,9 @@ use crate::error::{LmError, Result};
 use crate::kv_cache::KvCache;
 use crate::mlp::{DenseMlp, GluMlp, MlpAccessRecord, MlpForward};
 use crate::norm::RmsNorm;
+use crate::scratch::DecodeScratch;
 use rand::Rng;
-use tensor::{Matrix, Vector};
+use tensor::{Matrix, Vector, WorkerPool};
 
 /// One transformer block: pre-norm attention followed by a pre-norm GLU MLP,
 /// both with residual connections.
@@ -157,6 +158,35 @@ impl TransformerModel {
         state: &mut DecodeState,
         mlp_fw: &mut dyn MlpForward,
     ) -> Result<TokenOutput> {
+        let mut scratch = DecodeScratch::for_model(self);
+        // a one-shot scratch must not pay the per-model mirror transpose
+        scratch.use_mirrors = false;
+        self.forward_token_into(token, state, mlp_fw, &mut scratch)?;
+        Ok(TokenOutput {
+            logits: scratch.logits,
+            mlp_accesses: scratch.accesses.iter().map(|a| a.to_record()).collect(),
+        })
+    }
+
+    /// Allocation-free [`TransformerModel::forward_token`]: the logits land
+    /// in [`DecodeScratch::logits`] and the per-layer access records in
+    /// [`DecodeScratch::accesses`], all buffers reused across tokens.
+    ///
+    /// This is the decode hot path: once the scratch is warm, a dense or
+    /// DIP token performs zero heap allocations. Results are bitwise
+    /// identical to the allocating wrapper (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::TokenOutOfRange`] for an invalid token and
+    /// propagates shape errors from the blocks.
+    pub fn forward_token_into(
+        &self,
+        token: u32,
+        state: &mut DecodeState,
+        mlp_fw: &mut dyn MlpForward,
+        scratch: &mut DecodeScratch,
+    ) -> Result<()> {
         if (token as usize) >= self.config.vocab_size {
             return Err(LmError::TokenOutOfRange {
                 token,
@@ -164,27 +194,86 @@ impl TransformerModel {
             });
         }
         let pos = state.pos;
-        let mut x: Vec<f32> = self.embedding.row(token as usize)?.to_vec();
-        let mut accesses = Vec::with_capacity(self.layers.len());
-
-        for (li, layer) in self.layers.iter().enumerate() {
-            let normed = layer.attn_norm.forward(&x);
-            let attn_out = layer.attn.forward_token(&normed, pos, &mut state.kv[li])?;
-            Vector::axpy(1.0, &attn_out, &mut x)?;
-
-            let normed = layer.mlp_norm.forward(&x);
-            let mlp_out = mlp_fw.forward(li, &layer.mlp, &normed)?;
-            Vector::axpy(1.0, &mlp_out.y, &mut x)?;
-            accesses.push(mlp_out.access);
+        scratch.x.clear();
+        scratch
+            .x
+            .extend_from_slice(self.embedding.row(token as usize)?);
+        scratch.normed.resize(self.config.d_model, 0.0);
+        scratch.attn_out.resize(self.config.d_model, 0.0);
+        scratch.final_normed.resize(self.config.d_model, 0.0);
+        scratch.logits.resize(self.config.vocab_size, 0.0);
+        if scratch.accesses.len() != self.layers.len() {
+            scratch
+                .accesses
+                .resize_with(self.layers.len(), Default::default);
         }
 
-        let final_x = self.final_norm.forward(&x);
-        let logits = self.lm_head.matvec(&final_x)?;
+        // Mirror management: build the pre-transposed weight mirrors on the
+        // first token of a (scratch, model) pairing, revalidate (cheap
+        // pointer + sampled-bits check) every token. Reference mode runs
+        // without mirrors so before/after measurements are honest.
+        let use_mirrors = scratch.use_mirrors && !tensor::kernels::reference_mode();
+        if use_mirrors
+            && scratch
+                .mirrors
+                .as_ref()
+                .map(|m| !m.matches(self))
+                .unwrap_or(true)
+        {
+            scratch.mirrors = Some(crate::scratch::ModelMirrors::build(self));
+        }
+        let mirrors = if use_mirrors {
+            scratch.mirrors.as_ref()
+        } else {
+            None
+        };
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let layer_mirrors = mirrors.map(|m| &m.layers[li]);
+            layer
+                .attn_norm
+                .forward_into(&scratch.x, &mut scratch.normed);
+            layer.attn.forward_token_into(
+                &scratch.normed,
+                pos,
+                &mut state.kv[li],
+                &mut scratch.attn,
+                &mut scratch.attn_out,
+                layer_mirrors.map(|m| &m.attn),
+            )?;
+            Vector::axpy(1.0, &scratch.attn_out, &mut scratch.x)?;
+
+            layer.mlp_norm.forward_into(&scratch.x, &mut scratch.normed);
+            mlp_fw.forward_scratch(
+                li,
+                &layer.mlp,
+                &scratch.normed,
+                &mut scratch.mlp,
+                &mut scratch.accesses[li],
+                layer_mirrors.map(|m| &m.mlp),
+            )?;
+            Vector::axpy(1.0, &scratch.mlp.y, &mut scratch.x)?;
+        }
+
+        self.final_norm
+            .forward_into(&scratch.x, &mut scratch.final_normed);
+        // the LM head is the single largest matvec: mirrored when mirrors
+        // exist, row-partitioned across the pool otherwise (all variants
+        // bitwise identical)
+        match mirrors {
+            Some(m) => self.lm_head.matvec_mirrored(
+                &m.lm_head,
+                &scratch.final_normed,
+                &mut scratch.logits,
+            )?,
+            None => self.lm_head.matvec_into_threaded(
+                &scratch.final_normed,
+                &mut scratch.logits,
+                WorkerPool::global(),
+            )?,
+        }
         state.pos += 1;
-        Ok(TokenOutput {
-            logits,
-            mlp_accesses: accesses,
-        })
+        Ok(())
     }
 
     /// Convenience wrapper: decodes a token with the dense MLP.
@@ -229,21 +318,18 @@ impl TransformerModel {
             });
         }
         let mut state = self.new_decode_state();
-        let mut last = TokenOutput {
-            logits: Vec::new(),
-            mlp_accesses: Vec::new(),
-        };
+        let mut scratch = DecodeScratch::for_model(self);
         for &t in prompt {
-            last = self.forward_token(t, &mut state, mlp_fw)?;
+            self.forward_token_into(t, &mut state, mlp_fw, &mut scratch)?;
         }
         let mut out = Vec::with_capacity(n_tokens);
         for _ in 0..n_tokens {
-            let next = sample_from_logits(&last.logits, temperature, rng)?;
+            let next = sample_from_logits(&scratch.logits, temperature, rng)?;
             out.push(next);
             if out.len() == n_tokens {
                 break;
             }
-            last = self.forward_token(next, &mut state, mlp_fw)?;
+            self.forward_token_into(next, &mut state, mlp_fw, &mut scratch)?;
         }
         Ok(out)
     }

@@ -46,16 +46,28 @@ impl RmsNorm {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; x.len()];
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Allocation-free [`RmsNorm::forward`] into a caller-owned buffer
+    /// (bitwise identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()` or `out.len() != x.len()`.
+    pub fn forward_into(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.gain.len(), "RmsNorm dimension mismatch");
+        assert_eq!(x.len(), out.len(), "RmsNorm dimension mismatch");
         if x.is_empty() {
-            return Vec::new();
+            return;
         }
         let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
         let inv = 1.0 / (ms + self.eps).sqrt();
-        x.iter()
-            .zip(self.gain.iter())
-            .map(|(v, g)| v * inv * g)
-            .collect()
+        for ((o, v), g) in out.iter_mut().zip(x.iter()).zip(self.gain.iter()) {
+            *o = v * inv * g;
+        }
     }
 }
 

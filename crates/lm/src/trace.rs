@@ -160,10 +160,11 @@ pub fn collect_activation_trace(
     sequences: &[Vec<u32>],
 ) -> Result<ActivationTrace> {
     let mut tracer = TracingMlp::new(model.n_layers());
+    let mut scratch = crate::scratch::DecodeScratch::for_model(model);
     for seq in sequences {
         let mut state = model.new_decode_state();
         for &t in seq {
-            model.forward_token(t, &mut state, &mut tracer)?;
+            model.forward_token_into(t, &mut state, &mut tracer, &mut scratch)?;
         }
     }
     Ok(tracer.into_trace())

@@ -274,6 +274,9 @@ impl ServeEngine {
         let n_streams = requests.len();
         let mut factory = StrategyFactory::new();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // one decode workspace for the whole engine: sessions are served one
+        // token at a time, and the scratch carries no cross-token state
+        let mut scratch = lm::DecodeScratch::for_model(&self.model);
         let mut waiting: Vec<GenRequest> = requests;
         let mut active: Vec<Session> = Vec::new();
         let mut finished: Vec<Session> = Vec::new();
@@ -313,15 +316,15 @@ impl ServeEngine {
                 .next_service(&active)
                 .expect("active set is non-empty");
             let step = order.len();
-            let records = active[idx].step(&self.model, &mut rng, step)?;
+            active[idx].step(&self.model, &mut rng, step, &mut scratch)?;
             active[idx].last_served_step = step;
             order.push(active[idx].stream);
             // Let every *other* shared cache-aware model see this traffic:
             // the physical DRAM cache is shared, so their view must include
             // co-tenant accesses.
-            factory.observe_cross_traffic(
+            factory.observe_cross_traffic_scratch(
                 active[idx].request.strategy.shared_cache_key(),
-                &records,
+                &scratch.accesses,
                 self.model.config.d_model,
                 self.model.config.d_ff,
             );

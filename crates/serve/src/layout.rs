@@ -94,6 +94,29 @@ pub fn to_token_access(records: &[MlpAccessRecord]) -> TokenAccess {
     }
 }
 
+fn scratch_access_set(buf: &lm::AccessBuf) -> AccessSet {
+    match buf.subset() {
+        None => AccessSet::All,
+        Some(v) => AccessSet::Subset(v.to_vec()),
+    }
+}
+
+/// Converts the decode scratch's per-layer access records into a simulator
+/// trace token (the only allocation a served token makes: the trace itself
+/// must own its indices).
+pub fn to_token_access_scratch(accesses: &[lm::MlpAccessScratch]) -> TokenAccess {
+    TokenAccess {
+        blocks: accesses
+            .iter()
+            .map(|a| BlockAccess {
+                up: scratch_access_set(&a.up),
+                gate: scratch_access_set(&a.gate),
+                down: scratch_access_set(&a.down),
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

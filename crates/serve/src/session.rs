@@ -1,11 +1,11 @@
 //! One admitted user session: decode state, strategy and access bookkeeping.
 
 use crate::error::Result;
-use crate::layout::to_token_access;
+use crate::layout::to_token_access_scratch;
 use crate::request::GenRequest;
 use hwsim::AccessTrace;
 use lm::model::sample_from_logits;
-use lm::{DecodeState, MlpForward, TransformerModel};
+use lm::{DecodeScratch, DecodeState, MlpForward, TransformerModel};
 use rand::rngs::StdRng;
 
 /// Lifecycle phase of a session.
@@ -88,9 +88,10 @@ impl Session {
 
     /// Serves one token (the next prompt token during prefill, a sampled
     /// continuation during decode), recording its weight accesses and its
-    /// position `step` in the global schedule. Returns the per-layer access
-    /// records of the served token so the engine can propagate them to
-    /// co-tenant cache models.
+    /// position `step` in the global schedule. The engine-owned `scratch`
+    /// provides every decode buffer; after the call its
+    /// [`DecodeScratch::accesses`] hold the served token's per-layer access
+    /// records for the engine to propagate to co-tenant cache models.
     ///
     /// # Errors
     ///
@@ -100,7 +101,8 @@ impl Session {
         model: &TransformerModel,
         rng: &mut StdRng,
         step: usize,
-    ) -> Result<Vec<lm::MlpAccessRecord>> {
+        scratch: &mut DecodeScratch,
+    ) -> Result<()> {
         debug_assert!(self.phase() != SessionPhase::Finished);
         let token = if self.next_prompt_idx < self.request.prompt.len() {
             let t = self.request.prompt[self.next_prompt_idx];
@@ -114,10 +116,11 @@ impl Session {
             self.generated.push(t);
             t
         };
-        let out = model.forward_token(token, &mut self.state, self.strategy.as_mut())?;
-        self.trace.push(to_token_access(&out.mlp_accesses));
-        self.last_logits = out.logits;
-        Ok(out.mlp_accesses)
+        model.forward_token_into(token, &mut self.state, self.strategy.as_mut(), scratch)?;
+        self.trace.push(to_token_access_scratch(&scratch.accesses));
+        self.last_logits.clear();
+        self.last_logits.extend_from_slice(&scratch.logits);
+        Ok(())
     }
 
     /// Schedule position whose completion makes the first generated token
@@ -146,13 +149,16 @@ mod tests {
         let request = GenRequest::new(1, vec![1, 2], 3, StrategySpec::Dense);
         let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
         let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = DecodeScratch::for_model(&model);
 
         assert_eq!(session.phase(), SessionPhase::Prefill);
         assert_eq!(session.remaining_tokens(), 5);
         assert!(session.first_token_position().is_none());
 
         for step in 0..5 {
-            session.step(&model, &mut rng, step * 2).unwrap();
+            session
+                .step(&model, &mut rng, step * 2, &mut scratch)
+                .unwrap();
         }
         assert_eq!(session.phase(), SessionPhase::Finished);
         assert_eq!(session.remaining_tokens(), 0);

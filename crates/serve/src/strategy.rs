@@ -103,6 +103,20 @@ impl StrategyFactory {
             .observe_cross_traffic(served, records, d_model, d_ff);
     }
 
+    /// Allocation-free [`StrategyFactory::observe_cross_traffic`] fed from
+    /// the engine's decode scratch. See
+    /// [`StrategyRegistry::observe_cross_traffic_scratch`].
+    pub fn observe_cross_traffic_scratch(
+        &mut self,
+        served: Option<(u32, u32)>,
+        accesses: &[lm::MlpAccessScratch],
+        d_model: usize,
+        d_ff: usize,
+    ) {
+        self.registry
+            .observe_cross_traffic_scratch(served, accesses, d_model, d_ff);
+    }
+
     /// Number of distinct shared DIP-CA cells built so far (diagnostics).
     pub fn shared_cell_count(&self) -> usize {
         self.registry.shared_cell_count()

@@ -1,0 +1,36 @@
+//! Global kernel-dispatch controls.
+//!
+//! The optimised matrix kernels are bitwise-identical to the naive loops in
+//! [`crate::reference`], so this switch changes *speed only*: the benchmark
+//! harness flips it to measure honest before/after numbers for the same
+//! end-to-end code path in one binary. It is not meant for production use.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Routes every matrix kernel through the naive scalar reference loops
+/// (`true`) or the optimised paths (`false`, the default).
+pub fn set_reference_mode(on: bool) {
+    REFERENCE_MODE.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernels are currently routed through the reference loops.
+#[inline]
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_round_trips() {
+        assert!(!reference_mode());
+        set_reference_mode(true);
+        assert!(reference_mode());
+        set_reference_mode(false);
+        assert!(!reference_mode());
+    }
+}

@@ -11,7 +11,11 @@
 //! * [`stats`] — quantiles, histograms and calibration-set CDF thresholds,
 //! * [`init`] — random weight initialisation, including the heavy-tailed
 //!   initialisers used to mimic the GLU activation magnitude distribution
-//!   reported in the paper (Fig. 10, left).
+//!   reported in the paper (Fig. 10, left),
+//! * [`pool`] — a persistent std-only worker pool for deterministic
+//!   row-partitioned parallelism,
+//! * [`mod@reference`] — the naive scalar kernels kept as bit-exact oracles
+//!   for the optimised paths (see the kernel-design notes in [`matrix`]).
 //!
 //! # Example
 //!
@@ -32,7 +36,10 @@
 pub mod activation;
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod matrix;
+pub mod pool;
+pub mod reference;
 pub mod sparse;
 pub mod stats;
 pub mod topk;
@@ -41,5 +48,6 @@ pub mod vector;
 pub use activation::Activation;
 pub use error::{Result, TensorError};
 pub use matrix::Matrix;
+pub use pool::WorkerPool;
 pub use sparse::ColumnMask;
 pub use vector::Vector;

@@ -1,8 +1,62 @@
 //! Row-major dense matrix with dense and column-sparse matrix–vector products.
+//!
+//! # Kernel design
+//!
+//! The matrix–vector kernels dominate decode wall-clock time, so each has an
+//! allocation-free `_into` variant writing into a caller-owned buffer, with
+//! the allocating method kept as a thin wrapper. The optimised loops follow
+//! one rule that makes them **bitwise identical** to the naive scalar
+//! references in [`crate::reference`]: unrolling runs across *independent
+//! outputs* (4 rows in flight, each with its own accumulator), never inside
+//! a single reduction, so no floating-point addition is ever reordered.
+//! `matvec_cols` additionally swaps its cache-hostile stride-`cols` column
+//! walk for a row-outer loop with a gathered inner loop (each row is a
+//! contiguous cache-resident slice), preserving the per-output accumulation
+//! order exactly; [`Matrix::matvec_cols_mirrored`] offers the alternative
+//! contiguous formulation through a pre-transposed mirror.
 
 use crate::error::{Result, TensorError};
+use crate::pool::{chunk_size, WorkerPool};
 use crate::sparse::ColumnMask;
 use serde::{Deserialize, Serialize};
+
+/// Minimum number of matrix elements before a threaded kernel splits work
+/// across the pool; below this the handshake costs more than the math.
+const PAR_MIN_ELEMENTS: usize = 1 << 15;
+
+/// Four independent sequential dot products sharing one pass over `x`.
+///
+/// Each accumulator observes its row's products in exactly the order the
+/// naive per-row loop would, so the results are bitwise identical to four
+/// separate naive dots while giving the CPU four independent dependency
+/// chains (and a vectorisable inner loop).
+#[inline(always)]
+fn dot4(x: &[f32], r0: &[f32], r1: &[f32], r2: &[f32], r3: &[f32]) -> (f32, f32, f32, f32) {
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for ((((&xv, &w0), &w1), &w2), &w3) in x
+        .iter()
+        .zip(r0.iter())
+        .zip(r1.iter())
+        .zip(r2.iter())
+        .zip(r3.iter())
+    {
+        a0 += w0 * xv;
+        a1 += w1 * xv;
+        a2 += w2 * xv;
+        a3 += w3 * xv;
+    }
+    (a0, a1, a2, a3)
+}
+
+/// One sequential dot product (the naive order).
+#[inline(always)]
+fn dot1(x: &[f32], row: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&w, &xv) in row.iter().zip(x.iter()) {
+        acc += w * xv;
+    }
+    acc
+}
 
 /// A row-major dense `f32` matrix.
 ///
@@ -213,7 +267,10 @@ impl Matrix {
                 len: self.cols,
             });
         }
-        Ok((0..self.rows).map(|r| self.get(r, c)).collect())
+        if self.rows == 0 {
+            return Ok(Vec::new());
+        }
+        Ok(self.data[c..].iter().step_by(self.cols).copied().collect())
     }
 
     /// Iterates over rows as slices.
@@ -227,6 +284,20 @@ impl Matrix {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free dense product: writes `W x` into `out`.
+    ///
+    /// Bitwise identical to [`Matrix::matvec`] / [`crate::reference::matvec_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols` or
+    /// `out.len() != rows`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut [f32]) -> Result<()> {
         if x.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matvec",
@@ -234,16 +305,95 @@ impl Matrix {
                 found: (x.len(), 1),
             });
         }
-        let mut y = vec![0.0f32; self.rows];
-        for (r, out) in y.iter_mut().enumerate() {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0f32;
-            for (w, v) in row.iter().zip(x.iter()) {
-                acc += w * v;
-            }
-            *out = acc;
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
         }
-        Ok(y)
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_into(self, x, out);
+            return Ok(());
+        }
+        self.matvec_rows_range(x, 0, out);
+        Ok(())
+    }
+
+    /// Computes output rows `[lo, lo + out.len())` of `W x` into `out` with
+    /// the 4-row-unrolled kernel. Shapes must be pre-validated.
+    fn matvec_rows_range(&self, x: &[f32], lo: usize, out: &mut [f32]) {
+        let cols = self.cols;
+        let mut r = lo;
+        let mut chunks = out.chunks_exact_mut(4);
+        for quad in &mut chunks {
+            let base = r * cols;
+            let r0 = &self.data[base..base + cols];
+            let r1 = &self.data[base + cols..base + 2 * cols];
+            let r2 = &self.data[base + 2 * cols..base + 3 * cols];
+            let r3 = &self.data[base + 3 * cols..base + 4 * cols];
+            let (a0, a1, a2, a3) = dot4(x, r0, r1, r2, r3);
+            quad[0] = a0;
+            quad[1] = a1;
+            quad[2] = a2;
+            quad[3] = a3;
+            r += 4;
+        }
+        for o in chunks.into_remainder() {
+            *o = dot1(x, &self.data[r * cols..(r + 1) * cols]);
+            r += 1;
+        }
+    }
+
+    /// Like [`Matrix::matvec_into`], but row-partitions the output across
+    /// the worker pool for large matrices.
+    ///
+    /// Row partitioning never splits a dot product, so the result is
+    /// bitwise identical to the sequential kernel whatever the thread
+    /// count or scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Matrix::matvec_into`].
+    pub fn matvec_into_threaded(
+        &self,
+        x: &[f32],
+        out: &mut [f32],
+        pool: &WorkerPool,
+    ) -> Result<()> {
+        if self.len() < PAR_MIN_ELEMENTS || pool.parallelism() == 1 {
+            return self.matvec_into(x, out);
+        }
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_into(self, x, out);
+            return Ok(());
+        }
+        let chunk = chunk_size(self.rows, pool.parallelism(), 16);
+        let chunks: Vec<std::sync::Mutex<(usize, &mut [f32])>> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| std::sync::Mutex::new((i * chunk, c)))
+            .collect();
+        pool.run(chunks.len(), |i| {
+            let mut guard = chunks[i].lock().expect("chunk lock poisoned");
+            let (lo, chunk) = &mut *guard;
+            self.matvec_rows_range(x, *lo, chunk);
+        });
+        Ok(())
     }
 
     /// Column-sparse matrix–vector product: only the listed input columns
@@ -258,6 +408,33 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols` and
     /// [`TensorError::IndexOutOfBounds`] if any column index is invalid.
     pub fn matvec_cols(&self, x: &[f32], active_cols: &[usize]) -> Result<Vec<f32>> {
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_cols_into(x, active_cols, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free column-sparse product into `out`.
+    ///
+    /// The historical kernel walked each active *column* with stride
+    /// `cols` — one cache line fetched per element. This kernel iterates
+    /// rows on the outside (each row a contiguous slice, 4 rows in flight)
+    /// and gathers the active columns on the inside, preserving the exact
+    /// per-output accumulation order (active-list order, entries whose `x`
+    /// value is exactly zero skipped) of
+    /// [`crate::reference::matvec_cols_into`] — so the result is bitwise
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for bad `x`/`out` lengths and
+    /// [`TensorError::IndexOutOfBounds`] if any column index is invalid
+    /// (checked up front; `out` is zeroed but otherwise untouched on error).
+    pub fn matvec_cols_into(
+        &self,
+        x: &[f32],
+        active_cols: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
         if x.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matvec_cols",
@@ -265,23 +442,221 @@ impl Matrix {
                 found: (x.len(), 1),
             });
         }
-        let mut y = vec![0.0f32; self.rows];
-        for &c in active_cols {
-            if c >= self.cols {
-                return Err(TensorError::IndexOutOfBounds {
-                    index: c,
-                    len: self.cols,
-                });
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        if let Some(&bad) = active_cols.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_cols_into(self, x, active_cols, out);
+            return Ok(());
+        }
+        let cols = self.cols;
+        let mut r = 0usize;
+        let mut quads = out.chunks_exact_mut(4);
+        for quad in &mut quads {
+            let base = r * cols;
+            let r0 = &self.data[base..base + cols];
+            let r1 = &self.data[base + cols..base + 2 * cols];
+            let r2 = &self.data[base + 2 * cols..base + 3 * cols];
+            let r3 = &self.data[base + 3 * cols..base + 4 * cols];
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for &c in active_cols {
+                let xv = x[c];
+                if xv == 0.0 {
+                    continue;
+                }
+                a0 += r0[c] * xv;
+                a1 += r1[c] * xv;
+                a2 += r2[c] * xv;
+                a3 += r3[c] * xv;
             }
+            quad[0] = a0;
+            quad[1] = a1;
+            quad[2] = a2;
+            quad[3] = a3;
+            r += 4;
+        }
+        for o in quads.into_remainder() {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut acc = 0.0f32;
+            for &c in active_cols {
+                let xv = x[c];
+                if xv == 0.0 {
+                    continue;
+                }
+                acc += row[c] * xv;
+            }
+            *o = acc;
+            r += 1;
+        }
+        Ok(())
+    }
+
+    /// Dense product through a pre-transposed mirror of this matrix
+    /// (`mirror == self.transpose()`).
+    ///
+    /// Accumulating column contributions in ascending-column order gives
+    /// every output exactly the same addition sequence as the sequential
+    /// row dot (`0 + w[r][0]·x[0] + w[r][1]·x[1] + …`), so this is bitwise
+    /// identical to [`Matrix::matvec`] — but each pass reads *contiguous*
+    /// mirror rows and the per-element updates are independent, which the
+    /// autovectorizer turns into full-width SIMD. This is the preferred
+    /// dense kernel wherever a mirror is worth its memory (see
+    /// `lm::scratch::ModelMirrors`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the mirror's shape is not
+    /// the transpose of this matrix's or the vector lengths are wrong.
+    pub fn matvec_mirrored(&self, mirror: &Matrix, x: &[f32], out: &mut [f32]) -> Result<()> {
+        if mirror.shape() != (self.cols, self.rows) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_mirrored",
+                expected: (self.cols, self.rows),
+                found: mirror.shape(),
+            });
+        }
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_mirrored",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_mirrored",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_into(self, x, out);
+            return Ok(());
+        }
+        out.fill(0.0);
+        let rows = self.rows;
+        let mut c = 0usize;
+        let mut quads = x.chunks_exact(4);
+        for quad in &mut quads {
+            let base = c * rows;
+            let w0 = &mirror.data[base..base + rows];
+            let w1 = &mirror.data[base + rows..base + 2 * rows];
+            let w2 = &mirror.data[base + 2 * rows..base + 3 * rows];
+            let w3 = &mirror.data[base + 3 * rows..base + 4 * rows];
+            let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
+            for (i, o) in out.iter_mut().enumerate() {
+                let mut acc = *o;
+                acc += w0[i] * x0;
+                acc += w1[i] * x1;
+                acc += w2[i] * x2;
+                acc += w3[i] * x3;
+                *o = acc;
+            }
+            c += 4;
+        }
+        for &xv in quads.remainder() {
+            let row = &mirror.data[c * rows..(c + 1) * rows];
+            for (o, &wv) in out.iter_mut().zip(row.iter()) {
+                *o += wv * xv;
+            }
+            c += 1;
+        }
+        Ok(())
+    }
+
+    /// Column-sparse product through a pre-transposed mirror of this matrix
+    /// (`mirror == self.transpose()`): each active column of `W` is a
+    /// *contiguous row* of the mirror, so the kernel degenerates to a few
+    /// fused axpy passes. Bitwise identical to [`Matrix::matvec_cols`].
+    ///
+    /// Worth the 2× weight memory only for heavily-reused matrices; the
+    /// gathered row-outer kernel ([`Matrix::matvec_cols_into`]) is the
+    /// default hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the mirror's shape is not
+    /// the transpose of this matrix's or the vector lengths are wrong, and
+    /// [`TensorError::IndexOutOfBounds`] for an invalid column index.
+    pub fn matvec_cols_mirrored(
+        &self,
+        mirror: &Matrix,
+        x: &[f32],
+        active_cols: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
+        if mirror.shape() != (self.cols, self.rows) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_mirrored",
+                expected: (self.cols, self.rows),
+                found: mirror.shape(),
+            });
+        }
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_mirrored",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_mirrored",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        if let Some(&bad) = active_cols.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        // Accumulate mirror rows in active order, fusing up to 4 rows per
+        // pass over `out`. Within one fused pass the per-element additions
+        // stay in active order, so the result is bitwise identical to one
+        // axpy pass per active column.
+        let rows = self.rows;
+        let mut batch: [(&[f32], f32); 4] = [(&[], 0.0); 4];
+        let mut filled = 0usize;
+        for &c in active_cols {
             let xv = x[c];
             if xv == 0.0 {
                 continue;
             }
-            for (r, out) in y.iter_mut().enumerate() {
-                *out += self.data[r * self.cols + c] * xv;
+            batch[filled] = (&mirror.data[c * rows..(c + 1) * rows], xv);
+            filled += 1;
+            if filled == 4 {
+                let [(w0, x0), (w1, x1), (w2, x2), (w3, x3)] = batch;
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w0[i] * x0;
+                    acc += w1[i] * x1;
+                    acc += w2[i] * x2;
+                    acc += w3[i] * x3;
+                    *o = acc;
+                }
+                filled = 0;
             }
         }
-        Ok(y)
+        for &(w, xv) in &batch[..filled] {
+            for (o, &wv) in out.iter_mut().zip(w.iter()) {
+                *o += wv * xv;
+            }
+        }
+        Ok(())
     }
 
     /// Row-sparse matrix–vector product: only the listed output rows are
@@ -296,6 +671,26 @@ impl Matrix {
     /// Returns [`TensorError::ShapeMismatch`] if `x.len() != cols` and
     /// [`TensorError::IndexOutOfBounds`] if any row index is invalid.
     pub fn matvec_rows(&self, x: &[f32], active_rows: &[usize]) -> Result<Vec<f32>> {
+        let mut y = vec![0.0f32; self.rows];
+        self.matvec_rows_into(x, active_rows, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free row-sparse product into `out` (inactive outputs are
+    /// zeroed). Runs 4 active rows in flight, each reduction sequential —
+    /// bitwise identical to [`crate::reference::matvec_rows_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for bad `x`/`out` lengths and
+    /// [`TensorError::IndexOutOfBounds`] if any row index is invalid
+    /// (checked up front; `out` is zeroed but otherwise untouched on error).
+    pub fn matvec_rows_into(
+        &self,
+        x: &[f32],
+        active_rows: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
         if x.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "matvec_rows",
@@ -303,22 +698,38 @@ impl Matrix {
                 found: (x.len(), 1),
             });
         }
-        let mut y = vec![0.0f32; self.rows];
-        for &r in active_rows {
-            if r >= self.rows {
-                return Err(TensorError::IndexOutOfBounds {
-                    index: r,
-                    len: self.rows,
-                });
-            }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0f32;
-            for (w, v) in row.iter().zip(x.iter()) {
-                acc += w * v;
-            }
-            y[r] = acc;
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_rows",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
         }
-        Ok(y)
+        out.fill(0.0);
+        if let Some(&bad) = active_rows.iter().find(|&&r| r >= self.rows) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.rows,
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_rows_into(self, x, active_rows, out);
+            return Ok(());
+        }
+        let cols = self.cols;
+        let row = |r: usize| &self.data[r * cols..(r + 1) * cols];
+        let mut quads = active_rows.chunks_exact(4);
+        for quad in &mut quads {
+            let (a0, a1, a2, a3) = dot4(x, row(quad[0]), row(quad[1]), row(quad[2]), row(quad[3]));
+            out[quad[0]] = a0;
+            out[quad[1]] = a1;
+            out[quad[2]] = a2;
+            out[quad[3]] = a3;
+        }
+        for &r in quads.remainder() {
+            out[r] = dot1(x, row(r));
+        }
+        Ok(())
     }
 
     /// Masked column-sparse product using a [`ColumnMask`].
@@ -344,6 +755,22 @@ impl Matrix {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f32]) -> Result<Vec<f32>> {
+        let mut y = vec![0.0f32; self.cols];
+        self.matvec_t_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free transposed product `y = W^T x` into `out`.
+    ///
+    /// Fuses up to 4 contributing rows per pass over `out`, with the
+    /// per-element additions kept in row order — bitwise identical to the
+    /// one-axpy-per-row loop in [`crate::reference::matvec_t_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x.len() != rows` or
+    /// `out.len() != cols`.
+    pub fn matvec_t_into(&self, x: &[f32], out: &mut [f32]) -> Result<()> {
         if x.len() != self.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matvec_t",
@@ -351,17 +778,46 @@ impl Matrix {
                 found: (x.len(), 1),
             });
         }
-        let mut y = vec![0.0f32; self.cols];
+        if out.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_t",
+                expected: (self.cols, 1),
+                found: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_t_into(self, x, out);
+            return Ok(());
+        }
+        let cols = self.cols;
+        let mut batch: [(&[f32], f32); 4] = [(&[], 0.0); 4];
+        let mut filled = 0usize;
         for (r, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
             }
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (out, w) in y.iter_mut().zip(row.iter()) {
-                *out += w * xv;
+            batch[filled] = (&self.data[r * cols..(r + 1) * cols], xv);
+            filled += 1;
+            if filled == 4 {
+                let [(w0, x0), (w1, x1), (w2, x2), (w3, x3)] = batch;
+                for (i, o) in out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w0[i] * x0;
+                    acc += w1[i] * x1;
+                    acc += w2[i] * x2;
+                    acc += w3[i] * x3;
+                    *o = acc;
+                }
+                filled = 0;
             }
         }
-        Ok(y)
+        for &(w, xv) in &batch[..filled] {
+            for (o, &wv) in out.iter_mut().zip(w.iter()) {
+                *o += wv * xv;
+            }
+        }
+        Ok(())
     }
 
     /// Dense matrix–matrix product `C = A B` (small sizes only; used by tests
@@ -395,11 +851,26 @@ impl Matrix {
     }
 
     /// Returns the transpose of this matrix.
+    ///
+    /// Walks the matrix in cache-sized tiles so both the source rows and
+    /// the destination rows stay resident, instead of the naive
+    /// stride-`rows` scalar walk ([`crate::reference::transpose`], which
+    /// this is element-for-element identical to). The result doubles as the
+    /// mirror argument of [`Matrix::matvec_cols_mirrored`].
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        const TILE: usize = 32;
+        let (rows, cols) = self.shape();
+        let mut out = Matrix::zeros(cols, rows);
+        for rb in (0..rows).step_by(TILE) {
+            let r_end = (rb + TILE).min(rows);
+            for cb in (0..cols).step_by(TILE) {
+                let c_end = (cb + TILE).min(cols);
+                for r in rb..r_end {
+                    let src = &self.data[r * cols + cb..r * cols + c_end];
+                    for (c, &v) in src.iter().enumerate() {
+                        out.data[(cb + c) * rows + r] = v;
+                    }
+                }
             }
         }
         out

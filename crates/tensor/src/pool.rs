@@ -1,0 +1,259 @@
+//! A small persistent worker pool for deterministic data parallelism.
+//!
+//! The offline build has no crates.io access (so no `rayon`); this is a
+//! std-only stand-in sized for the workspace's needs: fan a fixed number of
+//! *index-addressed* tasks across a set of persistent threads, block the
+//! caller until every task ran, and guarantee that results are
+//! **bitwise-deterministic** — each task owns a disjoint slice of the
+//! output, so which thread runs it (or in what order) can never change a
+//! single floating-point operation. Reductions are never split across
+//! tasks.
+//!
+//! The pool is created once ([`WorkerPool::global`]) and reused for the
+//! lifetime of the process; per-call cost is one atomic handshake per
+//! worker, no thread spawns and no heap allocation beyond one `Arc`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// One in-flight `run` call: the (lifetime-erased) task closure plus the
+/// shared work-claiming and completion state.
+struct Job {
+    /// Type- and lifetime-erased `&(dyn Fn(usize) + Sync)`; valid until
+    /// `done == n_tasks`, which `run` blocks on before returning.
+    f: *const (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    n_tasks: usize,
+    done: Mutex<usize>,
+    finished: Condvar,
+    panicked: AtomicBool,
+}
+
+// SAFETY: the raw closure pointer is only dereferenced while the `run` call
+// that created it is blocked waiting for `done == n_tasks`; the underlying
+// closure is `Sync` so concurrent calls are allowed.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs task indices until none remain, then records this
+    /// participant's completion.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                break;
+            }
+            // SAFETY: see the `Send`/`Sync` justification above.
+            let f = unsafe { &*self.f };
+            if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+            let mut done = self.done.lock().expect("pool lock poisoned");
+            *done += 1;
+            if *done == self.n_tasks {
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().expect("pool lock poisoned");
+        while *done < self.n_tasks {
+            done = self.finished.wait(done).expect("pool lock poisoned");
+        }
+    }
+}
+
+/// A persistent pool of worker threads executing index-addressed tasks.
+pub struct WorkerPool {
+    senders: Vec<Sender<Arc<Job>>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `workers` background threads (the calling thread
+    /// always participates too, so `workers == 0` degrades to inline
+    /// sequential execution).
+    pub fn new(workers: usize) -> Self {
+        let senders = (0..workers)
+            .map(|i| {
+                let (tx, rx) = channel::<Arc<Job>>();
+                thread::Builder::new()
+                    .name(format!("tensor-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job.work();
+                        }
+                    })
+                    .expect("failed to spawn pool worker");
+                tx
+            })
+            .collect();
+        WorkerPool { senders }
+    }
+
+    /// The process-wide pool: one worker per available core beyond the
+    /// caller's own.
+    pub fn global() -> &'static WorkerPool {
+        static POOL: OnceLock<WorkerPool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let cores = thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            WorkerPool::new(cores.saturating_sub(1))
+        })
+    }
+
+    /// Total number of threads that participate in a `run` call (workers
+    /// plus the caller).
+    pub fn parallelism(&self) -> usize {
+        self.senders.len() + 1
+    }
+
+    /// Runs `f(0), f(1), …, f(n_tasks - 1)` across the pool (tasks are
+    /// claimed dynamically; the caller participates) and returns once every
+    /// task completed.
+    ///
+    /// Tasks must write to disjoint data — under that contract the result
+    /// is identical whatever the thread assignment, so parallel execution
+    /// is bitwise-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic in the calling thread) if any task panicked.
+    pub fn run(&self, n_tasks: usize, f: impl Fn(usize) + Sync) {
+        if n_tasks == 0 {
+            return;
+        }
+        if self.senders.is_empty() || n_tasks == 1 {
+            for i in 0..n_tasks {
+                f(i);
+            }
+            return;
+        }
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: `run` blocks on `wait()` below until all tasks finished,
+        // so the erased borrow outlives every dereference.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(erased) };
+        let job = Arc::new(Job {
+            f: erased,
+            next: AtomicUsize::new(0),
+            n_tasks,
+            done: Mutex::new(0),
+            finished: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        for tx in &self.senders {
+            // a worker that died takes its sender error silently; the
+            // remaining participants (at least the caller) finish the job
+            let _ = tx.send(Arc::clone(&job));
+        }
+        job.work();
+        job.wait();
+        assert!(
+            !job.panicked.load(Ordering::Acquire),
+            "a pool task panicked"
+        );
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .finish()
+    }
+}
+
+/// Splits `len` items into at most `max_chunks` contiguous ranges of at
+/// least `min_chunk` items each (except possibly the last), returning the
+/// chunk size. The split depends only on the arguments, never on thread
+/// timing.
+pub fn chunk_size(len: usize, max_chunks: usize, min_chunk: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    let chunks = max_chunks.max(1);
+    len.div_ceil(chunks).max(min_chunk.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.parallelism(), 1);
+        let mut seen = vec![false; 5];
+        let cell = std::sync::Mutex::new(&mut seen);
+        pool.run(5, |i| {
+            cell.lock().unwrap()[i] = true;
+        });
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn disjoint_writes_are_deterministic() {
+        let pool = WorkerPool::new(2);
+        let run_once = || {
+            let mut out = vec![0.0f64; 1000];
+            {
+                // hand each task its chunk up front so writes are disjoint
+                let chunks: Vec<Mutex<&mut [f64]>> = out.chunks_mut(100).map(Mutex::new).collect();
+                pool.run(chunks.len(), |i| {
+                    let mut chunk = chunks[i].lock().unwrap();
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = ((i * 100 + j) as f64).sin();
+                    }
+                });
+            }
+            out
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool task panicked")]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        pool.run(8, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_size_bounds() {
+        assert_eq!(chunk_size(0, 4, 1), 1);
+        assert_eq!(chunk_size(100, 4, 1), 25);
+        assert_eq!(chunk_size(100, 4, 64), 64);
+        assert_eq!(chunk_size(3, 8, 1), 1);
+        assert_eq!(chunk_size(10, 0, 0), 10);
+    }
+
+    #[test]
+    fn global_pool_is_usable() {
+        let pool = WorkerPool::global();
+        assert!(pool.parallelism() >= 1);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+}

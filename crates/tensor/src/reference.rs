@@ -1,0 +1,141 @@
+//! Naive scalar reference kernels — the pre-optimisation loops, kept as
+//! bit-exact oracles.
+//!
+//! Every optimised kernel in [`crate::Matrix`] preserves the *per-output
+//! accumulation order* of these loops (unrolling runs across independent
+//! outputs, never inside one reduction), so the optimised kernels must be
+//! **bitwise identical** to these references on any input. The property
+//! suite in `tests/kernel_parity.rs` enforces that, and the benchmark
+//! harness uses this module (via [`crate::kernels::set_reference_mode`]) to
+//! measure honest before/after numbers on the same binary.
+
+use crate::Matrix;
+
+/// Naive dense matrix–vector product: one sequential dot per row.
+///
+/// # Panics
+///
+/// Panics if `x.len() != cols` or `out.len() != rows`.
+pub fn matvec_into(m: &Matrix, x: &[f32], out: &mut [f32]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), cols);
+    assert_eq!(out.len(), rows);
+    let w = m.as_slice();
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(x.iter()) {
+            acc += wv * xv;
+        }
+        *o = acc;
+    }
+}
+
+/// Naive column-sparse product: walks each active *column* with stride
+/// `cols` (the cache-hostile layout the optimised kernel fixes).
+///
+/// Indices must be pre-validated; columns whose `x` entry is exactly zero
+/// are skipped, as in the original kernel.
+///
+/// # Panics
+///
+/// Panics if `x.len() != cols`, `out.len() != rows` or an index is out of
+/// range.
+pub fn matvec_cols_into(m: &Matrix, x: &[f32], active_cols: &[usize], out: &mut [f32]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), cols);
+    assert_eq!(out.len(), rows);
+    out.fill(0.0);
+    let w = m.as_slice();
+    for &c in active_cols {
+        assert!(c < cols);
+        let xv = x[c];
+        if xv == 0.0 {
+            continue;
+        }
+        for (r, o) in out.iter_mut().enumerate() {
+            *o += w[r * cols + c] * xv;
+        }
+    }
+    let _ = rows;
+}
+
+/// Naive row-sparse product: one sequential dot per active row.
+///
+/// # Panics
+///
+/// Panics if `x.len() != cols`, `out.len() != rows` or an index is out of
+/// range.
+pub fn matvec_rows_into(m: &Matrix, x: &[f32], active_rows: &[usize], out: &mut [f32]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), cols);
+    assert_eq!(out.len(), rows);
+    out.fill(0.0);
+    let w = m.as_slice();
+    for &r in active_rows {
+        assert!(r < rows);
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(x.iter()) {
+            acc += wv * xv;
+        }
+        out[r] = acc;
+    }
+}
+
+/// Naive transposed product `y = W^T x`: one full axpy pass per row with a
+/// non-zero coefficient.
+///
+/// # Panics
+///
+/// Panics if `x.len() != rows` or `out.len() != cols`.
+pub fn matvec_t_into(m: &Matrix, x: &[f32], out: &mut [f32]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(x.len(), rows);
+    assert_eq!(out.len(), cols);
+    out.fill(0.0);
+    let w = m.as_slice();
+    for (r, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let row = &w[r * cols..(r + 1) * cols];
+        for (o, wv) in out.iter_mut().zip(row.iter()) {
+            *o += wv * xv;
+        }
+    }
+}
+
+/// Naive element-by-element transpose (strided scalar walk).
+pub fn transpose(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    let mut out = Matrix::zeros(cols, rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.set(c, r, m.get(r, c));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_public_kernels_on_a_sample() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let x = [1.0, 0.0, -1.0];
+        let mut y = vec![0.0; 2];
+        matvec_into(&m, &x, &mut y);
+        assert_eq!(y, m.matvec(&x).unwrap());
+        matvec_cols_into(&m, &x, &[0, 2], &mut y);
+        assert_eq!(y, m.matvec_cols(&x, &[0, 2]).unwrap());
+        matvec_rows_into(&m, &x, &[1], &mut y);
+        assert_eq!(y, m.matvec_rows(&x, &[1]).unwrap());
+        let mut yt = vec![0.0; 3];
+        matvec_t_into(&m, &[1.0, -1.0], &mut yt);
+        assert_eq!(yt, m.matvec_t(&[1.0, -1.0]).unwrap());
+        assert_eq!(transpose(&m), m.transpose());
+    }
+}

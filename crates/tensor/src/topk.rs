@@ -19,19 +19,36 @@ use crate::error::{Result, TensorError};
 /// assert_eq!(idx, vec![1, 2]);
 /// ```
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    top_k_indices_into(scores, k, &mut out);
+    out
+}
+
+/// Allocation-free [`top_k_indices`]: writes the selection into `out`
+/// (cleared first; capacity is reused across calls). Selection and ordering
+/// are identical to the allocating variant.
+pub fn top_k_indices_into(scores: &[f32], k: usize, out: &mut Vec<usize>) {
+    out.clear();
     let k = k.min(scores.len());
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
+    out.extend(0..scores.len());
+    // The index tiebreak makes the comparator a strict total order, so the
+    // top-k *set* is unique: selecting the k best in O(n) and then sorting
+    // only those k is allocation-free and produces exactly the same list a
+    // full stable sort would.
+    let cmp = |a: &usize, b: &usize| {
+        scores[*b]
+            .partial_cmp(&scores[*a])
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    idx.truncate(k);
-    idx
+            .then(a.cmp(b))
+    };
+    if k < out.len() {
+        out.select_nth_unstable_by(k, cmp);
+        out.truncate(k);
+    }
+    out.sort_unstable_by(cmp);
 }
 
 /// Returns the indices of the `k` elements with the largest *absolute* value.
@@ -39,18 +56,42 @@ pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
 /// This is the per-token top-K magnitude selection used by GLU pruning and
 /// DIP (Eqs. 4, 7, 8 in the paper).
 pub fn top_k_by_magnitude(values: &[f32], k: usize) -> Vec<usize> {
-    let abs: Vec<f32> = values.iter().map(|v| v.abs()).collect();
-    top_k_indices(&abs, k)
+    let mut out = Vec::new();
+    let mut abs = Vec::new();
+    top_k_by_magnitude_into(values, k, &mut abs, &mut out);
+    out
+}
+
+/// Allocation-free [`top_k_by_magnitude`]: `abs_scratch` holds the
+/// magnitude scores (reused across calls), `out` receives the selection.
+pub fn top_k_by_magnitude_into(
+    values: &[f32],
+    k: usize,
+    abs_scratch: &mut Vec<f32>,
+    out: &mut Vec<usize>,
+) {
+    abs_scratch.clear();
+    abs_scratch.extend(values.iter().map(|v| v.abs()));
+    top_k_indices_into(abs_scratch, k, out);
 }
 
 /// Returns indices whose absolute value is strictly greater than `threshold`.
 pub fn indices_above_threshold(values: &[f32], threshold: f32) -> Vec<usize> {
-    values
-        .iter()
-        .enumerate()
-        .filter(|(_, v)| v.abs() > threshold)
-        .map(|(i, _)| i)
-        .collect()
+    let mut out = Vec::new();
+    indices_above_threshold_into(values, threshold, &mut out);
+    out
+}
+
+/// Allocation-free [`indices_above_threshold`] into a reused buffer.
+pub fn indices_above_threshold_into(values: &[f32], threshold: f32, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > threshold)
+            .map(|(i, _)| i),
+    );
 }
 
 /// Computes the number of elements to keep for a target *density*

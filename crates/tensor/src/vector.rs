@@ -154,13 +154,63 @@ impl Vector {
     ///
     /// Returns [`TensorError::Empty`] on an empty slice.
     pub fn softmax(a: &[f32]) -> Result<Vec<f32>> {
+        let mut out = vec![0.0f32; a.len()];
+        Self::softmax_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Vector::softmax`] into a caller-owned buffer.
+    /// Bitwise identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice and
+    /// [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn softmax_into(a: &[f32], out: &mut [f32]) -> Result<()> {
         if a.is_empty() {
             return Err(TensorError::Empty { op: "softmax" });
         }
+        if a.len() != out.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "softmax",
+                expected: (a.len(), 1),
+                found: (out.len(), 1),
+            });
+        }
         let max = a.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        let exps: Vec<f32> = a.iter().map(|x| (x - max).exp()).collect();
-        let sum: f32 = exps.iter().sum();
-        Ok(exps.into_iter().map(|e| e / sum).collect())
+        for (o, &x) in out.iter_mut().zip(a.iter()) {
+            *o = (x - max).exp();
+        }
+        let sum: f32 = out.iter().sum();
+        for o in out.iter_mut() {
+            *o /= sum;
+        }
+        Ok(())
+    }
+
+    /// Allocation-free [`Vector::log_softmax`] into a caller-owned buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty slice and
+    /// [`TensorError::ShapeMismatch`] if the lengths differ.
+    pub fn log_softmax_into(a: &[f32], out: &mut [f32]) -> Result<()> {
+        if a.is_empty() {
+            return Err(TensorError::Empty { op: "log_softmax" });
+        }
+        if a.len() != out.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "log_softmax",
+                expected: (a.len(), 1),
+                found: (out.len(), 1),
+            });
+        }
+        let max = a.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let log_sum: f32 = a.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+        for (o, &x) in out.iter_mut().zip(a.iter()) {
+            *o = x - log_sum;
+        }
+        Ok(())
     }
 
     /// Numerically stable log-softmax.

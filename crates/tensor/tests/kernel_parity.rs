@@ -1,0 +1,192 @@
+//! Bitwise parity of the optimised kernels against the naive references.
+//!
+//! The optimisation contract of `crates/tensor` is that unrolling runs only
+//! across independent outputs, so no floating-point reduction is ever
+//! reordered: for *any* shape, values (including exact zeros, negatives and
+//! denormals) and active-index mask, the optimised `_into` / mirrored /
+//! threaded kernels must produce **bit-for-bit** the same output as the
+//! pre-optimisation scalar loops in `tensor::reference`.
+
+use proptest::prelude::*;
+use tensor::pool::WorkerPool;
+use tensor::{reference, Matrix};
+
+/// Bit-exact comparison (distinguishes `-0.0` from `0.0` and is NaN-safe).
+fn assert_bits_eq(fast: &[f32], naive: &[f32], what: &str) {
+    assert_eq!(fast.len(), naive.len(), "{what}: length mismatch");
+    for (i, (a, b)) in fast.iter().zip(naive.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: output {i} diverged ({a} vs {b})"
+        );
+    }
+}
+
+/// A value grid that includes exact zeros (both signs), small and large
+/// magnitudes — the cases where reordered arithmetic would show first.
+fn value() -> impl Strategy<Value = f32> {
+    (0u32..12, -1000i64..1000).prop_map(|(kind, mantissa)| match kind {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1e-30 * mantissa as f32,
+        3 => 1e6 * mantissa as f32,
+        _ => mantissa as f32 / 97.0,
+    })
+}
+
+fn matrix(rows: usize, cols: usize, values: Vec<f32>) -> Matrix {
+    Matrix::from_vec(rows, cols, values).expect("generated buffer matches shape")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matvec_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 24)..(24 * 24 + 25)),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let x = &seedvals[rows * cols..rows * cols + cols];
+        let fast = m.matvec(x).unwrap();
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_into(&m, x, &mut naive);
+        assert_bits_eq(&fast, &naive, "matvec");
+
+        let mut into = vec![f32::NAN; rows];
+        m.matvec_into(x, &mut into).unwrap();
+        assert_bits_eq(&into, &naive, "matvec_into");
+
+        // the dense mirrored kernel accumulates per output in the same
+        // ascending-column order as the sequential row dot
+        let mirror = m.transpose();
+        let mut mirrored = vec![f32::NAN; rows];
+        m.matvec_mirrored(&mirror, x, &mut mirrored).unwrap();
+        assert_bits_eq(&mirrored, &naive, "matvec_mirrored");
+    }
+
+    #[test]
+    fn matvec_cols_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 24)..(24 * 24 + 25)),
+        mask in prop::collection::vec(0usize..24, 0..40),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let x = &seedvals[rows * cols..rows * cols + cols];
+        // masks may repeat and arrive in arbitrary order — both are part of
+        // the kernel contract (accumulation order follows the active list)
+        let active: Vec<usize> = mask.into_iter().map(|c| c % cols).collect();
+
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_cols_into(&m, x, &active, &mut naive);
+
+        let fast = m.matvec_cols(x, &active).unwrap();
+        assert_bits_eq(&fast, &naive, "matvec_cols");
+
+        let mut into = vec![f32::NAN; rows];
+        m.matvec_cols_into(x, &active, &mut into).unwrap();
+        assert_bits_eq(&into, &naive, "matvec_cols_into");
+
+        let mirror = m.transpose();
+        let mut mirrored = vec![f32::NAN; rows];
+        m.matvec_cols_mirrored(&mirror, x, &active, &mut mirrored).unwrap();
+        assert_bits_eq(&mirrored, &naive, "matvec_cols_mirrored");
+    }
+
+    #[test]
+    fn matvec_rows_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 24)..(24 * 24 + 25)),
+        mask in prop::collection::vec(0usize..24, 0..40),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let x = &seedvals[rows * cols..rows * cols + cols];
+        let active: Vec<usize> = mask.into_iter().map(|r| r % rows).collect();
+
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_rows_into(&m, x, &active, &mut naive);
+
+        let fast = m.matvec_rows(x, &active).unwrap();
+        assert_bits_eq(&fast, &naive, "matvec_rows");
+
+        let mut into = vec![f32::NAN; rows];
+        m.matvec_rows_into(x, &active, &mut into).unwrap();
+        assert_bits_eq(&into, &naive, "matvec_rows_into");
+    }
+
+    #[test]
+    fn matvec_t_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 24)..(24 * 24 + 25)),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let x = &seedvals[rows * cols..rows * cols + rows];
+        let mut naive = vec![0.0f32; cols];
+        reference::matvec_t_into(&m, x, &mut naive);
+
+        let fast = m.matvec_t(x).unwrap();
+        assert_bits_eq(&fast, &naive, "matvec_t");
+
+        let mut into = vec![f32::NAN; cols];
+        m.matvec_t_into(x, &mut into).unwrap();
+        assert_bits_eq(&into, &naive, "matvec_t_into");
+    }
+
+    #[test]
+    fn blocked_transpose_matches_reference(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seedvals in prop::collection::vec(value(), (40 * 40)..(40 * 40 + 1)),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let blocked = m.transpose();
+        let naive = reference::transpose(&m);
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        assert_bits_eq(blocked.as_slice(), naive.as_slice(), "transpose");
+    }
+
+    #[test]
+    fn threaded_matvec_is_bitwise_deterministic(
+        rows in 1usize..40,
+        cols in 1usize..24,
+        seedvals in prop::collection::vec(value(), (40 * 24 + 24)..(40 * 24 + 25)),
+    ) {
+        // the threaded kernel row-partitions the output and never splits a
+        // reduction, so any pool size must reproduce the sequential result
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let x = &seedvals[rows * cols..rows * cols + cols];
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_into(&m, x, &mut naive);
+        for pool in [WorkerPool::new(0), WorkerPool::new(3)] {
+            let mut threaded = vec![f32::NAN; rows];
+            m.matvec_into_threaded(x, &mut threaded, &pool).unwrap();
+            assert_bits_eq(&threaded, &naive, "matvec_into_threaded");
+        }
+    }
+}
+
+/// The threaded kernel only forks above a size threshold; force a matrix
+/// past it to exercise the actual parallel path.
+#[test]
+fn threaded_matvec_parity_above_fork_threshold() {
+    let rows = 512;
+    let cols = 128;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i * 2654435761usize) % 1000) as f32 / 997.0 - 0.5)
+        .collect();
+    let m = Matrix::from_vec(rows, cols, data).unwrap();
+    let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut naive = vec![0.0f32; rows];
+    reference::matvec_into(&m, &x, &mut naive);
+    let pool = WorkerPool::new(4);
+    let mut threaded = vec![f32::NAN; rows];
+    m.matvec_into_threaded(&x, &mut threaded, &pool).unwrap();
+    for (a, b) in threaded.iter().zip(naive.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

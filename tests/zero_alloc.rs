@@ -1,0 +1,85 @@
+//! Steady-state decode must be allocation-free on the dense and DIP paths.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase sizes every scratch buffer (and the KV cache reserves its full
+//! flat storage), a window of further decoded tokens must perform **zero**
+//! heap allocations — the contract of `lm::DecodeScratch` and the `_into`
+//! kernel plumbing.
+
+use dip_core::strategies::Dip;
+use dynamic_sparsity::lm::mlp::DenseMlp;
+use dynamic_sparsity::lm::{build_synthetic, DecodeScratch, MlpForward, ModelConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// counter is a relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn assert_zero_alloc_decode(name: &str, mut strategy: Box<dyn MlpForward>) {
+    let model = build_synthetic(&ModelConfig::tiny(), 7).expect("tiny model builds");
+    let mut state = model.new_decode_state();
+    let mut scratch = DecodeScratch::for_model(&model);
+    let tokens: Vec<u32> = (0..24u32).map(|i| (i * 5 + 1) % 60).collect();
+
+    // Warm-up: sizes every scratch buffer and makes the KV cache reserve
+    // its full flat storage (one reservation per layer, at the first push).
+    for &t in &tokens[..8] {
+        model
+            .forward_token_into(t, &mut state, strategy.as_mut(), &mut scratch)
+            .expect("warm-up token decodes");
+    }
+
+    let before = allocations();
+    for &t in &tokens[8..] {
+        model
+            .forward_token_into(t, &mut state, strategy.as_mut(), &mut scratch)
+            .expect("steady-state token decodes");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: steady-state decode of {} tokens allocated {} times",
+        tokens.len() - 8,
+        after - before
+    );
+}
+
+#[test]
+fn dense_decode_is_allocation_free_in_steady_state() {
+    assert_zero_alloc_decode("dense", Box::new(DenseMlp));
+}
+
+#[test]
+fn dip_decode_is_allocation_free_in_steady_state() {
+    assert_zero_alloc_decode(
+        "dip@0.5/0.5",
+        Box::new(Dip::new(0.5, 0.5).expect("valid densities")),
+    );
+}
