@@ -5,13 +5,16 @@
 use bench::bench_config;
 use criterion::{criterion_group, criterion_main, Criterion};
 use lm::{build_synthetic, SliceAxis};
-use serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
+use serve::{
+    ArrivalProcess, GenRequest, RequestTemplate, SchedulerPolicy, ServeConfig, ServeEngine,
+    StrategySpec, Tier, Workload,
+};
 use std::hint::black_box;
 use std::time::Duration;
 
 const SLOTS: usize = 8;
 
-fn engine() -> ServeEngine {
+fn engine_with(scheduler: SchedulerPolicy) -> ServeEngine {
     let config = bench_config();
     let model = build_synthetic(&config, 42).expect("tiny config is valid");
     let layout = serve::layout::layout_for_serving(
@@ -23,8 +26,17 @@ fn engine() -> ServeEngine {
     );
     let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
     let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
-    ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(SLOTS))
-        .expect("serve config is valid")
+    ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(SLOTS)
+            .with_scheduler(scheduler),
+    )
+    .expect("serve config is valid")
+}
+
+fn engine() -> ServeEngine {
+    engine_with(SchedulerPolicy::Fifo)
 }
 
 fn fleet(strategy: StrategySpec) -> Vec<GenRequest> {
@@ -64,6 +76,55 @@ fn bench_fleet_runs(c: &mut Criterion) {
                     .unwrap(),
             )
         })
+    });
+    group.finish();
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    // Open-loop pipeline end to end: workload generation, admission,
+    // preemptive scheduling, online pricing. The workload is calibrated to
+    // the simulated service rate so the bursts genuinely queue and preempt.
+    let per_token = {
+        let mut probe = engine();
+        let report = probe
+            .run(vec![GenRequest::new(
+                0,
+                vec![1, 2],
+                30,
+                StrategySpec::Dense,
+            )])
+            .expect("probe run");
+        report.makespan_s / 32.0
+    };
+    let on_s = 20.0 * SLOTS as f64 * per_token;
+    let workload = Workload::new(
+        0xb0b,
+        4.0 * on_s,
+        ArrivalProcess::OnOff {
+            rate_per_s: 1.0 / (2.0 * per_token),
+            on_s,
+            off_s: on_s,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (6, 10), StrategySpec::Dip { density: 0.5 })
+                .with_tier(Tier::Batch)
+                .with_weight(4.0),
+            RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dip { density: 0.5 })
+                .with_tier(Tier::Premium),
+        ],
+    );
+
+    let mut group = c.benchmark_group("serve_open_loop");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("fifo_bursty", |b| {
+        let mut engine = engine();
+        b.iter(|| black_box(engine.run_open_loop(&workload).unwrap()))
+    });
+    group.bench_function("priority_preemptive_bursty", |b| {
+        let mut engine = engine_with(SchedulerPolicy::PriorityPreemptive);
+        b.iter(|| black_box(engine.run_open_loop(&workload).unwrap()))
     });
     group.finish();
 }
@@ -119,6 +180,6 @@ fn bench_concurrent_replay(c: &mut Criterion) {
 criterion_group! {
     name = serving;
     config = Criterion::default().sample_size(10);
-    targets = bench_fleet_runs, bench_concurrent_replay
+    targets = bench_fleet_runs, bench_open_loop, bench_concurrent_replay
 }
 criterion_main!(serving);

@@ -1,45 +1,80 @@
-//! Runs the multi-user serving scenario (strategies × schedulers under
+//! Runs the multi-user serving scenarios (strategies × schedulers under
 //! shared-cache contention).
 //!
 //! ```text
-//! serving [smoke|quick|full] [specs.json]
+//! serving [smoke|quick|full] [specs.json]                 # closed fleet
+//! serving [smoke|quick|full] --open-loop [workload.json]  # open-loop traffic
 //! ```
 //!
-//! Without a spec file the built-in comparison matrix runs. With one, the
-//! file must hold a JSON array of strategy specs (see
-//! `examples/serving_specs.json`); the scenario runs one homogeneous fleet
-//! per spec plus a heterogeneous mix of all of them — new workload mixes
-//! need no recompilation.
+//! Closed fleet: without a spec file the built-in comparison matrix runs;
+//! with one, the file must hold a JSON array of strategy specs (see
+//! `examples/serving_specs.json`) and the scenario runs one homogeneous
+//! fleet per spec plus a heterogeneous mix — new workload mixes need no
+//! recompilation.
+//!
+//! Open loop: arrivals are drawn from a workload (bursty by default,
+//! calibrated to the simulated device's service rate) and driven through
+//! admission control and preemptive scheduling on a virtual clock; with a
+//! workload file (see `examples/open_loop_workload.json`) the traffic —
+//! arrival process, request shapes, tiers, SLOs — is declarative too.
 
 use experiments::Scale;
-use serve::StrategySpec;
+use serve::{StrategySpec, Workload};
 
 fn main() {
     let mut scale = Scale::Quick;
-    let mut spec_path: Option<String> = None;
+    let mut open_loop = false;
+    let mut path: Option<String> = None;
     for arg in std::env::args().skip(1) {
+        if arg == "--open-loop" || arg == "open-loop" {
+            open_loop = true;
+            continue;
+        }
         match Scale::parse(&arg) {
             Some(s) => scale = s,
-            None => spec_path = Some(arg),
+            None => path = Some(arg),
         }
     }
 
-    let out = match spec_path {
-        None => {
-            eprintln!("running serving scenario at {scale:?} scale (built-in matrix)...");
-            experiments::serving::run(scale).expect("serving scenario failed")
-        }
-        Some(path) => {
-            let json = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read spec file `{path}`: {e}"));
-            let specs = StrategySpec::list_from_json(&json)
-                .unwrap_or_else(|e| panic!("cannot parse spec file `{path}`: {e}"));
-            eprintln!(
-                "running serving scenario at {scale:?} scale with {} specs from `{path}`...",
-                specs.len()
-            );
-            experiments::serving::run_with_specs(scale, &specs).expect("serving scenario failed")
-        }
+    let table = if open_loop {
+        let out = match path {
+            None => {
+                eprintln!("running open-loop serving scenario at {scale:?} scale (calibrated bursty workload)...");
+                experiments::serving::run_open_loop(scale).expect("open-loop scenario failed")
+            }
+            Some(path) => {
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read workload file `{path}`: {e}"));
+                let workload = Workload::from_json(&json)
+                    .unwrap_or_else(|e| panic!("cannot parse workload file `{path}`: {e}"));
+                eprintln!(
+                    "running open-loop serving scenario at {scale:?} scale with workload `{path}`...",
+                );
+                experiments::serving::run_open_loop_with_workload(scale, &workload)
+                    .expect("open-loop scenario failed")
+            }
+        };
+        out.table
+    } else {
+        let out = match path {
+            None => {
+                eprintln!("running serving scenario at {scale:?} scale (built-in matrix)...");
+                experiments::serving::run(scale).expect("serving scenario failed")
+            }
+            Some(path) => {
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read spec file `{path}`: {e}"));
+                let specs = StrategySpec::list_from_json(&json)
+                    .unwrap_or_else(|e| panic!("cannot parse spec file `{path}`: {e}"));
+                eprintln!(
+                    "running serving scenario at {scale:?} scale with {} specs from `{path}`...",
+                    specs.len()
+                );
+                experiments::serving::run_with_specs(scale, &specs)
+                    .expect("serving scenario failed")
+            }
+        };
+        out.table
     };
-    println!("{}", out.table.to_markdown());
+    println!("{}", table.to_markdown());
 }

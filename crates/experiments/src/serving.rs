@@ -13,12 +13,24 @@
 //! builds the comparison from an arbitrary spec list — the `serving` binary
 //! reads that list from a JSON file, so new workload mixes need no
 //! recompilation.
+//!
+//! The **open-loop** scenario ([`run_open_loop`]) goes further: instead of a
+//! closed fleet present at t = 0, a bursty mixed-tier [`Workload`] drives
+//! arrivals on the engine's virtual clock, and the matrix compares Dense /
+//! DIP / DIP-CA under FIFO vs priority-preemptive scheduling on *identical*
+//! traffic — tokens/sec, TTFT/TBT/queue-delay tails, shed counts,
+//! preemptions and per-tier SLO attainment. The `serving` binary's
+//! `--open-loop [workload.json]` flag drives it from a JSON workload file
+//! (see `examples/open_loop_workload.json`).
 
 use crate::error::Result;
 use crate::report::Table;
 use crate::scale::Scale;
 use lm::{build_synthetic, ModelConfig, SliceAxis};
-use serve::{GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, StrategySpec};
+use serve::{
+    AdmissionConfig, ArrivalProcess, GenRequest, RequestTemplate, SchedulerPolicy, ServeConfig,
+    ServeEngine, ServeReport, SloTarget, StrategySpec, Tier, Workload,
+};
 
 /// One serving configuration of the comparison matrix: a fleet whose
 /// sessions cycle through `strategies`, served under `scheduler`.
@@ -215,10 +227,7 @@ fn run_cells_impl(
     // DRAM budget is axis-independent: total MLP bytes are identical
     // whichever axis the cache slices along.)
     let kv_budget = (4 + tokens_per_session(scale) + 2).min(config.max_seq_len);
-    let layout =
-        serve::layout::layout_for_serving(&config, [SliceAxis::Input; 3], 4.0, slots, kv_budget);
-    let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
-    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let device = scenario_device(&config, slots, kv_budget);
 
     let run_one = |cell: &ServingCell| -> Result<ServeReport> {
         let model = build_synthetic(&config, 13)?;
@@ -286,6 +295,221 @@ fn run_cells_impl(
         results,
         table,
     })
+}
+
+/// Results of the open-loop serving scenario.
+#[derive(Debug, Clone)]
+pub struct OpenLoopScenario {
+    /// The scale the scenario ran at.
+    pub scale: Scale,
+    /// The workload every cell was driven with (identical traffic).
+    pub workload: Workload,
+    /// Per-cell serve reports, in row order.
+    pub results: Vec<(ServingCell, ServeReport)>,
+    /// Rendered comparison table.
+    pub table: Table,
+}
+
+/// The open-loop comparison matrix: each strategy under FIFO and under
+/// priority-preemptive scheduling, driven by identical bursty traffic.
+pub fn open_loop_cells() -> Vec<ServingCell> {
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
+    let mut cells = Vec::new();
+    for spec in [
+        StrategySpec::Dense,
+        StrategySpec::Dip { density: 0.5 },
+        dip_ca,
+    ] {
+        cells.push(ServingCell::uniform(spec, SchedulerPolicy::Fifo));
+        cells.push(ServingCell::uniform(
+            spec,
+            SchedulerPolicy::PriorityPreemptive,
+        ));
+    }
+    cells
+}
+
+/// Builds a bursty mixed-tier workload calibrated to the scenario device's
+/// deterministic service rate (probed with a closed single-stream run), so
+/// the on-windows genuinely oversubscribe the KV slots at every scale.
+///
+/// # Errors
+///
+/// Propagates engine construction errors from the calibration probe.
+pub fn calibrated_open_loop_workload(scale: Scale) -> Result<Workload> {
+    let config = scenario_model(scale);
+    let slots = fleet_size(scale);
+    let kv_budget = (4 + tokens_per_session(scale) + 2).min(config.max_seq_len);
+    let device = scenario_device(&config, slots, kv_budget);
+    let mut probe = ServeEngine::new(
+        build_synthetic(&config, 13)?,
+        ServeConfig::new(device)
+            .with_max_concurrent(1)
+            .with_kv_budget(kv_budget),
+    )?;
+    let tokens = (kv_budget - 4).min(30);
+    let report = probe.run(vec![GenRequest::new(
+        0,
+        vec![1, 2],
+        tokens,
+        StrategySpec::Dense,
+    )])?;
+    let per_token = report.makespan_s / (tokens + 2) as f64;
+
+    let on_s = 20.0 * slots as f64 * per_token;
+    Ok(Workload::new(
+        0x0911,
+        4.0 * on_s, // two on/off cycles
+        ArrivalProcess::OnOff {
+            // one ~10-token request per ~2 token-times during bursts
+            rate_per_s: 1.0 / (2.0 * per_token),
+            on_s,
+            off_s: on_s,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (6, 10), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(4.0),
+            RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dense)
+                .with_tier(Tier::Premium)
+                .with_slo(SloTarget::new(40.0 * per_token, 20.0 * per_token)),
+        ],
+    ))
+}
+
+/// Runs the open-loop comparison with a calibrated bursty workload (see
+/// [`calibrated_open_loop_workload`] and [`run_open_loop_with_workload`]).
+///
+/// # Errors
+///
+/// Propagates engine construction and run errors.
+pub fn run_open_loop(scale: Scale) -> Result<OpenLoopScenario> {
+    let workload = calibrated_open_loop_workload(scale)?;
+    run_open_loop_with_workload(scale, &workload)
+}
+
+/// Runs the open-loop comparison for an explicit workload: every cell sees
+/// *identical* traffic (same arrivals, shapes, tiers and SLOs — only the
+/// per-request strategy is overridden to the cell's specs, round-robin), so
+/// fleet pricing of Dense vs DIP vs DIP-CA is apples-to-apples under the
+/// same burst pattern. Cells fan out across OS threads; reports are bitwise
+/// identical to a sequential run (each cell owns its engine and model).
+///
+/// # Errors
+///
+/// Returns [`crate::error::ExpError::Unsupported`] for a cell with no
+/// strategies and propagates engine construction and run errors.
+pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<OpenLoopScenario> {
+    let cells = open_loop_cells();
+    if let Some(cell) = cells.iter().find(|c| c.strategies.is_empty()) {
+        return Err(crate::error::ExpError::Unsupported {
+            reason: format!("open-loop cell `{}` names no strategy specs", cell.label),
+        });
+    }
+    let config = scenario_model(scale);
+    let slots = fleet_size(scale);
+    let kv_budget = (4 + tokens_per_session(scale) + 2).min(config.max_seq_len);
+    let device = scenario_device(&config, slots, kv_budget);
+
+    // identical traffic for every cell: generate once, override strategies
+    let base_arrivals = workload.generate(config.vocab_size)?;
+    let run_one = |cell: &ServingCell| -> Result<ServeReport> {
+        let model = build_synthetic(&config, 13)?;
+        let serve_config = ServeConfig::new(device.clone())
+            .with_max_concurrent(slots)
+            .with_scheduler(cell.scheduler)
+            .with_kv_budget(kv_budget)
+            .with_admission(AdmissionConfig::default().with_queue_capacity(4096));
+        let mut engine = ServeEngine::new(model, serve_config)?;
+        let arrivals: Vec<GenRequest> = base_arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut r = r.clone();
+                r.strategy = cell.strategies[i % cell.strategies.len()];
+                r
+            })
+            .collect();
+        Ok(engine.run_open_loop_requests(arrivals)?)
+    };
+
+    let reports: Vec<Result<ServeReport>> = if cells.len() > 1 {
+        let run_one = &run_one;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .iter()
+                .map(|cell| scope.spawn(move || run_one(cell)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("open-loop cell thread panicked"))
+                .collect()
+        })
+    } else {
+        cells.iter().map(run_one).collect()
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Open-loop serving: bursty arrivals onto {} slots on {} (identical traffic per row)",
+            slots, config.name
+        ),
+        &[
+            "Strategy",
+            "Scheduler",
+            "tok/s",
+            "TTFT p95 ms",
+            "TBT p95 ms",
+            "queue p95 ms",
+            "shed",
+            "preempt",
+            "SLO% premium",
+            "SLO% all",
+        ],
+    );
+
+    let mut results = Vec::new();
+    for (cell, report) in cells.into_iter().zip(reports) {
+        let report = report?;
+        let ol = report
+            .open_loop
+            .as_ref()
+            .expect("open-loop runs carry open-loop stats");
+        let premium = &ol.tiers[Tier::Premium.index()];
+        table.push_row(vec![
+            cell.label.clone(),
+            cell.scheduler.to_string(),
+            format!("{:.2}", report.aggregate_tps),
+            format!("{:.3}", 1e3 * ol.ttft.p95_s),
+            format!("{:.3}", 1e3 * ol.tbt.p95_s),
+            format!("{:.3}", 1e3 * ol.queue_delay.p95_s),
+            format!("{}", ol.shed),
+            format!("{}", ol.preemptions),
+            format!("{:.1}", 100.0 * premium.slo_attainment),
+            format!("{:.1}", 100.0 * ol.slo_attainment),
+        ]);
+        results.push((cell, report));
+    }
+
+    Ok(OpenLoopScenario {
+        scale,
+        workload: workload.clone(),
+        results,
+        table,
+    })
+}
+
+/// The DRAM-constrained scenario device: statics + per-slot KV budgets
+/// pinned, ~55% of the INT4 MLP weights cacheable (shared with the
+/// closed-batch scenario).
+fn scenario_device(config: &ModelConfig, slots: usize, kv_budget: usize) -> hwsim::DeviceConfig {
+    let layout =
+        serve::layout::layout_for_serving(config, [SliceAxis::Input; 3], 4.0, slots, kv_budget);
+    let dram = layout.static_bytes + ((layout.mlp_bytes() as f64) * 0.55) as u64;
+    hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram)
 }
 
 #[cfg(test)]
@@ -371,5 +595,37 @@ mod tests {
         let empty_cell = ServingCell::mix(vec![], SchedulerPolicy::Fifo);
         assert!(run_cells(Scale::Smoke, vec![empty_cell]).is_err());
         assert!(fleet(Scale::Smoke, &[]).is_empty());
+    }
+
+    #[test]
+    fn open_loop_scenario_prices_schedulers_on_identical_traffic() {
+        let scenario = run_open_loop(Scale::Smoke).unwrap();
+        assert_eq!(scenario.results.len(), open_loop_cells().len());
+        assert_eq!(scenario.table.len(), scenario.results.len());
+        assert!(scenario.table.to_markdown().contains("Open-loop"));
+
+        let report_for = |spec: StrategySpec, scheduler: SchedulerPolicy| -> &ServeReport {
+            scenario
+                .results
+                .iter()
+                .find(|(c, _)| c.strategies == vec![spec] && c.scheduler == scheduler)
+                .map(|(_, r)| r)
+                .expect("cell present")
+        };
+        let dip = StrategySpec::Dip { density: 0.5 };
+        let fifo = report_for(dip, SchedulerPolicy::Fifo);
+        let priority = report_for(dip, SchedulerPolicy::PriorityPreemptive);
+        let fifo_ol = fifo.open_loop.as_ref().unwrap();
+        let prio_ol = priority.open_loop.as_ref().unwrap();
+
+        // identical traffic per row: same arrivals, same total served work
+        assert_eq!(fifo_ol.arrived, prio_ol.arrived);
+        assert!(fifo_ol.arrived > 0);
+        assert_eq!(fifo.total_generated_tokens, priority.total_generated_tokens);
+        // the bursts genuinely oversubscribe: priority actually preempts
+        assert!(prio_ol.preemptions > 0);
+        // and buys the premium tier at least as much SLO attainment
+        let premium = Tier::Premium.index();
+        assert!(prio_ol.tiers[premium].slo_attainment >= fifo_ol.tiers[premium].slo_attainment);
     }
 }

@@ -47,5 +47,5 @@ pub use concurrent::{
 pub use device::{DeviceConfig, GB_PER_S, GIB};
 pub use error::{Result, SimError};
 pub use layout::{LinearLayout, MlpBlockLayout, ModelLayout};
-pub use sim::{simulate, simulate_dense, SimReport, TokenCost};
+pub use sim::{simulate, simulate_dense, SimReport, TokenCost, TokenPricer};
 pub use trace::{AccessSet, AccessTrace, BlockAccess, TokenAccess};

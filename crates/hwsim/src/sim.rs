@@ -69,7 +69,7 @@ fn build_caches(
     layout: &ModelLayout,
     allocation: &DramAllocation,
     policy: EvictionPolicy,
-    trace: &AccessTrace,
+    future: Option<&AccessTrace>,
 ) -> Result<Vec<BlockCaches>> {
     let mut caches = Vec::with_capacity(layout.blocks.len());
     for (bi, (block, cap)) in layout
@@ -82,12 +82,13 @@ fn build_caches(
                      capacity: usize,
                      select: fn(&BlockAccess) -> &crate::trace::AccessSet|
          -> Result<Box<dyn ColumnCache>> {
-            let future;
-            let future_ref = if policy == EvictionPolicy::Belady {
-                future = trace.per_matrix_sequence(bi, select, n_columns);
-                Some(future.as_slice())
-            } else {
-                None
+            let seq;
+            let future_ref = match (policy, future) {
+                (EvictionPolicy::Belady, Some(trace)) => {
+                    seq = trace.per_matrix_sequence(bi, select, n_columns);
+                    Some(seq.as_slice())
+                }
+                _ => None,
             };
             policy.build(n_columns, capacity, future_ref)
         };
@@ -116,47 +117,86 @@ pub struct TokenCost {
     pub misses: usize,
 }
 
-/// Replays `trace` through one set of caches, returning the per-token costs.
+/// Online per-token pricer: the streaming core of the simulator.
 ///
-/// This is the shared core of [`simulate`] and
-/// [`crate::simulate_concurrent`]: the concurrent simulator replays an
-/// *interleaved* multi-session trace through it, so both entry points price
-/// tokens identically by construction.
+/// Owns one set of column caches and prices one [`crate::trace::TokenAccess`]
+/// at a time, so a caller that discovers its traffic *as it runs* (an
+/// open-loop serving engine on a virtual clock) pays each token the moment it
+/// is served instead of replaying a finished trace. [`replay_token_costs`] —
+/// and therefore [`simulate`] and [`crate::simulate_concurrent`] — is a loop
+/// over [`TokenPricer::price_token`], so online and post-hoc pricing are
+/// identical by construction.
 ///
-/// # Errors
-///
-/// Returns [`SimError::TraceOutOfRange`] if the trace references more blocks
-/// than the layout has, plus any allocation/configuration error.
-pub fn replay_token_costs(
-    layout: &ModelLayout,
-    device: &DeviceConfig,
-    policy: EvictionPolicy,
-    trace: &AccessTrace,
-) -> Result<(Vec<TokenCost>, f64)> {
-    let allocation = allocate(layout, device)?;
-    let mut caches = build_caches(layout, &allocation, policy, trace)?;
-    let mut costs = Vec::with_capacity(trace.n_tokens());
-    // one reused column-index buffer for the whole replay — `AccessSet::All`
-    // tokens materialise into it instead of allocating per (token, matrix)
-    let mut cols: Vec<usize> = Vec::new();
+/// [`EvictionPolicy::Belady`] needs the full future trace at cache-build
+/// time; construct the pricer with `future: Some(trace)` for replays and
+/// `None` for online use (where Belady fails with a typed error).
+pub struct TokenPricer {
+    device: DeviceConfig,
+    static_bytes: f64,
+    block_layouts: Vec<crate::layout::MlpBlockLayout>,
+    caches: Vec<BlockCaches>,
+    cache_fraction: f64,
+    // one reused column-index buffer for the pricer's lifetime —
+    // `AccessSet::All` tokens materialise into it instead of allocating per
+    // (token, matrix)
+    cols: Vec<usize>,
+}
 
-    for token in &trace.tokens {
-        if token.blocks.len() > layout.blocks.len() {
+impl TokenPricer {
+    /// Allocates the DRAM split for `layout` on `device` and builds one
+    /// column cache per (block, matrix) pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when [`EvictionPolicy::Belady`] is
+    /// requested without a `future` trace, plus any allocation error.
+    pub fn new(
+        layout: &ModelLayout,
+        device: &DeviceConfig,
+        policy: EvictionPolicy,
+        future: Option<&AccessTrace>,
+    ) -> Result<Self> {
+        let allocation = allocate(layout, device)?;
+        let caches = build_caches(layout, &allocation, policy, future)?;
+        Ok(TokenPricer {
+            device: device.clone(),
+            static_bytes: layout.static_bytes as f64,
+            block_layouts: layout.blocks.clone(),
+            caches,
+            cache_fraction: allocation.cache_fraction,
+            cols: Vec::new(),
+        })
+    }
+
+    /// Fraction of the MLP weights the DRAM cache can hold (from the
+    /// allocation made at construction).
+    pub fn cache_fraction(&self) -> f64 {
+        self.cache_fraction
+    }
+
+    /// Prices one token's weight accesses, mutating the cache state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TraceOutOfRange`] if the token references more
+    /// blocks than the layout has.
+    pub fn price_token(&mut self, token: &crate::trace::TokenAccess) -> Result<TokenCost> {
+        if token.blocks.len() > self.block_layouts.len() {
             return Err(SimError::TraceOutOfRange {
                 what: format!(
                     "token references {} blocks but layout has {}",
                     token.blocks.len(),
-                    layout.blocks.len()
+                    self.block_layouts.len()
                 ),
             });
         }
-        let mut token_dram = layout.static_bytes as f64;
+        let mut token_dram = self.static_bytes;
         let mut token_flash = 0.0f64;
         let mut outcome_token = AccessOutcome::default();
 
         for (bi, block_access) in token.blocks.iter().enumerate() {
-            let block_layout = &layout.blocks[bi];
-            let block_caches = &mut caches[bi];
+            let block_layout = &self.block_layouts[bi];
+            let block_caches = &mut self.caches[bi];
 
             for (access, linear, cache) in [
                 (&block_access.up, &block_layout.up, &mut block_caches.up),
@@ -171,25 +211,50 @@ pub fn replay_token_costs(
                     &mut block_caches.down,
                 ),
             ] {
-                cols.clear();
-                access.extend_indices(linear.n_columns, &mut cols);
-                let outcome = cache.access(&cols);
+                self.cols.clear();
+                access.extend_indices(linear.n_columns, &mut self.cols);
+                let outcome = cache.access(&self.cols);
                 outcome_token.accumulate(outcome);
                 token_dram += outcome.hits as f64 * linear.bytes_per_column as f64;
                 token_flash += outcome.misses as f64 * linear.bytes_per_column as f64;
             }
         }
 
-        costs.push(TokenCost {
+        Ok(TokenCost {
             dram_bytes: token_dram,
             flash_bytes: token_flash,
-            latency_s: device.dram_read_time(token_dram) + device.flash_read_time(token_flash),
+            latency_s: self.device.dram_read_time(token_dram)
+                + self.device.flash_read_time(token_flash),
             hits: outcome_token.hits,
             misses: outcome_token.misses,
-        });
+        })
     }
+}
 
-    Ok((costs, allocation.cache_fraction))
+/// Replays `trace` through one set of caches, returning the per-token costs.
+///
+/// This is the shared core of [`simulate`] and
+/// [`crate::simulate_concurrent`]: the concurrent simulator replays an
+/// *interleaved* multi-session trace through it, so both entry points price
+/// tokens identically by construction. It is itself a loop over
+/// [`TokenPricer::price_token`], so online (open-loop) pricing matches too.
+///
+/// # Errors
+///
+/// Returns [`SimError::TraceOutOfRange`] if the trace references more blocks
+/// than the layout has, plus any allocation/configuration error.
+pub fn replay_token_costs(
+    layout: &ModelLayout,
+    device: &DeviceConfig,
+    policy: EvictionPolicy,
+    trace: &AccessTrace,
+) -> Result<(Vec<TokenCost>, f64)> {
+    let mut pricer = TokenPricer::new(layout, device, policy, Some(trace))?;
+    let mut costs = Vec::with_capacity(trace.n_tokens());
+    for token in &trace.tokens {
+        costs.push(pricer.price_token(token)?);
+    }
+    Ok((costs, pricer.cache_fraction()))
 }
 
 /// Aggregates per-token costs into a [`SimReport`].
@@ -375,6 +440,45 @@ mod tests {
             simulate(&l, &d, EvictionPolicy::Lfu, &trace),
             Err(SimError::TraceOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn online_pricing_matches_batch_replay_exactly() {
+        let l = layout();
+        let d = device(220_000);
+        let trace = sparse_trace(30, 4, 0.4);
+        for policy in [
+            EvictionPolicy::None,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+        ] {
+            let (batch, batch_fraction) = replay_token_costs(&l, &d, policy, &trace).unwrap();
+            let mut pricer = TokenPricer::new(&l, &d, policy, None).unwrap();
+            assert_eq!(pricer.cache_fraction(), batch_fraction);
+            let online: Vec<TokenCost> = trace
+                .tokens
+                .iter()
+                .map(|t| pricer.price_token(t).unwrap())
+                .collect();
+            assert_eq!(online, batch, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn online_belady_needs_a_future_trace() {
+        let l = layout();
+        let d = device(220_000);
+        let trace = sparse_trace(4, 4, 0.5);
+        assert!(matches!(
+            TokenPricer::new(&l, &d, EvictionPolicy::Belady, None),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        // with a future the oracle builds and prices like the batch replay
+        let mut pricer = TokenPricer::new(&l, &d, EvictionPolicy::Belady, Some(&trace)).unwrap();
+        let (batch, _) = replay_token_costs(&l, &d, EvictionPolicy::Belady, &trace).unwrap();
+        for (token, expected) in trace.tokens.iter().zip(batch) {
+            assert_eq!(pricer.price_token(token).unwrap(), expected);
+        }
     }
 
     #[test]

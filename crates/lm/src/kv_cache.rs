@@ -137,11 +137,22 @@ impl KvCache {
 /// allocator. The pool recycles released states whose shape (layer count and
 /// per-layer capacity) matches the requesting model: `acquire` returns a
 /// cleared recycled state when one fits and builds a fresh one otherwise.
+///
+/// Preemptive schedulers additionally **park** a live session's state
+/// ([`DecodeStatePool::park`]) when the session is descheduled at a token
+/// boundary: the state keeps its KV entries and position, and
+/// [`DecodeStatePool::resume`] hands back *exactly* the parked state, so a
+/// resumed session continues its generation without output divergence. A
+/// parked state that is never resumed can be reclaimed into the free list
+/// with [`DecodeStatePool::reclaim_parked`].
 #[derive(Debug, Default)]
 pub struct DecodeStatePool {
     free: Vec<crate::model::DecodeState>,
+    parked: Vec<(u64, crate::model::DecodeState)>,
     reused: u64,
     built: u64,
+    parks: u64,
+    resumes: u64,
 }
 
 impl DecodeStatePool {
@@ -191,6 +202,56 @@ impl DecodeStatePool {
     /// Returns a finished session's state to the pool for later reuse.
     pub fn release(&mut self, state: crate::model::DecodeState) {
         self.free.push(state);
+    }
+
+    /// Parks a preempted session's state under `key` **without resetting
+    /// it**: KV entries and position survive until [`DecodeStatePool::resume`].
+    ///
+    /// Parking a key that is already parked replaces the previous state
+    /// (the old one is reclaimed into the free list — a session has exactly
+    /// one live state).
+    pub fn park(&mut self, key: u64, state: crate::model::DecodeState) {
+        if let Some(pos) = self.parked.iter().position(|(k, _)| *k == key) {
+            let (_, old) = self.parked.swap_remove(pos);
+            self.free.push(old);
+        }
+        self.parked.push((key, state));
+        self.parks += 1;
+    }
+
+    /// Takes the state parked under `key` back out, contents intact, or
+    /// `None` when nothing is parked under that key.
+    pub fn resume(&mut self, key: u64) -> Option<crate::model::DecodeState> {
+        let pos = self.parked.iter().position(|(k, _)| *k == key)?;
+        let (_, state) = self.parked.swap_remove(pos);
+        self.resumes += 1;
+        Some(state)
+    }
+
+    /// Number of states currently parked.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// How many park operations happened over the pool's lifetime.
+    pub fn park_count(&self) -> u64 {
+        self.parks
+    }
+
+    /// How many parked states were resumed over the pool's lifetime.
+    pub fn resume_count(&self) -> u64 {
+        self.resumes
+    }
+
+    /// Moves every parked state into the free list (states of sessions that
+    /// will never resume — e.g. an engine run that was abandoned). Returns
+    /// how many states were reclaimed.
+    pub fn reclaim_parked(&mut self) -> usize {
+        let n = self.parked.len();
+        for (_, state) in self.parked.drain(..) {
+            self.free.push(state);
+        }
+        n
     }
 }
 
@@ -262,6 +323,48 @@ mod tests {
         let _ = pool.acquire(&other);
         assert_eq!(pool.build_count(), 2);
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn park_and_resume_preserve_state_contents() {
+        use crate::builder::build_synthetic;
+        use crate::config::ModelConfig;
+
+        let model = build_synthetic(&ModelConfig::tiny(), 2).unwrap();
+        let mut pool = DecodeStatePool::new();
+        let mut state = pool.acquire(&model);
+        model.forward_token_dense(1, &mut state).unwrap();
+        model.forward_token_dense(2, &mut state).unwrap();
+        let pos = state.pos;
+        let kv_len = state.kv[0].len();
+        assert_eq!(pos, 2);
+
+        pool.park(7, state);
+        assert_eq!(pool.parked_count(), 1);
+        assert_eq!(pool.park_count(), 1);
+        assert!(pool.resume(9).is_none());
+
+        // a co-tenant churns through acquire/release in between; the parked
+        // state must not be handed out
+        let other = pool.acquire(&model);
+        pool.release(other);
+
+        let resumed = pool.resume(7).expect("state parked under key 7");
+        assert_eq!(pool.parked_count(), 0);
+        assert_eq!(pool.resume_count(), 1);
+        assert_eq!(resumed.pos, pos, "position survives the park");
+        assert_eq!(resumed.kv[0].len(), kv_len, "KV entries survive the park");
+
+        // double-park under one key keeps exactly one live state
+        pool.park(3, resumed);
+        let fresh = pool.acquire(&model);
+        pool.park(3, fresh);
+        assert_eq!(pool.parked_count(), 1);
+        assert_eq!(pool.reclaim_parked(), 1);
+        assert_eq!(pool.parked_count(), 0);
+        // reclaimed + replaced states are recyclable, not leaked
+        let _ = pool.acquire(&model);
+        assert!(pool.reuse_count() >= 2);
     }
 
     #[test]

@@ -14,11 +14,20 @@
 //!   paper's family: dense, GLU/gate/up pruning, CATS, DejaVu-style
 //!   predictive pruning, DIP, DIP-CA (shared cache model). Specs are
 //!   serializable, so a workload mix is a JSON list — no recompilation,
-//! * [`SchedulerPolicy`] — FIFO or shortest-remaining-first continuous
-//!   batching,
-//! * [`ServeEngine`] / [`ServeConfig`] — the engine itself,
+//! * [`SchedulerPolicy`] — FIFO, shortest-remaining-first, or
+//!   priority-preemptive continuous batching,
+//! * [`ServeEngine`] / [`ServeConfig`] — the engine itself: closed batches
+//!   via [`ServeEngine::run`], **open-loop traffic** on a virtual clock via
+//!   [`ServeEngine::run_open_loop`],
+//! * [`Workload`] — seedable arrival processes (steady / bursty on-off /
+//!   diurnal / trace replay) over weighted request templates with priority
+//!   [`Tier`]s and latency [`SloTarget`]s; JSON round-trippable,
+//! * [`AdmissionConfig`] — token-bucket rate limiting, per-tier quotas and a
+//!   bounded queue; excess traffic is shed, not buffered forever,
 //! * [`ServeReport`] — per-request latency (p50/p95/p99), aggregate
-//!   tokens/sec, fairness and shared-cache hit rate.
+//!   tokens/sec, fairness, shared-cache hit rate, and for open-loop runs
+//!   TTFT/TBT/queue-delay percentiles plus SLO attainment per tier and per
+//!   strategy ([`OpenLoopStats`]).
 //!
 //! Specs that need an offline weight transform (SparseGPT static pruning,
 //! LoRA fusing) are rejected per-request — the engine serves one shared
@@ -46,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod engine;
 pub mod error;
 pub mod layout;
@@ -54,11 +64,18 @@ pub mod request;
 pub mod scheduler;
 pub mod session;
 pub mod strategy;
+pub mod workload;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason, TokenBucket,
+};
 pub use engine::{ServeConfig, ServeEngine};
 pub use error::{Result, ServeError};
-pub use report::{percentile, RequestStats, ServeReport};
-pub use request::GenRequest;
+pub use report::{
+    percentile, OpenLoopStats, Percentiles, RequestStats, ServeReport, StrategyClassStats,
+    TierStats,
+};
+pub use request::{GenRequest, SloTarget, Tier, TIERS};
 pub use scheduler::SchedulerPolicy;
 pub use session::{Session, SessionPhase};
 #[allow(deprecated)]
@@ -66,3 +83,4 @@ pub use strategy::SparsityPolicy;
 pub use strategy::{
     resolve_axes, NmPattern, PredictorSpec, SharedMlpForward, StrategyFactory, StrategySpec,
 };
+pub use workload::{ArrivalProcess, RequestTemplate, Workload};

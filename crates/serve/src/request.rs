@@ -3,6 +3,96 @@
 use crate::strategy::StrategySpec;
 use serde::{Deserialize, Serialize};
 
+/// Priority tier of a request, ordered `Batch < Standard < Premium`.
+///
+/// Tiers drive the open-loop machinery: per-tier admission quotas
+/// ([`crate::admission::AdmissionConfig`]), strict-priority service and
+/// preemption under [`crate::scheduler::SchedulerPolicy::PriorityPreemptive`],
+/// and per-tier SLO attainment in the report.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Tier {
+    /// Throughput-oriented background work (lowest priority).
+    Batch,
+    /// The default interactive tier.
+    #[default]
+    Standard,
+    /// Latency-sensitive premium traffic (highest priority).
+    Premium,
+}
+
+/// Every tier, in ascending priority order.
+pub const TIERS: [Tier; 3] = [Tier::Batch, Tier::Standard, Tier::Premium];
+
+impl Tier {
+    /// Index into per-tier arrays (`Batch = 0 … Premium = 2`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses the lowercase tier name used in workload JSON files.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "batch" => Some(Tier::Batch),
+            "standard" => Some(Tier::Standard),
+            "premium" => Some(Tier::Premium),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Tier::Batch => "batch",
+            Tier::Standard => "standard",
+            Tier::Premium => "premium",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A request's latency service-level objective.
+///
+/// Both bounds default to `+∞` ("no objective"), so a request without an SLO
+/// always attains it. Attainment is judged on two user-visible latencies:
+/// time to first token (from *arrival*, so queueing and shed-retry delays
+/// count) and the mean time between subsequent tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Maximum time from arrival to the first generated token, seconds.
+    pub ttft_s: f64,
+    /// Maximum mean time between generated tokens, seconds.
+    pub tbt_s: f64,
+}
+
+impl SloTarget {
+    /// An SLO bounding TTFT and mean TBT.
+    pub fn new(ttft_s: f64, tbt_s: f64) -> Self {
+        SloTarget { ttft_s, tbt_s }
+    }
+
+    /// The "no objective" SLO (always attained).
+    pub fn none() -> Self {
+        SloTarget {
+            ttft_s: f64::INFINITY,
+            tbt_s: f64::INFINITY,
+        }
+    }
+
+    /// Whether observed latencies meet the objective.
+    pub fn met(&self, ttft_s: f64, mean_tbt_s: f64) -> bool {
+        ttft_s <= self.ttft_s && mean_tbt_s <= self.tbt_s
+    }
+}
+
+impl Default for SloTarget {
+    fn default() -> Self {
+        SloTarget::none()
+    }
+}
+
 /// One user's generation request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenRequest {
@@ -17,10 +107,20 @@ pub struct GenRequest {
     /// The sparsity strategy spec this request's MLP forward passes run
     /// with (any strategy of the `dip_core::spec` family).
     pub strategy: StrategySpec,
+    /// Arrival time in seconds on the run's virtual clock. Closed-batch runs
+    /// ignore it (every request is present at t = 0); the open-loop driver
+    /// ingests requests as its clock passes their arrival.
+    pub arrival_s: f64,
+    /// Priority tier (admission quotas, preemptive scheduling, reporting).
+    pub tier: Tier,
+    /// Latency objective judged in the report ([`SloTarget::none`] = no
+    /// objective).
+    pub slo: SloTarget,
 }
 
 impl GenRequest {
-    /// Creates a request with greedy sampling.
+    /// Creates a request with greedy sampling, arriving at t = 0 on the
+    /// standard tier with no latency objective.
     pub fn new(id: u64, prompt: Vec<u32>, max_new_tokens: usize, strategy: StrategySpec) -> Self {
         GenRequest {
             id,
@@ -28,12 +128,33 @@ impl GenRequest {
             max_new_tokens,
             temperature: 0.0,
             strategy,
+            arrival_s: 0.0,
+            tier: Tier::Standard,
+            slo: SloTarget::none(),
         }
     }
 
     /// Returns a copy with the given sampling temperature.
     pub fn with_temperature(mut self, temperature: f32) -> Self {
         self.temperature = temperature;
+        self
+    }
+
+    /// Returns a copy arriving at the given virtual-clock time.
+    pub fn at(mut self, arrival_s: f64) -> Self {
+        self.arrival_s = arrival_s;
+        self
+    }
+
+    /// Returns a copy on the given priority tier.
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Returns a copy with the given latency objective.
+    pub fn with_slo(mut self, slo: SloTarget) -> Self {
+        self.slo = slo;
         self
     }
 
@@ -55,5 +176,32 @@ mod tests {
         assert_eq!(r.total_tokens(), 13);
         assert!((r.temperature - 0.7).abs() < 1e-6);
         assert_eq!(r.strategy, StrategySpec::Dense);
+        assert_eq!(r.arrival_s, 0.0);
+        assert_eq!(r.tier, Tier::Standard);
+        assert!(r.slo.met(1e9, 1e9), "default SLO is unbounded");
+    }
+
+    #[test]
+    fn open_loop_builders() {
+        let r = GenRequest::new(1, vec![1], 4, StrategySpec::Dense)
+            .at(2.5)
+            .with_tier(Tier::Premium)
+            .with_slo(SloTarget::new(0.5, 0.05));
+        assert_eq!(r.arrival_s, 2.5);
+        assert_eq!(r.tier, Tier::Premium);
+        assert!(r.slo.met(0.5, 0.05));
+        assert!(!r.slo.met(0.51, 0.01));
+        assert!(!r.slo.met(0.1, 0.06));
+    }
+
+    #[test]
+    fn tiers_are_ordered_and_parseable() {
+        assert!(Tier::Batch < Tier::Standard && Tier::Standard < Tier::Premium);
+        assert_eq!(Tier::default(), Tier::Standard);
+        for (i, tier) in TIERS.iter().enumerate() {
+            assert_eq!(tier.index(), i);
+            assert_eq!(Tier::parse(&tier.to_string()), Some(*tier));
+        }
+        assert_eq!(Tier::parse("gold"), None);
     }
 }

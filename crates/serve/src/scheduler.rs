@@ -16,10 +16,29 @@
 //!   batch jobs, trading fairness for lower median latency. Ties on the
 //!   remaining budget break deterministically by request id, so a run's
 //!   schedule is a pure function of its request set.
+//! * [`SchedulerPolicy::PriorityPreemptive`] — strict priority across
+//!   [`Tier`]s for both admission and service, least-recently-served within
+//!   a tier (so equal-tier sessions round-robin and none starves). Under the
+//!   open-loop driver this policy may additionally **preempt**: when a
+//!   waiting request outranks the lowest-tier active session and no KV slot
+//!   is free, that session is parked at a token boundary
+//!   ([`SchedulerPolicy::preemption_victim`]) and resumed later with its KV
+//!   state intact.
 
-use crate::request::GenRequest;
+use crate::request::{GenRequest, Tier};
 use crate::session::Session;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+
+/// A schedulable unit waiting for a KV slot under the open-loop driver: a
+/// request in the admission queue, or a parked (preempted) session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionCandidate {
+    /// Index into the waiting queue.
+    Queued(usize),
+    /// Index into the parked-session set.
+    Parked(usize),
+}
 
 /// Which continuous-batching policy the engine runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -29,6 +48,9 @@ pub enum SchedulerPolicy {
     Fifo,
     /// Shortest-remaining-first admission and token order.
     ShortestRemainingFirst,
+    /// Strict [`Tier`] priority with round-robin within a tier; preemptive
+    /// under the open-loop driver.
+    PriorityPreemptive,
 }
 
 impl std::fmt::Display for SchedulerPolicy {
@@ -36,6 +58,7 @@ impl std::fmt::Display for SchedulerPolicy {
         let s = match self {
             SchedulerPolicy::Fifo => "fifo",
             SchedulerPolicy::ShortestRemainingFirst => "srf",
+            SchedulerPolicy::PriorityPreemptive => "priority",
         };
         f.write_str(s)
     }
@@ -58,6 +81,58 @@ impl SchedulerPolicy {
                 .enumerate()
                 .min_by_key(|(_, r)| (r.total_tokens(), r.id))
                 .map(|(i, _)| i),
+            SchedulerPolicy::PriorityPreemptive => waiting
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| Self::priority_rank(r))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// The priority-admission ordering key: highest tier first; within a
+    /// tier the smallest id (ids are assigned in arrival order by the
+    /// workload generator, so this is FIFO within the tier). Shared by
+    /// [`SchedulerPolicy::next_admission`] and
+    /// [`SchedulerPolicy::next_candidate`], so queued requests and parked
+    /// sessions can never be ranked by diverging keys.
+    fn priority_rank(request: &GenRequest) -> (Reverse<Tier>, u64) {
+        (Reverse(request.tier), request.id)
+    }
+
+    /// Picks the next admission among the waiting queue *and* the parked
+    /// (preempted) session set — the open-loop driver's version of
+    /// [`SchedulerPolicy::next_admission`].
+    ///
+    /// Parked sessions only exist under
+    /// [`SchedulerPolicy::PriorityPreemptive`], where one shared ordering
+    /// key (`priority_rank`) ranks both pools — a parked session competes
+    /// for its slot back exactly like a queued request of its tier. Under
+    /// the non-preemptive policies the parked set is empty and the policy's
+    /// own admission order applies.
+    pub fn next_candidate(
+        &self,
+        waiting: &[GenRequest],
+        parked: &[Session],
+    ) -> Option<AdmissionCandidate> {
+        let queued = self.next_admission(waiting).map(AdmissionCandidate::Queued);
+        let best_parked = parked
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| Self::priority_rank(&s.request))
+            .map(|(i, _)| i);
+        match (queued, best_parked) {
+            (queued, None) => queued,
+            (None, Some(p)) => Some(AdmissionCandidate::Parked(p)),
+            (Some(AdmissionCandidate::Queued(q)), Some(p)) => {
+                if Self::priority_rank(&parked[p].request) <= Self::priority_rank(&waiting[q]) {
+                    Some(AdmissionCandidate::Parked(p))
+                } else {
+                    Some(AdmissionCandidate::Queued(q))
+                }
+            }
+            (Some(AdmissionCandidate::Parked(_)), Some(_)) => {
+                unreachable!("next_admission returns queue indices")
+            }
         }
     }
 
@@ -75,7 +150,41 @@ impl SchedulerPolicy {
                 .enumerate()
                 .min_by_key(|(_, s)| (s.remaining_tokens(), s.request.id))
                 .map(|(i, _)| i),
+            // strict priority across tiers, least-recently-served within a
+            // tier — equal-tier sessions round-robin, so no active session
+            // starves while its tier is the highest present
+            SchedulerPolicy::PriorityPreemptive => active
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (Reverse(s.request.tier), s.last_served_step, s.stream))
+                .map(|(i, _)| i),
         }
+    }
+
+    /// Index (into `active`) of the session to preempt so that a waiting
+    /// request of `candidate_tier` can take its KV slot, or `None` when no
+    /// active session is strictly below that tier (or the policy never
+    /// preempts).
+    ///
+    /// The victim is the *lowest*-tier active session; ties prefer the one
+    /// with the most remaining tokens (least sunk progress per displaced
+    /// token), then the largest request id — fully deterministic.
+    pub fn preemption_victim(&self, active: &[Session], candidate_tier: Tier) -> Option<usize> {
+        if *self != SchedulerPolicy::PriorityPreemptive {
+            return None;
+        }
+        active
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.request.tier < candidate_tier)
+            .min_by_key(|(_, s)| {
+                (
+                    s.request.tier,
+                    Reverse(s.remaining_tokens()),
+                    Reverse(s.request.id),
+                )
+            })
+            .map(|(i, _)| i)
     }
 }
 
@@ -229,9 +338,77 @@ mod tests {
     }
 
     #[test]
+    fn priority_admission_prefers_higher_tiers_then_ids() {
+        let waiting = vec![
+            request(4, 1, 4).with_tier(Tier::Standard),
+            request(2, 1, 4).with_tier(Tier::Premium),
+            request(1, 1, 4).with_tier(Tier::Batch),
+            request(3, 1, 4).with_tier(Tier::Premium),
+        ];
+        assert_eq!(
+            SchedulerPolicy::PriorityPreemptive.next_admission(&waiting),
+            Some(1),
+            "premium id 2 outranks premium id 3 and everything below"
+        );
+        assert_eq!(
+            SchedulerPolicy::PriorityPreemptive.next_admission(&[]),
+            None
+        );
+    }
+
+    #[test]
+    fn priority_service_is_strict_across_tiers_and_round_robin_within() {
+        let mut batch = session(0, 1, 4);
+        batch.request.tier = Tier::Batch;
+        batch.last_served_step = 0;
+        let mut premium_a = session(1, 1, 4);
+        premium_a.request.tier = Tier::Premium;
+        premium_a.last_served_step = 9;
+        let mut premium_b = session(2, 1, 4);
+        premium_b.request.tier = Tier::Premium;
+        premium_b.last_served_step = 4;
+        let active = vec![batch, premium_a, premium_b];
+        // premium wins over batch even though batch waited longer; within
+        // premium the least recently served session is next
+        assert_eq!(
+            SchedulerPolicy::PriorityPreemptive.next_service(&active),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn preemption_victim_is_the_lowest_tier_below_the_candidate() {
+        let mut batch_long = session(0, 1, 40);
+        batch_long.request.tier = Tier::Batch;
+        let mut batch_short = session(1, 1, 2);
+        batch_short.request.tier = Tier::Batch;
+        let mut standard = session(2, 1, 4);
+        standard.request.tier = Tier::Standard;
+        let active = vec![standard, batch_short, batch_long];
+
+        let policy = SchedulerPolicy::PriorityPreemptive;
+        // a premium arrival evicts the batch session with the most remaining
+        assert_eq!(policy.preemption_victim(&active, Tier::Premium), Some(2));
+        // a standard arrival may only displace batch work
+        assert_eq!(policy.preemption_victim(&active, Tier::Standard), Some(2));
+        // nothing below batch exists
+        assert_eq!(policy.preemption_victim(&active, Tier::Batch), None);
+        // non-preemptive policies never name a victim
+        assert_eq!(
+            SchedulerPolicy::Fifo.preemption_victim(&active, Tier::Premium),
+            None
+        );
+        assert_eq!(
+            SchedulerPolicy::ShortestRemainingFirst.preemption_victim(&active, Tier::Premium),
+            None
+        );
+    }
+
+    #[test]
     fn display_names() {
         assert_eq!(SchedulerPolicy::Fifo.to_string(), "fifo");
         assert_eq!(SchedulerPolicy::ShortestRemainingFirst.to_string(), "srf");
+        assert_eq!(SchedulerPolicy::PriorityPreemptive.to_string(), "priority");
         assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Fifo);
     }
 }

@@ -1,0 +1,829 @@
+//! Open-loop workload generation: seedable arrival processes over request
+//! templates.
+//!
+//! Closed batches (every request present at t = 0) exercise none of the
+//! queueing physics a fleet actually lives with; production traffic arrives
+//! *open loop* — requests keep coming whether or not the engine is keeping
+//! up. This module turns a declarative [`Workload`] into a timestamped
+//! request list for [`crate::engine::ServeEngine::run_open_loop`]:
+//!
+//! * [`ArrivalProcess`] — when requests arrive: a steady Poisson-like
+//!   process, a bursty on/off process, a diurnal ramp (thinned Poisson under
+//!   a sinusoidal rate), or an exact trace replay from a JSON arrival list.
+//! * [`RequestTemplate`] — what arrives: weighted request shapes (prompt and
+//!   generation length ranges, strategy spec, [`Tier`], [`SloTarget`]).
+//! * [`Workload::generate`] — draws the arrivals and shapes with the
+//!   vendored deterministic PRNG, so a `(workload, seed)` pair always yields
+//!   the same traffic — the foundation of the determinism regression suite.
+//!
+//! Workloads round-trip through JSON ([`Workload::from_json`] /
+//! [`Workload::to_json`]; see `examples/open_loop_workload.json`), so traffic
+//! mixes are data, not code.
+
+use crate::error::{Result, ServeError};
+use crate::request::{GenRequest, SloTarget, Tier};
+use crate::strategy::StrategySpec;
+use dip_core::spec::json::{parse_json, JsonValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+fn config_err(field: &'static str, reason: impl Into<String>) -> ServeError {
+    ServeError::InvalidConfig {
+        field,
+        reason: reason.into(),
+    }
+}
+
+/// Draws one exponential inter-arrival gap at `rate_per_s`.
+fn exp_gap(rng: &mut StdRng, rate_per_s: f64) -> f64 {
+    // u ∈ [0, 1) so 1 - u ∈ (0, 1] and ln is finite
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate_per_s
+}
+
+/// When requests arrive on the virtual clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate (Poisson-like: exponential
+    /// inter-arrival gaps).
+    Steady {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Bursty on/off traffic: Poisson-like arrivals at `rate_per_s` during
+    /// `on_s`-second windows separated by silent `off_s`-second gaps.
+    OnOff {
+        /// Mean arrivals per second while the source is on.
+        rate_per_s: f64,
+        /// Length of each on-window, seconds.
+        on_s: f64,
+        /// Length of each silent gap, seconds.
+        off_s: f64,
+    },
+    /// A diurnal ramp: a non-homogeneous Poisson process whose rate swings
+    /// sinusoidally between `base_rate_per_s` (at t = 0) and
+    /// `peak_rate_per_s` (half a period later), sampled by thinning.
+    Diurnal {
+        /// Rate at the trough of the cycle (t = 0 mod period).
+        base_rate_per_s: f64,
+        /// Rate at the crest of the cycle.
+        peak_rate_per_s: f64,
+        /// Length of one full cycle, seconds.
+        period_s: f64,
+    },
+    /// Exact replay of a recorded arrival list (seconds, ascending).
+    Replay {
+        /// Arrival timestamps; [`Workload::validate`] requires them sorted,
+        /// finite and non-negative.
+        arrivals_s: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous rate of the diurnal ramp at time `t`.
+    fn diurnal_rate(base: f64, peak: f64, period: f64, t: f64) -> f64 {
+        base + (peak - base) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * t / period).cos())
+    }
+
+    /// Draws the arrival timestamps in `[0, duration_s)`, ascending.
+    pub fn arrivals(&self, duration_s: f64, rng: &mut StdRng) -> Vec<f64> {
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Steady { rate_per_s } => {
+                let mut t = 0.0;
+                loop {
+                    t += exp_gap(rng, rate_per_s);
+                    if t >= duration_s {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            ArrivalProcess::OnOff {
+                rate_per_s,
+                on_s,
+                off_s,
+            } => {
+                // Draw a homogeneous process in *active* time, then stretch
+                // it onto the wall clock by inserting the off-gaps: active
+                // time `a` lands at wall time `⌊a/on⌋·(on+off) + a mod on`.
+                let cycle = on_s + off_s;
+                let mut active = 0.0;
+                loop {
+                    active += exp_gap(rng, rate_per_s);
+                    let wall = (active / on_s).floor() * cycle + active % on_s;
+                    if wall >= duration_s {
+                        break;
+                    }
+                    out.push(wall);
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period_s,
+            } => {
+                // Lewis–Shedler thinning under the peak-rate envelope.
+                let mut t = 0.0;
+                loop {
+                    t += exp_gap(rng, peak_rate_per_s);
+                    if t >= duration_s {
+                        break;
+                    }
+                    let rate = Self::diurnal_rate(base_rate_per_s, peak_rate_per_s, period_s, t);
+                    let u: f64 = rng.gen();
+                    if u * peak_rate_per_s < rate {
+                        out.push(t);
+                    }
+                }
+            }
+            ArrivalProcess::Replay { ref arrivals_s } => {
+                out.extend(arrivals_s.iter().copied().filter(|t| *t < duration_s));
+            }
+        }
+        out
+    }
+
+    fn validate(&self) -> Result<()> {
+        let positive = |field, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(config_err(field, format!("must be positive, got {v}")))
+            }
+        };
+        match *self {
+            ArrivalProcess::Steady { rate_per_s } => positive("workload.rate_per_s", rate_per_s),
+            ArrivalProcess::OnOff {
+                rate_per_s,
+                on_s,
+                off_s,
+            } => {
+                positive("workload.rate_per_s", rate_per_s)?;
+                positive("workload.on_s", on_s)?;
+                positive("workload.off_s", off_s)
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period_s,
+            } => {
+                positive("workload.base_rate_per_s", base_rate_per_s)?;
+                positive("workload.peak_rate_per_s", peak_rate_per_s)?;
+                positive("workload.period_s", period_s)?;
+                if peak_rate_per_s < base_rate_per_s {
+                    return Err(config_err(
+                        "workload.peak_rate_per_s",
+                        format!("peak rate {peak_rate_per_s} below base rate {base_rate_per_s}"),
+                    ));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Replay { ref arrivals_s } => {
+                for pair in arrivals_s.windows(2) {
+                    if pair[1] < pair[0] {
+                        return Err(config_err(
+                            "workload.arrivals_s",
+                            "replay arrivals must be ascending".to_string(),
+                        ));
+                    }
+                }
+                if let Some(bad) = arrivals_s.iter().find(|t| !t.is_finite() || **t < 0.0) {
+                    return Err(config_err(
+                        "workload.arrivals_s",
+                        format!("arrival {bad} is not a finite non-negative time"),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One weighted request shape a workload draws from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTemplate {
+    /// Relative draw weight among the workload's templates.
+    pub weight: f64,
+    /// Inclusive range of prompt lengths, tokens.
+    pub prompt_tokens: (usize, usize),
+    /// Inclusive range of generation budgets, tokens.
+    pub new_tokens: (usize, usize),
+    /// Strategy spec of requests drawn from this template.
+    pub strategy: StrategySpec,
+    /// Priority tier.
+    pub tier: Tier,
+    /// Latency objective.
+    pub slo: SloTarget,
+    /// Sampling temperature (0 = greedy).
+    pub temperature: f32,
+}
+
+impl RequestTemplate {
+    /// A greedy, standard-tier, no-SLO template with weight 1.
+    pub fn new(
+        prompt_tokens: (usize, usize),
+        new_tokens: (usize, usize),
+        strategy: StrategySpec,
+    ) -> Self {
+        RequestTemplate {
+            weight: 1.0,
+            prompt_tokens,
+            new_tokens,
+            strategy,
+            tier: Tier::Standard,
+            slo: SloTarget::none(),
+            temperature: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given draw weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Returns a copy on the given tier.
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Returns a copy with the given latency objective.
+    pub fn with_slo(mut self, slo: SloTarget) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.weight.is_finite() && self.weight > 0.0) {
+            return Err(config_err(
+                "workload.template.weight",
+                format!("must be positive, got {}", self.weight),
+            ));
+        }
+        if self.prompt_tokens.0 < 1 || self.prompt_tokens.0 > self.prompt_tokens.1 {
+            return Err(config_err(
+                "workload.template.prompt_tokens",
+                format!(
+                    "need 1 <= lo <= hi, got [{}, {}]",
+                    self.prompt_tokens.0, self.prompt_tokens.1
+                ),
+            ));
+        }
+        if self.new_tokens.0 < 1 || self.new_tokens.0 > self.new_tokens.1 {
+            return Err(config_err(
+                "workload.template.new_tokens",
+                format!(
+                    "need 1 <= lo <= hi, got [{}, {}]",
+                    self.new_tokens.0, self.new_tokens.1
+                ),
+            ));
+        }
+        self.strategy.validate().map_err(ServeError::Dip)
+    }
+}
+
+/// A declarative open-loop workload: an arrival process over weighted
+/// request templates, generated deterministically from a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// PRNG seed; the generated traffic is a pure function of
+    /// `(workload, seed)`.
+    pub seed: u64,
+    /// Arrivals are drawn in `[0, duration_s)`.
+    pub duration_s: f64,
+    /// When requests arrive.
+    pub process: ArrivalProcess,
+    /// What arrives (weighted mix).
+    pub templates: Vec<RequestTemplate>,
+}
+
+impl Workload {
+    /// Creates a workload over the given templates.
+    pub fn new(
+        seed: u64,
+        duration_s: f64,
+        process: ArrivalProcess,
+        templates: Vec<RequestTemplate>,
+    ) -> Self {
+        Workload {
+            seed,
+            duration_s,
+            process,
+            templates,
+        }
+    }
+
+    /// Validates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for a non-positive duration, an
+    /// invalid arrival process, no templates, or an invalid template.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.duration_s.is_finite() && self.duration_s > 0.0) {
+            return Err(config_err(
+                "workload.duration_s",
+                format!("must be positive, got {}", self.duration_s),
+            ));
+        }
+        self.process.validate()?;
+        if self.templates.is_empty() {
+            return Err(config_err(
+                "workload.templates",
+                "need at least one request template".to_string(),
+            ));
+        }
+        for t in &self.templates {
+            t.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Generates the timestamped request list: arrivals from the process,
+    /// shapes from the weighted templates, prompt token ids uniform in
+    /// `[1, vocab_size)`. Ids are assigned sequentially in arrival order, so
+    /// id order *is* arrival order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for an invalid workload or a
+    /// vocabulary smaller than 2 tokens.
+    pub fn generate(&self, vocab_size: usize) -> Result<Vec<GenRequest>> {
+        self.validate()?;
+        if vocab_size < 2 {
+            return Err(config_err(
+                "workload.vocab_size",
+                format!("need at least 2 tokens, got {vocab_size}"),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let arrivals = self.process.arrivals(self.duration_s, &mut rng);
+        let total_weight: f64 = self.templates.iter().map(|t| t.weight).sum();
+        let mut requests = Vec::with_capacity(arrivals.len());
+        for (id, arrival_s) in arrivals.into_iter().enumerate() {
+            // weighted template draw by cumulative weight
+            let mut pick = rng.gen::<f64>() * total_weight;
+            let mut template = self.templates.last().expect("validated non-empty");
+            for t in &self.templates {
+                if pick < t.weight {
+                    template = t;
+                    break;
+                }
+                pick -= t.weight;
+            }
+            let prompt_len = rng.gen_range(template.prompt_tokens.0..=template.prompt_tokens.1);
+            let new_tokens = rng.gen_range(template.new_tokens.0..=template.new_tokens.1);
+            let prompt: Vec<u32> = (0..prompt_len)
+                .map(|_| rng.gen_range(1u32..vocab_size as u32))
+                .collect();
+            requests.push(
+                GenRequest::new(id as u64, prompt, new_tokens, template.strategy)
+                    .with_temperature(template.temperature)
+                    .at(arrival_s)
+                    .with_tier(template.tier)
+                    .with_slo(template.slo),
+            );
+        }
+        Ok(requests)
+    }
+
+    /// Serializes the workload as a JSON document (the format
+    /// [`Workload::from_json`] parses; see
+    /// `examples/open_loop_workload.json`).
+    pub fn to_json(&self) -> String {
+        let process = match &self.process {
+            ArrivalProcess::Steady { rate_per_s } => {
+                format!("{{\"kind\":\"steady\",\"rate_per_s\":{rate_per_s}}}")
+            }
+            ArrivalProcess::OnOff {
+                rate_per_s,
+                on_s,
+                off_s,
+            } => format!(
+                "{{\"kind\":\"on-off\",\"rate_per_s\":{rate_per_s},\"on_s\":{on_s},\"off_s\":{off_s}}}"
+            ),
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period_s,
+            } => format!(
+                "{{\"kind\":\"diurnal\",\"base_rate_per_s\":{base_rate_per_s},\"peak_rate_per_s\":{peak_rate_per_s},\"period_s\":{period_s}}}"
+            ),
+            ArrivalProcess::Replay { arrivals_s } => {
+                let list: Vec<String> = arrivals_s.iter().map(|t| format!("{t}")).collect();
+                format!("{{\"kind\":\"replay\",\"arrivals_s\":[{}]}}", list.join(","))
+            }
+        };
+        let templates: Vec<String> = self
+            .templates
+            .iter()
+            .map(|t| {
+                let mut fields = vec![
+                    format!("\"weight\":{}", t.weight),
+                    format!(
+                        "\"prompt_tokens\":[{},{}]",
+                        t.prompt_tokens.0, t.prompt_tokens.1
+                    ),
+                    format!("\"new_tokens\":[{},{}]", t.new_tokens.0, t.new_tokens.1),
+                    format!("\"strategy\":{}", t.strategy.to_json()),
+                    format!("\"tier\":\"{}\"", t.tier),
+                ];
+                if t.slo.ttft_s.is_finite() {
+                    fields.push(format!("\"ttft_slo_ms\":{}", 1e3 * t.slo.ttft_s));
+                }
+                if t.slo.tbt_s.is_finite() {
+                    fields.push(format!("\"tbt_slo_ms\":{}", 1e3 * t.slo.tbt_s));
+                }
+                if t.temperature != 0.0 {
+                    fields.push(format!("\"temperature\":{}", t.temperature));
+                }
+                format!("    {{{}}}", fields.join(","))
+            })
+            .collect();
+        format!
+            (
+            "{{\n  \"seed\": {},\n  \"duration_s\": {},\n  \"process\": {},\n  \"templates\": [\n{}\n  ]\n}}\n",
+            self.seed,
+            self.duration_s,
+            process,
+            templates.join(",\n")
+        )
+    }
+
+    /// Parses a workload from its JSON document form and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for malformed JSON, unknown
+    /// process kinds / tier names, or values failing [`Workload::validate`].
+    pub fn from_json(input: &str) -> Result<Self> {
+        let doc = parse_json(input).map_err(ServeError::Dip)?;
+        let seed = get_f64(&doc, "seed")?.unwrap_or(0.0) as u64;
+        let duration_s = get_f64(&doc, "duration_s")?
+            .ok_or_else(|| config_err("workload.duration_s", "missing numeric field"))?;
+        let process_value = doc
+            .get("process")
+            .ok_or_else(|| config_err("workload.process", "missing object field"))?;
+        let process = parse_process(process_value)?;
+        let templates = match doc.get("templates") {
+            Some(JsonValue::Array(items)) => items
+                .iter()
+                .map(parse_template)
+                .collect::<Result<Vec<_>>>()?,
+            _ => {
+                return Err(config_err(
+                    "workload.templates",
+                    "missing array field".to_string(),
+                ))
+            }
+        };
+        let workload = Workload::new(seed, duration_s, process, templates);
+        workload.validate()?;
+        Ok(workload)
+    }
+}
+
+fn get_f64(value: &JsonValue, key: &'static str) -> Result<Option<f64>> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Number(n)) => Ok(Some(*n)),
+        Some(_) => Err(config_err(
+            "workload",
+            format!("field `{key}` must be a number"),
+        )),
+    }
+}
+
+fn get_str<'a>(value: &'a JsonValue, key: &str) -> Option<&'a str> {
+    match value.get(key) {
+        Some(JsonValue::String(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_usize_pair(value: &JsonValue, key: &'static str) -> Result<Option<(usize, usize)>> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Array(items)) => {
+            let nums: Vec<usize> = items
+                .iter()
+                .filter_map(|v| match v {
+                    JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as usize),
+                    _ => None,
+                })
+                .collect();
+            if nums.len() == 2 && nums.len() == items.len() {
+                Ok(Some((nums[0], nums[1])))
+            } else {
+                Err(config_err(
+                    "workload",
+                    format!("field `{key}` must be a [lo, hi] integer pair"),
+                ))
+            }
+        }
+        Some(_) => Err(config_err(
+            "workload",
+            format!("field `{key}` must be a [lo, hi] integer pair"),
+        )),
+    }
+}
+
+fn parse_process(value: &JsonValue) -> Result<ArrivalProcess> {
+    let kind = get_str(value, "kind")
+        .ok_or_else(|| config_err("workload.process", "needs a string `kind`"))?;
+    let require = |key: &'static str| -> Result<f64> {
+        get_f64(value, key)?.ok_or_else(|| {
+            config_err(
+                "workload.process",
+                format!("kind `{kind}` needs a numeric `{key}`"),
+            )
+        })
+    };
+    match kind {
+        "steady" => Ok(ArrivalProcess::Steady {
+            rate_per_s: require("rate_per_s")?,
+        }),
+        "on-off" => Ok(ArrivalProcess::OnOff {
+            rate_per_s: require("rate_per_s")?,
+            on_s: require("on_s")?,
+            off_s: require("off_s")?,
+        }),
+        "diurnal" => Ok(ArrivalProcess::Diurnal {
+            base_rate_per_s: require("base_rate_per_s")?,
+            peak_rate_per_s: require("peak_rate_per_s")?,
+            period_s: require("period_s")?,
+        }),
+        "replay" => match value.get("arrivals_s") {
+            Some(JsonValue::Array(items)) => {
+                let arrivals_s: Vec<f64> = items
+                    .iter()
+                    .map(|v| match v {
+                        JsonValue::Number(n) => Ok(*n),
+                        _ => Err(config_err(
+                            "workload.arrivals_s",
+                            "must be an array of numbers".to_string(),
+                        )),
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(ArrivalProcess::Replay { arrivals_s })
+            }
+            _ => Err(config_err(
+                "workload.process",
+                "kind `replay` needs an `arrivals_s` array",
+            )),
+        },
+        other => Err(config_err(
+            "workload.process",
+            format!("unknown kind `{other}` (known: steady, on-off, diurnal, replay)"),
+        )),
+    }
+}
+
+fn parse_template(value: &JsonValue) -> Result<RequestTemplate> {
+    let prompt_tokens = get_usize_pair(value, "prompt_tokens")?
+        .ok_or_else(|| config_err("workload.template", "needs `prompt_tokens: [lo, hi]`"))?;
+    let new_tokens = get_usize_pair(value, "new_tokens")?
+        .ok_or_else(|| config_err("workload.template", "needs `new_tokens: [lo, hi]`"))?;
+    let strategy = match value.get("strategy") {
+        None => StrategySpec::Dense,
+        Some(v) => StrategySpec::from_value(v).map_err(ServeError::Dip)?,
+    };
+    let tier = match get_str(value, "tier") {
+        None => Tier::Standard,
+        Some(name) => Tier::parse(name).ok_or_else(|| {
+            config_err(
+                "workload.template.tier",
+                format!("unknown tier `{name}` (known: batch, standard, premium)"),
+            )
+        })?,
+    };
+    let slo = SloTarget {
+        ttft_s: get_f64(value, "ttft_slo_ms")?.map_or(f64::INFINITY, |ms| ms / 1e3),
+        tbt_s: get_f64(value, "tbt_slo_ms")?.map_or(f64::INFINITY, |ms| ms / 1e3),
+    };
+    Ok(RequestTemplate {
+        weight: get_f64(value, "weight")?.unwrap_or(1.0),
+        prompt_tokens,
+        new_tokens,
+        strategy,
+        tier,
+        slo,
+        temperature: get_f64(value, "temperature")?.unwrap_or(0.0) as f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_workload(process: ArrivalProcess) -> Workload {
+        Workload::new(
+            7,
+            4.0,
+            process,
+            vec![
+                RequestTemplate::new((2, 4), (3, 6), StrategySpec::Dense).with_weight(3.0),
+                RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dip { density: 0.5 })
+                    .with_tier(Tier::Premium)
+                    .with_slo(SloTarget::new(0.5, 0.1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let w = base_workload(ArrivalProcess::Steady { rate_per_s: 20.0 });
+        let a = w.generate(64).unwrap();
+        let b = w.generate(64).unwrap();
+        assert_eq!(a, b, "same seed, same traffic");
+        assert!(!a.is_empty());
+
+        let mut shifted = w.clone();
+        shifted.seed = 8;
+        let c = shifted.generate(64).unwrap();
+        assert_ne!(a, c, "different seed, different traffic");
+    }
+
+    #[test]
+    fn generated_requests_are_well_formed_and_ordered() {
+        let w = base_workload(ArrivalProcess::OnOff {
+            rate_per_s: 40.0,
+            on_s: 0.5,
+            off_s: 0.5,
+        });
+        let requests = w.generate(64).unwrap();
+        assert!(!requests.is_empty());
+        let mut last = 0.0;
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64, "ids are arrival order");
+            assert!(r.arrival_s >= last && r.arrival_s < w.duration_s);
+            last = r.arrival_s;
+            assert!((2..=4).contains(&r.prompt.len()) || (1..=2).contains(&r.prompt.len()));
+            assert!(r.max_new_tokens >= 2 && r.max_new_tokens <= 6);
+            assert!(r.prompt.iter().all(|t| (1..64).contains(&(*t as usize))));
+            // on/off arrivals only land inside on-windows
+            assert!(
+                r.arrival_s % 1.0 < 0.5,
+                "arrival {} in an off window",
+                r.arrival_s
+            );
+        }
+        // both templates actually fire
+        assert!(requests.iter().any(|r| r.tier == Tier::Premium));
+        assert!(requests.iter().any(|r| r.tier == Tier::Standard));
+    }
+
+    #[test]
+    fn diurnal_ramp_concentrates_arrivals_at_the_crest() {
+        let w = Workload::new(
+            3,
+            10.0,
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: 1.0,
+                peak_rate_per_s: 60.0,
+                period_s: 10.0,
+            },
+            vec![RequestTemplate::new((1, 1), (1, 1), StrategySpec::Dense)],
+        );
+        let requests = w.generate(64).unwrap();
+        // crest of the cycle is t ∈ [2.5, 7.5); with a 60:1 swing the bulk
+        // of the arrivals must land there
+        let crest = requests
+            .iter()
+            .filter(|r| (2.5..7.5).contains(&r.arrival_s))
+            .count();
+        assert!(
+            crest * 2 > requests.len(),
+            "{crest} of {} arrivals at the crest",
+            requests.len()
+        );
+    }
+
+    #[test]
+    fn replay_process_reproduces_its_list() {
+        let times = vec![0.1, 0.4, 0.40001, 2.0, 9.0];
+        let w = Workload::new(
+            0,
+            4.0,
+            ArrivalProcess::Replay {
+                arrivals_s: times.clone(),
+            },
+            vec![RequestTemplate::new((1, 1), (2, 2), StrategySpec::Dense)],
+        );
+        let requests = w.generate(64).unwrap();
+        // the 9.0 arrival is past the duration
+        let got: Vec<f64> = requests.iter().map(|r| r.arrival_s).collect();
+        assert_eq!(got, &times[..4]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for process in [
+            ArrivalProcess::Steady { rate_per_s: 25.0 },
+            ArrivalProcess::OnOff {
+                rate_per_s: 40.0,
+                on_s: 0.25,
+                off_s: 0.75,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: 2.0,
+                peak_rate_per_s: 30.0,
+                period_s: 5.0,
+            },
+            ArrivalProcess::Replay {
+                arrivals_s: vec![0.0, 0.5, 1.25],
+            },
+        ] {
+            let w = base_workload(process);
+            let json = w.to_json();
+            let back = Workload::from_json(&json)
+                .unwrap_or_else(|e| panic!("failed to parse {json}: {e}"));
+            assert_eq!(w, back, "round trip through {json}");
+        }
+    }
+
+    #[test]
+    fn from_json_parses_the_documented_format() {
+        let w = Workload::from_json(
+            r#"{
+                "seed": 11,
+                "duration_s": 2.0,
+                "process": {"kind": "on-off", "rate_per_s": 30, "on_s": 0.25, "off_s": 0.25},
+                "templates": [
+                    {"weight": 3, "prompt_tokens": [2, 4], "new_tokens": [4, 8],
+                     "strategy": {"method": "dip", "density": 0.5}},
+                    {"prompt_tokens": [1, 2], "new_tokens": [2, 4], "tier": "premium",
+                     "ttft_slo_ms": 60, "tbt_slo_ms": 25}
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(w.seed, 11);
+        assert_eq!(w.templates.len(), 2);
+        assert_eq!(w.templates[0].strategy, StrategySpec::Dip { density: 0.5 });
+        assert_eq!(
+            w.templates[1].strategy,
+            StrategySpec::Dense,
+            "default dense"
+        );
+        assert_eq!(w.templates[1].tier, Tier::Premium);
+        assert!((w.templates[1].slo.ttft_s - 0.06).abs() < 1e-12);
+        assert!(w.templates[0].slo.ttft_s.is_infinite());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let good = base_workload(ArrivalProcess::Steady { rate_per_s: 5.0 });
+        assert!(good.validate().is_ok());
+
+        let mut w = good.clone();
+        w.duration_s = 0.0;
+        assert!(w.validate().is_err());
+
+        let mut w = good.clone();
+        w.templates.clear();
+        assert!(w.validate().is_err());
+
+        let mut w = good.clone();
+        w.templates[0].prompt_tokens = (0, 2);
+        assert!(w.validate().is_err());
+
+        let mut w = good.clone();
+        w.templates[0].new_tokens = (5, 2);
+        assert!(w.validate().is_err());
+
+        let mut w = good.clone();
+        w.templates[0].weight = -1.0;
+        assert!(w.validate().is_err());
+
+        let w = base_workload(ArrivalProcess::Steady { rate_per_s: 0.0 });
+        assert!(w.validate().is_err());
+        let w = base_workload(ArrivalProcess::Diurnal {
+            base_rate_per_s: 10.0,
+            peak_rate_per_s: 5.0,
+            period_s: 2.0,
+        });
+        assert!(w.validate().is_err());
+        let w = base_workload(ArrivalProcess::Replay {
+            arrivals_s: vec![2.0, 1.0],
+        });
+        assert!(w.validate().is_err());
+        assert!(good.generate(1).is_err(), "vocabulary too small");
+
+        // malformed JSON paths
+        assert!(Workload::from_json("{").is_err());
+        assert!(Workload::from_json("{}").is_err());
+        assert!(Workload::from_json(
+            r#"{"duration_s": 1.0, "process": {"kind": "warp"}, "templates": []}"#
+        )
+        .is_err());
+        assert!(Workload::from_json(
+            r#"{"duration_s": 1.0, "process": {"kind": "steady", "rate_per_s": 5},
+                "templates": [{"prompt_tokens": [1, 2], "new_tokens": [1, 2], "tier": "gold"}]}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden decode traces: the exact greedy token stream of every servable
+//! registry spec at a fixed model seed, pinned.
+//!
+//! Greedy decode is a pure function of (model, prompt, strategy); these
+//! constants were produced by this very harness and freeze that function. A
+//! kernel or scheduler refactor that *silently* changes decoded outputs —
+//! a reordered reduction, a wrong mask, a corrupted KV entry — fails here
+//! loudly instead of shipping as a quiet quality regression. (Bitwise
+//! kernel-parity for the tensor layer lives in `kernel_parity.rs`; this
+//! suite pins the end-to-end engine path, admission to sampled token.)
+
+use serve::{GenRequest, PredictorSpec, ServeConfig, ServeEngine, StrategySpec};
+
+const MODEL_SEED: u64 = 5;
+const PROMPT: [u32; 3] = [1, 2, 3];
+const NEW_TOKENS: usize = 8;
+
+fn engine() -> ServeEngine {
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, MODEL_SEED).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        2,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(2)).unwrap()
+}
+
+fn decode(spec: StrategySpec) -> Vec<u32> {
+    let mut engine = engine();
+    let report = engine
+        .run(vec![GenRequest::new(0, PROMPT.to_vec(), NEW_TOKENS, spec)])
+        .unwrap();
+    report.requests[0].generated.clone()
+}
+
+/// Every servable spec of the registry and its pinned greedy output at
+/// `MODEL_SEED`. Regenerate by running this test with `REGEN=1` in the
+/// environment (it prints the table and fails).
+fn golden() -> Vec<(StrategySpec, Vec<u32>)> {
+    vec![
+        (StrategySpec::Dense, vec![15, 52, 9, 38, 50, 7, 52, 62]),
+        (
+            StrategySpec::GluPruning { density: 0.75 },
+            vec![15, 52, 9, 38, 50, 7, 41, 39],
+        ),
+        (
+            StrategySpec::GluOracle { density: 0.5 },
+            vec![15, 50, 50, 50, 52, 50, 52, 31],
+        ),
+        (
+            StrategySpec::GatePruning { density: 0.5 },
+            vec![26, 52, 39, 26, 58, 26, 41, 47],
+        ),
+        (
+            StrategySpec::UpPruning { density: 0.5 },
+            vec![26, 52, 15, 52, 17, 23, 39, 52],
+        ),
+        (
+            StrategySpec::Cats { density: 0.5 },
+            vec![15, 50, 50, 50, 52, 50, 24, 41],
+        ),
+        (
+            StrategySpec::Predictive {
+                density: 0.5,
+                predictor: PredictorSpec {
+                    hidden: Some(16),
+                    epochs: Some(1),
+                },
+            },
+            vec![52, 2, 17, 15, 15, 50, 9, 50],
+        ),
+        (
+            StrategySpec::Dip { density: 0.5 },
+            vec![15, 52, 31, 2, 50, 15, 52, 31],
+        ),
+        (
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            },
+            vec![15, 52, 41, 38, 34, 15, 63, 27],
+        ),
+    ]
+}
+
+#[test]
+fn per_strategy_decode_outputs_match_the_pinned_goldens() {
+    let mut regen = String::new();
+    let mut failures = Vec::new();
+    for (spec, expected) in golden() {
+        let actual = decode(spec);
+        regen.push_str(&format!("{}: {:?}\n", spec.label(), actual));
+        if actual != expected {
+            failures.push(format!(
+                "{}: got {:?}, pinned {:?}",
+                spec.label(),
+                actual,
+                expected
+            ));
+        }
+    }
+    if std::env::var("REGEN").is_ok() {
+        panic!("golden table:\n{regen}");
+    }
+    assert!(
+        failures.is_empty(),
+        "decode outputs drifted from the pinned goldens:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,130 @@
+//! Open-loop runs must be *bitwise* reproducible: the same workload seed and
+//! engine config must yield an identical `ServeReport` — across repeated
+//! runs, across engine instances, and whether or not the decode kernels fan
+//! out across the worker pool's threads (mirroring
+//! `experiments/tests/parallel_determinism.rs` for the open-loop driver).
+
+use serve::{
+    AdmissionConfig, ArrivalProcess, RequestTemplate, SchedulerPolicy, ServeConfig, ServeEngine,
+    ServeReport, SloTarget, StrategySpec, Tier, Workload,
+};
+
+fn workload() -> Workload {
+    Workload::new(
+        0xfeed,
+        0.04,
+        ArrivalProcess::OnOff {
+            rate_per_s: 900.0,
+            on_s: 0.004,
+            off_s: 0.006,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (4, 8), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(2.0),
+            RequestTemplate::new((1, 3), (3, 6), StrategySpec::Dip { density: 0.5 }),
+            RequestTemplate::new(
+                (1, 2),
+                (2, 4),
+                StrategySpec::DipCacheAware {
+                    density: 0.5,
+                    gamma: 0.2,
+                },
+            )
+            .with_tier(Tier::Premium)
+            .with_slo(SloTarget::new(0.05, 0.02)),
+        ],
+    )
+}
+
+fn run_once(scheduler: SchedulerPolicy) -> ServeReport {
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, 13).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        4,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(4)
+            .with_scheduler(scheduler)
+            .with_admission(
+                AdmissionConfig::default()
+                    .with_queue_capacity(16)
+                    .with_rate_limit(700.0, 6.0),
+            ),
+    )
+    .unwrap();
+    engine.run_open_loop(&workload()).unwrap()
+}
+
+#[test]
+fn same_seed_and_config_reproduce_the_report_bitwise() {
+    for scheduler in [
+        SchedulerPolicy::Fifo,
+        SchedulerPolicy::ShortestRemainingFirst,
+        SchedulerPolicy::PriorityPreemptive,
+    ] {
+        let a = run_once(scheduler);
+        let b = run_once(scheduler);
+        // ServeReport is plain data with derived PartialEq — full equality
+        // means every latency, percentile, byte count, SLO flag and
+        // preemption count is bit-identical
+        assert_eq!(a, b, "open-loop run diverged under {scheduler}");
+        assert!(
+            a.open_loop.as_ref().unwrap().arrived > 0,
+            "the workload actually produced traffic"
+        );
+    }
+}
+
+#[test]
+fn reports_are_identical_across_thread_counts() {
+    // The decode kernels route matvecs through the process-wide worker pool;
+    // fanning independent open-loop runs across OS threads exercises the
+    // pool under contention from several engines at once. Every thread's
+    // report must equal the sequential baseline bitwise.
+    let baseline = run_once(SchedulerPolicy::PriorityPreemptive);
+    let reports: Vec<ServeReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| scope.spawn(|| run_once(SchedulerPolicy::PriorityPreemptive)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop thread panicked"))
+            .collect()
+    });
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(&baseline, report, "thread {i} diverged from the baseline");
+    }
+}
+
+#[test]
+fn different_seeds_actually_change_the_traffic() {
+    // a determinism test that cannot fail is not a test: the report must be
+    // *sensitive* to the seed for the bitwise equality above to mean much
+    let a = run_once(SchedulerPolicy::Fifo);
+    let mut w = workload();
+    w.seed = 0xbeef;
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, 13).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        4,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let mut engine =
+        ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(4)).unwrap();
+    let b = engine.run_open_loop(&w).unwrap();
+    assert_ne!(a, b, "a different workload seed must change the report");
+}

@@ -1,0 +1,210 @@
+//! Properties of the open-loop serving machinery.
+//!
+//! 1. **Request conservation** — at drain, every arrival is accounted for
+//!    exactly once: `arrived = completed + shed`, with nothing in flight
+//!    (the report's `admitted` equals `completed`).
+//! 2. **No starvation** under `PriorityPreemptive` — every admitted request
+//!    eventually finishes, preempted or not, and every park is resumed.
+//! 3. **Token bucket** — admissions past the bucket can never exceed
+//!    `burst + rate · elapsed` over any prefix of the arrival sequence.
+
+use proptest::prelude::*;
+use serve::{
+    AdmissionConfig, ArrivalProcess, GenRequest, RateLimit, RequestTemplate, SchedulerPolicy,
+    ServeConfig, ServeEngine, SloTarget, StrategySpec, Tier, TokenBucket, Workload,
+};
+
+fn tiny_engine(
+    slots: usize,
+    scheduler: SchedulerPolicy,
+    admission: AdmissionConfig,
+) -> ServeEngine {
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, 7).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        slots,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(slots)
+            .with_scheduler(scheduler)
+            .with_admission(admission),
+    )
+    .unwrap()
+}
+
+fn mixed_tier_workload(seed: u64, rate_per_s: f64) -> Workload {
+    Workload::new(
+        seed,
+        0.03,
+        ArrivalProcess::OnOff {
+            rate_per_s,
+            on_s: 0.005,
+            off_s: 0.005,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (4, 10), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(2.0),
+            RequestTemplate::new((1, 3), (2, 6), StrategySpec::Dip { density: 0.5 }),
+            RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dip { density: 0.5 })
+                .with_tier(Tier::Premium)
+                .with_slo(SloTarget::new(0.05, 0.02)),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_at_drain(
+        seed in 0u64..1_000,
+        rate in 200f64..2_000.0,
+        slots in 1usize..4,
+        queue_capacity in 1usize..8,
+    ) {
+        let admission = AdmissionConfig::default()
+            .with_queue_capacity(queue_capacity)
+            .with_rate_limit(400.0, 4.0);
+        let mut engine = tiny_engine(slots, SchedulerPolicy::Fifo, admission);
+        let report = engine
+            .run_open_loop(&mixed_tier_workload(seed, rate))
+            .unwrap();
+        let ol = report.open_loop.as_ref().unwrap();
+        // every arrival is exactly one of {completed, shed}
+        prop_assert_eq!(ol.arrived, ol.completed + ol.shed);
+        prop_assert_eq!(ol.admitted, ol.completed, "nothing in flight at drain");
+        prop_assert_eq!(ol.shed, ol.shed_rate_limited + ol.shed_tier_quota + ol.shed_queue_full);
+        prop_assert_eq!(report.requests.len(), ol.completed);
+        // the same identities hold per tier
+        let mut arrived = 0;
+        for t in &ol.tiers {
+            prop_assert_eq!(t.arrived, t.admitted + t.shed);
+            prop_assert_eq!(t.admitted, t.completed);
+            arrived += t.arrived;
+        }
+        prop_assert_eq!(arrived, ol.arrived);
+        // every completed request generated its full budget
+        for r in &report.requests {
+            prop_assert!(r.generated_tokens > 0);
+        }
+    }
+
+    #[test]
+    fn no_starvation_under_priority_preemption(
+        seed in 0u64..1_000,
+        rate in 400f64..2_000.0,
+        slots in 1usize..3,
+    ) {
+        let admission = AdmissionConfig::default().with_queue_capacity(64);
+        let mut engine = tiny_engine(slots, SchedulerPolicy::PriorityPreemptive, admission);
+        let report = engine
+            .run_open_loop(&mixed_tier_workload(seed, rate))
+            .unwrap();
+        let ol = report.open_loop.as_ref().unwrap();
+        // every admitted request — including preempted batch work — finishes
+        prop_assert_eq!(ol.admitted, ol.completed);
+        prop_assert_eq!(ol.resumes, ol.preemptions, "every park is resumed");
+        prop_assert_eq!(engine.state_pool().parked_count(), 0, "no state left parked");
+        for r in &report.requests {
+            prop_assert!(r.completion_s > r.arrival_s);
+            prop_assert!(r.generated_tokens > 0, "request {} starved", r.id);
+        }
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_configured_rate(
+        seed in 0u64..10_000,
+        rate in 1f64..200.0,
+        burst in 1f64..20.0,
+        n in 1usize..120,
+    ) {
+        // synthetic arrival times: bursty clusters with random gaps
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut bucket = TokenBucket::new(RateLimit { rate_per_s: rate, burst });
+        let mut admitted = 0usize;
+        for _ in 0..n {
+            t += if rng.gen_bool(0.7) { 0.0 } else { rng.gen_range(0.0..0.5) };
+            if bucket.try_take(t) {
+                admitted += 1;
+            }
+            // the invariant holds at every prefix: the bucket can never have
+            // released more than its initial burst plus the refill
+            let ceiling = burst + rate * t;
+            prop_assert!(
+                (admitted as f64) <= ceiling + 1e-9,
+                "admitted {} > {} at t={}",
+                admitted,
+                ceiling,
+                t
+            );
+        }
+    }
+}
+
+/// The engine-level view of the bucket property: an open-loop run's admitted
+/// count respects the configured rate over the arrival horizon.
+#[test]
+fn engine_admissions_respect_the_bucket() {
+    let rate = 150.0;
+    let burst = 2.0;
+    let admission = AdmissionConfig::default()
+        .with_queue_capacity(1024)
+        .with_rate_limit(rate, burst);
+    let mut engine = tiny_engine(2, SchedulerPolicy::Fifo, admission);
+    // a dense burst of arrivals in a short horizon
+    let arrivals: Vec<GenRequest> = (0..40)
+        .map(|i| GenRequest::new(i, vec![1, 2], 2, StrategySpec::Dense).at(0.002 * i as f64))
+        .collect();
+    let last_arrival = arrivals.last().unwrap().arrival_s;
+    let report = engine.run_open_loop_requests(arrivals).unwrap();
+    let ol = report.open_loop.as_ref().unwrap();
+    assert!(ol.shed_rate_limited > 0, "the burst must trip the bucket");
+    let ceiling = burst + rate * last_arrival;
+    assert!(
+        (ol.admitted as f64) <= ceiling + 1e-9,
+        "admitted {} exceeds bucket ceiling {}",
+        ol.admitted,
+        ceiling
+    );
+}
+
+/// Tier quotas bound the waiting queue per tier without touching others.
+#[test]
+fn tier_quotas_shed_only_the_capped_tier() {
+    let admission = AdmissionConfig::default()
+        .with_queue_capacity(1024)
+        .with_tier_quota(Tier::Batch, 1);
+    let mut engine = tiny_engine(1, SchedulerPolicy::Fifo, admission);
+    let mut arrivals: Vec<GenRequest> = (0..6)
+        .map(|i| {
+            GenRequest::new(i, vec![1, 2], 6, StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .at(1e-5 * i as f64)
+        })
+        .collect();
+    arrivals.extend((6..9).map(|i| {
+        GenRequest::new(i, vec![1], 2, StrategySpec::Dense)
+            .with_tier(Tier::Premium)
+            .at(1e-5 * i as f64)
+    }));
+    let report = engine.run_open_loop_requests(arrivals).unwrap();
+    let ol = report.open_loop.as_ref().unwrap();
+    assert!(ol.shed_tier_quota > 0, "batch flood must trip its quota");
+    let batch = &ol.tiers[Tier::Batch.index()];
+    let premium = &ol.tiers[Tier::Premium.index()];
+    assert_eq!(batch.shed, ol.shed, "only batch is shed");
+    assert_eq!(premium.shed, 0);
+    assert_eq!(premium.completed, 3);
+}
