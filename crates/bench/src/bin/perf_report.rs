@@ -1,28 +1,41 @@
 //! `perf_report` — the perf-trajectory measurement bin.
 //!
-//! Measures honest before/after numbers for the decode hot path **in one
-//! binary**: "before" routes every matrix kernel through the naive scalar
-//! reference loops (`tensor::kernels::set_reference_mode`) and decodes
-//! through the allocating `forward_token`; "after" uses the optimised
-//! `_into` kernels through the zero-allocation `forward_token_into` scratch
-//! path. Because the optimised kernels are bitwise identical to the
-//! references, the two modes compute the same numbers — only speed differs.
+//! Measures honest before/after numbers for the serving hot paths **in one
+//! binary**:
+//!
+//! * **kernels** — naive reference loops vs the optimised single-RHS and
+//!   batched (multi-RHS "skinny GEMM") kernels at phi3-mini shapes,
+//! * **single-stream decode** — the seed-replica allocating loop on
+//!   reference kernels vs the zero-allocation scratch path (PR 3's
+//!   measurement, kept for trajectory continuity),
+//! * **prefill** — token-at-a-time prompt ingestion vs chunked prefill
+//!   (`forward_prompt_into`: the whole chunk through each layer as a
+//!   matrix),
+//! * **fleet** — an 8-session serve-engine fleet under shared-cache
+//!   contention: the token-at-a-time sequential engine vs batch-lane
+//!   execution (cross-session fused decode + chunked prefill). Both modes
+//!   compute bitwise-identical schedules (see
+//!   `serve/tests/batched_equivalence.rs`), so the ratio is pure host-side
+//!   speed.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report -- --quick [--out FILE] [--check BASELINE]
 //! ```
 //!
-//! Writes a flat JSON report (default `BENCH_PR3.json`). With `--check`, the
-//! *speedup ratios* (optimised ÷ reference, measured on the current machine,
-//! so the check is host-independent) are compared against the committed
-//! baseline and the process exits non-zero if any single-stream decode
-//! speedup regressed by more than 20 %.
+//! Writes a flat JSON report (default `BENCH_PR5.json`). With `--check`,
+//! the *speedup ratios* (both sides measured on the current machine, so the
+//! check is host-independent) are compared against the committed baseline
+//! and the process exits non-zero if any single-stream decode, fleet-batch
+//! or prefill speedup regressed by more than 20 %.
 
 use dip_core::strategies::{Dip, DipCacheAware};
 use hwsim::BlockCacheCapacity;
 use lm::mlp::DenseMlp;
-use lm::{build_synthetic, DecodeScratch, MlpForward, ModelConfig, SliceAxis, TransformerModel};
-use serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
+use lm::{
+    build_synthetic, BatchScratch, DecodeScratch, MlpForward, ModelConfig, SliceAxis,
+    TransformerModel,
+};
+use serve::{ExecutionMode, GenRequest, ServeConfig, ServeEngine, StrategySpec};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -36,7 +49,7 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         quick: false,
-        out: "BENCH_PR3.json".to_string(),
+        out: "BENCH_PR5.json".to_string(),
         check: None,
     };
     let mut args = std::env::args().skip(1);
@@ -186,6 +199,74 @@ fn decode_tps_scratch(
     n_tokens as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Prompt length of the prefill measurement (a long assistant context).
+const PREFILL_PROMPT: usize = 128;
+/// Chunk height of the chunked-prefill measurement (the serve engine's
+/// `MAX_PREFILL_CHUNK`).
+const PREFILL_CHUNK: usize = 64;
+
+fn prefill_prompt(model: &TransformerModel) -> Vec<u32> {
+    (0..PREFILL_PROMPT)
+        .map(|i| ((i * 11 + 3) % (model.config.vocab_size - 1)) as u32)
+        .collect()
+}
+
+/// Token-at-a-time prefill: the prompt through `forward_token_into`, one
+/// position per forward pass — the pre-PR 5 ingestion path (run under
+/// reference-mode kernels by the caller for the "before" measurement, the
+/// same honest-before convention the decode and fleet rows use).
+fn prefill_tps_token(model: &TransformerModel, reps: usize) -> f64 {
+    let prompt = prefill_prompt(model);
+    let mut state = model.new_decode_state();
+    let mut scratch = DecodeScratch::for_model(model);
+    let mut strategy = DenseMlp;
+    let mut run = |state: &mut lm::DecodeState| {
+        state.reset();
+        for &t in &prompt {
+            model
+                .forward_token_into(t, state, &mut strategy, &mut scratch)
+                .expect("prefill token");
+        }
+        black_box(&scratch.logits);
+    };
+    run(&mut state); // warm-up (sizes scratch, builds mirrors)
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run(&mut state);
+        best = best.max(prompt.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Chunked prefill: the same prompt through `forward_prompt_into` in
+/// `PREFILL_CHUNK`-token chunks (one fused weight pass per chunk per
+/// matrix). Logits of the final position are bitwise identical to the
+/// token-at-a-time loop.
+fn prefill_tps_chunked(model: &TransformerModel, reps: usize) -> f64 {
+    let prompt = prefill_prompt(model);
+    let mut state = model.new_decode_state();
+    let mut batch = BatchScratch::for_model(model);
+    let mut strategy = DenseMlp;
+    let mut run = |state: &mut lm::DecodeState| {
+        state.reset();
+        for chunk in prompt.chunks(PREFILL_CHUNK) {
+            model
+                .forward_prompt_into(chunk, state, &mut strategy, &mut batch)
+                .expect("prefill chunk");
+        }
+        black_box(&batch.logits);
+    };
+    run(&mut state);
+    let mut best = f64::MIN;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run(&mut state);
+        best = best.max(prompt.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn capacities(config: &ModelConfig) -> Vec<BlockCacheCapacity> {
     (0..config.n_layers)
         .map(|_| BlockCacheCapacity {
@@ -196,11 +277,13 @@ fn capacities(config: &ModelConfig) -> Vec<BlockCacheCapacity> {
         .collect()
 }
 
-/// Runs an 8-session fleet of `spec` requests through the serve engine and
-/// returns wall-clock tokens/sec (prefill + decode tokens over the run's
-/// real elapsed time — the wall-clock counterpart of the simulated
-/// `aggregate_tps`).
-fn fleet_wall_tps(config: &ModelConfig, spec: StrategySpec, tokens_per_session: usize) -> f64 {
+/// Builds a warm 8-session serving engine (layout with a ~55% MLP cache,
+/// INT4 weights) in the given execution mode.
+fn fleet_engine(
+    config: &ModelConfig,
+    tokens_per_session: usize,
+    execution: ExecutionMode,
+) -> ServeEngine {
     let sessions = 8usize;
     let kv_budget = (4 + tokens_per_session + 2).min(config.max_seq_len);
     let layout =
@@ -210,9 +293,13 @@ fn fleet_wall_tps(config: &ModelConfig, spec: StrategySpec, tokens_per_session: 
     let model = build_synthetic(config, 13).expect("model builds");
     let serve_config = ServeConfig::new(device)
         .with_max_concurrent(sessions)
-        .with_kv_budget(kv_budget);
-    let mut engine = ServeEngine::new(model, serve_config).expect("engine builds");
-    let requests: Vec<GenRequest> = (0..sessions)
+        .with_kv_budget(kv_budget)
+        .with_execution(execution);
+    ServeEngine::new(model, serve_config).expect("engine builds")
+}
+
+fn fleet_requests(spec: StrategySpec, tokens_per_session: usize) -> Vec<GenRequest> {
+    (0..8usize)
         .map(|i| {
             GenRequest::new(
                 i as u64,
@@ -221,12 +308,21 @@ fn fleet_wall_tps(config: &ModelConfig, spec: StrategySpec, tokens_per_session: 
                 spec,
             )
         })
-        .collect();
+        .collect()
+}
+
+/// Wall-clock tokens/sec of one `ServeEngine::run` call on a warm engine
+/// (prefill + decode tokens over real elapsed time — the wall-clock
+/// counterpart of the simulated `aggregate_tps`). The engine persists
+/// across calls, as a long-lived serving deployment would: weight mirrors
+/// and scratch buffers are built once, not once per fleet.
+fn fleet_wall_tps(engine: &mut ServeEngine, spec: StrategySpec, tokens_per_session: usize) -> f64 {
+    let requests = fleet_requests(spec, tokens_per_session);
     let total_tokens: usize = requests.iter().map(|r| r.total_tokens()).sum();
     let start = Instant::now();
     let report = engine.run(requests).expect("fleet runs");
     let elapsed = start.elapsed().as_secs_f64();
-    assert_eq!(report.total_generated_tokens, sessions * tokens_per_session);
+    assert_eq!(report.total_generated_tokens, 8 * tokens_per_session);
     total_tokens as f64 / elapsed
 }
 
@@ -252,7 +348,11 @@ fn best_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
 
 fn main() {
     let opts = parse_args();
-    let (decode_tokens, kernel_reps) = if opts.quick { (512, 30) } else { (2048, 80) };
+    let (decode_tokens, kernel_reps, prefill_reps) = if opts.quick {
+        (512, 30, 3)
+    } else {
+        (2048, 80, 8)
+    };
     let config = ModelConfig::phi3_mini_sim();
     let model = build_synthetic(&config, 42).expect("phi3-mini-sim builds");
     let mut entries: Vec<(String, f64)> = Vec::new();
@@ -308,6 +408,31 @@ fn main() {
         naive_cols / mirrored_cols.min(fast_cols),
     ));
 
+    // batched (multi-RHS) kernels: 8 stacked activation vectors, one weight
+    // pass — compared per token against 8 single matvecs
+    let batch_k = 8usize;
+    let xs: Vec<f32> = (0..batch_k * mlp.d_model())
+        .map(|i| ((i as f32) * 0.23).sin())
+        .collect();
+    let mut out_batch = vec![0.0f32; batch_k * mlp.d_ff()];
+    let batch_ns = best_ns(kernel_reps, 50, || {
+        mlp.w_up
+            .matvec_batch_into(black_box(&xs), batch_k, &mut out_batch)
+            .unwrap()
+    });
+    let batch_mirrored_ns = best_ns(kernel_reps, 50, || {
+        mlp.w_up
+            .matvec_batch_mirrored(&mirror, black_box(&xs), batch_k, &mut out_batch)
+            .unwrap()
+    });
+    let per_token_batch = (batch_ns / batch_k as f64).min(batch_mirrored_ns / batch_k as f64);
+    entries.push(("kernel_matvec_batch8_ns".into(), batch_ns));
+    entries.push(("kernel_matvec_batch8_mirrored_ns".into(), batch_mirrored_ns));
+    entries.push((
+        "kernel_matvec_batch8_per_token_speedup".into(),
+        mirrored_matvec.min(fast_matvec) / per_token_batch,
+    ));
+
     // ---- single-stream decode, before (reference kernels + allocating
     //      path) vs after (optimised kernels + scratch path) ----
     let strategies: Vec<(&str, Box<dyn MlpForward>)> = vec![
@@ -346,7 +471,34 @@ fn main() {
         entries.push((format!("decode_{name}_speedup"), after / before));
     }
 
-    // ---- 8-session fleet through the serve engine (wall clock) ----
+    // ---- prefill: token-at-a-time on reference kernels (the pre-PR
+    //      ingestion path, same before/after convention as the decode and
+    //      fleet rows) vs chunked on the optimised kernels ----
+    tensor::kernels::set_reference_mode(true);
+    let prefill_token = prefill_tps_token(&model, prefill_reps.min(3));
+    tensor::kernels::set_reference_mode(false);
+    let prefill_optimized_token = prefill_tps_token(&model, prefill_reps);
+    let prefill_chunked = prefill_tps_chunked(&model, prefill_reps);
+    println!(
+        "prefill: {prefill_token:.0} -> {prefill_chunked:.0} tok/s ({:.2}x)",
+        prefill_chunked / prefill_token
+    );
+    entries.push(("prefill_token_at_a_time_tps".into(), prefill_token));
+    entries.push((
+        "prefill_token_optimized_tps".into(),
+        prefill_optimized_token,
+    ));
+    entries.push(("prefill_chunked_tps".into(), prefill_chunked));
+    entries.push(("prefill_speedup".into(), prefill_chunked / prefill_token));
+    entries.push((
+        "prefill_chunking_speedup".into(),
+        prefill_chunked / prefill_optimized_token,
+    ));
+
+    // ---- 8-session fleet through the serve engine (wall clock):
+    //      reference kernels + sequential engine ("before"), optimised
+    //      kernels + sequential engine, optimised kernels + batch lanes
+    //      ("after"). All three compute the same schedule. ----
     let fleet_tokens = if opts.quick { 16 } else { 48 };
     for (name, spec) in [
         ("dense", StrategySpec::Dense),
@@ -359,17 +511,25 @@ fn main() {
             },
         ),
     ] {
+        let mut seq_engine = fleet_engine(&config, fleet_tokens, ExecutionMode::Sequential);
+        let mut batched_engine = fleet_engine(&config, fleet_tokens, ExecutionMode::Batched);
         tensor::kernels::set_reference_mode(true);
-        let before = best_tps(3, || fleet_wall_tps(&config, spec, fleet_tokens));
+        let reference = best_tps(3, || fleet_wall_tps(&mut seq_engine, spec, fleet_tokens));
         tensor::kernels::set_reference_mode(false);
-        let after = best_tps(3, || fleet_wall_tps(&config, spec, fleet_tokens));
+        let sequential = best_tps(3, || fleet_wall_tps(&mut seq_engine, spec, fleet_tokens));
+        let batched = best_tps(3, || {
+            fleet_wall_tps(&mut batched_engine, spec, fleet_tokens)
+        });
         println!(
-            "fleet8 {name}: {before:.0} -> {after:.0} tok/s ({:.2}x)",
-            after / before
+            "fleet8 {name}: {reference:.0} (reference) -> {sequential:.0} (sequential) -> \
+             {batched:.0} (batched) tok/s (batch {:.2}x)",
+            batched / sequential
         );
-        entries.push((format!("fleet8_{name}_reference_tps"), before));
-        entries.push((format!("fleet8_{name}_optimized_tps"), after));
-        entries.push((format!("fleet8_{name}_speedup"), after / before));
+        entries.push((format!("fleet8_{name}_reference_tps"), reference));
+        entries.push((format!("fleet8_{name}_sequential_tps"), sequential));
+        entries.push((format!("fleet8_{name}_optimized_tps"), batched));
+        entries.push((format!("fleet8_{name}_speedup"), batched / reference));
+        entries.push((format!("fleet8_{name}_batch_speedup"), batched / sequential));
     }
 
     // ---- write the report ----
@@ -396,6 +556,10 @@ fn main() {
             "decode_dense_speedup",
             "decode_dip_speedup",
             "decode_dip_ca_speedup",
+            "prefill_speedup",
+            "fleet8_dense_speedup",
+            "fleet8_dip_speedup",
+            "fleet8_dip_ca_speedup",
         ] {
             let expected = extract_number(&baseline, key)
                 .unwrap_or_else(|| panic!("baseline {baseline_path} lacks `{key}`"));

@@ -110,6 +110,27 @@ impl MlpForward for SharedMlpForward {
             .forward_scratch(layer, mlp, x, ws, access, mirrors)
     }
 
+    /// Lane members share this cell by construction — one handle driving
+    /// the whole batch *is* the shared-state semantics.
+    fn batch_fusable(&self) -> bool {
+        true
+    }
+
+    fn forward_batch_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut lm::MlpBatchWorkspace,
+        accesses: &mut [lm::MlpAccessScratch],
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        self.inner
+            .borrow_mut()
+            .forward_batch_scratch(layer, mlp, xs, rows, ws, accesses, mirrors)
+    }
+
     fn name(&self) -> String {
         format!("shared({})", self.inner.borrow().name())
     }
@@ -360,6 +381,44 @@ impl StrategyRegistry {
                 continue;
             }
             shared.observe_access(layer, input_cols, glu_cols);
+        }
+    }
+
+    /// Allocation-free cross-traffic observation of one *row* of a batched
+    /// step's `[layer][row]` access records — the batched counterpart of
+    /// [`StrategyRegistry::observe_cross_traffic_scratch`], called once per
+    /// row in batch (= schedule) order so shared cache models see exactly
+    /// the sequential access sequence.
+    pub fn observe_cross_traffic_batch_row(
+        &mut self,
+        served: Option<(u32, u32)>,
+        accesses: &[Vec<lm::MlpAccessScratch>],
+        row: usize,
+        d_model: usize,
+        d_ff: usize,
+    ) {
+        if self.shared_dip_ca.iter().all(|(k, _)| served == Some(*k)) {
+            return;
+        }
+        for (layer, rows) in accesses.iter().enumerate() {
+            let acc = &rows[row];
+            self.obs_input.clear();
+            match acc.up.subset() {
+                Some(s) => self.obs_input.extend_from_slice(s),
+                None => self.obs_input.extend(0..d_model),
+            }
+            self.obs_glu.clear();
+            match acc.down.subset() {
+                Some(s) => self.obs_glu.extend_from_slice(s),
+                None => self.obs_glu.extend(0..d_ff),
+            }
+            Self::fan_out_layer(
+                &self.shared_dip_ca,
+                served,
+                layer,
+                &self.obs_input,
+                &self.obs_glu,
+            );
         }
     }
 

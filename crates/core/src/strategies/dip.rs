@@ -13,8 +13,8 @@
 use crate::allocation::DensityAllocation;
 use crate::error::to_lm_error;
 use lm::{
-    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
-    MlpWorkspace, SliceAxis,
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpBatchWorkspace, MlpForward,
+    MlpForwardOutput, MlpWorkspace, SliceAxis,
 };
 use serde::{Deserialize, Serialize};
 use tensor::topk;
@@ -134,6 +134,94 @@ impl MlpForward for Dip {
         access.up.set_subset(SliceAxis::Input, &ws.active_a);
         access.gate.set_subset(SliceAxis::Input, &ws.active_a);
         access.down.set_subset(SliceAxis::Input, &ws.active_b);
+        Ok(())
+    }
+
+    /// DIP is stateless, so one instance may drive a whole batch lane.
+    fn batch_fusable(&self) -> bool {
+        true
+    }
+
+    /// Fused batched DIP: per-row top-k selections run row by row (cheap,
+    /// O(d) each), then **one** gathered weight pass per matrix serves the
+    /// whole batch through the CSR-batched kernels — each row's reduction
+    /// stays in its own active-list order, so every row is bitwise
+    /// identical to [`Dip::forward_scratch`] on that row.
+    fn forward_batch_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut MlpBatchWorkspace,
+        accesses: &mut [MlpAccessScratch],
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        let (d_model, d_ff) = (mlp.d_model(), mlp.d_ff());
+        if rows == 1 {
+            // a single row gains nothing from the CSR kernels; take the
+            // (mirror-capable) single-token path
+            self.forward_scratch(layer, mlp, xs, &mut ws.row_ws, &mut accesses[0], mirrors)?;
+            ws.ensure(1, d_model, d_ff);
+            ws.y.copy_from_slice(&ws.row_ws.y);
+            return Ok(());
+        }
+        ws.ensure(rows, d_model, d_ff);
+
+        let k_in = topk::count_for_density(d_model, self.input_density)
+            .map_err(|e| to_lm_error(e.into()))?;
+        ws.active_in_offsets.push(0);
+        for r in 0..rows {
+            let x = &xs[r * d_model..(r + 1) * d_model];
+            topk::top_k_by_magnitude_into(x, k_in, &mut ws.scores, &mut ws.row_active);
+            ws.active_in.extend_from_slice(&ws.row_active);
+            ws.active_in_offsets.push(ws.active_in.len());
+        }
+        mlp.up_activations_input_pruned_batch_into(
+            xs,
+            rows,
+            &ws.active_in,
+            &ws.active_in_offsets,
+            &mut ws.up,
+            mirrors.map(|m| &m.up),
+        )?;
+        mlp.gate_activations_input_pruned_batch_into(
+            xs,
+            rows,
+            &ws.active_in,
+            &ws.active_in_offsets,
+            &mut ws.gate,
+            mirrors.map(|m| &m.gate),
+        )?;
+        for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+            *g = u * gate;
+        }
+
+        let k_glu =
+            topk::count_for_density(d_ff, self.glu_density).map_err(|e| to_lm_error(e.into()))?;
+        ws.active_glu_offsets.push(0);
+        for r in 0..rows {
+            let glu = &ws.glu[r * d_ff..(r + 1) * d_ff];
+            topk::top_k_by_magnitude_into(glu, k_glu, &mut ws.scores, &mut ws.row_active);
+            ws.active_glu.extend_from_slice(&ws.row_active);
+            ws.active_glu_offsets.push(ws.active_glu.len());
+        }
+        mlp.down_from_glu_batch_into(
+            &ws.glu,
+            rows,
+            &ws.active_glu,
+            &ws.active_glu_offsets,
+            &mut ws.y,
+            mirrors.map(|m| &m.down),
+        )?;
+
+        for (r, access) in accesses.iter_mut().enumerate().take(rows) {
+            let in_row = &ws.active_in[ws.active_in_offsets[r]..ws.active_in_offsets[r + 1]];
+            let glu_row = &ws.active_glu[ws.active_glu_offsets[r]..ws.active_glu_offsets[r + 1]];
+            access.up.set_subset(SliceAxis::Input, in_row);
+            access.gate.set_subset(SliceAxis::Input, in_row);
+            access.down.set_subset(SliceAxis::Input, glu_row);
+        }
         Ok(())
     }
 

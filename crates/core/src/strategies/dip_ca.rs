@@ -20,8 +20,8 @@ use crate::error::{DipError, Result};
 use hwsim::cache::LfuColumnCache;
 use hwsim::{BlockCacheCapacity, ColumnCache};
 use lm::{
-    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpForward, MlpForwardOutput,
-    MlpWorkspace, SliceAxis,
+    GluMlp, MatrixAccess, MlpAccessRecord, MlpAccessScratch, MlpBatchWorkspace, MlpForward,
+    MlpForwardOutput, MlpWorkspace, SliceAxis,
 };
 use tensor::topk;
 
@@ -281,6 +281,115 @@ impl MlpForward for DipCacheAware {
         Ok(())
     }
 
+    /// Every session sharing the physical DRAM cache shares *one* DIP-CA
+    /// cell (see `spec::SharedMlpForward`), so one instance driving a lane
+    /// is exactly the shared-state semantics.
+    fn batch_fusable(&self) -> bool {
+        true
+    }
+
+    /// Fused batched DIP-CA. Selections (and therefore the internal cache
+    /// model updates) run row by row in batch order — the same order the
+    /// sequential engine would update the shared cell in — and the weight
+    /// passes are fused through the CSR-batched gathered kernels. The input
+    /// and GLU selections use *disjoint* cache models, so hoisting all
+    /// input selections before the up/gate pass (and all GLU selections
+    /// before the down pass) preserves each cache's exact access sequence.
+    fn forward_batch_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut MlpBatchWorkspace,
+        accesses: &mut [MlpAccessScratch],
+        mirrors: Option<&lm::MlpMirrors>,
+    ) -> lm::Result<()> {
+        let (d_model, d_ff) = (mlp.d_model(), mlp.d_ff());
+        if rows == 1 {
+            self.forward_scratch(layer, mlp, xs, &mut ws.row_ws, &mut accesses[0], mirrors)?;
+            ws.ensure(1, d_model, d_ff);
+            ws.y.copy_from_slice(&ws.row_ws.y);
+            return Ok(());
+        }
+        let caches = self.caches.get_mut(layer).ok_or_else(|| {
+            to_lm_error(DipError::CalibrationMismatch {
+                reason: format!("no cache allocation for layer {layer}"),
+            })
+        })?;
+        ws.ensure(rows, d_model, d_ff);
+
+        ws.active_in_offsets.push(0);
+        for r in 0..rows {
+            let x = &xs[r * d_model..(r + 1) * d_model];
+            Self::select_into(
+                x,
+                &mut caches.input,
+                self.input_density,
+                self.gamma,
+                &mut ws.mask,
+                &mut ws.aux,
+                &mut ws.row_active,
+            )
+            .map_err(to_lm_error)?;
+            ws.active_in.extend_from_slice(&ws.row_active);
+            ws.active_in_offsets.push(ws.active_in.len());
+        }
+        mlp.up_activations_input_pruned_batch_into(
+            xs,
+            rows,
+            &ws.active_in,
+            &ws.active_in_offsets,
+            &mut ws.up,
+            mirrors.map(|m| &m.up),
+        )?;
+        mlp.gate_activations_input_pruned_batch_into(
+            xs,
+            rows,
+            &ws.active_in,
+            &ws.active_in_offsets,
+            &mut ws.gate,
+            mirrors.map(|m| &m.gate),
+        )?;
+        for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
+            *g = u * gate;
+        }
+
+        ws.active_glu_offsets.push(0);
+        for r in 0..rows {
+            let glu = &ws.glu[r * d_ff..(r + 1) * d_ff];
+            Self::select_into(
+                glu,
+                &mut caches.glu,
+                self.glu_density,
+                self.gamma,
+                &mut ws.mask,
+                &mut ws.aux,
+                &mut ws.row_active,
+            )
+            .map_err(to_lm_error)?;
+            ws.active_glu.extend_from_slice(&ws.row_active);
+            ws.active_glu_offsets.push(ws.active_glu.len());
+        }
+        mlp.down_from_glu_batch_into(
+            &ws.glu,
+            rows,
+            &ws.active_glu,
+            &ws.active_glu_offsets,
+            &mut ws.y,
+            mirrors.map(|m| &m.down),
+        )?;
+
+        for (r, access) in accesses.iter_mut().enumerate().take(rows) {
+            let in_row = &ws.active_in[ws.active_in_offsets[r]..ws.active_in_offsets[r + 1]];
+            let glu_row = &ws.active_glu[ws.active_glu_offsets[r]..ws.active_glu_offsets[r + 1]];
+            access.up.set_subset(SliceAxis::Input, in_row);
+            access.gate.set_subset(SliceAxis::Input, in_row);
+            access.down.set_subset(SliceAxis::Input, glu_row);
+        }
+        Ok(())
+    }
+
     fn name(&self) -> String {
         format!(
             "dip-ca@{:.2}/{:.2}(gamma={})",
@@ -495,6 +604,73 @@ mod tests {
         );
         // out-of-range layers are ignored rather than panicking
         contended.observe_access(99, &foreign, &foreign);
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_identical_to_row_by_row() {
+        use lm::{MlpBatchWorkspace, MlpWorkspace};
+
+        let config = ModelConfig::tiny();
+        let model = model();
+        let mlp = &model.layers[0].mlp;
+        let rows = 5usize;
+        let xs: Vec<f32> = (0..rows * config.d_model)
+            .map(|i| ((i as f32) * 0.13).sin())
+            .collect();
+
+        let run_pair = |mut sequential: Box<dyn MlpForward>, mut batched: Box<dyn MlpForward>| {
+            // sequential oracle: one row at a time through forward_scratch
+            let mut ws = MlpWorkspace::new(config.d_model, config.d_ff);
+            let mut seq_y = Vec::new();
+            let mut seq_access = Vec::new();
+            for r in 0..rows {
+                let mut access = lm::MlpAccessScratch::default();
+                sequential
+                    .forward_scratch(
+                        0,
+                        mlp,
+                        &xs[r * config.d_model..(r + 1) * config.d_model],
+                        &mut ws,
+                        &mut access,
+                        None,
+                    )
+                    .unwrap();
+                seq_y.extend_from_slice(&ws.y);
+                seq_access.push(access.to_record());
+            }
+
+            let mut bws = MlpBatchWorkspace::default();
+            let mut accesses: Vec<lm::MlpAccessScratch> =
+                (0..rows).map(|_| Default::default()).collect();
+            batched
+                .forward_batch_scratch(0, mlp, &xs, rows, &mut bws, &mut accesses, None)
+                .unwrap();
+
+            for (i, (a, b)) in bws.y.iter().zip(seq_y.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "output {i} diverged");
+            }
+            for (r, access) in accesses.iter().enumerate() {
+                assert_eq!(access.to_record(), seq_access[r], "row {r} access diverged");
+            }
+        };
+
+        let dip = crate::strategies::Dip::new(0.5, 0.5).unwrap();
+        run_pair(Box::new(dip), Box::new(dip));
+
+        let fresh_ca = || {
+            Box::new(
+                DipCacheAware::new(
+                    0.5,
+                    0.5,
+                    0.2,
+                    config.d_model,
+                    config.d_ff,
+                    capacities(&config, 0.4),
+                )
+                .unwrap(),
+            )
+        };
+        run_pair(fresh_ca(), fresh_ca());
     }
 
     #[test]

@@ -1,22 +1,50 @@
 //! Least-frequently-used column cache (the paper's default policy).
 
 use super::{AccessOutcome, ColumnCache, EvictionPolicy};
-use std::collections::HashMap;
 
 /// An LFU cache over weight columns.
 ///
 /// Usage frequency is tracked for the whole session (also for columns that
 /// are currently evicted, as in "LLM in a Flash"); ties are broken by
 /// evicting the least recently used of the least frequently used columns.
+///
+/// # Implementation
+///
+/// Residency is a dense `column → last-access-time` array (time 0 = not
+/// resident) and the columns of the *current* access are marked in an
+/// epoch-stamped protection array, so one eviction costs one linear scan of
+/// the column range instead of the historical
+/// `O(resident × protect-list)` scan — and when every resident column is
+/// protected (the dense-access steady state) eviction fails in O(1) via the
+/// maintained unprotected-resident counter. Victim choice is unchanged:
+/// minimum `(frequency, last-access-time)` over resident, unprotected
+/// columns, and access times are unique, so the selected victim — and
+/// therefore every hit/miss/insertion — is **identical** to the historical
+/// map-based implementation (see the `matches_reference_implementation`
+/// test).
 #[derive(Debug, Clone)]
 pub struct LfuColumnCache {
     n_columns: usize,
     capacity: usize,
-    /// column -> last access time (for resident columns only)
-    resident: HashMap<usize, u64>,
+    /// column -> last access time (0 = not resident; the clock starts at 1).
+    resident_time: Vec<u64>,
+    resident_count: usize,
     /// session-wide access frequency per column
     frequency: Vec<u64>,
+    /// column -> epoch in which it was last part of the presented access
+    /// list (columns of the current access are never evicted for each
+    /// other).
+    protected_epoch: Vec<u64>,
+    epoch: u64,
     clock: u64,
+    /// Eviction order of the current access, built lazily on its first
+    /// eviction: unprotected residents sorted by `(frequency, time)`.
+    /// Valid for one access call — no key of an unprotected resident can
+    /// change mid-call (hits and frequency bumps only touch protected
+    /// columns; insertions are protected), so successive minima are exactly
+    /// this queue in order.
+    evict_queue: Vec<(u64, u64, usize)>,
+    evict_cursor: usize,
 }
 
 impl LfuColumnCache {
@@ -25,9 +53,14 @@ impl LfuColumnCache {
         LfuColumnCache {
             n_columns,
             capacity: capacity.min(n_columns),
-            resident: HashMap::new(),
+            resident_time: vec![0; n_columns],
+            resident_count: 0,
             frequency: vec![0; n_columns],
+            protected_epoch: vec![0; n_columns],
+            epoch: 0,
             clock: 0,
+            evict_queue: Vec::new(),
+            evict_cursor: 0,
         }
     }
 
@@ -36,16 +69,28 @@ impl LfuColumnCache {
         self.frequency.get(column).copied().unwrap_or(0)
     }
 
-    fn evict_one(&mut self, protect: &[usize]) -> bool {
-        let victim = self
-            .resident
-            .iter()
-            .filter(|(col, _)| !protect.contains(col))
-            .min_by_key(|(col, time)| (self.frequency[**col], **time))
-            .map(|(col, _)| *col);
-        match victim {
-            Some(col) => {
-                self.resident.remove(&col);
+    /// Evicts the resident, unprotected column with the smallest
+    /// `(frequency, last-access-time)` key. Access times are unique, so the
+    /// victim is unique; `queue_built` marks whether the current access
+    /// already sorted its eviction order.
+    fn evict_one(&mut self, queue_built: &mut bool) -> bool {
+        if !*queue_built {
+            self.evict_queue.clear();
+            for (col, &time) in self.resident_time.iter().enumerate() {
+                if time == 0 || self.protected_epoch[col] == self.epoch {
+                    continue;
+                }
+                self.evict_queue.push((self.frequency[col], time, col));
+            }
+            self.evict_queue.sort_unstable();
+            self.evict_cursor = 0;
+            *queue_built = true;
+        }
+        match self.evict_queue.get(self.evict_cursor) {
+            Some(&(_, _, col)) => {
+                self.evict_cursor += 1;
+                self.resident_time[col] = 0;
+                self.resident_count -= 1;
                 true
             }
             None => false,
@@ -63,22 +108,44 @@ impl ColumnCache for LfuColumnCache {
     }
 
     fn len(&self) -> usize {
-        self.resident.len()
+        self.resident_count
     }
 
     fn contains(&self, column: usize) -> bool {
-        self.resident.contains_key(&column)
+        self.resident_time
+            .get(column)
+            .map(|&t| t > 0)
+            .unwrap_or(false)
+    }
+
+    fn cached_mask_into(&self, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(self.resident_time.iter().map(|&t| t > 0));
     }
 
     fn access(&mut self, columns: &[usize]) -> AccessOutcome {
         let mut outcome = AccessOutcome::default();
+        // Protect this access's columns up front: they may not evict each
+        // other (Section 6.4). Tracking how many residents remain
+        // unprotected lets the eviction loop fail fast once none are.
+        self.epoch += 1;
+        let mut queue_built = false;
+        let mut unprotected_resident = self.resident_count;
+        for &col in columns {
+            if col < self.n_columns && self.protected_epoch[col] != self.epoch {
+                self.protected_epoch[col] = self.epoch;
+                if self.resident_time[col] > 0 {
+                    unprotected_resident -= 1;
+                }
+            }
+        }
         for &col in columns {
             self.clock += 1;
             if col < self.n_columns {
                 self.frequency[col] += 1;
             }
-            if let Some(t) = self.resident.get_mut(&col) {
-                *t = self.clock;
+            if col < self.n_columns && self.resident_time[col] > 0 {
+                self.resident_time[col] = self.clock;
                 outcome.hits += 1;
                 continue;
             }
@@ -86,17 +153,26 @@ impl ColumnCache for LfuColumnCache {
             if self.capacity == 0 || col >= self.n_columns {
                 continue;
             }
-            if self.resident.len() >= self.capacity && !self.evict_one(columns) {
-                continue;
+            if self.resident_count >= self.capacity {
+                if unprotected_resident == 0 || !self.evict_one(&mut queue_built) {
+                    continue;
+                }
+                unprotected_resident -= 1;
             }
-            self.resident.insert(col, self.clock);
+            // the inserted column is part of this access, hence protected:
+            // `unprotected_resident` is unchanged by the insertion
+            self.resident_time[col] = self.clock;
+            self.resident_count += 1;
         }
         outcome
     }
 
     fn clear(&mut self) {
-        self.resident.clear();
+        self.resident_time.iter_mut().for_each(|t| *t = 0);
+        self.resident_count = 0;
         self.frequency.iter_mut().for_each(|f| *f = 0);
+        self.protected_epoch.iter_mut().for_each(|e| *e = 0);
+        self.epoch = 0;
         self.clock = 0;
     }
 
@@ -108,6 +184,7 @@ impl ColumnCache for LfuColumnCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn hits_after_insertion() {
@@ -168,5 +245,108 @@ mod tests {
         assert_eq!(c.frequency(0), 0);
         assert!(c.is_empty());
         assert_eq!(c.policy(), EvictionPolicy::Lfu);
+    }
+
+    /// The historical map-based implementation, kept verbatim as the
+    /// behavioural oracle for the dense-array fast path.
+    struct ReferenceLfu {
+        n_columns: usize,
+        capacity: usize,
+        resident: HashMap<usize, u64>,
+        frequency: Vec<u64>,
+        clock: u64,
+    }
+
+    impl ReferenceLfu {
+        fn new(n_columns: usize, capacity: usize) -> Self {
+            ReferenceLfu {
+                n_columns,
+                capacity: capacity.min(n_columns),
+                resident: HashMap::new(),
+                frequency: vec![0; n_columns],
+                clock: 0,
+            }
+        }
+
+        fn evict_one(&mut self, protect: &[usize]) -> bool {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(col, _)| !protect.contains(col))
+                .min_by_key(|(col, time)| (self.frequency[**col], **time))
+                .map(|(col, _)| *col);
+            match victim {
+                Some(col) => {
+                    self.resident.remove(&col);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        fn access(&mut self, columns: &[usize]) -> AccessOutcome {
+            let mut outcome = AccessOutcome::default();
+            for &col in columns {
+                self.clock += 1;
+                if col < self.n_columns {
+                    self.frequency[col] += 1;
+                }
+                if let Some(t) = self.resident.get_mut(&col) {
+                    *t = self.clock;
+                    outcome.hits += 1;
+                    continue;
+                }
+                outcome.misses += 1;
+                if self.capacity == 0 || col >= self.n_columns {
+                    continue;
+                }
+                if self.resident.len() >= self.capacity && !self.evict_one(columns) {
+                    continue;
+                }
+                self.resident.insert(col, self.clock);
+            }
+            outcome
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        // Deterministic pseudo-random access streams, mixing sparse subsets,
+        // dense sweeps, repeats and out-of-range columns.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for (n_columns, capacity) in [(32usize, 12usize), (64, 40), (16, 0), (48, 48)] {
+            let mut fast = LfuColumnCache::new(n_columns, capacity);
+            let mut reference = ReferenceLfu::new(n_columns, capacity);
+            for round in 0..200 {
+                let columns: Vec<usize> = if round % 7 == 0 {
+                    (0..n_columns).collect() // dense sweep: all protected
+                } else {
+                    let len = (next() as usize % (n_columns + 4)) + 1;
+                    (0..len)
+                        .map(|_| next() as usize % (n_columns + 2))
+                        .collect()
+                };
+                assert_eq!(
+                    fast.access(&columns),
+                    reference.access(&columns),
+                    "outcome diverged at round {round} (n={n_columns}, cap={capacity})"
+                );
+                for col in 0..n_columns {
+                    assert_eq!(
+                        fast.contains(col),
+                        reference.resident.contains_key(&col),
+                        "residency diverged at round {round}, column {col}"
+                    );
+                    assert_eq!(fast.frequency(col), reference.frequency[col]);
+                }
+                assert_eq!(fast.len(), reference.resident.len());
+            }
+        }
     }
 }

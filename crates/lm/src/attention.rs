@@ -125,62 +125,232 @@ impl Attention {
             }
         }
 
-        rope::apply_rope_multihead(&mut scratch.q, self.head_dim, pos, self.rope_theta);
-        rope::apply_rope_multihead(&mut scratch.k, self.head_dim, pos, self.rope_theta);
-
-        cache.push_slices(&scratch.k, &scratch.v)?;
-
-        let group = self.n_heads / self.n_kv_heads;
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let seq_len = cache.len();
-        scratch.attended.fill(0.0);
-        // [head][position] score/weight matrices so the cached key/value
-        // rows are streamed over exactly once (position-outer), instead of
-        // once per head; per-output accumulation order is unchanged
-        // (ascending position), so results stay bitwise identical
-        scratch.scores.resize(self.n_heads * seq_len, 0.0);
-        scratch.weights.resize(self.n_heads * seq_len, 0.0);
-
-        for t in 0..seq_len {
-            let key = cache.key(t).expect("position exists");
-            for h in 0..self.n_heads {
-                let kv_head = h / group;
-                let q_head = &scratch.q[h * self.head_dim..(h + 1) * self.head_dim];
-                let k_head = &key[kv_head * self.head_dim..(kv_head + 1) * self.head_dim];
-                // inlined dot (identical accumulation order to Vector::dot,
-                // without the per-call shape check — lengths are fixed by
-                // the head layout); this loop runs heads × positions times
-                // per layer per token
-                let mut acc = 0.0f32;
-                for (&qv, &kv) in q_head.iter().zip(k_head.iter()) {
-                    acc += qv * kv;
-                }
-                scratch.scores[h * seq_len + t] = acc * scale;
-            }
-        }
-        for h in 0..self.n_heads {
-            Vector::softmax_into(
-                &scratch.scores[h * seq_len..(h + 1) * seq_len],
-                &mut scratch.weights[h * seq_len..(h + 1) * seq_len],
-            )?;
-        }
-        for t in 0..seq_len {
-            let value = cache.value(t).expect("position exists");
-            for h in 0..self.n_heads {
-                let kv_head = h / group;
-                let w = scratch.weights[h * seq_len + t];
-                let v_head = &value[kv_head * self.head_dim..(kv_head + 1) * self.head_dim];
-                let head_out = &mut scratch.attended[h * self.head_dim..(h + 1) * self.head_dim];
-                for (o, vv) in head_out.iter_mut().zip(v_head.iter()) {
-                    *o += w * vv;
-                }
-            }
-        }
+        let AttnScratch {
+            q,
+            k,
+            v,
+            attended,
+            scores,
+            weights,
+        } = scratch;
+        self.attend_row(pos, cache, q, k, v, scores, weights, attended)?;
 
         match mirrors {
             Some(m) => Ok(self.w_o.matvec_mirrored(&m.o, &scratch.attended, out)?),
             None => Ok(self.w_o.matvec_into(&scratch.attended, out)?),
         }
+    }
+
+    /// Width of the query projection (`n_heads * head_dim`).
+    pub fn q_dim(&self) -> usize {
+        self.n_heads * self.head_dim
+    }
+
+    /// Width of the key/value projections (`n_kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.n_kv_heads * self.head_dim
+    }
+
+    /// Fused QKV projections of `rows` stacked pre-norm inputs (`rows ×
+    /// d_model`, row-major) into stacked projection buffers. One weight pass
+    /// serves every row; each row's projections are bitwise identical to the
+    /// single-token kernels (see [`tensor::Matrix::matvec_batch_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the batched kernels.
+    pub fn project_qkv_batch(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        q: &mut [f32],
+        k: &mut [f32],
+        v: &mut [f32],
+        mirrors: Option<&crate::scratch::AttnMirrors>,
+    ) -> Result<()> {
+        match mirrors {
+            Some(m) => {
+                self.w_q.matvec_batch_mirrored(&m.q, xs, rows, q)?;
+                self.w_k.matvec_batch_mirrored(&m.k, xs, rows, k)?;
+                self.w_v.matvec_batch_mirrored(&m.v, xs, rows, v)?;
+            }
+            None => {
+                self.w_q.matvec_batch_into(xs, rows, q)?;
+                self.w_k.matvec_batch_into(xs, rows, k)?;
+                self.w_v.matvec_batch_into(xs, rows, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused output projection of `rows` stacked attended vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the batched kernels.
+    pub fn project_out_batch(
+        &self,
+        attended: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        mirrors: Option<&crate::scratch::AttnMirrors>,
+    ) -> Result<()> {
+        match mirrors {
+            Some(m) => Ok(self.w_o.matvec_batch_mirrored(&m.o, attended, rows, out)?),
+            None => Ok(self.w_o.matvec_batch_into(attended, rows, out)?),
+        }
+    }
+
+    /// The per-token attention core: applies RoPE to the projected `q`/`k`,
+    /// appends `k`/`v` to the cache, and attends over everything stored so
+    /// far into `attended`. Both engine execution modes (and the chunked
+    /// prefill driver) run every token through this one kernel, in token
+    /// order, so their attention outputs are identical by construction.
+    ///
+    /// # Kernel shape
+    ///
+    /// The reductions run over the cache's *transposed* component rows
+    /// ([`KvCache::keys_t_row`]): each score accumulates its
+    /// `q_d · k_d` products with `d` ascending (a component-outer axpy over
+    /// contiguous positions), and each attended component is one contiguous
+    /// dot over ascending positions. That is exactly the per-output
+    /// operation sequence of the historical position-outer loops — same
+    /// multiplies, same addition order — so results are **bitwise
+    /// identical** while the inner loops run at SIMD width over positions
+    /// instead of `head_dim`-length strips.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache and softmax shape errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn attend_row(
+        &self,
+        pos: usize,
+        cache: &mut KvCache,
+        q: &mut [f32],
+        k: &mut [f32],
+        v: &[f32],
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        attended: &mut [f32],
+    ) -> Result<()> {
+        rope::apply_rope_multihead(q, self.head_dim, pos, self.rope_theta);
+        rope::apply_rope_multihead(k, self.head_dim, pos, self.rope_theta);
+
+        cache.push_slices(k, v)?;
+
+        let group = self.n_heads / self.n_kv_heads;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let seq_len = cache.len();
+        scores.resize(self.n_heads * seq_len, 0.0);
+        weights.resize(self.n_heads * seq_len, 0.0);
+
+        for h in 0..self.n_heads {
+            let kv_head = h / group;
+            let score_row = &mut scores[h * seq_len..(h + 1) * seq_len];
+            score_row.fill(0.0);
+            // four components in flight: each score adds its `q_d · k_d`
+            // products in ascending-`d` order (in-quad sequence ascending),
+            // four fused multiply-adds per score load/store
+            let mut i = 0usize;
+            while i + 4 <= self.head_dim {
+                let d = kv_head * self.head_dim + i;
+                let qb = &q[h * self.head_dim + i..h * self.head_dim + i + 4];
+                let (q0, q1, q2, q3) = (qb[0], qb[1], qb[2], qb[3]);
+                let k0 = cache.keys_t_row(d);
+                let k1 = cache.keys_t_row(d + 1);
+                let k2 = cache.keys_t_row(d + 2);
+                let k3 = cache.keys_t_row(d + 3);
+                for (t, s) in score_row.iter_mut().enumerate() {
+                    let mut acc = *s;
+                    acc += q0 * k0[t];
+                    acc += q1 * k1[t];
+                    acc += q2 * k2[t];
+                    acc += q3 * k3[t];
+                    *s = acc;
+                }
+                i += 4;
+            }
+            while i < self.head_dim {
+                let qv = q[h * self.head_dim + i];
+                let k_row = cache.keys_t_row(kv_head * self.head_dim + i);
+                for (s, &kv) in score_row.iter_mut().zip(k_row.iter()) {
+                    *s += qv * kv;
+                }
+                i += 1;
+            }
+            for s in score_row.iter_mut() {
+                *s *= scale;
+            }
+        }
+        for h in 0..self.n_heads {
+            Vector::softmax_into(
+                &scores[h * seq_len..(h + 1) * seq_len],
+                &mut weights[h * seq_len..(h + 1) * seq_len],
+            )?;
+        }
+        for h in 0..self.n_heads {
+            let kv_head = h / group;
+            let w_row = &weights[h * seq_len..(h + 1) * seq_len];
+            let head_out = &mut attended[h * self.head_dim..(h + 1) * self.head_dim];
+            head_out.fill(0.0);
+            // four positions in flight: each output component keeps its own
+            // accumulator and adds position contributions in ascending
+            // order — four fused multiply-adds per output load/store,
+            // bitwise identical to the one-position-at-a-time walk
+            let lo = kv_head * self.head_dim;
+            let hi = (kv_head + 1) * self.head_dim;
+            let mut t = 0usize;
+            while t + 8 <= seq_len {
+                let v0 = &cache.value(t).expect("position exists")[lo..hi];
+                let v1 = &cache.value(t + 1).expect("position exists")[lo..hi];
+                let v2 = &cache.value(t + 2).expect("position exists")[lo..hi];
+                let v3 = &cache.value(t + 3).expect("position exists")[lo..hi];
+                let v4 = &cache.value(t + 4).expect("position exists")[lo..hi];
+                let v5 = &cache.value(t + 5).expect("position exists")[lo..hi];
+                let v6 = &cache.value(t + 6).expect("position exists")[lo..hi];
+                let v7 = &cache.value(t + 7).expect("position exists")[lo..hi];
+                let w = &w_row[t..t + 8];
+                for (i, o) in head_out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w[0] * v0[i];
+                    acc += w[1] * v1[i];
+                    acc += w[2] * v2[i];
+                    acc += w[3] * v3[i];
+                    acc += w[4] * v4[i];
+                    acc += w[5] * v5[i];
+                    acc += w[6] * v6[i];
+                    acc += w[7] * v7[i];
+                    *o = acc;
+                }
+                t += 8;
+            }
+            while t + 4 <= seq_len {
+                let v0 = &cache.value(t).expect("position exists")[lo..hi];
+                let v1 = &cache.value(t + 1).expect("position exists")[lo..hi];
+                let v2 = &cache.value(t + 2).expect("position exists")[lo..hi];
+                let v3 = &cache.value(t + 3).expect("position exists")[lo..hi];
+                let (w0, w1, w2, w3) = (w_row[t], w_row[t + 1], w_row[t + 2], w_row[t + 3]);
+                for (i, o) in head_out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w0 * v0[i];
+                    acc += w1 * v1[i];
+                    acc += w2 * v2[i];
+                    acc += w3 * v3[i];
+                    *o = acc;
+                }
+                t += 4;
+            }
+            while t < seq_len {
+                let v = &cache.value(t).expect("position exists")[lo..hi];
+                let w = w_row[t];
+                for (o, &vv) in head_out.iter_mut().zip(v.iter()) {
+                    *o += w * vv;
+                }
+                t += 1;
+            }
+        }
+        Ok(())
     }
 }
 

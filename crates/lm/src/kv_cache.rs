@@ -11,10 +11,23 @@ use crate::error::{LmError, Result};
 /// `capacity × width` storage up front, so steady-state decode appends
 /// without ever reallocating — and sequential attention walks over the
 /// cached positions stream through contiguous memory.
+///
+/// Alongside the position-major buffers, the cache maintains a
+/// **transposed key store** (`[component][position]`, see
+/// [`KvCache::keys_t_row`]): each push scatters its `dim` key components
+/// into per-component rows, so the attention score kernel can run its
+/// reduction loops over *contiguous positions* (SIMD-width vectors)
+/// instead of `head_dim`-length strips — at identical per-output
+/// accumulation order, hence bitwise-identical results (see
+/// `Attention::attend_row`; the weighted-value pass stays position-major
+/// with multiple positions in flight).
 #[derive(Debug, Clone, Default)]
 pub struct KvCache {
     keys: Vec<f32>,
     values: Vec<f32>,
+    /// `[component][position]` view of `keys`: component `d` of position
+    /// `t` lives at `d * capacity + t`.
+    keys_t: Vec<f32>,
     dim: usize,
     len: usize,
     capacity: usize,
@@ -26,6 +39,7 @@ impl KvCache {
         KvCache {
             keys: Vec::new(),
             values: Vec::new(),
+            keys_t: Vec::new(),
             dim: 0,
             len: 0,
             capacity: max_seq_len,
@@ -79,6 +93,9 @@ impl KvCache {
             self.dim = key.len();
             self.keys.reserve_exact(self.capacity * self.dim);
             self.values.reserve_exact(self.capacity * self.dim);
+            // full transposed key storage (no-op when a recycled cache
+            // already holds it); stale entries beyond `len` are never read
+            self.keys_t.resize(self.capacity * self.dim, 0.0);
         } else if key.len() != self.dim {
             return Err(LmError::BadSequence {
                 reason: format!("key/value width {} != cached width {}", key.len(), self.dim),
@@ -86,8 +103,25 @@ impl KvCache {
         }
         self.keys.extend_from_slice(key);
         self.values.extend_from_slice(value);
+        for (d, &kv) in key.iter().enumerate() {
+            self.keys_t[d * self.capacity + self.len] = kv;
+        }
         self.len += 1;
         Ok(())
+    }
+
+    /// Component `d` of every cached position, as one contiguous slice
+    /// (`len` values): the transposed view the attention kernels reduce
+    /// over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim` (the per-position width fixed by the first
+    /// push).
+    #[inline]
+    pub fn keys_t_row(&self, d: usize) -> &[f32] {
+        assert!(d < self.dim, "component {d} out of width {}", self.dim);
+        &self.keys_t[d * self.capacity..d * self.capacity + self.len]
     }
 
     /// Key vector stored at position `i`.

@@ -49,9 +49,9 @@ pub use mlp::{
     ColumnAccess, DenseMlp, GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput,
     MlpMatrix, SliceAxis,
 };
-pub use model::{DecodeState, TokenOutput, TransformerModel};
+pub use model::{BatchStrategies, DecodeState, TokenOutput, TransformerModel};
 pub use scratch::{
-    AccessBuf, AttnMirrors, AttnScratch, DecodeScratch, LayerMirrors, MlpAccessScratch, MlpMirrors,
-    MlpWorkspace, ModelMirrors,
+    AccessBuf, AttnMirrors, AttnScratch, BatchScratch, DecodeScratch, LayerMirrors,
+    MlpAccessScratch, MlpBatchWorkspace, MlpMirrors, MlpWorkspace, ModelMirrors,
 };
 pub use trace::{ActivationTrace, TracingMlp};

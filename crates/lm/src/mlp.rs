@@ -19,7 +19,7 @@
 //!   rows of `W_u`/`W_g`.
 
 use crate::error::Result;
-use crate::scratch::{MlpAccessScratch, MlpWorkspace};
+use crate::scratch::{MlpAccessScratch, MlpBatchWorkspace, MlpWorkspace};
 use serde::{Deserialize, Serialize};
 use tensor::{Activation, Matrix};
 
@@ -267,6 +267,61 @@ pub trait MlpForward {
         Ok(())
     }
 
+    /// Whether one instance of this strategy may drive a whole batch lane of
+    /// sessions through [`MlpForward::forward_batch_scratch`].
+    ///
+    /// `true` is a **semantic contract**: calling one lane member's
+    /// `forward_batch_scratch` over the stacked rows must be bitwise
+    /// identical to calling each member's own `forward_scratch` row by row
+    /// in the same order. That holds for stateless strategies and for
+    /// strategies whose state is *shared* by every lane member (DIP-CA's
+    /// shared cache cell). Strategies with private per-session state must
+    /// leave this `false` (the default) — the engine then runs each row
+    /// through its own instance, still inside the fused attention/LM-head
+    /// batch.
+    fn batch_fusable(&self) -> bool {
+        false
+    }
+
+    /// Batched forward: `xs` holds `rows` stacked activation vectors
+    /// (`rows × d_model`, row-major); the block outputs land stacked in
+    /// [`MlpBatchWorkspace::y`] and row `r`'s access report in
+    /// `accesses[r]`.
+    ///
+    /// The default processes rows one at a time through
+    /// [`MlpForward::forward_scratch`] — correct for any strategy when the
+    /// rows belong to *one* session (a prefill chunk), and for lanes of
+    /// sessions when [`MlpForward::batch_fusable`] holds. Strategies on the
+    /// serving hot path override it with fused multi-RHS kernels that pass
+    /// over each weight matrix once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlpForward::forward_scratch`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_scratch(
+        &mut self,
+        layer: usize,
+        mlp: &GluMlp,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut MlpBatchWorkspace,
+        accesses: &mut [MlpAccessScratch],
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        let (d_model, d_ff) = (mlp.d_model(), mlp.d_ff());
+        ws.ensure(rows, d_model, d_ff);
+        for r in 0..rows {
+            let x = &xs[r * d_model..(r + 1) * d_model];
+            // split borrow: the row workspace is disjoint from the stacked
+            // output buffer
+            let MlpBatchWorkspace { y, row_ws, .. } = ws;
+            self.forward_scratch(layer, mlp, x, row_ws, &mut accesses[r], mirrors)?;
+            y[r * d_model..(r + 1) * d_model].copy_from_slice(&row_ws.y);
+        }
+        Ok(())
+    }
+
     /// Human-readable strategy name used in reports.
     fn name(&self) -> String {
         "custom".to_string()
@@ -300,6 +355,27 @@ impl MlpForward for DenseMlp {
     ) -> Result<()> {
         mlp.forward_dense_into(x, ws, mirrors)?;
         access.set_dense();
+        Ok(())
+    }
+
+    fn batch_fusable(&self) -> bool {
+        true
+    }
+
+    fn forward_batch_scratch(
+        &mut self,
+        _layer: usize,
+        mlp: &GluMlp,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut MlpBatchWorkspace,
+        accesses: &mut [MlpAccessScratch],
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        mlp.forward_dense_batch_into(xs, rows, ws, mirrors)?;
+        for access in accesses.iter_mut().take(rows) {
+            access.set_dense();
+        }
         Ok(())
     }
 
@@ -595,6 +671,194 @@ impl GluMlp {
         match mirror {
             Some(t) => Ok(self.w_down.matvec_cols_mirrored(t, glu, active, out)?),
             None => Ok(self.w_down.matvec_cols_into(glu, active, out)?),
+        }
+    }
+
+    // ----- batched (multi-row) variants -----
+    //
+    // `xs` stacks `rows` activation vectors row-major; every helper is
+    // bitwise identical to calling its single-row counterpart once per row
+    // (the batched kernels never reorder a reduction), while passing over
+    // each weight matrix once per batch.
+
+    /// Adds the gate bias to every stacked row (no-op without a bias).
+    fn add_gate_bias_rows(&self, out: &mut [f32], rows: usize) {
+        if let Some(bias) = &self.gate_bias {
+            let d_ff = self.d_ff();
+            for r in 0..rows {
+                for (gi, bi) in out[r * d_ff..(r + 1) * d_ff].iter_mut().zip(bias.iter()) {
+                    *gi += bi;
+                }
+            }
+        }
+    }
+
+    /// Batched [`GluMlp::up_activations_into`] over `rows` stacked inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error from the batched kernel.
+    pub fn up_activations_batch_into(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => Ok(self.w_up.matvec_batch_mirrored(t, xs, rows, out)?),
+            None => Ok(self.w_up.matvec_batch_into(xs, rows, out)?),
+        }
+    }
+
+    /// Batched [`GluMlp::gate_activations_into`] over `rows` stacked inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error from the batched kernel.
+    pub fn gate_activations_batch_into(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => self.w_gate.matvec_batch_mirrored(t, xs, rows, out)?,
+            None => self.w_gate.matvec_batch_into(xs, rows, out)?,
+        }
+        self.add_gate_bias_rows(out, rows);
+        // element-wise non-linearity: applying it to the stacked buffer is
+        // identical to applying it per row
+        self.activation.apply(&mut out[..rows * self.d_ff()]);
+        Ok(())
+    }
+
+    /// One column-sparse weight pass over a CSR batch: the mirrored
+    /// per-row axpy formulation when a mirror exists (the fastest
+    /// single-row kernel; the small mirror stays cache-resident across the
+    /// batch), the fused gathered row-outer kernel otherwise. Both are
+    /// bitwise identical to per-row [`Matrix::matvec_cols_into`].
+    #[allow(clippy::too_many_arguments)]
+    fn cols_batch(
+        matrix: &Matrix,
+        mirror: Option<&Matrix>,
+        xs: &[f32],
+        rows: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
+        match mirror {
+            Some(t) => {
+                let (n_rows, n_cols) = matrix.shape();
+                for r in 0..rows {
+                    matrix.matvec_cols_mirrored(
+                        t,
+                        &xs[r * n_cols..(r + 1) * n_cols],
+                        &indices[offsets[r]..offsets[r + 1]],
+                        &mut out[r * n_rows..(r + 1) * n_rows],
+                    )?;
+                }
+                Ok(())
+            }
+            None => Ok(matrix.matvec_cols_batch_into(xs, rows, indices, offsets, out)?),
+        }
+    }
+
+    /// Batched [`GluMlp::up_activations_input_pruned_into`]: each row has
+    /// its own active-input list (CSR over `indices`/`offsets`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the underlying sparse kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn up_activations_input_pruned_batch_into(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        Self::cols_batch(&self.w_up, mirror, xs, rows, indices, offsets, out)
+    }
+
+    /// Batched [`GluMlp::gate_activations_input_pruned_into`]: each row has
+    /// its own active-input list (CSR over `indices`/`offsets`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the underlying sparse kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gate_activations_input_pruned_batch_into(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        Self::cols_batch(&self.w_gate, mirror, xs, rows, indices, offsets, out)?;
+        self.add_gate_bias_rows(out, rows);
+        self.activation.apply(&mut out[..rows * self.d_ff()]);
+        Ok(())
+    }
+
+    /// Batched [`GluMlp::down_from_glu_into`]: each row has its own active
+    /// GLU-column list (CSR over `indices`/`offsets`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape or index error from the underlying sparse kernels.
+    #[allow(clippy::too_many_arguments)]
+    pub fn down_from_glu_batch_into(
+        &self,
+        glus: &[f32],
+        rows: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+        mirror: Option<&Matrix>,
+    ) -> Result<()> {
+        Self::cols_batch(&self.w_down, mirror, glus, rows, indices, offsets, out)
+    }
+
+    /// Batched dense forward pass: one weight pass per matrix for the whole
+    /// batch, outputs stacked in [`MlpBatchWorkspace::y`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error from the batched kernels.
+    pub fn forward_dense_batch_into(
+        &self,
+        xs: &[f32],
+        rows: usize,
+        ws: &mut MlpBatchWorkspace,
+        mirrors: Option<&crate::scratch::MlpMirrors>,
+    ) -> Result<()> {
+        ws.ensure(rows, self.d_model(), self.d_ff());
+        self.up_activations_batch_into(xs, rows, &mut ws.up, mirrors.map(|m| &m.up))?;
+        self.gate_activations_batch_into(xs, rows, &mut ws.gate, mirrors.map(|m| &m.gate))?;
+        let n = rows * self.d_ff();
+        for ((g, u), gate) in ws.glu[..n]
+            .iter_mut()
+            .zip(ws.up[..n].iter())
+            .zip(ws.gate[..n].iter())
+        {
+            *g = u * gate;
+        }
+        match mirrors {
+            Some(m) => {
+                Ok(self
+                    .w_down
+                    .matvec_batch_mirrored(&m.down, &ws.glu[..n], rows, &mut ws.y)?)
+            }
+            None => Ok(self
+                .w_down
+                .matvec_batch_into(&ws.glu[..n], rows, &mut ws.y)?),
         }
     }
 

@@ -6,9 +6,22 @@ use crate::error::{LmError, Result};
 use crate::kv_cache::KvCache;
 use crate::mlp::{DenseMlp, GluMlp, MlpAccessRecord, MlpForward};
 use crate::norm::RmsNorm;
-use crate::scratch::DecodeScratch;
+use crate::scratch::{BatchScratch, DecodeScratch};
 use rand::Rng;
 use tensor::{Matrix, Vector, WorkerPool};
+
+/// How a batched forward pass drives the MLP strategies of its rows.
+pub enum BatchStrategies<'a> {
+    /// One strategy instance serves every row: a prefill chunk (all rows are
+    /// one session), or a serving lane whose strategy is
+    /// [`MlpForward::batch_fusable`] (stateless, or state shared by every
+    /// lane member).
+    Fused(&'a mut dyn MlpForward),
+    /// One strategy per row, invoked row by row in batch order — correct
+    /// for any mix of per-session state; only the attention projections and
+    /// the LM head are fused.
+    PerRow(&'a mut [Box<dyn MlpForward>]),
+}
 
 /// One transformer block: pre-norm attention followed by a pre-norm GLU MLP,
 /// both with residual connections.
@@ -285,6 +298,341 @@ impl TransformerModel {
         self.forward_token(token, state, &mut DenseMlp)
     }
 
+    /// Validates one batch row's token id.
+    fn check_token(&self, token: u32) -> Result<()> {
+        if (token as usize) >= self.config.vocab_size {
+            return Err(LmError::TokenOutOfRange {
+                token,
+                vocab: self.config.vocab_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds (or revalidates) the batch scratch's weight mirrors, mirroring
+    /// the per-token management of [`TransformerModel::forward_token_into`].
+    fn ensure_batch_mirrors(&self, scratch: &mut BatchScratch) -> bool {
+        let use_mirrors = scratch.use_mirrors && !tensor::kernels::reference_mode();
+        if use_mirrors
+            && scratch
+                .mirrors
+                .as_ref()
+                .map(|m| !m.matches(self))
+                .unwrap_or(true)
+        {
+            scratch.mirrors = Some(crate::scratch::ModelMirrors::build(self));
+        }
+        use_mirrors
+    }
+
+    /// Fused cross-session decode step: serves **one token each** of `rows`
+    /// distinct sessions through the whole stack in a single pass over the
+    /// weights.
+    ///
+    /// Row `r` feeds `tokens[r]` to `states[r]` exactly as
+    /// [`TransformerModel::forward_token_into`] would: per-row outputs,
+    /// logits (stacked in [`BatchScratch::logits`]) and access records
+    /// ([`BatchScratch::accesses`], indexed `[layer][row]`) are **bitwise
+    /// identical** to serving the rows one at a time in batch order. The
+    /// batched kernels fuse the QKV/output projections, the MLP weight
+    /// passes (per [`BatchStrategies`]) and the LM head across the batch —
+    /// one weight pass per matrix per *batch* instead of per token — while
+    /// the per-session parts (norms, RoPE, KV append, attention, residuals)
+    /// run row by row in batch order through the very same code the
+    /// sequential path uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] for an empty batch or mismatched
+    /// `tokens`/`states`/`strategies` lengths, [`LmError::TokenOutOfRange`]
+    /// for an invalid token, and propagates shape errors from the blocks.
+    pub fn forward_tokens_batch_into(
+        &self,
+        tokens: &[u32],
+        states: &mut [DecodeState],
+        strategies: &mut BatchStrategies<'_>,
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        let rows = tokens.len();
+        if rows == 0 || states.len() != rows {
+            return Err(LmError::BadSequence {
+                reason: format!(
+                    "batch of {rows} tokens does not match {} states",
+                    states.len()
+                ),
+            });
+        }
+        if let BatchStrategies::PerRow(boxes) = strategies {
+            if boxes.len() != rows {
+                return Err(LmError::BadSequence {
+                    reason: format!("batch of {rows} tokens but {} strategies", boxes.len()),
+                });
+            }
+        }
+        for &t in tokens {
+            self.check_token(t)?;
+        }
+        scratch.ensure(rows, &self.config);
+        let d = self.config.d_model;
+        for (r, &t) in tokens.iter().enumerate() {
+            scratch.x[r * d..(r + 1) * d].copy_from_slice(self.embedding.row(t as usize)?);
+        }
+
+        let use_mirrors = self.ensure_batch_mirrors(scratch);
+        let mirrors = if use_mirrors {
+            scratch.mirrors.as_ref()
+        } else {
+            None
+        };
+        let q_dim = self.layers[0].attn.q_dim();
+        let kv_dim = self.layers[0].attn.kv_dim();
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let layer_mirrors = mirrors.map(|m| &m.layers[li]);
+            for r in 0..rows {
+                layer.attn_norm.forward_into(
+                    &scratch.x[r * d..(r + 1) * d],
+                    &mut scratch.normed[r * d..(r + 1) * d],
+                );
+            }
+            layer.attn.project_qkv_batch(
+                &scratch.normed,
+                rows,
+                &mut scratch.q,
+                &mut scratch.k,
+                &mut scratch.v,
+                layer_mirrors.map(|m| &m.attn),
+            )?;
+            for (r, state) in states.iter_mut().enumerate() {
+                let pos = state.pos;
+                layer.attn.attend_row(
+                    pos,
+                    &mut state.kv[li],
+                    &mut scratch.q[r * q_dim..(r + 1) * q_dim],
+                    &mut scratch.k[r * kv_dim..(r + 1) * kv_dim],
+                    &scratch.v[r * kv_dim..(r + 1) * kv_dim],
+                    &mut scratch.attn.scores,
+                    &mut scratch.attn.weights,
+                    &mut scratch.attended[r * q_dim..(r + 1) * q_dim],
+                )?;
+            }
+            layer.attn.project_out_batch(
+                &scratch.attended,
+                rows,
+                &mut scratch.attn_out,
+                layer_mirrors.map(|m| &m.attn),
+            )?;
+            for r in 0..rows {
+                Vector::axpy(
+                    1.0,
+                    &scratch.attn_out[r * d..(r + 1) * d],
+                    &mut scratch.x[r * d..(r + 1) * d],
+                )?;
+                layer.mlp_norm.forward_into(
+                    &scratch.x[r * d..(r + 1) * d],
+                    &mut scratch.normed[r * d..(r + 1) * d],
+                );
+            }
+            let layer_accesses = &mut scratch.accesses[li][..rows];
+            match strategies {
+                BatchStrategies::Fused(strategy) => strategy.forward_batch_scratch(
+                    li,
+                    &layer.mlp,
+                    &scratch.normed,
+                    rows,
+                    &mut scratch.mlp,
+                    layer_accesses,
+                    layer_mirrors.map(|m| &m.mlp),
+                )?,
+                BatchStrategies::PerRow(boxes) => {
+                    for (r, strategy) in boxes.iter_mut().enumerate() {
+                        let crate::scratch::MlpBatchWorkspace { y, row_ws, .. } = &mut scratch.mlp;
+                        strategy.forward_scratch(
+                            li,
+                            &layer.mlp,
+                            &scratch.normed[r * d..(r + 1) * d],
+                            row_ws,
+                            &mut layer_accesses[r],
+                            layer_mirrors.map(|m| &m.mlp),
+                        )?;
+                        y[r * d..(r + 1) * d].copy_from_slice(&row_ws.y);
+                    }
+                }
+            }
+            for r in 0..rows {
+                Vector::axpy(
+                    1.0,
+                    &scratch.mlp.y[r * d..(r + 1) * d],
+                    &mut scratch.x[r * d..(r + 1) * d],
+                )?;
+            }
+        }
+
+        for r in 0..rows {
+            self.final_norm.forward_into(
+                &scratch.x[r * d..(r + 1) * d],
+                &mut scratch.final_normed[r * d..(r + 1) * d],
+            );
+        }
+        match mirrors {
+            Some(m) => self.lm_head.matvec_batch_mirrored(
+                &m.lm_head,
+                &scratch.final_normed,
+                rows,
+                &mut scratch.logits,
+            )?,
+            None => self.lm_head.matvec_batch_into_threaded(
+                &scratch.final_normed,
+                rows,
+                &mut scratch.logits,
+                WorkerPool::global(),
+            )?,
+        }
+        for state in states.iter_mut() {
+            state.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// Chunked prefill: pushes a whole prompt chunk of **one** session
+    /// through each layer as a stacked matrix.
+    ///
+    /// Row `t` is position `state.pos + t`; within a layer, row `t`'s
+    /// attention runs after rows `0..t` appended their KV entries, so it
+    /// sees exactly the causal context the token-at-a-time loop would —
+    /// KV contents, access records and the *last* row's logits (written to
+    /// the last row of [`BatchScratch::logits`]) are bitwise identical to
+    /// feeding the chunk through
+    /// [`TransformerModel::forward_token_into`] token by token. Earlier
+    /// rows' logits are **not** computed: the sequential path computes and
+    /// immediately overwrites them, so skipping the LM head there changes
+    /// no observable value while removing `chunk - 1` head passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] for an empty chunk,
+    /// [`LmError::TokenOutOfRange`] for an invalid token, and propagates
+    /// KV-capacity and shape errors from the blocks.
+    pub fn forward_prompt_into(
+        &self,
+        chunk: &[u32],
+        state: &mut DecodeState,
+        mlp_fw: &mut dyn MlpForward,
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        let rows = chunk.len();
+        if rows == 0 {
+            return Err(LmError::BadSequence {
+                reason: "prompt chunk must contain at least one token".to_string(),
+            });
+        }
+        for &t in chunk {
+            self.check_token(t)?;
+        }
+        scratch.ensure(rows, &self.config);
+        let d = self.config.d_model;
+        for (r, &t) in chunk.iter().enumerate() {
+            scratch.x[r * d..(r + 1) * d].copy_from_slice(self.embedding.row(t as usize)?);
+        }
+
+        let use_mirrors = self.ensure_batch_mirrors(scratch);
+        let mirrors = if use_mirrors {
+            scratch.mirrors.as_ref()
+        } else {
+            None
+        };
+        let q_dim = self.layers[0].attn.q_dim();
+        let kv_dim = self.layers[0].attn.kv_dim();
+        let base = state.pos;
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let layer_mirrors = mirrors.map(|m| &m.layers[li]);
+            for r in 0..rows {
+                layer.attn_norm.forward_into(
+                    &scratch.x[r * d..(r + 1) * d],
+                    &mut scratch.normed[r * d..(r + 1) * d],
+                );
+            }
+            layer.attn.project_qkv_batch(
+                &scratch.normed,
+                rows,
+                &mut scratch.q,
+                &mut scratch.k,
+                &mut scratch.v,
+                layer_mirrors.map(|m| &m.attn),
+            )?;
+            // row t attends after rows 0..t pushed their KV — causal by
+            // construction, identical to the token-at-a-time order
+            for r in 0..rows {
+                layer.attn.attend_row(
+                    base + r,
+                    &mut state.kv[li],
+                    &mut scratch.q[r * q_dim..(r + 1) * q_dim],
+                    &mut scratch.k[r * kv_dim..(r + 1) * kv_dim],
+                    &scratch.v[r * kv_dim..(r + 1) * kv_dim],
+                    &mut scratch.attn.scores,
+                    &mut scratch.attn.weights,
+                    &mut scratch.attended[r * q_dim..(r + 1) * q_dim],
+                )?;
+            }
+            layer.attn.project_out_batch(
+                &scratch.attended,
+                rows,
+                &mut scratch.attn_out,
+                layer_mirrors.map(|m| &m.attn),
+            )?;
+            for r in 0..rows {
+                Vector::axpy(
+                    1.0,
+                    &scratch.attn_out[r * d..(r + 1) * d],
+                    &mut scratch.x[r * d..(r + 1) * d],
+                )?;
+                layer.mlp_norm.forward_into(
+                    &scratch.x[r * d..(r + 1) * d],
+                    &mut scratch.normed[r * d..(r + 1) * d],
+                );
+            }
+            mlp_fw.forward_batch_scratch(
+                li,
+                &layer.mlp,
+                &scratch.normed,
+                rows,
+                &mut scratch.mlp,
+                &mut scratch.accesses[li][..rows],
+                layer_mirrors.map(|m| &m.mlp),
+            )?;
+            for r in 0..rows {
+                Vector::axpy(
+                    1.0,
+                    &scratch.mlp.y[r * d..(r + 1) * d],
+                    &mut scratch.x[r * d..(r + 1) * d],
+                )?;
+            }
+        }
+
+        // only the last row's logits are observable (the sequential loop
+        // overwrites every earlier row's)
+        let last = rows - 1;
+        self.final_norm.forward_into(
+            &scratch.x[last * d..(last + 1) * d],
+            &mut scratch.final_normed[last * d..(last + 1) * d],
+        );
+        let vocab = self.config.vocab_size;
+        let logits_row = &mut scratch.logits[last * vocab..(last + 1) * vocab];
+        let final_row = &scratch.final_normed[last * d..(last + 1) * d];
+        match mirrors {
+            Some(m) => self
+                .lm_head
+                .matvec_mirrored(&m.lm_head, final_row, logits_row)?,
+            None => {
+                self.lm_head
+                    .matvec_into_threaded(final_row, logits_row, WorkerPool::global())?
+            }
+        }
+        state.pos += rows;
+        Ok(())
+    }
+
     /// Samples `n_tokens` continuations of `prompt` at the given temperature.
     ///
     /// With `temperature == 0.0` sampling degenerates to greedy argmax.
@@ -473,6 +821,124 @@ mod tests {
         let lp = out.log_probs().unwrap();
         let sum: f32 = lp.iter().map(|l| l.exp()).sum();
         assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chunked_prefill_is_bitwise_identical_to_token_at_a_time() {
+        let model = tiny_model();
+        let prompt: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+
+        let mut seq_state = model.new_decode_state();
+        let mut seq_scratch = DecodeScratch::for_model(&model);
+        for &t in &prompt {
+            model
+                .forward_token_into(t, &mut seq_state, &mut DenseMlp, &mut seq_scratch)
+                .unwrap();
+        }
+
+        // two chunks of different sizes, through the batched path
+        let mut chunk_state = model.new_decode_state();
+        let mut batch = crate::scratch::BatchScratch::for_model(&model);
+        model
+            .forward_prompt_into(&prompt[..5], &mut chunk_state, &mut DenseMlp, &mut batch)
+            .unwrap();
+        model
+            .forward_prompt_into(&prompt[5..], &mut chunk_state, &mut DenseMlp, &mut batch)
+            .unwrap();
+
+        assert_eq!(chunk_state.pos, seq_state.pos);
+        for (a, b) in chunk_state.kv.iter().zip(seq_state.kv.iter()) {
+            assert_eq!(a.len(), b.len());
+            for t in 0..a.len() {
+                assert_eq!(a.key(t).unwrap(), b.key(t).unwrap(), "KV keys diverged");
+                assert_eq!(a.value(t).unwrap(), b.value(t).unwrap());
+            }
+        }
+        let vocab = model.config.vocab_size;
+        let last = prompt[5..].len() - 1;
+        let chunk_logits = &batch.logits[last * vocab..(last + 1) * vocab];
+        for (i, (a, b)) in chunk_logits
+            .iter()
+            .zip(seq_scratch.logits.iter())
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "logit {i} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_decode_is_bitwise_identical_to_sequential_rows() {
+        let model = tiny_model();
+        let tokens = [5u32, 9, 13, 2];
+        let rows = tokens.len();
+
+        // sequential: each "session" decodes its token on its own state
+        let mut seq_logits = Vec::new();
+        let mut seq_states: Vec<DecodeState> =
+            (0..rows).map(|_| model.new_decode_state()).collect();
+        let mut seq_scratch = DecodeScratch::for_model(&model);
+        for (r, &t) in tokens.iter().enumerate() {
+            // give each session distinct context first
+            model
+                .forward_token_into(
+                    (r as u32) + 1,
+                    &mut seq_states[r],
+                    &mut DenseMlp,
+                    &mut seq_scratch,
+                )
+                .unwrap();
+            model
+                .forward_token_into(t, &mut seq_states[r], &mut DenseMlp, &mut seq_scratch)
+                .unwrap();
+            seq_logits.push(seq_scratch.logits.clone());
+        }
+
+        let mut batch_states: Vec<DecodeState> =
+            (0..rows).map(|_| model.new_decode_state()).collect();
+        let mut batch = crate::scratch::BatchScratch::for_model(&model);
+        let context: Vec<u32> = (0..rows as u32).map(|r| r + 1).collect();
+        let mut fused = BatchStrategies::Fused(&mut DenseMlp);
+        model
+            .forward_tokens_batch_into(&context, &mut batch_states, &mut fused, &mut batch)
+            .unwrap();
+        model
+            .forward_tokens_batch_into(&tokens, &mut batch_states, &mut fused, &mut batch)
+            .unwrap();
+
+        let vocab = model.config.vocab_size;
+        for r in 0..rows {
+            assert_eq!(batch_states[r].pos, seq_states[r].pos);
+            let row = &batch.logits[r * vocab..(r + 1) * vocab];
+            for (i, (a, b)) in row.iter().zip(seq_logits[r].iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r} logit {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_entry_points_validate_inputs() {
+        let model = tiny_model();
+        let mut batch = crate::scratch::BatchScratch::for_model(&model);
+        let mut state = model.new_decode_state();
+        assert!(model
+            .forward_prompt_into(&[], &mut state, &mut DenseMlp, &mut batch)
+            .is_err());
+        assert!(model
+            .forward_prompt_into(&[999], &mut state, &mut DenseMlp, &mut batch)
+            .is_err());
+        let mut fused = BatchStrategies::Fused(&mut DenseMlp);
+        assert!(model
+            .forward_tokens_batch_into(&[], &mut [], &mut fused, &mut batch)
+            .is_err());
+        let mut states = vec![model.new_decode_state()];
+        assert!(model
+            .forward_tokens_batch_into(&[1, 2], &mut states, &mut fused, &mut batch)
+            .is_err());
+        let mut empty: Vec<Box<dyn MlpForward>> = Vec::new();
+        let mut per_row = BatchStrategies::PerRow(&mut empty);
+        assert!(model
+            .forward_tokens_batch_into(&[1], &mut states, &mut per_row, &mut batch)
+            .is_err());
     }
 
     #[test]

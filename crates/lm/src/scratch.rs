@@ -370,6 +370,153 @@ impl MlpWorkspace {
     }
 }
 
+/// Workspace of one batched [`crate::MlpForward::forward_batch_scratch`]
+/// call: `rows` stacked activation vectors flow through the block together.
+///
+/// Activation buffers are row-major stacks (`rows × d_ff` / `rows ×
+/// d_model`); the per-row active-column selections of sparse strategies are
+/// CSR-packed (`active_in[active_in_offsets[r]..active_in_offsets[r + 1]]`
+/// is row `r`'s list) so the batched gathered kernels can share one weight
+/// pass across the whole batch. `row_ws` is a single-row workspace for the
+/// default (row-by-row) implementation and for strategies without a fused
+/// kernel.
+#[derive(Debug, Clone, Default)]
+pub struct MlpBatchWorkspace {
+    /// Up-projection activations (`rows × d_ff`).
+    pub up: Vec<f32>,
+    /// Gate activations or pre-activations (`rows × d_ff`).
+    pub gate: Vec<f32>,
+    /// GLU activations (`rows × d_ff`).
+    pub glu: Vec<f32>,
+    /// The stacked block outputs (`rows × d_model`) — the strategy's result.
+    pub y: Vec<f32>,
+    /// CSR indices of the per-row input-column selections.
+    pub active_in: Vec<usize>,
+    /// CSR offsets of `active_in` (`rows + 1` entries).
+    pub active_in_offsets: Vec<usize>,
+    /// CSR indices of the per-row GLU-column selections.
+    pub active_glu: Vec<usize>,
+    /// CSR offsets of `active_glu` (`rows + 1` entries).
+    pub active_glu_offsets: Vec<usize>,
+    /// Per-row index scratch (one row's selection before CSR packing).
+    pub row_active: Vec<usize>,
+    /// Per-row f32 scratch (top-k magnitude scores).
+    pub scores: Vec<f32>,
+    /// Per-row f32 scratch (re-weighted scores, predictor logits).
+    pub aux: Vec<f32>,
+    /// Per-row boolean scratch (cache-state masks).
+    pub mask: Vec<bool>,
+    /// Single-row workspace for strategies without a fused batch kernel.
+    pub row_ws: MlpWorkspace,
+}
+
+impl MlpBatchWorkspace {
+    /// Resizes the stacked activation buffers for `rows` vectors of a block
+    /// shape (no-op when already sized) and resets the CSR selections.
+    pub fn ensure(&mut self, rows: usize, d_model: usize, d_ff: usize) {
+        self.up.resize(rows * d_ff, 0.0);
+        self.gate.resize(rows * d_ff, 0.0);
+        self.glu.resize(rows * d_ff, 0.0);
+        self.y.resize(rows * d_model, 0.0);
+        self.active_in.clear();
+        self.active_in_offsets.clear();
+        self.active_glu.clear();
+        self.active_glu_offsets.clear();
+        self.row_ws.ensure(d_model, d_ff);
+    }
+}
+
+/// Every buffer a fused multi-row forward pass needs: `rows` stacked tokens
+/// — the sessions of one serving batch lane, or one session's prompt chunk
+/// — flow through each layer together so every weight matrix is passed over
+/// once per *batch* instead of once per token.
+///
+/// Owned by the decode loop / serving engine like [`DecodeScratch`]; the
+/// same ownership rules apply (pure workspace, no cross-step state, buffers
+/// resized lazily and reused). Access records are stored `[layer][row]` so
+/// each layer's batched MLP call sees a contiguous per-row slice.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Stacked residual streams (`rows × d_model`).
+    pub x: Vec<f32>,
+    /// Stacked pre-norm outputs (`rows × d_model`).
+    pub normed: Vec<f32>,
+    /// Stacked attention block outputs (`rows × d_model`).
+    pub attn_out: Vec<f32>,
+    /// Stacked query projections (`rows × n_heads·head_dim`).
+    pub q: Vec<f32>,
+    /// Stacked key projections (`rows × n_kv_heads·head_dim`).
+    pub k: Vec<f32>,
+    /// Stacked value projections (`rows × n_kv_heads·head_dim`).
+    pub v: Vec<f32>,
+    /// Stacked per-head attention outputs (`rows × n_heads·head_dim`).
+    pub attended: Vec<f32>,
+    /// Per-row score/weight scratch (rows run through attention one at a
+    /// time — attention state is per-session — so one buffer is reused).
+    pub attn: AttnScratch,
+    /// Batched MLP workspace.
+    pub mlp: MlpBatchWorkspace,
+    /// Access records of the current batch, indexed `[layer][row]`.
+    pub accesses: Vec<Vec<MlpAccessScratch>>,
+    /// Stacked final-norm outputs (`rows × d_model`).
+    pub final_normed: Vec<f32>,
+    /// Stacked next-token logits (`rows × vocab_size`). Chunked prefill
+    /// fills only the last row (earlier rows' logits are dead values the
+    /// sequential path computed and overwrote).
+    pub logits: Vec<f32>,
+    /// Lazily-built weight mirrors (see [`ModelMirrors`]), revalidated per
+    /// batch exactly like [`DecodeScratch::mirrors`].
+    pub mirrors: Option<ModelMirrors>,
+    /// Whether the batched path may build and use weight mirrors.
+    pub use_mirrors: bool,
+}
+
+impl BatchScratch {
+    /// Creates an (empty) batch scratch; buffers are sized by the first
+    /// batch through [`BatchScratch::ensure`].
+    pub fn new(config: &ModelConfig) -> Self {
+        let mut s = BatchScratch {
+            use_mirrors: true,
+            ..BatchScratch::default()
+        };
+        s.accesses = (0..config.n_layers).map(|_| Vec::new()).collect();
+        // score/weight buffers grow with the attended context; reserving the
+        // maximum up front keeps steady-state batches allocation-free
+        s.attn.scores.reserve(config.n_heads * config.max_seq_len);
+        s.attn.weights.reserve(config.n_heads * config.max_seq_len);
+        s
+    }
+
+    /// Creates a batch scratch for a model.
+    pub fn for_model(model: &TransformerModel) -> Self {
+        BatchScratch::new(&model.config)
+    }
+
+    /// Sizes every stacked buffer for a batch of `rows` tokens (no-op when
+    /// already large enough; buffers keep their capacity across batches).
+    pub fn ensure(&mut self, rows: usize, config: &ModelConfig) {
+        let head_dim = config.d_model / config.n_heads;
+        self.x.resize(rows * config.d_model, 0.0);
+        self.normed.resize(rows * config.d_model, 0.0);
+        self.attn_out.resize(rows * config.d_model, 0.0);
+        self.q.resize(rows * config.n_heads * head_dim, 0.0);
+        self.k.resize(rows * config.n_kv_heads * head_dim, 0.0);
+        self.v.resize(rows * config.n_kv_heads * head_dim, 0.0);
+        self.attended.resize(rows * config.n_heads * head_dim, 0.0);
+        self.mlp.ensure(rows, config.d_model, config.d_ff);
+        if self.accesses.len() != config.n_layers {
+            self.accesses.resize_with(config.n_layers, Vec::new);
+        }
+        for layer in &mut self.accesses {
+            if layer.len() < rows {
+                layer.resize_with(rows, Default::default);
+            }
+        }
+        self.final_normed.resize(rows * config.d_model, 0.0);
+        self.logits.resize(rows * config.vocab_size, 0.0);
+    }
+}
+
 /// Attention workspace: projections, per-head scores and weights.
 #[derive(Debug, Clone, Default)]
 pub struct AttnScratch {

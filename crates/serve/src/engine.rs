@@ -6,15 +6,30 @@
 //! 1. **Admission.** Up to `max_concurrent` sessions hold a KV-cache slot;
 //!    whenever a slot frees, the scheduler admits the next waiting request.
 //!    Decode states are recycled through [`lm::DecodeStatePool`].
-//! 2. **Token loop.** One token is served per step (prefill or decode — the
-//!    memory bus serialises either way); the scheduler picks whose. Every
-//!    served token's weight accesses are recorded into the session's
-//!    [`hwsim::AccessTrace`], and the step's session into the global
+//! 2. **Token loop.** The schedule is token-granular — each schedule
+//!    position serves one token of one session, and the simulated memory
+//!    bus serialises positions — but *execution* is batched
+//!    ([`ExecutionMode::Batched`], the default): the engine groups
+//!    consecutive schedule positions into **batch lanes** (runs of distinct
+//!    same-spec sessions, or one session's prompt chunk) and computes each
+//!    lane in a single fused pass over the weights
+//!    ([`lm::TransformerModel::forward_tokens_batch_into`] /
+//!    [`lm::TransformerModel::forward_prompt_into`]). Lane formation
+//!    re-asks the scheduler *per position* after committing each token's
+//!    bookkeeping, so the schedule — and therefore every recorded access,
+//!    RNG draw, trace and price — is **bitwise identical** to serving one
+//!    token at a time; [`ExecutionMode::Sequential`] keeps the
+//!    token-at-a-time path as the oracle (see
+//!    `tests/batched_equivalence.rs` and DESIGN.md §11). Every served
+//!    token's weight accesses are recorded into the session's
+//!    [`hwsim::AccessTrace`], and the position's session into the global
 //!    interleave order.
 //! 3. **Pricing.** The per-session traces are replayed in that exact order
 //!    through one *shared* DRAM column cache
 //!    ([`hwsim::simulate_concurrent`]), which prices every token and yields
 //!    wall-clock completion times under multi-tenant cache contention.
+//!    Batched execution changes *how fast the host computes* the schedule,
+//!    never the simulated cost of a token.
 //!
 //! The decode pass and the pricing pass are deliberately separate: model
 //! execution decides *which* columns each token needs (for DIP-CA, guided by
@@ -23,20 +38,42 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::error::{Result, ServeError};
-use crate::layout::layout_for_serving;
+use crate::layout::{layout_for_serving, to_token_access_batch_row};
 use crate::report::{
     percentile, OpenLoopStats, Percentiles, RequestStats, ServeReport, StrategyClassStats,
     TierStats,
 };
 use crate::request::{GenRequest, TIERS};
 use crate::scheduler::{AdmissionCandidate, SchedulerPolicy};
-use crate::session::{Session, SessionPhase};
+use crate::session::{PlannedToken, Session, SessionPhase};
 use crate::strategy::{resolve_axes, StrategyFactory, StrategySpec};
 use crate::workload::Workload;
 use hwsim::{simulate_concurrent, AccessTrace, DeviceConfig, EvictionPolicy, TokenPricer};
-use lm::{ActivationTrace, DecodeStatePool, ModelConfig, TransformerModel};
+use lm::mlp::DenseMlp;
+use lm::{
+    ActivationTrace, BatchScratch, BatchStrategies, DecodeStatePool, MlpForward, ModelConfig,
+    TransformerModel,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// How the engine computes the token-granular schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Fuse consecutive schedule positions into batch lanes (cross-session
+    /// fused decode, chunked prefill) — one pass over the weights per lane.
+    /// Bitwise identical to [`ExecutionMode::Sequential`] by construction.
+    #[default]
+    Batched,
+    /// Serve one token at a time through the single-token path. Kept as the
+    /// equivalence oracle for `tests/batched_equivalence.rs` and for
+    /// honest before/after benchmarking.
+    Sequential,
+}
+
+/// Upper bound on a prefill chunk (bounds the batch scratch: logits and
+/// activations scale with the chunk height).
+const MAX_PREFILL_CHUNK: usize = 64;
 
 /// Configuration of a serving deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +97,8 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Admission policy of open-loop runs (ignored by closed batches).
     pub admission: AdmissionConfig,
+    /// Batched-lane or sequential (oracle) execution of the schedule.
+    pub execution: ExecutionMode,
 }
 
 impl ServeConfig {
@@ -76,7 +115,14 @@ impl ServeConfig {
             kv_budget_tokens: None,
             seed: 0x5e42,
             admission: AdmissionConfig::default(),
+            execution: ExecutionMode::default(),
         }
+    }
+
+    /// Returns a copy with the given execution mode.
+    pub fn with_execution(mut self, execution: ExecutionMode) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Returns a copy with the given per-session context budget.
@@ -142,12 +188,56 @@ impl ServeConfig {
     }
 }
 
+/// Which shape of fused pass a batch plan executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanKind {
+    /// A run of consecutive prompt tokens of one session.
+    Chunk,
+    /// One token each of a run of distinct same-spec sessions.
+    Lane,
+}
+
+/// One schedule position of a batch plan.
+#[derive(Debug, Clone, Copy)]
+struct PlanRow {
+    /// Index into the engine's `active` session vector.
+    idx: usize,
+    /// The session's stream id (for the interleave order).
+    stream: usize,
+    /// The planning flags committed for this position.
+    planned: PlannedToken,
+}
+
+/// A planned batch: consecutive scheduler decisions the engine executes in
+/// one fused pass. Buffers are engine-owned and reused across batches.
+#[derive(Default)]
+struct BatchPlan {
+    kind: Option<PlanKind>,
+    rows: Vec<PlanRow>,
+}
+
+/// Reused take-out buffers for batch execution (session states, strategy
+/// boxes and tokens are moved out for the fused call and restored after).
+#[derive(Default)]
+struct ExecBuffers {
+    tokens: Vec<u32>,
+    states: Vec<lm::DecodeState>,
+    strategies: Vec<Box<dyn MlpForward>>,
+}
+
 /// A multi-session token-generation serving engine.
 pub struct ServeEngine {
     model: TransformerModel,
     config: ServeConfig,
     pool: DecodeStatePool,
     calibration: Option<ActivationTrace>,
+    /// Single-token decode workspace (sequential oracle path); persists
+    /// across runs so weight mirrors are built once per engine.
+    scratch: lm::DecodeScratch,
+    /// Fused multi-row workspace (batched path); persists across runs.
+    batch: BatchScratch,
+    plan: BatchPlan,
+    exec: ExecBuffers,
 }
 
 impl ServeEngine {
@@ -158,11 +248,17 @@ impl ServeEngine {
     /// Returns configuration validation errors.
     pub fn new(model: TransformerModel, config: ServeConfig) -> Result<Self> {
         config.validate()?;
+        let scratch = lm::DecodeScratch::for_model(&model);
+        let batch = BatchScratch::for_model(&model);
         Ok(ServeEngine {
             model,
             config,
             pool: DecodeStatePool::new(),
             calibration: None,
+            scratch,
+            batch,
+            plan: BatchPlan::default(),
+            exec: ExecBuffers::default(),
         })
     }
 
@@ -262,6 +358,167 @@ impl ServeEngine {
         Ok(())
     }
 
+    /// Plans the next fused batch: asks the scheduler for the next schedule
+    /// position, commits that position's token (prompt cursor / RNG draw /
+    /// bookkeeping, via [`Session::plan_token`]) and repeats against the
+    /// *updated* session state — so every decision is exactly the one the
+    /// sequential engine would make at that position. Planning stops at any
+    /// boundary where batching could diverge from token-at-a-time serving:
+    ///
+    /// * the scheduler re-picks a session already in the batch (a decode
+    ///   token would depend on an unserved token's logits),
+    /// * the picked session's spec differs from the lane's (one fused MLP
+    ///   pass serves one spec),
+    /// * a planned token completes its session (the freed slot makes the
+    ///   next admission decision due *before* any further token),
+    /// * `allow_multi` is false — the open-loop driver's guard for windows
+    ///   where un-ingested arrivals could change scheduling mid-batch.
+    ///
+    /// A session starting (or continuing) prefill instead plans a prompt
+    /// *chunk*: consecutive positions of that one session, as long as the
+    /// scheduler keeps choosing it.
+    fn plan_batch(
+        scheduler: &SchedulerPolicy,
+        active: &mut [Session],
+        rng: &mut StdRng,
+        step_base: usize,
+        allow_multi: bool,
+        plan: &mut BatchPlan,
+    ) -> Result<()> {
+        plan.rows.clear();
+        let mut step = step_base;
+        let first = scheduler.next_service(active).expect("active is non-empty");
+        if allow_multi
+            && active[first].phase() == SessionPhase::Prefill
+            && active[first].prompt_remaining() >= 2
+        {
+            plan.kind = Some(PlanKind::Chunk);
+            loop {
+                let planned = active[first].plan_token(rng, step)?;
+                active[first].last_served_step = step;
+                plan.rows.push(PlanRow {
+                    idx: first,
+                    stream: active[first].stream,
+                    planned,
+                });
+                step += 1;
+                if planned.prefill_ended || plan.rows.len() >= MAX_PREFILL_CHUNK {
+                    break;
+                }
+                if scheduler.next_service(active) != Some(first) {
+                    break;
+                }
+            }
+            return Ok(());
+        }
+        plan.kind = Some(PlanKind::Lane);
+        let lane_spec = active[first].request.strategy;
+        let mut idx = first;
+        loop {
+            let planned = active[idx].plan_token(rng, step)?;
+            active[idx].last_served_step = step;
+            plan.rows.push(PlanRow {
+                idx,
+                stream: active[idx].stream,
+                planned,
+            });
+            step += 1;
+            if active[idx].remaining_tokens() == 0 || !allow_multi {
+                break;
+            }
+            let Some(next) = scheduler.next_service(active) else {
+                break;
+            };
+            if plan.rows.iter().any(|r| r.idx == next) || active[next].request.strategy != lane_spec
+            {
+                break;
+            }
+            idx = next;
+        }
+        Ok(())
+    }
+
+    /// Executes the current plan in one fused pass: a prompt chunk through
+    /// [`TransformerModel::forward_prompt_into`], a lane through
+    /// [`TransformerModel::forward_tokens_batch_into`] (fused MLP when the
+    /// lane strategy allows it, per-session MLP otherwise). Session states
+    /// and strategy boxes are moved out for the call and restored after.
+    fn execute_batch(&mut self, active: &mut [Session]) -> Result<()> {
+        let ServeEngine {
+            model,
+            batch,
+            plan,
+            exec,
+            ..
+        } = self;
+        exec.tokens.clear();
+        exec.tokens
+            .extend(plan.rows.iter().map(|r| r.planned.token));
+        match plan.kind.expect("executing a planned batch") {
+            PlanKind::Chunk => {
+                let session = &mut active[plan.rows[0].idx];
+                let mut state = take_state(session);
+                let result = model.forward_prompt_into(
+                    &exec.tokens,
+                    &mut state,
+                    session.strategy.as_mut(),
+                    batch,
+                );
+                session.state = state;
+                result?;
+            }
+            PlanKind::Lane => {
+                exec.states.clear();
+                exec.strategies.clear();
+                for row in &plan.rows {
+                    let session = &mut active[row.idx];
+                    exec.states.push(take_state(session));
+                    exec.strategies
+                        .push(std::mem::replace(&mut session.strategy, Box::new(DenseMlp)));
+                }
+                let result = if exec.strategies[0].batch_fusable() {
+                    // one instance may drive the whole lane (stateless or
+                    // lane-shared state — see `MlpForward::batch_fusable`)
+                    let mut mode = BatchStrategies::Fused(exec.strategies[0].as_mut());
+                    model.forward_tokens_batch_into(
+                        &exec.tokens,
+                        &mut exec.states,
+                        &mut mode,
+                        batch,
+                    )
+                } else {
+                    let mut mode = BatchStrategies::PerRow(&mut exec.strategies);
+                    model.forward_tokens_batch_into(
+                        &exec.tokens,
+                        &mut exec.states,
+                        &mut mode,
+                        batch,
+                    )
+                };
+                for (row, (state, strategy)) in plan
+                    .rows
+                    .iter()
+                    .zip(exec.states.drain(..).zip(exec.strategies.drain(..)))
+                {
+                    let session = &mut active[row.idx];
+                    session.state = state;
+                    session.strategy = strategy;
+                }
+                result?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether row `i` of the executed plan produced observable logits (lane
+    /// rows always do; only the last row of a prompt chunk does).
+    fn row_logits_ready(&self, i: usize) -> bool {
+        match self.plan.kind {
+            Some(PlanKind::Lane) => true,
+            _ => i + 1 == self.plan.rows.len(),
+        }
+    }
+
     /// Serves a closed batch of requests to completion and reports
     /// per-request latencies and fleet aggregates.
     ///
@@ -290,9 +547,7 @@ impl ServeEngine {
         let n_streams = requests.len();
         let mut factory = StrategyFactory::new();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        // one decode workspace for the whole engine: sessions are served one
-        // token at a time, and the scratch carries no cross-token state
-        let mut scratch = lm::DecodeScratch::for_model(&self.model);
+        let sequential = self.config.execution == ExecutionMode::Sequential;
         let mut waiting: Vec<GenRequest> = requests;
         let mut active: Vec<Session> = Vec::new();
         let mut finished: Vec<Session> = Vec::new();
@@ -325,33 +580,76 @@ impl ServeEngine {
                 next_stream += 1;
             }
 
-            // Serve one token of one active session.
-            let idx = self
-                .config
-                .scheduler
-                .next_service(&active)
-                .expect("active set is non-empty");
-            let step = order.len();
-            active[idx].step(&self.model, &mut rng, step, &mut scratch)?;
-            active[idx].last_served_step = step;
-            order.push(active[idx].stream);
-            // Let every *other* shared cache-aware model see this traffic:
-            // the physical DRAM cache is shared, so their view must include
-            // co-tenant accesses.
-            factory.observe_cross_traffic_scratch(
-                active[idx].request.strategy.shared_cache_key(),
-                &scratch.accesses,
-                self.model.config.d_model,
-                self.model.config.d_ff,
-            );
+            if sequential {
+                // Oracle path: serve one token of one active session.
+                let idx = self
+                    .config
+                    .scheduler
+                    .next_service(&active)
+                    .expect("active set is non-empty");
+                let step = order.len();
+                active[idx].step(&self.model, &mut rng, step, &mut self.scratch)?;
+                active[idx].last_served_step = step;
+                order.push(active[idx].stream);
+                // Let every *other* shared cache-aware model see this
+                // traffic: the physical DRAM cache is shared, so their view
+                // must include co-tenant accesses.
+                factory.observe_cross_traffic_scratch(
+                    active[idx].request.strategy.shared_cache_key(),
+                    &self.scratch.accesses,
+                    self.model.config.d_model,
+                    self.model.config.d_ff,
+                );
 
-            if active[idx].remaining_tokens() == 0 {
-                let mut session = active.swap_remove(idx);
-                // Return the KV slot's decode state to the pool for the next
-                // admission; the session keeps only its bookkeeping.
-                let state = take_state(&mut session);
-                self.pool.release(state);
-                finished.push(session);
+                if active[idx].remaining_tokens() == 0 {
+                    let mut session = active.swap_remove(idx);
+                    // Return the KV slot's decode state to the pool for the
+                    // next admission; the session keeps its bookkeeping.
+                    let state = take_state(&mut session);
+                    self.pool.release(state);
+                    finished.push(session);
+                }
+            } else {
+                // Batched path: plan a lane/chunk of consecutive schedule
+                // positions and execute it in one fused weight pass, then
+                // settle each position in schedule order (identical traces,
+                // interleave and shared-cache observations).
+                Self::plan_batch(
+                    &self.config.scheduler,
+                    &mut active,
+                    &mut rng,
+                    order.len(),
+                    true,
+                    &mut self.plan,
+                )?;
+                self.execute_batch(&mut active)?;
+                let rows_n = self.plan.rows.len();
+                let vocab = self.model.config.vocab_size;
+                for i in 0..rows_n {
+                    let row = self.plan.rows[i];
+                    let access = to_token_access_batch_row(&self.batch.accesses, i);
+                    let logits = self
+                        .row_logits_ready(i)
+                        .then(|| &self.batch.logits[i * vocab..(i + 1) * vocab]);
+                    active[row.idx].finish_row(access, logits);
+                    order.push(row.stream);
+                    factory.observe_cross_traffic_batch_row(
+                        active[row.idx].request.strategy.shared_cache_key(),
+                        &self.batch.accesses,
+                        i,
+                        self.model.config.d_model,
+                        self.model.config.d_ff,
+                    );
+                }
+                // at most the last planned position's session completed
+                // (the planner breaks a batch at any earlier completion)
+                let last_idx = self.plan.rows[rows_n - 1].idx;
+                if active[last_idx].remaining_tokens() == 0 {
+                    let mut session = active.swap_remove(last_idx);
+                    let state = take_state(&mut session);
+                    self.pool.release(state);
+                    finished.push(session);
+                }
             }
         }
 
@@ -454,7 +752,7 @@ impl ServeEngine {
             ..OpenAccum::default()
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut scratch = lm::DecodeScratch::for_model(&self.model);
+        let sequential = self.config.execution == ExecutionMode::Sequential;
         let mut admission = AdmissionController::new(self.config.admission.clone());
         let mut pending = arrivals.into_iter().peekable();
         let mut parked: Vec<Session> = Vec::new();
@@ -559,69 +857,106 @@ impl ServeEngine {
                 }
             }
 
-            // 4. Serve one token of the scheduler's chosen session and
-            // advance the virtual clock by its online-priced service time.
-            let idx = self
-                .config
-                .scheduler
-                .next_service(&active)
-                .expect("active set is non-empty");
-            let was_prefill = active[idx].phase() == SessionPhase::Prefill;
-            active[idx].step(&self.model, &mut rng, step, &mut scratch)?;
-            active[idx].last_served_step = step;
-            step += 1;
-            let cost = pricer.price_token(
-                active[idx]
-                    .trace
-                    .tokens
-                    .last()
-                    .expect("step recorded its token access"),
-            )?;
-            now += cost.latency_s;
-            acc.hits += cost.hits as u64;
-            acc.misses += cost.misses as u64;
-            acc.flash_bytes += cost.flash_bytes;
-            acc.dram_bytes += cost.dram_bytes;
-            if mlp_bytes > 0.0 {
-                // bytes-weighted MLP density of this token (uniform per-layer
-                // layouts make this identical to the batch replay's
-                // per-(token, block) mean)
-                acc.density_sum += (cost.dram_bytes - static_bytes + cost.flash_bytes) / mlp_bytes;
-            }
-            {
-                let meta = &mut metas[active[idx].stream];
-                meta.service_s += cost.latency_s;
-                meta.hits += cost.hits as u64;
-                meta.misses += cost.misses as u64;
-                meta.flash_bytes += cost.flash_bytes;
-                meta.dram_bytes += cost.dram_bytes;
-                if !was_prefill {
-                    acc.tbt_gaps.push(now - meta.last_completion_s);
-                }
-                if was_prefill
-                    && active[idx].phase() != SessionPhase::Prefill
-                    && active[idx].request.max_new_tokens > 0
-                {
-                    // completing the last prefill step makes the first
-                    // generated token available (same convention as the
-                    // closed-batch report)
-                    meta.first_token_s = now;
-                }
-                meta.last_completion_s = now;
-            }
-            factory.observe_cross_traffic_scratch(
-                active[idx].request.strategy.shared_cache_key(),
-                &scratch.accesses,
-                self.model.config.d_model,
-                self.model.config.d_ff,
-            );
+            // 4. Serve the scheduler's next token(s) and advance the
+            // virtual clock by each token's online-priced service time.
+            if sequential {
+                let idx = self
+                    .config
+                    .scheduler
+                    .next_service(&active)
+                    .expect("active set is non-empty");
+                let planned = active[idx].step(&self.model, &mut rng, step, &mut self.scratch)?;
+                active[idx].last_served_step = step;
+                step += 1;
+                let cost = pricer.price_token(
+                    active[idx]
+                        .trace
+                        .tokens
+                        .last()
+                        .expect("step recorded its token access"),
+                )?;
+                settle_open_loop_token(
+                    &cost,
+                    &planned,
+                    active[idx].request.max_new_tokens,
+                    active[idx].stream,
+                    &mut now,
+                    &mut acc,
+                    &mut metas,
+                    static_bytes,
+                    mlp_bytes,
+                );
+                factory.observe_cross_traffic_scratch(
+                    active[idx].request.strategy.shared_cache_key(),
+                    &self.scratch.accesses,
+                    self.model.config.d_model,
+                    self.model.config.d_ff,
+                );
 
-            if active[idx].remaining_tokens() == 0 {
-                let mut session = active.swap_remove(idx);
-                metas[session.stream].completion_s = now;
-                let state = take_state(&mut session);
-                self.pool.release(state);
-                finished.push(session);
+                if active[idx].remaining_tokens() == 0 {
+                    let mut session = active.swap_remove(idx);
+                    metas[session.stream].completion_s = now;
+                    let state = take_state(&mut session);
+                    self.pool.release(state);
+                    finished.push(session);
+                }
+            } else {
+                // Batch extension is only allowed while no *un-ingested*
+                // arrival could change scheduling mid-batch: either every
+                // arrival is already ingested, or the slots are full under a
+                // non-preemptive policy (then admission between tokens is
+                // provably a no-op and delayed ingestion is equivalent —
+                // see DESIGN.md §11).
+                let allow_multi = pending.peek().is_none()
+                    || (self.config.scheduler != SchedulerPolicy::PriorityPreemptive
+                        && active.len() == self.config.max_concurrent);
+                Self::plan_batch(
+                    &self.config.scheduler,
+                    &mut active,
+                    &mut rng,
+                    step,
+                    allow_multi,
+                    &mut self.plan,
+                )?;
+                self.execute_batch(&mut active)?;
+                let rows_n = self.plan.rows.len();
+                let vocab = self.model.config.vocab_size;
+                for i in 0..rows_n {
+                    let row = self.plan.rows[i];
+                    let access = to_token_access_batch_row(&self.batch.accesses, i);
+                    let cost = pricer.price_token(&access)?;
+                    settle_open_loop_token(
+                        &cost,
+                        &row.planned,
+                        active[row.idx].request.max_new_tokens,
+                        row.stream,
+                        &mut now,
+                        &mut acc,
+                        &mut metas,
+                        static_bytes,
+                        mlp_bytes,
+                    );
+                    let logits = self
+                        .row_logits_ready(i)
+                        .then(|| &self.batch.logits[i * vocab..(i + 1) * vocab]);
+                    active[row.idx].finish_row(access, logits);
+                    factory.observe_cross_traffic_batch_row(
+                        active[row.idx].request.strategy.shared_cache_key(),
+                        &self.batch.accesses,
+                        i,
+                        self.model.config.d_model,
+                        self.model.config.d_ff,
+                    );
+                    step += 1;
+                }
+                let last_idx = self.plan.rows[rows_n - 1].idx;
+                if active[last_idx].remaining_tokens() == 0 {
+                    let mut session = active.swap_remove(last_idx);
+                    metas[session.stream].completion_s = now;
+                    let state = take_state(&mut session);
+                    self.pool.release(state);
+                    finished.push(session);
+                }
             }
         }
 
@@ -1010,6 +1345,50 @@ struct OpenAccum {
     kv_swap_s: f64,
     kv_swap_bytes: f64,
     cache_fraction: f64,
+}
+
+/// Settles one served token of an open-loop run: advances the virtual clock
+/// by its priced service time and updates the fleet and per-session
+/// accounting. One function serves both execution modes, so their
+/// arithmetic cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn settle_open_loop_token(
+    cost: &hwsim::TokenCost,
+    planned: &PlannedToken,
+    max_new_tokens: usize,
+    stream: usize,
+    now: &mut f64,
+    acc: &mut OpenAccum,
+    metas: &mut [OpenMeta],
+    static_bytes: f64,
+    mlp_bytes: f64,
+) {
+    *now += cost.latency_s;
+    acc.hits += cost.hits as u64;
+    acc.misses += cost.misses as u64;
+    acc.flash_bytes += cost.flash_bytes;
+    acc.dram_bytes += cost.dram_bytes;
+    if mlp_bytes > 0.0 {
+        // bytes-weighted MLP density of this token (uniform per-layer
+        // layouts make this identical to the batch replay's
+        // per-(token, block) mean)
+        acc.density_sum += (cost.dram_bytes - static_bytes + cost.flash_bytes) / mlp_bytes;
+    }
+    let meta = &mut metas[stream];
+    meta.service_s += cost.latency_s;
+    meta.hits += cost.hits as u64;
+    meta.misses += cost.misses as u64;
+    meta.flash_bytes += cost.flash_bytes;
+    meta.dram_bytes += cost.dram_bytes;
+    if !planned.was_prefill {
+        acc.tbt_gaps.push(*now - meta.last_completion_s);
+    }
+    if planned.prefill_ended && max_new_tokens > 0 {
+        // completing the last prefill step makes the first generated token
+        // available (same convention as the closed-batch report)
+        meta.first_token_s = *now;
+    }
+    meta.last_completion_s = *now;
 }
 
 /// Moves a session's decode state out, leaving an empty placeholder (the

@@ -101,6 +101,29 @@ fn scratch_access_set(buf: &lm::AccessBuf) -> AccessSet {
     }
 }
 
+/// Converts one row of a batch scratch's `[layer][row]` access records into
+/// a simulator trace token — the batched counterpart of
+/// [`to_token_access_scratch`], producing identical tokens for identical
+/// accesses.
+pub fn to_token_access_batch_row(
+    accesses: &[Vec<lm::MlpAccessScratch>],
+    row: usize,
+) -> TokenAccess {
+    TokenAccess {
+        blocks: accesses
+            .iter()
+            .map(|layer| {
+                let a = &layer[row];
+                BlockAccess {
+                    up: scratch_access_set(&a.up),
+                    gate: scratch_access_set(&a.gate),
+                    down: scratch_access_set(&a.down),
+                }
+            })
+            .collect(),
+    }
+}
+
 /// Converts the decode scratch's per-layer access records into a simulator
 /// trace token (the only allocation a served token makes: the trace itself
 /// must own its indices).

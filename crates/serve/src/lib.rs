@@ -69,6 +69,7 @@ pub mod workload;
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason, TokenBucket,
 };
+pub use engine::ExecutionMode;
 pub use engine::{ServeConfig, ServeEngine};
 pub use error::{Result, ServeError};
 pub use report::{
@@ -78,8 +79,6 @@ pub use report::{
 pub use request::{GenRequest, SloTarget, Tier, TIERS};
 pub use scheduler::SchedulerPolicy;
 pub use session::{Session, SessionPhase};
-#[allow(deprecated)]
-pub use strategy::SparsityPolicy;
 pub use strategy::{
     resolve_axes, NmPattern, PredictorSpec, SharedMlpForward, StrategyFactory, StrategySpec,
 };

@@ -3,7 +3,7 @@
 use crate::error::Result;
 use crate::layout::to_token_access_scratch;
 use crate::request::GenRequest;
-use hwsim::AccessTrace;
+use hwsim::{AccessTrace, TokenAccess};
 use lm::model::sample_from_logits;
 use lm::{DecodeScratch, DecodeState, MlpForward, TransformerModel};
 use rand::rngs::StdRng;
@@ -17,6 +17,19 @@ pub enum SessionPhase {
     Decode,
     /// All requested tokens have been produced.
     Finished,
+}
+
+/// What the engine's batch planner decided for one schedule position (see
+/// `Session::plan_token`).
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedToken {
+    /// The token fed to the model at this position.
+    pub token: u32,
+    /// Whether the position served a prompt (prefill) token.
+    pub was_prefill: bool,
+    /// Whether this position served the *last* prompt token (its completion
+    /// makes the first generated token available).
+    pub prefill_ended: bool,
 }
 
 /// A request that has been admitted and holds a KV-cache slot.
@@ -86,25 +99,26 @@ impl Session {
             + (self.request.max_new_tokens - self.generated.len())
     }
 
-    /// Serves one token (the next prompt token during prefill, a sampled
-    /// continuation during decode), recording its weight accesses and its
-    /// position `step` in the global schedule. The engine-owned `scratch`
-    /// provides every decode buffer; after the call its
-    /// [`DecodeScratch::accesses`] hold the served token's per-layer access
-    /// records for the engine to propagate to co-tenant cache models.
+    /// Prompt tokens still to be prefilled.
+    pub(crate) fn prompt_remaining(&self) -> usize {
+        self.request.prompt.len() - self.next_prompt_idx
+    }
+
+    /// Decides (and commits to) the next token this session serves at
+    /// schedule position `step`: the next prompt token during prefill, a
+    /// token sampled from the last logits during decode. All scheduling
+    /// bookkeeping happens here — prompt cursor, generated list, the
+    /// last-prefill schedule position — so the batch planner can make
+    /// scheduler-faithful decisions *before* any forward pass runs, in
+    /// exactly the order (including RNG draws) the sequential engine would.
     ///
     /// # Errors
     ///
-    /// Propagates forward-pass and sampling errors.
-    pub fn step(
-        &mut self,
-        model: &TransformerModel,
-        rng: &mut StdRng,
-        step: usize,
-        scratch: &mut DecodeScratch,
-    ) -> Result<()> {
+    /// Propagates sampling errors.
+    pub(crate) fn plan_token(&mut self, rng: &mut StdRng, step: usize) -> Result<PlannedToken> {
         debug_assert!(self.phase() != SessionPhase::Finished);
-        let token = if self.next_prompt_idx < self.request.prompt.len() {
+        let was_prefill = self.next_prompt_idx < self.request.prompt.len();
+        let token = if was_prefill {
             let t = self.request.prompt[self.next_prompt_idx];
             self.next_prompt_idx += 1;
             if self.next_prompt_idx == self.request.prompt.len() {
@@ -116,11 +130,58 @@ impl Session {
             self.generated.push(t);
             t
         };
-        model.forward_token_into(token, &mut self.state, self.strategy.as_mut(), scratch)?;
-        self.trace.push(to_token_access_scratch(&scratch.accesses));
-        self.last_logits.clear();
-        self.last_logits.extend_from_slice(&scratch.logits);
-        Ok(())
+        Ok(PlannedToken {
+            token,
+            was_prefill,
+            prefill_ended: was_prefill && self.next_prompt_idx == self.request.prompt.len(),
+        })
+    }
+
+    /// Completes one served token: records its weight accesses into the
+    /// session trace and, when given, the logits it produced. `None` logits
+    /// are the interior rows of a prefill chunk — the sequential path
+    /// computes those logits and immediately overwrites them, so not
+    /// storing them changes no observable value.
+    pub(crate) fn finish_row(&mut self, access: TokenAccess, logits: Option<&[f32]>) {
+        self.trace.push(access);
+        if let Some(logits) = logits {
+            self.last_logits.clear();
+            self.last_logits.extend_from_slice(logits);
+        }
+    }
+
+    /// Serves one token (the next prompt token during prefill, a sampled
+    /// continuation during decode), recording its weight accesses and its
+    /// position `step` in the global schedule. The engine-owned `scratch`
+    /// provides every decode buffer; after the call its
+    /// [`DecodeScratch::accesses`] hold the served token's per-layer access
+    /// records for the engine to propagate to co-tenant cache models.
+    ///
+    /// Returns the planning flags of the served token (what phase it was,
+    /// whether it completed the prompt).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass and sampling errors.
+    pub fn step(
+        &mut self,
+        model: &TransformerModel,
+        rng: &mut StdRng,
+        step: usize,
+        scratch: &mut DecodeScratch,
+    ) -> Result<PlannedToken> {
+        let planned = self.plan_token(rng, step)?;
+        model.forward_token_into(
+            planned.token,
+            &mut self.state,
+            self.strategy.as_mut(),
+            scratch,
+        )?;
+        self.finish_row(
+            to_token_access_scratch(&scratch.accesses),
+            Some(&scratch.logits),
+        );
+        Ok(planned)
     }
 
     /// Schedule position whose completion makes the first generated token

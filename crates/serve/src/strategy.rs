@@ -33,11 +33,6 @@ use lm::{ActivationTrace, MlpForward, SliceAxis, TransformerModel};
 
 pub use dip_core::spec::{NmPattern, PredictorSpec, SharedMlpForward, StrategySpec};
 
-/// Former name of the per-request strategy type, kept as an alias for
-/// downstream code written against the closed pre-spec enum.
-#[deprecated(note = "use `StrategySpec` — the open strategy API shared with `dip_core`")]
-pub type SparsityPolicy = StrategySpec;
-
 /// Builds concrete strategies for one engine run (a thin serving adapter
 /// over [`StrategyRegistry`]).
 pub struct StrategyFactory {
@@ -101,6 +96,21 @@ impl StrategyFactory {
     ) {
         self.registry
             .observe_cross_traffic(served, records, d_model, d_ff);
+    }
+
+    /// Allocation-free cross-traffic observation of one row of a batched
+    /// step, in batch (= schedule) order. See
+    /// [`StrategyRegistry::observe_cross_traffic_batch_row`].
+    pub fn observe_cross_traffic_batch_row(
+        &mut self,
+        served: Option<(u32, u32)>,
+        accesses: &[Vec<lm::MlpAccessScratch>],
+        row: usize,
+        d_model: usize,
+        d_ff: usize,
+    ) {
+        self.registry
+            .observe_cross_traffic_batch_row(served, accesses, row, d_model, d_ff);
     }
 
     /// Allocation-free [`StrategyFactory::observe_cross_traffic`] fed from

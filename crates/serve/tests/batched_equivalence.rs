@@ -1,0 +1,239 @@
+//! The batched engine's contract: fused lanes and chunked prefill change
+//! *how fast the host computes* a schedule, never the schedule itself.
+//!
+//! Every test drives the same traffic through [`ExecutionMode::Batched`]
+//! (the default) and the token-at-a-time [`ExecutionMode::Sequential`]
+//! oracle and requires the full [`serve::ServeReport`]s — every latency,
+//! byte count, hit rate, generated token id and SLO verdict — to be
+//! **equal**, which for `f64` fields means bitwise-identical arithmetic
+//! histories. Lane widths are swept (1 slot / 2 slots / a full fleet), both
+//! fusable (dense, DIP, DIP-CA) and non-fusable (CATS-family) lanes are
+//! covered, preemptive open-loop traffic is included, and batched runs are
+//! repeated across OS threads.
+
+use serve::{
+    ExecutionMode, GenRequest, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, SloTarget,
+    StrategySpec, Tier,
+};
+
+const MODEL_SEED: u64 = 11;
+
+fn engine(slots: usize, scheduler: SchedulerPolicy, mode: ExecutionMode) -> ServeEngine {
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, MODEL_SEED).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        slots,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(slots)
+            .with_scheduler(scheduler)
+            .with_execution(mode),
+    )
+    .unwrap()
+}
+
+/// A mixed-spec closed batch: fused lanes (dense / DIP / shared DIP-CA)
+/// interleaved in one fleet, with a sampled-temperature request so the RNG
+/// draw order is exercised too.
+fn mixed_requests() -> Vec<GenRequest> {
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
+    vec![
+        GenRequest::new(0, vec![1, 2, 3, 4, 5], 6, StrategySpec::Dense),
+        GenRequest::new(1, vec![2, 3], 8, StrategySpec::Dip { density: 0.5 }),
+        GenRequest::new(2, vec![3, 4, 5], 6, dip_ca),
+        GenRequest::new(3, vec![4, 5], 7, StrategySpec::Dense).with_temperature(0.8),
+        GenRequest::new(4, vec![5, 6, 7, 8], 5, dip_ca),
+        GenRequest::new(5, vec![6], 9, StrategySpec::Dip { density: 0.5 }),
+    ]
+}
+
+fn assert_reports_equal(batched: &ServeReport, sequential: &ServeReport, what: &str) {
+    // `ServeReport: PartialEq` compares every f64 by value; equal floats
+    // from equal histories — the whole point of the lane construction
+    assert_eq!(batched, sequential, "{what}: batched != sequential oracle");
+}
+
+#[test]
+fn closed_batch_reports_match_across_lane_widths() {
+    for slots in [1usize, 2, 4, 6] {
+        let report_b = engine(slots, SchedulerPolicy::Fifo, ExecutionMode::Batched)
+            .run(mixed_requests())
+            .unwrap();
+        let report_s = engine(slots, SchedulerPolicy::Fifo, ExecutionMode::Sequential)
+            .run(mixed_requests())
+            .unwrap();
+        assert_reports_equal(&report_b, &report_s, &format!("fifo, {slots} slots"));
+        assert!(report_b.total_generated_tokens > 0);
+    }
+}
+
+#[test]
+fn non_fusable_lanes_fall_back_per_session_and_still_match() {
+    // CATS slices the up/gate matrices along the output axis and carries
+    // calibrated thresholds — lanes of it take the per-session MLP path
+    // inside the fused attention/head batch.
+    let requests: Vec<GenRequest> = (0..5)
+        .map(|i| {
+            GenRequest::new(
+                i,
+                vec![(i % 6) as u32 + 1, 2, 3],
+                5,
+                StrategySpec::Cats { density: 0.5 },
+            )
+        })
+        .collect();
+    let report_b = engine(4, SchedulerPolicy::Fifo, ExecutionMode::Batched)
+        .run(requests.clone())
+        .unwrap();
+    let report_s = engine(4, SchedulerPolicy::Fifo, ExecutionMode::Sequential)
+        .run(requests)
+        .unwrap();
+    assert_reports_equal(&report_b, &report_s, "cats lanes");
+}
+
+#[test]
+fn srf_schedules_match_even_though_lanes_degenerate() {
+    // shortest-remaining-first serves one session to completion: lanes are
+    // width-1 plus prefill chunks, and the reports must still match
+    let report_b = engine(
+        3,
+        SchedulerPolicy::ShortestRemainingFirst,
+        ExecutionMode::Batched,
+    )
+    .run(mixed_requests())
+    .unwrap();
+    let report_s = engine(
+        3,
+        SchedulerPolicy::ShortestRemainingFirst,
+        ExecutionMode::Sequential,
+    )
+    .run(mixed_requests())
+    .unwrap();
+    assert_reports_equal(&report_b, &report_s, "srf");
+}
+
+/// Bursty mixed-tier arrivals that force queueing and preemption. The burst
+/// timing is calibrated to the *simulated* service rate: the virtual clock
+/// is deterministic, so a solo probe run pins down when "mid-generation"
+/// is.
+fn open_loop_arrivals() -> Vec<GenRequest> {
+    let solo = {
+        let mut probe = engine(
+            1,
+            SchedulerPolicy::PriorityPreemptive,
+            ExecutionMode::Sequential,
+        );
+        probe
+            .run_open_loop_requests(vec![GenRequest::new(
+                0,
+                vec![1, 2, 3, 4],
+                20,
+                StrategySpec::Dense,
+            )
+            .with_tier(Tier::Batch)])
+            .unwrap()
+            .makespan_s
+    };
+    let dip = StrategySpec::Dip { density: 0.5 };
+    let dip_ca = StrategySpec::DipCacheAware {
+        density: 0.5,
+        gamma: 0.2,
+    };
+    let mut arrivals = vec![
+        GenRequest::new(0, vec![1, 2, 3, 4], 20, StrategySpec::Dense).with_tier(Tier::Batch),
+        GenRequest::new(1, vec![2, 3, 4], 18, dip)
+            .with_tier(Tier::Batch)
+            .at(0.02 * solo),
+    ];
+    // a premium burst lands mid-generation and must preempt
+    for i in 0..4u64 {
+        arrivals.push(
+            GenRequest::new(2 + i, vec![3 + i as u32, 1], 4, dip_ca)
+                .with_tier(Tier::Premium)
+                .with_slo(SloTarget::new(2.0 * solo, 0.5 * solo))
+                .at((0.3 + 0.05 * i as f64) * solo),
+        );
+    }
+    // standard-tier stragglers, one sampled
+    arrivals.push(
+        GenRequest::new(6, vec![5, 6], 6, StrategySpec::Dense)
+            .with_temperature(0.6)
+            .at(0.5 * solo),
+    );
+    arrivals.push(GenRequest::new(7, vec![6], 5, dip).at(0.6 * solo));
+    arrivals
+}
+
+#[test]
+fn preemptive_open_loop_reports_match_the_sequential_oracle() {
+    for slots in [1usize, 2, 4] {
+        let run = |mode| {
+            engine(slots, SchedulerPolicy::PriorityPreemptive, mode)
+                .run_open_loop_requests(open_loop_arrivals())
+                .unwrap()
+        };
+        let report_b = run(ExecutionMode::Batched);
+        let report_s = run(ExecutionMode::Sequential);
+        assert_reports_equal(&report_b, &report_s, &format!("preemptive, {slots} slots"));
+        if slots < 4 {
+            let ol = report_b.open_loop.as_ref().unwrap();
+            assert!(ol.preemptions > 0, "{slots} slots: traffic must preempt");
+        }
+    }
+}
+
+#[test]
+fn non_preemptive_open_loop_reports_match_under_pressure() {
+    // FIFO with saturated slots: batching is allowed *while arrivals are
+    // still pending* (delayed ingestion is provably equivalent for
+    // non-preemptive policies), which this run exercises heavily
+    let run = |mode| {
+        engine(2, SchedulerPolicy::Fifo, mode)
+            .run_open_loop_requests(open_loop_arrivals())
+            .unwrap()
+    };
+    assert_reports_equal(
+        &run(ExecutionMode::Batched),
+        &run(ExecutionMode::Sequential),
+        "fifo open loop",
+    );
+}
+
+#[test]
+fn batched_runs_are_bitwise_identical_across_os_threads() {
+    let baseline = engine(
+        2,
+        SchedulerPolicy::PriorityPreemptive,
+        ExecutionMode::Batched,
+    )
+    .run_open_loop_requests(open_loop_arrivals())
+    .unwrap();
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                engine(
+                    2,
+                    SchedulerPolicy::PriorityPreemptive,
+                    ExecutionMode::Batched,
+                )
+                .run_open_loop_requests(open_loop_arrivals())
+                .unwrap()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let report = handle.join().expect("thread run completes");
+        assert_eq!(report, baseline, "cross-thread batched run diverged");
+    }
+}

@@ -820,13 +820,32 @@ impl Matrix {
         Ok(())
     }
 
-    /// Dense matrix–matrix product `C = A B` (small sizes only; used by tests
-    /// and the LoRA/quantization code paths, not the inference hot loop).
+    /// Dense matrix–matrix product `C = A B` through the blocked kernel
+    /// ([`Matrix::matmul_into`]); used by the LoRA/quantization paths and by
+    /// chunked-prefill consumers that want an owned result.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free blocked matrix–matrix product `out = self · other`.
+    ///
+    /// The kernel tiles the right operand and the output into cache-sized
+    /// column/depth panels, but every output element still accumulates its
+    /// `k`-products in ascending order with the historical zero-skip on the
+    /// left operand — so the result is **bitwise identical** to the naive
+    /// triple loop preserved in [`crate::reference::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != other.rows`
+    /// or `out` is not `(self.rows, other.cols)`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != other.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -834,20 +853,387 @@ impl Matrix {
                 found: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    let v = out.get(i, j) + a * other.get(k, j);
-                    out.set(i, j, v);
+        if out.shape() != (self.rows, other.cols) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                expected: (self.rows, other.cols),
+                found: out.shape(),
+            });
+        }
+        if crate::kernels::reference_mode() {
+            let naive = crate::reference::matmul(self, other);
+            out.data.copy_from_slice(&naive.data);
+            return Ok(());
+        }
+        // Panel sizes: one (K_TILE × J_TILE) panel of `other` (≤ 16 kB) stays
+        // cache-resident across every row of the output it contributes to.
+        const J_TILE: usize = 64;
+        const K_TILE: usize = 64;
+        let (m, kk) = self.shape();
+        let n = other.cols;
+        out.data.fill(0.0);
+        for jb in (0..n).step_by(J_TILE) {
+            let j_end = (jb + J_TILE).min(n);
+            for kb in (0..kk).step_by(K_TILE) {
+                let k_end = (kb + K_TILE).min(kk);
+                for i in 0..m {
+                    let a_row = &self.data[i * kk + kb..i * kk + k_end];
+                    let out_row = &mut out.data[i * n + jb..i * n + j_end];
+                    for (ko, &av) in a_row.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let b_row = &other.data[(kb + ko) * n + jb..(kb + ko) * n + j_end];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += av * bv;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Validates the shared shapes of the batched (multi-RHS) kernels:
+    /// `xs` holds `k` stacked input vectors row-major, `out` receives `k`
+    /// stacked output vectors row-major.
+    fn check_batch_shapes(&self, xs: &[f32], k: usize, out: &[f32]) -> Result<()> {
+        if xs.len() != k * self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_batch",
+                expected: (k, self.cols),
+                found: (xs.len(), 1),
+            });
+        }
+        if out.len() != k * self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_batch",
+                expected: (k, self.rows),
+                found: (out.len(), 1),
+            });
+        }
+        Ok(())
+    }
+
+    /// Multi-RHS "skinny GEMM": computes `W x_s` for `k` stacked activation
+    /// vectors in **one pass over the weights**.
+    ///
+    /// `xs` holds the `k` input vectors row-major (`k × cols`); `out`
+    /// receives the `k` output vectors row-major (`k × rows`). Each
+    /// `(row, rhs)` output is one sequential dot product in exactly the
+    /// naive order, so every output row is bitwise identical to a separate
+    /// [`Matrix::matvec_into`] on that RHS — the fusion only amortises the
+    /// weight traffic: a quad of weight rows is loaded once and reused by
+    /// all `k` vectors while cache-resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for bad `xs`/`out` lengths.
+    pub fn matvec_batch_into(&self, xs: &[f32], k: usize, out: &mut [f32]) -> Result<()> {
+        self.check_batch_shapes(xs, k, out)?;
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_batch_into(self, xs, k, out);
+            return Ok(());
+        }
+        self.matvec_batch_rows_range(xs, k, 0, self.rows, out);
+        Ok(())
+    }
+
+    /// Computes output rows `[lo, hi)` of the batched product for all `k`
+    /// RHS vectors (shapes pre-validated). `out` is the full `k × rows`
+    /// buffer; only the `[lo, hi)` slice of each RHS row is written.
+    fn matvec_batch_rows_range(&self, xs: &[f32], k: usize, lo: usize, hi: usize, out: &mut [f32]) {
+        let (rows, cols) = self.shape();
+        let mut r = lo;
+        while r + 4 <= hi {
+            let base = r * cols;
+            let r0 = &self.data[base..base + cols];
+            let r1 = &self.data[base + cols..base + 2 * cols];
+            let r2 = &self.data[base + 2 * cols..base + 3 * cols];
+            let r3 = &self.data[base + 3 * cols..base + 4 * cols];
+            for s in 0..k {
+                let x = &xs[s * cols..(s + 1) * cols];
+                let (a0, a1, a2, a3) = dot4(x, r0, r1, r2, r3);
+                let o = &mut out[s * rows + r..s * rows + r + 4];
+                o[0] = a0;
+                o[1] = a1;
+                o[2] = a2;
+                o[3] = a3;
+            }
+            r += 4;
+        }
+        while r < hi {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for s in 0..k {
+                out[s * rows + r] = dot1(&xs[s * cols..(s + 1) * cols], row);
+            }
+            r += 1;
+        }
+    }
+
+    /// Batched dense product through a pre-transposed mirror
+    /// (`mirror == self.transpose()`): the column-outer formulation of
+    /// [`Matrix::matvec_batch_into`]. Each RHS accumulates column
+    /// contributions in ascending order — the same addition sequence as the
+    /// sequential row dot — so every output row is bitwise identical to
+    /// [`Matrix::matvec_mirrored`] / [`Matrix::matvec`] on that RHS, while a
+    /// quad of mirror rows is loaded once for all `k` vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a non-transposed mirror or
+    /// bad `xs`/`out` lengths.
+    pub fn matvec_batch_mirrored(
+        &self,
+        mirror: &Matrix,
+        xs: &[f32],
+        k: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        if mirror.shape() != (self.cols, self.rows) {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_batch",
+                expected: (self.cols, self.rows),
+                found: mirror.shape(),
+            });
+        }
+        self.check_batch_shapes(xs, k, out)?;
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_batch_into(self, xs, k, out);
+            return Ok(());
+        }
+        out.fill(0.0);
+        let (rows, cols) = self.shape();
+        if k >= 16 {
+            // Tall batches (prefill chunks): keep one SEG-wide output
+            // segment in registers across the *entire* column loop, so each
+            // output is loaded and stored exactly once per call and the
+            // mirror's SEG-element column band (hot in L1 across all RHS
+            // rows) is the only streamed operand. Per output the accumulation still runs
+            // over ascending columns — bitwise identical to the sequential
+            // row dot.
+            const SEG: usize = 32;
+            let mut jb = 0usize;
+            while jb + SEG <= rows {
+                for s in 0..k {
+                    let x_row = &xs[s * cols..(s + 1) * cols];
+                    let mut acc = [0.0f32; SEG];
+                    for (c, &xv) in x_row.iter().enumerate() {
+                        let w = &mirror.data[c * rows + jb..c * rows + jb + SEG];
+                        for i in 0..SEG {
+                            acc[i] += w[i] * xv;
+                        }
+                    }
+                    out[s * rows + jb..s * rows + jb + SEG].copy_from_slice(&acc);
+                }
+                jb += SEG;
+            }
+            // remainder output rows: scalar accumulators, same order
+            if jb < rows {
+                let tail = rows - jb;
+                for s in 0..k {
+                    let x_row = &xs[s * cols..(s + 1) * cols];
+                    let out_tail = &mut out[s * rows + jb..(s + 1) * rows];
+                    for (c, &xv) in x_row.iter().enumerate() {
+                        let w = &mirror.data[c * rows + jb..c * rows + jb + tail];
+                        for (o, &wv) in out_tail.iter_mut().zip(w.iter()) {
+                            *o += wv * xv;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let mut c = 0usize;
+        while c + 4 <= cols {
+            let base = c * rows;
+            let w0 = &mirror.data[base..base + rows];
+            let w1 = &mirror.data[base + rows..base + 2 * rows];
+            let w2 = &mirror.data[base + 2 * rows..base + 3 * rows];
+            let w3 = &mirror.data[base + 3 * rows..base + 4 * rows];
+            for s in 0..k {
+                let xb = &xs[s * cols + c..s * cols + c + 4];
+                let (x0, x1, x2, x3) = (xb[0], xb[1], xb[2], xb[3]);
+                let o = &mut out[s * rows..(s + 1) * rows];
+                for (i, ov) in o.iter_mut().enumerate() {
+                    let mut acc = *ov;
+                    acc += w0[i] * x0;
+                    acc += w1[i] * x1;
+                    acc += w2[i] * x2;
+                    acc += w3[i] * x3;
+                    *ov = acc;
+                }
+            }
+            c += 4;
+        }
+        while c < cols {
+            let w = &mirror.data[c * rows..(c + 1) * rows];
+            for s in 0..k {
+                let xv = xs[s * cols + c];
+                let o = &mut out[s * rows..(s + 1) * rows];
+                for (ov, &wv) in o.iter_mut().zip(w.iter()) {
+                    *ov += wv * xv;
+                }
+            }
+            c += 1;
+        }
+        Ok(())
+    }
+
+    /// Like [`Matrix::matvec_batch_into`], but row-partitions the weight
+    /// pass across the worker pool for large matrices. Row partitioning
+    /// never splits a dot product, so the result is bitwise identical to the
+    /// sequential batch kernel whatever the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`Matrix::matvec_batch_into`].
+    pub fn matvec_batch_into_threaded(
+        &self,
+        xs: &[f32],
+        k: usize,
+        out: &mut [f32],
+        pool: &WorkerPool,
+    ) -> Result<()> {
+        if self.len() * k < PAR_MIN_ELEMENTS || pool.parallelism() == 1 {
+            return self.matvec_batch_into(xs, k, out);
+        }
+        self.check_batch_shapes(xs, k, out)?;
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_batch_into(self, xs, k, out);
+            return Ok(());
+        }
+        let rows = self.rows;
+        let chunk = chunk_size(rows, pool.parallelism(), 16);
+        let n_row_chunks = rows.div_ceil(chunk);
+        // session-major part list: part (s, ci) lives at index
+        // s * n_row_chunks + ci, and task ci claims that part for every s —
+        // each part is locked by exactly one task, writes stay disjoint
+        let parts: Vec<std::sync::Mutex<(usize, &mut [f32])>> = out
+            .chunks_mut(rows)
+            .flat_map(|session_out| {
+                session_out
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .map(|(ci, c)| std::sync::Mutex::new((ci * chunk, c)))
+            })
+            .collect();
+        pool.run(n_row_chunks, |ci| {
+            for s in 0..k {
+                let mut guard = parts[s * n_row_chunks + ci].lock().expect("chunk lock");
+                let (lo, part) = &mut *guard;
+                let hi = *lo + part.len();
+                // compute rows [lo, hi) of RHS `s` directly into its part
+                let xs_row = &xs[s * self.cols..(s + 1) * self.cols];
+                self.matvec_rows_span(xs_row, *lo, hi, part);
+            }
+        });
+        Ok(())
+    }
+
+    /// Computes output rows `[lo, hi)` of `W x` into `part` (which holds
+    /// exactly `hi - lo` values) with the 4-row-unrolled kernel.
+    fn matvec_rows_span(&self, x: &[f32], lo: usize, hi: usize, part: &mut [f32]) {
+        debug_assert_eq!(part.len(), hi - lo);
+        self.matvec_rows_range(x, lo, part);
+    }
+
+    /// Batched column-sparse product: `k` stacked RHS vectors, each with its
+    /// **own** active-column list in CSR layout (row `s`'s columns are
+    /// `indices[offsets[s]..offsets[s + 1]]`).
+    ///
+    /// The kernel walks weight rows on the outside (quads in flight, each
+    /// row a contiguous cache-resident slice reused by all `k` vectors) and
+    /// gathers each RHS's active columns on the inside **in that RHS's own
+    /// list order** with the exact-zero skip — so every output row is
+    /// bitwise identical to a separate [`Matrix::matvec_cols_into`] on that
+    /// RHS. Sharing the row pass across the batch is what turns `k`
+    /// per-session weight passes into one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for bad `xs`/`out`/`offsets`
+    /// lengths and [`TensorError::IndexOutOfBounds`] for an invalid column
+    /// index (checked up front; `out` is zeroed but otherwise untouched).
+    pub fn matvec_cols_batch_into(
+        &self,
+        xs: &[f32],
+        k: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_batch_shapes(xs, k, out)?;
+        if offsets.len() != k + 1
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) > indices.len()
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_batch",
+                expected: (k + 1, 1),
+                found: (offsets.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        let used = &indices[..offsets[k]];
+        if let Some(&bad) = used.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_cols_batch_into(self, xs, k, indices, offsets, out);
+            return Ok(());
+        }
+        let (rows, cols) = self.shape();
+        let mut r = 0usize;
+        while r + 4 <= rows {
+            let base = r * cols;
+            let r0 = &self.data[base..base + cols];
+            let r1 = &self.data[base + cols..base + 2 * cols];
+            let r2 = &self.data[base + 2 * cols..base + 3 * cols];
+            let r3 = &self.data[base + 3 * cols..base + 4 * cols];
+            for s in 0..k {
+                let x = &xs[s * cols..(s + 1) * cols];
+                let active = &indices[offsets[s]..offsets[s + 1]];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for &c in active {
+                    let xv = x[c];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    a0 += r0[c] * xv;
+                    a1 += r1[c] * xv;
+                    a2 += r2[c] * xv;
+                    a3 += r3[c] * xv;
+                }
+                let o = &mut out[s * rows + r..s * rows + r + 4];
+                o[0] = a0;
+                o[1] = a1;
+                o[2] = a2;
+                o[3] = a3;
+            }
+            r += 4;
+        }
+        while r < rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            for s in 0..k {
+                let x = &xs[s * cols..(s + 1) * cols];
+                let active = &indices[offsets[s]..offsets[s + 1]];
+                let mut acc = 0.0f32;
+                for &c in active {
+                    let xv = x[c];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    acc += row[c] * xv;
+                }
+                out[s * rows + r] = acc;
+            }
+            r += 1;
+        }
+        Ok(())
     }
 
     /// Returns the transpose of this matrix.

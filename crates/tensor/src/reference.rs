@@ -106,6 +106,75 @@ pub fn matvec_t_into(m: &Matrix, x: &[f32], out: &mut [f32]) {
     }
 }
 
+/// Naive batched dense product: one [`matvec_into`] per stacked
+/// right-hand-side row (`xs` holds `k` vectors of `m.cols()` values
+/// row-major; `out` receives `k` rows of `m.rows()` values row-major).
+///
+/// # Panics
+///
+/// Panics if `xs.len() != k * cols` or `out.len() != k * rows`.
+pub fn matvec_batch_into(m: &Matrix, xs: &[f32], k: usize, out: &mut [f32]) {
+    let (rows, cols) = m.shape();
+    assert_eq!(xs.len(), k * cols);
+    assert_eq!(out.len(), k * rows);
+    for (x, o) in xs.chunks_exact(cols).zip(out.chunks_exact_mut(rows)) {
+        matvec_into(m, x, o);
+    }
+}
+
+/// Naive batched column-sparse product: one [`matvec_cols_into`] per stacked
+/// right-hand-side row, each with its own active-column list (CSR layout:
+/// row `s`'s columns are `indices[offsets[s]..offsets[s + 1]]`).
+///
+/// # Panics
+///
+/// Panics on shape mismatches, malformed offsets or an out-of-range index.
+pub fn matvec_cols_batch_into(
+    m: &Matrix,
+    xs: &[f32],
+    k: usize,
+    indices: &[usize],
+    offsets: &[usize],
+    out: &mut [f32],
+) {
+    let (rows, cols) = m.shape();
+    assert_eq!(xs.len(), k * cols);
+    assert_eq!(out.len(), k * rows);
+    assert_eq!(offsets.len(), k + 1);
+    for (s, (x, o)) in xs
+        .chunks_exact(cols)
+        .zip(out.chunks_exact_mut(rows))
+        .enumerate()
+    {
+        matvec_cols_into(m, x, &indices[offsets[s]..offsets[s + 1]], o);
+    }
+}
+
+/// Naive dense matrix–matrix product — the historical
+/// `Matrix::matmul` triple loop (`i`/`k` outer with a zero-skip on the
+/// left operand, ascending `k` accumulation per output).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a.get(i, k);
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                let v = out.get(i, j) + av * b.get(k, j);
+                out.set(i, j, v);
+            }
+        }
+    }
+    out
+}
+
 /// Naive element-by-element transpose (strided scalar walk).
 pub fn transpose(m: &Matrix) -> Matrix {
     let (rows, cols) = m.shape();

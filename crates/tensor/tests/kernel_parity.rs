@@ -138,6 +138,93 @@ proptest! {
     }
 
     #[test]
+    fn matvec_batch_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        k in 1usize..6,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 6 * 24)..(24 * 24 + 6 * 24 + 1)),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let xs = &seedvals[rows * cols..rows * cols + k * cols];
+        let mut naive = vec![0.0f32; k * rows];
+        reference::matvec_batch_into(&m, xs, k, &mut naive);
+
+        // the reference itself is k independent single-RHS references
+        for s in 0..k {
+            let mut single = vec![0.0f32; rows];
+            reference::matvec_into(&m, &xs[s * cols..(s + 1) * cols], &mut single);
+            assert_bits_eq(&naive[s * rows..(s + 1) * rows], &single, "batch reference row");
+        }
+
+        let mut fused = vec![f32::NAN; k * rows];
+        m.matvec_batch_into(xs, k, &mut fused).unwrap();
+        assert_bits_eq(&fused, &naive, "matvec_batch_into");
+
+        let mirror = m.transpose();
+        let mut mirrored = vec![f32::NAN; k * rows];
+        m.matvec_batch_mirrored(&mirror, xs, k, &mut mirrored).unwrap();
+        assert_bits_eq(&mirrored, &naive, "matvec_batch_mirrored");
+
+        for pool in [WorkerPool::new(0), WorkerPool::new(3)] {
+            let mut threaded = vec![f32::NAN; k * rows];
+            m.matvec_batch_into_threaded(xs, k, &mut threaded, &pool).unwrap();
+            assert_bits_eq(&threaded, &naive, "matvec_batch_into_threaded");
+        }
+    }
+
+    #[test]
+    fn matvec_cols_batch_matches_reference(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        k in 1usize..6,
+        seedvals in prop::collection::vec(value(), (24 * 24 + 6 * 24)..(24 * 24 + 6 * 24 + 1)),
+        masks in prop::collection::vec(prop::collection::vec(0usize..24, 0..30), 6..7),
+    ) {
+        let m = matrix(rows, cols, seedvals[..rows * cols].to_vec());
+        let xs = &seedvals[rows * cols..rows * cols + k * cols];
+        // per-RHS active lists in arbitrary order with repeats, CSR-packed
+        let mut indices = Vec::new();
+        let mut offsets = vec![0usize];
+        for mask in masks.iter().take(k) {
+            indices.extend(mask.iter().map(|c| c % cols));
+            offsets.push(indices.len());
+        }
+
+        let mut naive = vec![0.0f32; k * rows];
+        reference::matvec_cols_batch_into(&m, xs, k, &indices, &offsets, &mut naive);
+        let mut fused = vec![f32::NAN; k * rows];
+        m.matvec_cols_batch_into(xs, k, &indices, &offsets, &mut fused).unwrap();
+        assert_bits_eq(&fused, &naive, "matvec_cols_batch_into");
+
+        // and each row equals the single-RHS gathered kernel on its own list
+        for s in 0..k {
+            let mut single = vec![f32::NAN; rows];
+            m.matvec_cols_into(
+                &xs[s * cols..(s + 1) * cols],
+                &indices[offsets[s]..offsets[s + 1]],
+                &mut single,
+            )
+            .unwrap();
+            assert_bits_eq(&fused[s * rows..(s + 1) * rows], &single, "batch vs single cols");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference(
+        m_rows in 1usize..12,
+        inner in 1usize..12,
+        n_cols in 1usize..12,
+        seedvals in prop::collection::vec(value(), (12 * 12 * 2)..(12 * 12 * 2 + 1)),
+    ) {
+        let a = matrix(m_rows, inner, seedvals[..m_rows * inner].to_vec());
+        let b = matrix(inner, n_cols, seedvals[144..144 + inner * n_cols].to_vec());
+        let blocked = a.matmul(&b).unwrap();
+        let naive = reference::matmul(&a, &b);
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        assert_bits_eq(blocked.as_slice(), naive.as_slice(), "matmul");
+    }
+
+    #[test]
     fn blocked_transpose_matches_reference(
         rows in 1usize..40,
         cols in 1usize..40,
@@ -167,6 +254,76 @@ proptest! {
             m.matvec_into_threaded(x, &mut threaded, &pool).unwrap();
             assert_bits_eq(&threaded, &naive, "matvec_into_threaded");
         }
+    }
+}
+
+/// The batched mirrored kernel switches to a register-tiled segment walk
+/// for tall batches (k ≥ 16); force both shapes past every segment and
+/// remainder boundary, including the exact production prefill shape
+/// (chunk 64 at phi3-mini dims).
+#[test]
+fn tall_batch_mirrored_parity_hits_the_tiled_path() {
+    for (rows, cols, k) in [
+        (70usize, 70usize, 24usize),
+        (320, 96, 64),
+        (5, 130, 33),
+        (96, 96, 64),
+        (37, 41, 17),
+    ] {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 2654435761usize) % 997) as f32 / 331.0 - 1.5)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let mirror = m.transpose();
+        let xs: Vec<f32> = (0..k * cols)
+            .map(|i| ((i * 40503) % 641) as f32 / 127.0 - 2.5)
+            .collect();
+        let mut naive = vec![0.0f32; k * rows];
+        reference::matvec_batch_into(&m, &xs, k, &mut naive);
+        let mut tiled = vec![f32::NAN; k * rows];
+        m.matvec_batch_mirrored(&mirror, &xs, k, &mut tiled)
+            .unwrap();
+        assert_bits_eq(&tiled, &naive, "matvec_batch_mirrored (tiled)");
+        let mut fused = vec![f32::NAN; k * rows];
+        m.matvec_batch_into(&xs, k, &mut fused).unwrap();
+        assert_bits_eq(&fused, &naive, "matvec_batch_into (tall)");
+    }
+}
+
+/// The blocked matmul's tile loops (J_TILE = K_TILE = 64) never trigger on
+/// proptest-sized shapes; pin multi-tile shapes with awkward remainders to
+/// the naive reference bitwise.
+#[test]
+fn multi_tile_matmul_matches_reference() {
+    for (m, k, n) in [
+        (70usize, 150usize, 130usize),
+        (64, 64, 64),
+        (1, 200, 65),
+        (130, 1, 70),
+    ] {
+        let a_data: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 2654435761usize) % 997) as f32 / 331.0 - 1.5)
+            .collect();
+        let b_data: Vec<f32> = (0..k * n)
+            .map(|i| {
+                if i % 7 == 0 {
+                    0.0
+                } else {
+                    ((i * 40503) % 641) as f32 / 127.0 - 2.5
+                }
+            })
+            .collect();
+        // exact zeros in the left operand exercise the historical skip
+        let a_data: Vec<f32> = a_data
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| if i % 5 == 0 { 0.0 } else { v })
+            .collect();
+        let a = Matrix::from_vec(m, k, a_data).unwrap();
+        let b = Matrix::from_vec(k, n, b_data).unwrap();
+        let blocked = a.matmul(&b).unwrap();
+        let naive = reference::matmul(&a, &b);
+        assert_bits_eq(blocked.as_slice(), naive.as_slice(), "matmul (multi-tile)");
     }
 }
 

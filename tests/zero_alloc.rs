@@ -76,6 +76,159 @@ fn dense_decode_is_allocation_free_in_steady_state() {
     assert_zero_alloc_decode("dense", Box::new(DenseMlp));
 }
 
+/// Chunked prefill steady state: after one warm-up chunk sizes the batch
+/// scratch (stacked activations, CSR selection buffers, mirrors) and the KV
+/// cache reserves its flat storage, pushing further prompt chunks through
+/// `forward_prompt_into` performs zero heap allocations — no per-step
+/// matrix allocations anywhere in the fused path.
+fn assert_zero_alloc_prefill(name: &str, mut strategy: Box<dyn MlpForward>) {
+    use dynamic_sparsity::lm::BatchScratch;
+
+    let model = build_synthetic(&ModelConfig::tiny(), 7).expect("tiny model builds");
+    let mut state = model.new_decode_state();
+    let mut batch = BatchScratch::for_model(&model);
+    let prompt: Vec<u32> = (0..12u32).map(|i| (i * 7 + 1) % 60).collect();
+
+    // warm-up: two chunk shapes so every stacked buffer reaches steady size
+    model
+        .forward_prompt_into(&prompt, &mut state, strategy.as_mut(), &mut batch)
+        .expect("warm-up chunk");
+    model
+        .forward_prompt_into(&prompt[..5], &mut state, strategy.as_mut(), &mut batch)
+        .expect("warm-up tail chunk");
+    state.reset();
+
+    let before = allocations();
+    model
+        .forward_prompt_into(&prompt, &mut state, strategy.as_mut(), &mut batch)
+        .expect("steady-state chunk");
+    model
+        .forward_prompt_into(&prompt[..5], &mut state, strategy.as_mut(), &mut batch)
+        .expect("steady-state tail chunk");
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: steady-state chunked prefill allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn batched_prefill_is_allocation_free_in_steady_state() {
+    assert_zero_alloc_prefill("dense", Box::new(DenseMlp));
+    assert_zero_alloc_prefill(
+        "dip@0.5/0.5",
+        Box::new(Dip::new(0.5, 0.5).expect("valid densities")),
+    );
+}
+
+/// Cross-session fused decode steady state: one warm batch sizes the
+/// stacked buffers; every further fused step over the same lane width
+/// performs zero heap allocations.
+fn assert_zero_alloc_fused_decode(name: &str, mut strategy: Box<dyn MlpForward>) {
+    use dynamic_sparsity::lm::{BatchScratch, BatchStrategies, DecodeState};
+
+    let model = build_synthetic(&ModelConfig::tiny(), 7).expect("tiny model builds");
+    let rows = 4usize;
+    let mut states: Vec<DecodeState> = (0..rows).map(|_| model.new_decode_state()).collect();
+    let mut batch = BatchScratch::for_model(&model);
+    let tokens_of =
+        |step: u32| -> Vec<u32> { (0..rows as u32).map(|r| (step * 5 + r) % 60).collect() };
+
+    for warm in 0..2u32 {
+        let tokens = tokens_of(warm);
+        let mut fused = BatchStrategies::Fused(strategy.as_mut());
+        model
+            .forward_tokens_batch_into(&tokens, &mut states, &mut fused, &mut batch)
+            .expect("warm-up fused step");
+    }
+
+    let steady: Vec<Vec<u32>> = (2..12u32).map(tokens_of).collect();
+    let before = allocations();
+    for tokens in &steady {
+        let mut fused = BatchStrategies::Fused(strategy.as_mut());
+        model
+            .forward_tokens_batch_into(tokens, &mut states, &mut fused, &mut batch)
+            .expect("steady-state fused step");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{name}: steady-state fused decode allocated {} times over {} steps",
+        after - before,
+        steady.len()
+    );
+}
+
+#[test]
+fn fused_decode_is_allocation_free_in_steady_state() {
+    assert_zero_alloc_fused_decode("dense", Box::new(DenseMlp));
+    assert_zero_alloc_fused_decode(
+        "dip@0.5/0.5",
+        Box::new(Dip::new(0.5, 0.5).expect("valid densities")),
+    );
+}
+
+/// The batched serving engine's steady state: identical closed-batch rounds
+/// (batched prefill chunks + fused decode lanes) allocate *identically* —
+/// any growth across rounds would be a leaked buffer — and the per-token
+/// allocation budget stays bounded by the trace/report bookkeeping that
+/// must own its indices.
+#[test]
+fn batched_engine_rounds_allocate_identically() {
+    use dynamic_sparsity::serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
+
+    let config = ModelConfig::tiny();
+    let model = build_synthetic(&config, 7).expect("tiny model builds");
+    let layout = dynamic_sparsity::serve::layout::layout_for_serving(
+        &config,
+        [dynamic_sparsity::lm::SliceAxis::Input; 3],
+        4.0,
+        4,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+    let device = dynamic_sparsity::hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    // default execution mode: batched lanes
+    let mut engine =
+        ServeEngine::new(model, ServeConfig::new(device).with_max_concurrent(4)).unwrap();
+    let requests = || -> Vec<GenRequest> {
+        (0..8u64)
+            .map(|i| {
+                let spec = if i % 2 == 0 {
+                    StrategySpec::Dense
+                } else {
+                    StrategySpec::Dip { density: 0.5 }
+                };
+                GenRequest::new(i, vec![(i % 7) as u32 + 1, 2, 3, 4], 6, spec)
+            })
+            .collect()
+    };
+
+    // round 0 warms the batch scratch, mirrors, state pool and report paths
+    let warm = engine.run(requests()).unwrap();
+    let tokens = warm.total_prefill_tokens + warm.total_generated_tokens;
+    assert!(tokens >= 80, "enough traffic to average over");
+
+    let mut per_round = Vec::new();
+    for _ in 0..2 {
+        let before = allocations();
+        engine.run(requests()).unwrap();
+        per_round.push(allocations() - before);
+    }
+    assert_eq!(
+        per_round[0], per_round[1],
+        "identical batched rounds must allocate identically"
+    );
+    let per_token = per_round[1] as f64 / tokens as f64;
+    assert!(
+        per_token < 32.0,
+        "batched engine steady state allocates {per_token:.1} times per token"
+    );
+}
+
 #[test]
 fn dip_decode_is_allocation_free_in_steady_state() {
     assert_zero_alloc_decode(
