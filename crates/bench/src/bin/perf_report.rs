@@ -22,11 +22,14 @@
 //! cargo run --release -p bench --bin perf_report -- --quick [--out FILE] [--check BASELINE]
 //! ```
 //!
-//! Writes a flat JSON report (default `BENCH_PR5.json`). With `--check`,
-//! the *speedup ratios* (both sides measured on the current machine, so the
-//! check is host-independent) are compared against the committed baseline
-//! and the process exits non-zero if any single-stream decode, fleet-batch
-//! or prefill speedup regressed by more than 20 %.
+//! Writes a flat JSON report (default `BENCH_PR5.json`) and the same
+//! measurements as a Prometheus text exposition next to it (`<out>.prom`,
+//! one gauge per entry, `mode`/`model` as const labels) so perf numbers
+//! flow through the identical pipeline the serving telemetry uses. With
+//! `--check`, the *speedup ratios* (both sides measured on the current
+//! machine, so the check is host-independent) are compared against the
+//! committed baseline and the process exits non-zero if any single-stream
+//! decode, fleet-batch or prefill speedup regressed by more than 20 %.
 
 use dip_core::strategies::{Dip, DipCacheAware};
 use hwsim::BlockCacheCapacity;
@@ -547,6 +550,30 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&opts.out, &json).expect("write report");
     println!("wrote {}", opts.out);
+
+    // ---- the same entries through the telemetry exposition pipeline ----
+    // one writer, two sinks: the flat JSON above stays the `--check`
+    // baseline format, the exposition below feeds the same scrape tooling
+    // the serving bin's --metrics-out output does
+    let mode = if opts.quick { "quick" } else { "full" };
+    let mut registry =
+        telemetry::MetricsRegistry::with_const_labels(&[("mode", mode), ("model", &config.name)]);
+    for (key, value) in &entries {
+        let unit = if key.ends_with("_ns") {
+            "nanoseconds per call, best-of-reps"
+        } else if key.ends_with("_tps") {
+            "tokens per second of wall clock"
+        } else {
+            "speedup ratio (dimensionless)"
+        };
+        let id = registry.gauge(&format!("perf_{key}"), unit);
+        registry.set(id, *value);
+    }
+    let exposition = telemetry::render_prometheus(&registry);
+    telemetry::check_exposition(&exposition).expect("internal error: invalid exposition");
+    let prom_out = format!("{}.prom", opts.out);
+    std::fs::write(&prom_out, &exposition).expect("write exposition");
+    println!("wrote {prom_out}");
 
     // ---- regression check against the committed baseline ----
     if let Some(baseline_path) = opts.check {

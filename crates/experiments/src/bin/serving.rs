@@ -4,6 +4,9 @@
 //! ```text
 //! serving [smoke|quick|full] [specs.json]                 # closed fleet
 //! serving [smoke|quick|full] --open-loop [workload.json]  # open-loop traffic
+//!     [--metrics-out metrics.prom]   # Prometheus text exposition
+//!     [--trace-out trace.jsonl]      # JSONL span/event + timeline dump
+//!     [--chrome-out trace.json]      # chrome://tracing span export
 //! ```
 //!
 //! Closed fleet: without a spec file the built-in comparison matrix runs;
@@ -17,30 +20,137 @@
 //! admission control and preemptive scheduling on a virtual clock; with a
 //! workload file (see `examples/open_loop_workload.json`) the traffic —
 //! arrival process, request shapes, tiers, SLOs — is declarative too.
+//!
+//! Any exporter flag attaches one telemetry pipeline per cell (the reports
+//! stay bitwise identical — telemetry is write-only) and additionally prints
+//! the first cell's virtual-time timeline. Every written export is
+//! self-validated (Prometheus line format, JSONL well-formedness) and the
+//! timeline's window token sums are checked against the report totals
+//! before anything is written.
 
+use experiments::serving::InstrumentedOpenLoop;
 use experiments::Scale;
 use serve::{StrategySpec, Workload};
+
+struct ExportPaths {
+    metrics: Option<String>,
+    trace: Option<String>,
+    chrome: Option<String>,
+}
+
+impl ExportPaths {
+    fn any(&self) -> bool {
+        self.metrics.is_some() || self.trace.is_some() || self.chrome.is_some()
+    }
+}
+
+/// Validates the instrumented run's cross-checks, writes the requested
+/// exports, and returns the first cell's timeline table.
+fn export(out: &InstrumentedOpenLoop, paths: &ExportPaths) -> Option<String> {
+    // accounting invariant: per-window token counts sum exactly to each
+    // report's served totals — refuse to write exports that don't add up
+    for ((cell, report), (key, tel)) in out.scenario.results.iter().zip(&out.telemetry) {
+        assert_eq!(
+            format!("{}/{}", cell.label, cell.scheduler),
+            *key,
+            "cell order must match telemetry order"
+        );
+        let served = (report.total_prefill_tokens + report.total_generated_tokens) as u64;
+        assert_eq!(
+            tel.timeline().total_tokens(),
+            served,
+            "cell `{key}`: timeline window sums diverge from the report totals"
+        );
+    }
+
+    if let Some(path) = &paths.metrics {
+        let registries: Vec<&serve::MetricsRegistry> =
+            out.telemetry.iter().map(|(_, t)| t.registry()).collect();
+        let text = serve::render_prometheus_merged(&registries);
+        serve::check_exposition(&text)
+            .unwrap_or_else(|e| panic!("internal error: invalid exposition: {e}"));
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        eprintln!(
+            "wrote Prometheus exposition to `{path}` ({} bytes)",
+            text.len()
+        );
+    }
+    if let Some(path) = &paths.trace {
+        let cells: Vec<(&str, &serve::TraceRing)> = out
+            .telemetry
+            .iter()
+            .map(|(key, t)| (key.as_str(), t.ring()))
+            .collect();
+        let mut text = serve::render_trace_jsonl(&cells);
+        for (key, tel) in &out.telemetry {
+            text.push_str(&serve::render_timeline_jsonl(key, tel.timeline()));
+        }
+        serve::check_jsonl(&text)
+            .unwrap_or_else(|e| panic!("internal error: invalid trace JSONL: {e}"));
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        eprintln!("wrote JSONL trace to `{path}` ({} bytes)", text.len());
+    }
+    if let Some(path) = &paths.chrome {
+        let cells: Vec<(&str, &serve::TraceRing)> = out
+            .telemetry
+            .iter()
+            .map(|(key, t)| (key.as_str(), t.ring()))
+            .collect();
+        let text = serve::render_chrome_trace(&cells);
+        serve::check_jsonl(&text)
+            .unwrap_or_else(|e| panic!("internal error: invalid chrome trace: {e}"));
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write `{path}`: {e}"));
+        eprintln!(
+            "wrote chrome://tracing export to `{path}` ({} bytes)",
+            text.len()
+        );
+    }
+
+    out.telemetry.first().map(|(key, tel)| {
+        format!(
+            "\nTimeline of cell `{key}` (window = {:.4}s):\n\n{}",
+            tel.timeline().window_s(),
+            tel.timeline().render_table()
+        )
+    })
+}
 
 fn main() {
     let mut scale = Scale::Quick;
     let mut open_loop = false;
     let mut path: Option<String> = None;
-    for arg in std::env::args().skip(1) {
-        if arg == "--open-loop" || arg == "open-loop" {
-            open_loop = true;
-            continue;
+    let mut paths = ExportPaths {
+        metrics: None,
+        trace: None,
+        chrome: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a file path argument"))
+        };
+        match arg.as_str() {
+            "--open-loop" | "open-loop" => open_loop = true,
+            "--metrics-out" => paths.metrics = Some(flag_value("--metrics-out")),
+            "--trace-out" => paths.trace = Some(flag_value("--trace-out")),
+            "--chrome-out" => paths.chrome = Some(flag_value("--chrome-out")),
+            other => match Scale::parse(other) {
+                Some(s) => scale = s,
+                None => path = Some(other.to_string()),
+            },
         }
-        match Scale::parse(&arg) {
-            Some(s) => scale = s,
-            None => path = Some(arg),
-        }
+    }
+    if paths.any() && !open_loop {
+        panic!("--metrics-out/--trace-out/--chrome-out require --open-loop");
     }
 
     let table = if open_loop {
-        let out = match path {
+        let workload = match path {
             None => {
                 eprintln!("running open-loop serving scenario at {scale:?} scale (calibrated bursty workload)...");
-                experiments::serving::run_open_loop(scale).expect("open-loop scenario failed")
+                experiments::serving::calibrated_open_loop_workload(scale)
+                    .expect("workload calibration failed")
             }
             Some(path) => {
                 let json = std::fs::read_to_string(&path)
@@ -50,11 +160,23 @@ fn main() {
                 eprintln!(
                     "running open-loop serving scenario at {scale:?} scale with workload `{path}`...",
                 );
-                experiments::serving::run_open_loop_with_workload(scale, &workload)
-                    .expect("open-loop scenario failed")
+                workload
             }
         };
-        out.table
+        if paths.any() {
+            let out = experiments::serving::run_open_loop_instrumented(scale, &workload)
+                .expect("open-loop scenario failed");
+            let timeline = export(&out, &paths);
+            let mut rendered = out.scenario.table.to_markdown();
+            if let Some(timeline) = timeline {
+                rendered.push_str(&timeline);
+            }
+            println!("{rendered}");
+            return;
+        }
+        experiments::serving::run_open_loop_with_workload(scale, &workload)
+            .expect("open-loop scenario failed")
+            .table
     } else {
         let out = match path {
             None => {

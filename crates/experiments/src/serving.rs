@@ -391,6 +391,21 @@ pub fn run_open_loop(scale: Scale) -> Result<OpenLoopScenario> {
     run_open_loop_with_workload(scale, &workload)
 }
 
+/// An instrumented open-loop comparison: the scenario plus, per cell, the
+/// detached [`serve::telemetry::EngineTelemetry`] pipeline its engine
+/// recorded into (metrics registry, span ring, virtual-time timeline) —
+/// ready for export via [`serve::render_prometheus_merged`] /
+/// [`serve::render_trace_jsonl`] / [`serve::render_chrome_trace`].
+#[derive(Debug)]
+pub struct InstrumentedOpenLoop {
+    /// The scenario (reports and table), bitwise identical to
+    /// [`run_open_loop_with_workload`] on the same inputs.
+    pub scenario: OpenLoopScenario,
+    /// Per-cell telemetry, in row order, keyed by `"<strategy>/<scheduler>"`
+    /// (the same value baked into each registry's `cell` label).
+    pub telemetry: Vec<(String, serve::telemetry::EngineTelemetry)>,
+}
+
 /// Runs the open-loop comparison for an explicit workload: every cell sees
 /// *identical* traffic (same arrivals, shapes, tiers and SLOs — only the
 /// per-request strategy is overridden to the cell's specs, round-robin), so
@@ -403,6 +418,29 @@ pub fn run_open_loop(scale: Scale) -> Result<OpenLoopScenario> {
 /// Returns [`crate::error::ExpError::Unsupported`] for a cell with no
 /// strategies and propagates engine construction and run errors.
 pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<OpenLoopScenario> {
+    Ok(run_open_loop_impl(scale, workload, false)?.scenario)
+}
+
+/// Runs [`run_open_loop_with_workload`] with one telemetry pipeline attached
+/// per cell (constant label `cell="<strategy>/<scheduler>"`, timeline
+/// windows sized to the workload horizon). Telemetry is write-only, so the
+/// scenario's reports are bitwise identical to the uninstrumented run.
+///
+/// # Errors
+///
+/// Same as [`run_open_loop_with_workload`].
+pub fn run_open_loop_instrumented(
+    scale: Scale,
+    workload: &Workload,
+) -> Result<InstrumentedOpenLoop> {
+    run_open_loop_impl(scale, workload, true)
+}
+
+fn run_open_loop_impl(
+    scale: Scale,
+    workload: &Workload,
+    instrument: bool,
+) -> Result<InstrumentedOpenLoop> {
     let cells = open_loop_cells();
     if let Some(cell) = cells.iter().find(|c| c.strategies.is_empty()) {
         return Err(crate::error::ExpError::Unsupported {
@@ -416,7 +454,11 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
 
     // identical traffic for every cell: generate once, override strategies
     let base_arrivals = workload.generate(config.vocab_size)?;
-    let run_one = |cell: &ServingCell| -> Result<ServeReport> {
+    // ~24 timeline windows across the workload horizon (runs drain a little
+    // past it; the timeline grows on demand for the tail)
+    let window_s = (workload.duration_s / 24.0).max(1e-6);
+    type CellRun = (ServeReport, Option<serve::telemetry::EngineTelemetry>);
+    let run_one = |cell: &ServingCell| -> Result<CellRun> {
         let model = build_synthetic(&config, 13)?;
         let serve_config = ServeConfig::new(device.clone())
             .with_max_concurrent(slots)
@@ -424,6 +466,17 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
             .with_kv_budget(kv_budget)
             .with_admission(AdmissionConfig::default().with_queue_capacity(4096));
         let mut engine = ServeEngine::new(model, serve_config)?;
+        if instrument {
+            let key = format!("{}/{}", cell.label, cell.scheduler);
+            let mut tel = serve::telemetry::EngineTelemetry::new(
+                serve::TelemetryConfig::default().with_timeline_window(window_s),
+                &[("cell", &key)],
+            );
+            tel.pipeline_mut()
+                .timeline
+                .reserve_until(workload.duration_s);
+            engine.attach_telemetry(tel);
+        }
         let arrivals: Vec<GenRequest> = base_arrivals
             .iter()
             .enumerate()
@@ -433,10 +486,11 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
                 r
             })
             .collect();
-        Ok(engine.run_open_loop_requests(arrivals)?)
+        let report = engine.run_open_loop_requests(arrivals)?;
+        Ok((report, engine.take_telemetry()))
     };
 
-    let reports: Vec<Result<ServeReport>> = if cells.len() > 1 {
+    let reports: Vec<Result<CellRun>> = if cells.len() > 1 {
         let run_one = &run_one;
         std::thread::scope(|scope| {
             let handles: Vec<_> = cells
@@ -461,7 +515,9 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
             "Strategy",
             "Scheduler",
             "tok/s",
+            "TTFT p50 ms",
             "TTFT p95 ms",
+            "TTFT p99 ms",
             "TBT p95 ms",
             "queue p95 ms",
             "shed",
@@ -472,8 +528,9 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
     );
 
     let mut results = Vec::new();
-    for (cell, report) in cells.into_iter().zip(reports) {
-        let report = report?;
+    let mut telemetry = Vec::new();
+    for (cell, run) in cells.into_iter().zip(reports) {
+        let (report, tel) = run?;
         let ol = report
             .open_loop
             .as_ref()
@@ -483,7 +540,9 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
             cell.label.clone(),
             cell.scheduler.to_string(),
             format!("{:.2}", report.aggregate_tps),
+            format!("{:.3}", 1e3 * ol.ttft.p50_s),
             format!("{:.3}", 1e3 * ol.ttft.p95_s),
+            format!("{:.3}", 1e3 * ol.ttft.p99_s),
             format!("{:.3}", 1e3 * ol.tbt.p95_s),
             format!("{:.3}", 1e3 * ol.queue_delay.p95_s),
             format!("{}", ol.shed),
@@ -491,14 +550,20 @@ pub fn run_open_loop_with_workload(scale: Scale, workload: &Workload) -> Result<
             format!("{:.1}", 100.0 * premium.slo_attainment),
             format!("{:.1}", 100.0 * ol.slo_attainment),
         ]);
+        if let Some(tel) = tel {
+            telemetry.push((format!("{}/{}", cell.label, cell.scheduler), tel));
+        }
         results.push((cell, report));
     }
 
-    Ok(OpenLoopScenario {
-        scale,
-        workload: workload.clone(),
-        results,
-        table,
+    Ok(InstrumentedOpenLoop {
+        scenario: OpenLoopScenario {
+            scale,
+            workload: workload.clone(),
+            results,
+            table,
+        },
+        telemetry,
     })
 }
 
@@ -627,5 +692,41 @@ mod tests {
         // and buys the premium tier at least as much SLO attainment
         let premium = Tier::Premium.index();
         assert!(prio_ol.tiers[premium].slo_attainment >= fifo_ol.tiers[premium].slo_attainment);
+    }
+
+    #[test]
+    fn instrumented_open_loop_matches_the_bare_run_bitwise() {
+        let workload = calibrated_open_loop_workload(Scale::Smoke).unwrap();
+        let bare = run_open_loop_with_workload(Scale::Smoke, &workload).unwrap();
+        let instrumented = run_open_loop_instrumented(Scale::Smoke, &workload).unwrap();
+
+        // telemetry is write-only: same reports, same rendered table
+        assert_eq!(bare.results, instrumented.scenario.results);
+        assert_eq!(
+            bare.table.to_markdown(),
+            instrumented.scenario.table.to_markdown()
+        );
+
+        // one telemetry pipeline per cell, in row order, and every cell's
+        // timeline windows account for exactly the tokens the report served
+        assert_eq!(instrumented.telemetry.len(), bare.results.len());
+        for ((cell, report), (key, tel)) in bare.results.iter().zip(&instrumented.telemetry) {
+            assert_eq!(*key, format!("{}/{}", cell.label, cell.scheduler));
+            let served = (report.total_prefill_tokens + report.total_generated_tokens) as u64;
+            assert_eq!(tel.timeline().total_tokens(), served);
+            assert!(!tel.ring().is_empty(), "cell `{key}` recorded no events");
+        }
+
+        // the merged exposition carries every cell's const label
+        let registries: Vec<&serve::MetricsRegistry> = instrumented
+            .telemetry
+            .iter()
+            .map(|(_, t)| t.registry())
+            .collect();
+        let text = serve::render_prometheus_merged(&registries);
+        serve::check_exposition(&text).unwrap();
+        for (key, _) in &instrumented.telemetry {
+            assert!(text.contains(&format!("cell=\"{key}\"")));
+        }
     }
 }

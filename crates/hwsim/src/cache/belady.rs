@@ -99,8 +99,11 @@ impl ColumnCache for BeladyColumnCache {
             if self.capacity == 0 || col >= self.n_columns {
                 continue;
             }
-            if self.resident.len() >= self.capacity && !self.evict_one(columns) {
-                continue;
+            if self.resident.len() >= self.capacity {
+                if !self.evict_one(columns) {
+                    continue;
+                }
+                outcome.evictions += 1;
             }
             self.resident.insert(col, ());
         }

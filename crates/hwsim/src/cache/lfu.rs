@@ -158,6 +158,7 @@ impl ColumnCache for LfuColumnCache {
                     continue;
                 }
                 unprotected_resident -= 1;
+                outcome.evictions += 1;
             }
             // the inserted column is part of this access, hence protected:
             // `unprotected_resident` is unchanged by the insertion
@@ -300,8 +301,11 @@ mod tests {
                 if self.capacity == 0 || col >= self.n_columns {
                     continue;
                 }
-                if self.resident.len() >= self.capacity && !self.evict_one(columns) {
-                    continue;
+                if self.resident.len() >= self.capacity {
+                    if !self.evict_one(columns) {
+                        continue;
+                    }
+                    outcome.evictions += 1;
                 }
                 self.resident.insert(col, self.clock);
             }

@@ -75,10 +75,13 @@ impl ColumnCache for LruColumnCache {
             if self.capacity == 0 {
                 continue;
             }
-            if self.resident.len() >= self.capacity && !self.evict_one(columns) {
-                // every resident column is needed by this very token:
-                // load directly to the compute unit without caching
-                continue;
+            if self.resident.len() >= self.capacity {
+                if !self.evict_one(columns) {
+                    // every resident column is needed by this very token:
+                    // load directly to the compute unit without caching
+                    continue;
+                }
+                outcome.evictions += 1;
             }
             self.resident.insert(col, self.clock);
         }

@@ -32,6 +32,8 @@ pub struct AccessOutcome {
     pub hits: usize,
     /// Columns that had to be fetched from Flash.
     pub misses: usize,
+    /// Resident columns evicted to make room for this access's misses.
+    pub evictions: usize,
 }
 
 impl AccessOutcome {
@@ -53,6 +55,7 @@ impl AccessOutcome {
     pub fn accumulate(&mut self, other: AccessOutcome) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -168,12 +171,21 @@ mod tests {
 
     #[test]
     fn outcome_accounting() {
-        let mut a = AccessOutcome { hits: 3, misses: 1 };
+        let mut a = AccessOutcome {
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
         assert_eq!(a.total(), 4);
         assert!((a.hit_rate() - 0.75).abs() < 1e-9);
-        a.accumulate(AccessOutcome { hits: 1, misses: 3 });
+        a.accumulate(AccessOutcome {
+            hits: 1,
+            misses: 3,
+            evictions: 2,
+        });
         assert_eq!(a.hits, 4);
         assert_eq!(a.misses, 4);
+        assert_eq!(a.evictions, 2);
         assert!((AccessOutcome::default().hit_rate() - 1.0).abs() < 1e-9);
     }
 

@@ -37,6 +37,7 @@ impl ColumnCache for NoCache {
         AccessOutcome {
             hits: 0,
             misses: columns.len(),
+            evictions: 0,
         }
     }
 

@@ -44,6 +44,8 @@ pub struct StreamStats {
     pub hits: u64,
     /// Shared-cache misses attributed to this stream's tokens.
     pub misses: u64,
+    /// Shared-cache evictions triggered by this stream's tokens.
+    pub evictions: u64,
     /// Hit rate of this stream's accesses in `[0, 1]`.
     pub hit_rate: f64,
     /// Bytes this stream read from Flash.
@@ -194,6 +196,7 @@ pub fn simulate_concurrent(
             throughput_tps: 0.0,
             hits: 0,
             misses: 0,
+            evictions: 0,
             hit_rate: 1.0,
             flash_bytes: 0.0,
             dram_bytes: 0.0,
@@ -213,6 +216,7 @@ pub fn simulate_concurrent(
         st.completion_s = clock;
         st.hits += cost.hits as u64;
         st.misses += cost.misses as u64;
+        st.evictions += cost.evictions as u64;
         st.flash_bytes += cost.flash_bytes;
         st.dram_bytes += cost.dram_bytes;
         schedule.push((s, cost.latency_s));

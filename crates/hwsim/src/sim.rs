@@ -39,6 +39,8 @@ pub struct SimReport {
     pub hits: u64,
     /// Column-cache misses across all layers and tokens.
     pub misses: u64,
+    /// Resident columns evicted across all layers and tokens.
+    pub evictions: u64,
     /// Column-cache hit rate in `[0, 1]`.
     pub hit_rate: f64,
     /// Fraction of MLP weights that fit in the DRAM cache.
@@ -115,6 +117,8 @@ pub struct TokenCost {
     pub hits: usize,
     /// Column-cache misses across all layers.
     pub misses: usize,
+    /// Resident columns evicted across all layers.
+    pub evictions: usize,
 }
 
 /// Online per-token pricer: the streaming core of the simulator.
@@ -227,6 +231,7 @@ impl TokenPricer {
                 + self.device.flash_read_time(token_flash),
             hits: outcome_token.hits,
             misses: outcome_token.misses,
+            evictions: outcome_token.evictions,
         })
     }
 }
@@ -273,6 +278,7 @@ pub(crate) fn report_from_costs(
         total.accumulate(AccessOutcome {
             hits: c.hits,
             misses: c.misses,
+            evictions: c.evictions,
         });
         total_latency += c.latency_s;
         flash_bytes += c.flash_bytes;
@@ -293,6 +299,7 @@ pub(crate) fn report_from_costs(
         dram_bytes,
         hits: total.hits as u64,
         misses: total.misses as u64,
+        evictions: total.evictions as u64,
         hit_rate: total.hit_rate(),
         cache_fraction,
         mean_density: trace.mean_density(layout),

@@ -373,6 +373,8 @@ impl TransformerModel {
             self.check_token(t)?;
         }
         scratch.ensure(rows, &self.config);
+        scratch.fused_passes += 1;
+        scratch.rows_computed += rows as u64;
         let d = self.config.d_model;
         for (r, &t) in tokens.iter().enumerate() {
             scratch.x[r * d..(r + 1) * d].copy_from_slice(self.embedding.row(t as usize)?);
@@ -530,6 +532,8 @@ impl TransformerModel {
             self.check_token(t)?;
         }
         scratch.ensure(rows, &self.config);
+        scratch.fused_passes += 1;
+        scratch.rows_computed += rows as u64;
         let d = self.config.d_model;
         for (r, &t) in chunk.iter().enumerate() {
             scratch.x[r * d..(r + 1) * d].copy_from_slice(self.embedding.row(t as usize)?);

@@ -469,6 +469,14 @@ pub struct BatchScratch {
     pub mirrors: Option<ModelMirrors>,
     /// Whether the batched path may build and use weight mirrors.
     pub use_mirrors: bool,
+    /// Lifetime count of rows computed by fused passes through this scratch
+    /// (telemetry only — read by the serving engine's metrics export, never
+    /// by any computation).
+    pub rows_computed: u64,
+    /// Lifetime count of fused forward passes through this scratch
+    /// (telemetry only; `rows_computed / fused_passes` is the realised mean
+    /// batch width).
+    pub fused_passes: u64,
 }
 
 impl BatchScratch {

@@ -92,6 +92,21 @@ pub enum ShedReason {
     QueueFull,
 }
 
+impl ShedReason {
+    /// Every reason, in [`ShedReason::index`] order.
+    pub const ALL: [ShedReason; 3] = [
+        ShedReason::RateLimited,
+        ShedReason::TierQuota,
+        ShedReason::QueueFull,
+    ];
+
+    /// Dense index of this reason (matches [`ShedReason::ALL`]); used to
+    /// address per-reason telemetry counters.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl std::fmt::Display for ShedReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

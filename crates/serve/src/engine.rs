@@ -35,6 +35,18 @@
 //! execution decides *which* columns each token needs (for DIP-CA, guided by
 //! the shared cache model), while the hardware replay decides what that
 //! traffic *costs* on a given device.
+//!
+//! # Observability
+//!
+//! The engine is instrumented end to end: attach an
+//! [`crate::telemetry::EngineTelemetry`] pipeline via
+//! [`ServeEngine::attach_telemetry`] and every run records token/shed/
+//! preemption counters, TTFT/TBT/queue-delay histograms, batch-lane widths,
+//! span events on a preallocated ring and a virtual-time timeline — all
+//! through pre-registered handles, so the zero-allocation decode loop stays
+//! allocation-free. Telemetry is write-only from the engine's side; attaching
+//! any sink leaves the [`ServeReport`] bitwise identical
+//! (`tests/open_loop_determinism.rs`).
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::error::{Result, ServeError};
@@ -47,6 +59,7 @@ use crate::request::{GenRequest, TIERS};
 use crate::scheduler::{AdmissionCandidate, SchedulerPolicy};
 use crate::session::{PlannedToken, Session, SessionPhase};
 use crate::strategy::{resolve_axes, StrategyFactory, StrategySpec};
+use crate::telemetry::EngineTelemetry;
 use crate::workload::Workload;
 use hwsim::{simulate_concurrent, AccessTrace, DeviceConfig, EvictionPolicy, TokenPricer};
 use lm::mlp::DenseMlp;
@@ -238,6 +251,9 @@ pub struct ServeEngine {
     batch: BatchScratch,
     plan: BatchPlan,
     exec: ExecBuffers,
+    /// Optional observability pipeline; `None` (the default) costs a single
+    /// branch per hook. Boxed so the engine stays cheap to move.
+    telemetry: Option<Box<EngineTelemetry>>,
 }
 
 impl ServeEngine {
@@ -259,7 +275,26 @@ impl ServeEngine {
             batch,
             plan: BatchPlan::default(),
             exec: ExecBuffers::default(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches an observability pipeline. The engine records into it on
+    /// every run until [`ServeEngine::take_telemetry`]; recording is
+    /// write-only, so reports stay bitwise identical with or without it.
+    pub fn attach_telemetry(&mut self, telemetry: EngineTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// The attached observability pipeline, if any.
+    pub fn telemetry(&self) -> Option<&EngineTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches and returns the observability pipeline (for export after a
+    /// run).
+    pub fn take_telemetry(&mut self) -> Option<EngineTelemetry> {
+        self.telemetry.take().map(|b| *b)
     }
 
     /// The model configuration being served.
@@ -553,6 +588,9 @@ impl ServeEngine {
         let mut finished: Vec<Session> = Vec::new();
         let mut order: Vec<usize> = Vec::new();
         let mut next_stream = 0usize;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_run_start(0.0);
+        }
 
         while !waiting.is_empty() || !active.is_empty() {
             // Admission: fill free KV slots following the scheduler policy.
@@ -570,6 +608,9 @@ impl ServeEngine {
                     self.calibration.as_ref(),
                 )?;
                 let state = self.pool.acquire(&self.model);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_slot_granted(next_stream, &request.strategy.label());
+                }
                 active.push(Session::new(
                     next_stream,
                     request,
@@ -588,9 +629,12 @@ impl ServeEngine {
                     .next_service(&active)
                     .expect("active set is non-empty");
                 let step = order.len();
-                active[idx].step(&self.model, &mut rng, step, &mut self.scratch)?;
+                let planned = active[idx].step(&self.model, &mut rng, step, &mut self.scratch)?;
                 active[idx].last_served_step = step;
                 order.push(active[idx].stream);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_closed_token(active[idx].stream, planned.was_prefill);
+                }
                 // Let every *other* shared cache-aware model see this
                 // traffic: the physical DRAM cache is shared, so their view
                 // must include co-tenant accesses.
@@ -625,6 +669,9 @@ impl ServeEngine {
                 self.execute_batch(&mut active)?;
                 let rows_n = self.plan.rows.len();
                 let vocab = self.model.config.vocab_size;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_plan(self.plan.kind == Some(PlanKind::Chunk), rows_n, 0.0);
+                }
                 for i in 0..rows_n {
                     let row = self.plan.rows[i];
                     let access = to_token_access_batch_row(&self.batch.accesses, i);
@@ -633,6 +680,9 @@ impl ServeEngine {
                         .then(|| &self.batch.logits[i * vocab..(i + 1) * vocab]);
                     active[row.idx].finish_row(access, logits);
                     order.push(row.stream);
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.on_closed_token(row.stream, row.planned.was_prefill);
+                    }
                     factory.observe_cross_traffic_batch_row(
                         active[row.idx].request.strategy.shared_cache_key(),
                         &self.batch.accesses,
@@ -653,6 +703,20 @@ impl ServeEngine {
             }
         }
 
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            // closed batches are priced post hoc, so the virtual clock here
+            // is 0; the report carries the makespan
+            t.on_run_end(
+                0.0,
+                order.len() as u64,
+                active.len(),
+                0,
+                waiting.len(),
+                &self.pool,
+                self.batch.rows_computed,
+                self.batch.fused_passes,
+            );
+        }
         self.build_report(&layout, finished, order, n_streams)
     }
 
@@ -768,6 +832,9 @@ impl ServeEngine {
         let mut now = 0.0f64;
         let mut step = 0usize;
         let mut next_stream = 0usize;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_run_start(now);
+        }
 
         loop {
             // 1. Ingest every arrival the clock has passed; admission
@@ -776,7 +843,10 @@ impl ServeEngine {
             while pending.peek().is_some_and(|r| r.arrival_s <= now) {
                 let request = pending.next().expect("peeked");
                 let at = request.arrival_s;
-                admission.offer(request, at);
+                let verdict = admission.offer(request, at);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_arrival(verdict, admission.queue().len(), at);
+                }
             }
 
             // 2. Fill free KV slots; under PriorityPreemptive, additionally
@@ -797,16 +867,21 @@ impl ServeEngine {
                     };
                     let mut session = active.swap_remove(victim);
                     let state = take_state(&mut session);
+                    let positions = state.pos;
                     let swap_s = self
                         .config
                         .device
-                        .flash_read_time(kv_bytes_per_pos * state.pos as f64);
+                        .flash_read_time(kv_bytes_per_pos * positions as f64);
                     now += swap_s;
                     acc.kv_swap_s += swap_s;
-                    acc.kv_swap_bytes += kv_bytes_per_pos * state.pos as f64;
+                    acc.kv_swap_bytes += kv_bytes_per_pos * positions as f64;
                     self.pool.park(session.stream as u64, state);
                     metas[session.stream].preemptions += 1;
                     acc.preemptions += 1;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.on_preempt(session.stream, positions, swap_s, now);
+                        t.on_kv_swap_bytes(kv_bytes_per_pos * positions as f64);
+                    }
                     parked.push(session);
                 }
                 match candidate {
@@ -824,6 +899,10 @@ impl ServeEngine {
                         acc.kv_swap_s += swap_s;
                         acc.kv_swap_bytes += kv_bytes_per_pos * session.state.pos as f64;
                         acc.resumes += 1;
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.on_resume(session.stream, session.state.pos, swap_s, now);
+                            t.on_kv_swap_bytes(kv_bytes_per_pos * session.state.pos as f64);
+                        }
                         active.push(session);
                     }
                     AdmissionCandidate::Queued(i) => {
@@ -835,6 +914,9 @@ impl ServeEngine {
                             self.calibration.as_ref(),
                         )?;
                         let state = self.pool.acquire(&self.model);
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.on_slot_granted(next_stream, &request.strategy.label());
+                        }
                         metas.push(OpenMeta::new(request.arrival_s, now));
                         active.push(Session::new(next_stream, request, step, state, strategy));
                         next_stream += 1;
@@ -886,6 +968,15 @@ impl ServeEngine {
                     static_bytes,
                     mlp_bytes,
                 );
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_token(
+                        active[idx].stream,
+                        active[idx].request.tier,
+                        &cost,
+                        planned.was_prefill,
+                        now,
+                    );
+                }
                 factory.observe_cross_traffic_scratch(
                     active[idx].request.strategy.shared_cache_key(),
                     &self.scratch.accesses,
@@ -896,6 +987,11 @@ impl ServeEngine {
                 if active[idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(idx);
                     metas[session.stream].completion_s = now;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        let (generated, ttft_s, tbt_s, delay_s, slo) =
+                            completion_stats(&session, &metas[session.stream]);
+                        t.on_complete(session.stream, generated, ttft_s, tbt_s, delay_s, slo, now);
+                    }
                     let state = take_state(&mut session);
                     self.pool.release(state);
                     finished.push(session);
@@ -921,6 +1017,9 @@ impl ServeEngine {
                 self.execute_batch(&mut active)?;
                 let rows_n = self.plan.rows.len();
                 let vocab = self.model.config.vocab_size;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.on_plan(self.plan.kind == Some(PlanKind::Chunk), rows_n, now);
+                }
                 for i in 0..rows_n {
                     let row = self.plan.rows[i];
                     let access = to_token_access_batch_row(&self.batch.accesses, i);
@@ -936,6 +1035,15 @@ impl ServeEngine {
                         static_bytes,
                         mlp_bytes,
                     );
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.on_token(
+                            row.stream,
+                            active[row.idx].request.tier,
+                            &cost,
+                            row.planned.was_prefill,
+                            now,
+                        );
+                    }
                     let logits = self
                         .row_logits_ready(i)
                         .then(|| &self.batch.logits[i * vocab..(i + 1) * vocab]);
@@ -953,6 +1061,11 @@ impl ServeEngine {
                 if active[last_idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(last_idx);
                     metas[session.stream].completion_s = now;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        let (generated, ttft_s, tbt_s, delay_s, slo) =
+                            completion_stats(&session, &metas[session.stream]);
+                        t.on_complete(session.stream, generated, ttft_s, tbt_s, delay_s, slo, now);
+                    }
                     let state = take_state(&mut session);
                     self.pool.release(state);
                     finished.push(session);
@@ -965,6 +1078,18 @@ impl ServeEngine {
             finished.len(),
             "every admitted request drains"
         );
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_run_end(
+                now,
+                step as u64,
+                active.len(),
+                parked.len(),
+                admission.queue().len(),
+                &self.pool,
+                self.batch.rows_computed,
+                self.batch.fused_passes,
+            );
+        }
         Ok(self.build_open_loop_report(finished, metas, admission, acc, now))
     }
 
@@ -1389,6 +1514,27 @@ fn settle_open_loop_token(
         meta.first_token_s = *now;
     }
     meta.last_completion_s = *now;
+}
+
+/// Completion-time latency stats of a drained open-loop session —
+/// `(generated, ttft_s, tbt_mean_s, queue_delay_s, slo_met)` — matching the
+/// report's definitions exactly, so telemetry histograms observe the same
+/// numbers the report later recomputes.
+fn completion_stats(session: &Session, meta: &OpenMeta) -> (usize, f64, f64, f64, bool) {
+    let generated = session.generated.len();
+    let ttft_s = if generated > 0 {
+        meta.first_token_s - meta.arrival_s
+    } else {
+        meta.completion_s - meta.arrival_s
+    };
+    let tbt_mean_s = if generated > 0 {
+        (meta.completion_s - meta.first_token_s) / generated as f64
+    } else {
+        0.0
+    };
+    let queue_delay_s = meta.slot_s - meta.arrival_s;
+    let slo_met = session.request.slo.met(ttft_s, tbt_mean_s);
+    (generated, ttft_s, tbt_mean_s, queue_delay_s, slo_met)
 }
 
 /// Moves a session's decode state out, leaving an empty placeholder (the

@@ -27,7 +27,13 @@
 //! * [`ServeReport`] — per-request latency (p50/p95/p99), aggregate
 //!   tokens/sec, fairness, shared-cache hit rate, and for open-loop runs
 //!   TTFT/TBT/queue-delay percentiles plus SLO attainment per tier and per
-//!   strategy ([`OpenLoopStats`]).
+//!   strategy ([`OpenLoopStats`]),
+//! * [`EngineTelemetry`] — optional zero-allocation observability: attach a
+//!   pipeline via [`ServeEngine::attach_telemetry`] and the engine records
+//!   metrics, span events and a virtual-time timeline without perturbing
+//!   the (bitwise deterministic) report; export with
+//!   [`render_prometheus`] / [`render_trace_jsonl`] /
+//!   [`render_chrome_trace`].
 //!
 //! Specs that need an offline weight transform (SparseGPT static pruning,
 //! LoRA fusing) are rejected per-request — the engine serves one shared
@@ -64,6 +70,7 @@ pub mod request;
 pub mod scheduler;
 pub mod session;
 pub mod strategy;
+pub mod telemetry;
 pub mod workload;
 
 pub use admission::{
@@ -82,4 +89,15 @@ pub use session::{Session, SessionPhase};
 pub use strategy::{
     resolve_axes, NmPattern, PredictorSpec, SharedMlpForward, StrategyFactory, StrategySpec,
 };
+pub use telemetry::EngineTelemetry;
 pub use workload::{ArrivalProcess, RequestTemplate, Workload};
+
+// Re-export the telemetry crate's public surface that appears in this
+// crate's signatures (e.g. `EngineTelemetry::new(TelemetryConfig, ..)`,
+// `EngineTelemetry::ring() -> &TraceRing`), so downstream users can reach
+// every type without depending on the `telemetry` crate directly.
+pub use ::telemetry::{
+    check_exposition, check_jsonl, render_chrome_trace, render_prometheus,
+    render_prometheus_merged, render_timeline_jsonl, render_trace_jsonl, EventKind,
+    MetricsRegistry, SpanEvent, Telemetry, TelemetryConfig, Timeline, TraceRing, WindowStats,
+};

@@ -1,0 +1,462 @@
+//! Engine-side observability: pre-registered handles over a
+//! [`::telemetry::Telemetry`] pipeline.
+//!
+//! [`EngineTelemetry`] owns one pipeline (metrics registry + span ring +
+//! virtual-time timeline) and the integer handles of every series the
+//! serving engine records. All registration — the only allocating metrics
+//! operation — happens in [`EngineTelemetry::new`] or at session admission;
+//! the per-token path (`EngineTelemetry::on_token`) is index arithmetic
+//! plus a ring write, so attaching telemetry keeps the engine's
+//! zero-allocation steady state (`tests/zero_alloc.rs`).
+//!
+//! Telemetry is **observation-only**: the engine writes into it and never
+//! reads a value back, so an attached (or detached, or exporting) pipeline
+//! cannot change a [`crate::report::ServeReport`] —
+//! `tests/open_loop_determinism.rs` pins this bitwise.
+
+use crate::admission::ShedReason;
+use crate::request::{Tier, TIERS};
+use ::telemetry::registry::{LATENCY_BOUNDS_S, WIDTH_BOUNDS};
+use ::telemetry::{
+    CounterId, EventKind, GaugeId, HistogramId, MetricsRegistry, Telemetry, TelemetryConfig,
+    TraceRing,
+};
+
+/// Marks ring events that are not tied to one session's stream.
+const NO_STREAM: u32 = u32::MAX;
+
+/// Every pre-registered handle the engine records through.
+#[derive(Debug)]
+struct Handles {
+    tokens: CounterId,
+    prefill_tokens: CounterId,
+    decode_tokens: CounterId,
+    tier_tokens: [CounterId; 3],
+    arrivals: CounterId,
+    admitted: CounterId,
+    sheds: [CounterId; 3],
+    preemptions: CounterId,
+    resumes: CounterId,
+    kv_swap_bytes: CounterId,
+    kv_swap_seconds: CounterId,
+    cache_hits: CounterId,
+    cache_misses: CounterId,
+    cache_evictions: CounterId,
+    flash_bytes: CounterId,
+    dram_bytes: CounterId,
+    completions: CounterId,
+    slo_met: CounterId,
+    ttft: HistogramId,
+    tbt: HistogramId,
+    queue_delay: HistogramId,
+    token_latency: HistogramId,
+    lane_width: HistogramId,
+    chunk_height: HistogramId,
+    queue_depth: GaugeId,
+    active_sessions: GaugeId,
+    parked_sessions: GaugeId,
+    virtual_time: GaugeId,
+    pool_idle: GaugeId,
+    pool_reuses: GaugeId,
+    pool_builds: GaugeId,
+    batch_rows: GaugeId,
+    batch_passes: GaugeId,
+    trace_dropped: GaugeId,
+}
+
+fn register(registry: &mut MetricsRegistry) -> Handles {
+    let latency = LATENCY_BOUNDS_S.as_slice();
+    let width = WIDTH_BOUNDS.as_slice();
+    let tier_counter = |r: &mut MetricsRegistry, tier: Tier| {
+        r.counter(
+            &format!("serve_tokens_total{{tier=\"{tier}\"}}"),
+            "Tokens served (prefill + decode)",
+        )
+    };
+    let shed_counter = |r: &mut MetricsRegistry, reason: ShedReason| {
+        r.counter(
+            &format!("serve_shed_total{{reason=\"{reason}\"}}"),
+            "Arrivals shed by admission control",
+        )
+    };
+    Handles {
+        tokens: registry.counter("serve_tokens_total", "Tokens served (prefill + decode)"),
+        prefill_tokens: registry.counter("serve_prefill_tokens_total", "Prompt tokens served"),
+        decode_tokens: registry.counter("serve_decode_tokens_total", "Generated tokens served"),
+        tier_tokens: [
+            tier_counter(registry, TIERS[0]),
+            tier_counter(registry, TIERS[1]),
+            tier_counter(registry, TIERS[2]),
+        ],
+        arrivals: registry.counter("serve_arrivals_total", "Requests offered to admission"),
+        admitted: registry.counter("serve_admitted_total", "Requests admitted to the queue"),
+        sheds: [
+            shed_counter(registry, ShedReason::ALL[0]),
+            shed_counter(registry, ShedReason::ALL[1]),
+            shed_counter(registry, ShedReason::ALL[2]),
+        ],
+        preemptions: registry.counter("serve_preemptions_total", "Sessions preempted"),
+        resumes: registry.counter("serve_resumes_total", "Parked sessions resumed"),
+        kv_swap_bytes: registry.counter(
+            "serve_kv_swap_bytes_total",
+            "KV bytes swapped to/from Flash by preemption",
+        ),
+        kv_swap_seconds: registry.counter(
+            "serve_kv_swap_seconds_total",
+            "Virtual seconds spent swapping KV state",
+        ),
+        cache_hits: registry.counter("serve_cache_hits_total", "Shared-cache column hits"),
+        cache_misses: registry.counter("serve_cache_misses_total", "Shared-cache column misses"),
+        cache_evictions: registry.counter(
+            "serve_cache_evictions_total",
+            "Shared-cache columns evicted",
+        ),
+        flash_bytes: registry.counter("serve_flash_bytes_total", "Bytes read from Flash"),
+        dram_bytes: registry.counter("serve_dram_bytes_total", "Bytes read from DRAM"),
+        completions: registry.counter("serve_completions_total", "Requests served to completion"),
+        slo_met: registry.counter("serve_slo_met_total", "Completions that met their SLO"),
+        ttft: registry.histogram(
+            "serve_ttft_seconds",
+            "Time to first token (from arrival)",
+            latency,
+        ),
+        tbt: registry.histogram("serve_tbt_seconds", "Mean time between tokens", latency),
+        queue_delay: registry.histogram(
+            "serve_queue_delay_seconds",
+            "Arrival to first KV-slot grant",
+            latency,
+        ),
+        token_latency: registry.histogram(
+            "serve_token_latency_seconds",
+            "Priced service time of one token",
+            latency,
+        ),
+        lane_width: registry.histogram(
+            "serve_lane_width",
+            "Sessions per cross-session batch lane",
+            width,
+        ),
+        chunk_height: registry.histogram(
+            "serve_chunk_height",
+            "Prompt tokens per prefill chunk",
+            width,
+        ),
+        queue_depth: registry.gauge("serve_queue_depth", "Waiting requests"),
+        active_sessions: registry.gauge("serve_active_sessions", "Sessions holding a KV slot"),
+        parked_sessions: registry.gauge("serve_parked_sessions", "Preempted (parked) sessions"),
+        virtual_time: registry.gauge("serve_virtual_time_seconds", "Virtual clock of the run"),
+        pool_idle: registry.gauge("serve_pool_idle_states", "Idle decode states in the pool"),
+        pool_reuses: registry.gauge("serve_pool_reuses", "Decode states served from the pool"),
+        pool_builds: registry.gauge("serve_pool_builds", "Decode states built from scratch"),
+        batch_rows: registry.gauge(
+            "serve_batch_rows_computed",
+            "Rows computed by fused passes (lifetime of the scratch)",
+        ),
+        batch_passes: registry.gauge(
+            "serve_batch_fused_passes",
+            "Fused forward passes (lifetime of the scratch)",
+        ),
+        trace_dropped: registry.gauge(
+            "serve_trace_dropped_events",
+            "Span events overwritten because the ring was full",
+        ),
+    }
+}
+
+/// The serving engine's attachable telemetry: one pipeline plus the
+/// pre-registered handles of every engine series. Construct with
+/// [`EngineTelemetry::new`] and attach via
+/// [`crate::engine::ServeEngine::attach_telemetry`]; after the run, read or
+/// export through [`EngineTelemetry::pipeline`] (e.g.
+/// [`::telemetry::render_prometheus`]).
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    tel: Telemetry,
+    h: Handles,
+    /// `stream → per-strategy token counter`, grown at admission (the only
+    /// allocating hot-loop-adjacent operation; admission is not per-token).
+    stream_strategy: Vec<CounterId>,
+}
+
+impl EngineTelemetry {
+    /// Creates a pipeline and registers every engine series. `const_labels`
+    /// are baked into each series name (e.g. `cell="dense/fifo"` when many
+    /// engines export into one exposition).
+    pub fn new(config: TelemetryConfig, const_labels: &[(&str, &str)]) -> Self {
+        let mut tel = Telemetry::new(config);
+        tel.registry = MetricsRegistry::with_const_labels(const_labels);
+        let h = register(&mut tel.registry);
+        EngineTelemetry {
+            tel,
+            h,
+            stream_strategy: Vec::new(),
+        }
+    }
+
+    /// The underlying pipeline (registry, ring, timeline).
+    pub fn pipeline(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Mutable access to the underlying pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut Telemetry {
+        &mut self.tel
+    }
+
+    /// The metrics registry (for value reads and Prometheus rendering).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.tel.registry
+    }
+
+    /// The span ring (for JSONL / chrome-trace rendering).
+    pub fn ring(&self) -> &TraceRing {
+        &self.tel.ring
+    }
+
+    /// The virtual-time timeline.
+    pub fn timeline(&self) -> &::telemetry::Timeline {
+        &self.tel.timeline
+    }
+
+    pub(crate) fn on_run_start(&mut self, now: f64) {
+        self.tel.event(EventKind::RunStart, NO_STREAM, now, 0, 0.0);
+    }
+
+    /// Final snapshot of a run: gauges of the end state plus the `RunEnd`
+    /// event (`a` = total schedule positions, `b` = makespan).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_run_end(
+        &mut self,
+        now: f64,
+        steps: u64,
+        active: usize,
+        parked: usize,
+        queue_depth: usize,
+        pool: &lm::DecodeStatePool,
+        batch_rows: u64,
+        batch_passes: u64,
+    ) {
+        let r = &mut self.tel.registry;
+        r.set(self.h.active_sessions, active as f64);
+        r.set(self.h.parked_sessions, parked as f64);
+        r.set(self.h.queue_depth, queue_depth as f64);
+        r.set(self.h.virtual_time, now);
+        r.set(self.h.pool_idle, pool.idle() as f64);
+        r.set(self.h.pool_reuses, pool.reuse_count() as f64);
+        r.set(self.h.pool_builds, pool.build_count() as f64);
+        r.set(self.h.batch_rows, batch_rows as f64);
+        r.set(self.h.batch_passes, batch_passes as f64);
+        let dropped = self.tel.ring.dropped() as f64;
+        self.tel.registry.set(self.h.trace_dropped, dropped);
+        self.tel
+            .event(EventKind::RunEnd, NO_STREAM, now, steps, now);
+    }
+
+    pub(crate) fn on_arrival(&mut self, verdict: Option<ShedReason>, queue_depth: usize, at: f64) {
+        self.tel.registry.inc(self.h.arrivals);
+        match verdict {
+            None => {
+                self.tel.registry.inc(self.h.admitted);
+                self.tel
+                    .registry
+                    .set(self.h.queue_depth, queue_depth as f64);
+                self.tel
+                    .event(EventKind::Admit, NO_STREAM, at, queue_depth as u64, at);
+            }
+            Some(reason) => {
+                self.tel.registry.inc(self.h.sheds[reason.index()]);
+                self.tel
+                    .event(EventKind::Shed, NO_STREAM, at, reason.index() as u64, at);
+            }
+        }
+    }
+
+    /// A queued request took a KV slot. Registers (idempotently) the
+    /// request's per-strategy token counter and maps it to `stream`.
+    pub(crate) fn on_slot_granted(&mut self, stream: usize, strategy_label: &str) {
+        let id = self.tel.registry.counter(
+            &format!("serve_tokens_total{{strategy=\"{strategy_label}\"}}"),
+            "Tokens served (prefill + decode)",
+        );
+        if self.stream_strategy.len() <= stream {
+            self.stream_strategy.resize(stream + 1, id);
+        }
+        self.stream_strategy[stream] = id;
+    }
+
+    pub(crate) fn on_preempt(&mut self, stream: usize, positions: usize, swap_s: f64, now: f64) {
+        self.tel.registry.inc(self.h.preemptions);
+        self.tel.registry.add(self.h.kv_swap_seconds, swap_s);
+        self.tel.event(
+            EventKind::Preempt,
+            stream as u32,
+            now,
+            positions as u64,
+            swap_s,
+        );
+    }
+
+    pub(crate) fn on_resume(&mut self, stream: usize, positions: usize, swap_s: f64, now: f64) {
+        self.tel.registry.inc(self.h.resumes);
+        self.tel.registry.add(self.h.kv_swap_seconds, swap_s);
+        self.tel.event(
+            EventKind::Resume,
+            stream as u32,
+            now,
+            positions as u64,
+            swap_s,
+        );
+    }
+
+    pub(crate) fn on_kv_swap_bytes(&mut self, bytes: f64) {
+        self.tel.registry.add(self.h.kv_swap_bytes, bytes);
+    }
+
+    /// One planned batch: a prefill chunk or a cross-session lane of `width`
+    /// schedule positions.
+    pub(crate) fn on_plan(&mut self, is_chunk: bool, width: usize, now: f64) {
+        if is_chunk {
+            self.tel.registry.observe(self.h.chunk_height, width as f64);
+            self.tel
+                .event(EventKind::PlanChunk, NO_STREAM, now, width as u64, 0.0);
+        } else {
+            self.tel.registry.observe(self.h.lane_width, width as f64);
+            self.tel
+                .event(EventKind::PlanLane, NO_STREAM, now, width as u64, 0.0);
+        }
+    }
+
+    /// One served, priced and settled token. Allocation-free.
+    #[inline]
+    pub(crate) fn on_token(
+        &mut self,
+        stream: usize,
+        tier: Tier,
+        cost: &hwsim::TokenCost,
+        was_prefill: bool,
+        now: f64,
+    ) {
+        let r = &mut self.tel.registry;
+        r.inc(self.h.tokens);
+        r.inc(if was_prefill {
+            self.h.prefill_tokens
+        } else {
+            self.h.decode_tokens
+        });
+        r.inc(self.h.tier_tokens[tier.index()]);
+        if let Some(&id) = self.stream_strategy.get(stream) {
+            r.inc(id);
+        }
+        r.add(self.h.cache_hits, cost.hits as f64);
+        r.add(self.h.cache_misses, cost.misses as f64);
+        r.add(self.h.cache_evictions, cost.evictions as f64);
+        r.add(self.h.flash_bytes, cost.flash_bytes);
+        r.add(self.h.dram_bytes, cost.dram_bytes);
+        r.observe(self.h.token_latency, cost.latency_s);
+        r.set(self.h.virtual_time, now);
+        self.tel
+            .timeline
+            .observe_token(now, was_prefill, cost.hits as u64, cost.misses as u64);
+        self.tel.event(
+            EventKind::TokenSettle,
+            stream as u32,
+            now,
+            ((cost.hits as u64) << 32) | (cost.misses as u64 & 0xffff_ffff),
+            cost.latency_s,
+        );
+    }
+
+    /// A closed-batch token (no virtual clock, no pricing): counters only,
+    /// stamped at virtual time 0.
+    #[inline]
+    pub(crate) fn on_closed_token(&mut self, stream: usize, was_prefill: bool) {
+        let r = &mut self.tel.registry;
+        r.inc(self.h.tokens);
+        r.inc(if was_prefill {
+            self.h.prefill_tokens
+        } else {
+            self.h.decode_tokens
+        });
+        self.tel
+            .event(EventKind::TokenSettle, stream as u32, 0.0, 0, 0.0);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn on_complete(
+        &mut self,
+        stream: usize,
+        generated: usize,
+        ttft_s: f64,
+        tbt_mean_s: f64,
+        queue_delay_s: f64,
+        slo_met: bool,
+        now: f64,
+    ) {
+        let r = &mut self.tel.registry;
+        r.inc(self.h.completions);
+        if slo_met {
+            r.inc(self.h.slo_met);
+        }
+        r.observe(self.h.ttft, ttft_s);
+        r.observe(self.h.tbt, tbt_mean_s);
+        r.observe(self.h.queue_delay, queue_delay_s);
+        self.tel.timeline.observe_completion(now, slo_met);
+        self.tel.event(
+            EventKind::Complete,
+            stream as u32,
+            now,
+            generated as u64,
+            now,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_register_once_and_record() {
+        let mut t = EngineTelemetry::new(TelemetryConfig::default().with_ring_capacity(16), &[]);
+        let series_before = t.registry().len();
+        t.on_run_start(0.0);
+        t.on_arrival(None, 1, 0.0);
+        t.on_arrival(Some(ShedReason::QueueFull), 1, 0.01);
+        t.on_slot_granted(0, "dense");
+        let cost = hwsim::TokenCost {
+            dram_bytes: 10.0,
+            flash_bytes: 4.0,
+            latency_s: 0.002,
+            hits: 3,
+            misses: 1,
+            evictions: 1,
+        };
+        t.on_token(0, Tier::Premium, &cost, true, 0.002);
+        t.on_token(0, Tier::Premium, &cost, false, 0.004);
+        t.on_complete(0, 1, 0.002, 0.002, 0.0, true, 0.004);
+
+        let r = t.registry();
+        // only the per-strategy counter was added after construction
+        assert_eq!(r.len(), series_before + 1);
+        assert_eq!(r.counter_value(t.h.tokens), 2.0);
+        assert_eq!(r.counter_value(t.h.prefill_tokens), 1.0);
+        assert_eq!(r.counter_value(t.h.tier_tokens[Tier::Premium.index()]), 2.0);
+        assert_eq!(
+            r.counter_value(t.h.sheds[ShedReason::QueueFull.index()]),
+            1.0
+        );
+        assert_eq!(r.counter_value(t.h.cache_evictions), 2.0);
+        assert_eq!(r.histogram_count(t.h.ttft), 1);
+        assert_eq!(t.timeline().total_tokens(), 2);
+        assert!(t.ring().len() >= 5);
+    }
+
+    #[test]
+    fn const_labels_reach_every_series() {
+        let t = EngineTelemetry::new(TelemetryConfig::default(), &[("cell", "a/b")]);
+        let text = ::telemetry::render_prometheus(t.registry());
+        ::telemetry::check_exposition(&text).unwrap();
+        assert!(text.contains("serve_tokens_total{cell=\"a/b\"}"));
+        assert!(text.contains("serve_shed_total{reason=\"queue-full\",cell=\"a/b\"}"));
+    }
+}

@@ -211,6 +211,38 @@ fn non_preemptive_open_loop_reports_match_under_pressure() {
 }
 
 #[test]
+fn telemetry_attached_runs_still_match_the_oracle_bitwise() {
+    // Attaching an observability pipeline to either execution mode must not
+    // move a single bit of the report: telemetry is write-only and the
+    // batched/sequential equivalence is about the schedule, which telemetry
+    // never touches.
+    let run = |mode, instrumented: bool| {
+        let mut e = engine(2, SchedulerPolicy::PriorityPreemptive, mode);
+        if instrumented {
+            e.attach_telemetry(serve::telemetry::EngineTelemetry::new(
+                serve::TelemetryConfig::default(),
+                &[("cell", "equivalence")],
+            ));
+        }
+        let report = e.run_open_loop_requests(open_loop_arrivals()).unwrap();
+        if instrumented {
+            let tel = e.take_telemetry().unwrap();
+            assert_eq!(
+                tel.timeline().total_tokens(),
+                (report.total_prefill_tokens + report.total_generated_tokens) as u64,
+                "timeline window sums must equal the report's token totals"
+            );
+        }
+        report
+    };
+    let bare_b = run(ExecutionMode::Batched, false);
+    let inst_b = run(ExecutionMode::Batched, true);
+    let inst_s = run(ExecutionMode::Sequential, true);
+    assert_reports_equal(&bare_b, &inst_b, "telemetry-attached batched");
+    assert_reports_equal(&inst_b, &inst_s, "instrumented batched vs sequential");
+}
+
+#[test]
 fn batched_runs_are_bitwise_identical_across_os_threads() {
     let baseline = engine(
         2,

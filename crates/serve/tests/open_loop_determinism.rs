@@ -4,9 +4,10 @@
 //! out across the worker pool's threads (mirroring
 //! `experiments/tests/parallel_determinism.rs` for the open-loop driver).
 
+use serve::telemetry::EngineTelemetry;
 use serve::{
     AdmissionConfig, ArrivalProcess, RequestTemplate, SchedulerPolicy, ServeConfig, ServeEngine,
-    ServeReport, SloTarget, StrategySpec, Tier, Workload,
+    ServeReport, SloTarget, StrategySpec, TelemetryConfig, Tier, Workload,
 };
 
 fn workload() -> Workload {
@@ -37,7 +38,17 @@ fn workload() -> Workload {
     )
 }
 
-fn run_once(scheduler: SchedulerPolicy) -> ServeReport {
+/// How a run observes itself: no pipeline attached, a pipeline recording
+/// into its ring, or a pipeline whose contents are additionally rendered
+/// through every exporter after the run.
+#[derive(Clone, Copy)]
+enum Sink {
+    None,
+    Ring,
+    Exporting,
+}
+
+fn run_with_sink(scheduler: SchedulerPolicy, sink: Sink) -> ServeReport {
     let config = lm::ModelConfig::tiny();
     let model = lm::build_synthetic(&config, 13).unwrap();
     let layout = serve::layout::layout_for_serving(
@@ -61,7 +72,29 @@ fn run_once(scheduler: SchedulerPolicy) -> ServeReport {
             ),
     )
     .unwrap();
-    engine.run_open_loop(&workload()).unwrap()
+    if !matches!(sink, Sink::None) {
+        engine.attach_telemetry(EngineTelemetry::new(
+            TelemetryConfig::default().with_ring_capacity(1 << 12),
+            &[("cell", "determinism")],
+        ));
+    }
+    let report = engine.run_open_loop(&workload()).unwrap();
+    if matches!(sink, Sink::Exporting) {
+        // exporting is a read-only walk over the pipeline; exercise every
+        // renderer and self-validate the text formats
+        let tel = engine.take_telemetry().expect("telemetry was attached");
+        let text = serve::render_prometheus(tel.registry());
+        serve::check_exposition(&text).expect("exposition is well-formed");
+        let trace = serve::render_trace_jsonl(&[("determinism", tel.ring())]);
+        serve::check_jsonl(&trace).expect("trace JSONL is well-formed");
+        let chrome = serve::render_chrome_trace(&[("determinism", tel.ring())]);
+        serve::check_jsonl(&chrome).expect("chrome trace is one JSON value");
+    }
+    report
+}
+
+fn run_once(scheduler: SchedulerPolicy) -> ServeReport {
+    run_with_sink(scheduler, Sink::None)
 }
 
 #[test]
@@ -102,6 +135,37 @@ fn reports_are_identical_across_thread_counts() {
     });
     for (i, report) in reports.iter().enumerate() {
         assert_eq!(&baseline, report, "thread {i} diverged from the baseline");
+    }
+}
+
+#[test]
+fn telemetry_determinism() {
+    // Telemetry is write-only from the engine's side, so a run with no
+    // pipeline, a run recording into a ring, and a run that additionally
+    // renders every exporter must produce bitwise-identical ServeReports —
+    // and the instrumented runs must stay identical across OS threads.
+    for scheduler in [SchedulerPolicy::Fifo, SchedulerPolicy::PriorityPreemptive] {
+        let bare = run_with_sink(scheduler, Sink::None);
+        let ringed = run_with_sink(scheduler, Sink::Ring);
+        let exported = run_with_sink(scheduler, Sink::Exporting);
+        assert_eq!(bare, ringed, "attaching a ring sink perturbed {scheduler}");
+        assert_eq!(bare, exported, "exporting sinks perturbed {scheduler}");
+    }
+
+    let baseline = run_with_sink(SchedulerPolicy::PriorityPreemptive, Sink::Exporting);
+    let reports: Vec<ServeReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| run_with_sink(SchedulerPolicy::PriorityPreemptive, Sink::Exporting))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("instrumented open-loop thread panicked"))
+            .collect()
+    });
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(&baseline, report, "instrumented thread {i} diverged");
     }
 }
 

@@ -1,0 +1,611 @@
+//! Text exporters and format checkers.
+//!
+//! The workspace builds offline against no-op serde stand-ins, so every
+//! export format here is rendered by hand: Prometheus text exposition
+//! ([`render_prometheus`] / [`render_prometheus_merged`]), a JSONL trace
+//! dump ([`render_trace_jsonl`] / [`render_timeline_jsonl`]) and a
+//! `chrome://tracing`-compatible span export ([`render_chrome_trace`]).
+//! [`check_exposition`] and [`check_jsonl`] are the matching line-format
+//! validators; the `serving` bin runs them on its own output before writing,
+//! and CI runs them again on the written artifacts.
+
+use crate::registry::{merge_label, MetricsRegistry};
+use crate::ring::{EventKind, TraceRing};
+use crate::timeline::Timeline;
+use std::fmt::Write as _;
+
+/// Family name of a series: everything before the label block.
+fn family(name: &str) -> &str {
+    match name.find('{') {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one registry as Prometheus text exposition.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    render_prometheus_merged(&[registry])
+}
+
+/// Renders several registries (e.g. one per serving cell, distinguished by
+/// constant labels) into one exposition: `# HELP`/`# TYPE` are emitted once
+/// per family, followed by every registry's samples of that family.
+pub fn render_prometheus_merged(registries: &[&MetricsRegistry]) -> String {
+    // family -> (kind, help), in first-seen order
+    let mut families: Vec<(String, &'static str, String)> = Vec::new();
+    let mut samples: Vec<(usize, String)> = Vec::new(); // (family index, line)
+    let family_index = |families: &mut Vec<(String, &'static str, String)>,
+                        name: &str,
+                        kind: &'static str,
+                        help: &str|
+     -> usize {
+        let fam = family(name);
+        if let Some(i) = families.iter().position(|(f, _, _)| f == fam) {
+            return i;
+        }
+        families.push((fam.to_string(), kind, help.to_string()));
+        families.len() - 1
+    };
+
+    for reg in registries {
+        for series in &reg.counters {
+            let i = family_index(&mut families, &series.name, "counter", &series.help);
+            samples.push((i, format!("{} {}", series.name, fmt_value(series.value))));
+        }
+        for series in &reg.gauges {
+            let i = family_index(&mut families, &series.name, "gauge", &series.help);
+            samples.push((i, format!("{} {}", series.name, fmt_value(series.value))));
+        }
+        for hist in &reg.histograms {
+            let i = family_index(&mut families, &hist.name, "histogram", &hist.help);
+            let fam = family(&hist.name).to_string();
+            let labels = &hist.name[fam.len()..]; // "" or "{...}"
+            let mut cumulative = 0u64;
+            for (bi, bound) in hist.bounds.iter().enumerate() {
+                cumulative += hist.counts[bi];
+                let series =
+                    merge_label(&format!("{fam}_bucket{labels}"), "le", &fmt_value(*bound));
+                samples.push((i, format!("{series} {cumulative}")));
+            }
+            let series = merge_label(&format!("{fam}_bucket{labels}"), "le", "+Inf");
+            samples.push((i, format!("{series} {}", hist.count)));
+            samples.push((i, format!("{fam}_sum{labels} {}", fmt_value(hist.sum))));
+            samples.push((i, format!("{fam}_count{labels} {}", hist.count)));
+        }
+    }
+
+    let mut out = String::new();
+    for (i, (fam, kind, help)) in families.iter().enumerate() {
+        let _ = writeln!(out, "# HELP {fam} {help}");
+        let _ = writeln!(out, "# TYPE {fam} {kind}");
+        for (_, line) in samples.iter().filter(|(fi, _)| *fi == i) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses `{k="v",...}` starting at the `{`; returns the byte length of the
+/// label block, or an error description.
+fn check_label_block(s: &str) -> std::result::Result<usize, String> {
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'{');
+    let mut i = 1;
+    loop {
+        if i >= s.len() {
+            return Err("unterminated label block".to_string());
+        }
+        if bytes[i] == b'}' {
+            return Ok(i + 1);
+        }
+        let name_start = i;
+        while i < s.len() && bytes[i] != b'=' && bytes[i] != b'}' {
+            i += 1;
+        }
+        if i >= s.len() || bytes[i] != b'=' {
+            return Err("label without `=`".to_string());
+        }
+        if !valid_label_name(&s[name_start..i]) {
+            return Err(format!("invalid label name `{}`", &s[name_start..i]));
+        }
+        i += 1;
+        if i >= s.len() || bytes[i] != b'"' {
+            return Err("label value must be quoted".to_string());
+        }
+        i += 1;
+        while i < s.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' {
+                i += 1; // escaped char
+            }
+            i += 1;
+        }
+        if i >= s.len() {
+            return Err("unterminated label value".to_string());
+        }
+        i += 1; // closing quote
+        if i < s.len() && bytes[i] == b',' {
+            i += 1;
+        }
+    }
+}
+
+/// Validates Prometheus text-exposition lines: comment structure, sample
+/// name/label/value syntax, and `# TYPE` placement (at most one per family,
+/// before that family's first sample). Returns the first offending line.
+///
+/// # Errors
+///
+/// Returns `Err(description)` naming the first malformed line.
+pub fn check_exposition(text: &str) -> std::result::Result<(), String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut sampled: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(rest) = rest.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: HELP for invalid metric name `{name}`"));
+                }
+            } else if let Some(rest) = rest.strip_prefix("TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: TYPE for invalid metric name `{name}`"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {n}: unknown metric type `{kind}`"));
+                }
+                if typed.iter().any(|t| t == name) {
+                    return Err(format!("line {n}: duplicate TYPE for `{name}`"));
+                }
+                if sampled.iter().any(|s| s == name) {
+                    return Err(format!("line {n}: TYPE for `{name}` after its samples"));
+                }
+                typed.push(name.to_string());
+            }
+            // other comments are legal and ignored
+            continue;
+        }
+        // sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {n}: sample without value"))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: invalid metric name `{name}`"));
+        }
+        let mut rest = &line[name_end..];
+        if rest.starts_with('{') {
+            let consumed = check_label_block(rest).map_err(|e| format!("line {n}: {e}"))?;
+            rest = &rest[consumed..];
+        }
+        let value = rest.trim_start_matches(' ');
+        if value.is_empty() || value.contains(' ') {
+            // a trailing timestamp is legal Prometheus but our renderer
+            // never emits one; reject to keep the checker strict
+            return Err(format!("line {n}: expected exactly one value"));
+        }
+        let ok = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !ok {
+            return Err(format!("line {n}: unparseable value `{value}`"));
+        }
+        // histogram machine series map onto their base family for the
+        // TYPE-before-sample check
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|b| typed.iter().any(|t| t == b))
+            .unwrap_or(name);
+        sampled.push(base.to_string());
+    }
+    Ok(())
+}
+
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders ring events as one JSON object per line. Each line carries the
+/// event kind, the owning cell label, both clocks and the kind-specific
+/// payload (field semantics in [`EventKind`]).
+pub fn render_trace_jsonl(cells: &[(&str, &TraceRing)]) -> String {
+    let mut out = String::new();
+    for (label, ring) in cells {
+        for e in ring.iter() {
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"cell\":\"{}\",\"virtual_s\":{},\"wall_ns\":{}",
+                e.kind.name(),
+                label,
+                fmt_json_f64(e.virtual_s),
+                e.wall_ns
+            );
+            if e.stream != u32::MAX {
+                let _ = write!(out, ",\"stream\":{}", e.stream);
+            }
+            let _ = writeln!(out, ",\"a\":{},\"b\":{}}}", e.a, fmt_json_f64(e.b));
+        }
+    }
+    out
+}
+
+/// Renders a timeline as JSONL window records (`"kind":"window"`), one per
+/// virtual-time window — the inspectable series (tok/s, attainment, hit
+/// rate) of the run. Window token counts sum exactly to the run's totals.
+pub fn render_timeline_jsonl(label: &str, timeline: &Timeline) -> String {
+    let mut out = String::new();
+    for (i, w) in timeline.windows().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"window\",\"cell\":\"{}\",\"index\":{},\"t_start_s\":{},\
+             \"tokens\":{},\"prefill_tokens\":{},\"decode_tokens\":{},\
+             \"hits\":{},\"misses\":{},\"completed\":{},\"slo_met\":{},\
+             \"tok_per_s\":{},\"hit_rate\":{},\"attainment\":{}}}",
+            label,
+            i,
+            fmt_json_f64(i as f64 * timeline.window_s()),
+            w.tokens,
+            w.prefill_tokens,
+            w.decode_tokens,
+            w.hits,
+            w.misses,
+            w.completed,
+            w.slo_met,
+            fmt_json_f64(w.tokens as f64 / timeline.window_s()),
+            fmt_json_f64(w.hit_rate()),
+            fmt_json_f64(w.attainment()),
+        );
+    }
+    out
+}
+
+/// Minimal recursive-descent JSON value parser used by [`check_jsonl`].
+/// Returns the byte index just past the parsed value.
+fn parse_json_value(s: &[u8], mut i: usize) -> std::result::Result<usize, String> {
+    fn skip_ws(s: &[u8], mut i: usize) -> usize {
+        while i < s.len() && matches!(s[i], b' ' | b'\t' | b'\r' | b'\n') {
+            i += 1;
+        }
+        i
+    }
+    fn parse_string(s: &[u8], mut i: usize) -> std::result::Result<usize, String> {
+        debug_assert_eq!(s[i], b'"');
+        i += 1;
+        while i < s.len() {
+            match s[i] {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    i = skip_ws(s, i);
+    if i >= s.len() {
+        return Err("unexpected end of input".to_string());
+    }
+    match s[i] {
+        b'{' => {
+            i = skip_ws(s, i + 1);
+            if i < s.len() && s[i] == b'}' {
+                return Ok(i + 1);
+            }
+            loop {
+                i = skip_ws(s, i);
+                if i >= s.len() || s[i] != b'"' {
+                    return Err("object key must be a string".to_string());
+                }
+                i = parse_string(s, i)?;
+                i = skip_ws(s, i);
+                if i >= s.len() || s[i] != b':' {
+                    return Err("missing `:` after object key".to_string());
+                }
+                i = parse_json_value(s, i + 1)?;
+                i = skip_ws(s, i);
+                match s.get(i) {
+                    Some(b',') => i += 1,
+                    Some(b'}') => return Ok(i + 1),
+                    _ => return Err("expected `,` or `}` in object".to_string()),
+                }
+            }
+        }
+        b'[' => {
+            i = skip_ws(s, i + 1);
+            if i < s.len() && s[i] == b']' {
+                return Ok(i + 1);
+            }
+            loop {
+                i = parse_json_value(s, i)?;
+                i = skip_ws(s, i);
+                match s.get(i) {
+                    Some(b',') => i += 1,
+                    Some(b']') => return Ok(i + 1),
+                    _ => return Err("expected `,` or `]` in array".to_string()),
+                }
+            }
+        }
+        b'"' => parse_string(s, i),
+        b't' => expect_literal(s, i, b"true"),
+        b'f' => expect_literal(s, i, b"false"),
+        b'n' => expect_literal(s, i, b"null"),
+        _ => {
+            let start = i;
+            while i < s.len() && matches!(s[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                i += 1;
+            }
+            let text = std::str::from_utf8(&s[start..i]).unwrap_or("");
+            text.parse::<f64>()
+                .map(|_| i)
+                .map_err(|_| format!("invalid number `{text}`"))
+        }
+    }
+}
+
+fn expect_literal(s: &[u8], i: usize, lit: &[u8]) -> std::result::Result<usize, String> {
+    if s.len() >= i + lit.len() && &s[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(format!(
+            "invalid literal (expected `{}`)",
+            String::from_utf8_lossy(lit)
+        ))
+    }
+}
+
+/// Validates that every non-empty line of `text` is one well-formed JSON
+/// value (the JSONL contract).
+///
+/// # Errors
+///
+/// Returns `Err(description)` naming the first malformed line.
+pub fn check_jsonl(text: &str) -> std::result::Result<(), String> {
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let end = parse_json_value(bytes, 0).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let rest = line[end..].trim();
+        if !rest.is_empty() {
+            return Err(format!(
+                "line {}: trailing content after JSON value: `{rest}`",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders ring events in the `chrome://tracing` JSON-array format (load via
+/// `chrome://tracing` or <https://ui.perfetto.dev>). One pid per cell; tids
+/// are session streams; virtual time maps to trace microseconds. Events
+/// with a duration payload ([`EventKind::TokenSettle`],
+/// [`EventKind::Preempt`], [`EventKind::Resume`]) become complete (`"X"`)
+/// spans ending at their settle time; everything else is an instant.
+pub fn render_chrome_trace(cells: &[(&str, &TraceRing)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&item);
+    };
+    for (pid, (label, _)) in cells.iter().enumerate() {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+        );
+    }
+    for (pid, (_, ring)) in cells.iter().enumerate() {
+        for e in ring.iter() {
+            let tid = if e.stream == u32::MAX {
+                0
+            } else {
+                e.stream + 1
+            };
+            let ts_us = e.virtual_s * 1e6;
+            let item = match e.kind {
+                EventKind::TokenSettle | EventKind::Preempt | EventKind::Resume => {
+                    let dur_us = (e.b * 1e6).max(0.0);
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{pid},\"tid\":{tid},\"args\":{{\"a\":{},\
+                         \"wall_ns\":{}}}}}",
+                        e.kind.name(),
+                        fmt_json_f64(ts_us - dur_us),
+                        fmt_json_f64(dur_us),
+                        e.a,
+                        e.wall_ns
+                    )
+                }
+                _ => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                     \"pid\":{pid},\"tid\":{tid},\"args\":{{\"a\":{},\"b\":{},\
+                     \"wall_ns\":{}}}}}",
+                    e.kind.name(),
+                    fmt_json_f64(ts_us),
+                    e.a,
+                    fmt_json_f64(e.b),
+                    e.wall_ns
+                ),
+            };
+            push(&mut out, item);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::SpanEvent;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("serve_tokens_total{tier=\"premium\"}", "tokens served");
+        r.add(c, 42.0);
+        let g = r.gauge("serve_queue_depth", "waiting requests");
+        r.set(g, 3.0);
+        let h = r.histogram("serve_ttft_seconds", "time to first token", &[0.01, 0.1]);
+        r.observe(h, 0.005);
+        r.observe(h, 0.05);
+        r.observe(h, 0.5);
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_checker() {
+        let text = render_prometheus(&sample_registry());
+        check_exposition(&text).unwrap();
+        assert!(text.contains("# TYPE serve_tokens_total counter"));
+        assert!(text.contains("serve_tokens_total{tier=\"premium\"} 42"));
+        assert!(text.contains("# TYPE serve_ttft_seconds histogram"));
+        // buckets are cumulative and end at +Inf
+        assert!(text.contains("serve_ttft_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("serve_ttft_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(text.contains("serve_ttft_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_ttft_seconds_count 3"));
+    }
+
+    #[test]
+    fn merged_expositions_share_families() {
+        let mut a = MetricsRegistry::with_const_labels(&[("cell", "a")]);
+        let mut b = MetricsRegistry::with_const_labels(&[("cell", "b")]);
+        let ca = a.counter("tokens_total", "tokens");
+        let cb = b.counter("tokens_total", "tokens");
+        a.add(ca, 1.0);
+        b.add(cb, 2.0);
+        let text = render_prometheus_merged(&[&a, &b]);
+        check_exposition(&text).unwrap();
+        assert_eq!(text.matches("# TYPE tokens_total counter").count(), 1);
+        assert!(text.contains("tokens_total{cell=\"a\"} 1"));
+        assert!(text.contains("tokens_total{cell=\"b\"} 2"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(check_exposition("9bad_name 1").is_err());
+        assert!(check_exposition("metric 1 2 3").is_err());
+        assert!(check_exposition("metric{unclosed=\"x\" 1").is_err());
+        assert!(check_exposition("metric notanumber").is_err());
+        assert!(check_exposition("# TYPE m widget").is_err());
+        assert!(check_exposition("m 1\n# TYPE m counter\n").is_err());
+        assert!(check_exposition("# TYPE m counter\n# TYPE m counter\n").is_err());
+        // legal: comments, empty lines, ±Inf/NaN values, bare names
+        check_exposition("# a comment\n\nm_total 1\nx{a=\"b\",c=\"d\"} +Inf\nn NaN").unwrap();
+    }
+
+    fn ring_with_events() -> TraceRing {
+        let mut ring = TraceRing::new(8);
+        ring.push(SpanEvent {
+            kind: EventKind::RunStart,
+            stream: u32::MAX,
+            virtual_s: 0.0,
+            wall_ns: 10,
+            a: 0,
+            b: 0.0,
+        });
+        ring.push(SpanEvent {
+            kind: EventKind::TokenSettle,
+            stream: 2,
+            virtual_s: 0.004,
+            wall_ns: 2_000,
+            a: (5u64 << 32) | 3,
+            b: 0.004,
+        });
+        ring
+    }
+
+    #[test]
+    fn trace_jsonl_is_well_formed() {
+        let ring = ring_with_events();
+        let text = render_trace_jsonl(&[("cell0", &ring)]);
+        check_jsonl(&text).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"kind\":\"run_start\""));
+        assert!(text.contains("\"stream\":2"));
+        // non-session events omit the stream field
+        assert!(!text.lines().next().unwrap().contains("stream"));
+    }
+
+    #[test]
+    fn timeline_jsonl_is_well_formed_and_sums() {
+        let mut t = Timeline::new(0.5);
+        t.observe_token(0.1, true, 1, 0);
+        t.observe_token(0.7, false, 0, 1);
+        let text = render_timeline_jsonl("c", &t);
+        check_jsonl(&text).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"kind\":\"window\""));
+        assert!(text.contains("\"tokens\":1"));
+    }
+
+    #[test]
+    fn jsonl_checker_rejects_garbage() {
+        assert!(check_jsonl("{\"a\":1}\nnot json").is_err());
+        assert!(check_jsonl("{\"a\":}").is_err());
+        assert!(check_jsonl("{\"a\":1} trailing").is_err());
+        assert!(check_jsonl("{\"a\":\"unterminated}").is_err());
+        check_jsonl("{\"a\":[1,2,{\"b\":null}],\"c\":true}\n\n{\"d\":-1.5e3}").unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_is_one_json_value() {
+        let ring = ring_with_events();
+        let text = render_chrome_trace(&[("cell0", &ring)]);
+        check_jsonl(&text).unwrap(); // a single JSON object is valid JSONL
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"process_name\""));
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Zero-allocation observability for the serving stack.
+//!
+//! The serving engine is bitwise deterministic and its decode hot path is
+//! allocation-free; telemetry must not cost either property. This crate is
+//! built around that constraint:
+//!
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms
+//!   addressed by **integer handles** ([`CounterId`] / [`GaugeId`] /
+//!   [`HistogramId`]). Names are resolved (and allocate) at *registration*
+//!   only; every record operation is an index into a preallocated `Vec`.
+//! * [`TraceRing`] — a preallocated ring buffer of `Copy` [`SpanEvent`]s
+//!   stamped with both **virtual time** (the run's simulated clock, which is
+//!   part of the deterministic computation) and **wall time** (host
+//!   monotonic nanoseconds, observation only), so simulated cost and host
+//!   compute cost can be told apart in one trace.
+//! * [`Timeline`] — a time-sliced view over virtual time (tokens/s, SLO
+//!   attainment, cache hit rate per window) whose per-window token counts
+//!   sum exactly to the run totals.
+//! * [`export`] — Prometheus text exposition, JSONL trace dump and a
+//!   `chrome://tracing`-compatible span export, all hand-rendered strings
+//!   (the workspace builds offline; see `crates/compat/serde`), plus
+//!   format checkers the exporters' consumers use to self-validate.
+//!
+//! Determinism argument: every structure here is **write-only** from the
+//! engine's point of view — the engine records into telemetry but never
+//! reads a value back into any computation, so attaching or detaching any
+//! sink cannot perturb a `ServeReport` (enforced by
+//! `crates/serve/tests/open_loop_determinism.rs`). Wall-clock timestamps
+//! live only in ring events and exports, never in metrics or reports.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod registry;
+pub mod ring;
+pub mod stats;
+pub mod timeline;
+
+pub use export::{
+    check_exposition, check_jsonl, render_chrome_trace, render_prometheus,
+    render_prometheus_merged, render_timeline_jsonl, render_trace_jsonl,
+};
+pub use registry::{CounterId, GaugeId, HistogramId, MetricsRegistry};
+pub use ring::{EventKind, SpanEvent, TraceRing};
+pub use stats::percentile;
+pub use timeline::{Timeline, WindowStats};
+
+use std::time::Instant;
+
+/// Sizing knobs of a [`Telemetry`] pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Capacity of the span ring buffer (events beyond it overwrite the
+    /// oldest and are counted in [`TraceRing::dropped`]).
+    pub ring_capacity: usize,
+    /// Width of one [`Timeline`] window in virtual seconds.
+    pub timeline_window_s: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            ring_capacity: 1 << 16,
+            timeline_window_s: 0.05,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Returns a copy with the given ring capacity.
+    pub fn with_ring_capacity(mut self, capacity: usize) -> Self {
+        self.ring_capacity = capacity;
+        self
+    }
+
+    /// Returns a copy with the given timeline window width.
+    pub fn with_timeline_window(mut self, window_s: f64) -> Self {
+        self.timeline_window_s = window_s;
+        self
+    }
+}
+
+/// One attachable telemetry pipeline: a metrics registry, a span ring and a
+/// virtual-time timeline, sharing one wall-clock epoch.
+///
+/// The struct is plain data plus an [`Instant`] epoch; it is `Send`, so a
+/// caller can attach one pipeline per engine and fan engines out across OS
+/// threads (each pipeline is single-writer by construction — the engine that
+/// owns it).
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Handle-addressed counters, gauges and histograms.
+    pub registry: MetricsRegistry,
+    /// Preallocated span/event ring.
+    pub ring: TraceRing,
+    /// Per-virtual-time-window aggregates.
+    pub timeline: Timeline,
+    epoch: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// Creates a pipeline; all ring storage is allocated here, up front.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            registry: MetricsRegistry::new(),
+            ring: TraceRing::new(config.ring_capacity),
+            timeline: Timeline::new(config.timeline_window_s),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Monotonic nanoseconds since this pipeline was created. Observation
+    /// only: wall time is stamped into ring events and never enters any
+    /// deterministic computation.
+    pub fn wall_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one span event, stamping the current wall clock. Allocation
+    /// free: the ring either appends into reserved capacity or overwrites
+    /// its oldest slot.
+    pub fn event(&mut self, kind: EventKind, stream: u32, virtual_s: f64, a: u64, b: f64) {
+        let wall_ns = self.wall_ns();
+        self.ring.push(SpanEvent {
+            kind,
+            stream,
+            virtual_s,
+            wall_ns,
+            a,
+            b,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_wires_the_parts_together() {
+        let mut tel = Telemetry::new(
+            TelemetryConfig::default()
+                .with_ring_capacity(4)
+                .with_timeline_window(0.5),
+        );
+        let c = tel.registry.counter("tokens_total", "tokens");
+        tel.registry.inc(c);
+        tel.event(EventKind::TokenSettle, 3, 0.25, 1, 0.001);
+        tel.timeline.observe_token(0.25, false, 2, 1);
+        assert_eq!(tel.registry.counter_value(c), 1.0);
+        assert_eq!(tel.ring.len(), 1);
+        let e = tel.ring.iter().next().unwrap();
+        assert_eq!(e.stream, 3);
+        assert_eq!(tel.timeline.total_tokens(), 1);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let tel = Telemetry::default();
+        let a = tel.wall_ns();
+        let b = tel.wall_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,329 @@
+//! Handle-addressed metrics: counters, gauges, fixed-bucket histograms.
+//!
+//! # Handle lifecycle
+//!
+//! Registration (`counter` / `gauge` / `histogram`) interns the series name
+//! in a map and returns a dense integer handle — the index of the series'
+//! slot in a plain `Vec`. Registration is idempotent (the same name returns
+//! the same handle) and is the **only** allocating operation; it belongs in
+//! setup code (engine attach, run start, session admission). Recording
+//! (`inc` / `add` / `set` / `observe`) is an array index plus an add — safe
+//! inside a zero-allocation decode loop (`tests/zero_alloc.rs` pins this).
+//!
+//! Labels are baked into the series name at registration time
+//! (`tokens_total{tier="premium"}`): the registry stores flat series, and
+//! the Prometheus renderer groups them into families by the name before the
+//! `{`. Values are `f64` — exact for integer counts below 2^53, uniform for
+//! byte totals and seconds.
+
+use std::collections::HashMap;
+
+/// Handle of a registered counter (monotone non-decreasing value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle of a registered gauge (set to arbitrary values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle of a registered fixed-bucket histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Series {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    pub(crate) value: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    pub(crate) name: String,
+    pub(crate) help: String,
+    /// Upper bounds of the finite buckets, ascending; an implicit `+Inf`
+    /// bucket follows.
+    pub(crate) bounds: Vec<f64>,
+    /// Cumulative-style storage is rebuilt at render time; these are plain
+    /// per-bucket counts (`bounds.len() + 1` slots, last = overflow).
+    pub(crate) counts: Vec<u64>,
+    pub(crate) sum: f64,
+    pub(crate) count: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Counter(usize),
+    Gauge(usize),
+    Histogram(usize),
+}
+
+/// A pre-registered metrics registry. See the module docs for the handle
+/// lifecycle and the zero-allocation contract.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    pub(crate) counters: Vec<Series>,
+    pub(crate) gauges: Vec<Series>,
+    pub(crate) histograms: Vec<Histogram>,
+    index: HashMap<String, Slot>,
+    const_labels: Vec<(String, String)>,
+}
+
+/// Splices extra labels into a series name: `name{a="1"}` + `("b", "2")` →
+/// `name{a="1",b="2"}`; a bare name gains a fresh label set.
+pub(crate) fn merge_label(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(open) => format!("{open},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Creates a registry whose every series carries the given constant
+    /// labels (e.g. `cell="dense/fifo"` when several engines export into one
+    /// exposition).
+    pub fn with_const_labels(labels: &[(&str, &str)]) -> Self {
+        MetricsRegistry {
+            const_labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            ..MetricsRegistry::default()
+        }
+    }
+
+    fn decorate(&self, name: &str) -> String {
+        let mut out = name.to_string();
+        for (k, v) in &self.const_labels {
+            out = merge_label(&out, k, v);
+        }
+        out
+    }
+
+    /// Registers (or looks up) a counter. Idempotent per name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&mut self, name: &str, help: &str) -> CounterId {
+        let full = self.decorate(name);
+        if let Some(slot) = self.index.get(&full) {
+            match slot {
+                Slot::Counter(i) => return CounterId(*i),
+                _ => panic!("metric `{full}` already registered with a different kind"),
+            }
+        }
+        let id = self.counters.len();
+        self.counters.push(Series {
+            name: full.clone(),
+            help: help.to_string(),
+            value: 0.0,
+        });
+        self.index.insert(full, Slot::Counter(id));
+        CounterId(id)
+    }
+
+    /// Registers (or looks up) a gauge. Idempotent per name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&mut self, name: &str, help: &str) -> GaugeId {
+        let full = self.decorate(name);
+        if let Some(slot) = self.index.get(&full) {
+            match slot {
+                Slot::Gauge(i) => return GaugeId(*i),
+                _ => panic!("metric `{full}` already registered with a different kind"),
+            }
+        }
+        let id = self.gauges.len();
+        self.gauges.push(Series {
+            name: full.clone(),
+            help: help.to_string(),
+            value: 0.0,
+        });
+        self.index.insert(full, Slot::Gauge(id));
+        GaugeId(id)
+    }
+
+    /// Registers (or looks up) a histogram with the given ascending finite
+    /// bucket bounds (an implicit `+Inf` bucket is added). Idempotent per
+    /// name; the first registration's bounds win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind, or
+    /// if `bounds` is not strictly ascending.
+    pub fn histogram(&mut self, name: &str, help: &str, bounds: &[f64]) -> HistogramId {
+        let full = self.decorate(name);
+        if let Some(slot) = self.index.get(&full) {
+            match slot {
+                Slot::Histogram(i) => return HistogramId(*i),
+                _ => panic!("metric `{full}` already registered with a different kind"),
+            }
+        }
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let id = self.histograms.len();
+        self.histograms.push(Histogram {
+            name: full.clone(),
+            help: help.to_string(),
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        });
+        self.index.insert(full, Slot::Histogram(id));
+        HistogramId(id)
+    }
+
+    /// Adds 1 to a counter. Zero allocation.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].value += 1.0;
+    }
+
+    /// Adds `delta` to a counter. Zero allocation.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: f64) {
+        self.counters[id.0].value += delta;
+    }
+
+    /// Sets a gauge. Zero allocation.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Records one histogram observation (linear scan over the fixed bucket
+    /// bounds — registries keep bucket counts small). Zero allocation.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        let h = &mut self.histograms[id.0];
+        let mut bucket = h.bounds.len();
+        for (i, &bound) in h.bounds.iter().enumerate() {
+            if value <= bound {
+                bucket = i;
+                break;
+            }
+        }
+        h.counts[bucket] += 1;
+        h.sum += value;
+        h.count += 1;
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> f64 {
+        self.counters[id.0].value
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// Total observations of a histogram.
+    pub fn histogram_count(&self, id: HistogramId) -> u64 {
+        self.histograms[id.0].count
+    }
+
+    /// Sum of all observations of a histogram.
+    pub fn histogram_sum(&self, id: HistogramId) -> f64 {
+        self.histograms[id.0].sum
+    }
+
+    /// Number of registered series (counters + gauges + histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Default latency histogram bounds in seconds: half-decade steps from 10 µs
+/// to 10 s — wide enough for both the tiny test models (sub-millisecond
+/// virtual tokens) and full-size serving latencies.
+pub const LATENCY_BOUNDS_S: [f64; 13] = [
+    1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0, 3.16, 10.0,
+];
+
+/// Default batch-width histogram bounds (lanes/chunks are small powers of
+/// two, bounded by the engine's slot count and `MAX_PREFILL_CHUNK`).
+pub const WIDTH_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_kinds_collide() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("tokens_total", "tokens");
+        let b = r.counter("tokens_total", "ignored on re-registration");
+        assert_eq!(a, b);
+        assert_eq!(r.len(), 1);
+        let g = r.gauge("queue_depth", "depth");
+        assert_ne!(a.0, usize::MAX);
+        r.set(g, 7.0);
+        assert_eq!(r.gauge_value(g), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_collision_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x", "");
+        r.gauge("x", "");
+    }
+
+    #[test]
+    fn counter_and_histogram_record() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("n", "");
+        r.inc(c);
+        r.add(c, 2.5);
+        assert_eq!(r.counter_value(c), 3.5);
+
+        let h = r.histogram("lat", "", &[0.1, 1.0]);
+        r.observe(h, 0.05); // bucket 0
+        r.observe(h, 0.5); // bucket 1
+        r.observe(h, 5.0); // overflow
+        assert_eq!(r.histogram_count(h), 3);
+        assert!((r.histogram_sum(h) - 5.55).abs() < 1e-12);
+        assert_eq!(r.histograms[h.0].counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        MetricsRegistry::new().histogram("h", "", &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn const_labels_are_baked_into_names() {
+        let mut r = MetricsRegistry::with_const_labels(&[("cell", "dense/fifo")]);
+        let a = r.counter("tokens_total", "");
+        assert_eq!(r.counters[a.0].name, "tokens_total{cell=\"dense/fifo\"}");
+        let b = r.counter("tokens_total{tier=\"premium\"}", "");
+        assert_eq!(
+            r.counters[b.0].name,
+            "tokens_total{tier=\"premium\",cell=\"dense/fifo\"}"
+        );
+    }
+
+    #[test]
+    fn merge_label_handles_both_shapes() {
+        assert_eq!(merge_label("m", "k", "v"), "m{k=\"v\"}");
+        assert_eq!(merge_label("m{a=\"1\"}", "k", "v"), "m{a=\"1\",k=\"v\"}");
+    }
+}

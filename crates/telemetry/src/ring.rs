@@ -1,0 +1,228 @@
+//! A preallocated ring buffer of `Copy` span events.
+//!
+//! The engine's hot loop may emit several events per served token; buffering
+//! them in a growable `Vec` would allocate mid-decode and an unbounded log
+//! would grow without limit on long runs. The ring fixes both: storage is
+//! reserved once at construction, pushes never allocate, and when the ring
+//! is full the **oldest** event is overwritten (and counted in
+//! [`TraceRing::dropped`]) — the export keeps the most recent window of the
+//! run, which is the window an operator debugging a latency spike wants.
+
+/// What a [`SpanEvent`] records. The `a`/`b` payload fields are
+/// per-kind (documented on each variant); `stream` is the session's stream
+/// id where applicable and `u32::MAX` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A serving run began. `a` = 0, `b` = 0.
+    RunStart,
+    /// A serving run drained. `a` = total schedule positions, `b` =
+    /// makespan in virtual seconds.
+    RunEnd,
+    /// The planner formed a prefill chunk. `a` = chunk height (rows),
+    /// `b` = 0.
+    PlanChunk,
+    /// The planner formed a cross-session batch lane. `a` = lane width
+    /// (rows), `b` = 0.
+    PlanLane,
+    /// One token was served, priced and settled on the virtual clock.
+    /// `a` = `hits << 32 | misses` of the token's cache accesses, `b` = the
+    /// token's priced service latency in virtual seconds.
+    TokenSettle,
+    /// An arrival was admitted to the waiting queue. `a` = queue depth
+    /// after admission, `b` = arrival time in virtual seconds.
+    Admit,
+    /// An arrival was shed. `a` = shed-reason index (0 = rate-limited,
+    /// 1 = tier-quota, 2 = queue-full), `b` = arrival time.
+    Shed,
+    /// An active session was preempted and its KV state parked to Flash.
+    /// `a` = KV positions swapped out, `b` = swap time in virtual seconds.
+    Preempt,
+    /// A parked session resumed. `a` = KV positions swapped back in,
+    /// `b` = swap time in virtual seconds.
+    Resume,
+    /// A session completed. `a` = generated tokens, `b` = completion time
+    /// in virtual seconds.
+    Complete,
+}
+
+impl EventKind {
+    /// Stable lower-case name used by the JSONL and chrome exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::RunStart => "run_start",
+            EventKind::RunEnd => "run_end",
+            EventKind::PlanChunk => "plan_chunk",
+            EventKind::PlanLane => "plan_lane",
+            EventKind::TokenSettle => "token_settle",
+            EventKind::Admit => "admit",
+            EventKind::Shed => "shed",
+            EventKind::Preempt => "preempt",
+            EventKind::Resume => "resume",
+            EventKind::Complete => "complete",
+        }
+    }
+}
+
+/// One recorded event: fixed-size, `Copy`, no heap payload.
+///
+/// Every event carries **two clocks**: `virtual_s` is the run's simulated
+/// clock (deterministic, part of the computation being observed) and
+/// `wall_ns` is host monotonic time since the pipeline's epoch (pure
+/// observation — it varies run to run and never feeds back into results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Session stream id, or `u32::MAX` when not session-scoped.
+    pub stream: u32,
+    /// Virtual-clock timestamp in seconds.
+    pub virtual_s: f64,
+    /// Host monotonic nanoseconds since the [`crate::Telemetry`] epoch.
+    pub wall_ns: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub b: f64,
+}
+
+/// The ring itself. See the module docs for the overwrite contract.
+#[derive(Debug)]
+pub struct TraceRing {
+    events: Vec<SpanEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring with room for `capacity` events (minimum 1), fully
+    /// preallocated.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, overwriting the oldest when full. Never allocates:
+    /// the backing storage was reserved at construction.
+    #[inline]
+    pub fn push(&mut self, event: SpanEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.dropped += 1;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+
+    /// Iterates the held events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// Drops every event (capacity is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(a: u64) -> SpanEvent {
+        SpanEvent {
+            kind: EventKind::TokenSettle,
+            stream: 0,
+            virtual_s: a as f64,
+            wall_ns: a,
+            a,
+            b: 0.0,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let held: Vec<u64> = ring.iter().map(|e| e.a).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pushes_do_not_reallocate() {
+        let mut ring = TraceRing::new(8);
+        let cap_before = ring.events.capacity();
+        for i in 0..100 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.events.capacity(), cap_before);
+        assert_eq!(ring.len(), 8);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut ring = TraceRing::new(2);
+        ring.push(ev(0));
+        ring.push(ev(1));
+        ring.push(ev(2));
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.capacity(), 2);
+        ring.push(ev(9));
+        assert_eq!(ring.iter().next().unwrap().a, 9);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = TraceRing::new(0);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.iter().next().unwrap().a, 2);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::TokenSettle.name(), "token_settle");
+        assert_eq!(EventKind::RunStart.name(), "run_start");
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared statistics helpers (one percentile implementation for the whole
+//! workspace; `serve::report` re-exports it).
+
+/// Nearest-rank percentile of an unsorted sample; `q` is clamped to
+/// `[0, 1]`.
+///
+/// Every input is total-ordered (`f64::total_cmp`), so the function never
+/// panics: an **empty sample returns `0.0`** by definition (there is no
+/// latency to report, and reports render the run as idle rather than
+/// crashing), a single-element sample returns that element for every `q`,
+/// and NaNs sort last instead of aborting the sort.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_contract() {
+        let v = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        assert_eq!(percentile(&v, 0.5), 3.0);
+        assert_eq!(percentile(&v, 0.95), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+    }
+}

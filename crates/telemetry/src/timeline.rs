@@ -1,0 +1,240 @@
+//! Time-sliced aggregates over the run's virtual clock.
+//!
+//! A [`Timeline`] divides virtual time into fixed-width windows and
+//! accumulates per-window token counts, cache outcomes and completion/SLO
+//! tallies — turning an open-loop run (e.g. the diurnal workload) into an
+//! inspectable series: tokens/s, attainment and hit rate per window.
+//!
+//! Accounting invariant: every observed token lands in exactly one window,
+//! so the sum of window token counts equals the run's total served tokens
+//! (pinned by `crates/serve/tests/open_loop_determinism.rs` and checked
+//! again by the `serving` bin before it writes an export).
+//!
+//! Window storage grows on demand (amortised, and never in the steady-state
+//! decode path once a run's horizon has been seen); callers that need strict
+//! zero allocation can pre-size it with [`Timeline::reserve_until`].
+
+/// Aggregates of one virtual-time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStats {
+    /// Tokens served (prefill + decode) whose settle time fell in this
+    /// window.
+    pub tokens: u64,
+    /// Prefill tokens among them.
+    pub prefill_tokens: u64,
+    /// Decode (generated) tokens among them.
+    pub decode_tokens: u64,
+    /// Shared-cache hits of those tokens' weight accesses.
+    pub hits: u64,
+    /// Shared-cache misses of those tokens' weight accesses.
+    pub misses: u64,
+    /// Requests that completed in this window.
+    pub completed: u64,
+    /// Completions that met their SLO.
+    pub slo_met: u64,
+}
+
+impl WindowStats {
+    /// Cache hit rate of the window, 1.0 when nothing was accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// SLO attainment over the window's completions, 1.0 when none.
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.completed as f64
+        }
+    }
+}
+
+/// The time-sliced view; see the module docs.
+#[derive(Debug)]
+pub struct Timeline {
+    window_s: f64,
+    windows: Vec<WindowStats>,
+}
+
+impl Timeline {
+    /// Creates a timeline with the given window width (clamped to a minimum
+    /// of 1 µs so a degenerate width cannot divide by zero).
+    pub fn new(window_s: f64) -> Self {
+        Timeline {
+            window_s: if window_s.is_finite() && window_s > 1e-6 {
+                window_s
+            } else {
+                1e-6
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window width in virtual seconds.
+    pub fn window_s(&self) -> f64 {
+        self.window_s
+    }
+
+    /// The windows observed so far, earliest first. Trailing windows with no
+    /// observations may be absent; indices map to `[i·w, (i+1)·w)`.
+    pub fn windows(&self) -> &[WindowStats] {
+        &self.windows
+    }
+
+    fn index(&self, virtual_s: f64) -> usize {
+        if !(virtual_s.is_finite() && virtual_s > 0.0) {
+            return 0;
+        }
+        (virtual_s / self.window_s) as usize
+    }
+
+    /// Pre-sizes the window storage to cover `virtual_s`, so later
+    /// observations up to that horizon are allocation-free.
+    pub fn reserve_until(&mut self, virtual_s: f64) {
+        let needed = self.index(virtual_s) + 1;
+        if self.windows.len() < needed {
+            self.windows.resize(needed, WindowStats::default());
+        }
+    }
+
+    #[inline]
+    fn window_mut(&mut self, virtual_s: f64) -> &mut WindowStats {
+        let i = self.index(virtual_s);
+        if i >= self.windows.len() {
+            self.windows.resize(i + 1, WindowStats::default());
+        }
+        &mut self.windows[i]
+    }
+
+    /// Records one served token settled at `virtual_s`.
+    #[inline]
+    pub fn observe_token(&mut self, virtual_s: f64, was_prefill: bool, hits: u64, misses: u64) {
+        let w = self.window_mut(virtual_s);
+        w.tokens += 1;
+        if was_prefill {
+            w.prefill_tokens += 1;
+        } else {
+            w.decode_tokens += 1;
+        }
+        w.hits += hits;
+        w.misses += misses;
+    }
+
+    /// Records one request completion at `virtual_s`.
+    #[inline]
+    pub fn observe_completion(&mut self, virtual_s: f64, slo_met: bool) {
+        let w = self.window_mut(virtual_s);
+        w.completed += 1;
+        if slo_met {
+            w.slo_met += 1;
+        }
+    }
+
+    /// Total tokens across all windows (must equal the run's served total).
+    pub fn total_tokens(&self) -> u64 {
+        self.windows.iter().map(|w| w.tokens).sum()
+    }
+
+    /// Total decode tokens across all windows.
+    pub fn total_decode_tokens(&self) -> u64 {
+        self.windows.iter().map(|w| w.decode_tokens).sum()
+    }
+
+    /// Total prefill tokens across all windows.
+    pub fn total_prefill_tokens(&self) -> u64 {
+        self.windows.iter().map(|w| w.prefill_tokens).sum()
+    }
+
+    /// Renders the timeline as a markdown table: one row per window with
+    /// tokens/s, decode tokens/s, hit rate and SLO attainment.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "| window | t start (s) | tokens | tok/s | decode tok/s | hit rate | attainment |\n\
+             |---|---|---|---|---|---|---|\n",
+        );
+        for (i, w) in self.windows.iter().enumerate() {
+            out.push_str(&format!(
+                "| {} | {:.4} | {} | {:.1} | {:.1} | {:.3} | {:.3} |\n",
+                i,
+                i as f64 * self.window_s,
+                w.tokens,
+                w.tokens as f64 / self.window_s,
+                w.decode_tokens as f64 / self.window_s,
+                w.hit_rate(),
+                w.attainment(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_land_in_the_right_window_and_sum_exactly() {
+        let mut t = Timeline::new(1.0);
+        t.observe_token(0.2, true, 3, 1);
+        t.observe_token(0.9, false, 1, 0);
+        t.observe_token(1.1, false, 0, 2);
+        t.observe_token(5.0, false, 0, 0); // boundary: window 5
+        assert_eq!(t.windows().len(), 6);
+        assert_eq!(t.windows()[0].tokens, 2);
+        assert_eq!(t.windows()[0].prefill_tokens, 1);
+        assert_eq!(t.windows()[1].tokens, 1);
+        assert_eq!(t.windows()[5].tokens, 1);
+        assert_eq!(t.total_tokens(), 4);
+        assert_eq!(t.total_decode_tokens() + t.total_prefill_tokens(), 4);
+    }
+
+    #[test]
+    fn completions_and_attainment() {
+        let mut t = Timeline::new(0.5);
+        t.observe_completion(0.1, true);
+        t.observe_completion(0.2, false);
+        t.observe_completion(0.8, true);
+        assert_eq!(t.windows()[0].completed, 2);
+        assert!((t.windows()[0].attainment() - 0.5).abs() < 1e-12);
+        assert!((t.windows()[1].attainment() - 1.0).abs() < 1e-12);
+        assert!((WindowStats::default().attainment() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserve_makes_later_observations_allocation_free() {
+        let mut t = Timeline::new(0.1);
+        t.reserve_until(10.0);
+        let cap = t.windows.capacity();
+        for i in 0..100 {
+            t.observe_token(i as f64 * 0.1, false, 1, 0);
+        }
+        assert_eq!(t.windows.capacity(), cap);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let mut t = Timeline::new(0.0);
+        assert!(t.window_s() > 0.0);
+        t.observe_token(f64::NAN, false, 0, 0);
+        t.observe_token(-1.0, false, 0, 0);
+        assert_eq!(t.windows()[0].tokens, 2);
+        assert!((t.windows()[0].hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_window() {
+        let mut t = Timeline::new(1.0);
+        t.observe_token(0.5, false, 1, 1);
+        t.observe_token(1.5, true, 0, 0);
+        let table = t.render_table();
+        assert_eq!(table.lines().count(), 4); // header + separator + 2 rows
+        assert!(table.contains("| 0 |"));
+        assert!(table.contains("| 1 |"));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`hwsim`] — the mobile-SoC (Flash/DRAM/cache) hardware simulator,
 //! * [`serve`] — the multi-session serving engine (continuous batching,
 //!   shared-cache contention),
+//! * [`telemetry`] — zero-allocation metrics, span ring and exporters
+//!   observing the serving stack,
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
@@ -21,4 +23,5 @@ pub use hwsim;
 pub use lm;
 pub use quant;
 pub use serve;
+pub use telemetry;
 pub use tensor;

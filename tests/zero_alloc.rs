@@ -237,6 +237,77 @@ fn dip_decode_is_allocation_free_in_steady_state() {
     );
 }
 
+/// Steady-state decode **with metrics enabled** stays allocation-free: every
+/// operation the serving engine's per-token telemetry hook performs —
+/// counter adds, a histogram observation, a gauge set, a span-ring push and
+/// a timeline update — runs alongside the decode kernel and the window must
+/// still record **zero** heap allocations. Registration and ring/timeline
+/// sizing are warm-up-phase work by contract
+/// (`telemetry::MetricsRegistry` handle lifecycle).
+#[test]
+fn decode_with_metrics_enabled_is_allocation_free_in_steady_state() {
+    use dynamic_sparsity::telemetry::{EventKind, Telemetry, TelemetryConfig};
+
+    let model = build_synthetic(&ModelConfig::tiny(), 7).expect("tiny model builds");
+    let mut state = model.new_decode_state();
+    let mut scratch = DecodeScratch::for_model(&model);
+    let mut strategy: Box<dyn MlpForward> = Box::new(DenseMlp);
+    let tokens: Vec<u32> = (0..24u32).map(|i| (i * 5 + 1) % 60).collect();
+
+    // Setup phase: pre-register every handle (the only allocating metrics
+    // operation), preallocate the ring, and reserve the timeline windows the
+    // steady-state virtual clock will touch.
+    let mut tel = Telemetry::new(TelemetryConfig::default().with_ring_capacity(256));
+    let tokens_total = tel.registry.counter("serve_tokens_total", "tokens");
+    let decode_tokens = tel.registry.counter("serve_decode_tokens_total", "decode");
+    let hits = tel.registry.counter("serve_cache_hits_total", "hits");
+    let latency = tel.registry.histogram(
+        "serve_token_latency_seconds",
+        "latency",
+        &dynamic_sparsity::telemetry::registry::LATENCY_BOUNDS_S,
+    );
+    let clock = tel.registry.gauge("serve_virtual_time_seconds", "clock");
+    tel.timeline.reserve_until(1.0);
+    let mut now = 0.0f64;
+
+    // Warm-up decodes size the scratch and the KV cache's flat storage.
+    for &t in &tokens[..8] {
+        model
+            .forward_token_into(t, &mut state, strategy.as_mut(), &mut scratch)
+            .expect("warm-up token decodes");
+    }
+
+    let before = allocations();
+    for &t in &tokens[8..] {
+        model
+            .forward_token_into(t, &mut state, strategy.as_mut(), &mut scratch)
+            .expect("steady-state token decodes");
+        // the engine's per-token hook, move for move
+        now += 0.002;
+        tel.registry.inc(tokens_total);
+        tel.registry.inc(decode_tokens);
+        tel.registry.add(hits, 3.0);
+        tel.registry.observe(latency, 0.002);
+        tel.registry.set(clock, now);
+        tel.timeline.observe_token(now, false, 3, 1);
+        tel.event(EventKind::TokenSettle, 0, now, (3 << 32) | 1, 0.002);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "decode with metrics enabled allocated {} times over {} tokens",
+        after - before,
+        tokens.len() - 8
+    );
+    assert_eq!(
+        tel.registry.counter_value(tokens_total),
+        (tokens.len() - 8) as f64
+    );
+    assert_eq!(tel.ring.len(), tokens.len() - 8);
+    assert_eq!(tel.timeline.total_tokens(), (tokens.len() - 8) as u64);
+}
+
 /// The open-loop engine's steady state under preemption churn: the decode
 /// hot path stays scratch-backed, so per-token allocations are bounded by
 /// the trace/queue bookkeeping (which must own its indices) — and, because
