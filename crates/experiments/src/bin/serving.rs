@@ -7,6 +7,7 @@
 //!     [--metrics-out metrics.prom]   # Prometheus text exposition
 //!     [--trace-out trace.jsonl]      # JSONL span/event + timeline dump
 //!     [--chrome-out trace.json]      # chrome://tracing span export
+//! serving [smoke|quick|full] --paged-fleet [sessions]     # paged-KV fleet
 //! ```
 //!
 //! Closed fleet: without a spec file the built-in comparison matrix runs;
@@ -14,6 +15,12 @@
 //! `examples/serving_specs.json`) and the scenario runs one homogeneous
 //! fleet per spec plus a heterogeneous mix — new workload mixes need no
 //! recompilation.
+//!
+//! Paged fleet: one closed fleet of template-sharing assistant sessions
+//! (scale default sizes, or an explicit session count) served twice on the
+//! same fixed KV page budget — paged KV without prefix sharing vs with
+//! copy-on-write shared-prefix caching — printing the throughput/TTFT
+//! comparison table.
 //!
 //! Open loop: arrivals are drawn from a workload (bursty by default,
 //! calibrated to the simulated device's service rate) and driven through
@@ -118,6 +125,7 @@ fn export(out: &InstrumentedOpenLoop, paths: &ExportPaths) -> Option<String> {
 fn main() {
     let mut scale = Scale::Quick;
     let mut open_loop = false;
+    let mut paged_fleet = false;
     let mut path: Option<String> = None;
     let mut paths = ExportPaths {
         metrics: None,
@@ -132,6 +140,7 @@ fn main() {
         };
         match arg.as_str() {
             "--open-loop" | "open-loop" => open_loop = true,
+            "--paged-fleet" | "paged-fleet" => paged_fleet = true,
             "--metrics-out" => paths.metrics = Some(flag_value("--metrics-out")),
             "--trace-out" => paths.trace = Some(flag_value("--trace-out")),
             "--chrome-out" => paths.chrome = Some(flag_value("--chrome-out")),
@@ -143,6 +152,40 @@ fn main() {
     }
     if paths.any() && !open_loop {
         panic!("--metrics-out/--trace-out/--chrome-out require --open-loop");
+    }
+    if paged_fleet && open_loop {
+        panic!("--paged-fleet and --open-loop are separate scenarios");
+    }
+
+    if paged_fleet {
+        // the optional positional argument is a session count, not a file
+        let sessions = match path {
+            None => experiments::serving::paged_fleet_sessions(scale),
+            Some(arg) => arg
+                .parse::<usize>()
+                .unwrap_or_else(|_| panic!("--paged-fleet takes a session count, got `{arg}`")),
+        };
+        eprintln!("running paged-KV fleet scenario with {sessions} sessions...");
+        let scenario =
+            experiments::serving::run_paged_fleet(sessions).expect("paged-fleet scenario failed");
+        println!("{}", scenario.table.to_markdown());
+        let shared = scenario.shared.paged_kv.as_ref().expect("paged stats");
+        assert!(
+            shared.prefix_hits > 0,
+            "prefix sharing never hit — the fleet templates are broken"
+        );
+        assert!(
+            scenario.shared.aggregate_tps > scenario.isolated.aggregate_tps
+                && scenario.shared_ttft_p95_s < scenario.isolated_ttft_p95_s,
+            "sharing must beat the isolated fleet on tok/s and TTFT p95"
+        );
+        eprintln!(
+            "sharing: {:.2}x tok/s, {:.2}x TTFT p95, {} prompt tokens never re-prefilled",
+            scenario.shared.aggregate_tps / scenario.isolated.aggregate_tps,
+            scenario.isolated_ttft_p95_s / scenario.shared_ttft_p95_s.max(1e-12),
+            shared.prefix_tokens_saved
+        );
+        return;
     }
 
     let table = if open_loop {

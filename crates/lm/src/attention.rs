@@ -2,6 +2,7 @@
 
 use crate::error::Result;
 use crate::kv_cache::KvCache;
+use crate::kv_paged::{KvBacking, PagedKv};
 use crate::rope;
 use crate::scratch::AttnScratch;
 use serde::{Deserialize, Serialize};
@@ -81,7 +82,7 @@ impl Attention {
     /// # Errors
     ///
     /// Propagates shape errors from the underlying projections and cache.
-    pub fn forward_token(&self, x: &[f32], pos: usize, cache: &mut KvCache) -> Result<Vec<f32>> {
+    pub fn forward_token(&self, x: &[f32], pos: usize, cache: &mut KvBacking) -> Result<Vec<f32>> {
         let mut scratch = AttnScratch::default();
         let mut out = vec![0.0f32; self.w_o.rows()];
         self.forward_token_into(x, pos, cache, &mut scratch, &mut out, None)?;
@@ -102,7 +103,7 @@ impl Attention {
         &self,
         x: &[f32],
         pos: usize,
-        cache: &mut KvCache,
+        cache: &mut KvBacking,
         scratch: &mut AttnScratch,
         out: &mut [f32],
         mirrors: Option<&crate::scratch::AttnMirrors>,
@@ -219,6 +220,16 @@ impl Attention {
     /// identical** while the inner loops run at SIMD width over positions
     /// instead of `head_dim`-length strips.
     ///
+    /// # Paged backing
+    ///
+    /// For a [`PagedKv`] backing the same reductions walk positions page
+    /// segment by page segment (a page's transposed rows cannot span
+    /// pages), but every score and every attended component still receives
+    /// the *identical sequence* of multiply-adds between the identical
+    /// accumulator loads and stores — the segmentation changes which slice
+    /// is indexed, never the per-output operation order — so the paged
+    /// kernel is bit-for-bit equal to the flat oracle.
+    ///
     /// # Errors
     ///
     /// Propagates cache and softmax shape errors.
@@ -226,7 +237,7 @@ impl Attention {
     pub fn attend_row(
         &self,
         pos: usize,
-        cache: &mut KvCache,
+        cache: &mut KvBacking,
         q: &mut [f32],
         k: &mut [f32],
         v: &[f32],
@@ -237,8 +248,27 @@ impl Attention {
         rope::apply_rope_multihead(q, self.head_dim, pos, self.rope_theta);
         rope::apply_rope_multihead(k, self.head_dim, pos, self.rope_theta);
 
-        cache.push_slices(k, v)?;
+        match cache {
+            KvBacking::Flat(c) => {
+                c.push_slices(k, v)?;
+                self.attend_flat(c, q, scores, weights, attended)
+            }
+            KvBacking::Paged(p) => {
+                p.push_slices(k, v)?;
+                self.attend_paged(p, q, scores, weights, attended)
+            }
+        }
+    }
 
+    /// Attention over a flat [`KvCache`] (the bitwise oracle kernel).
+    fn attend_flat(
+        &self,
+        cache: &KvCache,
+        q: &[f32],
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        attended: &mut [f32],
+    ) -> Result<()> {
         let group = self.n_heads / self.n_kv_heads;
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let seq_len = cache.len();
@@ -352,6 +382,154 @@ impl Attention {
         }
         Ok(())
     }
+
+    /// Attention over a [`PagedKv`] page table: the same reductions as
+    /// [`Attention::attend_flat`], with the score pass walking each page's
+    /// transposed rows segment by segment and the value pass resolving each
+    /// position through the page table. Per-output operation order is
+    /// identical, so the results are bitwise equal to the flat kernel.
+    fn attend_paged(
+        &self,
+        cache: &PagedKv,
+        q: &[f32],
+        scores: &mut Vec<f32>,
+        weights: &mut Vec<f32>,
+        attended: &mut [f32],
+    ) -> Result<()> {
+        let pool = cache.pool_handle().borrow();
+        let pages = cache.pages();
+        let ps = cache.page_size();
+        let group = self.n_heads / self.n_kv_heads;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let seq_len = cache.len();
+        scores.resize(self.n_heads * seq_len, 0.0);
+        weights.resize(self.n_heads * seq_len, 0.0);
+
+        for h in 0..self.n_heads {
+            let kv_head = h / group;
+            let score_row = &mut scores[h * seq_len..(h + 1) * seq_len];
+            score_row.fill(0.0);
+            // same quad-component axpy as the flat kernel, page segment by
+            // page segment: each score still adds q0·k0 … q3·k3 in
+            // ascending-`d` order between one accumulator load and store
+            let mut i = 0usize;
+            while i + 4 <= self.head_dim {
+                let d = kv_head * self.head_dim + i;
+                let qb = &q[h * self.head_dim + i..h * self.head_dim + i + 4];
+                let (q0, q1, q2, q3) = (qb[0], qb[1], qb[2], qb[3]);
+                let mut t0 = 0usize;
+                for &page in pages {
+                    if t0 >= seq_len {
+                        break;
+                    }
+                    let seg = (seq_len - t0).min(ps);
+                    let k0 = &pool.keys_t_row(page, d)[..seg];
+                    let k1 = &pool.keys_t_row(page, d + 1)[..seg];
+                    let k2 = &pool.keys_t_row(page, d + 2)[..seg];
+                    let k3 = &pool.keys_t_row(page, d + 3)[..seg];
+                    for (t, s) in score_row[t0..t0 + seg].iter_mut().enumerate() {
+                        let mut acc = *s;
+                        acc += q0 * k0[t];
+                        acc += q1 * k1[t];
+                        acc += q2 * k2[t];
+                        acc += q3 * k3[t];
+                        *s = acc;
+                    }
+                    t0 += seg;
+                }
+                i += 4;
+            }
+            while i < self.head_dim {
+                let qv = q[h * self.head_dim + i];
+                let d = kv_head * self.head_dim + i;
+                let mut t0 = 0usize;
+                for &page in pages {
+                    if t0 >= seq_len {
+                        break;
+                    }
+                    let seg = (seq_len - t0).min(ps);
+                    let k_row = &pool.keys_t_row(page, d)[..seg];
+                    for (s, &kv) in score_row[t0..t0 + seg].iter_mut().zip(k_row.iter()) {
+                        *s += qv * kv;
+                    }
+                    t0 += seg;
+                }
+                i += 1;
+            }
+            for s in score_row.iter_mut() {
+                *s *= scale;
+            }
+        }
+        for h in 0..self.n_heads {
+            Vector::softmax_into(
+                &scores[h * seq_len..(h + 1) * seq_len],
+                &mut weights[h * seq_len..(h + 1) * seq_len],
+            )?;
+        }
+        // the value pass resolves positions through the page table but
+        // keeps the flat kernel's exact 8/4/1 position blocking over
+        // *global* positions, so each output component's accumulator sees
+        // the identical grouping of adds between loads and stores
+        let val = |t: usize| pool.value(pages[t / ps], t % ps);
+        for h in 0..self.n_heads {
+            let kv_head = h / group;
+            let w_row = &weights[h * seq_len..(h + 1) * seq_len];
+            let head_out = &mut attended[h * self.head_dim..(h + 1) * self.head_dim];
+            head_out.fill(0.0);
+            let lo = kv_head * self.head_dim;
+            let hi = (kv_head + 1) * self.head_dim;
+            let mut t = 0usize;
+            while t + 8 <= seq_len {
+                let v0 = &val(t)[lo..hi];
+                let v1 = &val(t + 1)[lo..hi];
+                let v2 = &val(t + 2)[lo..hi];
+                let v3 = &val(t + 3)[lo..hi];
+                let v4 = &val(t + 4)[lo..hi];
+                let v5 = &val(t + 5)[lo..hi];
+                let v6 = &val(t + 6)[lo..hi];
+                let v7 = &val(t + 7)[lo..hi];
+                let w = &w_row[t..t + 8];
+                for (i, o) in head_out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w[0] * v0[i];
+                    acc += w[1] * v1[i];
+                    acc += w[2] * v2[i];
+                    acc += w[3] * v3[i];
+                    acc += w[4] * v4[i];
+                    acc += w[5] * v5[i];
+                    acc += w[6] * v6[i];
+                    acc += w[7] * v7[i];
+                    *o = acc;
+                }
+                t += 8;
+            }
+            while t + 4 <= seq_len {
+                let v0 = &val(t)[lo..hi];
+                let v1 = &val(t + 1)[lo..hi];
+                let v2 = &val(t + 2)[lo..hi];
+                let v3 = &val(t + 3)[lo..hi];
+                let (w0, w1, w2, w3) = (w_row[t], w_row[t + 1], w_row[t + 2], w_row[t + 3]);
+                for (i, o) in head_out.iter_mut().enumerate() {
+                    let mut acc = *o;
+                    acc += w0 * v0[i];
+                    acc += w1 * v1[i];
+                    acc += w2 * v2[i];
+                    acc += w3 * v3[i];
+                    *o = acc;
+                }
+                t += 4;
+            }
+            while t < seq_len {
+                let v = &val(t)[lo..hi];
+                let w = w_row[t];
+                for (o, &vv) in head_out.iter_mut().zip(v.iter()) {
+                    *o += w * vv;
+                }
+                t += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -377,7 +555,7 @@ mod tests {
     #[test]
     fn forward_token_produces_d_model_output() {
         let attn = small_attention(4, 2);
-        let mut cache = KvCache::new(8);
+        let mut cache = KvBacking::Flat(KvCache::new(8));
         let x = vec![0.1; 16];
         let y = attn.forward_token(&x, 0, &mut cache).unwrap();
         assert_eq!(y.len(), 16);
@@ -390,7 +568,7 @@ mod tests {
         // With only one cached position the softmax weight is 1, so the output
         // equals W_o applied to the (grouped) value projection.
         let attn = small_attention(4, 4);
-        let mut cache = KvCache::new(4);
+        let mut cache = KvBacking::Flat(KvCache::new(4));
         let x: Vec<f32> = (0..16).map(|i| (i as f32) / 16.0).collect();
         let y = attn.forward_token(&x, 0, &mut cache).unwrap();
         let v = attn.w_v.matvec(&x).unwrap();
@@ -406,11 +584,11 @@ mod tests {
         let x0 = vec![0.2; 16];
         let x1 = vec![-0.1; 16];
 
-        let mut cache_a = KvCache::new(8);
+        let mut cache_a = KvBacking::Flat(KvCache::new(8));
         attn.forward_token(&x0, 0, &mut cache_a).unwrap();
         let with_history = attn.forward_token(&x1, 1, &mut cache_a).unwrap();
 
-        let mut cache_b = KvCache::new(8);
+        let mut cache_b = KvBacking::Flat(KvCache::new(8));
         let without_history = attn.forward_token(&x1, 0, &mut cache_b).unwrap();
 
         let diff: f32 = with_history
@@ -419,6 +597,94 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum();
         assert!(diff > 1e-4, "attention output should depend on KV history");
+    }
+
+    /// Drives `tokens` inputs through `attn` on the given backing and
+    /// returns every output, for bitwise comparison between backings.
+    fn run_sequence(attn: &Attention, cache: &mut KvBacking, n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|pos| {
+                let x: Vec<f32> = (0..16)
+                    .map(|i| ((pos * 17 + i * 3) % 13) as f32 / 13.0 - 0.4)
+                    .collect();
+                attn.forward_token(&x, pos, cache).unwrap()
+            })
+            .collect()
+    }
+
+    fn assert_bitwise_eq(a: &[Vec<f32>], b: &[Vec<f32>], what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (t, (ya, yb)) in a.iter().zip(b.iter()).enumerate() {
+            for (i, (va, vb)) in ya.iter().zip(yb.iter()).enumerate() {
+                assert_eq!(va.to_bits(), vb.to_bits(), "{what}: token {t} output {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn paged_attention_is_bitwise_identical_to_flat() {
+        // page_size 3 forces partial segments inside the quad score pass;
+        // 21 tokens exercise the 8-, 4- and 1-wide value unrolls across
+        // page boundaries
+        let attn = small_attention(4, 2);
+        let pool = crate::kv_paged::KvPagePool::new_handle(16, 3);
+        let mut flat = KvBacking::Flat(KvCache::new(32));
+        let mut paged = KvBacking::Paged(PagedKv::new(&pool, 32));
+        let ys_flat = run_sequence(&attn, &mut flat, 21);
+        let ys_paged = run_sequence(&attn, &mut paged, 21);
+        assert_bitwise_eq(&ys_flat, &ys_paged, "paged vs flat");
+    }
+
+    #[test]
+    fn cow_forked_session_matches_flat_continuation() {
+        let attn = small_attention(4, 2);
+        let pool = crate::kv_paged::KvPagePool::new_handle(32, 4);
+        let mut flat = KvBacking::Flat(KvCache::new(32));
+        let mut paged = KvBacking::Paged(PagedKv::new(&pool, 32));
+        let pre_flat = run_sequence(&attn, &mut flat, 6);
+        let pre_paged = run_sequence(&attn, &mut paged, 6);
+        assert_bitwise_eq(&pre_flat, &pre_paged, "shared prefix");
+
+        // fork the paged session mid-page; both the original and the clone
+        // must keep matching the flat oracle exactly
+        let mut forked = paged.clone();
+        for pos in 6..14 {
+            let x: Vec<f32> = (0..16)
+                .map(|i| ((pos * 17 + i * 3) % 13) as f32 / 13.0 - 0.4)
+                .collect();
+            let ya = attn.forward_token(&x, pos, &mut flat).unwrap();
+            let yb = attn.forward_token(&x, pos, &mut paged).unwrap();
+            let yc = attn.forward_token(&x, pos, &mut forked).unwrap();
+            assert_bitwise_eq(
+                std::slice::from_ref(&ya),
+                &[yb],
+                "original paged session after the fork",
+            );
+            assert_bitwise_eq(&[ya], &[yc], "forked paged session");
+        }
+    }
+
+    #[test]
+    fn spilled_and_reloaded_session_matches_flat() {
+        let attn = small_attention(4, 2);
+        let pool = crate::kv_paged::KvPagePool::new_handle(16, 4);
+        let mut flat = KvBacking::Flat(KvCache::new(32));
+        let mut paged = KvBacking::Paged(PagedKv::new(&pool, 32));
+        let a = run_sequence(&attn, &mut flat, 7);
+        let b = run_sequence(&attn, &mut paged, 7);
+        assert_bitwise_eq(&a, &b, "before the spill");
+
+        let p = paged.paged_mut().unwrap();
+        p.spill();
+        p.reload().unwrap();
+        for pos in 7..12 {
+            let x: Vec<f32> = (0..16)
+                .map(|i| ((pos * 17 + i * 3) % 13) as f32 / 13.0 - 0.4)
+                .collect();
+            let ya = attn.forward_token(&x, pos, &mut flat).unwrap();
+            let yb = attn.forward_token(&x, pos, &mut paged).unwrap();
+            assert_bitwise_eq(&[ya], &[yb], "after spill/reload");
+        }
     }
 
     #[test]

@@ -152,9 +152,10 @@ impl KvCache {
 
     /// Drops every position at index `len` or later, keeping the first `len`.
     ///
-    /// A no-op when the cache already holds `len` or fewer positions. This is
-    /// the building block for rolling a session back to a shared prompt
-    /// prefix (prefix reuse is not yet wired into the serving engine).
+    /// A no-op when the cache already holds `len` or fewer positions. (The
+    /// serving engine's shared-prefix reuse runs on the paged backing — see
+    /// [`crate::kv_paged`] — where a prefix is *mapped*, not re-derived by
+    /// rollback; `truncate` remains for flat-cache callers.)
     pub fn truncate(&mut self, len: usize) {
         if len < self.len {
             self.keys.truncate(len * self.dim);
@@ -179,6 +180,13 @@ impl KvCache {
 /// resumed session continues its generation without output divergence. A
 /// parked state that is never resumed can be reclaimed into the free list
 /// with [`DecodeStatePool::reclaim_parked`].
+///
+/// Under the paged backing ([`crate::kv_paged::PagedKv`]) the pool keeps
+/// pool-page residency bounded by *active* sessions: parking spills a
+/// paged state's pages into its session-owned buffer (the caller reloads
+/// after [`DecodeStatePool::resume`], see [`crate::DecodeState::reload_kv`]),
+/// and releasing clears a paged state's pages before it idles in the free
+/// list — so neither parked nor idle states ever hold pool pages.
 #[derive(Debug, Default)]
 pub struct DecodeStatePool {
     free: Vec<crate::model::DecodeState>,
@@ -210,41 +218,83 @@ impl DecodeStatePool {
         self.built
     }
 
-    fn fits(state: &crate::model::DecodeState, model: &crate::model::TransformerModel) -> bool {
-        state.kv.len() == model.n_layers()
-            && state
-                .kv
-                .first()
-                .map(|c| c.capacity() == model.config.max_seq_len)
-                .unwrap_or(model.n_layers() == 0)
+    fn fits(
+        state: &crate::model::DecodeState,
+        model: &crate::model::TransformerModel,
+        pool: Option<&crate::kv_paged::PagePoolHandle>,
+    ) -> bool {
+        if state.kv.len() != model.n_layers() {
+            return false;
+        }
+        let cap_ok = state
+            .kv
+            .first()
+            .map(|c| c.capacity() == model.config.max_seq_len)
+            .unwrap_or(model.n_layers() == 0);
+        if !cap_ok {
+            return false;
+        }
+        match (state.kv.first(), pool) {
+            (None, _) => true,
+            (Some(crate::kv_paged::KvBacking::Flat(_)), None) => true,
+            (Some(crate::kv_paged::KvBacking::Paged(p)), Some(h)) => {
+                std::rc::Rc::ptr_eq(p.pool_handle(), h)
+            }
+            _ => false,
+        }
     }
 
     /// Returns a reset decode state for `model`, recycling a pooled one when
-    /// its shape matches.
+    /// its shape matches (flat backing).
     pub fn acquire(&mut self, model: &crate::model::TransformerModel) -> crate::model::DecodeState {
-        if let Some(pos) = self.free.iter().position(|s| Self::fits(s, model)) {
+        self.acquire_backed(model, None)
+    }
+
+    /// Returns a reset decode state for `model` on the requested backing:
+    /// flat when `pool` is `None`, paged over `pool` otherwise. A recycled
+    /// state must match the backing (including the exact page pool) as well
+    /// as the shape.
+    pub fn acquire_backed(
+        &mut self,
+        model: &crate::model::TransformerModel,
+        pool: Option<&crate::kv_paged::PagePoolHandle>,
+    ) -> crate::model::DecodeState {
+        if let Some(pos) = self.free.iter().position(|s| Self::fits(s, model, pool)) {
             let mut state = self.free.swap_remove(pos);
             state.reset();
             self.reused += 1;
             state
         } else {
             self.built += 1;
-            model.new_decode_state()
+            match pool {
+                Some(h) => model.new_decode_state_paged(h),
+                None => model.new_decode_state(),
+            }
         }
     }
 
-    /// Returns a finished session's state to the pool for later reuse.
-    pub fn release(&mut self, state: crate::model::DecodeState) {
+    /// Returns a finished session's state to the pool for later reuse. A
+    /// paged state's pages are released immediately — an idle pooled state
+    /// must not hold pool memory.
+    pub fn release(&mut self, mut state: crate::model::DecodeState) {
+        if state.is_paged() {
+            for c in &mut state.kv {
+                c.clear();
+            }
+        }
         self.free.push(state);
     }
 
     /// Parks a preempted session's state under `key` **without resetting
     /// it**: KV entries and position survive until [`DecodeStatePool::resume`].
+    /// A paged state is spilled ([`crate::DecodeState::spill_kv`]), so a parked
+    /// session holds zero pool pages; the caller reloads after resuming.
     ///
     /// Parking a key that is already parked replaces the previous state
     /// (the old one is reclaimed into the free list — a session has exactly
     /// one live state).
-    pub fn park(&mut self, key: u64, state: crate::model::DecodeState) {
+    pub fn park(&mut self, key: u64, mut state: crate::model::DecodeState) {
+        state.spill_kv();
         if let Some(pos) = self.parked.iter().position(|(k, _)| *k == key) {
             let (_, old) = self.parked.swap_remove(pos);
             self.free.push(old);
@@ -399,6 +449,44 @@ mod tests {
         // reclaimed + replaced states are recyclable, not leaked
         let _ = pool.acquire(&model);
         assert!(pool.reuse_count() >= 2);
+    }
+
+    #[test]
+    fn pool_recycles_paged_states_and_never_leaks_pages() {
+        use crate::builder::build_synthetic;
+        use crate::config::ModelConfig;
+        use crate::kv_paged::KvPagePool;
+
+        let model = build_synthetic(&ModelConfig::tiny(), 2).unwrap();
+        let pages = KvPagePool::new_handle(64, 8);
+        let mut pool = DecodeStatePool::new();
+
+        let mut state = pool.acquire_backed(&model, Some(&pages));
+        assert!(state.is_paged());
+        model.forward_token_dense(1, &mut state).unwrap();
+        model.forward_token_dense(2, &mut state).unwrap();
+        assert!(pages.borrow().pages_in_use() > 0);
+
+        // parking spills: a parked session holds zero pool pages
+        pool.park(7, state);
+        assert_eq!(pages.borrow().pages_in_use(), 0);
+        let mut state = pool.resume(7).unwrap();
+        assert!(state.is_spilled());
+        state.reload_kv().unwrap();
+        model.forward_token_dense(3, &mut state).unwrap();
+        assert_eq!(state.pos, 3);
+
+        // releasing clears: an idle pooled state holds zero pool pages
+        pool.release(state);
+        assert_eq!(pages.borrow().pages_in_use(), 0);
+
+        // a paged acquire recycles the paged state; a flat acquire must not
+        let recycled = pool.acquire_backed(&model, Some(&pages));
+        assert_eq!(pool.reuse_count(), 1);
+        pool.release(recycled);
+        let flat = pool.acquire(&model);
+        assert!(!flat.is_paged());
+        assert_eq!(pool.build_count(), 2);
     }
 
     #[test]

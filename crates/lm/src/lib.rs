@@ -33,6 +33,7 @@ pub mod data;
 pub mod error;
 pub mod eval;
 pub mod kv_cache;
+pub mod kv_paged;
 pub mod mlp;
 pub mod model;
 pub mod norm;
@@ -45,6 +46,9 @@ pub use config::ModelConfig;
 pub use error::{LmError, Result};
 pub use eval::{EvalResult, Task, TaskSuite};
 pub use kv_cache::{DecodeStatePool, KvCache};
+pub use kv_paged::{
+    pages_spanning, KvBacking, KvPagePool, PageId, PagePoolHandle, PagePoolStats, PagedKv,
+};
 pub use mlp::{
     ColumnAccess, DenseMlp, GluMlp, MatrixAccess, MlpAccessRecord, MlpForward, MlpForwardOutput,
     MlpMatrix, SliceAxis,

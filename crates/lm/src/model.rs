@@ -4,6 +4,7 @@ use crate::attention::Attention;
 use crate::config::ModelConfig;
 use crate::error::{LmError, Result};
 use crate::kv_cache::KvCache;
+use crate::kv_paged::{KvBacking, PagePoolHandle, PagedKv};
 use crate::mlp::{DenseMlp, GluMlp, MlpAccessRecord, MlpForward};
 use crate::norm::RmsNorm;
 use crate::scratch::{BatchScratch, DecodeScratch};
@@ -40,19 +41,82 @@ pub struct TransformerLayer {
 /// Mutable decoding state: one KV cache per layer plus the current position.
 #[derive(Debug, Clone)]
 pub struct DecodeState {
-    /// Per-layer key/value caches.
-    pub kv: Vec<KvCache>,
+    /// Per-layer key/value caches (flat, or paged over a shared pool).
+    pub kv: Vec<KvBacking>,
     /// Next position index to be decoded.
     pub pos: usize,
 }
 
 impl DecodeState {
-    /// Clears the caches and resets the position to zero.
+    /// Clears the caches (releasing pool pages for paged backings) and
+    /// resets the position to zero.
     pub fn reset(&mut self) {
         for c in &mut self.kv {
             c.clear();
         }
         self.pos = 0;
+    }
+
+    /// Whether the state's KV lives in paged backings.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.kv.first(), Some(KvBacking::Paged(_)))
+    }
+
+    /// Spills every paged layer to its session-owned buffer, releasing all
+    /// pool pages (a no-op for flat states). A parked session then holds
+    /// zero pool memory until [`DecodeState::reload_kv`].
+    pub fn spill_kv(&mut self) {
+        for c in &mut self.kv {
+            if let Some(p) = c.paged_mut() {
+                p.spill();
+            }
+        }
+    }
+
+    /// Whether any layer is currently spilled.
+    pub fn is_spilled(&self) -> bool {
+        self.kv
+            .iter()
+            .any(|c| c.paged().map(PagedKv::is_spilled).unwrap_or(false))
+    }
+
+    /// Total pool pages a [`DecodeState::reload_kv`] would need right now.
+    pub fn kv_pages_to_reload(&self) -> usize {
+        self.kv
+            .iter()
+            .filter_map(|c| c.paged().map(PagedKv::pages_to_reload))
+            .sum()
+    }
+
+    /// Reloads every spilled layer back into pool pages, bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LmError::BadSequence`] when the pool cannot supply enough
+    /// pages for *all* layers (checked up front, so no layer is partially
+    /// reloaded); the state stays spilled and can be retried later.
+    pub fn reload_kv(&mut self) -> Result<()> {
+        let needed = self.kv_pages_to_reload();
+        if !self.is_spilled() {
+            return Ok(());
+        }
+        if let Some(p) = self.kv.iter().find_map(|c| c.paged()) {
+            let pool = p.pool_handle().borrow();
+            if pool.free_pages() < needed {
+                return Err(LmError::BadSequence {
+                    reason: format!(
+                        "KV page pool has {} free pages but reloading needs {needed}",
+                        pool.free_pages()
+                    ),
+                });
+            }
+        }
+        for c in &mut self.kv {
+            if let Some(p) = c.paged_mut() {
+                p.reload()?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -148,11 +212,24 @@ impl TransformerModel {
         n + self.final_norm.dim()
     }
 
-    /// Creates a fresh decoding state sized for `max_seq_len`.
+    /// Creates a fresh decoding state sized for `max_seq_len`, backed by
+    /// flat per-session caches (the bitwise oracle backing).
     pub fn new_decode_state(&self) -> DecodeState {
         DecodeState {
             kv: (0..self.config.n_layers)
-                .map(|_| KvCache::new(self.config.max_seq_len))
+                .map(|_| KvBacking::Flat(KvCache::new(self.config.max_seq_len)))
+                .collect(),
+            pos: 0,
+        }
+    }
+
+    /// Creates a fresh decoding state whose layers are page tables over the
+    /// shared `pool` — bitwise identical in behaviour to the flat state,
+    /// but with memory allocated page by page on demand.
+    pub fn new_decode_state_paged(&self, pool: &PagePoolHandle) -> DecodeState {
+        DecodeState {
+            kv: (0..self.config.n_layers)
+                .map(|_| KvBacking::Paged(PagedKv::new(pool, self.config.max_seq_len)))
                 .collect(),
             pos: 0,
         }

@@ -1,0 +1,260 @@
+//! Property tests over the paged KV allocator: on random op interleavings
+//! across concurrent sessions, refcounts must hit zero exactly when the
+//! last sharer releases (no double-free, no leak), no session's contents
+//! may ever be corrupted by another session's alloc/free/fork traffic, and
+//! a copy-on-write fork must be bitwise equal to its parent at fork time.
+
+use lm::{pages_spanning, KvPagePool, PagedKv};
+use proptest::prelude::*;
+
+const POOL_PAGES: usize = 48;
+const PAGE_SIZE: usize = 4;
+const DIM: usize = 3;
+const MAX_SEQ: usize = 24;
+const N_SESSIONS: usize = 4;
+
+/// One random operation against one session, decoded from raw proptest
+/// material.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push,
+    Clear,
+    Truncate(usize),
+    Spill,
+    Reload,
+    /// Replace this session with a COW clone of another session.
+    CloneFrom(usize),
+}
+
+fn decode(kind: u8, aux: usize) -> Op {
+    match kind % 6 {
+        0 | 1 => Op::Push, // pushes twice as likely: grow state to exercise
+        2 => Op::Clear,
+        3 => Op::Truncate(aux % (MAX_SEQ + 1)),
+        4 => Op::Spill,
+        _ => {
+            if aux.is_multiple_of(2) {
+                Op::Reload
+            } else {
+                Op::CloneFrom(aux % N_SESSIONS)
+            }
+        }
+    }
+}
+
+/// Unique, position-dependent key/value payloads so any cross-session
+/// corruption is observable.
+fn payload(stamp: u64) -> (Vec<f32>, Vec<f32>) {
+    let k: Vec<f32> = (0..DIM).map(|d| stamp as f32 + d as f32 * 0.125).collect();
+    let v: Vec<f32> = (0..DIM)
+        .map(|d| -(stamp as f32) - d as f32 * 0.25)
+        .collect();
+    (k, v)
+}
+
+struct Harness {
+    pool: lm::PagePoolHandle,
+    sessions: Vec<PagedKv>,
+    /// Shadow model: the exact contents each session must hold.
+    shadows: Vec<Vec<(Vec<f32>, Vec<f32>)>>,
+    stamp: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let pool = KvPagePool::new_handle(POOL_PAGES, PAGE_SIZE);
+        Harness {
+            sessions: (0..N_SESSIONS)
+                .map(|_| PagedKv::new(&pool, MAX_SEQ))
+                .collect(),
+            shadows: vec![Vec::new(); N_SESSIONS],
+            pool,
+            stamp: 0,
+        }
+    }
+
+    fn apply(&mut self, s: usize, op: Op) {
+        match op {
+            Op::Push => {
+                self.stamp += 1;
+                let (k, v) = payload(self.stamp);
+                let before = self.sessions[s].len();
+                match self.sessions[s].push_slices(&k, &v) {
+                    Ok(()) => self.shadows[s].push((k, v)),
+                    Err(_) => {
+                        // full, spilled, or pool exhausted: state unchanged
+                        assert_eq!(self.sessions[s].len(), before);
+                    }
+                }
+            }
+            Op::Clear => {
+                self.sessions[s].clear();
+                self.shadows[s].clear();
+            }
+            Op::Truncate(n) => {
+                if !self.sessions[s].is_spilled() {
+                    self.sessions[s].truncate(n);
+                    self.shadows[s].truncate(n);
+                }
+            }
+            Op::Spill => self.sessions[s].spill(),
+            Op::Reload => {
+                let was_spilled = self.sessions[s].is_spilled();
+                match self.sessions[s].reload() {
+                    Ok(()) => assert!(!self.sessions[s].is_spilled()),
+                    Err(_) => assert!(was_spilled, "reload only fails while spilled"),
+                }
+            }
+            Op::CloneFrom(from) => {
+                if !self.sessions[from].is_spilled() {
+                    let clone = self.sessions[from].clone();
+                    let shadow = self.shadows[from].clone();
+                    self.sessions[s] = clone;
+                    self.shadows[s] = shadow;
+                }
+            }
+        }
+    }
+
+    /// Every session's visible contents must match its shadow bitwise, and
+    /// the pool's free list and refcounts must be consistent.
+    fn check(&self) {
+        for (s, (kv, shadow)) in self.sessions.iter().zip(self.shadows.iter()).enumerate() {
+            prop_assert_invariants(kv, shadow, s);
+        }
+        let pool = self.pool.borrow();
+        assert_eq!(
+            pool.pages_in_use() + pool.free_pages(),
+            pool.total_pages(),
+            "every page is exactly free or in use"
+        );
+        let mapped: usize = self.sessions.iter().map(|kv| kv.pages().len()).sum();
+        assert!(
+            pool.pages_in_use() <= mapped,
+            "in-use pages ({}) cannot exceed mapped page-table entries ({mapped})",
+            pool.pages_in_use()
+        );
+        assert!(pool.high_water() >= pool.pages_in_use());
+    }
+}
+
+fn prop_assert_invariants(kv: &PagedKv, shadow: &[(Vec<f32>, Vec<f32>)], s: usize) {
+    assert_eq!(kv.len(), shadow.len(), "session {s} length");
+    if kv.is_spilled() {
+        return; // contents are checked again after reload
+    }
+    assert_eq!(kv.pages().len(), pages_spanning(kv.len(), PAGE_SIZE));
+    for (i, (k, v)) in shadow.iter().enumerate() {
+        let got_k = kv.key_at(i).expect("position exists");
+        let got_v = kv.value_at(i).expect("position exists");
+        for (a, b) in got_k.iter().zip(k.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "session {s} key {i} corrupted");
+        }
+        for (a, b) in got_v.iter().zip(v.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "session {s} value {i} corrupted");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random interleavings of push/clear/truncate/spill/reload/clone over
+    /// concurrent sessions never corrupt any session's contents, never
+    /// double-free, and keep the free list + refcounts consistent.
+    #[test]
+    fn concurrent_sessions_never_corrupt_each_other(
+        ops in prop::collection::vec((0u8..6, 0usize..N_SESSIONS, 0usize..64), 0..80)
+    ) {
+        let mut h = Harness::new();
+        for (kind, session, aux) in ops {
+            h.apply(session, decode(kind, aux));
+            h.check();
+        }
+        // teardown: dropping every session returns the pool to empty
+        h.sessions.clear();
+        prop_assert_eq!(h.pool.borrow().pages_in_use(), 0);
+        prop_assert_eq!(h.pool.borrow().free_pages(), POOL_PAGES);
+    }
+
+    /// A page's refcount hits zero exactly when the last sharer releases:
+    /// after `n` clones of one session are dropped one by one, the shared
+    /// pages stay allocated until the final owner goes away.
+    #[test]
+    fn refcount_zero_exactly_at_last_release(
+        positions in 1usize..MAX_SEQ,
+        n_clones in 1usize..5,
+    ) {
+        let pool = KvPagePool::new_handle(POOL_PAGES, PAGE_SIZE);
+        let mut owner = PagedKv::new(&pool, MAX_SEQ);
+        for i in 0..positions {
+            let (k, v) = payload(i as u64);
+            owner.push_slices(&k, &v).unwrap();
+        }
+        let pages_used = pages_spanning(positions, PAGE_SIZE);
+        let mut clones: Vec<PagedKv> = (0..n_clones).map(|_| owner.clone()).collect();
+        prop_assert_eq!(pool.borrow().pages_in_use(), pages_used);
+        for &p in owner.pages() {
+            prop_assert_eq!(pool.borrow().refcount(p), n_clones as u32 + 1);
+        }
+        while let Some(c) = clones.pop() {
+            drop(c);
+            prop_assert_eq!(
+                pool.borrow().pages_in_use(), pages_used,
+                "pages must stay allocated while any sharer remains"
+            );
+        }
+        drop(owner);
+        prop_assert_eq!(pool.borrow().pages_in_use(), 0, "last release frees");
+        prop_assert_eq!(pool.borrow().free_pages(), POOL_PAGES);
+    }
+
+    /// A COW fork is bitwise equal to its parent at fork time: whatever
+    /// prefix the parent held when the clone diverges, the clone reads back
+    /// the parent's exact bits for every shared position.
+    #[test]
+    fn forked_page_is_bitwise_equal_to_parent_at_fork_time(
+        parent_len in 1usize..MAX_SEQ,
+        extra in 1usize..4,
+    ) {
+        let pool = KvPagePool::new_handle(POOL_PAGES, PAGE_SIZE);
+        let mut parent = PagedKv::new(&pool, MAX_SEQ);
+        for i in 0..parent_len {
+            let (k, v) = payload(1000 + i as u64);
+            parent.push_slices(&k, &v).unwrap();
+        }
+        let snapshot: Vec<_> = (0..parent_len)
+            .map(|i| (parent.key_at(i).unwrap(), parent.value_at(i).unwrap()))
+            .collect();
+
+        let mut child = parent.clone();
+        let forks_before = pool.borrow().fork_count();
+        for e in 0..extra.min(MAX_SEQ - parent_len) {
+            let (k, v) = payload(9000 + e as u64);
+            child.push_slices(&k, &v).unwrap();
+        }
+        if parent_len % PAGE_SIZE != 0 {
+            prop_assert!(
+                pool.borrow().fork_count() > forks_before,
+                "appending into a shared partial page must fork"
+            );
+        }
+        for (i, (k, v)) in snapshot.iter().enumerate() {
+            let ck = child.key_at(i).unwrap();
+            let cv = child.value_at(i).unwrap();
+            for (a, b) in ck.iter().zip(k.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "forked key {} diverged", i);
+            }
+            for (a, b) in cv.iter().zip(v.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "forked value {} diverged", i);
+            }
+        }
+        // and the parent still reads back its own bits after the fork
+        for (i, (k, _)) in snapshot.iter().enumerate() {
+            let pk = parent.key_at(i).unwrap();
+            for (a, b) in pk.iter().zip(k.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "parent key {} corrupted", i);
+            }
+        }
+    }
+}

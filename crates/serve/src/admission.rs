@@ -16,6 +16,11 @@
 //!    [`AdmissionConfig::queue_capacity`] requests; arrivals past that are
 //!    shed with [`ShedReason::QueueFull`].
 //!
+//! Under a paged KV pool the engine adds a **memory dimension** ahead of all
+//! three: a request whose page footprint exceeds the whole pool can never be
+//! served and is shed with [`ShedReason::Memory`] at arrival
+//! ([`AdmissionController::offer_with_memory`]).
+//!
 //! Checks run in that order, and every decision is a pure function of
 //! `(config, prior decisions, arrival time)` — no wall clock, no
 //! randomness — so open-loop runs are exactly reproducible.
@@ -90,14 +95,19 @@ pub enum ShedReason {
     TierQuota,
     /// The bounded admission queue is full.
     QueueFull,
+    /// The request's KV footprint exceeds the paged pool outright — it could
+    /// never hold a slot no matter how long it waited, so it is shed at
+    /// arrival instead of queueing forever.
+    Memory,
 }
 
 impl ShedReason {
     /// Every reason, in [`ShedReason::index`] order.
-    pub const ALL: [ShedReason; 3] = [
+    pub const ALL: [ShedReason; 4] = [
         ShedReason::RateLimited,
         ShedReason::TierQuota,
         ShedReason::QueueFull,
+        ShedReason::Memory,
     ];
 
     /// Dense index of this reason (matches [`ShedReason::ALL`]); used to
@@ -113,6 +123,7 @@ impl std::fmt::Display for ShedReason {
             ShedReason::RateLimited => "rate-limited",
             ShedReason::TierQuota => "tier-quota",
             ShedReason::QueueFull => "queue-full",
+            ShedReason::Memory => "memory",
         };
         f.write_str(s)
     }
@@ -203,6 +214,8 @@ pub struct AdmissionStats {
     pub shed_tier_quota: usize,
     /// Requests shed by the queue bound.
     pub shed_queue_full: usize,
+    /// Requests shed because their KV footprint exceeds the paged pool.
+    pub shed_memory: usize,
     /// Arrivals per tier, indexed by [`Tier::index`].
     pub arrived_per_tier: [usize; 3],
     /// Shed requests per tier, indexed by [`Tier::index`].
@@ -212,7 +225,7 @@ pub struct AdmissionStats {
 impl AdmissionStats {
     /// Total shed requests.
     pub fn shed(&self) -> usize {
-        self.shed_rate_limited + self.shed_tier_quota + self.shed_queue_full
+        self.shed_rate_limited + self.shed_tier_quota + self.shed_queue_full + self.shed_memory
     }
 }
 
@@ -243,10 +256,28 @@ impl AdmissionController {
     /// Offers one arrival at virtual time `now_s`. `None` means the request
     /// was queued; `Some(reason)` means it was shed (and dropped).
     pub fn offer(&mut self, request: GenRequest, now_s: f64) -> Option<ShedReason> {
+        self.offer_with_memory(request, now_s, true)
+    }
+
+    /// [`AdmissionController::offer`] with the engine's memory verdict:
+    /// `fits_memory = false` marks a request whose KV footprint exceeds the
+    /// paged pool outright. Such an arrival is shed with
+    /// [`ShedReason::Memory`] *before* the token bucket — it can never be
+    /// served, so it should not burn an ingress token or a queue slot.
+    pub fn offer_with_memory(
+        &mut self,
+        request: GenRequest,
+        now_s: f64,
+        fits_memory: bool,
+    ) -> Option<ShedReason> {
         let tier = request.tier.index();
         self.stats.arrived += 1;
         self.stats.arrived_per_tier[tier] += 1;
         let reason = 'decide: {
+            if !fits_memory {
+                self.stats.shed_memory += 1;
+                break 'decide Some(ShedReason::Memory);
+            }
             if let Some(bucket) = &mut self.bucket {
                 if !bucket.try_take(now_s) {
                     self.stats.shed_rate_limited += 1;
@@ -399,5 +430,29 @@ mod tests {
         assert_eq!(ShedReason::RateLimited.to_string(), "rate-limited");
         assert_eq!(ShedReason::TierQuota.to_string(), "tier-quota");
         assert_eq!(ShedReason::QueueFull.to_string(), "queue-full");
+        assert_eq!(ShedReason::Memory.to_string(), "memory");
+        for (i, r) in ShedReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn memory_shed_fires_before_the_bucket() {
+        let config = AdmissionConfig::default().with_rate_limit(1.0, 1.0);
+        let mut ctrl = AdmissionController::new(config);
+        // the impossible request is shed without consuming a token...
+        assert_eq!(
+            ctrl.offer_with_memory(request(0, Tier::Standard), 0.0, false),
+            Some(ShedReason::Memory)
+        );
+        // ...so the next (feasible) arrival still gets the burst token
+        assert_eq!(
+            ctrl.offer_with_memory(request(1, Tier::Standard), 0.0, true),
+            None
+        );
+        let stats = ctrl.stats();
+        assert_eq!(stats.shed_memory, 1);
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.admitted, 1);
     }
 }

@@ -51,9 +51,10 @@
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::error::{Result, ServeError};
 use crate::layout::{layout_for_serving, to_token_access_batch_row};
+use crate::prefix::PrefixRegistry;
 use crate::report::{
-    percentile, OpenLoopStats, Percentiles, RequestStats, ServeReport, StrategyClassStats,
-    TierStats,
+    percentile, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
+    StrategyClassStats, TierStats,
 };
 use crate::request::{GenRequest, TIERS};
 use crate::scheduler::{AdmissionCandidate, SchedulerPolicy};
@@ -64,8 +65,8 @@ use crate::workload::Workload;
 use hwsim::{simulate_concurrent, AccessTrace, DeviceConfig, EvictionPolicy, TokenPricer};
 use lm::mlp::DenseMlp;
 use lm::{
-    ActivationTrace, BatchScratch, BatchStrategies, DecodeStatePool, MlpForward, ModelConfig,
-    TransformerModel,
+    pages_spanning, ActivationTrace, BatchScratch, BatchStrategies, DecodeStatePool, KvPagePool,
+    MlpForward, ModelConfig, PagePoolHandle, TransformerModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +88,26 @@ pub enum ExecutionMode {
 /// Upper bound on a prefill chunk (bounds the batch scratch: logits and
 /// activations scale with the chunk height).
 const MAX_PREFILL_CHUNK: usize = 64;
+
+/// Paged KV memory configuration (see DESIGN.md §14).
+///
+/// Instead of one flat full-context KV cache per slot, every session's KV
+/// backing becomes a page table over one engine-wide [`lm::KvPagePool`] of
+/// `pool_pages` fixed-size pages. Admission then gates on *pages*, not
+/// slots: a fleet of thousands of short sessions fits the same fixed memory
+/// budget that eight full-context slots would pin. With `prefix_sharing`,
+/// sessions arriving with a declared shared prompt prefix
+/// ([`GenRequest::shared_prefix_len`]) map already-prefilled pages
+/// copy-on-write instead of re-prefilling them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedKvConfig {
+    /// KV positions per page.
+    pub page_size: usize,
+    /// Total pages in the engine-wide pool — the fleet's hard KV memory cap.
+    pub pool_pages: usize,
+    /// Map registered shared prefixes copy-on-write at admission.
+    pub prefix_sharing: bool,
+}
 
 /// Configuration of a serving deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +133,9 @@ pub struct ServeConfig {
     pub admission: AdmissionConfig,
     /// Batched-lane or sequential (oracle) execution of the schedule.
     pub execution: ExecutionMode,
+    /// Back sessions with a paged KV pool instead of flat per-slot caches
+    /// (`None` = flat, the default).
+    pub paged_kv: Option<PagedKvConfig>,
 }
 
 impl ServeConfig {
@@ -129,7 +153,30 @@ impl ServeConfig {
             seed: 0x5e42,
             admission: AdmissionConfig::default(),
             execution: ExecutionMode::default(),
+            paged_kv: None,
         }
+    }
+
+    /// Returns a copy backed by a paged KV pool of `pool_pages` pages of
+    /// `page_size` positions each (prefix sharing off; see
+    /// [`ServeConfig::with_prefix_sharing`]).
+    pub fn with_paged_kv(mut self, page_size: usize, pool_pages: usize) -> Self {
+        self.paged_kv = Some(PagedKvConfig {
+            page_size,
+            pool_pages,
+            prefix_sharing: false,
+        });
+        self
+    }
+
+    /// Enables copy-on-write shared-prefix caching on the paged pool. Call
+    /// after [`ServeConfig::with_paged_kv`]; a no-op on flat backings.
+    pub fn with_prefix_sharing(mut self) -> Self {
+        debug_assert!(self.paged_kv.is_some(), "prefix sharing needs a paged pool");
+        if let Some(paged) = &mut self.paged_kv {
+            paged.prefix_sharing = true;
+        }
+        self
     }
 
     /// Returns a copy with the given execution mode.
@@ -195,6 +242,20 @@ impl ServeConfig {
                 });
             }
         }
+        if let Some(paged) = &self.paged_kv {
+            if paged.page_size == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "paged_kv.page_size",
+                    reason: "pages must hold at least one position".to_string(),
+                });
+            }
+            if paged.pool_pages == 0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "paged_kv.pool_pages",
+                    reason: "the pool needs at least one page".to_string(),
+                });
+            }
+        }
         self.admission.validate()?;
         self.device.validate()?;
         Ok(())
@@ -238,6 +299,87 @@ struct ExecBuffers {
     strategies: Vec<Box<dyn MlpForward>>,
 }
 
+/// The engine's paged-KV runtime: the page pool every session's backing
+/// draws from, the shared-prefix registry over it, and the conservative
+/// page-commitment ledger admission gates on.
+struct PagedRuntime {
+    pool: PagePoolHandle,
+    registry: PrefixRegistry,
+    prefix_sharing: bool,
+    page_size: usize,
+    pool_pages: usize,
+    /// Pages *committed* (reserved worst-case), not pages in use: the sum of
+    /// every active session's worst-case footprint plus the registry's held
+    /// pages. Admission requires `committed + needed <= pool_pages`, and
+    /// every page the pool can ever hand out is covered by some commitment,
+    /// so a mid-decode allocation can never find the pool empty.
+    committed: usize,
+    /// Pool fork counter at run start (reports carry per-run deltas).
+    forks_at_start: u64,
+}
+
+/// An admission decision under the paged pool: the worst-case pages the
+/// candidate commits, and the prefix-registry hit to map (entry index,
+/// shared length), if any.
+#[derive(Clone, Copy)]
+struct PagedAdmit {
+    needed: usize,
+    hit: Option<(usize, usize)>,
+}
+
+/// Plans a candidate's admission against the paged pool. A registry hit
+/// discounts the shared prefix's pages (`shared_len / page_size` — the
+/// shareable length is page-aligned, see [`PrefixRegistry::shareable_len`]):
+/// those pages are mapped full and never appended to, so a sharer can never
+/// fork them, and the discounted commitment exactly covers the private
+/// pages the session can allocate.
+fn paged_plan(paged: &PagedRuntime, n_layers: usize, request: &GenRequest) -> PagedAdmit {
+    let ps = paged.page_size;
+    let full_pages = pages_spanning(request.total_tokens(), ps);
+    let full = PagedAdmit {
+        needed: n_layers * full_pages,
+        hit: None,
+    };
+    if !paged.prefix_sharing {
+        return full;
+    }
+    let Some(len) = paged.registry.shareable_len(request) else {
+        return full;
+    };
+    match paged
+        .registry
+        .find(&request.strategy, &request.prompt[..len])
+    {
+        Some(entry) => PagedAdmit {
+            needed: n_layers * (full_pages - len / ps),
+            hit: Some((entry, len)),
+        },
+        None => full,
+    }
+}
+
+/// Registers a session's shared prefix once it is fully prefilled (the
+/// engine calls this after every serve round, *before* completion removal,
+/// so even a session that finishes in one round publishes its prefix). The
+/// retained pages join the commitment ledger.
+fn try_register_prefix(paged: &mut Option<PagedRuntime>, session: &mut Session) {
+    let Some(paged) = paged.as_mut() else { return };
+    let Some(len) = session.pending_prefix_register else {
+        return;
+    };
+    if session.state.pos < len {
+        return;
+    }
+    session.pending_prefix_register = None;
+    let added = paged.registry.register(
+        &session.request.strategy,
+        &session.request.prompt,
+        len,
+        &session.state,
+    );
+    paged.committed += added;
+}
+
 /// A multi-session token-generation serving engine.
 pub struct ServeEngine {
     model: TransformerModel,
@@ -251,6 +393,8 @@ pub struct ServeEngine {
     batch: BatchScratch,
     plan: BatchPlan,
     exec: ExecBuffers,
+    /// Paged KV pool + prefix registry (`None` on flat backings).
+    paged: Option<PagedRuntime>,
     /// Optional observability pipeline; `None` (the default) costs a single
     /// branch per hook. Boxed so the engine stays cheap to move.
     telemetry: Option<Box<EngineTelemetry>>,
@@ -266,6 +410,18 @@ impl ServeEngine {
         config.validate()?;
         let scratch = lm::DecodeScratch::for_model(&model);
         let batch = BatchScratch::for_model(&model);
+        let paged = config.paged_kv.map(|pk| {
+            let pool = KvPagePool::new_handle(pk.pool_pages, pk.page_size);
+            PagedRuntime {
+                registry: PrefixRegistry::new(&pool),
+                pool,
+                prefix_sharing: pk.prefix_sharing,
+                page_size: pk.page_size,
+                pool_pages: pk.pool_pages,
+                committed: 0,
+                forks_at_start: 0,
+            }
+        });
         Ok(ServeEngine {
             model,
             config,
@@ -275,6 +431,7 @@ impl ServeEngine {
             batch,
             plan: BatchPlan::default(),
             exec: ExecBuffers::default(),
+            paged,
             telemetry: None,
         })
     }
@@ -310,6 +467,135 @@ impl ServeEngine {
     /// The decode-state pool (exposed for reuse diagnostics).
     pub fn state_pool(&self) -> &DecodeStatePool {
         &self.pool
+    }
+
+    /// The paged KV page pool, when the engine runs one (exposed for leak
+    /// and balance diagnostics).
+    pub fn kv_page_pool(&self) -> Option<&PagePoolHandle> {
+        self.paged.as_ref().map(|p| &p.pool)
+    }
+
+    /// Resets per-run paged-KV state: evicts the prefix registry (pages from
+    /// a prior run must not leak into this run's reports or determinism),
+    /// rebases the pool's high-water mark and snapshots the fork counter so
+    /// the report carries per-run numbers.
+    fn reset_paged_run(&mut self) {
+        if let Some(paged) = self.paged.as_mut() {
+            paged.committed -= paged.registry.pages_held();
+            paged.registry.reset();
+            debug_assert_eq!(paged.committed, 0, "no sessions live between runs");
+            let mut pool = paged.pool.borrow_mut();
+            pool.reset_high_water();
+            paged.forks_at_start = pool.fork_count();
+        }
+    }
+
+    /// The run's paged-KV report block, if the engine is paged.
+    fn paged_stats(&self) -> Option<PagedKvStats> {
+        self.paged.as_ref().map(|paged| {
+            let pool = paged.pool.borrow();
+            PagedKvStats {
+                page_size: paged.page_size,
+                pool_pages: paged.pool_pages,
+                pages_high_water: pool.high_water(),
+                pages_at_end: pool.pages_in_use(),
+                cow_forks: pool.fork_count() - paged.forks_at_start,
+                prefix_hits: paged.registry.hits(),
+                prefix_misses: paged.registry.misses(),
+                prefix_registrations: paged.registry.len(),
+                prefix_tokens_saved: paged.registry.tokens_saved(),
+            }
+        })
+    }
+
+    /// Publishes end-of-run paged-KV gauges to the attached telemetry.
+    fn publish_paged_telemetry(&mut self) {
+        let Some(paged) = self.paged.as_ref() else {
+            return;
+        };
+        let (in_use, forks) = {
+            let pool = paged.pool.borrow();
+            (
+                pool.pages_in_use(),
+                pool.fork_count() - paged.forks_at_start,
+            )
+        };
+        let high_water = paged.pool.borrow().high_water();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.on_paged_kv(in_use, high_water, forks);
+        }
+    }
+
+    /// Admission gate of the paged pool: plans `request` against the
+    /// commitment ledger and returns its admission plan if it fits (always
+    /// `Some(None)` on flat backings). When nothing is running and nothing
+    /// else can free pages, the prefix registry is evicted and the plan
+    /// recomputed — [`ServeConfig::validate`] plus the per-run request
+    /// validation guarantee any single request fits an empty pool, so
+    /// serving can always make progress.
+    fn paged_admission_gate(
+        paged: &mut Option<PagedRuntime>,
+        n_layers: usize,
+        request: &GenRequest,
+        nothing_active: bool,
+    ) -> Option<Option<PagedAdmit>> {
+        let Some(paged) = paged.as_mut() else {
+            return Some(None);
+        };
+        let mut plan = paged_plan(paged, n_layers, request);
+        if paged.committed + plan.needed > paged.pool_pages
+            && nothing_active
+            && !paged.registry.is_empty()
+        {
+            paged.committed -= paged.registry.pages_held();
+            paged.registry.reset();
+            plan = paged_plan(paged, n_layers, request);
+        }
+        if paged.committed + plan.needed > paged.pool_pages {
+            return None;
+        }
+        Some(Some(plan))
+    }
+
+    /// Applies an admission plan to a freshly created paged session: books
+    /// the commitment, maps a prefix hit's pages copy-on-write (skipping
+    /// their prefill), or schedules the prefix for registration on a miss.
+    fn apply_paged_admit(
+        paged: &mut Option<PagedRuntime>,
+        telemetry: &mut Option<Box<EngineTelemetry>>,
+        session: &mut Session,
+        plan: Option<PagedAdmit>,
+    ) -> Result<()> {
+        let (Some(paged), Some(plan)) = (paged.as_mut(), plan) else {
+            return Ok(());
+        };
+        paged.committed += plan.needed;
+        session.kv_pages_committed = plan.needed;
+        match plan.hit {
+            Some((entry, len)) => {
+                for (layer, backing) in session.state.kv.iter_mut().enumerate() {
+                    backing
+                        .paged_mut()
+                        .expect("paged engines acquire paged states")
+                        .adopt_prefix(&paged.registry.entry_pages(entry)[layer], len)?;
+                }
+                session.state.pos = len;
+                session.skip_prefilled_prefix(len);
+                paged.registry.record_hit(len);
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.on_prefix_hit();
+                }
+            }
+            None => {
+                if paged.prefix_sharing {
+                    if let Some(len) = paged.registry.shareable_len(&session.request) {
+                        session.pending_prefix_register = Some(len);
+                        paged.registry.record_miss();
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Supplies a calibration trace for CATS requests (otherwise one is
@@ -563,6 +849,24 @@ impl ServeEngine {
     /// and simulation errors.
     pub fn run(&mut self, requests: Vec<GenRequest>) -> Result<ServeReport> {
         self.validate_requests(&requests)?;
+        // a closed batch must drain, so every request must fit the page
+        // pool by itself (open-loop traffic sheds such requests instead)
+        if let Some(paged) = &self.paged {
+            let n_layers = self.model.config.n_layers;
+            for r in &requests {
+                let needed = n_layers * pages_spanning(r.total_tokens(), paged.page_size);
+                if needed > paged.pool_pages {
+                    return Err(ServeError::InvalidRequest {
+                        id: r.id,
+                        reason: format!(
+                            "needs {needed} KV pages but the pool holds {}",
+                            paged.pool_pages
+                        ),
+                    });
+                }
+            }
+        }
+        self.reset_paged_run();
         if requests.iter().any(|r| r.strategy.needs_calibration()) {
             self.ensure_calibration()?;
         }
@@ -593,13 +897,23 @@ impl ServeEngine {
         }
 
         while !waiting.is_empty() || !active.is_empty() {
-            // Admission: fill free KV slots following the scheduler policy.
+            // Admission: fill free KV slots following the scheduler policy
+            // (gated on page commitment when the engine is paged).
             while active.len() < self.config.max_concurrent && !waiting.is_empty() {
                 let idx = self
                     .config
                     .scheduler
                     .next_admission(&waiting)
                     .expect("queue is non-empty");
+                let Some(plan) = Self::paged_admission_gate(
+                    &mut self.paged,
+                    self.model.config.n_layers,
+                    &waiting[idx],
+                    active.is_empty(),
+                ) else {
+                    // pool pressure: wait for a running session to complete
+                    break;
+                };
                 let request = waiting.remove(idx);
                 let strategy = factory.instantiate(
                     &request.strategy,
@@ -607,17 +921,15 @@ impl ServeEngine {
                     &allocation.capacities,
                     self.calibration.as_ref(),
                 )?;
-                let state = self.pool.acquire(&self.model);
+                let state = self
+                    .pool
+                    .acquire_backed(&self.model, self.paged.as_ref().map(|p| &p.pool));
                 if let Some(t) = self.telemetry.as_deref_mut() {
                     t.on_slot_granted(next_stream, &request.strategy.label());
                 }
-                active.push(Session::new(
-                    next_stream,
-                    request,
-                    order.len(),
-                    state,
-                    strategy,
-                ));
+                let mut session = Session::new(next_stream, request, order.len(), state, strategy);
+                Self::apply_paged_admit(&mut self.paged, &mut self.telemetry, &mut session, plan)?;
+                active.push(session);
                 next_stream += 1;
             }
 
@@ -645,8 +957,13 @@ impl ServeEngine {
                     self.model.config.d_ff,
                 );
 
+                try_register_prefix(&mut self.paged, &mut active[idx]);
                 if active[idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(idx);
+                    if let Some(paged) = self.paged.as_mut() {
+                        paged.committed -= session.kv_pages_committed;
+                        session.kv_pages_committed = 0;
+                    }
                     // Return the KV slot's decode state to the pool for the
                     // next admission; the session keeps its bookkeeping.
                     let state = take_state(&mut session);
@@ -691,11 +1008,19 @@ impl ServeEngine {
                         self.model.config.d_ff,
                     );
                 }
+                for i in 0..rows_n {
+                    let row_idx = self.plan.rows[i].idx;
+                    try_register_prefix(&mut self.paged, &mut active[row_idx]);
+                }
                 // at most the last planned position's session completed
                 // (the planner breaks a batch at any earlier completion)
                 let last_idx = self.plan.rows[rows_n - 1].idx;
                 if active[last_idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(last_idx);
+                    if let Some(paged) = self.paged.as_mut() {
+                        paged.committed -= session.kv_pages_committed;
+                        session.kv_pages_committed = 0;
+                    }
                     let state = take_state(&mut session);
                     self.pool.release(state);
                     finished.push(session);
@@ -703,6 +1028,7 @@ impl ServeEngine {
             }
         }
 
+        self.publish_paged_telemetry();
         if let Some(t) = self.telemetry.as_deref_mut() {
             // closed batches are priced post hoc, so the virtual clock here
             // is 0; the report carries the makespan
@@ -790,6 +1116,7 @@ impl ServeEngine {
         if arrivals.iter().any(|r| r.strategy.needs_calibration()) {
             self.ensure_calibration()?;
         }
+        self.reset_paged_run();
         arrivals.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s).then(a.id.cmp(&b.id)));
 
         // Shared layout + DRAM split, fixed for the whole run (axes must be
@@ -829,6 +1156,7 @@ impl ServeEngine {
         // transfer is charged on the virtual clock at Flash bandwidth.
         let kv_bytes_per_pos =
             self.model.config.kv_cache_bytes() / self.model.config.max_seq_len as f64;
+        let n_layers = self.model.config.n_layers;
         let mut now = 0.0f64;
         let mut step = 0usize;
         let mut next_stream = 0usize;
@@ -843,7 +1171,15 @@ impl ServeEngine {
             while pending.peek().is_some_and(|r| r.arrival_s <= now) {
                 let request = pending.next().expect("peeked");
                 let at = request.arrival_s;
-                let verdict = admission.offer(request, at);
+                // a request whose worst-case footprint exceeds the whole
+                // pool can never be admitted — shed it at the door rather
+                // than let it pin the queue forever
+                let fits_memory = self.paged.as_ref().is_none_or(|paged| {
+                    self.model.config.n_layers
+                        * pages_spanning(request.total_tokens(), paged.page_size)
+                        <= paged.pool_pages
+                });
+                let verdict = admission.offer_with_memory(request, at, fits_memory);
                 if let Some(t) = self.telemetry.as_deref_mut() {
                     t.on_arrival(verdict, admission.queue().len(), at);
                 }
@@ -866,6 +1202,12 @@ impl ServeEngine {
                         break;
                     };
                     let mut session = active.swap_remove(victim);
+                    if let Some(paged) = self.paged.as_mut() {
+                        // parking spills the pages to (virtual) Flash; the
+                        // worst-case commitment goes with them
+                        paged.committed -= session.kv_pages_committed;
+                        session.kv_pages_committed = 0;
+                    }
                     let state = take_state(&mut session);
                     let positions = state.pos;
                     let swap_s = self
@@ -884,6 +1226,42 @@ impl ServeEngine {
                     }
                     parked.push(session);
                 }
+                // Paged memory gate for the candidate. A resumed session
+                // re-commits its full worst-case footprint: spilling
+                // privatised its pages, so any prefix sharing is gone.
+                let plan = match self.paged.as_mut() {
+                    None => None,
+                    Some(paged) => {
+                        let plan_of = |paged: &PagedRuntime| match candidate {
+                            AdmissionCandidate::Queued(i) => {
+                                paged_plan(paged, n_layers, &admission.queue()[i])
+                            }
+                            AdmissionCandidate::Parked(i) => PagedAdmit {
+                                needed: n_layers
+                                    * pages_spanning(
+                                        parked[i].request.total_tokens(),
+                                        paged.page_size,
+                                    ),
+                                hit: None,
+                            },
+                        };
+                        let mut plan = plan_of(paged);
+                        if paged.committed + plan.needed > paged.pool_pages
+                            && active.is_empty()
+                            && !paged.registry.is_empty()
+                        {
+                            // nothing runnable can free pages: evict the
+                            // prefix registry and re-plan without it
+                            paged.committed -= paged.registry.pages_held();
+                            paged.registry.reset();
+                            plan = plan_of(paged);
+                        }
+                        if paged.committed + plan.needed > paged.pool_pages {
+                            break;
+                        }
+                        Some(plan)
+                    }
+                };
                 match candidate {
                     AdmissionCandidate::Parked(i) => {
                         let mut session = parked.swap_remove(i);
@@ -891,6 +1269,12 @@ impl ServeEngine {
                             .pool
                             .resume(session.stream as u64)
                             .expect("parked session has a parked state");
+                        if let (Some(paged), Some(plan)) = (self.paged.as_mut(), plan) {
+                            paged.committed += plan.needed;
+                            session.kv_pages_committed = plan.needed;
+                            // re-allocate pages and restore the spilled KV
+                            session.state.reload_kv()?;
+                        }
                         let swap_s = self
                             .config
                             .device
@@ -913,12 +1297,21 @@ impl ServeEngine {
                             &allocation.capacities,
                             self.calibration.as_ref(),
                         )?;
-                        let state = self.pool.acquire(&self.model);
+                        let state = self
+                            .pool
+                            .acquire_backed(&self.model, self.paged.as_ref().map(|p| &p.pool));
                         if let Some(t) = self.telemetry.as_deref_mut() {
                             t.on_slot_granted(next_stream, &request.strategy.label());
                         }
                         metas.push(OpenMeta::new(request.arrival_s, now));
-                        active.push(Session::new(next_stream, request, step, state, strategy));
+                        let mut session = Session::new(next_stream, request, step, state, strategy);
+                        Self::apply_paged_admit(
+                            &mut self.paged,
+                            &mut self.telemetry,
+                            &mut session,
+                            plan,
+                        )?;
+                        active.push(session);
                         next_stream += 1;
                     }
                 }
@@ -984,8 +1377,13 @@ impl ServeEngine {
                     self.model.config.d_ff,
                 );
 
+                try_register_prefix(&mut self.paged, &mut active[idx]);
                 if active[idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(idx);
+                    if let Some(paged) = self.paged.as_mut() {
+                        paged.committed -= session.kv_pages_committed;
+                        session.kv_pages_committed = 0;
+                    }
                     metas[session.stream].completion_s = now;
                     if let Some(t) = self.telemetry.as_deref_mut() {
                         let (generated, ttft_s, tbt_s, delay_s, slo) =
@@ -1057,9 +1455,17 @@ impl ServeEngine {
                     );
                     step += 1;
                 }
+                for i in 0..rows_n {
+                    let row_idx = self.plan.rows[i].idx;
+                    try_register_prefix(&mut self.paged, &mut active[row_idx]);
+                }
                 let last_idx = self.plan.rows[rows_n - 1].idx;
                 if active[last_idx].remaining_tokens() == 0 {
                     let mut session = active.swap_remove(last_idx);
+                    if let Some(paged) = self.paged.as_mut() {
+                        paged.committed -= session.kv_pages_committed;
+                        session.kv_pages_committed = 0;
+                    }
                     metas[session.stream].completion_s = now;
                     if let Some(t) = self.telemetry.as_deref_mut() {
                         let (generated, ttft_s, tbt_s, delay_s, slo) =
@@ -1078,6 +1484,7 @@ impl ServeEngine {
             finished.len(),
             "every admitted request drains"
         );
+        self.publish_paged_telemetry();
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.on_run_end(
                 now,
@@ -1116,7 +1523,9 @@ impl ServeEngine {
             let generated_ids = std::mem::take(&mut s.generated);
             let generated = generated_ids.len();
             total_generated += generated;
-            total_prefill += s.request.prompt.len();
+            // count *served* prefill tokens: a mapped shared prefix was
+            // never forwarded, so it must not inflate the token timeline
+            total_prefill += s.request.prompt.len() - s.prefix_tokens_skipped();
             let ttft_s = if generated > 0 {
                 meta.first_token_s - meta.arrival_s
             } else {
@@ -1241,6 +1650,7 @@ impl ServeEngine {
             shed_rate_limited: stats.shed_rate_limited,
             shed_tier_quota: stats.shed_tier_quota,
             shed_queue_full: stats.shed_queue_full,
+            shed_memory: stats.shed_memory,
             completed: finished.len(),
             preemptions: acc.preemptions,
             resumes: acc.resumes,
@@ -1294,6 +1704,7 @@ impl ServeEngine {
             flash_bytes: acc.flash_bytes,
             dram_bytes: acc.dram_bytes,
             open_loop: Some(open_loop),
+            paged_kv: self.paged_stats(),
         }
     }
 
@@ -1346,7 +1757,8 @@ impl ServeEngine {
             let generated_ids = std::mem::take(&mut s.generated);
             let generated = generated_ids.len();
             total_generated += generated;
-            total_prefill += s.request.prompt.len();
+            // served prefill only: mapped shared-prefix tokens were skipped
+            total_prefill += s.request.prompt.len() - s.prefix_tokens_skipped();
             first_token_sum += first_token_s;
             completions.push(stream_stats.completion_s);
             // closed batches have every request present at t = 0, so TTFT
@@ -1413,6 +1825,7 @@ impl ServeEngine {
             flash_bytes: sim.aggregate.flash_bytes,
             dram_bytes: sim.aggregate.dram_bytes,
             open_loop: None,
+            paged_kv: self.paged_stats(),
         })
     }
 }
@@ -1778,7 +2191,7 @@ mod tests {
         assert!(ol.shed > 0, "pressure must shed");
         assert_eq!(
             ol.shed,
-            ol.shed_rate_limited + ol.shed_tier_quota + ol.shed_queue_full
+            ol.shed_rate_limited + ol.shed_tier_quota + ol.shed_queue_full + ol.shed_memory
         );
         assert!(ol.shed_rate_limited > 0);
         assert_eq!(ol.admitted, ol.completed);
@@ -1896,5 +2309,215 @@ mod tests {
             engine.run(conflict),
             Err(ServeError::IncompatibleStrategies { .. })
         ));
+    }
+
+    fn tiny_paged_engine(
+        slots: usize,
+        cache_fraction: f64,
+        page_size: usize,
+        pool_pages: usize,
+        sharing: bool,
+    ) -> ServeEngine {
+        let config = ModelConfig::tiny();
+        let model = build_synthetic(&config, 7).unwrap();
+        let layout = layout_for_serving(
+            &config,
+            [lm::SliceAxis::Input; 3],
+            4.0,
+            slots,
+            config.max_seq_len,
+        );
+        let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * cache_fraction) as u64;
+        let device = DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+        let mut serve_config = ServeConfig::new(device)
+            .with_max_concurrent(slots)
+            .with_paged_kv(page_size, pool_pages);
+        if sharing {
+            serve_config = serve_config.with_prefix_sharing();
+        }
+        ServeEngine::new(model, serve_config).unwrap()
+    }
+
+    #[test]
+    fn paged_backend_reproduces_the_flat_report() {
+        let requests = dense_requests(5, 4, 4);
+        let flat = tiny_engine(2, 0.6).run(requests.clone()).unwrap();
+        // plenty of pages: the pool never constrains this fleet
+        let mut engine = tiny_paged_engine(2, 0.6, 4, 256, false);
+        let mut paged = engine.run(requests).unwrap();
+        let stats = paged.paged_kv.take().expect("paged engines report pools");
+        assert_eq!(flat, paged, "backing is invisible to the report");
+        assert!(stats.pages_high_water > 0);
+        assert_eq!(stats.pages_at_end, 0, "no sharing, no retained pages");
+        assert_eq!(stats.cow_forks, 0);
+        let pool = engine.kv_page_pool().expect("paged engine exposes pool");
+        assert_eq!(pool.borrow().pages_in_use(), 0, "drained run leaks nothing");
+    }
+
+    #[test]
+    fn page_pressure_throttles_admission_without_losing_requests() {
+        // pool sized so only ~1 session fits at a time even with 4 slots
+        let config = ModelConfig::tiny();
+        let n_layers = config.n_layers;
+        let per_session = n_layers * pages_spanning(4 + 4, 4);
+        let mut engine = tiny_paged_engine(4, 0.6, 4, per_session + 1, false);
+        let report = engine.run(dense_requests(5, 4, 4)).unwrap();
+        assert_eq!(report.requests.len(), 5, "pressure delays, never drops");
+        assert_eq!(report.total_generated_tokens, 20);
+        let stats = report.paged_kv.unwrap();
+        assert!(
+            stats.pages_high_water <= per_session + 1,
+            "the pool cap held: {} > {}",
+            stats.pages_high_water,
+            per_session + 1
+        );
+    }
+
+    #[test]
+    fn closed_batch_rejects_requests_larger_than_the_pool() {
+        let mut engine = tiny_paged_engine(2, 0.6, 4, 2, false);
+        let err = engine.run(dense_requests(1, 4, 4));
+        assert!(matches!(err, Err(ServeError::InvalidRequest { .. })));
+    }
+
+    #[test]
+    fn shared_prefixes_are_prefilled_once_and_reused() {
+        let prefix = vec![1u32, 2, 3, 4, 5, 6];
+        let requests: Vec<GenRequest> = (0..6)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.push((i % 7) as u32 + 1);
+                GenRequest::new(i, prompt, 4, StrategySpec::Dense).with_shared_prefix(prefix.len())
+            })
+            .collect();
+
+        let baseline = tiny_paged_engine(2, 0.6, 4, 256, false)
+            .run(requests.clone())
+            .unwrap();
+        let shared = tiny_paged_engine(2, 0.6, 4, 256, true)
+            .run(requests)
+            .unwrap();
+
+        let stats = shared.paged_kv.unwrap();
+        assert!(stats.prefix_registrations >= 1, "first session registers");
+        assert!(stats.prefix_hits >= 1, "later sessions map the prefix");
+        // the 6-token prefix spans one whole 4-position page plus a partial
+        // tail; only the whole page is shared, the tail re-prefills per hit
+        let aligned = (prefix.len() / 4) * 4;
+        assert_eq!(
+            stats.prefix_tokens_saved,
+            stats.prefix_hits * aligned,
+            "every hit skips the page-aligned prefix"
+        );
+        assert!(stats.pages_at_end > 0, "the registry retains prefix pages");
+        assert_eq!(
+            shared.total_prefill_tokens,
+            baseline.total_prefill_tokens - stats.prefix_tokens_saved,
+            "skipped tokens leave the served-prefill count"
+        );
+        // sharing maps bitwise-identical KV pages, so every request decodes
+        // the exact token stream it would have decoded alone
+        for (a, b) in baseline.requests.iter().zip(shared.requests.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.generated, b.generated, "request {} diverged", a.id);
+        }
+        assert!(
+            shared.makespan_s < baseline.makespan_s,
+            "skipped prefill must shorten the run: {} >= {}",
+            shared.makespan_s,
+            baseline.makespan_s
+        );
+    }
+
+    #[test]
+    fn unaligned_prefixes_share_only_whole_pages_on_an_exact_pool() {
+        // Regression: a 12-token prefix on 8-position pages leaves a partial
+        // tail page. If the registry retained it, the session that built it
+        // would keep appending into a now-shared page and copy-on-write fork
+        // a page no admission commitment reserved — on a pool sized to
+        // exactly the fleet's worst case, that exhausted the pool mid-run.
+        // Aligned sharing retains whole pages only, so this must complete.
+        let config = ModelConfig::tiny();
+        let prefix: Vec<u32> = (1..=12).collect();
+        let total = prefix.len() + 2 + 6;
+        let per_session = config.n_layers * pages_spanning(total, 8);
+        let slots = 3;
+        let requests: Vec<GenRequest> = (0..12)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.extend([(i % 5) as u32 + 1, (i % 7) as u32 + 2]);
+                GenRequest::new(i, prompt, 6, StrategySpec::Dense).with_shared_prefix(prefix.len())
+            })
+            .collect();
+        let baseline = tiny_paged_engine(slots, 0.6, 8, per_session * slots, false)
+            .run(requests.clone())
+            .unwrap();
+        let shared = tiny_paged_engine(slots, 0.6, 8, per_session * slots, true)
+            .run(requests)
+            .unwrap();
+        let stats = shared.paged_kv.unwrap();
+        assert!(stats.prefix_hits >= 1, "whole-page sharing still hits");
+        assert_eq!(
+            stats.prefix_tokens_saved,
+            stats.prefix_hits * 8,
+            "each hit skips one whole 8-position page of the 12-token prefix"
+        );
+        for (a, b) in baseline.requests.iter().zip(shared.requests.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.generated, b.generated, "request {} diverged", a.id);
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_reports_are_deterministic_across_runs() {
+        let prefix = vec![1u32, 2, 3, 4];
+        let requests: Vec<GenRequest> = (0..4)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.push(i as u32 + 1);
+                GenRequest::new(i, prompt, 3, StrategySpec::Dense).with_shared_prefix(prefix.len())
+            })
+            .collect();
+        let mut engine = tiny_paged_engine(2, 0.6, 4, 64, true);
+        let first = engine.run(requests.clone()).unwrap();
+        let second = engine.run(requests).unwrap();
+        assert_eq!(first, second, "per-run registry reset keeps runs pure");
+    }
+
+    #[test]
+    fn open_loop_sheds_requests_that_can_never_fit_the_pool() {
+        let config = ModelConfig::tiny();
+        let n_layers = config.n_layers;
+        // pool fits a small request but not the big one
+        let pool_pages = n_layers * pages_spanning(8, 4);
+        let mut engine = tiny_paged_engine(2, 0.6, 4, pool_pages, false);
+        let arrivals = vec![
+            GenRequest::new(0, vec![1, 2], 2, StrategySpec::Dense).at(0.0),
+            GenRequest::new(1, vec![1; 24], 24, StrategySpec::Dense).at(0.001),
+        ];
+        let report = engine.run_open_loop_requests(arrivals).unwrap();
+        let ol = report.open_loop.as_ref().unwrap();
+        assert_eq!(ol.shed_memory, 1, "the oversized request is shed");
+        assert_eq!(ol.completed, 1);
+        assert_eq!(ol.shed, ol.shed_memory);
+        assert_eq!(report.requests[0].id, 0);
+    }
+
+    #[test]
+    fn open_loop_paged_backend_reproduces_the_flat_report() {
+        let arrivals: Vec<GenRequest> = (0..5)
+            .map(|i| {
+                GenRequest::new(i, vec![(i % 7) as u32 + 1; 3], 3, StrategySpec::Dense)
+                    .at(0.002 * i as f64)
+            })
+            .collect();
+        let flat = tiny_engine(2, 0.6)
+            .run_open_loop_requests(arrivals.clone())
+            .unwrap();
+        let mut paged = tiny_paged_engine(2, 0.6, 4, 256, false)
+            .run_open_loop_requests(arrivals)
+            .unwrap();
+        assert!(paged.paged_kv.take().is_some());
+        assert_eq!(flat, paged, "open-loop reports match across backings");
     }
 }

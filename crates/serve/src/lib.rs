@@ -65,6 +65,7 @@ pub mod admission;
 pub mod engine;
 pub mod error;
 pub mod layout;
+pub mod prefix;
 pub mod report;
 pub mod request;
 pub mod scheduler;
@@ -77,11 +78,12 @@ pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason, TokenBucket,
 };
 pub use engine::ExecutionMode;
-pub use engine::{ServeConfig, ServeEngine};
+pub use engine::{PagedKvConfig, ServeConfig, ServeEngine};
 pub use error::{Result, ServeError};
+pub use prefix::PrefixRegistry;
 pub use report::{
-    percentile, OpenLoopStats, Percentiles, RequestStats, ServeReport, StrategyClassStats,
-    TierStats,
+    percentile, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
+    StrategyClassStats, TierStats,
 };
 pub use request::{GenRequest, SloTarget, Tier, TIERS};
 pub use scheduler::SchedulerPolicy;

@@ -116,6 +116,12 @@ pub struct GenRequest {
     /// Latency objective judged in the report ([`SloTarget::none`] = no
     /// objective).
     pub slo: SloTarget,
+    /// How many leading prompt tokens are a *shared prefix* (e.g. a
+    /// template's system prompt) that other requests carry verbatim. Zero
+    /// (the default) means nothing is shared. Under a paged KV pool with
+    /// prefix sharing enabled, the engine maps already-prefilled prefix
+    /// pages copy-on-write instead of re-prefilling them.
+    pub shared_prefix_len: usize,
 }
 
 impl GenRequest {
@@ -131,6 +137,7 @@ impl GenRequest {
             arrival_s: 0.0,
             tier: Tier::Standard,
             slo: SloTarget::none(),
+            shared_prefix_len: 0,
         }
     }
 
@@ -155,6 +162,13 @@ impl GenRequest {
     /// Returns a copy with the given latency objective.
     pub fn with_slo(mut self, slo: SloTarget) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Returns a copy declaring the first `len` prompt tokens a shared
+    /// prefix (clamped to the prompt length at use sites, never here).
+    pub fn with_shared_prefix(mut self, len: usize) -> Self {
+        self.shared_prefix_len = len;
         self
     }
 
@@ -189,6 +203,9 @@ mod tests {
             .with_slo(SloTarget::new(0.5, 0.05));
         assert_eq!(r.arrival_s, 2.5);
         assert_eq!(r.tier, Tier::Premium);
+        assert_eq!(r.shared_prefix_len, 0, "nothing shared by default");
+        let r = r.with_shared_prefix(1);
+        assert_eq!(r.shared_prefix_len, 1);
         assert!(r.slo.met(0.5, 0.05));
         assert!(!r.slo.met(0.51, 0.01));
         assert!(!r.slo.met(0.1, 0.06));

@@ -56,6 +56,15 @@ pub struct Session {
     last_prefill_position: Option<usize>,
     next_prompt_idx: usize,
     last_logits: Vec<f32>,
+    /// Pages of the paged KV pool this session's admission committed (the
+    /// engine's conservative memory accounting; 0 under flat backing).
+    pub(crate) kv_pages_committed: usize,
+    /// Prompt tokens skipped at admission because a shared prefix was
+    /// already prefilled (see [`Session::skip_prefilled_prefix`]).
+    pub(crate) prefix_skipped: usize,
+    /// `Some(len)` while this session owes the engine a shared-prefix
+    /// registration once its decode position reaches `len`.
+    pub(crate) pending_prefix_register: Option<usize>,
 }
 
 impl Session {
@@ -79,7 +88,29 @@ impl Session {
             last_prefill_position: None,
             next_prompt_idx: 0,
             last_logits: Vec::new(),
+            kv_pages_committed: 0,
+            prefix_skipped: 0,
+            pending_prefix_register: None,
         }
+    }
+
+    /// Marks the first `len` prompt tokens as already prefilled: the engine
+    /// mapped a shared prefix's KV pages into this session's paged state, so
+    /// the prompt cursor starts past them and they are never planned,
+    /// served or priced. Callers must keep `len < prompt.len()` (the last
+    /// prompt token always runs, so its logits exist to sample from) and
+    /// must have advanced `state.pos` to match.
+    pub(crate) fn skip_prefilled_prefix(&mut self, len: usize) {
+        debug_assert!(self.next_prompt_idx == 0, "skip only at admission");
+        debug_assert!(len < self.request.prompt.len());
+        self.next_prompt_idx = len;
+        self.prefix_skipped = len;
+    }
+
+    /// Prompt tokens this session never served because a shared prefix was
+    /// already prefilled.
+    pub fn prefix_tokens_skipped(&self) -> usize {
+        self.prefix_skipped
     }
 
     /// Current lifecycle phase.
@@ -229,5 +260,18 @@ mod tests {
         // (last) prompt forward, scheduled at position 2
         assert_eq!(session.first_token_position(), Some(2));
         assert!(session.generated.iter().all(|t| (*t as usize) < 64));
+    }
+
+    #[test]
+    fn prefix_skip_advances_the_prompt_cursor() {
+        let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
+        let request = GenRequest::new(1, vec![1, 2, 3, 4], 2, StrategySpec::Dense);
+        let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
+        assert_eq!(session.remaining_tokens(), 6);
+        session.skip_prefilled_prefix(3);
+        assert_eq!(session.phase(), SessionPhase::Prefill, "one token left");
+        assert_eq!(session.remaining_tokens(), 3);
+        assert_eq!(session.prompt_remaining(), 1);
+        assert_eq!(session.prefix_tokens_skipped(), 3);
     }
 }

@@ -34,7 +34,7 @@ struct Handles {
     tier_tokens: [CounterId; 3],
     arrivals: CounterId,
     admitted: CounterId,
-    sheds: [CounterId; 3],
+    sheds: [CounterId; 4],
     preemptions: CounterId,
     resumes: CounterId,
     kv_swap_bytes: CounterId,
@@ -62,6 +62,10 @@ struct Handles {
     batch_rows: GaugeId,
     batch_passes: GaugeId,
     trace_dropped: GaugeId,
+    kv_pages_in_use: GaugeId,
+    kv_pages_high_water: GaugeId,
+    prefix_hits: CounterId,
+    prefix_forks: CounterId,
 }
 
 fn register(registry: &mut MetricsRegistry) -> Handles {
@@ -94,6 +98,7 @@ fn register(registry: &mut MetricsRegistry) -> Handles {
             shed_counter(registry, ShedReason::ALL[0]),
             shed_counter(registry, ShedReason::ALL[1]),
             shed_counter(registry, ShedReason::ALL[2]),
+            shed_counter(registry, ShedReason::ALL[3]),
         ],
         preemptions: registry.counter("serve_preemptions_total", "Sessions preempted"),
         resumes: registry.counter("serve_resumes_total", "Parked sessions resumed"),
@@ -159,6 +164,22 @@ fn register(registry: &mut MetricsRegistry) -> Handles {
         trace_dropped: registry.gauge(
             "serve_trace_dropped_events",
             "Span events overwritten because the ring was full",
+        ),
+        kv_pages_in_use: registry.gauge(
+            "serve_kv_pages_in_use",
+            "Pages currently allocated from the paged KV pool",
+        ),
+        kv_pages_high_water: registry.gauge(
+            "serve_kv_pages_high_water",
+            "High-water mark of allocated KV pages",
+        ),
+        prefix_hits: registry.counter(
+            "serve_prefix_hits_total",
+            "Admissions that mapped an already-prefilled shared prefix",
+        ),
+        prefix_forks: registry.counter(
+            "serve_prefix_forks_total",
+            "Copy-on-write page forks under the paged KV pool",
         ),
     }
 }
@@ -312,6 +333,22 @@ impl EngineTelemetry {
         self.tel.registry.add(self.h.kv_swap_bytes, bytes);
     }
 
+    /// A prefix-sharing admission hit. Allocation-free (pre-registered
+    /// counter).
+    pub(crate) fn on_prefix_hit(&mut self) {
+        self.tel.registry.inc(self.h.prefix_hits);
+    }
+
+    /// End-of-run snapshot of the paged KV pool: pages in use / high water
+    /// become gauges, and the run's COW forks accumulate into the fork
+    /// counter.
+    pub(crate) fn on_paged_kv(&mut self, in_use: usize, high_water: usize, forks_this_run: u64) {
+        let r = &mut self.tel.registry;
+        r.set(self.h.kv_pages_in_use, in_use as f64);
+        r.set(self.h.kv_pages_high_water, high_water as f64);
+        r.add(self.h.prefix_forks, forks_this_run as f64);
+    }
+
     /// One planned batch: a prefill chunk or a cross-session lane of `width`
     /// schedule positions.
     pub(crate) fn on_plan(&mut self, is_chunk: bool, width: usize, now: f64) {
@@ -449,6 +486,14 @@ mod tests {
         assert_eq!(r.histogram_count(t.h.ttft), 1);
         assert_eq!(t.timeline().total_tokens(), 2);
         assert!(t.ring().len() >= 5);
+
+        t.on_prefix_hit();
+        t.on_paged_kv(5, 9, 3);
+        let r = t.registry();
+        assert_eq!(r.counter_value(t.h.prefix_hits), 1.0);
+        assert_eq!(r.counter_value(t.h.prefix_forks), 3.0);
+        assert_eq!(r.gauge_value(t.h.kv_pages_in_use), 5.0);
+        assert_eq!(r.gauge_value(t.h.kv_pages_high_water), 9.0);
     }
 
     #[test]

@@ -206,10 +206,19 @@ impl ArrivalProcess {
 pub struct RequestTemplate {
     /// Relative draw weight among the workload's templates.
     pub weight: f64,
-    /// Inclusive range of prompt lengths, tokens.
+    /// Inclusive range of prompt lengths, tokens (the per-request suffix;
+    /// a [`RequestTemplate::shared_prefix`] is prepended on top).
     pub prompt_tokens: (usize, usize),
     /// Inclusive range of generation budgets, tokens.
     pub new_tokens: (usize, usize),
+    /// Shared-prefix length: every request drawn from this template opens
+    /// with the *same* `shared_prefix` tokens (drawn once per template —
+    /// a product's system prompt), prepended to its per-request prompt and
+    /// declared via [`GenRequest::shared_prefix_len`] so a paged engine
+    /// with prefix sharing can prefill them once. 0 (the default) disables
+    /// the prefix and leaves generated traffic identical to workloads that
+    /// predate this field.
+    pub shared_prefix: usize,
     /// Strategy spec of requests drawn from this template.
     pub strategy: StrategySpec,
     /// Priority tier.
@@ -235,7 +244,15 @@ impl RequestTemplate {
             tier: Tier::Standard,
             slo: SloTarget::none(),
             temperature: 0.0,
+            shared_prefix: 0,
         }
+    }
+
+    /// Returns a copy whose requests all open with the same
+    /// `shared_prefix`-token prefix (see [`RequestTemplate::shared_prefix`]).
+    pub fn with_shared_prefix(mut self, shared_prefix: usize) -> Self {
+        self.shared_prefix = shared_prefix;
+        self
     }
 
     /// Returns a copy with the given draw weight.
@@ -361,30 +378,43 @@ impl Workload {
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let arrivals = self.process.arrivals(self.duration_s, &mut rng);
+        // Shared prefixes are drawn once per template, before the request
+        // loop. Templates without one draw nothing, so a workload predating
+        // `shared_prefix` generates bit-identical traffic.
+        let prefixes: Vec<Vec<u32>> = self
+            .templates
+            .iter()
+            .map(|t| {
+                (0..t.shared_prefix)
+                    .map(|_| rng.gen_range(1u32..vocab_size as u32))
+                    .collect()
+            })
+            .collect();
         let total_weight: f64 = self.templates.iter().map(|t| t.weight).sum();
         let mut requests = Vec::with_capacity(arrivals.len());
         for (id, arrival_s) in arrivals.into_iter().enumerate() {
             // weighted template draw by cumulative weight
             let mut pick = rng.gen::<f64>() * total_weight;
-            let mut template = self.templates.last().expect("validated non-empty");
-            for t in &self.templates {
+            let mut t_idx = self.templates.len() - 1;
+            for (i, t) in self.templates.iter().enumerate() {
                 if pick < t.weight {
-                    template = t;
+                    t_idx = i;
                     break;
                 }
                 pick -= t.weight;
             }
+            let template = &self.templates[t_idx];
             let prompt_len = rng.gen_range(template.prompt_tokens.0..=template.prompt_tokens.1);
             let new_tokens = rng.gen_range(template.new_tokens.0..=template.new_tokens.1);
-            let prompt: Vec<u32> = (0..prompt_len)
-                .map(|_| rng.gen_range(1u32..vocab_size as u32))
-                .collect();
+            let mut prompt: Vec<u32> = prefixes[t_idx].clone();
+            prompt.extend((0..prompt_len).map(|_| rng.gen_range(1u32..vocab_size as u32)));
             requests.push(
                 GenRequest::new(id as u64, prompt, new_tokens, template.strategy)
                     .with_temperature(template.temperature)
                     .at(arrival_s)
                     .with_tier(template.tier)
-                    .with_slo(template.slo),
+                    .with_slo(template.slo)
+                    .with_shared_prefix(template.shared_prefix),
             );
         }
         Ok(requests)
@@ -439,6 +469,9 @@ impl Workload {
                 }
                 if t.temperature != 0.0 {
                     fields.push(format!("\"temperature\":{}", t.temperature));
+                }
+                if t.shared_prefix > 0 {
+                    fields.push(format!("\"shared_prefix\":{}", t.shared_prefix));
                 }
                 format!("    {{{}}}", fields.join(","))
             })
@@ -604,6 +637,16 @@ fn parse_template(value: &JsonValue) -> Result<RequestTemplate> {
         ttft_s: get_f64(value, "ttft_slo_ms")?.map_or(f64::INFINITY, |ms| ms / 1e3),
         tbt_s: get_f64(value, "tbt_slo_ms")?.map_or(f64::INFINITY, |ms| ms / 1e3),
     };
+    let shared_prefix = match get_f64(value, "shared_prefix")? {
+        None => 0,
+        Some(n) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+        Some(n) => {
+            return Err(config_err(
+                "workload.template.shared_prefix",
+                format!("must be a non-negative integer, got {n}"),
+            ))
+        }
+    };
     Ok(RequestTemplate {
         weight: get_f64(value, "weight")?.unwrap_or(1.0),
         prompt_tokens,
@@ -612,6 +655,7 @@ fn parse_template(value: &JsonValue) -> Result<RequestTemplate> {
         tier,
         slo,
         temperature: get_f64(value, "temperature")?.unwrap_or(0.0) as f32,
+        shared_prefix,
     })
 }
 
@@ -703,6 +747,54 @@ mod tests {
     }
 
     #[test]
+    fn shared_prefix_templates_emit_identical_leading_tokens() {
+        let prefix_len = 5;
+        let w = Workload::new(
+            9,
+            4.0,
+            ArrivalProcess::Steady { rate_per_s: 30.0 },
+            vec![
+                RequestTemplate::new((2, 4), (2, 3), StrategySpec::Dense)
+                    .with_shared_prefix(prefix_len),
+                RequestTemplate::new((1, 2), (2, 3), StrategySpec::Dip { density: 0.5 }),
+            ],
+        );
+        let requests = w.generate(64).unwrap();
+        let templated: Vec<&GenRequest> = requests
+            .iter()
+            .filter(|r| r.strategy == StrategySpec::Dense)
+            .collect();
+        assert!(templated.len() >= 2, "template fired more than once");
+        let prefix = &templated[0].prompt[..prefix_len];
+        for r in &templated {
+            assert_eq!(r.shared_prefix_len, prefix_len);
+            assert_eq!(&r.prompt[..prefix_len], prefix, "prefix is per-template");
+            assert!(
+                (prefix_len + 2..=prefix_len + 4).contains(&r.prompt.len()),
+                "suffix range rides on top of the prefix"
+            );
+        }
+        // the other template is untouched
+        for r in requests
+            .iter()
+            .filter(|r| r.strategy != StrategySpec::Dense)
+        {
+            assert_eq!(r.shared_prefix_len, 0);
+        }
+    }
+
+    #[test]
+    fn zero_prefix_workloads_keep_their_traffic_bitwise() {
+        // the prefix feature must not perturb the RNG stream of workloads
+        // that do not use it: a template with `shared_prefix: 0` draws
+        // nothing extra
+        let w = base_workload(ArrivalProcess::Steady { rate_per_s: 20.0 });
+        let mut with_field = w.clone();
+        with_field.templates[0].shared_prefix = 0;
+        assert_eq!(w.generate(64).unwrap(), with_field.generate(64).unwrap());
+    }
+
+    #[test]
     fn replay_process_reproduces_its_list() {
         let times = vec![0.1, 0.4, 0.40001, 2.0, 9.0];
         let w = Workload::new(
@@ -737,7 +829,8 @@ mod tests {
                 arrivals_s: vec![0.0, 0.5, 1.25],
             },
         ] {
-            let w = base_workload(process);
+            let mut w = base_workload(process);
+            w.templates[0].shared_prefix = 6;
             let json = w.to_json();
             let back = Workload::from_json(&json)
                 .unwrap_or_else(|e| panic!("failed to parse {json}: {e}"));

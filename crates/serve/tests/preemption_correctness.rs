@@ -133,6 +133,131 @@ fn a_preempted_session_reproduces_the_uninterrupted_token_stream() {
     }
 }
 
+/// Paged-KV park/resume churn: preempting a paged session spills its pages
+/// back to the pool and resuming reloads them, so (a) the paged backend
+/// stays *report-invisible* — the same churn workload produces the
+/// bitwise-identical report a flat engine does — and (b) the pool balances
+/// after the run drains: no page leaks out of the
+/// acquire/park/resume/release cycle, and with prefix sharing on only the
+/// registry's mapped prefix pages remain held.
+#[test]
+fn paged_pool_balances_under_preemption_churn() {
+    let slots = 2;
+    let paged_engine_with = |sharing: bool| -> ServeEngine {
+        let config = lm::ModelConfig::tiny();
+        let model = lm::build_synthetic(&config, 7).unwrap();
+        let layout = serve::layout::layout_for_serving(
+            &config,
+            [lm::SliceAxis::Input; 3],
+            4.0,
+            slots,
+            config.max_seq_len,
+        );
+        let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+        let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+        let mut serve_config = ServeConfig::new(device)
+            .with_max_concurrent(slots)
+            .with_scheduler(SchedulerPolicy::PriorityPreemptive)
+            .with_paged_kv(4, 4096);
+        if sharing {
+            serve_config = serve_config.with_prefix_sharing();
+        }
+        ServeEngine::new(model, serve_config).unwrap()
+    };
+
+    // Calibrate the arrival rate to the deterministic service rate so the
+    // bursts genuinely overload the two slots (same shape as the flat
+    // churn test above).
+    let per_token_s = {
+        let mut probe = engine_with(1, SchedulerPolicy::Fifo, 7);
+        let report = probe
+            .run(vec![GenRequest::new(
+                0,
+                vec![1, 2],
+                30,
+                StrategySpec::Dense,
+            )])
+            .unwrap();
+        report.makespan_s / 32.0
+    };
+    let on_s = 120.0 * per_token_s;
+    let workload = Workload::new(
+        21,
+        6.0 * on_s,
+        ArrivalProcess::OnOff {
+            rate_per_s: 1.0 / (3.0 * per_token_s),
+            on_s,
+            off_s: on_s,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (6, 12), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(2.0)
+                .with_shared_prefix(4),
+            RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dense).with_tier(Tier::Premium),
+        ],
+    );
+
+    let mut flat = engine_with(slots, SchedulerPolicy::PriorityPreemptive, 7);
+    let flat_report = flat.run_open_loop(&workload).unwrap();
+    assert!(
+        flat_report.open_loop.as_ref().unwrap().preemptions > 0,
+        "churn workload must preempt"
+    );
+
+    // No sharing: the paged backend is invisible in the report, and after
+    // the run drains every page is back in the free list.
+    let mut paged = paged_engine_with(false);
+    let paged_report = paged.run_open_loop(&workload).unwrap();
+    assert!(paged_report.open_loop.as_ref().unwrap().preemptions > 0);
+    let mut scrubbed = paged_report.clone();
+    scrubbed.paged_kv = None;
+    assert_eq!(
+        scrubbed, flat_report,
+        "paged churn must reproduce the flat report bitwise"
+    );
+    let pool = paged.kv_page_pool().expect("paged engine has a pool");
+    assert_eq!(
+        pool.borrow().pages_in_use(),
+        0,
+        "park/resume churn leaked pages"
+    );
+    assert_eq!(paged.state_pool().parked_count(), 0);
+    assert_eq!(
+        paged.state_pool().resume_count(),
+        paged.state_pool().park_count()
+    );
+
+    // Sharing on: every per-request token stream still matches the flat
+    // run bitwise, and after the drain only the registry's prefix pages
+    // remain mapped.
+    let mut shared = paged_engine_with(true);
+    let shared_report = shared.run_open_loop(&workload).unwrap();
+    assert!(shared_report.open_loop.as_ref().unwrap().preemptions > 0);
+    for r in &shared_report.requests {
+        let reference = flat_report
+            .requests
+            .iter()
+            .find(|f| f.id == r.id)
+            .expect("same completion set");
+        assert_eq!(
+            r.generated, reference.generated,
+            "request {}: prefix sharing changed the token stream",
+            r.id
+        );
+    }
+    let stats = shared_report.paged_kv.as_ref().unwrap();
+    assert!(stats.prefix_hits > 0, "the shared template must hit");
+    assert!(stats.pages_at_end > 0, "registry retains the prefix pages");
+    let pool = shared.kv_page_pool().expect("paged engine has a pool");
+    assert_eq!(
+        pool.borrow().pages_in_use(),
+        stats.pages_at_end,
+        "only the registry may hold pages after the drain"
+    );
+    assert_eq!(shared.state_pool().parked_count(), 0);
+}
+
 #[test]
 fn pool_states_never_leak_under_preemption_churn() {
     let slots = 2;

@@ -229,6 +229,71 @@ fn batched_engine_rounds_allocate_identically() {
     );
 }
 
+/// The paged-KV serving engine's steady state: identical closed-batch
+/// rounds over a page pool with prefix sharing enabled allocate
+/// *identically* — page handout, copy-on-write forks, registry
+/// registration and prefix adoption must all recycle through the pool's
+/// free list rather than grow the heap — and the per-token allocation
+/// budget stays within the same bound as the flat backend.
+#[test]
+fn paged_engine_rounds_allocate_identically() {
+    use dynamic_sparsity::serve::{GenRequest, ServeConfig, ServeEngine, StrategySpec};
+
+    let config = ModelConfig::tiny();
+    let model = build_synthetic(&config, 7).expect("tiny model builds");
+    let layout = dynamic_sparsity::serve::layout::layout_for_serving(
+        &config,
+        [dynamic_sparsity::lm::SliceAxis::Input; 3],
+        4.0,
+        4,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.6) as u64;
+    let device = dynamic_sparsity::hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig::new(device)
+            .with_max_concurrent(4)
+            .with_paged_kv(4, 4096)
+            .with_prefix_sharing(),
+    )
+    .unwrap();
+    let prefix: Vec<u32> = vec![9, 8, 7, 6, 5];
+    let requests = || -> Vec<GenRequest> {
+        (0..8u64)
+            .map(|i| {
+                let mut prompt = prefix.clone();
+                prompt.extend([(i % 7) as u32 + 1, 2, 3, 4]);
+                GenRequest::new(i, prompt, 6, StrategySpec::Dense).with_shared_prefix(prefix.len())
+            })
+            .collect()
+    };
+
+    // round 0 warms the batch scratch, page pool, prefix registry and the
+    // state pool's paged decode states
+    let warm = engine.run(requests()).unwrap();
+    let tokens = warm.total_prefill_tokens + warm.total_generated_tokens;
+    assert!(tokens >= 80, "enough traffic to average over");
+    let paged = warm.paged_kv.as_ref().expect("paged stats present");
+    assert!(paged.prefix_hits > 0, "the shared prefix must actually hit");
+
+    let mut per_round = Vec::new();
+    for _ in 0..2 {
+        let before = allocations();
+        engine.run(requests()).unwrap();
+        per_round.push(allocations() - before);
+    }
+    assert_eq!(
+        per_round[0], per_round[1],
+        "identical paged rounds must allocate identically"
+    );
+    let per_token = per_round[1] as f64 / tokens as f64;
+    assert!(
+        per_token < 32.0,
+        "paged engine steady state allocates {per_token:.1} times per token"
+    );
+}
+
 #[test]
 fn dip_decode_is_allocation_free_in_steady_state() {
     assert_zero_alloc_decode(
