@@ -5,6 +5,10 @@
 //!
 //! * **kernels** — naive reference loops vs the optimised single-RHS and
 //!   batched (multi-RHS "skinny GEMM") kernels at phi3-mini shapes,
+//! * **kernels_packed** — the packed register-blocked panel kernels vs the
+//!   transposed-mirror and reference paths at the same shapes, plus the
+//!   fused INT4/INT8 dequant-matvec vs materialise-then-matvec (at a
+//!   weight-streaming shape where the 8x smaller packed codes pay off),
 //! * **single-stream decode** — the seed-replica allocating loop on
 //!   reference kernels vs the zero-allocation scratch path (PR 3's
 //!   measurement, kept for trajectory continuity),
@@ -28,7 +32,7 @@
 //!     [--paged-out FILE] [--check-paged BASELINE]
 //! ```
 //!
-//! Writes a flat JSON report (default `BENCH_PR5.json`; the paged-fleet
+//! Writes a flat JSON report (default `BENCH_PR8.json`; the paged-fleet
 //! group goes to its own file, default `BENCH_PR7.json`) and the same
 //! measurements as a Prometheus text exposition next to it (`<out>.prom`,
 //! one gauge per entry, `mode`/`model` as const labels) so perf numbers
@@ -64,7 +68,7 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         quick: false,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR8.json".to_string(),
         check: None,
         paged_out: "BENCH_PR7.json".to_string(),
         check_paged: None,
@@ -467,6 +471,8 @@ fn main() {
     let mirror = mlp.w_up.transpose();
     let mut out = vec![0.0f32; mlp.d_ff()];
 
+    let packed_up = tensor::PackedMatrix::pack(&mlp.w_up);
+
     let naive_matvec = best_ns(kernel_reps, 200, || {
         tensor::reference::matvec_into(&mlp.w_up, black_box(&x), &mut out)
     });
@@ -476,6 +482,11 @@ fn main() {
     let mirrored_matvec = best_ns(kernel_reps, 200, || {
         mlp.w_up
             .matvec_mirrored(&mirror, black_box(&x), &mut out)
+            .unwrap()
+    });
+    let packed_matvec = best_ns(kernel_reps, 200, || {
+        mlp.w_up
+            .matvec_packed(&packed_up, black_box(&x), &mut out)
             .unwrap()
     });
     let naive_cols = best_ns(kernel_reps, 200, || {
@@ -491,19 +502,26 @@ fn main() {
             .matvec_cols_mirrored(&mirror, black_box(&x), &active, &mut out)
             .unwrap()
     });
+    let packed_cols = best_ns(kernel_reps, 200, || {
+        mlp.w_up
+            .matvec_cols_packed(&packed_up, black_box(&x), &active, &mut out)
+            .unwrap()
+    });
     entries.push(("kernel_matvec_reference_ns".into(), naive_matvec));
     entries.push(("kernel_matvec_optimized_ns".into(), fast_matvec));
     entries.push(("kernel_matvec_mirrored_ns".into(), mirrored_matvec));
+    entries.push(("kernel_matvec_packed_ns".into(), packed_matvec));
     entries.push((
         "kernel_matvec_speedup".into(),
-        naive_matvec / mirrored_matvec.min(fast_matvec),
+        naive_matvec / mirrored_matvec.min(fast_matvec).min(packed_matvec),
     ));
     entries.push(("kernel_matvec_cols50_reference_ns".into(), naive_cols));
     entries.push(("kernel_matvec_cols50_gathered_ns".into(), fast_cols));
     entries.push(("kernel_matvec_cols50_mirrored_ns".into(), mirrored_cols));
+    entries.push(("kernel_matvec_cols50_packed_ns".into(), packed_cols));
     entries.push((
         "kernel_matvec_cols50_speedup".into(),
-        naive_cols / mirrored_cols.min(fast_cols),
+        naive_cols / mirrored_cols.min(fast_cols).min(packed_cols),
     ));
 
     // batched (multi-RHS) kernels: 8 stacked activation vectors, one weight
@@ -523,13 +541,85 @@ fn main() {
             .matvec_batch_mirrored(&mirror, black_box(&xs), batch_k, &mut out_batch)
             .unwrap()
     });
-    let per_token_batch = (batch_ns / batch_k as f64).min(batch_mirrored_ns / batch_k as f64);
+    let batch_packed_ns = best_ns(kernel_reps, 50, || {
+        mlp.w_up
+            .matvec_batch_packed(&packed_up, black_box(&xs), batch_k, &mut out_batch)
+            .unwrap()
+    });
+    let per_token_batch = (batch_ns / batch_k as f64)
+        .min(batch_mirrored_ns / batch_k as f64)
+        .min(batch_packed_ns / batch_k as f64);
     entries.push(("kernel_matvec_batch8_ns".into(), batch_ns));
     entries.push(("kernel_matvec_batch8_mirrored_ns".into(), batch_mirrored_ns));
+    entries.push(("kernel_matvec_batch8_packed_ns".into(), batch_packed_ns));
     entries.push((
         "kernel_matvec_batch8_per_token_speedup".into(),
-        mirrored_matvec.min(fast_matvec) / per_token_batch,
+        mirrored_matvec.min(fast_matvec).min(packed_matvec) / per_token_batch,
     ));
+
+    // ---- kernels_packed: the packed register-blocked panels against the
+    //      transposed-mirror path they replace (same shapes as above), plus
+    //      the fused INT4/INT8 dequant-matvec against materialising the f32
+    //      reconstruction and streaming it. The f32-vs-packed rows above are
+    //      L2-resident; the fused comparison runs at a weight-streaming
+    //      shape (d_ff x d_model of a mid-size model) where the matvec is
+    //      memory-bound and the 8x/4x smaller codes buy real bandwidth. ----
+    entries.push((
+        "kernel_packed_vs_mirrored_speedup".into(),
+        mirrored_matvec / packed_matvec,
+    ));
+    entries.push((
+        "kernel_packed_batch8_vs_mirrored_speedup".into(),
+        batch_mirrored_ns / batch_packed_ns,
+    ));
+    {
+        use quant::{BlockwiseQuantizer, PackedQuantMatrix};
+        use tensor::QuantMatvec;
+        let (big_rows, big_cols) = (4096usize, 1536usize);
+        let w_big = tensor::Matrix::from_vec(
+            big_rows,
+            big_cols,
+            (0..big_rows * big_cols)
+                .map(|i| ((i as f32) * 0.013).sin())
+                .collect(),
+        )
+        .expect("big weight builds");
+        let x_big: Vec<f32> = (0..big_cols).map(|i| ((i as f32) * 0.29).cos()).collect();
+        let mut out_big = vec![0.0f32; big_rows];
+        let dequant_reps = kernel_reps.min(20);
+        for bits in [4u8, 8u8] {
+            let quantizer = BlockwiseQuantizer::new(bits, 32).expect("quantizer");
+            let fused = PackedQuantMatrix::quantize(&w_big, &quantizer).expect("packs");
+            // materialise-then-matvec: the pre-fused serving path pays the
+            // one-off reconstruction at load time, then streams the full
+            // f32 matrix every token — so the per-token cost is the packed
+            // f32 matvec over the reconstruction
+            let w_deq = quantizer.quantize_dequantize(&w_big);
+            let packed_deq = tensor::PackedMatrix::pack(&w_deq);
+            let materialized_ns = best_ns(dequant_reps, 4, || {
+                w_deq
+                    .matvec_packed(&packed_deq, black_box(&x_big), &mut out_big)
+                    .unwrap()
+            });
+            let fused_ns = best_ns(dequant_reps, 4, || {
+                fused.matvec_into(black_box(&x_big), &mut out_big).unwrap()
+            });
+            println!(
+                "fused int{bits} dequant-matvec ({big_rows}x{big_cols}): \
+                 {materialized_ns:.0} -> {fused_ns:.0} ns ({:.2}x)",
+                materialized_ns / fused_ns
+            );
+            entries.push((
+                format!("kernel_dequant{bits}_materialized_ns"),
+                materialized_ns,
+            ));
+            entries.push((format!("kernel_dequant{bits}_fused_ns"), fused_ns));
+            entries.push((
+                format!("kernel_dequant{bits}_fused_speedup"),
+                materialized_ns / fused_ns,
+            ));
+        }
+    }
 
     // ---- single-stream decode, before (reference kernels + allocating
     //      path) vs after (optimised kernels + scratch path) ----

@@ -115,9 +115,9 @@ impl Attention {
 
         match mirrors {
             Some(m) => {
-                self.w_q.matvec_mirrored(&m.q, x, &mut scratch.q)?;
-                self.w_k.matvec_mirrored(&m.k, x, &mut scratch.k)?;
-                self.w_v.matvec_mirrored(&m.v, x, &mut scratch.v)?;
+                self.w_q.matvec_packed(&m.q.packed, x, &mut scratch.q)?;
+                self.w_k.matvec_packed(&m.k.packed, x, &mut scratch.k)?;
+                self.w_v.matvec_packed(&m.v.packed, x, &mut scratch.v)?;
             }
             None => {
                 self.w_q.matvec_into(x, &mut scratch.q)?;
@@ -137,7 +137,9 @@ impl Attention {
         self.attend_row(pos, cache, q, k, v, scores, weights, attended)?;
 
         match mirrors {
-            Some(m) => Ok(self.w_o.matvec_mirrored(&m.o, &scratch.attended, out)?),
+            Some(m) => Ok(self
+                .w_o
+                .matvec_packed(&m.o.packed, &scratch.attended, out)?),
             None => Ok(self.w_o.matvec_into(&scratch.attended, out)?),
         }
     }
@@ -171,9 +173,9 @@ impl Attention {
     ) -> Result<()> {
         match mirrors {
             Some(m) => {
-                self.w_q.matvec_batch_mirrored(&m.q, xs, rows, q)?;
-                self.w_k.matvec_batch_mirrored(&m.k, xs, rows, k)?;
-                self.w_v.matvec_batch_mirrored(&m.v, xs, rows, v)?;
+                self.w_q.matvec_batch_packed(&m.q.packed, xs, rows, q)?;
+                self.w_k.matvec_batch_packed(&m.k.packed, xs, rows, k)?;
+                self.w_v.matvec_batch_packed(&m.v.packed, xs, rows, v)?;
             }
             None => {
                 self.w_q.matvec_batch_into(xs, rows, q)?;
@@ -197,7 +199,9 @@ impl Attention {
         mirrors: Option<&crate::scratch::AttnMirrors>,
     ) -> Result<()> {
         match mirrors {
-            Some(m) => Ok(self.w_o.matvec_batch_mirrored(&m.o, attended, rows, out)?),
+            Some(m) => Ok(self
+                .w_o
+                .matvec_batch_packed(&m.o.packed, attended, rows, out)?),
             None => Ok(self.w_o.matvec_batch_into(attended, rows, out)?),
         }
     }

@@ -21,7 +21,8 @@
 use crate::error::Result;
 use crate::scratch::{MlpAccessScratch, MlpBatchWorkspace, MlpWorkspace};
 use serde::{Deserialize, Serialize};
-use tensor::{Activation, Matrix};
+use std::sync::Arc;
+use tensor::{Activation, Matrix, QuantMatvec, WeightMirror};
 
 /// Identifies one of the three weight matrices of a GLU MLP block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -384,6 +385,26 @@ impl MlpForward for DenseMlp {
     }
 }
 
+/// Packed-quantized views of a GLU block's three matrices, attached by the
+/// `quant` crate (see `quant::model_ops::quantize_mlp_fused`).
+///
+/// When present, every kernel helper of [`GluMlp`] routes through the fused
+/// dequant-matvec implementations **first** — before the mirrored/packed
+/// f32 paths — so each sparsity strategy's column selections ride the fused
+/// panels with zero strategy changes. The attach step also replaces
+/// `w_up`/`w_gate`/`w_down` with the dequantized reconstruction, so paths
+/// that don't consult `quant` (reference mode, allocating helpers, hwsim
+/// accounting) compute bitwise-identical results.
+#[derive(Debug, Clone)]
+pub struct QuantizedGluWeights {
+    /// Fused view of `W_u`.
+    pub up: Arc<dyn QuantMatvec>,
+    /// Fused view of `W_g`.
+    pub gate: Arc<dyn QuantMatvec>,
+    /// Fused view of `W_d`.
+    pub down: Arc<dyn QuantMatvec>,
+}
+
 /// A gated MLP block (`SwiGLU` when the activation is SiLU).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GluMlp {
@@ -401,6 +422,10 @@ pub struct GluMlp {
     /// gate produces the high natural sparsity (80–90 % zeros) that real
     /// ReLU-fied LLMs exhibit; SwiGLU models leave it `None`.
     pub gate_bias: Option<Vec<f32>>,
+    /// Optional packed-quantized weights; when set, the `_into` kernel
+    /// helpers run fused dequant-matvec instead of the f32 kernels (see
+    /// [`QuantizedGluWeights`]).
+    pub quant: Option<QuantizedGluWeights>,
 }
 
 impl GluMlp {
@@ -423,6 +448,7 @@ impl GluMlp {
             w_down,
             activation,
             gate_bias: None,
+            quant: None,
         }
     }
 
@@ -546,13 +572,19 @@ impl GluMlp {
     //
     // Each `_into` method is bitwise identical to its allocating
     // counterpart; it differs only in writing into a caller-owned buffer.
-    // The `mirror` arguments optionally route the matvec through the
-    // SIMD-friendly pre-transposed kernels (`Matrix::matvec_mirrored` /
-    // `Matrix::matvec_cols_mirrored`), which are themselves bitwise
-    // identical to the row-major kernels.
+    // Kernel routing, in priority order:
+    //
+    // 1. fused dequant-matvec when packed-quantized weights are attached
+    //    ([`GluMlp::quant`]) — the f32 matrices then hold the dequantized
+    //    reconstruction, so every route still computes the same bits;
+    // 2. the packed register-blocked microkernels when a [`WeightMirror`]
+    //    is supplied (`Matrix::matvec_packed` family, arch-dispatched);
+    // 3. the row-major kernels otherwise.
+    //
+    // All three are bitwise identical (see `tensor::packed`).
 
     /// Allocation-free [`GluMlp::gate_preactivations`]; `mirror`, when
-    /// given, must be `w_gate.transpose()`.
+    /// given, must be built from `w_gate`.
     ///
     /// # Errors
     ///
@@ -561,11 +593,12 @@ impl GluMlp {
         &self,
         x: &[f32],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => self.w_gate.matvec_mirrored(t, x, out)?,
-            None => self.w_gate.matvec_into(x, out)?,
+        match (&self.quant, mirror) {
+            (Some(q), _) => q.gate.matvec_into(x, out)?,
+            (None, Some(m)) => self.w_gate.matvec_packed(&m.packed, x, out)?,
+            (None, None) => self.w_gate.matvec_into(x, out)?,
         }
         if let Some(bias) = &self.gate_bias {
             for (gi, bi) in out.iter_mut().zip(bias.iter()) {
@@ -576,7 +609,7 @@ impl GluMlp {
     }
 
     /// Allocation-free [`GluMlp::gate_activations`]; `mirror`, when given,
-    /// must be `w_gate.transpose()`.
+    /// must be built from `w_gate`.
     ///
     /// # Errors
     ///
@@ -585,7 +618,7 @@ impl GluMlp {
         &self,
         x: &[f32],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
         self.gate_preactivations_into(x, out, mirror)?;
         self.activation.apply(out);
@@ -593,7 +626,7 @@ impl GluMlp {
     }
 
     /// Allocation-free [`GluMlp::up_activations`]; `mirror`, when given,
-    /// must be `w_up.transpose()`.
+    /// must be built from `w_up`.
     ///
     /// # Errors
     ///
@@ -602,16 +635,17 @@ impl GluMlp {
         &self,
         x: &[f32],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => Ok(self.w_up.matvec_mirrored(t, x, out)?),
-            None => Ok(self.w_up.matvec_into(x, out)?),
+        match (&self.quant, mirror) {
+            (Some(q), _) => Ok(q.up.matvec_into(x, out)?),
+            (None, Some(m)) => Ok(self.w_up.matvec_packed(&m.packed, x, out)?),
+            (None, None) => Ok(self.w_up.matvec_into(x, out)?),
         }
     }
 
     /// Allocation-free [`GluMlp::gate_activations_input_pruned`]; `mirror`,
-    /// when given, must be `w_gate.transpose()`.
+    /// when given, must be built from `w_gate`.
     ///
     /// # Errors
     ///
@@ -621,11 +655,14 @@ impl GluMlp {
         x: &[f32],
         active_inputs: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => self.w_gate.matvec_cols_mirrored(t, x, active_inputs, out)?,
-            None => self.w_gate.matvec_cols_into(x, active_inputs, out)?,
+        match (&self.quant, mirror) {
+            (Some(q), _) => q.gate.matvec_cols_into(x, active_inputs, out)?,
+            (None, Some(m)) => self
+                .w_gate
+                .matvec_cols_packed(&m.packed, x, active_inputs, out)?,
+            (None, None) => self.w_gate.matvec_cols_into(x, active_inputs, out)?,
         }
         if let Some(bias) = &self.gate_bias {
             for (gi, bi) in out.iter_mut().zip(bias.iter()) {
@@ -637,7 +674,7 @@ impl GluMlp {
     }
 
     /// Allocation-free [`GluMlp::up_activations_input_pruned`]; `mirror`,
-    /// when given, must be `w_up.transpose()`.
+    /// when given, must be built from `w_up`.
     ///
     /// # Errors
     ///
@@ -647,16 +684,21 @@ impl GluMlp {
         x: &[f32],
         active_inputs: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => Ok(self.w_up.matvec_cols_mirrored(t, x, active_inputs, out)?),
-            None => Ok(self.w_up.matvec_cols_into(x, active_inputs, out)?),
+        match (&self.quant, mirror) {
+            (Some(q), _) => Ok(q.up.matvec_cols_into(x, active_inputs, out)?),
+            (None, Some(m)) => {
+                Ok(self
+                    .w_up
+                    .matvec_cols_packed(&m.packed, x, active_inputs, out)?)
+            }
+            (None, None) => Ok(self.w_up.matvec_cols_into(x, active_inputs, out)?),
         }
     }
 
     /// Allocation-free [`GluMlp::down_from_glu`]; `mirror`, when given,
-    /// must be `w_down.transpose()`.
+    /// must be built from `w_down`.
     ///
     /// # Errors
     ///
@@ -666,11 +708,14 @@ impl GluMlp {
         glu: &[f32],
         active: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => Ok(self.w_down.matvec_cols_mirrored(t, glu, active, out)?),
-            None => Ok(self.w_down.matvec_cols_into(glu, active, out)?),
+        match (&self.quant, mirror) {
+            (Some(q), _) => Ok(q.down.matvec_cols_into(glu, active, out)?),
+            (None, Some(m)) => Ok(self
+                .w_down
+                .matvec_cols_packed(&m.packed, glu, active, out)?),
+            (None, None) => Ok(self.w_down.matvec_cols_into(glu, active, out)?),
         }
     }
 
@@ -703,11 +748,12 @@ impl GluMlp {
         xs: &[f32],
         rows: usize,
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => Ok(self.w_up.matvec_batch_mirrored(t, xs, rows, out)?),
-            None => Ok(self.w_up.matvec_batch_into(xs, rows, out)?),
+        match (&self.quant, mirror) {
+            (Some(q), _) => Ok(q.up.matvec_batch_into(xs, rows, out)?),
+            (None, Some(m)) => Ok(self.w_up.matvec_batch_packed(&m.packed, xs, rows, out)?),
+            (None, None) => Ok(self.w_up.matvec_batch_into(xs, rows, out)?),
         }
     }
 
@@ -721,11 +767,12 @@ impl GluMlp {
         xs: &[f32],
         rows: usize,
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        match mirror {
-            Some(t) => self.w_gate.matvec_batch_mirrored(t, xs, rows, out)?,
-            None => self.w_gate.matvec_batch_into(xs, rows, out)?,
+        match (&self.quant, mirror) {
+            (Some(q), _) => q.gate.matvec_batch_into(xs, rows, out)?,
+            (None, Some(m)) => self.w_gate.matvec_batch_packed(&m.packed, xs, rows, out)?,
+            (None, None) => self.w_gate.matvec_batch_into(xs, rows, out)?,
         }
         self.add_gate_bias_rows(out, rows);
         // element-wise non-linearity: applying it to the stacked buffer is
@@ -734,35 +781,28 @@ impl GluMlp {
         Ok(())
     }
 
-    /// One column-sparse weight pass over a CSR batch: the mirrored
-    /// per-row axpy formulation when a mirror exists (the fastest
-    /// single-row kernel; the small mirror stays cache-resident across the
-    /// batch), the fused gathered row-outer kernel otherwise. Both are
-    /// bitwise identical to per-row [`Matrix::matvec_cols_into`].
+    /// One column-sparse weight pass over a CSR batch: fused dequant when
+    /// quantized weights are attached, the packed column-sparse microkernel
+    /// per row when a mirror exists (the panel buffer stays cache-resident
+    /// across the batch), the fused gathered row-outer kernel otherwise.
+    /// All are bitwise identical to per-row [`Matrix::matvec_cols_into`].
     #[allow(clippy::too_many_arguments)]
     fn cols_batch(
         matrix: &Matrix,
-        mirror: Option<&Matrix>,
+        quant: Option<&dyn QuantMatvec>,
+        mirror: Option<&WeightMirror>,
         xs: &[f32],
         rows: usize,
         indices: &[usize],
         offsets: &[usize],
         out: &mut [f32],
     ) -> Result<()> {
-        match mirror {
-            Some(t) => {
-                let (n_rows, n_cols) = matrix.shape();
-                for r in 0..rows {
-                    matrix.matvec_cols_mirrored(
-                        t,
-                        &xs[r * n_cols..(r + 1) * n_cols],
-                        &indices[offsets[r]..offsets[r + 1]],
-                        &mut out[r * n_rows..(r + 1) * n_rows],
-                    )?;
-                }
-                Ok(())
+        match (quant, mirror) {
+            (Some(q), _) => Ok(q.matvec_cols_batch_into(xs, rows, indices, offsets, out)?),
+            (None, Some(m)) => {
+                Ok(matrix.matvec_cols_batch_packed(&m.packed, xs, rows, indices, offsets, out)?)
             }
-            None => Ok(matrix.matvec_cols_batch_into(xs, rows, indices, offsets, out)?),
+            (None, None) => Ok(matrix.matvec_cols_batch_into(xs, rows, indices, offsets, out)?),
         }
     }
 
@@ -780,9 +820,10 @@ impl GluMlp {
         indices: &[usize],
         offsets: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        Self::cols_batch(&self.w_up, mirror, xs, rows, indices, offsets, out)
+        let quant = self.quant.as_ref().map(|q| q.up.as_ref());
+        Self::cols_batch(&self.w_up, quant, mirror, xs, rows, indices, offsets, out)
     }
 
     /// Batched [`GluMlp::gate_activations_input_pruned_into`]: each row has
@@ -799,9 +840,10 @@ impl GluMlp {
         indices: &[usize],
         offsets: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        Self::cols_batch(&self.w_gate, mirror, xs, rows, indices, offsets, out)?;
+        let quant = self.quant.as_ref().map(|q| q.gate.as_ref());
+        Self::cols_batch(&self.w_gate, quant, mirror, xs, rows, indices, offsets, out)?;
         self.add_gate_bias_rows(out, rows);
         self.activation.apply(&mut out[..rows * self.d_ff()]);
         Ok(())
@@ -821,9 +863,19 @@ impl GluMlp {
         indices: &[usize],
         offsets: &[usize],
         out: &mut [f32],
-        mirror: Option<&Matrix>,
+        mirror: Option<&WeightMirror>,
     ) -> Result<()> {
-        Self::cols_batch(&self.w_down, mirror, glus, rows, indices, offsets, out)
+        let quant = self.quant.as_ref().map(|q| q.down.as_ref());
+        Self::cols_batch(
+            &self.w_down,
+            quant,
+            mirror,
+            glus,
+            rows,
+            indices,
+            offsets,
+            out,
+        )
     }
 
     /// Batched dense forward pass: one weight pass per matrix for the whole
@@ -850,13 +902,15 @@ impl GluMlp {
         {
             *g = u * gate;
         }
-        match mirrors {
-            Some(m) => {
-                Ok(self
-                    .w_down
-                    .matvec_batch_mirrored(&m.down, &ws.glu[..n], rows, &mut ws.y)?)
-            }
-            None => Ok(self
+        match (&self.quant, mirrors) {
+            (Some(q), _) => Ok(q.down.matvec_batch_into(&ws.glu[..n], rows, &mut ws.y)?),
+            (None, Some(m)) => Ok(self.w_down.matvec_batch_packed(
+                &m.down.packed,
+                &ws.glu[..n],
+                rows,
+                &mut ws.y,
+            )?),
+            (None, None) => Ok(self
                 .w_down
                 .matvec_batch_into(&ws.glu[..n], rows, &mut ws.y)?),
         }
@@ -880,9 +934,12 @@ impl GluMlp {
         for ((g, u), gate) in ws.glu.iter_mut().zip(ws.up.iter()).zip(ws.gate.iter()) {
             *g = u * gate;
         }
-        match mirrors {
-            Some(m) => Ok(self.w_down.matvec_mirrored(&m.down, &ws.glu, &mut ws.y)?),
-            None => Ok(self.w_down.matvec_into(&ws.glu, &mut ws.y)?),
+        match (&self.quant, mirrors) {
+            (Some(q), _) => Ok(q.down.matvec_into(&ws.glu, &mut ws.y)?),
+            (None, Some(m)) => Ok(self
+                .w_down
+                .matvec_packed(&m.down.packed, &ws.glu, &mut ws.y)?),
+            (None, None) => Ok(self.w_down.matvec_into(&ws.glu, &mut ws.y)?),
         }
     }
 }

@@ -298,10 +298,11 @@ impl TransformerModel {
                 .resize_with(self.layers.len(), Default::default);
         }
 
-        // Mirror management: build the pre-transposed weight mirrors on the
-        // first token of a (scratch, model) pairing, revalidate (cheap
-        // pointer + sampled-bits check) every token. Reference mode runs
-        // without mirrors so before/after measurements are honest.
+        // Mirror management: build the pre-transposed + packed-panel weight
+        // mirrors on the first token of a (scratch, model) pairing,
+        // revalidate (cheap pointer + sampled-bits check) every token.
+        // Reference mode runs without mirrors so before/after measurements
+        // are honest.
         let use_mirrors = scratch.use_mirrors && !tensor::kernels::reference_mode();
         if use_mirrors
             && scratch
@@ -310,7 +311,10 @@ impl TransformerModel {
                 .map(|m| !m.matches(self))
                 .unwrap_or(true)
         {
+            let t0 = std::time::Instant::now();
             scratch.mirrors = Some(crate::scratch::ModelMirrors::build(self));
+            scratch.pack_nanos += t0.elapsed().as_nanos() as u64;
+            scratch.pack_builds += 1;
         }
         let mirrors = if use_mirrors {
             scratch.mirrors.as_ref()
@@ -351,8 +355,8 @@ impl TransformerModel {
         // exist, row-partitioned across the pool otherwise (all variants
         // bitwise identical)
         match mirrors {
-            Some(m) => self.lm_head.matvec_mirrored(
-                &m.lm_head,
+            Some(m) => self.lm_head.matvec_packed(
+                &m.lm_head.packed,
                 &scratch.final_normed,
                 &mut scratch.logits,
             )?,
@@ -397,7 +401,10 @@ impl TransformerModel {
                 .map(|m| !m.matches(self))
                 .unwrap_or(true)
         {
+            let t0 = std::time::Instant::now();
             scratch.mirrors = Some(crate::scratch::ModelMirrors::build(self));
+            scratch.pack_nanos += t0.elapsed().as_nanos() as u64;
+            scratch.pack_builds += 1;
         }
         use_mirrors
     }
@@ -554,8 +561,8 @@ impl TransformerModel {
             );
         }
         match mirrors {
-            Some(m) => self.lm_head.matvec_batch_mirrored(
-                &m.lm_head,
+            Some(m) => self.lm_head.matvec_batch_packed(
+                &m.lm_head.packed,
                 &scratch.final_normed,
                 rows,
                 &mut scratch.logits,
@@ -704,7 +711,7 @@ impl TransformerModel {
         match mirrors {
             Some(m) => self
                 .lm_head
-                .matvec_mirrored(&m.lm_head, final_row, logits_row)?,
+                .matvec_packed(&m.lm_head.packed, final_row, logits_row)?,
             None => {
                 self.lm_head
                     .matvec_into_threaded(final_row, logits_row, WorkerPool::global())?

@@ -24,7 +24,7 @@
 use crate::config::ModelConfig;
 use crate::mlp::{ColumnAccess, MatrixAccess, MlpAccessRecord, SliceAxis};
 use crate::model::TransformerModel;
-use tensor::Matrix;
+use tensor::{Matrix, WeightMirror};
 
 /// Identity fingerprint of one weight matrix: buffer address, shape and a
 /// small sample of element bits. Used to detect that a scratch's mirrors
@@ -52,28 +52,30 @@ fn matrix_tag(m: &Matrix) -> MatrixTag {
     }
 }
 
-/// Pre-transposed mirrors of one attention block's projections.
+/// Mirror set of one attention block's projections (transposed copy +
+/// packed panels each; see [`WeightMirror`]).
 #[derive(Debug, Clone)]
 pub struct AttnMirrors {
-    /// `W_q^T`.
-    pub q: Matrix,
-    /// `W_k^T`.
-    pub k: Matrix,
-    /// `W_v^T`.
-    pub v: Matrix,
-    /// `W_o^T`.
-    pub o: Matrix,
+    /// `W_q` mirrors.
+    pub q: WeightMirror,
+    /// `W_k` mirrors.
+    pub k: WeightMirror,
+    /// `W_v` mirrors.
+    pub v: WeightMirror,
+    /// `W_o` mirrors.
+    pub o: WeightMirror,
 }
 
-/// Pre-transposed mirrors of one GLU MLP block's matrices.
+/// Mirror set of one GLU MLP block's matrices (transposed copy + packed
+/// panels each; see [`WeightMirror`]).
 #[derive(Debug, Clone)]
 pub struct MlpMirrors {
-    /// `W_u^T`.
-    pub up: Matrix,
-    /// `W_g^T`.
-    pub gate: Matrix,
-    /// `W_d^T`.
-    pub down: Matrix,
+    /// `W_u` mirrors.
+    pub up: WeightMirror,
+    /// `W_g` mirrors.
+    pub gate: WeightMirror,
+    /// `W_d` mirrors.
+    pub down: WeightMirror,
 }
 
 /// Mirrors of one transformer layer.
@@ -85,25 +87,27 @@ pub struct LayerMirrors {
     pub mlp: MlpMirrors,
 }
 
-/// Pre-transposed mirrors of every hot-path weight matrix of one model.
+/// Mirrors of every hot-path weight matrix of one model: for each matrix,
+/// both a pre-transposed copy (the historical mirrored kernels; also the
+/// layout transpose-consuming callers want) and the packed `MR`-row panels
+/// the register-blocked microkernels ([`Matrix::matvec_packed`] family)
+/// run on. Both kernel families stay bitwise identical to the row-major
+/// kernels — the mirrors cost memory and build time, never bits.
 ///
-/// The mirrored kernels ([`Matrix::matvec_mirrored`] /
-/// [`Matrix::matvec_cols_mirrored`]) read *contiguous* mirror rows instead
-/// of strided columns and autovectorise to full SIMD width while staying
-/// bitwise identical to the row-major kernels — at the cost of one extra
-/// copy of the mirrored weights. The decode loop builds mirrors lazily into
-/// its [`DecodeScratch`] and validates them each token against the model's
-/// fingerprints (buffer pointers, shapes and sampled element
-/// bits), so a scratch reused with a *different* model rebuilds instead of
-/// computing garbage. Mutating a model's weights in place while reusing a
-/// warm scratch with it is not supported (transforms happen before decode
-/// loops everywhere in this workspace).
+/// The decode loop builds mirrors lazily into its [`DecodeScratch`] and
+/// validates them each token against the model's fingerprints (buffer
+/// pointers, shapes and sampled element bits), so a scratch reused with a
+/// *different* model — or a model whose weights were swapped out mid-run —
+/// rebuilds every mirror (transposed *and* packed) instead of computing
+/// garbage. Mutating a model's weights in place while reusing a warm
+/// scratch with it is not supported (transforms happen before decode loops
+/// everywhere in this workspace).
 #[derive(Debug, Clone)]
 pub struct ModelMirrors {
     /// Per-layer mirrors.
     pub layers: Vec<LayerMirrors>,
     /// LM head mirror.
-    pub lm_head: Matrix,
+    pub lm_head: WeightMirror,
     tags: Vec<MatrixTag>,
 }
 
@@ -127,29 +131,29 @@ impl ModelMirrors {
             .chain(std::iter::once(&model.lm_head))
     }
 
-    /// Transposes every hot-path matrix of `model` (the one expensive step;
-    /// done once per (scratch, model) pairing).
+    /// Transposes **and packs** every hot-path matrix of `model` (the one
+    /// expensive step; done once per (scratch, model) pairing).
     pub fn build(model: &TransformerModel) -> Self {
         let layers = model
             .layers
             .iter()
             .map(|l| LayerMirrors {
                 attn: AttnMirrors {
-                    q: l.attn.w_q.transpose(),
-                    k: l.attn.w_k.transpose(),
-                    v: l.attn.w_v.transpose(),
-                    o: l.attn.w_o.transpose(),
+                    q: WeightMirror::build(&l.attn.w_q),
+                    k: WeightMirror::build(&l.attn.w_k),
+                    v: WeightMirror::build(&l.attn.w_v),
+                    o: WeightMirror::build(&l.attn.w_o),
                 },
                 mlp: MlpMirrors {
-                    up: l.mlp.w_up.transpose(),
-                    gate: l.mlp.w_gate.transpose(),
-                    down: l.mlp.w_down.transpose(),
+                    up: WeightMirror::build(&l.mlp.w_up),
+                    gate: WeightMirror::build(&l.mlp.w_gate),
+                    down: WeightMirror::build(&l.mlp.w_down),
                 },
             })
             .collect();
         ModelMirrors {
             layers,
-            lm_head: model.lm_head.transpose(),
+            lm_head: WeightMirror::build(&model.lm_head),
             tags: Self::model_matrices(model).map(matrix_tag).collect(),
         }
     }
@@ -477,6 +481,12 @@ pub struct BatchScratch {
     /// (telemetry only; `rows_computed / fused_passes` is the realised mean
     /// batch width).
     pub fused_passes: u64,
+    /// Lifetime nanoseconds spent building weight mirrors (transpose +
+    /// pack) into this scratch (telemetry only).
+    pub pack_nanos: u64,
+    /// Lifetime count of mirror (re)builds into this scratch (telemetry
+    /// only — a rebuild after warm-up means weights were swapped mid-run).
+    pub pack_builds: u64,
 }
 
 impl BatchScratch {
@@ -573,6 +583,12 @@ pub struct DecodeScratch {
     /// turn it off, since an O(model-weights) transpose per token would
     /// dwarf the token itself.
     pub use_mirrors: bool,
+    /// Lifetime nanoseconds spent building weight mirrors (transpose +
+    /// pack) into this scratch (telemetry only).
+    pub pack_nanos: u64,
+    /// Lifetime count of mirror (re)builds into this scratch (telemetry
+    /// only — a rebuild after warm-up means weights were swapped mid-run).
+    pub pack_builds: u64,
 }
 
 impl DecodeScratch {
@@ -600,6 +616,8 @@ impl DecodeScratch {
             log_probs: vec![0.0; config.vocab_size],
             mirrors: None,
             use_mirrors: true,
+            pack_nanos: 0,
+            pack_builds: 0,
         }
     }
 

@@ -1,0 +1,89 @@
+//! Mirror fingerprint revalidation: when a scratch is reused across a
+//! mid-run weight swap, the packed-panel mirrors must be rebuilt (not serve
+//! stale weights), and the decode outputs must stay bitwise identical to a
+//! mirror-free run over the same model sequence.
+
+use lm::mlp::DenseMlp;
+use lm::scratch::DecodeScratch;
+use lm::{build_synthetic, ModelConfig, TransformerModel};
+
+fn assert_bits_eq(fast: &[f32], naive: &[f32], what: &str) {
+    assert_eq!(fast.len(), naive.len(), "{what}: length mismatch");
+    for (i, (a, b)) in fast.iter().zip(naive.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: output {i} diverged ({a} vs {b})"
+        );
+    }
+}
+
+/// Decodes `tokens` through `models[i]` (one model per token) with the given
+/// scratch, returning the logits of every step.
+fn decode_seq(
+    models: &[&TransformerModel],
+    tokens: &[u32],
+    scratch: &mut DecodeScratch,
+) -> Vec<Vec<f32>> {
+    let mut state = models[0].new_decode_state();
+    let mut out = Vec::new();
+    for (m, &t) in models.iter().zip(tokens.iter()) {
+        m.forward_token_into(t, &mut state, &mut DenseMlp, scratch)
+            .unwrap();
+        out.push(scratch.logits.clone());
+    }
+    out
+}
+
+#[test]
+fn packed_mirrors_rebuild_when_weights_swap_mid_run() {
+    let config = ModelConfig::tiny();
+    let model_a = build_synthetic(&config, 21).unwrap();
+    // same shapes, different weights — swapping B in mid-run must invalidate
+    // every panel built from A
+    let mut model_b = build_synthetic(&config, 22).unwrap();
+    for layer in &mut model_b.layers {
+        for v in layer.mlp.w_up.as_mut_slice() {
+            *v *= 1.5;
+        }
+    }
+
+    let tokens = [5u32, 3, 8, 2, 7, 1];
+    let models: Vec<&TransformerModel> = (0..tokens.len())
+        .map(|i| if i < 3 { &model_a } else { &model_b })
+        .collect();
+
+    // mirror-free control: always correct, never caches weights
+    let mut plain = DecodeScratch::for_model(&model_a);
+    plain.use_mirrors = false;
+    let want = decode_seq(&models, &tokens, &mut plain);
+    assert_eq!(plain.pack_builds, 0, "mirror-free run must never pack");
+
+    // mirrored run with the swap mid-sequence
+    let mut mirrored = DecodeScratch::for_model(&model_a);
+    let got = decode_seq(&models, &tokens, &mut mirrored);
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_bits_eq(g, w, &format!("token {i}"));
+    }
+
+    // exactly two pack builds: one for A on token 0, one for B on token 3 —
+    // the fingerprint must catch the swap, and must NOT rebuild every token
+    assert_eq!(
+        mirrored.pack_builds, 2,
+        "expected one rebuild per distinct model"
+    );
+    assert!(mirrored.pack_nanos > 0, "pack time must be accounted");
+}
+
+#[test]
+fn pack_counters_stay_flat_without_weight_changes() {
+    let model = build_synthetic(&ModelConfig::tiny(), 23).unwrap();
+    let mut scratch = DecodeScratch::for_model(&model);
+    let mut state = model.new_decode_state();
+    for t in [1u32, 2, 3, 4, 5, 6, 7, 8] {
+        model
+            .forward_token_into(t, &mut state, &mut DenseMlp, &mut scratch)
+            .unwrap();
+    }
+    assert_eq!(scratch.pack_builds, 1, "steady-state must reuse the panels");
+}

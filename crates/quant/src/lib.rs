@@ -7,6 +7,9 @@
 //!   sub-vectors (the GPTVQ-style "VQ" baseline),
 //! * [`StaticPruner`] — one-shot magnitude / diagonal-Hessian pruning with
 //!   unstructured and N:M (2:4, 4:8) masks, plus mask-overhead accounting,
+//! * [`PackedQuantMatrix`] — INT4/INT8 codes in packed panel order with
+//!   fused dequant-matvec microkernels (serving-time memory-traffic win;
+//!   bitwise identical to materializing the reconstruction),
 //! * [`model_ops`] — applying any of the above to a model's MLP weights and
 //!   computing the resulting memory footprint.
 //!
@@ -28,11 +31,13 @@
 pub mod blockwise;
 pub mod error;
 pub mod model_ops;
+pub mod packed;
 pub mod static_pruning;
 pub mod vector_quant;
 
 pub use blockwise::BlockwiseQuantizer;
 pub use error::{QuantError, Result};
+pub use packed::PackedQuantMatrix;
 pub use static_pruning::{
     mask_overhead_bits_per_weight, PruningCriterion, PruningStructure, StaticPruner,
 };

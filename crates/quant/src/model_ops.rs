@@ -27,6 +27,47 @@ pub fn quantize_mlp_blockwise(
     out
 }
 
+/// Returns a copy of the model whose MLP layers carry **fused** blockwise
+/// quantization: packed INT4/INT8 codes attached for the serving-time
+/// dequant-matvec kernels, with the f32 weights replaced by the dequantized
+/// reconstruction so every non-fused path (allocating helpers, reference
+/// mode) stays bitwise consistent with the fused kernels.
+///
+/// The returned model produces bitwise identical forwards to
+/// [`quantize_mlp_blockwise`] with the same quantizer, while the fused
+/// kernels read `bits/32` of the weight traffic.
+///
+/// # Errors
+///
+/// Fails when the quantizer's bit width is not 4 or 8 (the only widths with
+/// packed code layouts).
+pub fn quantize_mlp_fused(
+    model: &TransformerModel,
+    quantizer: &BlockwiseQuantizer,
+) -> Result<TransformerModel> {
+    use crate::packed::PackedQuantMatrix;
+    use std::sync::Arc;
+
+    let mut out = model.clone();
+    for layer in &mut out.layers {
+        let mlp = &mut layer.mlp;
+        let up = PackedQuantMatrix::quantize(&mlp.w_up, quantizer)?;
+        let gate = PackedQuantMatrix::quantize(&mlp.w_gate, quantizer)?;
+        let down = PackedQuantMatrix::quantize(&mlp.w_down, quantizer)?;
+        // Replace the f32 weights with the reconstruction BEFORE attaching,
+        // so paths that never consult `quant` see the same effective weights.
+        mlp.w_up = quantizer.quantize_dequantize(&mlp.w_up);
+        mlp.w_gate = quantizer.quantize_dequantize(&mlp.w_gate);
+        mlp.w_down = quantizer.quantize_dequantize(&mlp.w_down);
+        mlp.quant = Some(lm::mlp::QuantizedGluWeights {
+            up: Arc::new(up),
+            gate: Arc::new(gate),
+            down: Arc::new(down),
+        });
+    }
+    Ok(out)
+}
+
 /// Returns a copy of the model whose MLP weights carry vector-quantization
 /// error (quantize → dequantize).
 pub fn quantize_mlp_vector(

@@ -1,0 +1,806 @@
+//! Fused dequant-matvec over packed INT4/INT8 blockwise weights.
+//!
+//! [`BlockwiseQuantizer::quantize_dequantize`](crate::BlockwiseQuantizer)
+//! materializes a whole `f32` reconstruction — fine for accuracy studies,
+//! but at serving time it forfeits the entire memory-traffic win of
+//! quantization: the matvec still streams 4 bytes per weight.
+//! [`PackedQuantMatrix`] instead stores the integer codes and per-group
+//! scales directly in the `MR`-row panel order of [`tensor::packed`], and
+//! the kernels dequantize **inside the panel loop** into register-resident
+//! tiles: the weight stream shrinks to ~1 byte (INT8) or ~0.5 bytes (INT4)
+//! per weight, which is exactly the traffic the paper's cache-cost model
+//! prices.
+//!
+//! # Parity argument
+//!
+//! Every kernel here is bitwise identical to materializing the
+//! reconstruction and running the naive [`tensor::reference`] loops on it:
+//!
+//! * The stored reconstruction is `q * scale`, one `f32` multiply; the
+//!   fused kernels compute `(q as f32) * scale` — the *same* multiply on
+//!   the same operands, hence the same bits. No FMA is used anywhere.
+//! * Accumulation order per output is untouched: ascending columns for the
+//!   dense kernels, active-list order with the exact-zero skip on `x` for
+//!   the sparse ones. Register tiling spans independent outputs only.
+//! * Zero signs: the reconstruction can hold `-0.0` where the fused path
+//!   reconstructs `+0.0` — in all-zero groups (`absmax == 0`, where
+//!   `quantize_dequantize` leaves the original `±0.0` in place) and
+//!   wherever a tiny negative weight rounds to `-0.0` (an integer code
+//!   cannot carry the sign). The *products* can then differ in zero sign —
+//!   but an accumulator that starts at `+0.0` can never be driven to
+//!   `-0.0` by adding zeros (`-0.0` only arises from `-0.0 + -0.0`), and
+//!   adding a signed zero to any value never changes it, so every *sum*
+//!   still matches bit-for-bit.
+//!
+//! `kernel_parity.rs`-style proptests in `tests/fused_parity.rs` pin all of
+//! this for every dispatch choice.
+
+use crate::blockwise::BlockwiseQuantizer;
+use crate::error::{QuantError, Result};
+use tensor::error::Result as TensorResult;
+use tensor::kernels::{kernel_arch, KernelArch};
+use tensor::packed::MR;
+use tensor::{Matrix, QuantMatvec, TensorError};
+
+/// Integer code storage: one signed byte per weight (INT8) or two weights
+/// per byte (INT4; byte `i` of a column holds lane `i` in its low nibble
+/// and lane `i + MR/2` in its high nibble — deinterleaved so the decode is
+/// two independent 4-lane streams, which the vectorizer handles without a
+/// lane shuffle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QStore {
+    I8(Vec<i8>),
+    I4(Vec<u8>),
+}
+
+/// A blockwise-quantized weight matrix in `MR`-row panel order, ready for
+/// the fused dequant-matvec microkernels.
+///
+/// Layout (`p` = panel, `l` = lane in `0..MR`, `c` = column, `g` = group):
+///
+/// * scales: `scales[(p * n_groups + g) * MR + l]`
+/// * INT8 codes: `q[(p * cols + c) * MR + l]`
+/// * INT4 codes: byte `q[(p * cols + c) * MR/2 + (l % MR/2)]`; lanes
+///   `0..MR/2` ride the low nibbles and lanes `MR/2..MR` the high nibbles
+///   — one column of one panel is 4 contiguous bytes, and the two nibble
+///   streams decode without interleaving.
+///
+/// The quantization grid is exactly
+/// [`BlockwiseQuantizer::quantize_dequantize`]'s: symmetric, per-row groups
+/// of `group_size` consecutive columns, `scale = absmax / max_level`,
+/// `q = round(w / scale)` clamped to `±max_level` (which always fits the
+/// signed 4-/8-bit range).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedQuantMatrix {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    group_size: usize,
+    n_groups: usize,
+    scales: Vec<f32>,
+    qdata: QStore,
+}
+
+impl PackedQuantMatrix {
+    /// Quantizes a matrix straight into packed panel order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] unless `quantizer.bits` is
+    /// 4 or 8 (the only widths with a fused kernel).
+    pub fn quantize(w: &Matrix, quantizer: &BlockwiseQuantizer) -> Result<PackedQuantMatrix> {
+        let bits = quantizer.bits;
+        if bits != 4 && bits != 8 {
+            return Err(QuantError::InvalidParameter {
+                name: "bits",
+                reason: format!("fused dequant kernels support 4 or 8 bits, got {bits}"),
+            });
+        }
+        let group_size = quantizer.group_size;
+        let (rows, cols) = w.shape();
+        let n_groups = cols.div_ceil(group_size).max(1);
+        let panels = rows.div_ceil(MR);
+        let max_level = ((1u32 << (bits - 1)) - 1) as f32;
+        let mut scales = vec![0.0f32; panels * n_groups * MR];
+        let mut qdata = match bits {
+            8 => QStore::I8(vec![0i8; panels * cols * MR]),
+            _ => QStore::I4(vec![0u8; panels * cols * (MR / 2)]),
+        };
+        for r in 0..rows {
+            let (p, l) = (r / MR, r % MR);
+            for g in 0..n_groups {
+                let gs = g * group_size;
+                let ge = (gs + group_size).min(cols);
+                let mut absmax = 0.0f32;
+                for c in gs..ge {
+                    absmax = absmax.max(w.get(r, c).abs());
+                }
+                if absmax == 0.0 {
+                    continue; // scale 0, codes 0: reconstructs +0.0
+                }
+                let scale = absmax / max_level;
+                scales[(p * n_groups + g) * MR + l] = scale;
+                for c in gs..ge {
+                    let q = (w.get(r, c) / scale).round().clamp(-max_level, max_level) as i32;
+                    match &mut qdata {
+                        QStore::I8(v) => v[(p * cols + c) * MR + l] = q as i8,
+                        QStore::I4(v) => {
+                            let byte = &mut v[(p * cols + c) * (MR / 2) + (l % (MR / 2))];
+                            let nib = (q as u8) & 0x0F;
+                            if l < MR / 2 {
+                                *byte = (*byte & 0xF0) | nib;
+                            } else {
+                                *byte = (*byte & 0x0F) | (nib << 4);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(PackedQuantMatrix {
+            rows,
+            cols,
+            bits,
+            group_size,
+            n_groups,
+            scales,
+            qdata,
+        })
+    }
+
+    /// Bit-width of the integer grid (4 or 8).
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Columns per scale group.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Bytes of packed storage (codes + scales), for memory accounting.
+    pub fn packed_bytes(&self) -> usize {
+        let codes = match &self.qdata {
+            QStore::I8(v) => v.len(),
+            QStore::I4(v) => v.len(),
+        };
+        codes + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Materializes the `f32` reconstruction — elementwise equal to
+    /// [`BlockwiseQuantizer::quantize_dequantize`] up to zero signs (see
+    /// the module docs; every *matvec sum* over either matrix is bitwise
+    /// identical). Used by parity tests and by callers that need the
+    /// dequantized weights for non-fused paths.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let (p, l) = (r / MR, r % MR);
+            for c in 0..self.cols {
+                let g = c / self.group_size;
+                let scale = self.scales[(p * self.n_groups + g) * MR + l];
+                out.set(r, c, self.q_at(p, c, l) as f32 * scale);
+            }
+        }
+        out
+    }
+
+    /// Integer code at (panel, column, lane).
+    #[inline(always)]
+    fn q_at(&self, p: usize, c: usize, l: usize) -> i32 {
+        match &self.qdata {
+            QStore::I8(v) => i32::from(v[(p * self.cols + c) * MR + l]),
+            QStore::I4(v) => {
+                let b = v[(p * self.cols + c) * (MR / 2) + (l % (MR / 2))];
+                if l < MR / 2 {
+                    i32::from(((b << 4) as i8) >> 4)
+                } else {
+                    i32::from((b as i8) >> 4)
+                }
+            }
+        }
+    }
+
+    /// Scales of group `g` for panel `p` as a register tile.
+    #[inline(always)]
+    fn scale_lanes(&self, p: usize, g: usize) -> [f32; MR] {
+        let base = (p * self.n_groups + g) * MR;
+        let mut sc = [0.0f32; MR];
+        sc.copy_from_slice(&self.scales[base..base + MR]);
+        sc
+    }
+
+    fn check_vec_shapes(&self, op: &'static str, x: &[f32], out: &[f32]) -> TensorResult<()> {
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_batch_shapes(&self, xs: &[f32], k: usize, out: &[f32]) -> TensorResult<()> {
+        if xs.len() != k * self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "quant_matvec_batch",
+                expected: (k, self.cols),
+                found: (xs.len(), 1),
+            });
+        }
+        if out.len() != k * self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "quant_matvec_batch",
+                expected: (k, self.rows),
+                found: (out.len(), 1),
+            });
+        }
+        Ok(())
+    }
+
+    /// Naive scalar fused matvec — the reference-mode path. Per output row,
+    /// one ascending-column loop over on-the-fly dequantized values: the
+    /// same sums as [`tensor::reference::matvec_into`] on the materialized
+    /// reconstruction.
+    fn matvec_naive(&self, x: &[f32], out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            let (p, l) = (r / MR, r % MR);
+            let mut acc = 0.0f32;
+            for (c, &xv) in x.iter().enumerate() {
+                let scale = self.scales[(p * self.n_groups + c / self.group_size) * MR + l];
+                acc += (self.q_at(p, c, l) as f32 * scale) * xv;
+            }
+            *o = acc;
+        }
+    }
+
+    /// Naive scalar fused sparse matvec (active order, exact-zero skip).
+    fn matvec_cols_naive(&self, x: &[f32], active: &[usize], out: &mut [f32]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            let (p, l) = (r / MR, r % MR);
+            let mut acc = 0.0f32;
+            for &c in active {
+                let xv = x[c];
+                if xv == 0.0 {
+                    continue;
+                }
+                let scale = self.scales[(p * self.n_groups + c / self.group_size) * MR + l];
+                acc += (self.q_at(p, c, l) as f32 * scale) * xv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register-blocked fused microkernel bodies (same multiversioning scheme as
+// `tensor::packed`: generic `#[inline(always)]` bodies, recompiled under
+// AVX2 by `#[target_feature]` wrappers; `NP` panels / `NR` RHS per tile).
+// The bodies are additionally generic over a [`CodeView`] so the code-store
+// variant is decided once per call, not once per column — the inner loops
+// monomorphize to straight-line decode the vectorizer can work with.
+// ---------------------------------------------------------------------------
+
+/// Read-only view of one [`QStore`] variant. `idx` addresses a column of a
+/// panel (`idx = p * cols + c`); `lanes` dequantizes it into an `MR`-lane
+/// register tile as `(q as f32) * scale[l]` — the exact multiply of
+/// `quantize_dequantize`, so downstream sums match it bitwise.
+trait CodeView: Copy {
+    fn lanes(self, idx: usize, sc: &[f32; MR]) -> [f32; MR];
+}
+
+#[derive(Clone, Copy)]
+struct I8View<'a>(&'a [i8]);
+
+impl CodeView for I8View<'_> {
+    #[inline(always)]
+    fn lanes(self, idx: usize, sc: &[f32; MR]) -> [f32; MR] {
+        let codes = &self.0[idx * MR..idx * MR + MR];
+        let mut w = [0.0f32; MR];
+        for l in 0..MR {
+            w[l] = codes[l] as f32 * sc[l];
+        }
+        w
+    }
+}
+
+#[derive(Clone, Copy)]
+struct I4View<'a>(&'a [u8]);
+
+impl CodeView for I4View<'_> {
+    #[inline(always)]
+    fn lanes(self, idx: usize, sc: &[f32; MR]) -> [f32; MR] {
+        const HALF: usize = MR / 2;
+        let bytes = &self.0[idx * HALF..idx * HALF + HALF];
+        let mut w = [0.0f32; MR];
+        // deinterleaved nibbles: two independent 4-lane streams, no shuffle
+        for i in 0..HALF {
+            let b = i32::from(bytes[i]);
+            let lo = (b << 28) >> 28;
+            let hi = (b << 24) >> 28;
+            w[i] = lo as f32 * sc[i];
+            w[i + HALF] = hi as f32 * sc[i + HALF];
+        }
+        w
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn fused_matvec_tile<V: CodeView, const NP: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    p0: usize,
+    x: &[f32],
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; MR]; NP];
+    for g in 0..pq.n_groups {
+        let gs = g * pq.group_size;
+        let ge = (gs + pq.group_size).min(pq.cols);
+        let mut sc = [[0.0f32; MR]; NP];
+        for p in 0..NP {
+            sc[p] = pq.scale_lanes(p0 + p, g);
+        }
+        for c in gs..ge {
+            let xv = x[c];
+            for p in 0..NP {
+                let w = v.lanes((p0 + p) * pq.cols + c, &sc[p]);
+                for l in 0..MR {
+                    acc[p][l] += w[l] * xv;
+                }
+            }
+        }
+    }
+    for (p, chunk) in out.chunks_mut(MR).enumerate() {
+        chunk.copy_from_slice(&acc[p][..chunk.len()]);
+    }
+}
+
+#[inline(always)]
+fn fused_matvec_impl<V: CodeView, const NP: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    x: &[f32],
+    out: &mut [f32],
+) {
+    let panels = pq.rows.div_ceil(MR);
+    let mut p = 0usize;
+    while p + NP <= panels {
+        let lo = p * MR;
+        let hi = ((p + NP) * MR).min(pq.rows);
+        fused_matvec_tile::<V, NP>(v, pq, p, x, &mut out[lo..hi]);
+        p += NP;
+    }
+    while p < panels {
+        let lo = p * MR;
+        let hi = ((p + 1) * MR).min(pq.rows);
+        fused_matvec_tile::<V, 1>(v, pq, p, x, &mut out[lo..hi]);
+        p += 1;
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+fn fused_matvec_cols_tile<V: CodeView, const NP: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    p0: usize,
+    x: &[f32],
+    active: &[usize],
+    out: &mut [f32],
+) {
+    let mut acc = [[0.0f32; MR]; NP];
+    for &c in active {
+        let xv = x[c];
+        if xv == 0.0 {
+            continue;
+        }
+        let g = c / pq.group_size;
+        for p in 0..NP {
+            let sc = pq.scale_lanes(p0 + p, g);
+            let w = v.lanes((p0 + p) * pq.cols + c, &sc);
+            for l in 0..MR {
+                acc[p][l] += w[l] * xv;
+            }
+        }
+    }
+    for (p, chunk) in out.chunks_mut(MR).enumerate() {
+        chunk.copy_from_slice(&acc[p][..chunk.len()]);
+    }
+}
+
+#[inline(always)]
+fn fused_matvec_cols_impl<V: CodeView, const NP: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    x: &[f32],
+    active: &[usize],
+    out: &mut [f32],
+) {
+    let panels = pq.rows.div_ceil(MR);
+    let mut p = 0usize;
+    while p + NP <= panels {
+        let lo = p * MR;
+        let hi = ((p + NP) * MR).min(pq.rows);
+        fused_matvec_cols_tile::<V, NP>(v, pq, p, x, active, &mut out[lo..hi]);
+        p += NP;
+    }
+    while p < panels {
+        let lo = p * MR;
+        let hi = ((p + 1) * MR).min(pq.rows);
+        fused_matvec_cols_tile::<V, 1>(v, pq, p, x, active, &mut out[lo..hi]);
+        p += 1;
+    }
+}
+
+/// Batched tile: codes are dequantized **once** per (column, panel) and the
+/// resulting register tile feeds all `NR` RHS vectors — the dequant cost is
+/// amortized across the batch on top of the traffic win.
+#[inline(always)]
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn fused_matvec_batch_tile<V: CodeView, const NP: usize, const NR: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    p0: usize,
+    xs: &[f32],
+    s0: usize,
+    lo: usize,
+    valid: usize,
+    out: &mut [f32],
+) {
+    let (rows, cols) = (pq.rows, pq.cols);
+    let mut acc = [[[0.0f32; MR]; NP]; NR];
+    for g in 0..pq.n_groups {
+        let gs = g * pq.group_size;
+        let ge = (gs + pq.group_size).min(cols);
+        let mut sc = [[0.0f32; MR]; NP];
+        for p in 0..NP {
+            sc[p] = pq.scale_lanes(p0 + p, g);
+        }
+        for c in gs..ge {
+            let mut w = [[0.0f32; MR]; NP];
+            for p in 0..NP {
+                w[p] = v.lanes((p0 + p) * cols + c, &sc[p]);
+            }
+            for s in 0..NR {
+                let xv = xs[(s0 + s) * cols + c];
+                for p in 0..NP {
+                    for l in 0..MR {
+                        acc[s][p][l] += w[p][l] * xv;
+                    }
+                }
+            }
+        }
+    }
+    for s in 0..NR {
+        let dst = &mut out[(s0 + s) * rows + lo..(s0 + s) * rows + lo + valid];
+        for (p, chunk) in dst.chunks_mut(MR).enumerate() {
+            chunk.copy_from_slice(&acc[s][p][..chunk.len()]);
+        }
+    }
+}
+
+#[inline(always)]
+fn fused_matvec_batch_impl<V: CodeView, const NP: usize>(
+    v: V,
+    pq: &PackedQuantMatrix,
+    xs: &[f32],
+    k: usize,
+    out: &mut [f32],
+) {
+    let panels = pq.rows.div_ceil(MR);
+    let mut p = 0usize;
+    while p < panels {
+        let np = if p + NP <= panels { NP } else { 1 };
+        let lo = p * MR;
+        let valid = ((p + np) * MR).min(pq.rows) - lo;
+        let mut s0 = 0usize;
+        macro_rules! run {
+            ($np:expr) => {{
+                while s0 + 4 <= k {
+                    fused_matvec_batch_tile::<V, $np, 4>(v, pq, p, xs, s0, lo, valid, out);
+                    s0 += 4;
+                }
+                if s0 + 2 <= k {
+                    fused_matvec_batch_tile::<V, $np, 2>(v, pq, p, xs, s0, lo, valid, out);
+                    s0 += 2;
+                }
+                if s0 < k {
+                    fused_matvec_batch_tile::<V, $np, 1>(v, pq, p, xs, s0, lo, valid, out);
+                }
+            }};
+        }
+        if np == NP {
+            run!(NP);
+        } else {
+            run!(1);
+        }
+        p += np;
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod avx2 {
+    //! Safety: reached only when [`super::kernel_arch`] returns
+    //! [`KernelArch::Avx2`], which requires a successful
+    //! `is_x86_feature_detected!("avx2")`. One non-generic wrapper per
+    //! (op, code store) so `#[target_feature]` applies to concrete fns.
+    use super::*;
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_i8(codes: &[i8], pq: &PackedQuantMatrix, x: &[f32], out: &mut [f32]) {
+        fused_matvec_impl::<_, 4>(I8View(codes), pq, x, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_i4(codes: &[u8], pq: &PackedQuantMatrix, x: &[f32], out: &mut [f32]) {
+        fused_matvec_impl::<_, 4>(I4View(codes), pq, x, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_cols_i8(
+        codes: &[i8],
+        pq: &PackedQuantMatrix,
+        x: &[f32],
+        active: &[usize],
+        out: &mut [f32],
+    ) {
+        fused_matvec_cols_impl::<_, 4>(I8View(codes), pq, x, active, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_cols_i4(
+        codes: &[u8],
+        pq: &PackedQuantMatrix,
+        x: &[f32],
+        active: &[usize],
+        out: &mut [f32],
+    ) {
+        fused_matvec_cols_impl::<_, 4>(I4View(codes), pq, x, active, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_batch_i8(
+        codes: &[i8],
+        pq: &PackedQuantMatrix,
+        xs: &[f32],
+        k: usize,
+        out: &mut [f32],
+    ) {
+        fused_matvec_batch_impl::<_, 2>(I8View(codes), pq, xs, k, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_batch_i4(
+        codes: &[u8],
+        pq: &PackedQuantMatrix,
+        xs: &[f32],
+        k: usize,
+        out: &mut [f32],
+    ) {
+        fused_matvec_batch_impl::<_, 2>(I4View(codes), pq, xs, k, out);
+    }
+}
+
+fn matvec_dispatch(pq: &PackedQuantMatrix, x: &[f32], out: &mut [f32]) {
+    match (kernel_arch(), &pq.qdata) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `kernel_arch` only returns `Avx2` when the host supports it.
+        (KernelArch::Avx2, QStore::I8(v)) => unsafe { avx2::matvec_i8(v, pq, x, out) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        (KernelArch::Avx2, QStore::I4(v)) => unsafe { avx2::matvec_i4(v, pq, x, out) },
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I8(v)) => fused_matvec_impl::<_, 2>(I8View(v), pq, x, out),
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I4(v)) => fused_matvec_impl::<_, 2>(I4View(v), pq, x, out),
+        (KernelArch::Portable, QStore::I8(v)) => fused_matvec_impl::<_, 2>(I8View(v), pq, x, out),
+        (KernelArch::Portable, QStore::I4(v)) => fused_matvec_impl::<_, 2>(I4View(v), pq, x, out),
+    }
+}
+
+fn matvec_cols_dispatch(pq: &PackedQuantMatrix, x: &[f32], active: &[usize], out: &mut [f32]) {
+    match (kernel_arch(), &pq.qdata) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `kernel_arch` only returns `Avx2` when the host supports it.
+        (KernelArch::Avx2, QStore::I8(v)) => unsafe { avx2::matvec_cols_i8(v, pq, x, active, out) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        (KernelArch::Avx2, QStore::I4(v)) => unsafe { avx2::matvec_cols_i4(v, pq, x, active, out) },
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I8(v)) => {
+            fused_matvec_cols_impl::<_, 2>(I8View(v), pq, x, active, out)
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I4(v)) => {
+            fused_matvec_cols_impl::<_, 2>(I4View(v), pq, x, active, out)
+        }
+        (KernelArch::Portable, QStore::I8(v)) => {
+            fused_matvec_cols_impl::<_, 2>(I8View(v), pq, x, active, out)
+        }
+        (KernelArch::Portable, QStore::I4(v)) => {
+            fused_matvec_cols_impl::<_, 2>(I4View(v), pq, x, active, out)
+        }
+    }
+}
+
+fn matvec_batch_dispatch(pq: &PackedQuantMatrix, xs: &[f32], k: usize, out: &mut [f32]) {
+    match (kernel_arch(), &pq.qdata) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: `kernel_arch` only returns `Avx2` when the host supports it.
+        (KernelArch::Avx2, QStore::I8(v)) => unsafe { avx2::matvec_batch_i8(v, pq, xs, k, out) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        // SAFETY: as above.
+        (KernelArch::Avx2, QStore::I4(v)) => unsafe { avx2::matvec_batch_i4(v, pq, xs, k, out) },
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I8(v)) => {
+            fused_matvec_batch_impl::<_, 1>(I8View(v), pq, xs, k, out)
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        (KernelArch::Avx2, QStore::I4(v)) => {
+            fused_matvec_batch_impl::<_, 1>(I4View(v), pq, xs, k, out)
+        }
+        (KernelArch::Portable, QStore::I8(v)) => {
+            fused_matvec_batch_impl::<_, 1>(I8View(v), pq, xs, k, out)
+        }
+        (KernelArch::Portable, QStore::I4(v)) => {
+            fused_matvec_batch_impl::<_, 1>(I4View(v), pq, xs, k, out)
+        }
+    }
+}
+
+impl QuantMatvec for PackedQuantMatrix {
+    fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    fn matvec_into(&self, x: &[f32], out: &mut [f32]) -> TensorResult<()> {
+        self.check_vec_shapes("quant_matvec", x, out)?;
+        if tensor::kernels::reference_mode() {
+            self.matvec_naive(x, out);
+            return Ok(());
+        }
+        matvec_dispatch(self, x, out);
+        Ok(())
+    }
+
+    fn matvec_cols_into(
+        &self,
+        x: &[f32],
+        active_cols: &[usize],
+        out: &mut [f32],
+    ) -> TensorResult<()> {
+        self.check_vec_shapes("quant_matvec_cols", x, out)?;
+        out.fill(0.0);
+        if let Some(&bad) = active_cols.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        if tensor::kernels::reference_mode() {
+            self.matvec_cols_naive(x, active_cols, out);
+            return Ok(());
+        }
+        matvec_cols_dispatch(self, x, active_cols, out);
+        Ok(())
+    }
+
+    fn matvec_batch_into(&self, xs: &[f32], k: usize, out: &mut [f32]) -> TensorResult<()> {
+        self.check_batch_shapes(xs, k, out)?;
+        if tensor::kernels::reference_mode() {
+            for s in 0..k {
+                let (x, o) = (
+                    &xs[s * self.cols..(s + 1) * self.cols],
+                    &mut out[s * self.rows..(s + 1) * self.rows],
+                );
+                self.matvec_naive(x, o);
+            }
+            return Ok(());
+        }
+        matvec_batch_dispatch(self, xs, k, out);
+        Ok(())
+    }
+
+    fn matvec_cols_batch_into(
+        &self,
+        xs: &[f32],
+        k: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+    ) -> TensorResult<()> {
+        self.check_batch_shapes(xs, k, out)?;
+        if offsets.len() != k + 1
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) > indices.len()
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "quant_matvec_cols_batch",
+                expected: (k + 1, 1),
+                found: (offsets.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        let used = &indices[..offsets[k]];
+        if let Some(&bad) = used.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        let reference = tensor::kernels::reference_mode();
+        for s in 0..k {
+            let x = &xs[s * self.cols..(s + 1) * self.cols];
+            let active = &indices[offsets[s]..offsets[s + 1]];
+            let o = &mut out[s * self.rows..(s + 1) * self.rows];
+            if reference {
+                self.matvec_cols_naive(x, active, o);
+            } else {
+                matvec_cols_dispatch(self, x, active, o);
+            }
+        }
+        Ok(())
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        match self.bits {
+            4 => "fused_int4",
+            _ => "fused_int8",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::init;
+
+    #[test]
+    fn rejects_unsupported_bit_widths() {
+        let w = Matrix::zeros(4, 8);
+        let q2 = BlockwiseQuantizer::new(2, 4).unwrap();
+        assert!(PackedQuantMatrix::quantize(&w, &q2).is_err());
+    }
+
+    #[test]
+    fn dequantize_matches_quantize_dequantize_bitwise() {
+        for bits in [4u8, 8] {
+            let q = BlockwiseQuantizer::new(bits, 16).unwrap();
+            let w = init::heavy_tailed_matrix(&mut init::rng(11), 21, 40, 1.0);
+            let pq = PackedQuantMatrix::quantize(&w, &q).unwrap();
+            let via_packed = pq.dequantize();
+            let via_materialize = q.quantize_dequantize(&w);
+            for (a, b) in via_packed
+                .as_slice()
+                .iter()
+                .zip(via_materialize.as_slice().iter())
+            {
+                if *a == 0.0 && *b == 0.0 {
+                    continue; // zero signs may legitimately differ
+                }
+                assert_eq!(a.to_bits(), b.to_bits(), "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_groups_reconstruct_zero_and_shrink_storage() {
+        let q = BlockwiseQuantizer::new(4, 8).unwrap();
+        let w = Matrix::zeros(9, 16);
+        let pq = PackedQuantMatrix::quantize(&w, &q).unwrap();
+        assert!(pq.dequantize().as_slice().iter().all(|&v| v == 0.0));
+        // INT4 codes: 2 panels × 16 cols × 4 bytes; f32 would be 9*16*4
+        assert!(pq.packed_bytes() < 9 * 16 * 4);
+        assert_eq!(pq.kernel_name(), "fused_int4");
+    }
+}

@@ -1,0 +1,262 @@
+//! Bitwise parity of the fused dequant-matvec kernels against
+//! materialise-then-reference, and of fused-attached models against the
+//! plain quantize→dequantize baseline.
+//!
+//! The contract (documented in `quant::packed`): for every supported bit
+//! width, group size, shape, dispatch choice and sparsity mask, running the
+//! fused kernels over the packed INT4/INT8 codes produces **bit-for-bit**
+//! the same sums as first materialising the reconstruction with
+//! [`BlockwiseQuantizer::quantize_dequantize`] and then running the naive
+//! scalar references from `tensor::reference`.
+
+use proptest::prelude::*;
+use quant::model_ops::{quantize_mlp_blockwise, quantize_mlp_fused};
+use quant::{BlockwiseQuantizer, PackedQuantMatrix};
+use tensor::kernels::{available_arches, force_kernel_arch};
+use tensor::{reference, Matrix, QuantMatvec};
+
+/// Runs `f` once per microkernel family the host can execute (dispatch
+/// pinned), then resets to auto-detection. Fused parity must hold for every
+/// family, exactly like the f32 packed kernels.
+fn for_each_arch(mut f: impl FnMut(&'static str)) {
+    for arch in available_arches() {
+        force_kernel_arch(Some(arch));
+        f(match arch {
+            tensor::kernels::KernelArch::Portable => "portable",
+            tensor::kernels::KernelArch::Avx2 => "avx2",
+        });
+    }
+    force_kernel_arch(None);
+}
+
+/// Bit-exact comparison (distinguishes `-0.0` from `0.0` and is NaN-safe).
+fn assert_bits_eq(fast: &[f32], naive: &[f32], what: &str) {
+    assert_eq!(fast.len(), naive.len(), "{what}: length mismatch");
+    for (i, (a, b)) in fast.iter().zip(naive.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: output {i} diverged ({a} vs {b})"
+        );
+    }
+}
+
+/// Weight grid: exact zeros (so whole groups can hit `absmax == 0`), tiny
+/// values that round to code 0, and ordinary magnitudes.
+fn weight() -> impl Strategy<Value = f32> {
+    (0u32..10, -1000i64..1000).prop_map(|(kind, mantissa)| match kind {
+        0 | 1 => 0.0,
+        2 => 1e-30 * mantissa as f32,
+        _ => mantissa as f32 / 97.0,
+    })
+}
+
+fn xval() -> impl Strategy<Value = f32> {
+    (0u32..8, -1000i64..1000).prop_map(|(kind, mantissa)| match kind {
+        0 => 0.0,
+        1 => -0.0,
+        _ => mantissa as f32 / 53.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fused_kernels_match_materialise_then_reference(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        bits_idx in 0usize..2,
+        gs_idx in 0usize..3,
+        wvals in prop::collection::vec(weight(), (20 * 20)..(20 * 20 + 1)),
+        xvals in prop::collection::vec(xval(), (20 * 8)..(20 * 8 + 1)),
+        mask in prop::collection::vec(0usize..20, 0..32),
+        k in 1usize..8,
+    ) {
+        let bits = [4u8, 8][bits_idx];
+        let group_size = [4usize, 8, 32][gs_idx];
+        let w = Matrix::from_vec(rows, cols, wvals[..rows * cols].to_vec()).unwrap();
+        let quantizer = BlockwiseQuantizer::new(bits, group_size).unwrap();
+        let packed = PackedQuantMatrix::quantize(&w, &quantizer).unwrap();
+        // the naive targets all run over the materialised reconstruction
+        let wq = quantizer.quantize_dequantize(&w);
+        let active: Vec<usize> = mask.into_iter().map(|c| c % cols).collect();
+
+        let x = &xvals[..cols];
+        let xs = &xvals[..k * cols];
+
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_into(&wq, x, &mut naive);
+        let mut naive_cols = vec![0.0f32; rows];
+        reference::matvec_cols_into(&wq, x, &active, &mut naive_cols);
+        let mut naive_batch = vec![0.0f32; k * rows];
+        reference::matvec_batch_into(&wq, xs, k, &mut naive_batch);
+
+        // per-row CSR active lists for the batched sparse kernel: row r uses
+        // a rotation of the shared mask so rows genuinely differ
+        let mut indices = Vec::new();
+        let mut offsets = vec![0usize];
+        for r in 0..k {
+            for (j, &c) in active.iter().enumerate() {
+                indices.push(active[(j + r) % active.len().max(1)] % cols.max(1));
+                let _ = c;
+            }
+            offsets.push(indices.len());
+        }
+        let mut naive_cb = vec![0.0f32; k * rows];
+        for r in 0..k {
+            let lane = &indices[offsets[r]..offsets[r + 1]];
+            reference::matvec_cols_into(
+                &wq,
+                &xs[r * cols..(r + 1) * cols],
+                lane,
+                &mut naive_cb[r * rows..(r + 1) * rows],
+            );
+        }
+
+        for_each_arch(|arch| {
+            let mut out = vec![f32::NAN; rows];
+            packed.matvec_into(x, &mut out).unwrap();
+            assert_bits_eq(&out, &naive, &format!("fused_matvec[{arch}]"));
+
+            let mut out = vec![f32::NAN; rows];
+            packed.matvec_cols_into(x, &active, &mut out).unwrap();
+            assert_bits_eq(&out, &naive_cols, &format!("fused_matvec_cols[{arch}]"));
+
+            let mut out = vec![f32::NAN; k * rows];
+            packed.matvec_batch_into(xs, k, &mut out).unwrap();
+            assert_bits_eq(&out, &naive_batch, &format!("fused_matvec_batch[{arch}]"));
+
+            let mut out = vec![f32::NAN; k * rows];
+            packed
+                .matvec_cols_batch_into(xs, k, &indices, &offsets, &mut out)
+                .unwrap();
+            assert_bits_eq(&out, &naive_cb, &format!("fused_matvec_cols_batch[{arch}]"));
+        });
+    }
+}
+
+/// A fused-attached model must decode **bitwise identically** to the plain
+/// quantize→dequantize model: the fused kernels replace the materialised
+/// matvec without changing a single logit bit, across dense scratch decode
+/// (mirrors on), the allocating wrapper (mirrors off) and reference mode.
+#[test]
+fn fused_model_decodes_bitwise_like_blockwise_model() {
+    use lm::mlp::DenseMlp;
+    use lm::scratch::DecodeScratch;
+    use lm::{build_synthetic, ModelConfig};
+
+    let model = build_synthetic(&ModelConfig::tiny(), 7).unwrap();
+    let quantizer = BlockwiseQuantizer::new(4, 16).unwrap();
+    let baseline = quantize_mlp_blockwise(&model, &quantizer);
+    let fused = quantize_mlp_fused(&model, &quantizer).unwrap();
+
+    // the f32 weights themselves must be the reconstruction
+    for (b, f) in baseline.layers.iter().zip(fused.layers.iter()) {
+        assert_eq!(b.mlp.w_up.as_slice(), f.mlp.w_up.as_slice());
+        assert_eq!(b.mlp.w_gate.as_slice(), f.mlp.w_gate.as_slice());
+        assert_eq!(b.mlp.w_down.as_slice(), f.mlp.w_down.as_slice());
+        let q = f.mlp.quant.as_ref().expect("fused weights attached");
+        assert_eq!(q.up.kernel_name(), "fused_int4");
+    }
+
+    let tokens = [3u32, 1, 4, 1, 5, 9, 2, 6];
+    let mut logits_base = Vec::new();
+    {
+        let mut state = baseline.new_decode_state();
+        let mut scratch = DecodeScratch::for_model(&baseline);
+        for &t in &tokens {
+            baseline
+                .forward_token_into(t, &mut state, &mut DenseMlp, &mut scratch)
+                .unwrap();
+            logits_base.push(scratch.logits.clone());
+        }
+    }
+
+    for_each_arch(|arch| {
+        let mut state = fused.new_decode_state();
+        let mut scratch = DecodeScratch::for_model(&fused);
+        for (i, &t) in tokens.iter().enumerate() {
+            fused
+                .forward_token_into(t, &mut state, &mut DenseMlp, &mut scratch)
+                .unwrap();
+            assert_bits_eq(
+                &scratch.logits,
+                &logits_base[i],
+                &format!("fused decode[{arch}] token {i}"),
+            );
+        }
+    });
+
+    // allocating wrapper path (mirrors disabled → quant routing still wins)
+    let mut state = fused.new_decode_state();
+    let mut state_b = baseline.new_decode_state();
+    for (i, &t) in tokens.iter().enumerate() {
+        let out_f = fused.forward_token(t, &mut state, &mut DenseMlp).unwrap();
+        let out_b = baseline
+            .forward_token(t, &mut state_b, &mut DenseMlp)
+            .unwrap();
+        assert_bits_eq(
+            &out_f.logits,
+            &out_b.logits,
+            &format!("alloc decode token {i}"),
+        );
+    }
+}
+
+/// The input-pruned and active-list GluMlp helpers must route through the
+/// fused column kernels and stay bitwise identical to the baseline model's
+/// materialised sparse kernels — this is the path every DIP strategy takes.
+#[test]
+fn fused_glu_helpers_match_materialised_sparse_paths() {
+    use lm::{build_synthetic, ModelConfig};
+
+    let model = build_synthetic(&ModelConfig::tiny(), 11).unwrap();
+    let quantizer = BlockwiseQuantizer::new(8, 8).unwrap();
+    let baseline = quantize_mlp_blockwise(&model, &quantizer);
+    let fused = quantize_mlp_fused(&model, &quantizer).unwrap();
+
+    let mlp_b = &baseline.layers[0].mlp;
+    let mlp_f = &fused.layers[0].mlp;
+    let d_model = mlp_b.d_model();
+    let d_ff = mlp_b.d_ff();
+
+    let x: Vec<f32> = (0..d_model)
+        .map(|i| {
+            if i % 5 == 0 {
+                0.0
+            } else {
+                (i as f32 - 3.0) / 7.0
+            }
+        })
+        .collect();
+    let active_in: Vec<usize> = (0..d_model).filter(|i| i % 3 != 0).collect();
+    let active_ff: Vec<usize> = (0..d_ff).filter(|i| i % 2 == 0).collect();
+
+    for_each_arch(|arch| {
+        let mut got = vec![f32::NAN; d_ff];
+        let mut want = vec![f32::NAN; d_ff];
+        mlp_f.gate_preactivations_into(&x, &mut got, None).unwrap();
+        mlp_b.gate_preactivations_into(&x, &mut want, None).unwrap();
+        assert_bits_eq(&got, &want, &format!("gate_preactivations[{arch}]"));
+
+        mlp_f
+            .up_activations_input_pruned_into(&x, &active_in, &mut got, None)
+            .unwrap();
+        mlp_b
+            .up_activations_input_pruned_into(&x, &active_in, &mut want, None)
+            .unwrap();
+        assert_bits_eq(&got, &want, &format!("up_input_pruned[{arch}]"));
+
+        let glu: Vec<f32> = (0..d_ff).map(|i| (i as f32 - 10.0) / 13.0).collect();
+        let mut got_d = vec![f32::NAN; d_model];
+        let mut want_d = vec![f32::NAN; d_model];
+        mlp_f
+            .down_from_glu_into(&glu, &active_ff, &mut got_d, None)
+            .unwrap();
+        mlp_b
+            .down_from_glu_into(&glu, &active_ff, &mut want_d, None)
+            .unwrap();
+        assert_bits_eq(&got_d, &want_d, &format!("down_from_glu[{arch}]"));
+    });
+}

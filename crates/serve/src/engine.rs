@@ -1041,6 +1041,8 @@ impl ServeEngine {
                 &self.pool,
                 self.batch.rows_computed,
                 self.batch.fused_passes,
+                self.batch.pack_nanos,
+                self.batch.pack_builds,
             );
         }
         self.build_report(&layout, finished, order, n_streams)
@@ -1495,6 +1497,8 @@ impl ServeEngine {
                 &self.pool,
                 self.batch.rows_computed,
                 self.batch.fused_passes,
+                self.batch.pack_nanos,
+                self.batch.pack_builds,
             );
         }
         Ok(self.build_open_loop_report(finished, metas, admission, acc, now))

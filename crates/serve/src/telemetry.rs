@@ -66,6 +66,9 @@ struct Handles {
     kv_pages_high_water: GaugeId,
     prefix_hits: CounterId,
     prefix_forks: CounterId,
+    kernel_dispatch: GaugeId,
+    pack_seconds: CounterId,
+    pack_builds: GaugeId,
 }
 
 fn register(registry: &mut MetricsRegistry) -> Handles {
@@ -181,6 +184,26 @@ fn register(registry: &mut MetricsRegistry) -> Handles {
             "serve_prefix_forks_total",
             "Copy-on-write page forks under the paged KV pool",
         ),
+        kernel_dispatch: {
+            // Info-style gauge: the selected microkernel per op rides in the
+            // labels, the value is a constant 1 (set at construction).
+            let d = tensor::kernels::dispatch();
+            registry.gauge(
+                &format!(
+                    "serve_kernel_dispatch_info{{arch=\"{}\",matvec=\"{}\",matvec_cols=\"{}\",matvec_batch=\"{}\",matmul=\"{}\"}}",
+                    d.arch, d.matvec, d.matvec_cols, d.matvec_batch, d.matmul
+                ),
+                "Selected GEMM microkernel family per op (labels carry the names)",
+            )
+        },
+        pack_seconds: registry.counter(
+            "serve_pack_seconds_total",
+            "Wall seconds spent packing weight panels (mirror builds)",
+        ),
+        pack_builds: registry.gauge(
+            "serve_pack_builds",
+            "Packed-panel mirror builds (lifetime of the scratch)",
+        ),
     }
 }
 
@@ -207,6 +230,7 @@ impl EngineTelemetry {
         let mut tel = Telemetry::new(config);
         tel.registry = MetricsRegistry::with_const_labels(const_labels);
         let h = register(&mut tel.registry);
+        tel.registry.set(h.kernel_dispatch, 1.0);
         EngineTelemetry {
             tel,
             h,
@@ -256,6 +280,8 @@ impl EngineTelemetry {
         pool: &lm::DecodeStatePool,
         batch_rows: u64,
         batch_passes: u64,
+        pack_nanos: u64,
+        pack_builds: u64,
     ) {
         let r = &mut self.tel.registry;
         r.set(self.h.active_sessions, active as f64);
@@ -267,6 +293,8 @@ impl EngineTelemetry {
         r.set(self.h.pool_builds, pool.build_count() as f64);
         r.set(self.h.batch_rows, batch_rows as f64);
         r.set(self.h.batch_passes, batch_passes as f64);
+        r.add(self.h.pack_seconds, pack_nanos as f64 * 1e-9);
+        r.set(self.h.pack_builds, pack_builds as f64);
         let dropped = self.tel.ring.dropped() as f64;
         self.tel.registry.set(self.h.trace_dropped, dropped);
         self.tel
@@ -503,5 +531,21 @@ mod tests {
         ::telemetry::check_exposition(&text).unwrap();
         assert!(text.contains("serve_tokens_total{cell=\"a/b\"}"));
         assert!(text.contains("serve_shed_total{reason=\"queue-full\",cell=\"a/b\"}"));
+    }
+
+    #[test]
+    fn kernel_dispatch_info_gauge_carries_selected_kernels() {
+        let t = EngineTelemetry::new(TelemetryConfig::default(), &[]);
+        let d = tensor::kernels::dispatch();
+        let text = ::telemetry::render_prometheus(t.registry());
+        ::telemetry::check_exposition(&text).unwrap();
+        // the info gauge is 1 and its labels name the selected microkernels
+        assert!(text.contains(&format!(
+            "serve_kernel_dispatch_info{{arch=\"{}\",matvec=\"{}\"",
+            d.arch, d.matvec
+        )));
+        assert!(text.contains("serve_pack_seconds_total"));
+        assert!(text.contains("serve_pack_builds"));
+        assert_eq!(t.registry().gauge_value(t.h.kernel_dispatch), 1.0);
     }
 }

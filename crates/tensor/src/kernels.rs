@@ -1,11 +1,23 @@
 //! Global kernel-dispatch controls.
 //!
-//! The optimised matrix kernels are bitwise-identical to the naive loops in
-//! [`crate::reference`], so this switch changes *speed only*: the benchmark
-//! harness flips it to measure honest before/after numbers for the same
-//! end-to-end code path in one binary. It is not meant for production use.
+//! Two independent switches live here:
+//!
+//! * **Reference mode** routes every matrix kernel through the naive scalar
+//!   loops in [`crate::reference`]. The optimised kernels are
+//!   bitwise-identical to those loops, so this switch changes *speed only*:
+//!   the benchmark harness flips it to measure honest before/after numbers
+//!   for the same end-to-end code path in one binary. It is not meant for
+//!   production use.
+//! * **The [`KernelArch`] dispatch table** selects which register-blocked
+//!   microkernel family the packed-panel kernels ([`crate::packed`]) run.
+//!   The deployment target is commodity CPUs of unknown microarchitecture,
+//!   so the choice happens once at *runtime* (`is_x86_feature_detected!`)
+//!   rather than at compile time; every family is bitwise identical to the
+//!   reference loops (blocking only ever spans independent outputs), so the
+//!   choice — like reference mode — changes speed only. Tests and the
+//!   `TENSOR_FORCE_PORTABLE=1` environment variable can pin it.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
 
@@ -21,6 +33,128 @@ pub fn reference_mode() -> bool {
     REFERENCE_MODE.load(Ordering::Relaxed)
 }
 
+/// Which register-blocked microkernel family the packed kernels run.
+///
+/// Every variant computes bit-for-bit identical results (see
+/// [`crate::packed`]); the variants differ only in accumulator-tile widths
+/// and in the instruction set the compiler may assume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArch {
+    /// Baseline tiles, no instruction-set assumptions beyond the build
+    /// target. Always available; pinned by `TENSOR_FORCE_PORTABLE=1`.
+    Portable,
+    /// Wide tiles compiled under `#[target_feature(enable = "avx2")]`.
+    /// Selected only when `is_x86_feature_detected!("avx2")` holds.
+    Avx2,
+}
+
+/// Dispatch cell: 0 = undecided, 1 = portable, 2 = AVX2.
+static KERNEL_ARCH: AtomicU8 = AtomicU8::new(0);
+
+fn detect_arch() -> KernelArch {
+    if std::env::var_os("TENSOR_FORCE_PORTABLE").is_some_and(|v| v == "1") {
+        return KernelArch::Portable;
+    }
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return KernelArch::Avx2;
+    }
+    KernelArch::Portable
+}
+
+/// The microkernel family the packed kernels currently dispatch to.
+///
+/// Decided once (environment override, then CPU feature detection, then the
+/// portable fallback) and cached; [`force_kernel_arch`] can pin or reset it.
+#[inline]
+pub fn kernel_arch() -> KernelArch {
+    match KERNEL_ARCH.load(Ordering::Relaxed) {
+        1 => KernelArch::Portable,
+        2 => KernelArch::Avx2,
+        _ => {
+            let arch = detect_arch();
+            KERNEL_ARCH.store(
+                match arch {
+                    KernelArch::Portable => 1,
+                    KernelArch::Avx2 => 2,
+                },
+                Ordering::Relaxed,
+            );
+            arch
+        }
+    }
+}
+
+/// Pins the dispatch choice (`Some`) or resets it to re-detect on next use
+/// (`None`). Pinning [`KernelArch::Avx2`] on a CPU without AVX2 is rejected
+/// (falls back to detection) — the dispatch table never selects a kernel
+/// the host cannot run.
+pub fn force_kernel_arch(arch: Option<KernelArch>) {
+    let cell = match arch {
+        None => 0,
+        Some(KernelArch::Portable) => 1,
+        Some(KernelArch::Avx2) => {
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            let ok = std::arch::is_x86_feature_detected!("avx2");
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            let ok = false;
+            if ok {
+                2
+            } else {
+                0
+            }
+        }
+    };
+    KERNEL_ARCH.store(cell, Ordering::Relaxed);
+}
+
+/// Every [`KernelArch`] the current host can actually run — the dispatch
+/// choices a parity suite must cover.
+pub fn available_arches() -> Vec<KernelArch> {
+    let mut arches = vec![KernelArch::Portable];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        arches.push(KernelArch::Avx2);
+    }
+    arches
+}
+
+/// The resolved dispatch table: which microkernel each packed op runs,
+/// by name. Telemetry exporters surface this as an info gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelDispatch {
+    /// The selected architecture tier (`"portable"` / `"avx2"`).
+    pub arch: &'static str,
+    /// Packed dense matvec microkernel ([`crate::Matrix::matvec_packed`]).
+    pub matvec: &'static str,
+    /// Packed column-sparse matvec ([`crate::Matrix::matvec_cols_packed`]).
+    pub matvec_cols: &'static str,
+    /// Packed multi-RHS matvec ([`crate::Matrix::matvec_batch_packed`]).
+    pub matvec_batch: &'static str,
+    /// Register-tiled matmul ([`crate::Matrix::matmul_into`]).
+    pub matmul: &'static str,
+}
+
+/// The dispatch table for the currently-selected [`kernel_arch`].
+pub fn dispatch() -> KernelDispatch {
+    match kernel_arch() {
+        KernelArch::Portable => KernelDispatch {
+            arch: "portable",
+            matvec: "packed32x1",
+            matvec_cols: "packed32x1",
+            matvec_batch: "packed8x4",
+            matmul: "tiled8",
+        },
+        KernelArch::Avx2 => KernelDispatch {
+            arch: "avx2",
+            matvec: "packed64x1",
+            matvec_cols: "packed64x1",
+            matvec_batch: "packed16x4",
+            matmul: "tiled16",
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -32,5 +166,35 @@ mod tests {
         assert!(reference_mode());
         set_reference_mode(false);
         assert!(!reference_mode());
+    }
+
+    #[test]
+    fn arch_detection_is_cached_and_forceable() {
+        let detected = kernel_arch();
+        assert_eq!(kernel_arch(), detected, "second read returns the cache");
+        force_kernel_arch(Some(KernelArch::Portable));
+        assert_eq!(kernel_arch(), KernelArch::Portable);
+        assert_eq!(dispatch().arch, "portable");
+        force_kernel_arch(None);
+        assert_eq!(kernel_arch(), detected, "reset re-detects");
+    }
+
+    #[test]
+    fn available_arches_always_includes_portable() {
+        let arches = available_arches();
+        assert!(arches.contains(&KernelArch::Portable));
+        for arch in arches {
+            force_kernel_arch(Some(arch));
+            assert_eq!(kernel_arch(), arch, "every advertised arch is pinnable");
+        }
+        force_kernel_arch(None);
+    }
+
+    #[test]
+    fn dispatch_names_are_nonempty() {
+        let d = dispatch();
+        for name in [d.arch, d.matvec, d.matvec_cols, d.matvec_batch, d.matmul] {
+            assert!(!name.is_empty());
+        }
     }
 }

@@ -38,6 +38,7 @@ pub mod error;
 pub mod init;
 pub mod kernels;
 pub mod matrix;
+pub mod packed;
 pub mod pool;
 pub mod reference;
 pub mod sparse;
@@ -48,6 +49,7 @@ pub mod vector;
 pub use activation::Activation;
 pub use error::{Result, TensorError};
 pub use matrix::Matrix;
+pub use packed::{PackedMatrix, QuantMatvec, WeightMirror};
 pub use pool::WorkerPool;
 pub use sparse::ColumnMask;
 pub use vector::Vector;

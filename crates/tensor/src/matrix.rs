@@ -659,6 +659,199 @@ impl Matrix {
         Ok(())
     }
 
+    /// Validates a packed-panel mirror against this matrix's shape.
+    fn check_packed(&self, op: &'static str, packed: &crate::packed::PackedMatrix) -> Result<()> {
+        if (packed.rows(), packed.cols()) != self.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                expected: self.shape(),
+                found: (packed.rows(), packed.cols()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Dense product through a packed-panel mirror of this matrix
+    /// (`packed == PackedMatrix::pack(self)`), dispatched to the
+    /// register-blocked microkernel family selected by
+    /// [`crate::kernels::kernel_arch`].
+    ///
+    /// Accumulators live in registers for the whole ascending-column loop
+    /// (one load/store per output instead of one per column quad), so the
+    /// addition sequence per output is exactly the sequential row dot —
+    /// bitwise identical to [`Matrix::matvec`] and
+    /// [`Matrix::matvec_mirrored`] for every dispatch choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the packed mirror was
+    /// built from a matrix of a different shape or the vector lengths are
+    /// wrong.
+    pub fn matvec_packed(
+        &self,
+        packed: &crate::packed::PackedMatrix,
+        x: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_packed("matvec_packed", packed)?;
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_packed",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_packed",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_into(self, x, out);
+            return Ok(());
+        }
+        crate::packed::matvec_dispatch(packed, x, out);
+        Ok(())
+    }
+
+    /// Column-sparse product through a packed-panel mirror, dispatched to
+    /// the register-blocked microkernel family. Walks the active list in
+    /// order with the exact-zero skip inside the panel loop, so it is
+    /// bitwise identical to [`Matrix::matvec_cols`] for every dispatch
+    /// choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a mismatched packed
+    /// mirror or bad vector lengths, and [`TensorError::IndexOutOfBounds`]
+    /// for an invalid column index (checked up front).
+    pub fn matvec_cols_packed(
+        &self,
+        packed: &crate::packed::PackedMatrix,
+        x: &[f32],
+        active_cols: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_packed("matvec_cols_packed", packed)?;
+        if x.len() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_packed",
+                expected: (self.cols, 1),
+                found: (x.len(), 1),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_packed",
+                expected: (self.rows, 1),
+                found: (out.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        if let Some(&bad) = active_cols.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_cols_into(self, x, active_cols, out);
+            return Ok(());
+        }
+        crate::packed::matvec_cols_dispatch(packed, x, active_cols, out);
+        Ok(())
+    }
+
+    /// Multi-RHS product through a packed-panel mirror: `k` stacked RHS
+    /// vectors against register tiles of panels × RHS accumulators, so a
+    /// weight lane loaded once feeds several sessions *and* several output
+    /// rows without touching memory. Each `(row, rhs)` output is one
+    /// sequential ascending-column dot — bitwise identical to a separate
+    /// [`Matrix::matvec_into`] per RHS for every dispatch choice.
+    ///
+    /// The panel band is walked on the outside (staying cache-resident
+    /// while every RHS group streams over it), which is what makes this
+    /// kernel hold up from fleet decode (`k ≤ 8`) through prefill chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a mismatched packed
+    /// mirror or bad `xs`/`out` lengths.
+    pub fn matvec_batch_packed(
+        &self,
+        packed: &crate::packed::PackedMatrix,
+        xs: &[f32],
+        k: usize,
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_packed("matvec_batch_packed", packed)?;
+        self.check_batch_shapes(xs, k, out)?;
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_batch_into(self, xs, k, out);
+            return Ok(());
+        }
+        crate::packed::matvec_batch_dispatch(packed, xs, k, out);
+        Ok(())
+    }
+
+    /// Batched column-sparse product through a packed-panel mirror: `k`
+    /// stacked RHS vectors, each with its own CSR active-column list (as
+    /// [`Matrix::matvec_cols_batch_into`]). Runs the packed column-sparse
+    /// microkernel once per RHS, so every output row is bitwise identical
+    /// to a separate [`Matrix::matvec_cols_into`] on that RHS for every
+    /// dispatch choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for a mismatched packed
+    /// mirror or bad `xs`/`out`/`offsets` lengths, and
+    /// [`TensorError::IndexOutOfBounds`] for an invalid column index
+    /// (checked up front; `out` is zeroed but otherwise untouched).
+    pub fn matvec_cols_batch_packed(
+        &self,
+        packed: &crate::packed::PackedMatrix,
+        xs: &[f32],
+        k: usize,
+        indices: &[usize],
+        offsets: &[usize],
+        out: &mut [f32],
+    ) -> Result<()> {
+        self.check_packed("matvec_cols_batch_packed", packed)?;
+        self.check_batch_shapes(xs, k, out)?;
+        if offsets.len() != k + 1
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) > indices.len()
+        {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec_cols_batch",
+                expected: (k + 1, 1),
+                found: (offsets.len(), 1),
+            });
+        }
+        out.fill(0.0);
+        let used = &indices[..offsets[k]];
+        if let Some(&bad) = used.iter().find(|&&c| c >= self.cols) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: bad,
+                len: self.cols,
+            });
+        }
+        if crate::kernels::reference_mode() {
+            crate::reference::matvec_cols_batch_into(self, xs, k, indices, offsets, out);
+            return Ok(());
+        }
+        let (rows, cols) = self.shape();
+        for s in 0..k {
+            let x = &xs[s * cols..(s + 1) * cols];
+            let active = &indices[offsets[s]..offsets[s + 1]];
+            let o = &mut out[s * rows..(s + 1) * rows];
+            crate::packed::matvec_cols_dispatch(packed, x, active, o);
+        }
+        Ok(())
+    }
+
     /// Row-sparse matrix–vector product: only the listed output rows are
     /// computed; all other outputs are zero.
     ///
@@ -865,32 +1058,16 @@ impl Matrix {
             out.data.copy_from_slice(&naive.data);
             return Ok(());
         }
-        // Panel sizes: one (K_TILE × J_TILE) panel of `other` (≤ 16 kB) stays
-        // cache-resident across every row of the output it contributes to.
-        const J_TILE: usize = 64;
-        const K_TILE: usize = 64;
+        // Register-tiled microkernel, selected by the runtime dispatch
+        // table: an NR-column accumulator tile of one output row is held in
+        // registers across the full ascending-k loop (zero-skip on the left
+        // operand preserved), so each output element is stored exactly once
+        // and `other`'s row-major layout is read contiguously (`b[k][j..]`
+        // already is the panel order this access pattern wants, so no
+        // packing pass is needed).
         let (m, kk) = self.shape();
         let n = other.cols;
-        out.data.fill(0.0);
-        for jb in (0..n).step_by(J_TILE) {
-            let j_end = (jb + J_TILE).min(n);
-            for kb in (0..kk).step_by(K_TILE) {
-                let k_end = (kb + K_TILE).min(kk);
-                for i in 0..m {
-                    let a_row = &self.data[i * kk + kb..i * kk + k_end];
-                    let out_row = &mut out.data[i * n + jb..i * n + j_end];
-                    for (ko, &av) in a_row.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let b_row = &other.data[(kb + ko) * n + jb..(kb + ko) * n + j_end];
-                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            }
-        }
+        crate::packed::matmul_dispatch(&self.data, m, kk, &other.data, n, &mut out.data);
         Ok(())
     }
 

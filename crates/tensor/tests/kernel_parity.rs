@@ -8,8 +8,24 @@
 //! pre-optimisation scalar loops in `tensor::reference`.
 
 use proptest::prelude::*;
+use tensor::kernels::{available_arches, force_kernel_arch};
 use tensor::pool::WorkerPool;
-use tensor::{reference, Matrix};
+use tensor::{reference, Matrix, PackedMatrix};
+
+/// Runs `f` once per microkernel family the host can execute, with the
+/// dispatch table pinned to that family, then resets to auto-detection.
+/// Parity must hold for **every** dispatch choice, not just the detected
+/// one — this is what makes `TENSOR_FORCE_PORTABLE=1` a pure speed switch.
+fn for_each_arch(mut f: impl FnMut(&'static str)) {
+    for arch in available_arches() {
+        force_kernel_arch(Some(arch));
+        f(match arch {
+            tensor::kernels::KernelArch::Portable => "portable",
+            tensor::kernels::KernelArch::Avx2 => "avx2",
+        });
+    }
+    force_kernel_arch(None);
+}
 
 /// Bit-exact comparison (distinguishes `-0.0` from `0.0` and is NaN-safe).
 fn assert_bits_eq(fast: &[f32], naive: &[f32], what: &str) {
@@ -65,6 +81,14 @@ proptest! {
         let mut mirrored = vec![f32::NAN; rows];
         m.matvec_mirrored(&mirror, x, &mut mirrored).unwrap();
         assert_bits_eq(&mirrored, &naive, "matvec_mirrored");
+
+        // the packed register-blocked kernels, under every dispatch choice
+        let pm = PackedMatrix::pack(&m);
+        for_each_arch(|arch| {
+            let mut packed = vec![f32::NAN; rows];
+            m.matvec_packed(&pm, x, &mut packed).unwrap();
+            assert_bits_eq(&packed, &naive, &format!("matvec_packed[{arch}]"));
+        });
     }
 
     #[test]
@@ -94,6 +118,13 @@ proptest! {
         let mut mirrored = vec![f32::NAN; rows];
         m.matvec_cols_mirrored(&mirror, x, &active, &mut mirrored).unwrap();
         assert_bits_eq(&mirrored, &naive, "matvec_cols_mirrored");
+
+        let pm = PackedMatrix::pack(&m);
+        for_each_arch(|arch| {
+            let mut packed = vec![f32::NAN; rows];
+            m.matvec_cols_packed(&pm, x, &active, &mut packed).unwrap();
+            assert_bits_eq(&packed, &naive, &format!("matvec_cols_packed[{arch}]"));
+        });
     }
 
     #[test]
@@ -170,6 +201,13 @@ proptest! {
             m.matvec_batch_into_threaded(xs, k, &mut threaded, &pool).unwrap();
             assert_bits_eq(&threaded, &naive, "matvec_batch_into_threaded");
         }
+
+        let pm = PackedMatrix::pack(&m);
+        for_each_arch(|arch| {
+            let mut packed = vec![f32::NAN; k * rows];
+            m.matvec_batch_packed(&pm, xs, k, &mut packed).unwrap();
+            assert_bits_eq(&packed, &naive, &format!("matvec_batch_packed[{arch}]"));
+        });
     }
 
     #[test]
@@ -196,6 +234,13 @@ proptest! {
         m.matvec_cols_batch_into(xs, k, &indices, &offsets, &mut fused).unwrap();
         assert_bits_eq(&fused, &naive, "matvec_cols_batch_into");
 
+        let pm = PackedMatrix::pack(&m);
+        for_each_arch(|arch| {
+            let mut packed = vec![f32::NAN; k * rows];
+            m.matvec_cols_batch_packed(&pm, xs, k, &indices, &offsets, &mut packed).unwrap();
+            assert_bits_eq(&packed, &naive, &format!("matvec_cols_batch_packed[{arch}]"));
+        });
+
         // and each row equals the single-RHS gathered kernel on its own list
         for s in 0..k {
             let mut single = vec![f32::NAN; rows];
@@ -218,10 +263,12 @@ proptest! {
     ) {
         let a = matrix(m_rows, inner, seedvals[..m_rows * inner].to_vec());
         let b = matrix(inner, n_cols, seedvals[144..144 + inner * n_cols].to_vec());
-        let blocked = a.matmul(&b).unwrap();
         let naive = reference::matmul(&a, &b);
-        prop_assert_eq!(blocked.shape(), naive.shape());
-        assert_bits_eq(blocked.as_slice(), naive.as_slice(), "matmul");
+        for_each_arch(|arch| {
+            let blocked = a.matmul(&b).unwrap();
+            assert_eq!(blocked.shape(), naive.shape());
+            assert_bits_eq(blocked.as_slice(), naive.as_slice(), &format!("matmul[{arch}]"));
+        });
     }
 
     #[test]
@@ -321,9 +368,98 @@ fn multi_tile_matmul_matches_reference() {
             .collect();
         let a = Matrix::from_vec(m, k, a_data).unwrap();
         let b = Matrix::from_vec(k, n, b_data).unwrap();
-        let blocked = a.matmul(&b).unwrap();
         let naive = reference::matmul(&a, &b);
-        assert_bits_eq(blocked.as_slice(), naive.as_slice(), "matmul (multi-tile)");
+        for_each_arch(|arch| {
+            let blocked = a.matmul(&b).unwrap();
+            assert_bits_eq(
+                blocked.as_slice(),
+                naive.as_slice(),
+                &format!("matmul (multi-tile)[{arch}]"),
+            );
+        });
+    }
+}
+
+/// Proptest shapes (≤ 24 rows) never span more than three MR-panels, so the
+/// wide accumulator tiles (4 and 8 panels in flight) and the panel-group
+/// remainder loops would go unexercised; pin production shapes (phi3-mini
+/// dims among them) and batch widths crossing every NR remainder (4/2/1)
+/// under every dispatch choice.
+#[test]
+fn packed_kernels_parity_at_production_shapes() {
+    for (rows, cols) in [
+        (320usize, 96usize),
+        (96, 320),
+        (96, 96),
+        (257, 96),
+        (70, 33),
+    ] {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                if i % 11 == 0 {
+                    0.0
+                } else {
+                    ((i * 2654435761usize) % 997) as f32 / 331.0 - 1.5
+                }
+            })
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data).unwrap();
+        let pm = PackedMatrix::pack(&m);
+
+        let x: Vec<f32> = (0..cols)
+            .map(|i| {
+                if i % 13 == 0 {
+                    0.0
+                } else {
+                    ((i * 40503) % 641) as f32 / 127.0 - 2.5
+                }
+            })
+            .collect();
+        let mut naive = vec![0.0f32; rows];
+        reference::matvec_into(&m, &x, &mut naive);
+
+        let active: Vec<usize> = (0..cols)
+            .filter(|c| c % 3 != 1)
+            .map(|c| (c * 7) % cols)
+            .collect();
+        let mut naive_cols = vec![0.0f32; rows];
+        reference::matvec_cols_into(&m, &x, &active, &mut naive_cols);
+
+        for_each_arch(|arch| {
+            let mut packed = vec![f32::NAN; rows];
+            m.matvec_packed(&pm, &x, &mut packed).unwrap();
+            assert_bits_eq(&packed, &naive, &format!("matvec_packed wide[{arch}]"));
+
+            let mut packed_cols = vec![f32::NAN; rows];
+            m.matvec_cols_packed(&pm, &x, &active, &mut packed_cols)
+                .unwrap();
+            assert_bits_eq(
+                &packed_cols,
+                &naive_cols,
+                &format!("matvec_cols_packed wide[{arch}]"),
+            );
+
+            for k in [1usize, 2, 3, 5, 7, 8, 64] {
+                let xs: Vec<f32> = (0..k * cols)
+                    .map(|i| {
+                        if i % 17 == 0 {
+                            0.0
+                        } else {
+                            ((i * 48271) % 1021) as f32 / 255.0 - 2.0
+                        }
+                    })
+                    .collect();
+                let mut naive_b = vec![0.0f32; k * rows];
+                reference::matvec_batch_into(&m, &xs, k, &mut naive_b);
+                let mut packed_b = vec![f32::NAN; k * rows];
+                m.matvec_batch_packed(&pm, &xs, k, &mut packed_b).unwrap();
+                assert_bits_eq(
+                    &packed_b,
+                    &naive_b,
+                    &format!("matvec_batch_packed k={k}[{arch}]"),
+                );
+            }
+        });
     }
 }
 
