@@ -25,25 +25,35 @@
 //!   budget: paged KV without prefix sharing vs copy-on-write shared-prefix
 //!   caching. The simulated tokens/sec and TTFT-p95 ratios are
 //!   deterministic (virtual clock); the wall-clock ratio measures the real
-//!   prefill compute the prefix cache removes.
+//!   prefill compute the prefix cache removes,
+//! * **event loop** — the open-loop engine cores head-to-head on the
+//!   head-of-line stall workload (six decoders + one long-prompt premium
+//!   tenant): decode TBT p99 under the step loop vs the event-driven
+//!   chunked-prefill core at equal aggregate tok/s, plus a preempting
+//!   one-slot fleet whose KV spills are priced on the virtual clock
+//!   (spill-priced tok/s, non-zero cost per preemption). All ratios come
+//!   from the virtual clock, so they are deterministic.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report -- --quick [--out FILE] [--check BASELINE]
 //!     [--paged-out FILE] [--check-paged BASELINE]
+//!     [--event-out FILE] [--check-event BASELINE]
 //! ```
 //!
 //! Writes a flat JSON report (default `BENCH_PR8.json`; the paged-fleet
-//! group goes to its own file, default `BENCH_PR7.json`) and the same
-//! measurements as a Prometheus text exposition next to it (`<out>.prom`,
-//! one gauge per entry, `mode`/`model` as const labels) so perf numbers
-//! flow through the identical pipeline the serving telemetry uses. With
-//! `--check`, the *speedup ratios* (both sides measured on the current
-//! machine, so the check is host-independent) are compared against the
-//! committed baseline and the process exits non-zero if any single-stream
-//! decode, fleet-batch or prefill speedup regressed by more than 20 %;
-//! `--check-paged` applies the same gate to the paged-fleet *simulated*
-//! ratios (virtual clock — deterministic, so any drift is a real change;
-//! the wall-clock ratio is reported but too host-noisy to gate).
+//! group goes to its own file, default `BENCH_PR7.json`, and the event-loop
+//! group to default `BENCH_PR9.json`) and the same measurements as a
+//! Prometheus text exposition next to it (`<out>.prom`, one gauge per
+//! entry, `mode`/`model` as const labels) so perf numbers flow through the
+//! identical pipeline the serving telemetry uses. With `--check`, the
+//! *speedup ratios* (both sides measured on the current machine, so the
+//! check is host-independent) are compared against the committed baseline
+//! and the process exits non-zero if any single-stream decode, fleet-batch
+//! or prefill speedup regressed by more than 20 %; `--check-paged` and
+//! `--check-event` apply the same gate to the paged-fleet and event-loop
+//! *simulated* numbers (virtual clock — deterministic, so any drift is a
+//! real change; wall-clock numbers are reported but too host-noisy to
+//! gate).
 
 use dip_core::strategies::{Dip, DipCacheAware};
 use hwsim::BlockCacheCapacity;
@@ -63,6 +73,8 @@ struct Opts {
     check: Option<String>,
     paged_out: String,
     check_paged: Option<String>,
+    event_out: String,
+    check_event: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -72,6 +84,8 @@ fn parse_args() -> Opts {
         check: None,
         paged_out: "BENCH_PR7.json".to_string(),
         check_paged: None,
+        event_out: "BENCH_PR9.json".to_string(),
+        check_event: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,11 +97,16 @@ fn parse_args() -> Opts {
             "--check-paged" => {
                 opts.check_paged = Some(args.next().expect("--check-paged needs a path"))
             }
+            "--event-out" => opts.event_out = args.next().expect("--event-out needs a path"),
+            "--check-event" => {
+                opts.check_event = Some(args.next().expect("--check-event needs a path"))
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf_report [--quick] [--out FILE] [--check BASELINE] \
-                     [--paged-out FILE] [--check-paged BASELINE]"
+                     [--paged-out FILE] [--check-paged BASELINE] \
+                     [--event-out FILE] [--check-event BASELINE]"
                 );
                 std::process::exit(2);
             }
@@ -776,17 +795,85 @@ fn main() {
         ),
     ];
 
+    // ---- event-loop core: head-of-line stall + spill pricing, all on the
+    //      deterministic virtual clock (no wall-clock rows; `--quick` and
+    //      full mode gate against the same baseline) ----
+    let stall = experiments::serving::run_event_loop_stall().expect("event-loop scenario runs");
+    let spill_ol = stall.spill.open_loop.as_ref().expect("open-loop stats");
+    let cost_per_preemption_us = 1e6 * spill_ol.kv_swap_s / spill_ol.preemptions.max(1) as f64;
+    println!(
+        "event loop: decode TBT p99 {:.3} -> {:.3} us ({:.2}x stall cut) at {:.2}x tok/s; \
+         spill fleet {:.0} tok/s, {:.3} us/preemption over {} preemptions",
+        1e6 * stall.step_tbt_p99_s,
+        1e6 * stall.event_tbt_p99_s,
+        stall.stall_ratio,
+        stall.tps_ratio,
+        stall.spill.aggregate_tps,
+        cost_per_preemption_us,
+        spill_ol.preemptions
+    );
+    let event_entries: Vec<(String, f64)> = vec![
+        ("event_loop_decoders".into(), stall.decoders as f64),
+        (
+            "event_loop_long_prompt_tokens".into(),
+            stall.long_prompt_tokens as f64,
+        ),
+        (
+            "event_loop_prefill_chunk_tokens".into(),
+            stall.prefill_chunk_tokens as f64,
+        ),
+        (
+            "event_loop_step_tbt_p99_us".into(),
+            1e6 * stall.step_tbt_p99_s,
+        ),
+        (
+            "event_loop_event_tbt_p99_us".into(),
+            1e6 * stall.event_tbt_p99_s,
+        ),
+        ("event_loop_tbt_p99_stall_ratio".into(), stall.stall_ratio),
+        ("event_loop_step_sim_tps".into(), stall.step.aggregate_tps),
+        ("event_loop_event_sim_tps".into(), stall.event.aggregate_tps),
+        ("event_loop_tps_ratio".into(), stall.tps_ratio),
+        (
+            "event_loop_spill_fleet_sim_tps".into(),
+            stall.spill.aggregate_tps,
+        ),
+        (
+            "event_loop_spill_preemptions".into(),
+            spill_ol.preemptions as f64,
+        ),
+        (
+            "event_loop_spill_kv_swap_us".into(),
+            1e6 * spill_ol.kv_swap_s,
+        ),
+        (
+            "event_loop_spill_kv_swap_bytes".into(),
+            spill_ol.kv_swap_bytes,
+        ),
+        (
+            "event_loop_cost_per_preemption_us".into(),
+            cost_per_preemption_us,
+        ),
+    ];
+    assert!(
+        cost_per_preemption_us > 0.0,
+        "every preemption must carry a non-zero priced virtual cost"
+    );
+
     // ---- write the reports ----
     let mode = if opts.quick { "quick" } else { "full" };
     write_flat_json(&opts.out, &config.name, mode, &entries);
     write_flat_json(&opts.paged_out, &tiny.name, mode, &paged_entries);
+    write_flat_json(&opts.event_out, &tiny.name, mode, &event_entries);
 
     // ---- the same entries through the telemetry exposition pipeline ----
     // one writer, two sinks per group: the flat JSON above stays the
-    // `--check`/`--check-paged` baseline format, the exposition below feeds
-    // the same scrape tooling the serving bin's --metrics-out output does
+    // `--check`/`--check-paged`/`--check-event` baseline format, the
+    // exposition below feeds the same scrape tooling the serving bin's
+    // --metrics-out output does
     write_exposition(&opts.out, &config.name, mode, &entries);
     write_exposition(&opts.paged_out, &tiny.name, mode, &paged_entries);
+    write_exposition(&opts.event_out, &tiny.name, mode, &event_entries);
 
     // ---- regression checks against the committed baselines ----
     let mut failures = Vec::new();
@@ -823,6 +910,21 @@ fn main() {
             ],
         ));
     }
+    // event-loop rows are all virtual-clock numbers, so the stall cut, the
+    // equal-work throughput ratio and the spill-priced fleet tok/s gate
+    // exactly like the paged simulated ratios do
+    if let Some(baseline_path) = &opts.check_event {
+        checked = true;
+        failures.extend(check_ratios(
+            baseline_path,
+            &event_entries,
+            &[
+                "event_loop_tbt_p99_stall_ratio",
+                "event_loop_tps_ratio",
+                "event_loop_spill_fleet_sim_tps",
+            ],
+        ));
+    }
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("REGRESSION {f}");
@@ -856,10 +958,16 @@ fn write_exposition(out: &str, model: &str, mode: &str, entries: &[(String, f64)
     for (key, value) in entries {
         let unit = if key.ends_with("_ns") {
             "nanoseconds per call, best-of-reps"
+        } else if key.ends_with("_us") {
+            "microseconds of virtual-clock time"
         } else if key.ends_with("_tps") {
             "tokens per second of wall clock"
         } else if key.ends_with("_speedup") {
             "speedup ratio (dimensionless)"
+        } else if key.ends_with("_ratio") {
+            "ratio (dimensionless)"
+        } else if key.ends_with("_bytes") {
+            "bytes of priced traffic"
         } else {
             "count (dimensionless)"
         };

@@ -714,6 +714,206 @@ pub fn run_paged_fleet(sessions: usize) -> Result<PagedFleetScenario> {
     })
 }
 
+/// Results of the event-loop stall scenario: one bursty fleet with a
+/// long-prompt premium tenant, served by both open-loop engine cores on
+/// identical traffic, plus a preempting fleet whose KV spills are priced on
+/// the virtual clock.
+#[derive(Debug, Clone)]
+pub struct EventLoopStallScenario {
+    /// Interactive decode sessions competing with the long prompt.
+    pub decoders: usize,
+    /// Prompt length of the premium tenant that stalls the step loop.
+    pub long_prompt_tokens: usize,
+    /// Prefill chunk size of the event-driven leg.
+    pub prefill_chunk_tokens: usize,
+    /// The run under the event-driven core (chunked prefill).
+    pub event: ServeReport,
+    /// The run under the synchronous step-loop core (monolithic prefill).
+    pub step: ServeReport,
+    /// Decode TBT p99 of the event-driven leg, seconds.
+    pub event_tbt_p99_s: f64,
+    /// Decode TBT p99 of the step-loop leg, seconds.
+    pub step_tbt_p99_s: f64,
+    /// Head-of-line stall ratio: step-loop TBT p99 over event-driven TBT
+    /// p99 (higher = chunking removes a bigger stall).
+    pub stall_ratio: f64,
+    /// Aggregate tok/s of the event leg over the step leg (~1.0: chunking
+    /// reorders work, it does not add any).
+    pub tps_ratio: f64,
+    /// A preempting one-slot fleet under the event core: park/resume KV
+    /// swaps priced through the hardware model (non-zero `kv_swap_s`,
+    /// spill bytes in the flash totals).
+    pub spill: ServeReport,
+    /// Rendered comparison table.
+    pub table: Table,
+}
+
+/// Runs the head-of-line prefill stall comparison: six interactive decode
+/// sessions are mid-generation when one premium tenant arrives with a
+/// 56-token prompt under priority-preemptive scheduling. The step-loop core
+/// serves that prompt as one monolithic chunk — every decoder's
+/// time-between-tokens spikes by the whole prefill — while the event-driven
+/// core slices it into 8-token chunks and yields a decode round between
+/// chunks, bounding the stall near chunk + round. Both legs serve the same
+/// tokens, so aggregate tok/s agree; only the *ordering* (and therefore the
+/// decode tail) differs. A third leg runs a one-slot preempting fleet on
+/// the event core so the report carries virtually-priced KV spill/reload
+/// costs (`kv_swap_s`, spill bytes) for the bench gate.
+///
+/// # Errors
+///
+/// Propagates engine construction and run errors.
+pub fn run_event_loop_stall() -> Result<EventLoopStallScenario> {
+    let mut config = ModelConfig::tiny();
+    config.max_seq_len = 96; // the long prompt outgrows the test preset
+    let decoders = 6usize;
+    let decode_tokens = 48usize;
+    let long_prompt = 56usize;
+    let long_gen = 8usize;
+    let chunk = 8usize;
+    let slots = decoders + 1;
+    let kv_budget = (long_prompt + long_gen).min(config.max_seq_len);
+    let device = scenario_device(&config, slots, kv_budget);
+
+    // Probe the decoders alone so the premium arrival lands mid-decode on
+    // the deterministic virtual clock (no wall-clock flakiness).
+    let decoder_fleet = || -> Vec<GenRequest> {
+        (0..decoders)
+            .map(|i| {
+                GenRequest::new(
+                    i as u64,
+                    vec![1 + i as u32, 2 + i as u32],
+                    decode_tokens,
+                    StrategySpec::Dense,
+                )
+                .with_tier(Tier::Standard)
+            })
+            .collect()
+    };
+    let solo_makespan = {
+        let model = build_synthetic(&config, 13)?;
+        let mut probe = ServeEngine::new(
+            model,
+            ServeConfig::new(device.clone())
+                .with_max_concurrent(slots)
+                .with_kv_budget(kv_budget),
+        )?;
+        probe.run_open_loop_requests(decoder_fleet())?.makespan_s
+    };
+
+    let run_one = |core: serve::EngineCore| -> Result<ServeReport> {
+        let model = build_synthetic(&config, 13)?;
+        let serve_config = ServeConfig::new(device.clone())
+            .with_max_concurrent(slots)
+            .with_scheduler(SchedulerPolicy::PriorityPreemptive)
+            .with_kv_budget(kv_budget)
+            .with_engine_core(core)
+            .with_prefill_chunk(chunk);
+        let mut engine = ServeEngine::new(model, serve_config)?;
+        let mut arrivals = decoder_fleet();
+        let long_prompt_tokens: Vec<u32> = (0..long_prompt as u32)
+            .map(|i| 1 + (i * 5 + 3) % (config.vocab_size as u32 - 1))
+            .collect();
+        arrivals.push(
+            GenRequest::new(
+                decoders as u64,
+                long_prompt_tokens,
+                long_gen,
+                StrategySpec::Dense,
+            )
+            .with_tier(Tier::Premium)
+            .at(0.25 * solo_makespan),
+        );
+        Ok(engine.run_open_loop_requests(arrivals)?)
+    };
+    let event = run_one(serve::EngineCore::EventDriven)?;
+    let step = run_one(serve::EngineCore::StepLoop)?;
+
+    let tbt_p99 = |report: &ServeReport| -> f64 {
+        report
+            .open_loop
+            .as_ref()
+            .expect("open-loop runs carry open-loop stats")
+            .tbt
+            .p99_s
+    };
+    let event_tbt_p99_s = tbt_p99(&event);
+    let step_tbt_p99_s = tbt_p99(&step);
+    let stall_ratio = step_tbt_p99_s / event_tbt_p99_s.max(f64::MIN_POSITIVE);
+    let tps_ratio = event.aggregate_tps / step.aggregate_tps.max(f64::MIN_POSITIVE);
+
+    // Preempting leg: one slot, a batch job interrupted by premium
+    // arrivals — every park/resume is priced through the hardware model.
+    let spill = {
+        let one_slot_engine = || -> Result<ServeEngine> {
+            let model = build_synthetic(&config, 13)?;
+            Ok(ServeEngine::new(
+                model,
+                ServeConfig::new(device.clone())
+                    .with_max_concurrent(1)
+                    .with_scheduler(SchedulerPolicy::PriorityPreemptive)
+                    .with_kv_budget(kv_budget),
+            )?)
+        };
+        let batch_job =
+            || GenRequest::new(0, vec![1, 5, 9], 20, StrategySpec::Dense).with_tier(Tier::Batch);
+        // probe the batch job alone so the interrupts land mid-generation
+        let batch_makespan = one_slot_engine()?
+            .run_open_loop_requests(vec![batch_job()])?
+            .makespan_s;
+        let mut arrivals = vec![batch_job()];
+        // second-half fractions: the first prefill tokens run on a cold
+        // column cache (several microseconds each on the virtual clock), so
+        // earlier interrupts would pile up inside one park window
+        for (i, frac) in [0.5, 0.7, 0.9].iter().enumerate() {
+            arrivals.push(
+                GenRequest::new(1 + i as u64, vec![2 + i as u32], 2, StrategySpec::Dense)
+                    .with_tier(Tier::Premium)
+                    .at(frac * batch_makespan),
+            );
+        }
+        one_slot_engine()?.run_open_loop_requests(arrivals)?
+    };
+
+    let mut table = Table::new(
+        format!(
+            "Event-loop stall: {decoders} decoders + one {long_prompt}-token premium prompt on {}",
+            config.name
+        ),
+        &[
+            "Engine core",
+            "tok/s",
+            "TBT p99 ms",
+            "TTFT p99 ms",
+            "makespan s",
+        ],
+    );
+    for (label, report) in [("event-driven", &event), ("step-loop", &step)] {
+        let ol = report.open_loop.as_ref().expect("open-loop stats");
+        table.push_row(vec![
+            label.to_string(),
+            format!("{:.2}", report.aggregate_tps),
+            format!("{:.3}", 1e3 * ol.tbt.p99_s),
+            format!("{:.3}", 1e3 * ol.ttft.p99_s),
+            format!("{:.3}", report.makespan_s),
+        ]);
+    }
+
+    Ok(EventLoopStallScenario {
+        decoders,
+        long_prompt_tokens: long_prompt,
+        prefill_chunk_tokens: chunk,
+        event,
+        step,
+        event_tbt_p99_s,
+        step_tbt_p99_s,
+        stall_ratio,
+        tps_ratio,
+        spill,
+        table,
+    })
+}
+
 /// The DRAM-constrained scenario device: statics + per-slot KV budgets
 /// pinned, ~55% of the INT4 MLP weights cacheable (shared with the
 /// closed-batch scenario).
@@ -920,5 +1120,37 @@ mod tests {
         for (key, _) in &instrumented.telemetry {
             assert!(text.contains(&format!("cell=\"{key}\"")));
         }
+    }
+
+    #[test]
+    fn event_loop_stall_scenario_cuts_the_decode_tail_at_equal_work() {
+        let s = run_event_loop_stall().unwrap();
+        assert!(
+            s.stall_ratio >= 2.0,
+            "chunked prefill must cut decode TBT p99 at least 2x: step {:.6}s / event {:.6}s = {:.2}",
+            s.step_tbt_p99_s,
+            s.event_tbt_p99_s,
+            s.stall_ratio
+        );
+        assert!(
+            (s.tps_ratio - 1.0).abs() <= 0.05,
+            "chunking reorders work, it must not change aggregate tok/s: ratio {:.4}",
+            s.tps_ratio
+        );
+        let spill = s.spill.open_loop.as_ref().unwrap();
+        assert!(
+            spill.preemptions >= 2,
+            "spill leg must preempt repeatedly: preemptions {} resumes {} completed {} arrived {} kv_swap_s {}",
+            spill.preemptions,
+            spill.resumes,
+            spill.completed,
+            spill.arrived,
+            spill.kv_swap_s
+        );
+        assert!(
+            spill.kv_swap_s > 0.0 && spill.kv_spill_bytes > 0.0,
+            "preemption KV swaps must carry a priced virtual cost"
+        );
+        assert_eq!(s.table.len(), 2);
     }
 }

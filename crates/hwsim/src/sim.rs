@@ -234,6 +234,25 @@ impl TokenPricer {
             evictions: outcome_token.evictions,
         })
     }
+
+    /// Prices moving `bytes` of KV state between DRAM and Flash (a
+    /// preemption spill, or the reload on resume). The transfer streams at
+    /// Flash bandwidth and bypasses the weight column caches entirely — KV
+    /// pages are not weight columns — so the cache state is untouched and
+    /// the cost is a pure function of the byte count: the returned
+    /// [`TokenCost`] carries the bytes as `flash_bytes` and the transfer
+    /// time as `latency_s`, which is exactly how the serving engine's
+    /// accounting (and its telemetry) expects priced traffic to arrive.
+    pub fn price_kv_swap(&self, bytes: f64) -> TokenCost {
+        TokenCost {
+            dram_bytes: 0.0,
+            flash_bytes: bytes,
+            latency_s: self.device.flash_read_time(bytes),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
 }
 
 /// Replays `trace` through one set of caches, returning the per-token costs.
@@ -486,6 +505,28 @@ mod tests {
         for (token, expected) in trace.tokens.iter().zip(batch) {
             assert_eq!(pricer.price_token(token).unwrap(), expected);
         }
+    }
+
+    #[test]
+    fn kv_swap_pricing_charges_flash_bandwidth_without_touching_caches() {
+        let l = layout();
+        let d = device(220_000);
+        let trace = sparse_trace(8, 4, 0.4);
+        let (reference, _) = replay_token_costs(&l, &d, EvictionPolicy::Lfu, &trace).unwrap();
+        let mut pricer = TokenPricer::new(&l, &d, EvictionPolicy::Lfu, None).unwrap();
+        for (i, token) in trace.tokens.iter().enumerate() {
+            // interleave swap pricing between every token: the token costs
+            // must still match the swap-free replay bit for bit
+            let swap = pricer.price_kv_swap(48_000.0);
+            assert_eq!(swap.flash_bytes, 48_000.0);
+            assert_eq!(swap.dram_bytes, 0.0);
+            assert_eq!(swap.latency_s, d.flash_read_time(48_000.0));
+            assert!(swap.latency_s > 0.0, "a spill has a non-zero virtual cost");
+            assert_eq!((swap.hits, swap.misses, swap.evictions), (0, 0, 0));
+            assert_eq!(pricer.price_token(token).unwrap(), reference[i]);
+        }
+        // zero bytes (an empty KV state) price to exactly zero
+        assert_eq!(pricer.price_kv_swap(0.0).latency_s, 0.0);
     }
 
     #[test]

@@ -36,6 +36,22 @@
 //! the shared cache model), while the hardware replay decides what that
 //! traffic *costs* on a given device.
 //!
+//! # Open loop: the event-driven core
+//!
+//! [`ServeEngine::run_open_loop_requests`] serves *timestamped* arrivals on
+//! a virtual clock driven by a (time, seq)-keyed [`crate::event::EventQueue`]
+//! instead of the closed batch above. Arrivals, prefill chunks, decode
+//! rounds and preemption KV spills/reloads are all events on that clock;
+//! under [`EngineCore::EventDriven`] (the default) long prefills are split
+//! into [`ServeConfig::prefill_chunk_tokens`]-sized chunks with a decode
+//! round between them, so one long prompt no longer holds every decoding
+//! session's TBT hostage, and every park/resume pays its KV transfer through
+//! the same [`hwsim::TokenPricer`] that prices tokens. [`EngineCore::StepLoop`]
+//! preserves the legacy monolithic-prefill step loop for A/B comparison
+//! (see DESIGN.md §16). The closed-loop [`ServeEngine::run`] path is
+//! untouched by the core selection and stays bitwise identical to the
+//! sequential oracle.
+//!
 //! # Observability
 //!
 //! The engine is instrumented end to end: attach an
@@ -50,6 +66,7 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::error::{Result, ServeError};
+use crate::event::{EventKind as EngineEvent, EventQueue};
 use crate::layout::{layout_for_serving, to_token_access_batch_row};
 use crate::prefix::PrefixRegistry;
 use crate::report::{
@@ -83,6 +100,30 @@ pub enum ExecutionMode {
     /// equivalence oracle for `tests/batched_equivalence.rs` and for
     /// honest before/after benchmarking.
     Sequential,
+}
+
+/// Which scheduling core drives the open-loop virtual clock.
+///
+/// Both cores run on the same event queue ([`crate::event::EventQueue`]):
+/// arrivals, spill/reload completions and service-unit settlements are
+/// ordered events on one clock either way. They differ in exactly one
+/// rule — whether a long prefill may monopolize the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineCore {
+    /// Time-slice prefill: after [`ServeConfig::prefill_chunk_tokens`]
+    /// consecutive prefill tokens of one stream, the scheduler's pick is
+    /// restricted to decode-phase sessions for one round (each currently
+    /// decoding session is served once) before the prefill may continue.
+    /// This bounds every decoding session's inter-token gap by roughly one
+    /// chunk plus one decode round, killing the head-of-line TBT spikes a
+    /// long prompt otherwise causes.
+    #[default]
+    EventDriven,
+    /// The legacy synchronous rule: the scheduler's unrestricted pick,
+    /// which serves an entire prefill before any decode token under
+    /// priority scheduling. Kept as the honest before/after baseline for
+    /// the TBT-p99 stall gate (`perf_report --event-out`).
+    StepLoop,
 }
 
 /// Upper bound on a prefill chunk (bounds the batch scratch: logits and
@@ -136,6 +177,13 @@ pub struct ServeConfig {
     /// Back sessions with a paged KV pool instead of flat per-slot caches
     /// (`None` = flat, the default).
     pub paged_kv: Option<PagedKvConfig>,
+    /// Which open-loop scheduling core drives the virtual clock (closed
+    /// batches always use the unrestricted pick).
+    pub engine_core: EngineCore,
+    /// Prefill-slice budget of [`EngineCore::EventDriven`]: consecutive
+    /// prefill tokens one stream may take before decoding sessions get a
+    /// round. Clamped to the engine's chunk bound (64) at use.
+    pub prefill_chunk_tokens: usize,
 }
 
 impl ServeConfig {
@@ -154,7 +202,23 @@ impl ServeConfig {
             admission: AdmissionConfig::default(),
             execution: ExecutionMode::default(),
             paged_kv: None,
+            engine_core: EngineCore::default(),
+            prefill_chunk_tokens: 16,
         }
+    }
+
+    /// Returns a copy with the given open-loop scheduling core.
+    pub fn with_engine_core(mut self, core: EngineCore) -> Self {
+        self.engine_core = core;
+        self
+    }
+
+    /// Returns a copy with the given prefill-slice budget (tokens of one
+    /// stream's prefill served consecutively before decoding sessions get a
+    /// round; only [`EngineCore::EventDriven`] slices).
+    pub fn with_prefill_chunk(mut self, tokens: usize) -> Self {
+        self.prefill_chunk_tokens = tokens;
+        self
     }
 
     /// Returns a copy backed by a paged KV pool of `pool_pages` pages of
@@ -234,6 +298,15 @@ impl ServeConfig {
                 reason: format!("must be positive, got {}", self.bits_per_weight),
             });
         }
+        if self.prefill_chunk_tokens == 0 || self.prefill_chunk_tokens > MAX_PREFILL_CHUNK {
+            return Err(ServeError::InvalidConfig {
+                field: "prefill_chunk_tokens",
+                reason: format!(
+                    "prefill slice must be 1..={MAX_PREFILL_CHUNK} tokens, got {}",
+                    self.prefill_chunk_tokens
+                ),
+            });
+        }
         if let Some(budget) = self.kv_budget_tokens {
             if budget < 2 {
                 return Err(ServeError::InvalidConfig {
@@ -292,11 +365,104 @@ struct BatchPlan {
 
 /// Reused take-out buffers for batch execution (session states, strategy
 /// boxes and tokens are moved out for the fused call and restored after).
+/// `priced` holds each planned position's `(cost, completion time)` between
+/// dispatch and settlement of a service unit.
 #[derive(Default)]
 struct ExecBuffers {
     tokens: Vec<u32>,
     states: Vec<lm::DecodeState>,
     strategies: Vec<Box<dyn MlpForward>>,
+    priced: Vec<(hwsim::TokenCost, f64)>,
+    row_accesses: Vec<hwsim::TokenAccess>,
+}
+
+/// Chunked-prefill time-slice state of [`EngineCore::EventDriven`].
+///
+/// The slice is token-granular and updated identically at plan time in both
+/// execution modes (one [`PrefillSlice::note`] per planned position, in
+/// plan order), so it cannot break the batched ↔ sequential bitwise
+/// equivalence: both modes see the same `(pick, note)` sequence.
+struct PrefillSlice {
+    /// Stream of the prefill run being counted (`usize::MAX` = none).
+    stream: usize,
+    /// Consecutive prefill tokens granted to `stream`.
+    run: usize,
+    /// Decode tokens still owed before the prefill may continue (one per
+    /// session that was decoding when the slice expired).
+    yield_left: usize,
+}
+
+impl PrefillSlice {
+    fn new() -> Self {
+        PrefillSlice {
+            stream: usize::MAX,
+            run: 0,
+            yield_left: 0,
+        }
+    }
+
+    /// The slicing service pick: the scheduler's choice, unless the chosen
+    /// session's prefill has exhausted its slice and someone is decoding —
+    /// then the pick is restricted to decode-phase sessions until each
+    /// session decoding at expiry has been served once.
+    fn pick(
+        &mut self,
+        scheduler: &SchedulerPolicy,
+        active: &[Session],
+        chunk: usize,
+    ) -> Option<usize> {
+        let is_decoding = |s: &Session| s.phase() == SessionPhase::Decode;
+        if self.yield_left > 0 {
+            if let Some(i) = scheduler.next_service_where(active, is_decoding) {
+                return Some(i);
+            }
+            // every decoding session completed or was parked mid-round
+            self.yield_left = 0;
+        }
+        let first = scheduler.next_service(active)?;
+        if active[first].phase() == SessionPhase::Prefill
+            && active[first].stream == self.stream
+            && self.run >= chunk
+        {
+            let decoding = active.iter().filter(|s| is_decoding(s)).count();
+            if decoding > 0 {
+                self.run = 0;
+                self.yield_left = decoding;
+                return scheduler.next_service_where(active, is_decoding);
+            }
+        }
+        Some(first)
+    }
+
+    /// Records a planned token (called once per schedule position, in plan
+    /// order).
+    fn note(&mut self, stream: usize, was_prefill: bool) {
+        if was_prefill {
+            if self.stream == stream {
+                self.run += 1;
+            } else {
+                self.stream = stream;
+                self.run = 1;
+            }
+        } else if self.yield_left > 0 {
+            self.yield_left -= 1;
+        }
+    }
+}
+
+/// The open-loop service pick: the slice-aware pick under
+/// [`EngineCore::EventDriven`], the scheduler's unrestricted pick otherwise
+/// (and always for closed batches, which pass no slice).
+fn pick_service(
+    scheduler: &SchedulerPolicy,
+    active: &[Session],
+    slice: Option<&mut PrefillSlice>,
+    chunk: usize,
+) -> Option<usize> {
+    match slice {
+        Some(slice) => slice.pick(scheduler, active, chunk),
+        None => scheduler.next_service(active),
+    }
 }
 
 /// The engine's paged-KV runtime: the page pool every session's backing
@@ -697,18 +863,23 @@ impl ServeEngine {
     ///
     /// A session starting (or continuing) prefill instead plans a prompt
     /// *chunk*: consecutive positions of that one session, as long as the
-    /// scheduler keeps choosing it.
+    /// scheduler (filtered through the prefill slice, when one is passed)
+    /// keeps choosing it, bounded by `chunk_limit` positions.
+    #[allow(clippy::too_many_arguments)]
     fn plan_batch(
         scheduler: &SchedulerPolicy,
         active: &mut [Session],
         rng: &mut StdRng,
         step_base: usize,
         allow_multi: bool,
+        mut slice: Option<&mut PrefillSlice>,
+        chunk_limit: usize,
         plan: &mut BatchPlan,
     ) -> Result<()> {
         plan.rows.clear();
         let mut step = step_base;
-        let first = scheduler.next_service(active).expect("active is non-empty");
+        let first = pick_service(scheduler, active, slice.as_deref_mut(), chunk_limit)
+            .expect("active is non-empty");
         if allow_multi
             && active[first].phase() == SessionPhase::Prefill
             && active[first].prompt_remaining() >= 2
@@ -717,16 +888,20 @@ impl ServeEngine {
             loop {
                 let planned = active[first].plan_token(rng, step)?;
                 active[first].last_served_step = step;
+                if let Some(slice) = slice.as_deref_mut() {
+                    slice.note(active[first].stream, planned.was_prefill);
+                }
                 plan.rows.push(PlanRow {
                     idx: first,
                     stream: active[first].stream,
                     planned,
                 });
                 step += 1;
-                if planned.prefill_ended || plan.rows.len() >= MAX_PREFILL_CHUNK {
+                if planned.prefill_ended || plan.rows.len() >= chunk_limit {
                     break;
                 }
-                if scheduler.next_service(active) != Some(first) {
+                if pick_service(scheduler, active, slice.as_deref_mut(), chunk_limit) != Some(first)
+                {
                     break;
                 }
             }
@@ -738,6 +913,9 @@ impl ServeEngine {
         loop {
             let planned = active[idx].plan_token(rng, step)?;
             active[idx].last_served_step = step;
+            if let Some(slice) = slice.as_deref_mut() {
+                slice.note(active[idx].stream, planned.was_prefill);
+            }
             plan.rows.push(PlanRow {
                 idx,
                 stream: active[idx].stream,
@@ -747,7 +925,8 @@ impl ServeEngine {
             if active[idx].remaining_tokens() == 0 || !allow_multi {
                 break;
             }
-            let Some(next) = scheduler.next_service(active) else {
+            let Some(next) = pick_service(scheduler, active, slice.as_deref_mut(), chunk_limit)
+            else {
                 break;
             };
             if plan.rows.iter().any(|r| r.idx == next) || active[next].request.strategy != lane_spec
@@ -981,6 +1160,8 @@ impl ServeEngine {
                     &mut rng,
                     order.len(),
                     true,
+                    None,
+                    MAX_PREFILL_CHUNK,
                     &mut self.plan,
                 )?;
                 self.execute_batch(&mut active)?;
@@ -1048,6 +1229,32 @@ impl ServeEngine {
         self.build_report(&layout, finished, order, n_streams)
     }
 
+    /// Fires one [`crate::event::EventKind::Arrival`]: takes the request
+    /// out of the run's inbox and offers it to admission control. Admission
+    /// decisions use the request's own arrival time, so the token bucket
+    /// refills on true inter-arrival gaps regardless of when the engine's
+    /// clock catches up. A request whose worst-case footprint exceeds the
+    /// whole page pool is shed at the door rather than pinning the queue
+    /// forever.
+    fn ingest_arrival(
+        inbox: &mut [Option<GenRequest>],
+        i: usize,
+        n_layers: usize,
+        paged_caps: Option<(usize, usize)>,
+        admission: &mut AdmissionController,
+        telemetry: &mut Option<Box<EngineTelemetry>>,
+    ) {
+        let request = inbox[i].take().expect("each arrival fires exactly once");
+        let at = request.arrival_s;
+        let fits_memory = paged_caps.is_none_or(|(page_size, pool_pages)| {
+            n_layers * pages_spanning(request.total_tokens(), page_size) <= pool_pages
+        });
+        let verdict = admission.offer_with_memory(request, at, fits_memory);
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.on_arrival(verdict, admission.queue().len(), at);
+        }
+    }
+
     /// Generates an open-loop workload's traffic and serves it on a virtual
     /// clock (see [`ServeEngine::run_open_loop_requests`]).
     ///
@@ -1060,31 +1267,47 @@ impl ServeEngine {
         self.run_open_loop_requests(arrivals)
     }
 
-    /// Serves timestamped arrivals open loop, to drain, on a virtual clock.
+    /// Serves timestamped arrivals open loop, to drain, on a virtual clock
+    /// driven by an [`EventQueue`].
     ///
     /// Where [`ServeEngine::run`] consumes a closed batch (everything queued
     /// at t = 0) and prices the traffic post hoc, this driver interleaves
-    /// *time* with execution:
+    /// *time* with execution. The clock is the head of a (time, seq)-keyed
+    /// event queue rather than a token counter:
     ///
-    /// 1. The clock starts at 0 and advances by each served token's service
-    ///    latency ([`hwsim::TokenPricer`] prices tokens online with the same
-    ///    cost model the batch replay uses — identical by construction).
-    /// 2. Arrivals whose timestamp the clock has passed go through admission
-    ///    control ([`crate::admission::AdmissionController`]): token-bucket
-    ///    rate limiting, per-tier quotas, then the bounded queue — excess
-    ///    traffic is **shed**, not queued forever.
+    /// 1. Every arrival is seeded as an
+    ///    [`crate::event::EventKind::Arrival`] at its timestamp. Firing one
+    ///    offers the request to admission control
+    ///    ([`crate::admission::AdmissionController`]): token-bucket rate
+    ///    limiting, per-tier quotas, then the bounded queue — excess traffic
+    ///    is **shed**, not queued forever.
+    /// 2. Each scheduled unit of work (a prefill chunk or a decode round)
+    ///    completes as a `UnitDone` event whose duration is the sum of its
+    ///    tokens' service latencies ([`hwsim::TokenPricer`] prices tokens
+    ///    online with the same cost model the batch replay uses — identical
+    ///    by construction). Long prefills are split into chunks of
+    ///    [`ServeConfig::prefill_chunk_tokens`] under
+    ///    [`EngineCore::EventDriven`] (the default), with a decode round
+    ///    between chunks, so a monolithic prompt can no longer stall every
+    ///    decoding session behind it; [`EngineCore::StepLoop`] keeps the
+    ///    legacy monolithic-chunk behaviour.
     /// 3. Free KV slots are filled from the waiting queue (and from parked
     ///    sessions) following the scheduler policy. Under
     ///    [`SchedulerPolicy::PriorityPreemptive`] a waiting request that
     ///    outranks the lowest-tier active session **preempts** it at a token
     ///    boundary: the victim's decode state is parked in
     ///    [`lm::DecodeStatePool`] (KV and position intact) and resumed later
-    ///    without output divergence.
-    /// 4. When nothing is runnable the clock jumps to the next arrival.
+    ///    without output divergence. Parking spills the victim's KV bytes
+    ///    and resuming reloads them; both transfers are priced through the
+    ///    same [`hwsim::TokenPricer`] and occupy the clock as
+    ///    `SpillDone`/`ReloadDone` events — preemption is never free.
+    /// 4. When nothing is runnable the clock jumps to the next pending
+    ///    event (typically the next arrival).
     ///
-    /// The run is a pure function of `(arrivals, config, model)`: no wall
-    /// clock or ambient randomness enters, so reports are bitwise
-    /// reproducible across runs and thread counts.
+    /// The run is a pure function of `(arrivals, config, model)`: events at
+    /// equal times fire in insertion (seq) order, no wall clock or ambient
+    /// randomness enters, so reports are bitwise reproducible across runs
+    /// and thread counts.
     ///
     /// # Errors
     ///
@@ -1147,7 +1370,24 @@ impl ServeEngine {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let sequential = self.config.execution == ExecutionMode::Sequential;
         let mut admission = AdmissionController::new(self.config.admission.clone());
-        let mut pending = arrivals.into_iter().peekable();
+        // Every request becomes an Arrival event up front; pushing in sorted
+        // order means equal-time arrivals pop in id order. The queue also
+        // carries one in-flight completion event (spill, reload or service
+        // unit) at a time, so its capacity is fixed for the whole run.
+        let mut events = EventQueue::with_capacity(arrivals.len() + 1);
+        for (i, r) in arrivals.iter().enumerate() {
+            events.push_at(r.arrival_s, EngineEvent::Arrival(i));
+        }
+        let mut inbox: Vec<Option<GenRequest>> = arrivals.into_iter().map(Some).collect();
+        let chunk_limit = match self.config.engine_core {
+            EngineCore::EventDriven => self.config.prefill_chunk_tokens.min(MAX_PREFILL_CHUNK),
+            EngineCore::StepLoop => MAX_PREFILL_CHUNK,
+        };
+        let mut slice = match self.config.engine_core {
+            EngineCore::EventDriven => Some(PrefillSlice::new()),
+            EngineCore::StepLoop => None,
+        };
+        let paged_caps = self.paged.as_ref().map(|p| (p.page_size, p.pool_pages));
         let mut parked: Vec<Session> = Vec::new();
         let mut active: Vec<Session> = Vec::new();
         let mut finished: Vec<Session> = Vec::new();
@@ -1167,23 +1407,20 @@ impl ServeEngine {
         }
 
         loop {
-            // 1. Ingest every arrival the clock has passed; admission
-            // decisions use the request's own arrival time, so the token
-            // bucket refills on true inter-arrival gaps.
-            while pending.peek().is_some_and(|r| r.arrival_s <= now) {
-                let request = pending.next().expect("peeked");
-                let at = request.arrival_s;
-                // a request whose worst-case footprint exceeds the whole
-                // pool can never be admitted — shed it at the door rather
-                // than let it pin the queue forever
-                let fits_memory = self.paged.as_ref().is_none_or(|paged| {
-                    self.model.config.n_layers
-                        * pages_spanning(request.total_tokens(), paged.page_size)
-                        <= paged.pool_pages
-                });
-                let verdict = admission.offer_with_memory(request, at, fits_memory);
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.on_arrival(verdict, admission.queue().len(), at);
+            // 1. Fire every event the clock has already passed. Only
+            // arrivals can be due here: completion events are drained at
+            // their own dispatch site, before the clock moves on.
+            while let Some(ev) = events.pop_due(now) {
+                match ev.kind {
+                    EngineEvent::Arrival(i) => Self::ingest_arrival(
+                        &mut inbox,
+                        i,
+                        n_layers,
+                        paged_caps,
+                        &mut admission,
+                        &mut self.telemetry,
+                    ),
+                    _ => debug_assert!(false, "completion events settle at dispatch"),
                 }
             }
 
@@ -1212,19 +1449,44 @@ impl ServeEngine {
                     }
                     let state = take_state(&mut session);
                     let positions = state.pos;
-                    let swap_s = self
-                        .config
-                        .device
-                        .flash_read_time(kv_bytes_per_pos * positions as f64);
-                    now += swap_s;
-                    acc.kv_swap_s += swap_s;
-                    acc.kv_swap_bytes += kv_bytes_per_pos * positions as f64;
+                    // the spill is priced traffic, not a bare clock bump:
+                    // TokenPricer charges it at Flash bandwidth and the
+                    // bytes join the fleet's flash totals, so the
+                    // telemetry-counted swap bytes and the priced cost agree
+                    let swap = pricer.price_kv_swap(kv_bytes_per_pos * positions as f64);
+                    let end = now + swap.latency_s;
+                    events.push_at(
+                        end,
+                        EngineEvent::SpillDone {
+                            stream: session.stream,
+                        },
+                    );
+                    while let Some(ev) = events.pop_due(end) {
+                        match ev.kind {
+                            EngineEvent::Arrival(i) => Self::ingest_arrival(
+                                &mut inbox,
+                                i,
+                                n_layers,
+                                paged_caps,
+                                &mut admission,
+                                &mut self.telemetry,
+                            ),
+                            // the transfer completion we just scheduled is
+                            // what advances the clock
+                            _ => now = now.max(ev.time),
+                        }
+                    }
+                    acc.kv_swap_s += swap.latency_s;
+                    acc.kv_swap_bytes += swap.flash_bytes;
+                    acc.kv_spill_bytes += swap.flash_bytes;
+                    acc.flash_bytes += swap.flash_bytes;
+                    metas[session.stream].flash_bytes += swap.flash_bytes;
                     self.pool.park(session.stream as u64, state);
                     metas[session.stream].preemptions += 1;
                     acc.preemptions += 1;
                     if let Some(t) = self.telemetry.as_deref_mut() {
-                        t.on_preempt(session.stream, positions, swap_s, now);
-                        t.on_kv_swap_bytes(kv_bytes_per_pos * positions as f64);
+                        t.on_preempt(session.stream, positions, swap.latency_s, now);
+                        t.on_kv_swap_bytes(swap.flash_bytes);
                     }
                     parked.push(session);
                 }
@@ -1277,17 +1539,40 @@ impl ServeEngine {
                             // re-allocate pages and restore the spilled KV
                             session.state.reload_kv()?;
                         }
-                        let swap_s = self
-                            .config
-                            .device
-                            .flash_read_time(kv_bytes_per_pos * session.state.pos as f64);
-                        now += swap_s;
-                        acc.kv_swap_s += swap_s;
-                        acc.kv_swap_bytes += kv_bytes_per_pos * session.state.pos as f64;
+                        // the reload prices like the spill did: the parked
+                        // position count is frozen, so each park/resume
+                        // cycle moves the same bytes once in each direction
+                        let swap =
+                            pricer.price_kv_swap(kv_bytes_per_pos * session.state.pos as f64);
+                        let end = now + swap.latency_s;
+                        events.push_at(
+                            end,
+                            EngineEvent::ReloadDone {
+                                stream: session.stream,
+                            },
+                        );
+                        while let Some(ev) = events.pop_due(end) {
+                            match ev.kind {
+                                EngineEvent::Arrival(i) => Self::ingest_arrival(
+                                    &mut inbox,
+                                    i,
+                                    n_layers,
+                                    paged_caps,
+                                    &mut admission,
+                                    &mut self.telemetry,
+                                ),
+                                _ => now = now.max(ev.time),
+                            }
+                        }
+                        acc.kv_swap_s += swap.latency_s;
+                        acc.kv_swap_bytes += swap.flash_bytes;
+                        acc.kv_reload_bytes += swap.flash_bytes;
+                        acc.flash_bytes += swap.flash_bytes;
+                        metas[session.stream].flash_bytes += swap.flash_bytes;
                         acc.resumes += 1;
                         if let Some(t) = self.telemetry.as_deref_mut() {
-                            t.on_resume(session.stream, session.state.pos, swap_s, now);
-                            t.on_kv_swap_bytes(kv_bytes_per_pos * session.state.pos as f64);
+                            t.on_resume(session.stream, session.state.pos, swap.latency_s, now);
+                            t.on_kv_swap_bytes(swap.flash_bytes);
                         }
                         active.push(session);
                     }
@@ -1325,10 +1610,23 @@ impl ServeEngine {
             // nothing waiting.)
             if active.is_empty() {
                 debug_assert!(admission.queue().is_empty() && parked.is_empty());
-                match pending.peek() {
+                match events.pop_next() {
                     None => break,
-                    Some(r) => {
-                        now = now.max(r.arrival_s);
+                    Some(ev) => {
+                        // the only events an idle engine can still hold are
+                        // future arrivals: jump the clock to the first one
+                        now = now.max(ev.time);
+                        match ev.kind {
+                            EngineEvent::Arrival(i) => Self::ingest_arrival(
+                                &mut inbox,
+                                i,
+                                n_layers,
+                                paged_caps,
+                                &mut admission,
+                                &mut self.telemetry,
+                            ),
+                            _ => debug_assert!(false, "idle queues hold only arrivals"),
+                        }
                         continue;
                     }
                 }
@@ -1337,14 +1635,15 @@ impl ServeEngine {
             // 4. Serve the scheduler's next token(s) and advance the
             // virtual clock by each token's online-priced service time.
             if sequential {
-                let idx = self
-                    .config
-                    .scheduler
-                    .next_service(&active)
-                    .expect("active set is non-empty");
+                let idx =
+                    pick_service(&self.config.scheduler, &active, slice.as_mut(), chunk_limit)
+                        .expect("active set is non-empty");
                 let planned = active[idx].step(&self.model, &mut rng, step, &mut self.scratch)?;
                 active[idx].last_served_step = step;
                 step += 1;
+                if let Some(slice) = slice.as_mut() {
+                    slice.note(active[idx].stream, planned.was_prefill);
+                }
                 let cost = pricer.price_token(
                     active[idx]
                         .trace
@@ -1352,12 +1651,30 @@ impl ServeEngine {
                         .last()
                         .expect("step recorded its token access"),
                 )?;
+                // dispatch: the bus is occupied until `end`; arrivals landing
+                // inside the occupancy are ingested in event order before the
+                // unit settles
+                let end = now + cost.latency_s;
+                events.push_at(end, EngineEvent::UnitDone { tokens: 1 });
+                while let Some(ev) = events.pop_due(end) {
+                    match ev.kind {
+                        EngineEvent::Arrival(i) => Self::ingest_arrival(
+                            &mut inbox,
+                            i,
+                            n_layers,
+                            paged_caps,
+                            &mut admission,
+                            &mut self.telemetry,
+                        ),
+                        _ => now = now.max(ev.time),
+                    }
+                }
                 settle_open_loop_token(
                     &cost,
                     &planned,
                     active[idx].request.max_new_tokens,
                     active[idx].stream,
-                    &mut now,
+                    now,
                     &mut acc,
                     &mut metas,
                     static_bytes,
@@ -1402,8 +1719,8 @@ impl ServeEngine {
                 // arrival is already ingested, or the slots are full under a
                 // non-preemptive policy (then admission between tokens is
                 // provably a no-op and delayed ingestion is equivalent —
-                // see DESIGN.md §11).
-                let allow_multi = pending.peek().is_none()
+                // see DESIGN.md §11/§16).
+                let allow_multi = !events.has_pending_arrival()
                     || (self.config.scheduler != SchedulerPolicy::PriorityPreemptive
                         && active.len() == self.config.max_concurrent);
                 Self::plan_batch(
@@ -1412,6 +1729,8 @@ impl ServeEngine {
                     &mut rng,
                     step,
                     allow_multi,
+                    slice.as_mut(),
+                    chunk_limit,
                     &mut self.plan,
                 )?;
                 self.execute_batch(&mut active)?;
@@ -1420,16 +1739,43 @@ impl ServeEngine {
                 if let Some(t) = self.telemetry.as_deref_mut() {
                     t.on_plan(self.plan.kind == Some(PlanKind::Chunk), rows_n, now);
                 }
+                // dispatch: price every position in plan order (the bus
+                // order), recording each one's completion time on the clock
+                self.exec.priced.clear();
+                let mut row_accesses = std::mem::take(&mut self.exec.row_accesses);
+                row_accesses.clear();
+                let mut end = now;
                 for i in 0..rows_n {
-                    let row = self.plan.rows[i];
                     let access = to_token_access_batch_row(&self.batch.accesses, i);
                     let cost = pricer.price_token(&access)?;
+                    end += cost.latency_s;
+                    self.exec.priced.push((cost, end));
+                    row_accesses.push(access);
+                }
+                events.push_at(end, EngineEvent::UnitDone { tokens: rows_n });
+                while let Some(ev) = events.pop_due(end) {
+                    match ev.kind {
+                        EngineEvent::Arrival(i) => Self::ingest_arrival(
+                            &mut inbox,
+                            i,
+                            n_layers,
+                            paged_caps,
+                            &mut admission,
+                            &mut self.telemetry,
+                        ),
+                        _ => now = now.max(ev.time),
+                    }
+                }
+                // settlement: each position lands at its own recorded time
+                for (i, access) in row_accesses.drain(..).enumerate() {
+                    let row = self.plan.rows[i];
+                    let (cost, at) = self.exec.priced[i];
                     settle_open_loop_token(
                         &cost,
                         &row.planned,
                         active[row.idx].request.max_new_tokens,
                         row.stream,
-                        &mut now,
+                        at,
                         &mut acc,
                         &mut metas,
                         static_bytes,
@@ -1441,7 +1787,7 @@ impl ServeEngine {
                             active[row.idx].request.tier,
                             &cost,
                             row.planned.was_prefill,
-                            now,
+                            at,
                         );
                     }
                     let logits = self
@@ -1457,6 +1803,7 @@ impl ServeEngine {
                     );
                     step += 1;
                 }
+                self.exec.row_accesses = row_accesses;
                 for i in 0..rows_n {
                     let row_idx = self.plan.rows[i].idx;
                     try_register_prefix(&mut self.paged, &mut active[row_idx]);
@@ -1566,7 +1913,11 @@ impl ServeEngine {
                 ttft_s,
                 tbt_mean_s,
                 preemptions: meta.preemptions,
-                slo_met: s.request.slo.met(ttft_s, tbt_mean_s),
+                // a session that produced no tokens has nothing to meet a
+                // latency target *with*: its ttft_s is a time-to-nothing, so
+                // counting the (vacuously fast) default SLO as met would let
+                // zero-output sessions launder attainment upward
+                slo_met: generated > 0 && s.request.slo.met(ttft_s, tbt_mean_s),
                 completion_s: meta.completion_s,
                 service_s: meta.service_s,
                 throughput_tps: if latency > 0.0 {
@@ -1660,6 +2011,8 @@ impl ServeEngine {
             resumes: acc.resumes,
             kv_swap_s: acc.kv_swap_s,
             kv_swap_bytes: acc.kv_swap_bytes,
+            kv_spill_bytes: acc.kv_spill_bytes,
+            kv_reload_bytes: acc.kv_reload_bytes,
             ttft: Percentiles::of(&ttfts),
             tbt: Percentiles::of(&acc.tbt_gaps),
             queue_delay: Percentiles::of(&queue_delays),
@@ -1886,26 +2239,28 @@ struct OpenAccum {
     resumes: usize,
     kv_swap_s: f64,
     kv_swap_bytes: f64,
+    kv_spill_bytes: f64,
+    kv_reload_bytes: f64,
     cache_fraction: f64,
 }
 
-/// Settles one served token of an open-loop run: advances the virtual clock
-/// by its priced service time and updates the fleet and per-session
-/// accounting. One function serves both execution modes, so their
-/// arithmetic cannot drift.
+/// Settles one served token of an open-loop run at its completion time `at`
+/// on the virtual clock (the dispatch site computed `at` from the token's
+/// priced service time and fired the unit's completion event) and updates
+/// the fleet and per-session accounting. One function serves both execution
+/// modes, so their arithmetic cannot drift.
 #[allow(clippy::too_many_arguments)]
 fn settle_open_loop_token(
     cost: &hwsim::TokenCost,
     planned: &PlannedToken,
     max_new_tokens: usize,
     stream: usize,
-    now: &mut f64,
+    at: f64,
     acc: &mut OpenAccum,
     metas: &mut [OpenMeta],
     static_bytes: f64,
     mlp_bytes: f64,
 ) {
-    *now += cost.latency_s;
     acc.hits += cost.hits as u64;
     acc.misses += cost.misses as u64;
     acc.flash_bytes += cost.flash_bytes;
@@ -1923,14 +2278,14 @@ fn settle_open_loop_token(
     meta.flash_bytes += cost.flash_bytes;
     meta.dram_bytes += cost.dram_bytes;
     if !planned.was_prefill {
-        acc.tbt_gaps.push(*now - meta.last_completion_s);
+        acc.tbt_gaps.push(at - meta.last_completion_s);
     }
     if planned.prefill_ended && max_new_tokens > 0 {
         // completing the last prefill step makes the first generated token
         // available (same convention as the closed-batch report)
-        meta.first_token_s = *now;
+        meta.first_token_s = at;
     }
-    meta.last_completion_s = *now;
+    meta.last_completion_s = at;
 }
 
 /// Completion-time latency stats of a drained open-loop session —
@@ -1950,7 +2305,8 @@ fn completion_stats(session: &Session, meta: &OpenMeta) -> (usize, f64, f64, f64
         0.0
     };
     let queue_delay_s = meta.slot_s - meta.arrival_s;
-    let slo_met = session.request.slo.met(ttft_s, tbt_mean_s);
+    // zero-output sessions never count as SLO-met (see the report assembly)
+    let slo_met = generated > 0 && session.request.slo.met(ttft_s, tbt_mean_s);
     (generated, ttft_s, tbt_mean_s, queue_delay_s, slo_met)
 }
 

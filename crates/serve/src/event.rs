@@ -1,0 +1,249 @@
+//! Virtual-time event queue of the open-loop engine core.
+//!
+//! The open-loop driver serializes everything that happens in a serving
+//! deployment — request arrivals, admission, preemption spills, resume
+//! reloads, prefill-chunk progress and decode-batch settlement — onto one
+//! virtual clock. This module supplies the ordering structure: a min-heap
+//! of [`Event`]s keyed by `(time, push sequence)`, so equal-time events
+//! fire in push order and a run's event order is a pure function of its
+//! inputs. The engine pushes one [`EventKind::Arrival`] per request up
+//! front, then pushes a completion event ([`EventKind::SpillDone`],
+//! [`EventKind::ReloadDone`] or [`EventKind::UnitDone`]) every time it
+//! occupies the memory bus; the clock only advances when one of those
+//! events is popped, and arrivals landing inside a bus occupancy are
+//! ingested at their own position in the order (see DESIGN.md §16).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an [`Event`] means when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request arrives (index into the run's arrival vector).
+    Arrival(usize),
+    /// A preemption finished spilling the victim's KV state to Flash.
+    SpillDone {
+        /// Stream id of the parked session.
+        stream: usize,
+    },
+    /// A resume finished reloading a parked session's KV state from Flash.
+    ReloadDone {
+        /// Stream id of the resumed session.
+        stream: usize,
+    },
+    /// A dispatched service unit (prefill chunk, decode lane, or one
+    /// sequential token) completed its last token.
+    UnitDone {
+        /// Schedule positions the unit served.
+        tokens: usize,
+    },
+}
+
+/// One scheduled event on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Virtual-clock time at which the event fires (seconds).
+    pub time: f64,
+    /// Push sequence number: the deterministic tie-break among equal-time
+    /// events (earlier push fires first).
+    pub seq: u64,
+    /// What fires.
+    pub kind: EventKind,
+}
+
+/// Heap entry with the ordering inverted so `BinaryHeap` (a max-heap) pops
+/// the *earliest* `(time, seq)` first. Times are totally ordered via
+/// `f64::total_cmp`; the engine validates arrival times finite, and every
+/// completion time is a finite sum of finite latencies.
+struct HeapEntry(Event);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // inverted: smaller (time, seq) ranks greater, so it pops first
+        other
+            .0
+            .time
+            .total_cmp(&self.0.time)
+            .then(other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// A deterministic min-queue of virtual-time events.
+///
+/// `(time, seq)` keys make the pop order total: two events never tie, so
+/// the queue defines *the* event order of a run — the determinism argument
+/// of the event-driven core reduces to "pushes are a pure function of the
+/// inputs".
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+    arrivals_pending: usize,
+}
+
+impl EventQueue {
+    /// An empty queue with room for `capacity` events (sized once per run,
+    /// so steady-state pushes stay allocation-free).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            arrivals_pending: 0,
+        }
+    }
+
+    /// Schedules `kind` to fire at `time`. Events pushed at the same time
+    /// fire in push order.
+    pub fn push_at(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite(), "event times are finite by validation");
+        if matches!(kind, EventKind::Arrival(_)) {
+            self.arrivals_pending += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { time, seq, kind }));
+    }
+
+    /// Pops the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: f64) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.0.time <= now) {
+            self.pop_next()
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally (the idle engine's clock
+    /// jump).
+    pub fn pop_next(&mut self) -> Option<Event> {
+        let event = self.heap.pop().map(|e| e.0)?;
+        if matches!(event.kind, EventKind::Arrival(_)) {
+            self.arrivals_pending -= 1;
+        }
+        Some(event)
+    }
+
+    /// Fire time of the earliest scheduled event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Whether any [`EventKind::Arrival`] is still scheduled — the batch
+    /// planner's guard: a multi-token unit may only form when no un-ingested
+    /// arrival could change scheduling mid-unit.
+    pub fn has_pending_arrival(&self) -> bool {
+        self.arrivals_pending > 0
+    }
+
+    /// Scheduled events not yet popped.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push_at(2.0, EventKind::Arrival(1));
+        q.push_at(0.5, EventKind::Arrival(0));
+        q.push_at(1.25, EventKind::UnitDone { tokens: 3 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(0.5));
+        assert_eq!(q.pop_next().unwrap().kind, EventKind::Arrival(0));
+        assert_eq!(
+            q.pop_next().unwrap().kind,
+            EventKind::UnitDone { tokens: 3 }
+        );
+        assert_eq!(q.pop_next().unwrap().kind, EventKind::Arrival(1));
+        assert!(q.pop_next().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_fire_in_push_order() {
+        let mut q = EventQueue::with_capacity(4);
+        for i in 0..5 {
+            q.push_at(1.0, EventKind::Arrival(i));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop_next().unwrap().kind, EventKind::Arrival(i));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_the_clock() {
+        let mut q = EventQueue::with_capacity(4);
+        q.push_at(1.0, EventKind::SpillDone { stream: 7 });
+        q.push_at(3.0, EventKind::ReloadDone { stream: 7 });
+        assert!(q.pop_due(0.99).is_none());
+        // the boundary is inclusive: an event at exactly `now` is due
+        assert_eq!(
+            q.pop_due(1.0).unwrap().kind,
+            EventKind::SpillDone { stream: 7 }
+        );
+        assert!(q.pop_due(2.9).is_none());
+        assert_eq!(q.pop_due(3.0).unwrap().time, 3.0);
+        assert!(q.pop_due(f64::MAX).is_none());
+    }
+
+    #[test]
+    fn arrival_bookkeeping_tracks_pending_arrivals_only() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(!q.has_pending_arrival());
+        q.push_at(0.0, EventKind::UnitDone { tokens: 1 });
+        assert!(!q.has_pending_arrival());
+        q.push_at(5.0, EventKind::Arrival(0));
+        q.push_at(6.0, EventKind::Arrival(1));
+        assert!(q.has_pending_arrival());
+        q.pop_next(); // the unit completion
+        assert!(q.has_pending_arrival());
+        q.pop_next();
+        assert!(q.has_pending_arrival());
+        q.pop_next();
+        assert!(!q.has_pending_arrival());
+    }
+
+    #[test]
+    fn pop_order_is_deterministic_across_identical_push_sequences() {
+        let build = || {
+            let mut q = EventQueue::with_capacity(8);
+            for (t, i) in [(0.25, 0), (0.25, 1), (0.1, 2), (0.75, 3), (0.1, 4)] {
+                q.push_at(t, EventKind::Arrival(i));
+            }
+            let mut order = Vec::new();
+            while let Some(e) = q.pop_next() {
+                order.push((e.time, e.kind));
+            }
+            order
+        };
+        assert_eq!(build(), build());
+        let order = build();
+        assert_eq!(
+            order.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![0.1, 0.1, 0.25, 0.25, 0.75]
+        );
+        // equal times resolved by push order
+        assert_eq!(order[0].1, EventKind::Arrival(2));
+        assert_eq!(order[1].1, EventKind::Arrival(4));
+    }
+}

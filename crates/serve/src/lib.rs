@@ -18,7 +18,11 @@
 //!   priority-preemptive continuous batching,
 //! * [`ServeEngine`] / [`ServeConfig`] — the engine itself: closed batches
 //!   via [`ServeEngine::run`], **open-loop traffic** on a virtual clock via
-//!   [`ServeEngine::run_open_loop`],
+//!   [`ServeEngine::run_open_loop`]. The open-loop clock is driven by a
+//!   (time, seq)-keyed [`EventQueue`]; under [`EngineCore::EventDriven`]
+//!   (the default) long prefills are served in
+//!   `prefill_chunk_tokens`-sized chunks interleaved with decode rounds,
+//!   and preemption KV spills/reloads are priced events on the same clock,
 //! * [`Workload`] — seedable arrival processes (steady / bursty on-off /
 //!   diurnal / trace replay) over weighted request templates with priority
 //!   [`Tier`]s and latency [`SloTarget`]s; JSON round-trippable,
@@ -64,6 +68,7 @@
 pub mod admission;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod layout;
 pub mod prefix;
 pub mod report;
@@ -77,9 +82,13 @@ pub mod workload;
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionStats, RateLimit, ShedReason, TokenBucket,
 };
-pub use engine::ExecutionMode;
+pub use engine::{EngineCore, ExecutionMode};
 pub use engine::{PagedKvConfig, ServeConfig, ServeEngine};
+// NOTE: `event::EventKind` is deliberately *not* re-exported at the crate
+// root — the name would collide with the telemetry crate's `EventKind`
+// re-exported below. Reach the queue types via `serve::event::…`.
 pub use error::{Result, ServeError};
+pub use event::EventQueue;
 pub use prefix::PrefixRegistry;
 pub use report::{
     percentile, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,

@@ -139,23 +139,33 @@ impl SchedulerPolicy {
     /// Index (into `active`) of the session whose token is served next, or
     /// `None` when nothing is active.
     pub fn next_service(&self, active: &[Session]) -> Option<usize> {
+        self.next_service_where(active, |_| true)
+    }
+
+    /// Like [`SchedulerPolicy::next_service`], restricted to sessions
+    /// satisfying `keep` — the policy's own ordering applied to a subset.
+    ///
+    /// The event-driven engine core uses this to time-slice a long prefill:
+    /// once a prefill run exhausts its chunk budget, the next pick is drawn
+    /// from the decode-phase sessions only, so the same policy keys decide
+    /// *which* decoding session gets the yielded slot.
+    pub fn next_service_where(
+        &self,
+        active: &[Session],
+        keep: impl Fn(&Session) -> bool,
+    ) -> Option<usize> {
+        let kept = active.iter().enumerate().filter(|(_, s)| keep(s));
         match self {
-            SchedulerPolicy::Fifo => active
-                .iter()
-                .enumerate()
+            SchedulerPolicy::Fifo => kept
                 .min_by_key(|(_, s)| (s.last_served_step, s.stream))
                 .map(|(i, _)| i),
-            SchedulerPolicy::ShortestRemainingFirst => active
-                .iter()
-                .enumerate()
+            SchedulerPolicy::ShortestRemainingFirst => kept
                 .min_by_key(|(_, s)| (s.remaining_tokens(), s.request.id))
                 .map(|(i, _)| i),
             // strict priority across tiers, least-recently-served within a
             // tier — equal-tier sessions round-robin, so no active session
             // starves while its tier is the highest present
-            SchedulerPolicy::PriorityPreemptive => active
-                .iter()
-                .enumerate()
+            SchedulerPolicy::PriorityPreemptive => kept
                 .min_by_key(|(_, s)| (Reverse(s.request.tier), s.last_served_step, s.stream))
                 .map(|(i, _)| i),
         }
@@ -372,6 +382,56 @@ mod tests {
         // premium the least recently served session is next
         assert_eq!(
             SchedulerPolicy::PriorityPreemptive.next_service(&active),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn filtered_service_applies_the_policy_keys_to_the_subset() {
+        let mut batch = session(0, 1, 40);
+        batch.request.tier = Tier::Batch;
+        batch.last_served_step = 0;
+        let mut premium = session(1, 1, 4);
+        premium.request.tier = Tier::Premium;
+        premium.last_served_step = 9;
+        let mut standard = session(2, 1, 8);
+        standard.request.tier = Tier::Standard;
+        standard.last_served_step = 4;
+        let active = vec![batch, premium, standard];
+
+        for policy in [
+            SchedulerPolicy::Fifo,
+            SchedulerPolicy::ShortestRemainingFirst,
+            SchedulerPolicy::PriorityPreemptive,
+        ] {
+            // an always-true filter is exactly next_service
+            assert_eq!(
+                policy.next_service_where(&active, |_| true),
+                policy.next_service(&active)
+            );
+            // excluding the unrestricted winner re-ranks among the rest
+            let winner = policy.next_service(&active).unwrap();
+            let second = policy
+                .next_service_where(&active, |s| s.stream != active[winner].stream)
+                .unwrap();
+            assert_ne!(second, winner);
+            // an empty subset yields nothing
+            assert_eq!(policy.next_service_where(&active, |_| false), None);
+        }
+        // the policy keys apply within the subset: among {batch, standard},
+        // priority picks standard (higher tier), FIFO picks batch (least
+        // recently served), SRF picks standard (fewer remaining)
+        let not_premium = |s: &Session| s.request.tier != Tier::Premium;
+        assert_eq!(
+            SchedulerPolicy::PriorityPreemptive.next_service_where(&active, not_premium),
+            Some(2)
+        );
+        assert_eq!(
+            SchedulerPolicy::Fifo.next_service_where(&active, not_premium),
+            Some(0)
+        );
+        assert_eq!(
+            SchedulerPolicy::ShortestRemainingFirst.next_service_where(&active, not_premium),
             Some(2)
         );
     }

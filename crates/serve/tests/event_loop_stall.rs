@@ -1,0 +1,340 @@
+//! Event-driven core invariants: chunked prefill bounds the decode tail,
+//! preemption KV swaps carry a priced virtual cost, park/resume conserves
+//! swap bytes, and zero-output sessions never count as SLO-met.
+
+use serve::{
+    ArrivalProcess, EngineCore, GenRequest, RequestTemplate, SchedulerPolicy, ServeConfig,
+    ServeEngine, SloTarget, StrategySpec, Tier, Workload,
+};
+
+/// A tiny model whose KV window holds a 56-token prompt (the test preset
+/// caps at 64), on the usual DRAM-constrained serving device.
+fn stall_config() -> lm::ModelConfig {
+    let mut config = lm::ModelConfig::tiny();
+    config.max_seq_len = 96;
+    config
+}
+
+fn stall_device(config: &lm::ModelConfig, slots: usize, kv_budget: usize) -> hwsim::DeviceConfig {
+    let layout =
+        serve::layout::layout_for_serving(config, [lm::SliceAxis::Input; 3], 4.0, slots, kv_budget);
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.55) as u64;
+    hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram)
+}
+
+/// Six interactive decoders are mid-generation when one premium tenant
+/// arrives with a 56-token prompt. The step-loop core serves the prompt as
+/// one monolithic chunk — head-of-line blocking every decoder for the whole
+/// prefill — while the event-driven core slices it into 8-token chunks with
+/// a decode round between chunks. Same tokens, same aggregate tok/s; only
+/// the ordering (and so the decode TBT tail) may differ.
+#[test]
+fn chunked_prefill_cuts_decode_tbt_p99_at_equal_aggregate_throughput() {
+    let config = stall_config();
+    let decoders = 6usize;
+    let decode_tokens = 48usize;
+    let long_prompt = 56usize;
+    let chunk = 8usize;
+    let slots = decoders + 1;
+    let kv_budget = 64usize;
+    let device = stall_device(&config, slots, kv_budget);
+
+    let decoder_fleet = || -> Vec<GenRequest> {
+        (0..decoders)
+            .map(|i| {
+                GenRequest::new(
+                    i as u64,
+                    vec![1 + i as u32, 2 + i as u32],
+                    decode_tokens,
+                    StrategySpec::Dense,
+                )
+                .with_tier(Tier::Standard)
+            })
+            .collect()
+    };
+
+    // probe the decoders alone so the premium arrival lands mid-decode on
+    // the deterministic virtual clock
+    let solo_makespan = {
+        let model = lm::build_synthetic(&config, 13).unwrap();
+        let mut probe = ServeEngine::new(
+            model,
+            ServeConfig::new(device.clone())
+                .with_max_concurrent(slots)
+                .with_kv_budget(kv_budget),
+        )
+        .unwrap();
+        probe
+            .run_open_loop_requests(decoder_fleet())
+            .unwrap()
+            .makespan_s
+    };
+
+    let run_one = |core: EngineCore| -> serve::ServeReport {
+        let model = lm::build_synthetic(&config, 13).unwrap();
+        let mut engine = ServeEngine::new(
+            model,
+            ServeConfig::new(device.clone())
+                .with_max_concurrent(slots)
+                .with_scheduler(SchedulerPolicy::PriorityPreemptive)
+                .with_kv_budget(kv_budget)
+                .with_engine_core(core)
+                .with_prefill_chunk(chunk),
+        )
+        .unwrap();
+        let mut arrivals = decoder_fleet();
+        let prompt: Vec<u32> = (0..long_prompt as u32)
+            .map(|i| 1 + (i * 5 + 3) % (config.vocab_size as u32 - 1))
+            .collect();
+        arrivals.push(
+            GenRequest::new(decoders as u64, prompt, 8, StrategySpec::Dense)
+                .with_tier(Tier::Premium)
+                .at(0.25 * solo_makespan),
+        );
+        engine.run_open_loop_requests(arrivals).unwrap()
+    };
+
+    let event = run_one(EngineCore::EventDriven);
+    let step = run_one(EngineCore::StepLoop);
+    let event_ol = event.open_loop.as_ref().unwrap();
+    let step_ol = step.open_loop.as_ref().unwrap();
+
+    let stall_ratio = step_ol.tbt.p99_s / event_ol.tbt.p99_s.max(f64::MIN_POSITIVE);
+    assert!(
+        stall_ratio >= 2.0,
+        "chunked prefill must cut decode TBT p99 at least 2x: step {:.3}us / event {:.3}us = {:.2}x",
+        1e6 * step_ol.tbt.p99_s,
+        1e6 * event_ol.tbt.p99_s,
+        stall_ratio
+    );
+
+    // chunking reorders the same work: aggregate throughput must agree
+    let tps_ratio = event.aggregate_tps / step.aggregate_tps;
+    assert!(
+        (tps_ratio - 1.0).abs() <= 0.05,
+        "equal work must give equal tok/s: event {:.2} vs step {:.2}",
+        event.aggregate_tps,
+        step.aggregate_tps
+    );
+    assert_eq!(
+        event.total_generated_tokens, step.total_generated_tokens,
+        "both cores serve the same token set"
+    );
+
+    // the per-session token streams are identical — only timing moved
+    for r in &event.requests {
+        let s = step.requests.iter().find(|s| s.id == r.id).unwrap();
+        assert_eq!(r.generated, s.generated, "request {}", r.id);
+    }
+}
+
+/// Preemption is not free: at equal served work, a fleet that parks and
+/// resumes sessions finishes strictly later on the virtual clock than one
+/// that does not, by the priced KV swap time — and the swap bytes agree
+/// between the report and the telemetry counter.
+#[test]
+fn preempting_fleets_run_strictly_slower_than_non_preempting_at_equal_work() {
+    let config = stall_config();
+    let kv_budget = 64usize;
+    let device = stall_device(&config, 2, kv_budget);
+
+    let engine_with = |scheduler: SchedulerPolicy, instrument: bool| -> ServeEngine {
+        let model = lm::build_synthetic(&config, 13).unwrap();
+        let mut engine = ServeEngine::new(
+            model,
+            ServeConfig::new(device.clone())
+                .with_max_concurrent(1)
+                .with_scheduler(scheduler)
+                .with_kv_budget(kv_budget),
+        )
+        .unwrap();
+        if instrument {
+            engine.attach_telemetry(serve::telemetry::EngineTelemetry::new(
+                serve::TelemetryConfig::default(),
+                &[],
+            ));
+        }
+        engine
+    };
+    let batch_job =
+        || GenRequest::new(0, vec![1, 5, 9], 20, StrategySpec::Dense).with_tier(Tier::Batch);
+    let solo_makespan = engine_with(SchedulerPolicy::PriorityPreemptive, false)
+        .run_open_loop_requests(vec![batch_job()])
+        .unwrap()
+        .makespan_s;
+    let arrivals = || -> Vec<GenRequest> {
+        let mut arrivals = vec![batch_job()];
+        // second-half fractions: the first prefill tokens run on a cold
+        // column cache, so earlier interrupts pile up in one park window
+        for (i, frac) in [0.5, 0.7, 0.9].iter().enumerate() {
+            arrivals.push(
+                GenRequest::new(1 + i as u64, vec![2 + i as u32], 2, StrategySpec::Dense)
+                    .with_tier(Tier::Premium)
+                    .at(frac * solo_makespan),
+            );
+        }
+        arrivals
+    };
+
+    let mut preempting = engine_with(SchedulerPolicy::PriorityPreemptive, true);
+    let preempted = preempting.run_open_loop_requests(arrivals()).unwrap();
+    let mut fifo = engine_with(SchedulerPolicy::Fifo, false);
+    let queued = fifo.run_open_loop_requests(arrivals()).unwrap();
+
+    let pre_ol = preempted.open_loop.as_ref().unwrap();
+    let fifo_ol = queued.open_loop.as_ref().unwrap();
+    assert!(pre_ol.preemptions >= 2, "got {}", pre_ol.preemptions);
+    assert_eq!(pre_ol.resumes, pre_ol.preemptions);
+    assert_eq!(fifo_ol.preemptions, 0);
+
+    // every preemption carried a non-zero priced cost
+    assert!(pre_ol.kv_swap_s > 0.0);
+    assert!(pre_ol.kv_swap_s / pre_ol.preemptions as f64 > 0.0);
+    assert_eq!(fifo_ol.kv_swap_s, 0.0);
+
+    // equal work (identical token sets, order-independent Dense pricing):
+    // the swap time is the whole difference, so preempting is strictly
+    // slower and by at least half the priced swap time
+    assert_eq!(
+        preempted.total_generated_tokens,
+        queued.total_generated_tokens
+    );
+    assert!(
+        preempted.makespan_s > queued.makespan_s,
+        "preempting {:.6e} vs non-preempting {:.6e}",
+        preempted.makespan_s,
+        queued.makespan_s
+    );
+    assert!(
+        preempted.makespan_s - queued.makespan_s >= 0.5 * pre_ol.kv_swap_s,
+        "makespan gap {:.3e} must reflect the priced swaps {:.3e}",
+        preempted.makespan_s - queued.makespan_s,
+        pre_ol.kv_swap_s
+    );
+
+    // the priced bytes land in the flash totals and match telemetry's count
+    assert!(pre_ol.kv_swap_bytes > 0.0);
+    assert!(preempted.flash_bytes >= pre_ol.kv_swap_bytes);
+    let mut tel = preempting.take_telemetry().unwrap();
+    let counted = {
+        let registry = &mut tel.pipeline_mut().registry;
+        let id = registry.counter("serve_kv_swap_bytes_total", "");
+        registry.counter_value(id)
+    };
+    assert_eq!(
+        counted, pre_ol.kv_swap_bytes,
+        "telemetry-counted swap bytes must equal the priced bytes"
+    );
+}
+
+/// Park/resume churn conserves swap bytes: over a drained run every spill
+/// is resumed exactly once with its position frozen, so spill and reload
+/// bytes agree and nothing is double-counted.
+#[test]
+fn park_resume_churn_conserves_kv_swap_bytes() {
+    let config = lm::ModelConfig::tiny();
+    let slots = 2;
+    let device = stall_device(&config, slots, config.max_seq_len);
+    let mut engine = ServeEngine::new(
+        lm::build_synthetic(&config, 7).unwrap(),
+        ServeConfig::new(device.clone())
+            .with_max_concurrent(slots)
+            .with_scheduler(SchedulerPolicy::PriorityPreemptive),
+    )
+    .unwrap();
+
+    // calibrate the burst rate to the deterministic service rate so the
+    // on-windows genuinely overload the two slots
+    let per_token_s = {
+        let mut probe = ServeEngine::new(
+            lm::build_synthetic(&config, 7).unwrap(),
+            ServeConfig::new(device).with_max_concurrent(1),
+        )
+        .unwrap();
+        let report = probe
+            .run(vec![GenRequest::new(
+                0,
+                vec![1, 2],
+                30,
+                StrategySpec::Dense,
+            )])
+            .unwrap();
+        report.makespan_s / 32.0
+    };
+    let on_s = 120.0 * per_token_s;
+    let workload = Workload::new(
+        21,
+        6.0 * on_s,
+        ArrivalProcess::OnOff {
+            rate_per_s: 1.0 / (3.0 * per_token_s),
+            on_s,
+            off_s: on_s,
+        },
+        vec![
+            RequestTemplate::new((2, 4), (6, 12), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(2.0),
+            RequestTemplate::new((1, 2), (2, 4), StrategySpec::Dense).with_tier(Tier::Premium),
+        ],
+    );
+
+    let report = engine.run_open_loop(&workload).unwrap();
+    let ol = report.open_loop.as_ref().unwrap();
+    assert!(
+        ol.preemptions >= 2,
+        "churn workload must preempt repeatedly"
+    );
+    assert_eq!(ol.resumes, ol.preemptions, "every park resumed at drain");
+    assert!(ol.kv_spill_bytes > 0.0);
+
+    // conservation: positions are frozen while parked, so the reload moves
+    // exactly the bytes the spill did (summation order may differ)
+    let rel = (ol.kv_spill_bytes - ol.kv_reload_bytes).abs() / ol.kv_spill_bytes;
+    assert!(
+        rel < 1e-9,
+        "spill {} vs reload {} bytes",
+        ol.kv_spill_bytes,
+        ol.kv_reload_bytes
+    );
+    assert_eq!(
+        ol.kv_swap_bytes,
+        ol.kv_spill_bytes + ol.kv_reload_bytes,
+        "swap total double-counts or drops a direction"
+    );
+    assert!(report.flash_bytes >= ol.kv_swap_bytes);
+}
+
+/// A session that completes without generating a single token has nothing
+/// to meet a latency target *with*: it must never count as SLO-met, however
+/// generous its target.
+#[test]
+fn zero_output_sessions_never_count_as_slo_met() {
+    let config = lm::ModelConfig::tiny();
+    let device = stall_device(&config, 2, config.max_seq_len);
+    let mut engine = ServeEngine::new(
+        lm::build_synthetic(&config, 13).unwrap(),
+        ServeConfig::new(device).with_max_concurrent(2),
+    )
+    .unwrap();
+    let generous = SloTarget::new(1e6, 1e6);
+    let report = engine
+        .run_open_loop_requests(vec![
+            // prefill-only request: completes with generated == 0
+            GenRequest::new(0, vec![1, 2, 3], 0, StrategySpec::Dense).with_slo(generous),
+            GenRequest::new(1, vec![4, 5], 4, StrategySpec::Dense).with_slo(generous),
+        ])
+        .unwrap();
+
+    let ol = report.open_loop.as_ref().unwrap();
+    assert_eq!(ol.completed, 2, "both sessions drained");
+    let empty = report.requests.iter().find(|r| r.id == 0).unwrap();
+    let normal = report.requests.iter().find(|r| r.id == 1).unwrap();
+    assert_eq!(empty.generated_tokens, 0);
+    assert!(
+        !empty.slo_met,
+        "a zero-output session met a latency SLO it never produced a token for"
+    );
+    assert!(normal.generated_tokens > 0);
+    assert!(normal.slo_met, "the generous target holds for real output");
+    assert_eq!(ol.slo_attainment, 0.5);
+}
