@@ -32,17 +32,25 @@
 //!   chunked-prefill core at equal aggregate tok/s, plus a preempting
 //!   one-slot fleet whose KV spills are priced on the virtual clock
 //!   (spill-priced tok/s, non-zero cost per preemption). All ratios come
-//!   from the virtual clock, so they are deterministic.
+//!   from the virtual clock, so they are deterministic,
+//! * **chaos** — the seeded fault-injection scenario (client cancels,
+//!   injected deadlines, retryable aborts, KV page loss, a slow lane) with
+//!   conservation and replay-determinism verified, plus the degrade-vs-shed
+//!   headline: graceful strategy degradation vs pure back-pressure on the
+//!   same slots and KV page pool — premium SLO lift at near-equal
+//!   aggregate tok/s. All numbers are virtual-clock deterministic.
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf_report -- --quick [--out FILE] [--check BASELINE]
 //!     [--paged-out FILE] [--check-paged BASELINE]
 //!     [--event-out FILE] [--check-event BASELINE]
+//!     [--chaos-out FILE] [--check-chaos BASELINE]
 //! ```
 //!
 //! Writes a flat JSON report (default `BENCH_PR8.json`; the paged-fleet
-//! group goes to its own file, default `BENCH_PR7.json`, and the event-loop
-//! group to default `BENCH_PR9.json`) and the same measurements as a
+//! group goes to its own file, default `BENCH_PR7.json`, the event-loop
+//! group to default `BENCH_PR9.json`, and the chaos/degradation group to
+//! default `BENCH_PR10.json`) and the same measurements as a
 //! Prometheus text exposition next to it (`<out>.prom`, one gauge per
 //! entry, `mode`/`model` as const labels) so perf numbers flow through the
 //! identical pipeline the serving telemetry uses. With `--check`, the
@@ -75,6 +83,8 @@ struct Opts {
     check_paged: Option<String>,
     event_out: String,
     check_event: Option<String>,
+    chaos_out: String,
+    check_chaos: Option<String>,
 }
 
 fn parse_args() -> Opts {
@@ -86,6 +96,8 @@ fn parse_args() -> Opts {
         check_paged: None,
         event_out: "BENCH_PR9.json".to_string(),
         check_event: None,
+        chaos_out: "BENCH_PR10.json".to_string(),
+        check_chaos: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,12 +113,17 @@ fn parse_args() -> Opts {
             "--check-event" => {
                 opts.check_event = Some(args.next().expect("--check-event needs a path"))
             }
+            "--chaos-out" => opts.chaos_out = args.next().expect("--chaos-out needs a path"),
+            "--check-chaos" => {
+                opts.check_chaos = Some(args.next().expect("--check-chaos needs a path"))
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: perf_report [--quick] [--out FILE] [--check BASELINE] \
                      [--paged-out FILE] [--check-paged BASELINE] \
-                     [--event-out FILE] [--check-event BASELINE]"
+                     [--event-out FILE] [--check-event BASELINE] \
+                     [--chaos-out FILE] [--check-chaos BASELINE]"
                 );
                 std::process::exit(2);
             }
@@ -860,11 +877,92 @@ fn main() {
         "every preemption must carry a non-zero priced virtual cost"
     );
 
+    // ---- chaos + graceful degradation: seeded fault injection with
+    //      conservation and replay determinism verified, plus the
+    //      degrade-vs-shed headline — all virtual-clock numbers, so
+    //      `--quick` and full mode gate against the same baseline ----
+    // seed 4 exercises every lifecycle path at once: client cancels,
+    // injected deadline expiries, a retried abort, and KV page loss
+    let chaos_seed = 4u64;
+    let chaos = experiments::serving::run_chaos(chaos_seed).expect("chaos scenario runs");
+    let chaos_replay = experiments::serving::run_chaos(chaos_seed).expect("chaos replay runs");
+    let chaos_deterministic =
+        chaos.chaos == chaos_replay.chaos && chaos.clean == chaos_replay.clean;
+    let chaos_conserved = experiments::serving::conservation_violation(&chaos.clean).is_none()
+        && experiments::serving::conservation_violation(&chaos.chaos).is_none();
+    let chaos_ol = chaos.chaos.open_loop.as_ref().expect("open-loop stats");
+    let headline =
+        experiments::serving::run_degrade_vs_shed().expect("degrade-vs-shed scenario runs");
+    println!(
+        "chaos (seed {chaos_seed}): {} arrived -> {} completed, {} cancelled, {} expired, \
+         {} failed after {} retries, {} pages lost; degrade vs shed: premium SLO \
+         {:.1}% -> {:.1}% at {:.3}x tok/s",
+        chaos_ol.arrived,
+        chaos_ol.completed,
+        chaos_ol.cancelled,
+        chaos_ol.deadline_expired,
+        chaos_ol.failed,
+        chaos_ol.retries,
+        chaos_ol.kv_pages_lost,
+        100.0 * headline.shed_premium_slo,
+        100.0 * headline.degrade_premium_slo,
+        headline.tps_ratio
+    );
+    let chaos_entries: Vec<(String, f64)> = vec![
+        ("chaos_seed".into(), chaos_seed as f64),
+        ("chaos_arrived".into(), chaos_ol.arrived as f64),
+        ("chaos_completed".into(), chaos_ol.completed as f64),
+        ("chaos_cancelled".into(), chaos_ol.cancelled as f64),
+        (
+            "chaos_deadline_expired".into(),
+            chaos_ol.deadline_expired as f64,
+        ),
+        ("chaos_failed".into(), chaos_ol.failed as f64),
+        ("chaos_retries".into(), chaos_ol.retries as f64),
+        ("chaos_kv_pages_lost".into(), chaos_ol.kv_pages_lost as f64),
+        (
+            "chaos_kv_refill_tokens".into(),
+            chaos_ol.kv_refill_tokens as f64,
+        ),
+        (
+            "chaos_degraded_sessions".into(),
+            chaos_ol.degraded_sessions as f64,
+        ),
+        ("chaos_sim_tps".into(), chaos.chaos.aggregate_tps),
+        ("chaos_clean_sim_tps".into(), chaos.clean.aggregate_tps),
+        (
+            "chaos_conserved".into(),
+            if chaos_conserved { 1.0 } else { 0.0 },
+        ),
+        (
+            "chaos_deterministic".into(),
+            if chaos_deterministic { 1.0 } else { 0.0 },
+        ),
+        ("degrade_vs_shed_slots".into(), headline.slots as f64),
+        (
+            "degrade_vs_shed_pool_pages".into(),
+            headline.pool_pages as f64,
+        ),
+        ("shed_premium_slo".into(), headline.shed_premium_slo),
+        ("degrade_premium_slo".into(), headline.degrade_premium_slo),
+        ("degrade_premium_slo_lift".into(), headline.premium_slo_lift),
+        ("degrade_tps_ratio".into(), headline.tps_ratio),
+        (
+            "degrade_shed_only_sim_tps".into(),
+            headline.shed_only.aggregate_tps,
+        ),
+        (
+            "degrade_degraded_sim_tps".into(),
+            headline.degraded.aggregate_tps,
+        ),
+    ];
+
     // ---- write the reports ----
     let mode = if opts.quick { "quick" } else { "full" };
     write_flat_json(&opts.out, &config.name, mode, &entries);
     write_flat_json(&opts.paged_out, &tiny.name, mode, &paged_entries);
     write_flat_json(&opts.event_out, &tiny.name, mode, &event_entries);
+    write_flat_json(&opts.chaos_out, &tiny.name, mode, &chaos_entries);
 
     // ---- the same entries through the telemetry exposition pipeline ----
     // one writer, two sinks per group: the flat JSON above stays the
@@ -874,6 +972,7 @@ fn main() {
     write_exposition(&opts.out, &config.name, mode, &entries);
     write_exposition(&opts.paged_out, &tiny.name, mode, &paged_entries);
     write_exposition(&opts.event_out, &tiny.name, mode, &event_entries);
+    write_exposition(&opts.chaos_out, &tiny.name, mode, &chaos_entries);
 
     // ---- regression checks against the committed baselines ----
     let mut failures = Vec::new();
@@ -922,6 +1021,25 @@ fn main() {
                 "event_loop_tbt_p99_stall_ratio",
                 "event_loop_tps_ratio",
                 "event_loop_spill_fleet_sim_tps",
+            ],
+        ));
+    }
+    // chaos rows are virtual-clock numbers too; the gate holds the
+    // robustness trajectory — requests completed under the same fault
+    // plan, the premium SLO lift degradation buys, near-equal throughput,
+    // and the two binary invariants (conservation, replay determinism)
+    // which a 20% tolerance on a 0-or-1 value only passes at exactly 1
+    if let Some(baseline_path) = &opts.check_chaos {
+        checked = true;
+        failures.extend(check_ratios(
+            baseline_path,
+            &chaos_entries,
+            &[
+                "chaos_completed",
+                "chaos_conserved",
+                "chaos_deterministic",
+                "degrade_premium_slo_lift",
+                "degrade_tps_ratio",
             ],
         ));
     }

@@ -421,6 +421,66 @@ impl StrategySpec {
         }
         Ok(())
     }
+
+    /// One step down the spec's graceful-degradation chain: the next
+    /// *cheaper* spec a serving engine may substitute under pressure instead
+    /// of shedding the request, or `None` when the spec is already at the
+    /// floor of its chain (or cannot be swapped at admission at all).
+    ///
+    /// The chain trades accuracy headroom for service time along the paper's
+    /// own family: the dense model falls back to DIP at half density
+    /// (`dense → dip@0.50 → dip@0.25`), dynamic-sparsity methods halve their
+    /// density down to a method-specific floor (0.25 for DIP-family and
+    /// predictive specs, 0.40 for whole-neuron schemes whose reachable range
+    /// bottoms out above 1/3), and GLU pruning — whose own range cannot go
+    /// below 2/3 — crosses over to DIP. Specs that require an offline weight
+    /// transform (SparseGPT, LoRA fusing) have no chain: the served model is
+    /// fixed, so there is nothing cheaper to substitute per-request.
+    ///
+    /// Every spec the chain yields passes [`StrategySpec::validate`] by
+    /// construction, and every chain terminates in a bounded number of
+    /// steps. Whether a step is *admissible* in a given run (axis
+    /// compatibility with co-tenants, calibration availability) is the
+    /// engine's check, not this method's.
+    pub fn degraded(&self) -> Option<StrategySpec> {
+        // Halve toward `floor`; `None` once the floor is reached.
+        fn halve(density: f32, floor: f32) -> Option<f32> {
+            let next = (density * 0.5).max(floor);
+            (next < density).then_some(next)
+        }
+        match *self {
+            StrategySpec::Dense => Some(StrategySpec::Dip { density: 0.5 }),
+            StrategySpec::Dip { density } => {
+                halve(density, 0.25).map(|density| StrategySpec::Dip { density })
+            }
+            StrategySpec::DipCacheAware { density, gamma } => {
+                halve(density, 0.25).map(|density| StrategySpec::DipCacheAware { density, gamma })
+            }
+            // GLU pruning bottoms out at 2/3 weight density; the cheaper
+            // neighbour is DIP, which prunes all three matrices.
+            StrategySpec::GluPruning { density } => Some(StrategySpec::Dip {
+                density: density.min(0.5),
+            }),
+            StrategySpec::GluOracle { density } => {
+                halve(density, 0.25).map(|density| StrategySpec::GluOracle { density })
+            }
+            StrategySpec::GatePruning { density } => {
+                halve(density, 0.4).map(|density| StrategySpec::GatePruning { density })
+            }
+            StrategySpec::UpPruning { density } => {
+                halve(density, 0.4).map(|density| StrategySpec::UpPruning { density })
+            }
+            StrategySpec::Cats { density } => {
+                halve(density, 0.4).map(|density| StrategySpec::Cats { density })
+            }
+            StrategySpec::Predictive { density, predictor } => {
+                halve(density, 0.25).map(|density| StrategySpec::Predictive { density, predictor })
+            }
+            StrategySpec::SparseGpt { .. }
+            | StrategySpec::CatsLora { .. }
+            | StrategySpec::DipLora { .. } => None,
+        }
+    }
 }
 
 impl std::fmt::Display for StrategySpec {
@@ -525,6 +585,71 @@ mod tests {
         for spec in all_specs() {
             assert!(spec.validate().is_ok(), "{}", spec.label());
         }
+    }
+
+    #[test]
+    fn degradation_chains_validate_and_terminate() {
+        for spec in all_specs() {
+            let mut cur = spec;
+            let mut steps = 0;
+            while let Some(next) = cur.degraded() {
+                assert!(next.validate().is_ok(), "{} degraded to {}", cur, next);
+                assert!(
+                    next.density() <= cur.density(),
+                    "degradation never gets denser: {cur} -> {next}"
+                );
+                cur = next;
+                steps += 1;
+                assert!(steps <= 8, "chain from {spec} does not terminate");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_chain_walks_through_dip() {
+        let step1 = StrategySpec::Dense.degraded().unwrap();
+        assert_eq!(step1, StrategySpec::Dip { density: 0.5 });
+        let step2 = step1.degraded().unwrap();
+        assert_eq!(step2, StrategySpec::Dip { density: 0.25 });
+        assert_eq!(step2.degraded(), None, "0.25 is the DIP floor");
+    }
+
+    #[test]
+    fn transform_specs_have_no_chain() {
+        assert_eq!(
+            StrategySpec::SparseGpt {
+                density: 0.5,
+                pattern: NmPattern::Unstructured,
+            }
+            .degraded(),
+            None
+        );
+        assert_eq!(
+            StrategySpec::DipLora {
+                density: 0.5,
+                rank: 8,
+            }
+            .degraded(),
+            None
+        );
+        // GLU pruning cannot halve in-family (range floor 2/3): it crosses
+        // over to DIP, preserving a sub-1.0 density target.
+        assert_eq!(
+            StrategySpec::GluPruning { density: 0.7 }.degraded(),
+            Some(StrategySpec::Dip { density: 0.5 })
+        );
+        // DIP-CA keeps its gamma through the chain.
+        assert_eq!(
+            StrategySpec::DipCacheAware {
+                density: 0.5,
+                gamma: 0.2,
+            }
+            .degraded(),
+            Some(StrategySpec::DipCacheAware {
+                density: 0.25,
+                gamma: 0.2,
+            })
+        );
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum ExpError {
         /// Explanation shown in logs.
         reason: String,
     },
+    /// A scenario invariant was violated (conservation of requests, replay
+    /// determinism): the run produced results, but they are untrustworthy.
+    Invariant {
+        /// What was violated, with the offending numbers.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ExpError {
@@ -35,6 +41,7 @@ impl fmt::Display for ExpError {
             ExpError::Sim(e) => write!(f, "simulator error: {e}"),
             ExpError::Serve(e) => write!(f, "serving error: {e}"),
             ExpError::Unsupported { reason } => write!(f, "unsupported configuration: {reason}"),
+            ExpError::Invariant { reason } => write!(f, "invariant violated: {reason}"),
         }
     }
 }
@@ -47,7 +54,7 @@ impl std::error::Error for ExpError {
             ExpError::Quant(e) => Some(e),
             ExpError::Sim(e) => Some(e),
             ExpError::Serve(e) => Some(e),
-            ExpError::Unsupported { .. } => None,
+            ExpError::Unsupported { .. } | ExpError::Invariant { .. } => None,
         }
     }
 }
@@ -113,6 +120,12 @@ mod tests {
         };
         assert!(e.is_unsupported());
         assert!(e.to_string().contains("glu at 50%"));
+        let e = ExpError::Invariant {
+            reason: "arrived 5 != shed 0 + completed 4".into(),
+        };
+        assert!(e.to_string().contains("invariant violated"));
+        assert!(!e.is_unsupported());
+        assert!(std::error::Error::source(&e).is_none());
         let e: ExpError = hwsim::SimError::InvalidConfig {
             field: "f",
             reason: "r".into(),

@@ -307,6 +307,44 @@ impl AdmissionController {
         reason
     }
 
+    /// Re-offers a request whose previous service attempt aborted (retry
+    /// with backoff). The full decision chain runs — a saturated system may
+    /// reject a retry like any arrival — but the request is *not* a new
+    /// arrival: `arrived` stays untouched, and a rejection bumps no shed
+    /// counter (the engine retires the request as
+    /// [`FinishReason::Failed`](crate::FinishReason) instead, keeping the
+    /// arrival partition exact). An accepted re-offer counts in `admitted`
+    /// again, making `admitted` attempt-level.
+    pub fn reoffer(&mut self, request: GenRequest, now_s: f64) -> Option<ShedReason> {
+        let tier = request.tier.index();
+        if let Some(bucket) = &mut self.bucket {
+            if !bucket.try_take(now_s) {
+                return Some(ShedReason::RateLimited);
+            }
+        }
+        if let Some(quota) = self.config.tier_quotas[tier] {
+            if self.queued_per_tier[tier] >= quota {
+                return Some(ShedReason::TierQuota);
+            }
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            return Some(ShedReason::QueueFull);
+        }
+        self.queued_per_tier[tier] += 1;
+        self.queue.push(request);
+        self.stats.admitted += 1;
+        None
+    }
+
+    /// Withdraws the waiting request with id `id` (a cancellation or
+    /// deadline expiry striking while still queued). Counts neither as a
+    /// shed nor as a completion — the engine accounts the withdrawal under
+    /// its own finish-reason counters.
+    pub fn withdraw(&mut self, id: u64) -> Option<GenRequest> {
+        let idx = self.queue.iter().position(|r| r.id == id)?;
+        Some(self.take(idx))
+    }
+
     /// The waiting queue, in arrival order (schedulers index into it).
     pub fn queue(&self) -> &[GenRequest] {
         &self.queue
@@ -434,6 +472,49 @@ mod tests {
         for (i, r) in ShedReason::ALL.iter().enumerate() {
             assert_eq!(r.index(), i);
         }
+    }
+
+    #[test]
+    fn reoffer_is_not_an_arrival_and_rejection_is_stat_free() {
+        let config = AdmissionConfig::default()
+            .with_queue_capacity(1)
+            .with_tier_quota(Tier::Batch, 1);
+        let mut ctrl = AdmissionController::new(config);
+        assert_eq!(ctrl.reoffer(request(0, Tier::Batch), 0.0), None);
+        let stats = ctrl.stats();
+        assert_eq!(stats.arrived, 0, "a retry is not a new arrival");
+        assert_eq!(stats.admitted, 1, "but re-admission counts");
+        // queue is full: the re-offer is rejected without touching shed
+        // counters (the engine books it as a Failed retirement instead)
+        assert_eq!(
+            ctrl.reoffer(request(1, Tier::Premium), 0.0),
+            Some(ShedReason::QueueFull)
+        );
+        assert_eq!(
+            ctrl.reoffer(request(2, Tier::Batch), 0.0),
+            Some(ShedReason::TierQuota)
+        );
+        assert_eq!(ctrl.stats().shed(), 0);
+        assert_eq!(ctrl.stats().admitted, 1);
+    }
+
+    #[test]
+    fn withdraw_pulls_a_queued_request_by_id() {
+        let mut ctrl = AdmissionController::new(AdmissionConfig::default());
+        assert_eq!(ctrl.offer(request(7, Tier::Batch), 0.0), None);
+        assert_eq!(ctrl.offer(request(9, Tier::Batch), 0.0), None);
+        assert!(ctrl.withdraw(8).is_none(), "unknown id is a no-op");
+        let w = ctrl.withdraw(9).unwrap();
+        assert_eq!(w.id, 9);
+        assert_eq!(ctrl.queue().len(), 1);
+        assert_eq!(ctrl.queue()[0].id, 7);
+        // the withdrawn batch request freed its quota slot
+        let config = AdmissionConfig::default().with_tier_quota(Tier::Batch, 2);
+        let mut ctrl = AdmissionController::new(config);
+        ctrl.offer(request(0, Tier::Batch), 0.0);
+        ctrl.offer(request(1, Tier::Batch), 0.0);
+        ctrl.withdraw(0).unwrap();
+        assert_eq!(ctrl.offer(request(2, Tier::Batch), 0.0), None);
     }
 
     #[test]

@@ -66,11 +66,12 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::error::{Result, ServeError};
-use crate::event::{EventKind as EngineEvent, EventQueue};
+use crate::event::{Event, EventKind as EngineEvent, EventQueue};
+use crate::fault::RetryPolicy;
 use crate::layout::{layout_for_serving, to_token_access_batch_row};
 use crate::prefix::PrefixRegistry;
 use crate::report::{
-    percentile, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
+    percentile, FinishReason, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
     StrategyClassStats, TierStats,
 };
 use crate::request::{GenRequest, TIERS};
@@ -184,6 +185,21 @@ pub struct ServeConfig {
     /// prefill tokens one stream may take before decoding sessions get a
     /// round. Clamped to the engine's chunk bound (64) at use.
     pub prefill_chunk_tokens: usize,
+    /// Deterministic fault-injection plan for open-loop runs (`None` = no
+    /// injected faults; closed batches reject a plan at run time).
+    pub fault_plan: Option<crate::fault::FaultPlan>,
+    /// Retry policy for worker-aborted attempts: re-offer through admission
+    /// after exponential backoff on the virtual clock (`None` = an abort
+    /// fails the request immediately).
+    pub retry: Option<crate::fault::RetryPolicy>,
+    /// Graceful strategy degradation under queue pressure: substitute
+    /// cheaper specs along [`StrategySpec::degraded`] at admission instead
+    /// of letting the queue shed (`None` = always serve as requested).
+    pub degrade: Option<crate::fault::DegradePolicy>,
+    /// Set by [`ServeConfig::with_prefix_sharing`] so [`ServeConfig::validate`]
+    /// can reject prefix sharing without a paged pool as a typed error
+    /// (the flag itself is consumed through `paged_kv.prefix_sharing`).
+    pub(crate) prefix_sharing_requested: bool,
 }
 
 impl ServeConfig {
@@ -204,7 +220,33 @@ impl ServeConfig {
             paged_kv: None,
             engine_core: EngineCore::default(),
             prefill_chunk_tokens: 16,
+            fault_plan: None,
+            retry: None,
+            degrade: None,
+            prefix_sharing_requested: false,
         }
+    }
+
+    /// Returns a copy injecting the given deterministic fault plan into
+    /// open-loop runs (see [`crate::fault::FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Returns a copy that re-offers worker-aborted attempts through
+    /// admission under the given retry policy.
+    pub fn with_retry(mut self, retry: crate::fault::RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Returns a copy that degrades strategies along
+    /// [`StrategySpec::degraded`] under queue pressure instead of serving
+    /// every request as requested.
+    pub fn with_degrade(mut self, degrade: crate::fault::DegradePolicy) -> Self {
+        self.degrade = Some(degrade);
+        self
     }
 
     /// Returns a copy with the given open-loop scheduling core.
@@ -234,9 +276,10 @@ impl ServeConfig {
     }
 
     /// Enables copy-on-write shared-prefix caching on the paged pool. Call
-    /// after [`ServeConfig::with_paged_kv`]; a no-op on flat backings.
+    /// after [`ServeConfig::with_paged_kv`]; without a paged pool,
+    /// [`ServeConfig::validate`] rejects the configuration.
     pub fn with_prefix_sharing(mut self) -> Self {
-        debug_assert!(self.paged_kv.is_some(), "prefix sharing needs a paged pool");
+        self.prefix_sharing_requested = true;
         if let Some(paged) = &mut self.paged_kv {
             paged.prefix_sharing = true;
         }
@@ -328,6 +371,31 @@ impl ServeConfig {
                     reason: "the pool needs at least one page".to_string(),
                 });
             }
+        }
+        if self.prefix_sharing_requested && self.paged_kv.is_none() {
+            return Err(ServeError::InvalidConfig {
+                field: "paged_kv",
+                reason: "prefix sharing maps copy-on-write *pages*; enable a paged KV \
+                         pool with `with_paged_kv` before `with_prefix_sharing`"
+                    .to_string(),
+            });
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+            if plan.wants_page_loss() && self.paged_kv.is_none() {
+                return Err(ServeError::InvalidConfig {
+                    field: "fault_plan.page_loss_every_s",
+                    reason: "KV page loss needs a paged KV pool to lose pages from; \
+                             flat per-slot caches have no pages"
+                        .to_string(),
+                });
+            }
+        }
+        if let Some(retry) = &self.retry {
+            retry.validate()?;
+        }
+        if let Some(degrade) = &self.degrade {
+            degrade.validate()?;
         }
         self.admission.validate()?;
         self.device.validate()?;
@@ -581,7 +649,9 @@ impl ServeEngine {
             PagedRuntime {
                 registry: PrefixRegistry::new(&pool),
                 pool,
-                prefix_sharing: pk.prefix_sharing,
+                // `||` makes builder order irrelevant: `with_prefix_sharing`
+                // before `with_paged_kv` still enables sharing
+                prefix_sharing: pk.prefix_sharing || config.prefix_sharing_requested,
                 page_size: pk.page_size,
                 pool_pages: pk.pool_pages,
                 committed: 0,
@@ -897,7 +967,15 @@ impl ServeEngine {
                     planned,
                 });
                 step += 1;
-                if planned.prefill_ended || plan.rows.len() >= chunk_limit {
+                if planned.prefill_ended
+                    || plan.rows.len() >= chunk_limit
+                    // a page-loss replay re-serves already-generated
+                    // positions as prefill without ever "ending" prefill;
+                    // once the replayed prompt runs out the next step is a
+                    // decode that must sample fresh logits, so close the
+                    // chunk here instead of running into it
+                    || active[first].prompt_remaining() == 0
+                {
                     break;
                 }
                 if pick_service(scheduler, active, slice.as_deref_mut(), chunk_limit) != Some(first)
@@ -1027,6 +1105,34 @@ impl ServeEngine {
     /// Propagates request validation, strategy construction, model forward
     /// and simulation errors.
     pub fn run(&mut self, requests: Vec<GenRequest>) -> Result<ServeReport> {
+        // Faults, retries and degradation are *events in time*: they need
+        // the open-loop virtual clock (arrival offsets, backoff, queue
+        // pressure). A closed batch has no clock and no queue pressure, so
+        // a configuration carrying them is a category error, not a no-op.
+        if self.config.fault_plan.is_some() {
+            return Err(ServeError::InvalidConfig {
+                field: "fault_plan",
+                reason: "fault injection needs the open-loop virtual clock; \
+                         use run_open_loop for chaos runs"
+                    .to_string(),
+            });
+        }
+        if self.config.retry.is_some() {
+            return Err(ServeError::InvalidConfig {
+                field: "retry",
+                reason: "retry backoff runs on the open-loop virtual clock; \
+                         closed batches cannot re-enqueue"
+                    .to_string(),
+            });
+        }
+        if self.config.degrade.is_some() {
+            return Err(ServeError::InvalidConfig {
+                field: "degrade",
+                reason: "degradation reacts to open-loop queue pressure; \
+                         a closed batch has no admission queue"
+                    .to_string(),
+            });
+        }
         self.validate_requests(&requests)?;
         // a closed batch must drain, so every request must fit the page
         // pool by itself (open-loop traffic sheds such requests instead)
@@ -1373,11 +1479,41 @@ impl ServeEngine {
         // Every request becomes an Arrival event up front; pushing in sorted
         // order means equal-time arrivals pop in id order. The queue also
         // carries one in-flight completion event (spill, reload or service
-        // unit) at a time, so its capacity is fixed for the whole run.
-        let mut events = EventQueue::with_capacity(arrivals.len() + 1);
+        // unit) at a time, plus any seeded deadline and injected fault
+        // events (counted or pushed here, before steady state begins).
+        let n_deadlines = arrivals.iter().filter(|r| r.deadline_s.is_finite()).count();
+        let mut events = EventQueue::with_capacity(arrivals.len() + n_deadlines + 1);
         for (i, r) in arrivals.iter().enumerate() {
             events.push_at(r.arrival_s, EngineEvent::Arrival(i));
         }
+        // Request-declared wall budgets become deadline events on the same
+        // clock (after the arrivals, so an arrival at the same instant pops
+        // first and the deadline finds the request, not a ghost).
+        for r in &arrivals {
+            if r.deadline_s.is_finite() {
+                events.push_at(
+                    r.arrival_s + r.deadline_s,
+                    EngineEvent::DeadlineAt { request: r.id },
+                );
+            }
+        }
+        if let Some(plan) = &self.config.fault_plan {
+            crate::fault::FaultInjector::new(plan).schedule(plan, &arrivals, &mut events);
+        }
+        let retry_policy = self.config.retry;
+        let degrade_policy = self.config.degrade;
+        let slow_lane_factor = self
+            .config
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.slow_lane)
+            .map_or(1.0, |w| w.factor);
+        let mut slow_factor = 1.0f64;
+        let mut fc = FaultCounters::default();
+        let mut deferred: Vec<Event> = Vec::new();
+        let mut pending_retries: Vec<Option<(GenRequest, u32)>> = Vec::new();
+        let mut retry_attempts: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
         let mut inbox: Vec<Option<GenRequest>> = arrivals.into_iter().map(Some).collect();
         let chunk_limit = match self.config.engine_core {
             EngineCore::EventDriven => self.config.prefill_chunk_tokens.min(MAX_PREFILL_CHUNK),
@@ -1406,10 +1542,47 @@ impl ServeEngine {
             t.on_run_start(now);
         }
 
+        // One borrow bundle per fault-application site: the handler needs
+        // most of the driver's state, and an associated fn taking a context
+        // struct keeps the three call sites identical.
+        macro_rules! fault_ctx {
+            () => {
+                FaultCtx {
+                    active: &mut active,
+                    parked: &mut parked,
+                    finished: &mut finished,
+                    metas: &mut metas,
+                    admission: &mut admission,
+                    events: &mut events,
+                    pool: &mut self.pool,
+                    paged: &mut self.paged,
+                    telemetry: &mut self.telemetry,
+                    pending_retries: &mut pending_retries,
+                    retry_attempts: &mut retry_attempts,
+                    fc: &mut fc,
+                    slow_factor: &mut slow_factor,
+                    retry_policy,
+                    slow_lane_factor,
+                    n_layers,
+                }
+            };
+        }
+
         loop {
-            // 1. Fire every event the clock has already passed. Only
-            // arrivals can be due here: completion events are drained at
-            // their own dispatch site, before the clock moves on.
+            // 0. Apply fault events that popped inside the previous
+            // dispatch's drain window. They are deferred to here — a loop
+            // head, where no unit is mid-settlement — and land at the
+            // already-advanced clock, in their pop order.
+            if !deferred.is_empty() {
+                for ev in &deferred {
+                    apply_fault(fault_ctx!(), ev.kind, now);
+                }
+                deferred.clear();
+            }
+
+            // 1. Fire every event the clock has already passed: arrivals
+            // and fault events. Completion events are drained at their own
+            // dispatch site, before the clock moves on.
             while let Some(ev) = events.pop_due(now) {
                 match ev.kind {
                     EngineEvent::Arrival(i) => Self::ingest_arrival(
@@ -1420,7 +1593,12 @@ impl ServeEngine {
                         &mut admission,
                         &mut self.telemetry,
                     ),
-                    _ => debug_assert!(false, "completion events settle at dispatch"),
+                    EngineEvent::SpillDone { .. }
+                    | EngineEvent::ReloadDone { .. }
+                    | EngineEvent::UnitDone { .. } => {
+                        debug_assert!(false, "completion events settle at dispatch");
+                    }
+                    kind => apply_fault(fault_ctx!(), kind, now),
                 }
             }
 
@@ -1473,7 +1651,12 @@ impl ServeEngine {
                             ),
                             // the transfer completion we just scheduled is
                             // what advances the clock
-                            _ => now = now.max(ev.time),
+                            EngineEvent::SpillDone { .. }
+                            | EngineEvent::ReloadDone { .. }
+                            | EngineEvent::UnitDone { .. } => now = now.max(ev.time),
+                            // fault events inside a dispatch window apply at
+                            // the next loop head, never mid-settlement
+                            _ => deferred.push(ev),
                         }
                     }
                     acc.kv_swap_s += swap.latency_s;
@@ -1490,6 +1673,28 @@ impl ServeEngine {
                     }
                     parked.push(session);
                 }
+                // Graceful degradation decision for a queued candidate:
+                // under queue pressure, walk the spec-declared fallback
+                // chain ([`StrategySpec::degraded`]) as far as the policy's
+                // step budget and run-level admissibility (axis agreement
+                // with the resolved layout, calibration availability)
+                // allow. Decided *before* the paged plan so a prefix-hit
+                // lookup keys on the spec the session will actually run —
+                // adopting pages prefilled under a different strategy would
+                // splice mismatched hidden states.
+                let degraded_to: Option<StrategySpec> = match (degrade_policy, candidate) {
+                    (Some(policy), AdmissionCandidate::Queued(i)) => {
+                        let waiting_behind = admission.queue().len().saturating_sub(1);
+                        degrade_spec(
+                            &admission.queue()[i].strategy,
+                            policy.steps_for_depth(waiting_behind),
+                            axes,
+                            self.calibration.is_some(),
+                        )
+                    }
+                    _ => None,
+                };
+
                 // Paged memory gate for the candidate. A resumed session
                 // re-commits its full worst-case footprint: spilling
                 // privatised its pages, so any prefix sharing is gone.
@@ -1497,9 +1702,14 @@ impl ServeEngine {
                     None => None,
                     Some(paged) => {
                         let plan_of = |paged: &PagedRuntime| match candidate {
-                            AdmissionCandidate::Queued(i) => {
-                                paged_plan(paged, n_layers, &admission.queue()[i])
-                            }
+                            AdmissionCandidate::Queued(i) => match degraded_to {
+                                Some(spec) => {
+                                    let mut request = admission.queue()[i].clone();
+                                    request.strategy = spec;
+                                    paged_plan(paged, n_layers, &request)
+                                }
+                                None => paged_plan(paged, n_layers, &admission.queue()[i]),
+                            },
                             AdmissionCandidate::Parked(i) => PagedAdmit {
                                 needed: n_layers
                                     * pages_spanning(
@@ -1561,7 +1771,12 @@ impl ServeEngine {
                                     &mut admission,
                                     &mut self.telemetry,
                                 ),
-                                _ => now = now.max(ev.time),
+                                EngineEvent::SpillDone { .. }
+                                | EngineEvent::ReloadDone { .. }
+                                | EngineEvent::UnitDone { .. } => now = now.max(ev.time),
+                                // fault events inside a dispatch window apply at
+                                // the next loop head, never mid-settlement
+                                _ => deferred.push(ev),
                             }
                         }
                         acc.kv_swap_s += swap.latency_s;
@@ -1577,7 +1792,17 @@ impl ServeEngine {
                         active.push(session);
                     }
                     AdmissionCandidate::Queued(i) => {
-                        let request = admission.take(i);
+                        let mut request = admission.take(i);
+                        let was_degraded = match degraded_to {
+                            Some(spec) => {
+                                request.strategy = spec;
+                                if let Some(t) = self.telemetry.as_deref_mut() {
+                                    t.on_degrade(next_stream, now);
+                                }
+                                true
+                            }
+                            None => false,
+                        };
                         let strategy = factory.instantiate(
                             &request.strategy,
                             &self.model,
@@ -1592,6 +1817,12 @@ impl ServeEngine {
                         }
                         metas.push(OpenMeta::new(request.arrival_s, now));
                         let mut session = Session::new(next_stream, request, step, state, strategy);
+                        session.degraded = was_degraded;
+                        // a request coming back through admission after a
+                        // worker abort carries its attempt count forward
+                        session.attempts = retry_attempts
+                            .remove(&session.request.id)
+                            .unwrap_or(session.attempts);
                         Self::apply_paged_admit(
                             &mut self.paged,
                             &mut self.telemetry,
@@ -1613,19 +1844,37 @@ impl ServeEngine {
                 match events.pop_next() {
                     None => break,
                     Some(ev) => {
-                        // the only events an idle engine can still hold are
-                        // future arrivals: jump the clock to the first one
-                        now = now.max(ev.time);
                         match ev.kind {
-                            EngineEvent::Arrival(i) => Self::ingest_arrival(
-                                &mut inbox,
-                                i,
-                                n_layers,
-                                paged_caps,
-                                &mut admission,
-                                &mut self.telemetry,
-                            ),
-                            _ => debug_assert!(false, "idle queues hold only arrivals"),
+                            // an arrival (or a maturing retry) is real
+                            // traffic: jump the clock to it
+                            EngineEvent::Arrival(i) => {
+                                now = now.max(ev.time);
+                                Self::ingest_arrival(
+                                    &mut inbox,
+                                    i,
+                                    n_layers,
+                                    paged_caps,
+                                    &mut admission,
+                                    &mut self.telemetry,
+                                );
+                            }
+                            EngineEvent::RetryAt { .. } => {
+                                now = now.max(ev.time);
+                                apply_fault(fault_ctx!(), ev.kind, now);
+                            }
+                            EngineEvent::SpillDone { .. }
+                            | EngineEvent::ReloadDone { .. }
+                            | EngineEvent::UnitDone { .. } => {
+                                debug_assert!(false, "idle queues hold no completions");
+                            }
+                            // With nothing active, parked or queued, the
+                            // remaining fault events are stale strikes on
+                            // already-retired requests (or a slow-lane
+                            // toggle with nothing to slow down). They must
+                            // still pop — a pending-retry slot can be
+                            // cancelled here — but a no-op must not stretch
+                            // the makespan, so the clock stays put.
+                            kind => apply_fault(fault_ctx!(), kind, now.max(ev.time)),
                         }
                         continue;
                     }
@@ -1644,13 +1893,16 @@ impl ServeEngine {
                 if let Some(slice) = slice.as_mut() {
                     slice.note(active[idx].stream, planned.was_prefill);
                 }
-                let cost = pricer.price_token(
+                let mut cost = pricer.price_token(
                     active[idx]
                         .trace
                         .tokens
                         .last()
                         .expect("step recorded its token access"),
                 )?;
+                if slow_factor != 1.0 {
+                    cost.latency_s *= slow_factor;
+                }
                 // dispatch: the bus is occupied until `end`; arrivals landing
                 // inside the occupancy are ingested in event order before the
                 // unit settles
@@ -1666,7 +1918,12 @@ impl ServeEngine {
                             &mut admission,
                             &mut self.telemetry,
                         ),
-                        _ => now = now.max(ev.time),
+                        EngineEvent::SpillDone { .. }
+                        | EngineEvent::ReloadDone { .. }
+                        | EngineEvent::UnitDone { .. } => now = now.max(ev.time),
+                        // fault events inside a dispatch window apply at
+                        // the next loop head, never mid-settlement
+                        _ => deferred.push(ev),
                     }
                 }
                 settle_open_loop_token(
@@ -1698,20 +1955,23 @@ impl ServeEngine {
 
                 try_register_prefix(&mut self.paged, &mut active[idx]);
                 if active[idx].remaining_tokens() == 0 {
-                    let mut session = active.swap_remove(idx);
-                    if let Some(paged) = self.paged.as_mut() {
-                        paged.committed -= session.kv_pages_committed;
-                        session.kv_pages_committed = 0;
-                    }
-                    metas[session.stream].completion_s = now;
-                    if let Some(t) = self.telemetry.as_deref_mut() {
-                        let (generated, ttft_s, tbt_s, delay_s, slo) =
-                            completion_stats(&session, &metas[session.stream]);
-                        t.on_complete(session.stream, generated, ttft_s, tbt_s, delay_s, slo, now);
-                    }
-                    let state = take_state(&mut session);
-                    self.pool.release(state);
-                    finished.push(session);
+                    let session = active.swap_remove(idx);
+                    let finish = if session.token_capped() {
+                        FinishReason::Cancelled
+                    } else {
+                        FinishReason::Completed
+                    };
+                    retire_open_session(
+                        session,
+                        finish,
+                        now,
+                        &mut self.paged,
+                        &mut self.pool,
+                        &mut self.telemetry,
+                        &mut metas,
+                        &mut finished,
+                        &mut fc,
+                    );
                 }
             } else {
                 // Batch extension is only allowed while no *un-ingested*
@@ -1747,7 +2007,10 @@ impl ServeEngine {
                 let mut end = now;
                 for i in 0..rows_n {
                     let access = to_token_access_batch_row(&self.batch.accesses, i);
-                    let cost = pricer.price_token(&access)?;
+                    let mut cost = pricer.price_token(&access)?;
+                    if slow_factor != 1.0 {
+                        cost.latency_s *= slow_factor;
+                    }
                     end += cost.latency_s;
                     self.exec.priced.push((cost, end));
                     row_accesses.push(access);
@@ -1763,7 +2026,12 @@ impl ServeEngine {
                             &mut admission,
                             &mut self.telemetry,
                         ),
-                        _ => now = now.max(ev.time),
+                        EngineEvent::SpillDone { .. }
+                        | EngineEvent::ReloadDone { .. }
+                        | EngineEvent::UnitDone { .. } => now = now.max(ev.time),
+                        // fault events inside a dispatch window apply at
+                        // the next loop head, never mid-settlement
+                        _ => deferred.push(ev),
                     }
                 }
                 // settlement: each position lands at its own recorded time
@@ -1810,28 +2078,31 @@ impl ServeEngine {
                 }
                 let last_idx = self.plan.rows[rows_n - 1].idx;
                 if active[last_idx].remaining_tokens() == 0 {
-                    let mut session = active.swap_remove(last_idx);
-                    if let Some(paged) = self.paged.as_mut() {
-                        paged.committed -= session.kv_pages_committed;
-                        session.kv_pages_committed = 0;
-                    }
-                    metas[session.stream].completion_s = now;
-                    if let Some(t) = self.telemetry.as_deref_mut() {
-                        let (generated, ttft_s, tbt_s, delay_s, slo) =
-                            completion_stats(&session, &metas[session.stream]);
-                        t.on_complete(session.stream, generated, ttft_s, tbt_s, delay_s, slo, now);
-                    }
-                    let state = take_state(&mut session);
-                    self.pool.release(state);
-                    finished.push(session);
+                    let session = active.swap_remove(last_idx);
+                    let finish = if session.token_capped() {
+                        FinishReason::Cancelled
+                    } else {
+                        FinishReason::Completed
+                    };
+                    retire_open_session(
+                        session,
+                        finish,
+                        now,
+                        &mut self.paged,
+                        &mut self.pool,
+                        &mut self.telemetry,
+                        &mut metas,
+                        &mut finished,
+                        &mut fc,
+                    );
                 }
             }
         }
 
         debug_assert_eq!(
             admission.stats().admitted,
-            finished.len(),
-            "every admitted request drains"
+            finished.len() + fc.withdrawn + fc.retries,
+            "every admitted request drains, is withdrawn, or is re-queued for retry"
         );
         self.publish_paged_telemetry();
         if let Some(t) = self.telemetry.as_deref_mut() {
@@ -1848,15 +2119,17 @@ impl ServeEngine {
                 self.batch.pack_builds,
             );
         }
-        Ok(self.build_open_loop_report(finished, metas, admission, acc, now))
+        Ok(self.build_open_loop_report(finished, metas, admission, acc, fc, now))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_open_loop_report(
         &self,
         mut finished: Vec<Session>,
         metas: Vec<OpenMeta>,
         admission: AdmissionController,
         acc: OpenAccum,
+        fc: FaultCounters,
         makespan_s: f64,
     ) -> ServeReport {
         finished.sort_by_key(|s| s.stream);
@@ -1874,9 +2147,11 @@ impl ServeEngine {
             let generated_ids = std::mem::take(&mut s.generated);
             let generated = generated_ids.len();
             total_generated += generated;
-            // count *served* prefill tokens: a mapped shared prefix was
-            // never forwarded, so it must not inflate the token timeline
-            total_prefill += s.request.prompt.len() - s.prefix_tokens_skipped();
+            // count *served* prefill tokens: a mapped shared prefix was never
+            // forwarded (and must not inflate the token timeline), while a
+            // page-loss replay re-serves positions and must count each pass —
+            // the recorded trace holds exactly the forwarded steps
+            total_prefill += s.trace.n_tokens() - generated;
             let ttft_s = if generated > 0 {
                 meta.first_token_s - meta.arrival_s
             } else {
@@ -1932,6 +2207,9 @@ impl ServeEngine {
                 },
                 flash_bytes: meta.flash_bytes,
                 dram_bytes: meta.dram_bytes,
+                finish: s.finish,
+                degraded: s.degraded,
+                attempts: s.attempts,
             });
         }
 
@@ -1952,7 +2230,14 @@ impl ServeEngine {
                     arrived: stats.arrived_per_tier[i],
                     admitted: stats.arrived_per_tier[i] - stats.shed_per_tier[i],
                     shed: stats.shed_per_tier[i],
-                    completed: in_tier.len(),
+                    completed: in_tier
+                        .iter()
+                        .filter(|r| r.finish == FinishReason::Completed)
+                        .count(),
+                    cancelled: fc.cancelled_per_tier[i],
+                    expired: fc.expired_per_tier[i],
+                    failed: fc.failed_per_tier[i],
+                    degraded: in_tier.iter().filter(|r| r.degraded).count(),
                     preemptions: in_tier.iter().map(|r| r.preemptions).sum(),
                     ttft: Percentiles::of(&tier_ttfts),
                     queue_delay: Percentiles::of(&tier_delays),
@@ -2006,7 +2291,17 @@ impl ServeEngine {
             shed_tier_quota: stats.shed_tier_quota,
             shed_queue_full: stats.shed_queue_full,
             shed_memory: stats.shed_memory,
-            completed: finished.len(),
+            completed: request_stats
+                .iter()
+                .filter(|r| r.finish == FinishReason::Completed)
+                .count(),
+            cancelled: fc.cancelled,
+            deadline_expired: fc.deadline_expired,
+            failed: fc.failed,
+            retries: fc.retries,
+            degraded_sessions: request_stats.iter().filter(|r| r.degraded).count(),
+            kv_pages_lost: fc.kv_pages_lost,
+            kv_refill_tokens: fc.kv_refill_tokens,
             preemptions: acc.preemptions,
             resumes: acc.resumes,
             kv_swap_s: acc.kv_swap_s,
@@ -2152,6 +2447,13 @@ impl ServeEngine {
                 hit_rate: stream_stats.hit_rate,
                 flash_bytes: stream_stats.flash_bytes,
                 dram_bytes: stream_stats.dram_bytes,
+                finish: if s.token_capped() {
+                    FinishReason::Cancelled
+                } else {
+                    FinishReason::Completed
+                },
+                degraded: s.degraded,
+                attempts: s.attempts,
             });
         }
 
@@ -2322,6 +2624,375 @@ fn take_state(session: &mut Session) -> lm::DecodeState {
     )
 }
 
+/// Run-scoped fault accounting. Every arrival ends exactly one way, so at
+/// drain `arrived = shed + completed + cancelled + deadline_expired +
+/// failed`, while `admitted = finished + withdrawn + retries` holds at the
+/// attempt level (each abort-and-retry consumed one prior admission, each
+/// queued-request withdrawal one pending admission).
+#[derive(Default)]
+struct FaultCounters {
+    /// Requests retired as [`FinishReason::Cancelled`] (injected client
+    /// cancellations and patience-capped completions).
+    cancelled: usize,
+    /// Requests retired as [`FinishReason::DeadlineExpired`].
+    deadline_expired: usize,
+    /// Requests retired as [`FinishReason::Failed`].
+    failed: usize,
+    /// Worker aborts re-offered through admission with backoff.
+    retries: usize,
+    /// Cancellations/expiries that struck a request still in the waiting
+    /// queue (withdrawn before ever holding a KV slot — no session row).
+    withdrawn: usize,
+    /// Paged-KV pages invalidated by page-loss faults, across layers.
+    kv_pages_lost: usize,
+    /// Tokens queued for re-prefill to rebuild lost pages.
+    kv_refill_tokens: usize,
+    cancelled_per_tier: [usize; 3],
+    expired_per_tier: [usize; 3],
+    failed_per_tier: [usize; 3],
+}
+
+/// The borrow bundle a fault handler needs: most of the open-loop driver's
+/// mutable state. Built by the driver's `fault_ctx!` macro at each of the
+/// three application sites (loop head, due-event drain, idle wait).
+struct FaultCtx<'a> {
+    active: &'a mut Vec<Session>,
+    parked: &'a mut Vec<Session>,
+    finished: &'a mut Vec<Session>,
+    metas: &'a mut Vec<OpenMeta>,
+    admission: &'a mut AdmissionController,
+    events: &'a mut EventQueue,
+    pool: &'a mut DecodeStatePool,
+    paged: &'a mut Option<PagedRuntime>,
+    telemetry: &'a mut Option<Box<EngineTelemetry>>,
+    pending_retries: &'a mut Vec<Option<(GenRequest, u32)>>,
+    retry_attempts: &'a mut std::collections::HashMap<u64, u32>,
+    fc: &'a mut FaultCounters,
+    slow_factor: &'a mut f64,
+    retry_policy: Option<RetryPolicy>,
+    slow_lane_factor: f64,
+    n_layers: usize,
+}
+
+/// Retires an open-loop session (normal completion or fault) with uniform
+/// cleanup: paged commitment released (a parked victim already spilled its
+/// pages and holds none, so nothing double-releases), completion stamped,
+/// telemetry notified, decode state returned to the pool, counters updated.
+#[allow(clippy::too_many_arguments)]
+fn retire_open_session(
+    mut session: Session,
+    finish: FinishReason,
+    now: f64,
+    paged: &mut Option<PagedRuntime>,
+    pool: &mut DecodeStatePool,
+    telemetry: &mut Option<Box<EngineTelemetry>>,
+    metas: &mut [OpenMeta],
+    finished: &mut Vec<Session>,
+    fc: &mut FaultCounters,
+) {
+    session.finish = finish;
+    if let Some(paged) = paged.as_mut() {
+        paged.committed -= session.kv_pages_committed;
+        session.kv_pages_committed = 0;
+    }
+    metas[session.stream].completion_s = now;
+    let tier = session.request.tier.index();
+    match finish {
+        FinishReason::Completed => {
+            if let Some(t) = telemetry.as_deref_mut() {
+                let (generated, ttft_s, tbt_s, delay_s, slo) =
+                    completion_stats(&session, &metas[session.stream]);
+                t.on_complete(session.stream, generated, ttft_s, tbt_s, delay_s, slo, now);
+            }
+        }
+        FinishReason::Cancelled => {
+            fc.cancelled += 1;
+            fc.cancelled_per_tier[tier] += 1;
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.on_fault_finish(finish, now);
+            }
+        }
+        FinishReason::DeadlineExpired => {
+            fc.deadline_expired += 1;
+            fc.expired_per_tier[tier] += 1;
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.on_fault_finish(finish, now);
+            }
+        }
+        FinishReason::Failed => {
+            fc.failed += 1;
+            fc.failed_per_tier[tier] += 1;
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.on_fault_finish(finish, now);
+            }
+        }
+    }
+    let state = take_state(&mut session);
+    pool.release(state);
+    finished.push(session);
+}
+
+/// Walks `spec` down its fallback chain ([`StrategySpec::degraded`]) by at
+/// most `steps`, stopping at the last step admissible under this run's
+/// fixed layout: every declared axis requirement must match the resolved
+/// `axes`, and a step that needs calibration is only admissible when the
+/// engine holds a trace. Returns `None` when no admissible step exists (the
+/// candidate runs as requested).
+fn degrade_spec(
+    spec: &StrategySpec,
+    steps: usize,
+    axes: [lm::SliceAxis; 3],
+    has_calibration: bool,
+) -> Option<StrategySpec> {
+    let mut current = *spec;
+    let mut adopted = None;
+    for _ in 0..steps {
+        let Some(next) = current.degraded() else {
+            break;
+        };
+        let axes_ok = next
+            .axis_requirements()
+            .iter()
+            .zip(axes.iter())
+            .all(|(req, axis)| req.is_none() || *req == Some(*axis));
+        if !axes_ok || (next.needs_calibration() && !has_calibration) {
+            break;
+        }
+        adopted = Some(next);
+        current = next;
+    }
+    adopted
+}
+
+/// Applies one fault event at virtual time `at`. Fault events are routed
+/// here from every site that pops them; completion events and arrivals
+/// never reach this function.
+fn apply_fault(ctx: FaultCtx<'_>, kind: EngineEvent, at: f64) {
+    match kind {
+        EngineEvent::CancelAt { request } => {
+            cancel_or_expire(ctx, request, FinishReason::Cancelled, at);
+        }
+        EngineEvent::DeadlineAt { request } => {
+            cancel_or_expire(ctx, request, FinishReason::DeadlineExpired, at);
+        }
+        EngineEvent::AbortAt { request } => abort_session(ctx, request, at),
+        EngineEvent::PageLossAt { draw } => page_loss(ctx, draw, at),
+        EngineEvent::SlowLane { on } => {
+            *ctx.slow_factor = if on { ctx.slow_lane_factor } else { 1.0 };
+        }
+        EngineEvent::RetryAt { slot } => retry_matures(ctx, slot, at),
+        EngineEvent::Arrival(_)
+        | EngineEvent::SpillDone { .. }
+        | EngineEvent::ReloadDone { .. }
+        | EngineEvent::UnitDone { .. } => {
+            debug_assert!(false, "only fault events route to apply_fault");
+        }
+    }
+}
+
+/// A client cancellation or deadline expiry strikes request `request`,
+/// wherever it currently lives: still queued (withdrawn, counted, no
+/// session row), active, parked (its spilled state is reclaimed from the
+/// pool's parked set), or backing off toward a retry. A request that
+/// already finished makes the event a stale no-op.
+fn cancel_or_expire(ctx: FaultCtx<'_>, request: u64, finish: FinishReason, at: f64) {
+    if let Some(req) = ctx.admission.withdraw(request) {
+        ctx.fc.withdrawn += 1;
+        let tier = req.tier.index();
+        match finish {
+            FinishReason::Cancelled => {
+                ctx.fc.cancelled += 1;
+                ctx.fc.cancelled_per_tier[tier] += 1;
+            }
+            _ => {
+                ctx.fc.deadline_expired += 1;
+                ctx.fc.expired_per_tier[tier] += 1;
+            }
+        }
+        if let Some(t) = ctx.telemetry.as_deref_mut() {
+            t.on_fault_finish(finish, at);
+        }
+        return;
+    }
+    if let Some(idx) = ctx.active.iter().position(|s| s.request.id == request) {
+        let session = ctx.active.swap_remove(idx);
+        retire_open_session(
+            session,
+            finish,
+            at,
+            ctx.paged,
+            ctx.pool,
+            ctx.telemetry,
+            ctx.metas,
+            ctx.finished,
+            ctx.fc,
+        );
+        return;
+    }
+    if let Some(idx) = ctx.parked.iter().position(|s| s.request.id == request) {
+        let mut session = ctx.parked.swap_remove(idx);
+        // reclaim the spilled state so the pool's parked set cannot leak
+        session.state = ctx
+            .pool
+            .resume(session.stream as u64)
+            .expect("parked session has a parked state");
+        retire_open_session(
+            session,
+            finish,
+            at,
+            ctx.paged,
+            ctx.pool,
+            ctx.telemetry,
+            ctx.metas,
+            ctx.finished,
+            ctx.fc,
+        );
+        return;
+    }
+    if let Some(slot) = ctx
+        .pending_retries
+        .iter()
+        .position(|p| p.as_ref().is_some_and(|(r, _)| r.id == request))
+    {
+        // the strike lands mid-backoff: the retry never re-admits (its
+        // RetryAt event will find an empty slot and no-op)
+        let (req, _) = ctx.pending_retries[slot].take().expect("slot just matched");
+        ctx.retry_attempts.remove(&request);
+        let tier = req.tier.index();
+        match finish {
+            FinishReason::Cancelled => {
+                ctx.fc.cancelled += 1;
+                ctx.fc.cancelled_per_tier[tier] += 1;
+            }
+            _ => {
+                ctx.fc.deadline_expired += 1;
+                ctx.fc.expired_per_tier[tier] += 1;
+            }
+        }
+        if let Some(t) = ctx.telemetry.as_deref_mut() {
+            t.on_fault_finish(finish, at);
+        }
+    }
+}
+
+/// A transient worker failure aborts request `request`'s *active* session
+/// (queued or parked requests have no worker to abort — stale no-op). When
+/// a [`RetryPolicy`] has attempts left the session is destroyed and its
+/// request re-enters admission after an exponential backoff; otherwise it
+/// retires as [`FinishReason::Failed`].
+fn abort_session(ctx: FaultCtx<'_>, request: u64, at: f64) {
+    let Some(idx) = ctx.active.iter().position(|s| s.request.id == request) else {
+        return;
+    };
+    let retryable = ctx
+        .retry_policy
+        .is_some_and(|p| ctx.active[idx].attempts < p.max_attempts);
+    if !retryable {
+        let session = ctx.active.swap_remove(idx);
+        retire_open_session(
+            session,
+            FinishReason::Failed,
+            at,
+            ctx.paged,
+            ctx.pool,
+            ctx.telemetry,
+            ctx.metas,
+            ctx.finished,
+            ctx.fc,
+        );
+        return;
+    }
+    let mut session = ctx.active.swap_remove(idx);
+    if let Some(paged) = ctx.paged.as_mut() {
+        paged.committed -= session.kv_pages_committed;
+        session.kv_pages_committed = 0;
+    }
+    let state = take_state(&mut session);
+    ctx.pool.release(state);
+    let attempts = session.attempts;
+    let policy = ctx.retry_policy.expect("retryable implies a policy");
+    ctx.fc.retries += 1;
+    // the re-admitted session picks its attempt count up here; the
+    // destroyed attempt's meta stays orphaned (no report row is built
+    // for it — the retry gets a fresh stream and meta)
+    ctx.retry_attempts.insert(request, attempts + 1);
+    let slot = match ctx.pending_retries.iter().position(Option::is_none) {
+        Some(free) => free,
+        None => {
+            ctx.pending_retries.push(None);
+            ctx.pending_retries.len() - 1
+        }
+    };
+    ctx.pending_retries[slot] = Some((session.request, attempts + 1));
+    ctx.events.push_at(
+        at + policy.backoff_s(attempts),
+        EngineEvent::RetryAt { slot },
+    );
+    if let Some(t) = ctx.telemetry.as_deref_mut() {
+        t.on_retry(at);
+    }
+}
+
+/// A paged-KV page-loss fault strikes. The victim is picked
+/// deterministically (`draw % eligible`) among active paged sessions that
+/// hold context beyond their adopted shared prefix; it rewinds to its last
+/// whole page boundary — never below the adopted prefix, whose pages are
+/// mapped, not owned — and re-prefills the lost suffix through the
+/// ordinary serve path (bitwise-identical KV, so outputs are unchanged;
+/// the fault costs time, not correctness). With flat backing or no
+/// eligible session the event is a no-op.
+fn page_loss(ctx: FaultCtx<'_>, draw: u64, at: f64) {
+    let Some(paged) = ctx.paged.as_mut() else {
+        return;
+    };
+    let ps = paged.page_size;
+    let eligible = |s: &Session| s.state.pos > s.prefix_tokens_skipped();
+    let n_eligible = ctx.active.iter().filter(|s| eligible(s)).count();
+    if n_eligible == 0 {
+        return;
+    }
+    let pick = (draw % n_eligible as u64) as usize;
+    let idx = ctx
+        .active
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| eligible(s))
+        .nth(pick)
+        .map(|(i, _)| i)
+        .expect("pick < n_eligible");
+    let session = &mut ctx.active[idx];
+    let old_pos = session.state.pos;
+    let new_pos = (((old_pos - 1) / ps) * ps).max(session.prefix_tokens_skipped());
+    let lost_tokens = session.rewind_for_refill(new_pos);
+    let pages = ctx.n_layers * (pages_spanning(old_pos, ps) - pages_spanning(new_pos, ps));
+    ctx.fc.kv_pages_lost += pages;
+    ctx.fc.kv_refill_tokens += lost_tokens;
+    if let Some(t) = ctx.telemetry.as_deref_mut() {
+        t.on_page_loss(session.stream, pages, lost_tokens, at);
+    }
+}
+
+/// A backed-off retry matures: re-offer the request parked in `slot`
+/// through admission. The slot is empty when a cancellation or expiry
+/// struck during the backoff — then the event is a stale no-op. Admission
+/// may still reject the re-offer (rate limit, quota, bounded queue); a
+/// rejected retry retires as [`FinishReason::Failed`] with no session row.
+fn retry_matures(ctx: FaultCtx<'_>, slot: usize, at: f64) {
+    let Some((request, _)) = ctx.pending_retries.get_mut(slot).and_then(Option::take) else {
+        return;
+    };
+    let id = request.id;
+    let tier = request.tier.index();
+    if ctx.admission.reoffer(request, at).is_some() {
+        ctx.retry_attempts.remove(&id);
+        ctx.fc.failed += 1;
+        ctx.fc.failed_per_tier[tier] += 1;
+        if let Some(t) = ctx.telemetry.as_deref_mut() {
+            t.on_fault_finish(FinishReason::Failed, at);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2367,6 +3038,160 @@ mod tests {
         let mut bad = ServeConfig::new(device);
         bad.bits_per_weight = 0.0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn robustness_configs_are_validated() {
+        use crate::fault::{DegradePolicy, FaultPlan, RetryPolicy};
+        let device = DeviceConfig::apple_a18(4.0);
+        // prefix sharing maps pages; without a paged pool it is a typed error
+        assert!(matches!(
+            ServeConfig::new(device.clone())
+                .with_prefix_sharing()
+                .validate(),
+            Err(ServeError::InvalidConfig {
+                field: "paged_kv",
+                ..
+            })
+        ));
+        // ...and the same request with a pool validates
+        assert!(ServeConfig::new(device.clone())
+            .with_paged_kv(16, 64)
+            .with_prefix_sharing()
+            .validate()
+            .is_ok());
+        // builder order must not matter: sharing requested first still
+        // reaches the paged runtime
+        assert!(ServeConfig::new(device.clone())
+            .with_prefix_sharing()
+            .with_paged_kv(16, 64)
+            .validate()
+            .is_ok());
+        // page-loss faults need a paged pool to lose pages from
+        let mut plan = FaultPlan::none();
+        plan.page_loss_every_s = 1.0;
+        plan.page_loss_horizon_s = 10.0;
+        assert!(matches!(
+            ServeConfig::new(device.clone())
+                .with_fault_plan(plan.clone())
+                .validate(),
+            Err(ServeError::InvalidConfig {
+                field: "fault_plan.page_loss_every_s",
+                ..
+            })
+        ));
+        assert!(ServeConfig::new(device.clone())
+            .with_paged_kv(16, 64)
+            .with_fault_plan(plan)
+            .validate()
+            .is_ok());
+        // rates must be probabilities
+        let mut bad = FaultPlan::none();
+        bad.cancel_rate = 1.5;
+        assert!(ServeConfig::new(device.clone())
+            .with_fault_plan(bad)
+            .validate()
+            .is_err());
+        // retry and degrade bounds are typed errors too
+        assert!(matches!(
+            ServeConfig::new(device.clone())
+                .with_retry(RetryPolicy {
+                    max_attempts: 0,
+                    backoff_base_s: 1.0,
+                })
+                .validate(),
+            Err(ServeError::InvalidConfig {
+                field: "retry.max_attempts",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ServeConfig::new(device)
+                .with_degrade(DegradePolicy {
+                    queue_depth_threshold: 0,
+                    max_steps: 1,
+                })
+                .validate(),
+            Err(ServeError::InvalidConfig {
+                field: "degrade.queue_depth_threshold",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn closed_batches_reject_time_domain_robustness_knobs() {
+        let mut engine = tiny_engine(2, 0.6);
+        engine.config.fault_plan = Some(crate::fault::FaultPlan::none());
+        assert!(matches!(
+            engine.run(dense_requests(1, 2, 2)),
+            Err(ServeError::InvalidConfig {
+                field: "fault_plan",
+                ..
+            })
+        ));
+        engine.config.fault_plan = None;
+        engine.config.retry = Some(crate::fault::RetryPolicy {
+            max_attempts: 2,
+            backoff_base_s: 0.5,
+        });
+        assert!(matches!(
+            engine.run(dense_requests(1, 2, 2)),
+            Err(ServeError::InvalidConfig { field: "retry", .. })
+        ));
+        engine.config.retry = None;
+        engine.config.degrade = Some(crate::fault::DegradePolicy {
+            queue_depth_threshold: 1,
+            max_steps: 1,
+        });
+        assert!(matches!(
+            engine.run(dense_requests(1, 2, 2)),
+            Err(ServeError::InvalidConfig {
+                field: "degrade",
+                ..
+            })
+        ));
+        engine.config.degrade = None;
+        assert!(engine.run(dense_requests(1, 2, 2)).is_ok());
+    }
+
+    #[test]
+    fn queue_pressure_degrades_along_the_fallback_chain() {
+        let mut engine = tiny_engine(1, 0.6);
+        engine.config.degrade = Some(crate::fault::DegradePolicy {
+            queue_depth_threshold: 1,
+            max_steps: 2,
+        });
+        // four simultaneous arrivals on one slot: the first admissions see
+        // deep queues and degrade, the last sees an empty queue and runs as
+        // requested
+        let arrivals: Vec<GenRequest> = (0..4)
+            .map(|i| GenRequest::new(i, vec![1, 2, 3], 3, StrategySpec::Dense))
+            .collect();
+        let report = engine.run_open_loop_requests(arrivals).unwrap();
+        let ol = report.open_loop.as_ref().unwrap();
+        assert!(ol.degraded_sessions > 0, "queue pressure must degrade");
+        assert!(
+            ol.degraded_sessions < ol.completed,
+            "an uncontended admission must run as requested"
+        );
+        let degraded: Vec<_> = report.requests.iter().filter(|r| r.degraded).collect();
+        assert_eq!(degraded.len(), ol.degraded_sessions);
+        for r in &degraded {
+            assert!(
+                r.strategy.starts_with("dip@"),
+                "dense degrades into DIP, got {}",
+                r.strategy
+            );
+        }
+        let tier_total: usize = ol.tiers.iter().map(|t| t.degraded).sum();
+        assert_eq!(tier_total, ol.degraded_sessions);
+        // every request still drains to completion
+        assert_eq!(ol.arrived, ol.shed + ol.completed);
+        for r in &report.requests {
+            assert_eq!(r.finish, FinishReason::Completed);
+            assert_eq!(r.generated_tokens, 3);
+        }
     }
 
     #[test]

@@ -12,6 +12,15 @@
 //! occupies the memory bus; the clock only advances when one of those
 //! events is popped, and arrivals landing inside a bus occupancy are
 //! ingested at their own position in the order (see DESIGN.md §16).
+//!
+//! Fault injection ([`crate::fault`]) rides the same heap: cancellations,
+//! deadlines, aborts, page losses, slow-lane windows and retry maturities
+//! are ordinary `(time, seq)` events, so a seeded fault schedule replays
+//! exactly and the determinism argument is unchanged (see DESIGN.md §17).
+//! Only [`EventKind::Arrival`] counts toward `arrivals_pending`; fault
+//! events never do, so the batch planner's multi-token guard — and with it
+//! the fault-free engine's event order — is untouched by this module's
+//! extension.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -36,6 +45,52 @@ pub enum EventKind {
     UnitDone {
         /// Schedule positions the unit served.
         tokens: usize,
+    },
+    /// Fault injection: the client cancels request `request`. Fires whether
+    /// the request is queued, active or parked; if it already finished the
+    /// event is a stale no-op. Never counted in `arrivals_pending`.
+    CancelAt {
+        /// Request id (`GenRequest::id`) of the cancelled request.
+        request: u64,
+    },
+    /// Fault injection or per-request budget: request `request`'s wall-clock
+    /// deadline expires. Stale if the request already finished. Never counted
+    /// in `arrivals_pending`.
+    DeadlineAt {
+        /// Request id of the expiring request.
+        request: u64,
+    },
+    /// Fault injection: a transient worker failure aborts request
+    /// `request`'s session. Unlike [`EventKind::CancelAt`] the work is
+    /// retryable — the engine re-offers it through admission if a
+    /// `RetryPolicy` allows. Never counted in `arrivals_pending`.
+    AbortAt {
+        /// Request id of the aborted request.
+        request: u64,
+    },
+    /// Fault injection: a paged-KV page is invalidated. `draw` picks the
+    /// victim deterministically among the then-active paged sessions
+    /// (`draw % eligible`); with no eligible session the event is a no-op.
+    /// Never counted in `arrivals_pending`.
+    PageLossAt {
+        /// Seeded random draw used for deterministic victim selection.
+        draw: u64,
+    },
+    /// Fault injection: the engine enters (`on = true`) or leaves
+    /// (`on = false`) a slow-lane window during which every dispatched
+    /// unit's latency is multiplied by the plan's straggler factor. Never
+    /// counted in `arrivals_pending`.
+    SlowLane {
+        /// Whether the slow-lane window opens or closes.
+        on: bool,
+    },
+    /// A backed-off retry matures: re-offer the request parked in retry
+    /// slot `slot` through admission. Never counted in `arrivals_pending` —
+    /// a retry is not a new arrival. (The slot indexes the engine's
+    /// pending-retry table, not the arrival vector.)
+    RetryAt {
+        /// Index into the engine's pending-retry slots.
+        slot: usize,
     },
 }
 

@@ -1,0 +1,588 @@
+//! Deterministic fault injection and lifecycle-hardening policies.
+//!
+//! Real fleets are defined by how they fail: clients hang up, deadlines
+//! expire, workers die mid-decode, memory gets reclaimed underneath a
+//! session, and stragglers stretch a lane's service time. This module makes
+//! those failures *first-class and reproducible*: a [`FaultPlan`] is a
+//! seeded description of a fault schedule, and a [`FaultInjector`] expands
+//! it into typed events on the engine's [`EventQueue`] —
+//! the same `(time, seq)` heap that orders arrivals and service
+//! completions. Because every draw comes from one `StdRng` seeded by
+//! `FaultPlan::seed`, and the expansion touches nothing else, a chaos run
+//! is exactly as deterministic as a fault-free one: the event order is a
+//! pure function of `(model, config, requests, plan)` and any schedule
+//! replays bitwise (see DESIGN.md §17).
+//!
+//! The fault taxonomy:
+//!
+//! * **Client cancel** ([`EventKind::CancelAt`]) — the user hangs up. The
+//!   session retires as [`FinishReason::Cancelled`](crate::FinishReason)
+//!   and is *not* retried (there is nobody left to answer).
+//! * **Deadline expiry** ([`EventKind::DeadlineAt`]) — a per-request wall
+//!   budget from arrival runs out, either from the request's own
+//!   `deadline_s` or injected by the plan. Retires as `DeadlineExpired`.
+//! * **Abort** ([`EventKind::AbortAt`]) — a transient worker failure kills
+//!   the session. The work is retryable: with a [`RetryPolicy`] the engine
+//!   re-offers the request through admission after virtual-time exponential
+//!   backoff; once attempts are exhausted it retires as `Failed`.
+//! * **KV page loss** ([`EventKind::PageLossAt`]) — a paged-KV page is
+//!   invalidated. The deterministic victim rewinds to its last whole page
+//!   boundary (never below its shared prefix) and re-prefills the lost
+//!   suffix; outputs are unchanged (recomputed KV is bitwise identical),
+//!   only timing shifts.
+//! * **Slow lane** ([`EventKind::SlowLane`]) — a straggler window during
+//!   which every dispatched unit's latency is multiplied by
+//!   [`SlowLaneWindow::factor`].
+//!
+//! [`RetryPolicy`] and [`DegradePolicy`] are not faults but the hardening
+//! levers evaluated against them: bounded retry with exponential backoff,
+//! and graceful strategy degradation along the spec-declared fallback chain
+//! ([`StrategySpec::degraded`](dip_core::spec::StrategySpec::degraded))
+//! instead of shedding under queue pressure.
+
+use crate::error::{Result, ServeError};
+use crate::event::{EventKind, EventQueue};
+use crate::request::GenRequest;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A straggler window: between `start_s` and `start_s + duration_s` every
+/// dispatched unit's latency is multiplied by `factor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowLaneWindow {
+    /// Virtual-time start of the window (seconds).
+    pub start_s: f64,
+    /// Window length (seconds).
+    pub duration_s: f64,
+    /// Latency multiplier applied while the window is open (> 0; values
+    /// above 1 model a straggler, below 1 a burst of headroom).
+    pub factor: f64,
+}
+
+/// A seeded, replayable fault schedule.
+///
+/// Rates are per-request probabilities in `[0, 1]`; windows bound the
+/// offset after a request's arrival at which its fault fires. Page loss is
+/// a Poisson process with mean gap [`FaultPlan::page_loss_every_s`] over
+/// `[0, page_loss_horizon_s]`. All draws come from one RNG seeded by
+/// [`FaultPlan::seed`], so the expanded schedule is a pure function of the
+/// plan and the arrival vector.
+///
+/// An empty plan ([`FaultPlan::none`]) expands to zero events and the
+/// engine's report is bitwise identical to a run without a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the injector's private RNG (independent of the engine RNG).
+    pub seed: u64,
+    /// Per-request probability that the client cancels.
+    pub cancel_rate: f64,
+    /// A drawn cancel fires uniformly within this many seconds of arrival.
+    pub cancel_window_s: f64,
+    /// Per-request probability of an injected deadline.
+    pub deadline_rate: f64,
+    /// An injected deadline expires uniformly within this many seconds of
+    /// arrival.
+    pub deadline_window_s: f64,
+    /// Per-request probability of a transient worker abort.
+    pub abort_rate: f64,
+    /// A drawn abort fires uniformly within this many seconds of arrival.
+    pub abort_window_s: f64,
+    /// Mean gap between paged-KV page-loss events (seconds; 0 disables).
+    pub page_loss_every_s: f64,
+    /// Horizon over which page-loss events are drawn (seconds).
+    pub page_loss_horizon_s: f64,
+    /// Optional straggler window.
+    pub slow_lane: Option<SlowLaneWindow>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, expands to zero events.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            cancel_rate: 0.0,
+            cancel_window_s: 0.0,
+            deadline_rate: 0.0,
+            deadline_window_s: 0.0,
+            abort_rate: 0.0,
+            abort_window_s: 0.0,
+            page_loss_every_s: 0.0,
+            page_loss_horizon_s: 0.0,
+            slow_lane: None,
+        }
+    }
+
+    /// Whether the plan can produce any fault event at all.
+    pub fn is_empty(&self) -> bool {
+        self.cancel_rate == 0.0
+            && self.deadline_rate == 0.0
+            && self.abort_rate == 0.0
+            && self.page_loss_every_s == 0.0
+            && self.slow_lane.is_none()
+    }
+
+    /// Whether the plan can inject page-loss events (which require the
+    /// engine to run with paged KV).
+    pub fn wants_page_loss(&self) -> bool {
+        self.page_loss_every_s > 0.0 && self.page_loss_horizon_s > 0.0
+    }
+
+    /// Validates rates, windows and the slow-lane factor.
+    pub fn validate(&self) -> Result<()> {
+        let prob = |name: &'static str, v: f64| -> Result<()> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ServeError::InvalidConfig {
+                    field: name,
+                    reason: format!("must be a probability in [0, 1], got {v}"),
+                });
+            }
+            Ok(())
+        };
+        let span = |name: &'static str, v: f64| -> Result<()> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    field: name,
+                    reason: format!("must be finite and >= 0, got {v}"),
+                });
+            }
+            Ok(())
+        };
+        prob("fault_plan.cancel_rate", self.cancel_rate)?;
+        prob("fault_plan.deadline_rate", self.deadline_rate)?;
+        prob("fault_plan.abort_rate", self.abort_rate)?;
+        span("fault_plan.cancel_window_s", self.cancel_window_s)?;
+        span("fault_plan.deadline_window_s", self.deadline_window_s)?;
+        span("fault_plan.abort_window_s", self.abort_window_s)?;
+        span("fault_plan.page_loss_every_s", self.page_loss_every_s)?;
+        span("fault_plan.page_loss_horizon_s", self.page_loss_horizon_s)?;
+        if self.deadline_rate > 0.0 && self.deadline_window_s == 0.0 {
+            return Err(ServeError::InvalidConfig {
+                field: "fault_plan.deadline_window_s",
+                reason: "must be > 0 when deadline_rate > 0 (a zero-width \
+                         deadline expires every drawn request at arrival)"
+                    .into(),
+            });
+        }
+        if self.page_loss_every_s > 0.0 && self.page_loss_horizon_s == 0.0 {
+            return Err(ServeError::InvalidConfig {
+                field: "fault_plan.page_loss_horizon_s",
+                reason: "must be > 0 when page_loss_every_s > 0".into(),
+            });
+        }
+        if let Some(w) = &self.slow_lane {
+            span("fault_plan.slow_lane.start_s", w.start_s)?;
+            if !w.duration_s.is_finite() || w.duration_s <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "fault_plan.slow_lane.duration_s",
+                    reason: format!("must be finite and > 0, got {}", w.duration_s),
+                });
+            }
+            if !w.factor.is_finite() || w.factor <= 0.0 {
+                return Err(ServeError::InvalidConfig {
+                    field: "fault_plan.slow_lane.factor",
+                    reason: format!("must be finite and > 0, got {}", w.factor),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// Bounded retry with virtual-time exponential backoff.
+///
+/// A retryable failure (worker abort) is re-offered through admission
+/// `backoff_base_s * 2^(attempt - 1)` seconds after the failure, up to
+/// `max_attempts` total attempts (the first service counts as attempt 1).
+/// Re-offers run the full admission decision chain — a saturated system
+/// may shed a retry like any arrival — but are not counted as new
+/// arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per request, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt (seconds); doubles per attempt.
+    pub backoff_base_s: f64,
+}
+
+impl RetryPolicy {
+    /// Validates the attempt bound and backoff base.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "retry.max_attempts",
+                reason: "must be >= 1 (the first attempt counts)".into(),
+            });
+        }
+        if !self.backoff_base_s.is_finite() || self.backoff_base_s < 0.0 {
+            return Err(ServeError::InvalidConfig {
+                field: "retry.backoff_base_s",
+                reason: format!("must be finite and >= 0, got {}", self.backoff_base_s),
+            });
+        }
+        Ok(())
+    }
+
+    /// Backoff delay before re-offering a request that has already been
+    /// served `attempt` times (so `attempt >= 1`).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        self.backoff_base_s * f64::from(1u32 << (attempt - 1).min(20))
+    }
+}
+
+/// Graceful degradation under queue pressure: instead of letting the
+/// admission queue grow (or shedding), downgrade an admitted request's
+/// strategy along the spec-declared fallback chain
+/// ([`StrategySpec::degraded`](dip_core::spec::StrategySpec::degraded)) —
+/// one step per `queue_depth_threshold` requests already waiting, capped at
+/// `max_steps`. Degraded sessions are counted per tier in the report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Queue depth per degradation step (>= 1): a request admitted with
+    /// `k * queue_depth_threshold` requests already queued degrades `k`
+    /// steps (capped).
+    pub queue_depth_threshold: usize,
+    /// Maximum fallback-chain steps per request (>= 1).
+    pub max_steps: usize,
+}
+
+impl DegradePolicy {
+    /// Validates the threshold and step cap.
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_depth_threshold == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "degrade.queue_depth_threshold",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(ServeError::InvalidConfig {
+                field: "degrade.max_steps",
+                reason: "must be >= 1 (a zero-step policy is `None`)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Fallback-chain steps to take for a request admitted with
+    /// `queue_depth` requests already waiting.
+    pub fn steps_for_depth(&self, queue_depth: usize) -> usize {
+        (queue_depth / self.queue_depth_threshold).min(self.max_steps)
+    }
+}
+
+/// Expands a [`FaultPlan`] into events on the engine's queue.
+///
+/// The expansion is performed once, before the run's first event pops, and
+/// draws from a private RNG — it never touches the engine's sampling RNG,
+/// so token outputs are unchanged by the mere presence of a plan. Draw
+/// order is fixed (per-request gates in arrival order, then page losses,
+/// then the slow-lane window), making the schedule a pure function of
+/// `(plan, arrivals)`.
+pub struct FaultInjector {
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// An injector seeded from the plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(plan.seed),
+        }
+    }
+
+    /// Draws the plan's fault schedule over `arrivals` and pushes it onto
+    /// `events`. Returns the number of events scheduled. An empty plan
+    /// pushes nothing (and draws nothing), so the queue — and with it the
+    /// run — is bitwise identical to a plan-free run.
+    pub fn schedule(
+        &mut self,
+        plan: &FaultPlan,
+        arrivals: &[GenRequest],
+        events: &mut EventQueue,
+    ) -> usize {
+        let mut scheduled = 0;
+        for request in arrivals {
+            if plan.cancel_rate > 0.0 && self.rng.gen_bool(plan.cancel_rate) {
+                let offset = self.rng.gen::<f64>() * plan.cancel_window_s;
+                events.push_at(
+                    request.arrival_s + offset,
+                    EventKind::CancelAt {
+                        request: request.id,
+                    },
+                );
+                scheduled += 1;
+            }
+            if plan.abort_rate > 0.0 && self.rng.gen_bool(plan.abort_rate) {
+                let offset = self.rng.gen::<f64>() * plan.abort_window_s;
+                events.push_at(
+                    request.arrival_s + offset,
+                    EventKind::AbortAt {
+                        request: request.id,
+                    },
+                );
+                scheduled += 1;
+            }
+            if plan.deadline_rate > 0.0 && self.rng.gen_bool(plan.deadline_rate) {
+                // Uniform over the *upper half* of the window: an injected
+                // deadline should be tight, not instantly expired.
+                let offset = (0.5 + 0.5 * self.rng.gen::<f64>()) * plan.deadline_window_s;
+                events.push_at(
+                    request.arrival_s + offset,
+                    EventKind::DeadlineAt {
+                        request: request.id,
+                    },
+                );
+                scheduled += 1;
+            }
+        }
+        if plan.wants_page_loss() {
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival gaps: a Poisson process with
+                // mean gap `page_loss_every_s`.
+                let u: f64 = self.rng.gen();
+                t += -(1.0 - u).ln() * plan.page_loss_every_s;
+                if !t.is_finite() || t > plan.page_loss_horizon_s {
+                    break;
+                }
+                let draw: u64 = self.rng.gen();
+                events.push_at(t, EventKind::PageLossAt { draw });
+                scheduled += 1;
+            }
+        }
+        if let Some(w) = &plan.slow_lane {
+            events.push_at(w.start_s, EventKind::SlowLane { on: true });
+            events.push_at(w.start_s + w.duration_s, EventKind::SlowLane { on: false });
+            scheduled += 2;
+        }
+        scheduled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dip_core::spec::StrategySpec;
+
+    fn requests(n: usize) -> Vec<GenRequest> {
+        (0..n)
+            .map(|i| {
+                GenRequest::new(i as u64, vec![1, 2, 3], 4, StrategySpec::Dense).at(i as f64 * 0.5)
+            })
+            .collect()
+    }
+
+    fn chaos_plan(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            cancel_rate: 0.3,
+            cancel_window_s: 2.0,
+            deadline_rate: 0.2,
+            deadline_window_s: 3.0,
+            abort_rate: 0.25,
+            abort_window_s: 2.5,
+            page_loss_every_s: 1.0,
+            page_loss_horizon_s: 8.0,
+            slow_lane: Some(SlowLaneWindow {
+                start_s: 1.0,
+                duration_s: 2.0,
+                factor: 3.0,
+            }),
+        }
+    }
+
+    fn drain(events: &mut EventQueue) -> Vec<(f64, EventKind)> {
+        let mut out = Vec::new();
+        while let Some(e) = events.pop_next() {
+            out.push((e.time, e.kind));
+        }
+        out
+    }
+
+    #[test]
+    fn empty_plan_schedules_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        plan.validate().unwrap();
+        let mut events = EventQueue::with_capacity(8);
+        let n = FaultInjector::new(&plan).schedule(&plan, &requests(16), &mut events);
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn same_seed_replays_the_exact_schedule() {
+        let plan = chaos_plan(42);
+        plan.validate().unwrap();
+        let build = || {
+            let mut events = EventQueue::with_capacity(64);
+            FaultInjector::new(&plan).schedule(&plan, &requests(32), &mut events);
+            drain(&mut events)
+        };
+        let a = build();
+        let b = build();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+        // same-seed bitwise: compare times exactly
+        for ((ta, ka), (tb, kb)) in a.iter().zip(&b) {
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(ka, kb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_draw_different_schedules() {
+        let a_plan = chaos_plan(1);
+        let b_plan = chaos_plan(2);
+        let schedule = |plan: &FaultPlan| {
+            let mut events = EventQueue::with_capacity(64);
+            FaultInjector::new(plan).schedule(plan, &requests(32), &mut events);
+            drain(&mut events)
+        };
+        assert_ne!(schedule(&a_plan), schedule(&b_plan));
+    }
+
+    #[test]
+    fn fault_events_never_count_as_arrivals() {
+        let plan = chaos_plan(7);
+        let mut events = EventQueue::with_capacity(64);
+        let n = FaultInjector::new(&plan).schedule(&plan, &requests(32), &mut events);
+        assert!(n > 0);
+        assert_eq!(events.len(), n);
+        assert!(!events.has_pending_arrival());
+    }
+
+    #[test]
+    fn slow_lane_opens_and_closes() {
+        let plan = FaultPlan {
+            slow_lane: Some(SlowLaneWindow {
+                start_s: 2.0,
+                duration_s: 1.5,
+                factor: 4.0,
+            }),
+            ..FaultPlan::none()
+        };
+        assert!(!plan.is_empty());
+        let mut events = EventQueue::with_capacity(4);
+        FaultInjector::new(&plan).schedule(&plan, &[], &mut events);
+        let order = drain(&mut events);
+        assert_eq!(
+            order,
+            vec![
+                (2.0, EventKind::SlowLane { on: true }),
+                (3.5, EventKind::SlowLane { on: false }),
+            ]
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad_rate = FaultPlan {
+            cancel_rate: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_window = FaultPlan {
+            deadline_rate: 0.5,
+            deadline_window_s: 0.0,
+            ..FaultPlan::none()
+        };
+        assert!(bad_window.validate().is_err());
+        let bad_horizon = FaultPlan {
+            page_loss_every_s: 1.0,
+            page_loss_horizon_s: 0.0,
+            ..FaultPlan::none()
+        };
+        assert!(bad_horizon.validate().is_err());
+        let bad_factor = FaultPlan {
+            slow_lane: Some(SlowLaneWindow {
+                start_s: 0.0,
+                duration_s: 1.0,
+                factor: 0.0,
+            }),
+            ..FaultPlan::none()
+        };
+        assert!(bad_factor.validate().is_err());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            backoff_base_s: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(DegradePolicy {
+            queue_depth_threshold: 0,
+            max_steps: 2
+        }
+        .validate()
+        .is_err());
+        assert!(DegradePolicy {
+            queue_depth_threshold: 4,
+            max_steps: 0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 0.25,
+        };
+        retry.validate().unwrap();
+        assert_eq!(retry.backoff_s(1), 0.25);
+        assert_eq!(retry.backoff_s(2), 0.5);
+        assert_eq!(retry.backoff_s(3), 1.0);
+    }
+
+    #[test]
+    fn degrade_steps_scale_with_queue_depth() {
+        let degrade = DegradePolicy {
+            queue_depth_threshold: 4,
+            max_steps: 2,
+        };
+        degrade.validate().unwrap();
+        assert_eq!(degrade.steps_for_depth(0), 0);
+        assert_eq!(degrade.steps_for_depth(3), 0);
+        assert_eq!(degrade.steps_for_depth(4), 1);
+        assert_eq!(degrade.steps_for_depth(9), 2);
+        assert_eq!(degrade.steps_for_depth(100), 2);
+    }
+
+    #[test]
+    fn page_loss_draws_cover_the_horizon() {
+        let plan = FaultPlan {
+            seed: 5,
+            page_loss_every_s: 0.5,
+            page_loss_horizon_s: 10.0,
+            ..FaultPlan::none()
+        };
+        plan.validate().unwrap();
+        let mut events = EventQueue::with_capacity(64);
+        let n = FaultInjector::new(&plan).schedule(&plan, &[], &mut events);
+        assert!(
+            n >= 5,
+            "mean gap 0.5s over 10s should draw many events, got {n}"
+        );
+        let order = drain(&mut events);
+        let mut last = 0.0;
+        for (t, kind) in order {
+            assert!(t > last && t <= plan.page_loss_horizon_s);
+            assert!(matches!(kind, EventKind::PageLossAt { .. }));
+            last = t;
+        }
+    }
+}

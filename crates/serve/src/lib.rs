@@ -69,6 +69,7 @@ pub mod admission;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod layout;
 pub mod prefix;
 pub mod report;
@@ -89,9 +90,10 @@ pub use engine::{PagedKvConfig, ServeConfig, ServeEngine};
 // re-exported below. Reach the queue types via `serve::event::…`.
 pub use error::{Result, ServeError};
 pub use event::EventQueue;
+pub use fault::{DegradePolicy, FaultInjector, FaultPlan, RetryPolicy, SlowLaneWindow};
 pub use prefix::PrefixRegistry;
 pub use report::{
-    percentile, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
+    percentile, FinishReason, OpenLoopStats, PagedKvStats, Percentiles, RequestStats, ServeReport,
     StrategyClassStats, TierStats,
 };
 pub use request::{GenRequest, SloTarget, Tier, TIERS};

@@ -5,6 +5,41 @@ use crate::scheduler::SchedulerPolicy;
 use hwsim::EvictionPolicy;
 use serde::{Deserialize, Serialize};
 
+/// How a request's lifecycle ended.
+///
+/// Every request that holds (or ever held) a session retires with exactly
+/// one reason; together with admission sheds and queue withdrawals these
+/// partition the arrivals — the chaos suite's conservation invariant
+/// (DESIGN.md §17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FinishReason {
+    /// The request generated its full token budget.
+    #[default]
+    Completed,
+    /// The client cancelled (injected [`EventKind::CancelAt`] or the
+    /// request's own `cancel_after_tokens` patience ran out).
+    ///
+    /// [`EventKind::CancelAt`]: crate::event::EventKind::CancelAt
+    Cancelled,
+    /// The request's wall-clock deadline expired before completion.
+    DeadlineExpired,
+    /// A transient worker abort killed the session and the retry budget
+    /// (if any) was exhausted.
+    Failed,
+}
+
+impl std::fmt::Display for FinishReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FinishReason::Completed => "completed",
+            FinishReason::Cancelled => "cancelled",
+            FinishReason::DeadlineExpired => "deadline_expired",
+            FinishReason::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Statistics of one completed request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestStats {
@@ -56,6 +91,14 @@ pub struct RequestStats {
     pub flash_bytes: f64,
     /// Bytes this request read from DRAM.
     pub dram_bytes: f64,
+    /// How the request's lifecycle ended ([`FinishReason::Completed`] for
+    /// every request of a fault-free run).
+    pub finish: FinishReason,
+    /// Whether admission downgraded this request's strategy along the
+    /// fallback chain under queue pressure (a [`crate::DegradePolicy`]).
+    pub degraded: bool,
+    /// Service attempts this request consumed (1 without retries).
+    pub attempts: u32,
 }
 
 /// Latency percentiles of one open-loop metric (seconds).
@@ -93,6 +136,15 @@ pub struct TierStats {
     pub shed: usize,
     /// Requests served to completion.
     pub completed: usize,
+    /// Requests cancelled by the client (injected or patience-capped),
+    /// including cancellations that struck while still queued.
+    pub cancelled: usize,
+    /// Requests whose deadline expired, including expiries while queued.
+    pub expired: usize,
+    /// Requests that exhausted their retry budget after worker aborts.
+    pub failed: usize,
+    /// Sessions admitted with a degraded strategy on this tier.
+    pub degraded: usize,
     /// Preemptions suffered by this tier's sessions.
     pub preemptions: usize,
     /// Time-to-first-token percentiles over completed requests.
@@ -100,7 +152,8 @@ pub struct TierStats {
     /// Queue-delay percentiles over completed requests.
     pub queue_delay: Percentiles,
     /// Fraction of *arrived* requests that completed within their SLO (a
-    /// shed request counts as missed, so shedding cannot launder attainment).
+    /// shed request counts as missed, so shedding cannot launder attainment;
+    /// cancelled/expired/failed requests count as missed too).
     pub slo_attainment: f64,
 }
 
@@ -138,8 +191,31 @@ pub struct OpenLoopStats {
     pub shed_queue_full: usize,
     /// Requests shed because their KV page footprint exceeds the paged pool.
     pub shed_memory: usize,
-    /// Requests served to completion (equals `admitted` at drain).
+    /// Requests served to completion. Without faults this equals `admitted`
+    /// at drain; with faults every arrival ends exactly one way, so at
+    /// drain `arrived = shed + completed + cancelled + deadline_expired +
+    /// failed` (the chaos suite's conservation invariant). `admitted` is
+    /// attempt-level: each successful retry re-admission counts again.
     pub completed: usize,
+    /// Requests retired as [`FinishReason::Cancelled`], including client
+    /// cancellations that withdrew a still-queued request.
+    pub cancelled: usize,
+    /// Requests retired as [`FinishReason::DeadlineExpired`], including
+    /// expiries while still queued.
+    pub deadline_expired: usize,
+    /// Requests retired as [`FinishReason::Failed`] (retry budget
+    /// exhausted).
+    pub failed: usize,
+    /// Worker aborts that were re-offered through admission with backoff.
+    pub retries: usize,
+    /// Sessions admitted with a strategy degraded along the fallback chain.
+    pub degraded_sessions: usize,
+    /// Paged-KV pages invalidated by injected page-loss faults (counted
+    /// across layers).
+    pub kv_pages_lost: usize,
+    /// Prompt/generated tokens re-prefilled to rebuild lost KV pages
+    /// (included in the report's `total_prefill_tokens`).
+    pub kv_refill_tokens: usize,
     /// Sessions preempted (parked at a token boundary).
     pub preemptions: usize,
     /// Parked sessions resumed.
@@ -285,6 +361,15 @@ impl ServeReport {
                 1e3 * ol.ttft.p95_s,
                 100.0 * ol.slo_attainment,
             ));
+            if ol.cancelled + ol.deadline_expired + ol.failed + ol.retries > 0 {
+                s.push_str(&format!(
+                    " | faults: {} cancelled, {} expired, {} failed, {} retries",
+                    ol.cancelled, ol.deadline_expired, ol.failed, ol.retries,
+                ));
+            }
+            if ol.degraded_sessions > 0 {
+                s.push_str(&format!(" | {} degraded sessions", ol.degraded_sessions));
+            }
         }
         if let Some(pk) = &self.paged_kv {
             s.push_str(&format!(

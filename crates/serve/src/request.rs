@@ -122,6 +122,18 @@ pub struct GenRequest {
     /// prefix sharing enabled, the engine maps already-prefilled prefix
     /// pages copy-on-write instead of re-prefilling them.
     pub shared_prefix_len: usize,
+    /// Wall-clock budget from arrival (seconds). If the request has not
+    /// completed within this budget on the virtual clock, the open-loop
+    /// engine retires it as
+    /// [`FinishReason::DeadlineExpired`](crate::FinishReason). `+∞` (the
+    /// default) means no deadline.
+    pub deadline_s: f64,
+    /// Client patience in generated tokens: the client hangs up after
+    /// receiving this many tokens, capping generation below
+    /// `max_new_tokens`. A capped request retires as
+    /// [`FinishReason::Cancelled`](crate::FinishReason). `usize::MAX` (the
+    /// default) means the client waits for the full answer.
+    pub cancel_after_tokens: usize,
 }
 
 impl GenRequest {
@@ -138,6 +150,8 @@ impl GenRequest {
             tier: Tier::Standard,
             slo: SloTarget::none(),
             shared_prefix_len: 0,
+            deadline_s: f64::INFINITY,
+            cancel_after_tokens: usize::MAX,
         }
     }
 
@@ -172,10 +186,29 @@ impl GenRequest {
         self
     }
 
+    /// Returns a copy with a wall-clock deadline (seconds from arrival).
+    pub fn with_deadline_s(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = deadline_s;
+        self
+    }
+
+    /// Returns a copy whose client hangs up after `tokens` generated
+    /// tokens.
+    pub fn with_cancel_after_tokens(mut self, tokens: usize) -> Self {
+        self.cancel_after_tokens = tokens;
+        self
+    }
+
     /// Total tokens this request will push through the model (prompt prefill
     /// plus generated tokens) — the scheduler's notion of request length.
     pub fn total_tokens(&self) -> usize {
         self.prompt.len() + self.max_new_tokens
+    }
+
+    /// Generation budget after client patience: `max_new_tokens` clamped by
+    /// [`GenRequest::cancel_after_tokens`].
+    pub fn effective_new_tokens(&self) -> usize {
+        self.max_new_tokens.min(self.cancel_after_tokens)
     }
 }
 
@@ -206,6 +239,12 @@ mod tests {
         assert_eq!(r.shared_prefix_len, 0, "nothing shared by default");
         let r = r.with_shared_prefix(1);
         assert_eq!(r.shared_prefix_len, 1);
+        assert_eq!(r.deadline_s, f64::INFINITY, "no deadline by default");
+        assert_eq!(r.cancel_after_tokens, usize::MAX);
+        assert_eq!(r.effective_new_tokens(), 4);
+        let r = r.with_deadline_s(3.0).with_cancel_after_tokens(2);
+        assert_eq!(r.deadline_s, 3.0);
+        assert_eq!(r.effective_new_tokens(), 2);
         assert!(r.slo.met(0.5, 0.05));
         assert!(!r.slo.met(0.51, 0.01));
         assert!(!r.slo.met(0.1, 0.06));

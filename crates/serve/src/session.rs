@@ -2,6 +2,7 @@
 
 use crate::error::Result;
 use crate::layout::to_token_access_scratch;
+use crate::report::FinishReason;
 use crate::request::GenRequest;
 use hwsim::{AccessTrace, TokenAccess};
 use lm::model::sample_from_logits;
@@ -65,6 +66,23 @@ pub struct Session {
     /// `Some(len)` while this session owes the engine a shared-prefix
     /// registration once its decode position reaches `len`.
     pub(crate) pending_prefix_register: Option<usize>,
+    /// Generation budget: `max_new_tokens` clamped by the client's
+    /// `cancel_after_tokens` patience.
+    token_budget: usize,
+    /// Tokens lost to a KV page-loss fault, queued for re-prefill (the
+    /// recomputed KV is bitwise identical, so outputs are unchanged — only
+    /// timing shifts). Served before any new prompt/decode work.
+    replay: Vec<u32>,
+    /// Progress cursor into `replay`.
+    replay_idx: usize,
+    /// How the session's lifecycle ended (meaningful once retired;
+    /// [`FinishReason::Completed`] by default).
+    pub(crate) finish: FinishReason,
+    /// Whether admission downgraded this session's strategy along the
+    /// fallback chain.
+    pub(crate) degraded: bool,
+    /// Service attempts this request has consumed, including this one.
+    pub(crate) attempts: u32,
 }
 
 impl Session {
@@ -76,6 +94,7 @@ impl Session {
         state: DecodeState,
         strategy: Box<dyn MlpForward>,
     ) -> Self {
+        let token_budget = request.effective_new_tokens();
         Session {
             stream,
             request,
@@ -91,7 +110,25 @@ impl Session {
             kv_pages_committed: 0,
             prefix_skipped: 0,
             pending_prefix_register: None,
+            token_budget,
+            replay: Vec::new(),
+            replay_idx: 0,
+            finish: FinishReason::Completed,
+            degraded: false,
+            attempts: 1,
         }
+    }
+
+    /// Generation budget after client patience (`max_new_tokens` clamped by
+    /// `cancel_after_tokens`).
+    pub fn token_budget(&self) -> usize {
+        self.token_budget
+    }
+
+    /// Whether the client's patience caps generation below the requested
+    /// budget — such a session retires as [`FinishReason::Cancelled`].
+    pub(crate) fn token_capped(&self) -> bool {
+        self.token_budget < self.request.max_new_tokens
     }
 
     /// Marks the first `len` prompt tokens as already prefilled: the engine
@@ -113,26 +150,75 @@ impl Session {
         self.prefix_skipped
     }
 
-    /// Current lifecycle phase.
+    /// Current lifecycle phase. A pending page-loss replay counts as
+    /// prefill: the lost suffix must be recomputed before any new token.
     pub fn phase(&self) -> SessionPhase {
-        if self.next_prompt_idx < self.request.prompt.len() {
+        if self.replay_idx < self.replay.len() || self.next_prompt_idx < self.request.prompt.len() {
             SessionPhase::Prefill
-        } else if self.generated.len() < self.request.max_new_tokens {
+        } else if self.generated.len() < self.token_budget {
             SessionPhase::Decode
         } else {
             SessionPhase::Finished
         }
     }
 
-    /// Tokens still to be served (prefill + decode).
+    /// Tokens still to be served (replay + prefill + decode).
     pub fn remaining_tokens(&self) -> usize {
-        (self.request.prompt.len() - self.next_prompt_idx)
-            + (self.request.max_new_tokens - self.generated.len())
+        (self.replay.len() - self.replay_idx)
+            + (self.request.prompt.len() - self.next_prompt_idx)
+            + (self.token_budget - self.generated.len())
     }
 
-    /// Prompt tokens still to be prefilled.
+    /// Prompt-phase tokens still to be served (page-loss replay plus
+    /// unserved prompt): what the engine chunks as prefill work.
     pub(crate) fn prompt_remaining(&self) -> usize {
-        self.request.prompt.len() - self.next_prompt_idx
+        (self.replay.len() - self.replay_idx) + (self.request.prompt.len() - self.next_prompt_idx)
+    }
+
+    /// Rewinds the session to context length `new_pos` after a KV page-loss
+    /// fault, truncating every layer's cache and queueing the lost tokens
+    /// for re-prefill. `new_pos` must lie in `[prefix_skipped, state.pos]`
+    /// — the caller picks the victim's last whole page boundary, never
+    /// below the adopted shared prefix (re-filling private copies of
+    /// adopted prefix pages would exceed the admission page commitment).
+    ///
+    /// Re-feeding the same tokens into the truncated cache recomputes
+    /// bitwise-identical KV entries, so generated outputs are unchanged;
+    /// the fault costs time, not correctness. Returns the number of
+    /// context tokens newly lost (`old_pos - new_pos`).
+    pub(crate) fn rewind_for_refill(&mut self, new_pos: usize) -> usize {
+        let old_pos = self.state.pos;
+        debug_assert!(new_pos >= self.prefix_skipped && new_pos <= old_pos);
+        for layer in &mut self.state.kv {
+            layer.truncate(new_pos);
+        }
+        self.state.pos = new_pos;
+        if self.generated.is_empty() {
+            // Still prefilling (or exactly at prompt end with nothing
+            // sampled): rewind the prompt cursor and let the ordinary
+            // prefill machinery re-serve the tail, re-establishing the
+            // last-prefill schedule position.
+            self.replay.clear();
+            self.replay_idx = 0;
+            self.next_prompt_idx = new_pos;
+            self.last_prefill_position = None;
+        } else {
+            // Decoding: the full context is prompt + generated. Queue every
+            // token not currently in the cache (including any replay still
+            // pending from an earlier loss) for recomputation.
+            let full = self.request.prompt.len() + self.generated.len();
+            self.replay.clear();
+            self.replay_idx = 0;
+            for i in new_pos..full {
+                let t = if i < self.request.prompt.len() {
+                    self.request.prompt[i]
+                } else {
+                    self.generated[i - self.request.prompt.len()]
+                };
+                self.replay.push(t);
+            }
+        }
+        old_pos - new_pos
     }
 
     /// Decides (and commits to) the next token this session serves at
@@ -148,6 +234,23 @@ impl Session {
     /// Propagates sampling errors.
     pub(crate) fn plan_token(&mut self, rng: &mut StdRng, step: usize) -> Result<PlannedToken> {
         debug_assert!(self.phase() != SessionPhase::Finished);
+        if self.replay_idx < self.replay.len() {
+            // Page-loss refill: re-feed a known token (no RNG draw — the
+            // engine's sampling stream is untouched by replay).
+            let token = self.replay[self.replay_idx];
+            self.replay_idx += 1;
+            if self.replay_idx == self.replay.len() {
+                self.replay.clear();
+                self.replay_idx = 0;
+            }
+            return Ok(PlannedToken {
+                token,
+                was_prefill: true,
+                // never re-signals TTFT: the first token was already
+                // produced before the fault (replay implies decode phase)
+                prefill_ended: false,
+            });
+        }
         let was_prefill = self.next_prompt_idx < self.request.prompt.len();
         let token = if was_prefill {
             let t = self.request.prompt[self.next_prompt_idx];
@@ -260,6 +363,97 @@ mod tests {
         // (last) prompt forward, scheduled at position 2
         assert_eq!(session.first_token_position(), Some(2));
         assert!(session.generated.iter().all(|t| (*t as usize) < 64));
+    }
+
+    #[test]
+    fn client_patience_caps_the_token_budget() {
+        let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
+        let request =
+            GenRequest::new(1, vec![1, 2], 5, StrategySpec::Dense).with_cancel_after_tokens(2);
+        let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
+        assert_eq!(session.token_budget(), 2);
+        assert!(session.token_capped());
+        assert_eq!(session.remaining_tokens(), 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = DecodeScratch::for_model(&model);
+        for step in 0..4 {
+            session.step(&model, &mut rng, step, &mut scratch).unwrap();
+        }
+        assert_eq!(session.phase(), SessionPhase::Finished);
+        assert_eq!(session.generated.len(), 2, "patience capped generation");
+    }
+
+    #[test]
+    fn rewind_and_replay_reproduce_identical_outputs() {
+        let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
+        let request = GenRequest::new(1, vec![1, 2, 3], 3, StrategySpec::Dense);
+
+        // Reference: serve the request without faults.
+        let mut a = Session::new(
+            0,
+            request.clone(),
+            0,
+            model.new_decode_state(),
+            Box::new(DenseMlp),
+        );
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut scratch = DecodeScratch::for_model(&model);
+        for step in 0..6 {
+            a.step(&model, &mut rng_a, step, &mut scratch).unwrap();
+        }
+        assert_eq!(a.phase(), SessionPhase::Finished);
+
+        // Faulted: lose KV back to position 2 after the first decode token,
+        // replay, and keep going. Outputs must match bitwise.
+        let mut b = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
+        let mut rng_b = StdRng::seed_from_u64(7);
+        for step in 0..4 {
+            b.step(&model, &mut rng_b, step, &mut scratch).unwrap();
+        }
+        assert_eq!(b.generated.len(), 1);
+        assert_eq!(b.state.pos, 4);
+        let lost = b.rewind_for_refill(2);
+        assert_eq!(lost, 2);
+        assert_eq!(b.state.pos, 2);
+        assert_eq!(b.phase(), SessionPhase::Prefill, "replay counts as prefill");
+        assert_eq!(b.prompt_remaining(), 2);
+        assert_eq!(b.remaining_tokens(), 4);
+        let mut step = 4;
+        while b.phase() != SessionPhase::Finished {
+            let planned = b.step(&model, &mut rng_b, step, &mut scratch).unwrap();
+            step += 1;
+            assert!(
+                !planned.prefill_ended,
+                "replay never re-signals the first token"
+            );
+        }
+        assert_eq!(a.generated, b.generated, "replay changes no output");
+        assert_eq!(b.state.pos, a.state.pos);
+    }
+
+    #[test]
+    fn mid_prefill_rewind_rewinds_the_prompt_cursor() {
+        let model = build_synthetic(&ModelConfig::tiny(), 4).unwrap();
+        let request = GenRequest::new(1, vec![1, 2, 3, 4], 2, StrategySpec::Dense);
+        let mut session = Session::new(0, request, 0, model.new_decode_state(), Box::new(DenseMlp));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut scratch = DecodeScratch::for_model(&model);
+        for step in 0..3 {
+            session.step(&model, &mut rng, step, &mut scratch).unwrap();
+        }
+        assert_eq!(session.state.pos, 3);
+        let lost = session.rewind_for_refill(2);
+        assert_eq!(lost, 1);
+        assert_eq!(session.prompt_remaining(), 2, "prompt cursor rewound");
+        assert_eq!(session.phase(), SessionPhase::Prefill);
+        let mut step = 3;
+        while session.phase() != SessionPhase::Finished {
+            session.step(&model, &mut rng, step, &mut scratch).unwrap();
+            step += 1;
+        }
+        assert_eq!(session.generated.len(), 2);
+        // the re-served last prompt token re-established TTFT bookkeeping
+        assert!(session.first_token_position().is_some());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! `tests/open_loop_determinism.rs` pins this bitwise.
 
 use crate::admission::ShedReason;
+use crate::report::FinishReason;
 use crate::request::{Tier, TIERS};
 use ::telemetry::registry::{LATENCY_BOUNDS_S, WIDTH_BOUNDS};
 use ::telemetry::{
@@ -69,6 +70,13 @@ struct Handles {
     kernel_dispatch: GaugeId,
     pack_seconds: CounterId,
     pack_builds: GaugeId,
+    cancellations: CounterId,
+    deadline_expirations: CounterId,
+    failures: CounterId,
+    retries: CounterId,
+    degraded: CounterId,
+    kv_pages_lost: CounterId,
+    kv_refill_tokens: CounterId,
 }
 
 fn register(registry: &mut MetricsRegistry) -> Handles {
@@ -203,6 +211,34 @@ fn register(registry: &mut MetricsRegistry) -> Handles {
         pack_builds: registry.gauge(
             "serve_pack_builds",
             "Packed-panel mirror builds (lifetime of the scratch)",
+        ),
+        cancellations: registry.counter(
+            "serve_cancelled_total",
+            "Requests retired by client cancellation (hang-up or patience cap)",
+        ),
+        deadline_expirations: registry.counter(
+            "serve_deadline_expired_total",
+            "Requests retired because their wall-clock deadline passed",
+        ),
+        failures: registry.counter(
+            "serve_failed_total",
+            "Requests retired as failed (worker abort with retries exhausted)",
+        ),
+        retries: registry.counter(
+            "serve_retries_total",
+            "Aborted attempts re-offered through admission after backoff",
+        ),
+        degraded: registry.counter(
+            "serve_degraded_total",
+            "Admissions served with a degraded (cheaper) strategy",
+        ),
+        kv_pages_lost: registry.counter(
+            "serve_kv_pages_lost_total",
+            "KV pages invalidated by injected page-loss faults",
+        ),
+        kv_refill_tokens: registry.counter(
+            "serve_kv_refill_tokens_total",
+            "Tokens queued for re-prefill after KV page loss",
         ),
     }
 }
@@ -474,6 +510,45 @@ impl EngineTelemetry {
             now,
         );
     }
+
+    /// A request ended for a non-[`FinishReason::Completed`] reason —
+    /// whether it was withdrawn from the waiting queue, pulled out of a
+    /// retry-backoff slot, or retired mid-service. Allocation-free
+    /// (pre-registered counters).
+    pub(crate) fn on_fault_finish(&mut self, finish: FinishReason, now: f64) {
+        let (id, code) = match finish {
+            FinishReason::Completed => return,
+            FinishReason::Cancelled => (self.h.cancellations, 0),
+            FinishReason::DeadlineExpired => (self.h.deadline_expirations, 1),
+            FinishReason::Failed => (self.h.failures, 2),
+        };
+        self.tel.registry.inc(id);
+        self.tel.event(EventKind::Fault, NO_STREAM, now, code, now);
+    }
+
+    /// An aborted attempt matured from its backoff slot and was re-offered
+    /// to admission.
+    pub(crate) fn on_retry(&mut self, now: f64) {
+        self.tel.registry.inc(self.h.retries);
+        self.tel.event(EventKind::Fault, NO_STREAM, now, 4, now);
+    }
+
+    /// An admission substituted a degraded (cheaper) strategy for the
+    /// requested one.
+    pub(crate) fn on_degrade(&mut self, stream: usize, now: f64) {
+        self.tel.registry.inc(self.h.degraded);
+        self.tel.event(EventKind::Fault, stream as u32, now, 5, now);
+    }
+
+    /// Injected KV page loss struck an active session: `pages` were
+    /// invalidated and `tokens` queued for re-prefill.
+    pub(crate) fn on_page_loss(&mut self, stream: usize, pages: usize, tokens: usize, now: f64) {
+        self.tel.registry.add(self.h.kv_pages_lost, pages as f64);
+        self.tel
+            .registry
+            .add(self.h.kv_refill_tokens, tokens as f64);
+        self.tel.event(EventKind::Fault, stream as u32, now, 3, now);
+    }
 }
 
 #[cfg(test)]
@@ -522,6 +597,36 @@ mod tests {
         assert_eq!(r.counter_value(t.h.prefix_forks), 3.0);
         assert_eq!(r.gauge_value(t.h.kv_pages_in_use), 5.0);
         assert_eq!(r.gauge_value(t.h.kv_pages_high_water), 9.0);
+    }
+
+    #[test]
+    fn fault_hooks_record_into_preregistered_series() {
+        let mut t = EngineTelemetry::new(TelemetryConfig::default().with_ring_capacity(16), &[]);
+        let series_before = t.registry().len();
+        t.on_fault_finish(FinishReason::Completed, 0.0);
+        t.on_fault_finish(FinishReason::Cancelled, 0.1);
+        t.on_fault_finish(FinishReason::DeadlineExpired, 0.2);
+        t.on_fault_finish(FinishReason::Failed, 0.3);
+        t.on_retry(0.4);
+        t.on_degrade(2, 0.5);
+        t.on_page_loss(1, 6, 48, 0.6);
+        let r = t.registry();
+        assert_eq!(r.len(), series_before, "fault hooks never register");
+        assert_eq!(r.counter_value(t.h.cancellations), 1.0);
+        assert_eq!(r.counter_value(t.h.deadline_expirations), 1.0);
+        assert_eq!(r.counter_value(t.h.failures), 1.0);
+        assert_eq!(r.counter_value(t.h.retries), 1.0);
+        assert_eq!(r.counter_value(t.h.degraded), 1.0);
+        assert_eq!(r.counter_value(t.h.kv_pages_lost), 6.0);
+        assert_eq!(r.counter_value(t.h.kv_refill_tokens), 48.0);
+        // `Completed` records nothing: 6 fault events landed in the ring
+        assert_eq!(
+            t.ring()
+                .iter()
+                .filter(|e| e.kind == EventKind::Fault)
+                .count(),
+            6
+        );
     }
 
     #[test]

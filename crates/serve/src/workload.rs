@@ -227,6 +227,16 @@ pub struct RequestTemplate {
     pub slo: SloTarget,
     /// Sampling temperature (0 = greedy).
     pub temperature: f32,
+    /// Wall-clock budget per request, milliseconds from arrival: the engine
+    /// retires the request as [`crate::report::FinishReason::DeadlineExpired`]
+    /// when it has not completed within this budget (whether queued, active
+    /// or parked). `INFINITY` (the default) declares no deadline.
+    pub deadline_ms: f64,
+    /// Client patience in generated tokens: the request retires as
+    /// [`crate::report::FinishReason::Cancelled`] after this many tokens
+    /// even if its drawn `new_tokens` budget is larger. `usize::MAX` (the
+    /// default) disables the cap.
+    pub cancel_after_tokens: usize,
 }
 
 impl RequestTemplate {
@@ -245,7 +255,23 @@ impl RequestTemplate {
             slo: SloTarget::none(),
             temperature: 0.0,
             shared_prefix: 0,
+            deadline_ms: f64::INFINITY,
+            cancel_after_tokens: usize::MAX,
         }
+    }
+
+    /// Returns a copy whose requests carry the given wall-clock deadline
+    /// (milliseconds from arrival; see [`RequestTemplate::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Returns a copy whose requests cancel after the given number of
+    /// generated tokens (see [`RequestTemplate::cancel_after_tokens`]).
+    pub fn with_cancel_after_tokens(mut self, cancel_after_tokens: usize) -> Self {
+        self.cancel_after_tokens = cancel_after_tokens;
+        self
     }
 
     /// Returns a copy whose requests all open with the same
@@ -296,6 +322,21 @@ impl RequestTemplate {
                     "need 1 <= lo <= hi, got [{}, {}]",
                     self.new_tokens.0, self.new_tokens.1
                 ),
+            ));
+        }
+        if self.deadline_ms.is_nan() || self.deadline_ms <= 0.0 {
+            return Err(config_err(
+                "workload.template.deadline_ms",
+                format!(
+                    "must be a positive duration (or omitted for none), got {}",
+                    self.deadline_ms
+                ),
+            ));
+        }
+        if self.cancel_after_tokens == 0 {
+            return Err(config_err(
+                "workload.template.cancel_after_tokens",
+                "must be >= 1 (a zero-token request would never start)".to_string(),
             ));
         }
         self.strategy.validate().map_err(ServeError::Dip)
@@ -408,13 +449,18 @@ impl Workload {
             let new_tokens = rng.gen_range(template.new_tokens.0..=template.new_tokens.1);
             let mut prompt: Vec<u32> = prefixes[t_idx].clone();
             prompt.extend((0..prompt_len).map(|_| rng.gen_range(1u32..vocab_size as u32)));
+            // deadline and patience are copied, not drawn: templates without
+            // them perturb no RNG stream, so pre-existing workloads generate
+            // bit-identical traffic
             requests.push(
                 GenRequest::new(id as u64, prompt, new_tokens, template.strategy)
                     .with_temperature(template.temperature)
                     .at(arrival_s)
                     .with_tier(template.tier)
                     .with_slo(template.slo)
-                    .with_shared_prefix(template.shared_prefix),
+                    .with_shared_prefix(template.shared_prefix)
+                    .with_deadline_s(template.deadline_ms / 1e3)
+                    .with_cancel_after_tokens(template.cancel_after_tokens),
             );
         }
         Ok(requests)
@@ -472,6 +518,12 @@ impl Workload {
                 }
                 if t.shared_prefix > 0 {
                     fields.push(format!("\"shared_prefix\":{}", t.shared_prefix));
+                }
+                if t.deadline_ms.is_finite() {
+                    fields.push(format!("\"deadline_ms\":{}", t.deadline_ms));
+                }
+                if t.cancel_after_tokens != usize::MAX {
+                    fields.push(format!("\"cancel_after_tokens\":{}", t.cancel_after_tokens));
                 }
                 format!("    {{{}}}", fields.join(","))
             })
@@ -647,6 +699,16 @@ fn parse_template(value: &JsonValue) -> Result<RequestTemplate> {
             ))
         }
     };
+    let cancel_after_tokens = match get_f64(value, "cancel_after_tokens")? {
+        None => usize::MAX,
+        Some(n) if n >= 1.0 && n.fract() == 0.0 => n as usize,
+        Some(n) => {
+            return Err(config_err(
+                "workload.template.cancel_after_tokens",
+                format!("must be a positive integer, got {n}"),
+            ))
+        }
+    };
     Ok(RequestTemplate {
         weight: get_f64(value, "weight")?.unwrap_or(1.0),
         prompt_tokens,
@@ -656,6 +718,8 @@ fn parse_template(value: &JsonValue) -> Result<RequestTemplate> {
         slo,
         temperature: get_f64(value, "temperature")?.unwrap_or(0.0) as f32,
         shared_prefix,
+        deadline_ms: get_f64(value, "deadline_ms")?.unwrap_or(f64::INFINITY),
+        cancel_after_tokens,
     })
 }
 
@@ -795,6 +859,63 @@ mod tests {
     }
 
     #[test]
+    fn deadline_and_patience_fields_reach_requests_without_rng_cost() {
+        // templates without the fields must generate bit-identical traffic
+        let plain = base_workload(ArrivalProcess::Steady { rate_per_s: 20.0 });
+        let mut with_defaults = plain.clone();
+        with_defaults.templates[0].deadline_ms = f64::INFINITY;
+        with_defaults.templates[0].cancel_after_tokens = usize::MAX;
+        assert_eq!(
+            plain.generate(64).unwrap(),
+            with_defaults.generate(64).unwrap()
+        );
+
+        // set fields are copied onto every request the template draws,
+        // and only the arrival timeline (not the RNG stream) is shared
+        let mut budgeted = plain.clone();
+        budgeted.templates[0] = budgeted.templates[0]
+            .clone()
+            .with_deadline_ms(500.0)
+            .with_cancel_after_tokens(2);
+        let requests = budgeted.generate(64).unwrap();
+        let (tmpl, other): (Vec<&GenRequest>, Vec<&GenRequest>) = requests
+            .iter()
+            .partition(|r| r.strategy == StrategySpec::Dense);
+        assert!(!tmpl.is_empty() && !other.is_empty());
+        for r in &tmpl {
+            assert!((r.deadline_s - 0.5).abs() < 1e-12);
+            assert_eq!(r.cancel_after_tokens, 2);
+        }
+        for r in &other {
+            assert!(r.deadline_s.is_infinite());
+            assert_eq!(r.cancel_after_tokens, usize::MAX);
+        }
+        // deadline/patience draw nothing: prompts and budgets are unchanged
+        let plain_requests = plain.generate(64).unwrap();
+        assert_eq!(requests.len(), plain_requests.len());
+        for (a, b) in requests.iter().zip(&plain_requests) {
+            assert_eq!(a.prompt, b.prompt);
+            assert_eq!(a.max_new_tokens, b.max_new_tokens);
+            assert_eq!(a.arrival_s, b.arrival_s);
+        }
+
+        // bounds are validated
+        let mut bad = plain.clone();
+        bad.templates[0].deadline_ms = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = plain.clone();
+        bad.templates[0].cancel_after_tokens = 0;
+        assert!(bad.validate().is_err());
+        // and malformed JSON values are typed errors
+        assert!(Workload::from_json(
+            r#"{"duration_s": 1.0, "process": {"kind": "steady", "rate_per_s": 5},
+                "templates": [{"prompt_tokens": [1, 2], "new_tokens": [1, 2],
+                               "cancel_after_tokens": 1.5}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
     fn replay_process_reproduces_its_list() {
         let times = vec![0.1, 0.4, 0.40001, 2.0, 9.0];
         let w = Workload::new(
@@ -831,6 +952,8 @@ mod tests {
         ] {
             let mut w = base_workload(process);
             w.templates[0].shared_prefix = 6;
+            w.templates[0].deadline_ms = 750.0;
+            w.templates[1].cancel_after_tokens = 3;
             let json = w.to_json();
             let back = Workload::from_json(&json)
                 .unwrap_or_else(|e| panic!("failed to parse {json}: {e}"));

@@ -1,0 +1,482 @@
+//! Chaos suite: deterministic fault injection end to end.
+//!
+//! A fault plan is part of the experiment, not noise on top of it — so a
+//! chaos run must satisfy the same contracts as a clean one:
+//!
+//! * **Conservation** — every arrival ends exactly one way:
+//!   `arrived = shed + completed + cancelled + deadline_expired + failed`,
+//!   globally and per tier, no matter which faults fire.
+//! * **No leaks** — at drain the decode-state pool holds no parked entries
+//!   and the paged-KV pool holds no pages (nothing here registers shared
+//!   prefixes, so zero pages may remain pinned).
+//! * **Bitwise determinism** — the same `(workload, config, plan)` yields
+//!   an identical `ServeReport` across repeated runs and across OS threads,
+//!   and an *empty* plan is indistinguishable from no plan at all.
+//! * **Replay correctness** — page loss and slow lanes cost time, never
+//!   tokens: greedy outputs match the fault-free run bitwise.
+//!
+//! Satellite: the decode-state pool survives park → cancel → reclaim churn
+//! across 1000 sessions without growing past its high-water mark.
+
+use serve::{
+    AdmissionConfig, ArrivalProcess, DegradePolicy, FaultPlan, FinishReason, RequestTemplate,
+    RetryPolicy, SchedulerPolicy, ServeConfig, ServeEngine, ServeReport, SloTarget, SlowLaneWindow,
+    StrategySpec, Tier, Workload,
+};
+
+/// The determinism workload plus the robustness template fields: premium
+/// requests carry a declared deadline, batch requests a client patience cap.
+fn chaos_workload() -> Workload {
+    Workload::new(
+        0xfeed,
+        0.04,
+        ArrivalProcess::OnOff {
+            rate_per_s: 900.0,
+            on_s: 0.004,
+            off_s: 0.006,
+        },
+        vec![
+            RequestTemplate::new((4, 8), (8, 16), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_weight(2.0)
+                .with_cancel_after_tokens(5),
+            RequestTemplate::new((2, 6), (8, 12), StrategySpec::Dip { density: 0.5 }),
+            RequestTemplate::new((2, 4), (6, 10), StrategySpec::Dense)
+                .with_tier(Tier::Premium)
+                .with_slo(SloTarget::new(0.05, 0.02))
+                .with_deadline_ms(0.2),
+        ],
+    )
+}
+
+/// A plan that exercises every fault type within the workload's timescale.
+/// The virtual clock here runs in *microseconds* per token (a tiny model on
+/// a fast simulated device), so fault windows are a few hundred
+/// microseconds — wide enough to straddle a session's whole life, tight
+/// enough to strike while it is live.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        seed,
+        cancel_rate: 0.25,
+        cancel_window_s: 0.0002,
+        deadline_rate: 0.2,
+        deadline_window_s: 0.00015,
+        abort_rate: 0.25,
+        abort_window_s: 0.0002,
+        page_loss_every_s: 0.0002,
+        page_loss_horizon_s: 0.05,
+        slow_lane: Some(SlowLaneWindow {
+            start_s: 0.002,
+            duration_s: 0.01,
+            factor: 3.0,
+        }),
+    }
+}
+
+fn engine_with(
+    admission: AdmissionConfig,
+    plan: Option<FaultPlan>,
+    retry: Option<RetryPolicy>,
+    degrade: Option<DegradePolicy>,
+) -> ServeEngine {
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, 13).unwrap();
+    let layout = serve::layout::layout_for_serving(
+        &config,
+        [lm::SliceAxis::Input; 3],
+        4.0,
+        4,
+        config.max_seq_len,
+    );
+    let dram = layout.static_bytes + (layout.mlp_bytes() as f64 * 0.55) as u64;
+    let device = hwsim::DeviceConfig::apple_a18(4.0).with_dram_bytes(dram);
+    let mut cfg = ServeConfig::new(device)
+        .with_max_concurrent(4)
+        .with_scheduler(SchedulerPolicy::PriorityPreemptive)
+        .with_paged_kv(8, 4096)
+        .with_admission(admission);
+    if let Some(p) = plan {
+        cfg = cfg.with_fault_plan(p);
+    }
+    if let Some(r) = retry {
+        cfg = cfg.with_retry(r);
+    }
+    if let Some(d) = degrade {
+        cfg = cfg.with_degrade(d);
+    }
+    ServeEngine::new(model, cfg).unwrap()
+}
+
+fn full_chaos_run(seed: u64) -> (ServeEngine, ServeReport) {
+    let mut engine = engine_with(
+        AdmissionConfig::default()
+            .with_queue_capacity(16)
+            .with_rate_limit(700.0, 6.0),
+        Some(chaos_plan(seed)),
+        Some(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.002,
+        }),
+        Some(DegradePolicy {
+            queue_depth_threshold: 2,
+            max_steps: 2,
+        }),
+    );
+    let report = engine.run_open_loop(&chaos_workload()).unwrap();
+    (engine, report)
+}
+
+fn assert_conserved(report: &ServeReport) {
+    let ol = report.open_loop.as_ref().expect("open-loop stats");
+    assert_eq!(
+        ol.arrived,
+        ol.shed + ol.completed + ol.cancelled + ol.deadline_expired + ol.failed,
+        "every arrival must end exactly one way"
+    );
+    for tier in &ol.tiers {
+        assert_eq!(
+            tier.arrived,
+            tier.shed + tier.completed + tier.cancelled + tier.expired + tier.failed,
+            "tier {} leaks requests",
+            tier.tier
+        );
+    }
+    // the per-request rows agree with the counters (queued withdrawals
+    // produce no row, so rows bound the counters from below)
+    let by_finish = |f: FinishReason| report.requests.iter().filter(|r| r.finish == f).count();
+    assert_eq!(by_finish(FinishReason::Completed), ol.completed);
+    assert!(by_finish(FinishReason::Cancelled) <= ol.cancelled);
+    assert!(by_finish(FinishReason::DeadlineExpired) <= ol.deadline_expired);
+    assert!(by_finish(FinishReason::Failed) <= ol.failed);
+}
+
+fn assert_leak_free(engine: &ServeEngine, report: &ServeReport) {
+    assert_eq!(
+        engine.state_pool().parked_count(),
+        0,
+        "a drained engine must not retain parked decode states"
+    );
+    let paged = report.paged_kv.as_ref().expect("paged stats");
+    assert_eq!(
+        paged.pages_at_end, 0,
+        "no prefix sharing here, so every page must return to the pool"
+    );
+    assert!(paged.pages_high_water <= paged.pool_pages);
+}
+
+#[test]
+fn chaos_conserves_every_request_and_leaks_nothing() {
+    let mut fault_kinds_seen = 0usize;
+    for seed in [1u64, 7, 42] {
+        let (engine, report) = full_chaos_run(seed);
+        assert_conserved(&report);
+        assert_leak_free(&engine, &report);
+        let ol = report.open_loop.as_ref().unwrap();
+        assert!(ol.arrived > 0, "the workload produced traffic");
+        fault_kinds_seen += usize::from(ol.cancelled > 0)
+            + usize::from(ol.deadline_expired > 0)
+            + usize::from(ol.failed > 0 || ol.retries > 0)
+            + usize::from(ol.kv_pages_lost > 0);
+        // degraded sessions are tallied consistently across the report
+        let degraded_rows = report.requests.iter().filter(|r| r.degraded).count();
+        assert_eq!(ol.degraded_sessions, degraded_rows);
+        assert_eq!(
+            ol.degraded_sessions,
+            ol.tiers.iter().map(|t| t.degraded).sum::<usize>()
+        );
+    }
+    assert!(
+        fault_kinds_seen >= 4,
+        "across three seeds the plan must actually strike (saw {fault_kinds_seen} kind-hits)"
+    );
+}
+
+#[test]
+fn chaos_reports_are_bitwise_identical_across_runs_and_threads() {
+    let baseline = full_chaos_run(7).1;
+    let again = full_chaos_run(7).1;
+    assert_eq!(baseline, again, "a chaos run diverged between repeats");
+    let reports: Vec<ServeReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| scope.spawn(|| full_chaos_run(7).1))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos thread panicked"))
+            .collect()
+    });
+    for (i, report) in reports.iter().enumerate() {
+        assert_eq!(&baseline, report, "chaos thread {i} diverged");
+    }
+    // and the schedule is seed-sensitive, so the equality above has teeth
+    assert_ne!(baseline, full_chaos_run(8).1);
+}
+
+#[test]
+fn an_empty_fault_plan_is_bitwise_invisible() {
+    let admission = || {
+        AdmissionConfig::default()
+            .with_queue_capacity(16)
+            .with_rate_limit(700.0, 6.0)
+    };
+    let without = engine_with(admission(), None, None, None)
+        .run_open_loop(&chaos_workload())
+        .unwrap();
+    let with_empty = engine_with(admission(), Some(FaultPlan::none()), None, None)
+        .run_open_loop(&chaos_workload())
+        .unwrap();
+    assert_eq!(
+        without, with_empty,
+        "an empty plan must not perturb the run at all"
+    );
+    // the workload's own deadlines/patience still apply, but nothing the
+    // plan owns may fire
+    let ol = with_empty.open_loop.as_ref().unwrap();
+    assert_eq!(ol.failed + ol.retries, 0);
+    assert_eq!(ol.kv_pages_lost, 0);
+}
+
+#[test]
+fn workload_deadlines_and_patience_shape_finishes() {
+    // no injected faults: the *workload itself* declares a tight premium
+    // deadline and a one-token batch patience cap
+    let workload = Workload::new(
+        0xfeed,
+        0.04,
+        ArrivalProcess::Steady { rate_per_s: 900.0 },
+        vec![
+            RequestTemplate::new((2, 4), (2, 4), StrategySpec::Dense)
+                .with_tier(Tier::Batch)
+                .with_cancel_after_tokens(1),
+            RequestTemplate::new((2, 4), (2, 4), StrategySpec::Dense)
+                .with_tier(Tier::Premium)
+                // 30 µs: less than the service time of most requests, so
+                // premium work reliably expires mid-decode
+                .with_deadline_ms(0.03),
+        ],
+    );
+    let mut engine = engine_with(
+        AdmissionConfig::default().with_queue_capacity(32),
+        None,
+        None,
+        None,
+    );
+    let report = engine.run_open_loop(&workload).unwrap();
+    assert_conserved(&report);
+    assert_leak_free(&engine, &report);
+    let ol = report.open_loop.as_ref().unwrap();
+    assert!(ol.cancelled > 0, "patience caps must retire as Cancelled");
+    assert!(
+        ol.deadline_expired > 0,
+        "30 µs premium deadlines must expire"
+    );
+    for r in &report.requests {
+        match r.tier {
+            Tier::Batch => {
+                // every served batch request runs out of patience after its
+                // first generated token
+                assert_eq!(r.finish, FinishReason::Cancelled);
+                assert_eq!(r.generated_tokens, 1);
+            }
+            _ => assert!(matches!(
+                r.finish,
+                FinishReason::Completed | FinishReason::DeadlineExpired
+            )),
+        }
+    }
+}
+
+#[test]
+fn aborts_retry_with_backoff_until_the_budget_is_spent() {
+    let abort_plan = FaultPlan {
+        seed: 11,
+        abort_rate: 0.6,
+        abort_window_s: 0.0002,
+        ..FaultPlan::none()
+    };
+    // Permissive admission: every re-offer is accepted, so a single abort
+    // per request (the injector draws at most one) always retries to
+    // completion — nothing may end as Failed.
+    let mut engine = engine_with(
+        AdmissionConfig::default().with_queue_capacity(64),
+        Some(abort_plan.clone()),
+        Some(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.002,
+        }),
+        None,
+    );
+    let report = engine.run_open_loop(&chaos_workload()).unwrap();
+    assert_conserved(&report);
+    let ol = report.open_loop.as_ref().unwrap();
+    assert!(
+        ol.retries > 0,
+        "aborts against a retry budget must re-offer"
+    );
+    assert_eq!(ol.failed, 0, "one abort never exhausts a 3-attempt budget");
+    assert!(
+        report.requests.iter().any(|r| r.attempts > 1),
+        "a retried request reports its attempt count"
+    );
+    assert!(report.requests.iter().all(|r| r.attempts <= 3));
+
+    // with a 1-attempt budget the same aborts are terminal
+    let mut engine = engine_with(
+        AdmissionConfig::default().with_queue_capacity(64),
+        Some(abort_plan),
+        Some(RetryPolicy {
+            max_attempts: 1,
+            backoff_base_s: 0.002,
+        }),
+        None,
+    );
+    let report = engine.run_open_loop(&chaos_workload()).unwrap();
+    assert_conserved(&report);
+    let ol = report.open_loop.as_ref().unwrap();
+    assert_eq!(ol.retries, 0, "a spent budget must not re-offer");
+    assert!(ol.failed > 0, "unretryable aborts retire as Failed");
+}
+
+/// A workload with no declared deadlines or patience caps: every finish is
+/// time-independent, so timing faults (page loss, slow lanes) must leave
+/// the token streams untouched.
+fn plain_workload() -> Workload {
+    Workload::new(
+        0xfeed,
+        0.04,
+        ArrivalProcess::Steady { rate_per_s: 600.0 },
+        vec![
+            RequestTemplate::new((4, 8), (8, 16), StrategySpec::Dense).with_weight(2.0),
+            RequestTemplate::new((2, 6), (6, 12), StrategySpec::Dip { density: 0.5 }),
+        ],
+    )
+}
+
+#[test]
+fn page_loss_costs_refill_time_but_never_tokens() {
+    // Replay after a lost page recomputes bitwise-identical KV, so greedy
+    // outputs must match the fault-free run token for token.
+    let workload = plain_workload();
+    let admission = || AdmissionConfig::default().with_queue_capacity(32);
+    let clean = engine_with(admission(), None, None, None)
+        .run_open_loop(&workload)
+        .unwrap();
+    let loss_plan = FaultPlan {
+        seed: 3,
+        page_loss_every_s: 0.0002,
+        page_loss_horizon_s: 0.2,
+        ..FaultPlan::none()
+    };
+    let mut engine = engine_with(admission(), Some(loss_plan), None, None);
+    let lossy = engine.run_open_loop(&workload).unwrap();
+    assert_conserved(&lossy);
+    assert_leak_free(&engine, &lossy);
+    let ol = lossy.open_loop.as_ref().unwrap();
+    assert!(ol.kv_pages_lost > 0, "the loss plan must actually strike");
+    assert!(ol.kv_refill_tokens > 0, "lost pages must be re-prefilled");
+    assert!(
+        lossy.total_prefill_tokens > clean.total_prefill_tokens,
+        "refill passes are accounted as prefill work"
+    );
+    // same requests, same outputs — only the clock moved
+    assert_eq!(clean.requests.len(), lossy.requests.len());
+    for (a, b) in clean.requests.iter().zip(&lossy.requests) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.generated, b.generated, "request {} tokens diverged", a.id);
+        assert_eq!(a.finish, b.finish);
+    }
+}
+
+#[test]
+fn a_slow_lane_stretches_the_clock_but_not_the_outputs() {
+    let slow_plan = FaultPlan {
+        seed: 0,
+        slow_lane: Some(SlowLaneWindow {
+            start_s: 0.0,
+            duration_s: 0.1,
+            factor: 4.0,
+        }),
+        ..FaultPlan::none()
+    };
+    let admission = || {
+        AdmissionConfig::default()
+            .with_queue_capacity(16)
+            .with_rate_limit(700.0, 6.0)
+    };
+    // deadline-free traffic: a stretched clock must not change any finish
+    let clean = engine_with(admission(), None, None, None)
+        .run_open_loop(&plain_workload())
+        .unwrap();
+    let slowed = engine_with(admission(), Some(slow_plan), None, None)
+        .run_open_loop(&plain_workload())
+        .unwrap();
+    assert!(
+        slowed.makespan_s > clean.makespan_s,
+        "a 4x straggler window covering the run must stretch the makespan \
+         ({} vs {})",
+        slowed.makespan_s,
+        clean.makespan_s
+    );
+    for (a, b) in clean.requests.iter().zip(&slowed.requests) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            a.generated, b.generated,
+            "a slow lane must never change tokens"
+        );
+    }
+}
+
+#[test]
+fn decode_state_pool_survives_park_cancel_reclaim_churn() {
+    // Satellite (c): park → cancel → reclaim churn across 1000 sessions.
+    // The pool must recycle instead of building, never strand a parked
+    // entry, and end holding exactly its high-water mark.
+    let config = lm::ModelConfig::tiny();
+    let model = lm::build_synthetic(&config, 3).unwrap();
+    let mut pool = lm::DecodeStatePool::new();
+    let mut high_water = 0usize;
+    for round in 0..250u64 {
+        // four concurrent sessions: two complete, two are preempted
+        // (parked) and then cancelled while parked
+        let a = pool.acquire(&model);
+        let b = pool.acquire(&model);
+        let first = pool.acquire(&model);
+        let second = pool.acquire(&model);
+        pool.park(round * 2, first);
+        pool.park(round * 2 + 1, second);
+        pool.release(a);
+        pool.release(b);
+        for key in [round * 2, round * 2 + 1] {
+            // a cancellation resumes the parked state only to retire it
+            let state = pool.resume(key).expect("parked state is retained");
+            pool.release(state);
+        }
+        assert_eq!(pool.parked_count(), 0, "cancelled sessions must not linger");
+        high_water = high_water.max(pool.idle());
+    }
+    assert_eq!(
+        pool.reuse_count() + pool.build_count(),
+        1000,
+        "250 rounds of 4 sessions churned"
+    );
+    assert_eq!(
+        pool.idle(),
+        high_water,
+        "the pool holds its high-water mark"
+    );
+    assert_eq!(
+        pool.build_count(),
+        4,
+        "steady-state churn recycles; only the first round builds"
+    );
+    // parked states that are never individually cancelled are reclaimed in
+    // bulk at drain
+    for i in 0..8u64 {
+        let state = pool.acquire(&model);
+        pool.park(1_000_000 + i, state);
+    }
+    assert_eq!(pool.parked_count(), 8);
+    assert_eq!(pool.reclaim_parked(), 8);
+    assert_eq!(pool.parked_count(), 0);
+    assert_eq!(pool.idle(), 8);
+}

@@ -1,0 +1,125 @@
+//! Properties of the engine's event queue (`serve::event::EventQueue`).
+//!
+//! The open-loop driver's determinism rests on the queue's ordering
+//! contract: events pop in `(time, push-sequence)` order, so equal-time
+//! events fire in exactly the order they were scheduled, on every run.
+//! These properties pin that contract down:
+//!
+//! 1. **Total order** — a full drain via `pop_next` yields times
+//!    non-decreasing, with push order as the tie-break (a stable sort of
+//!    the pushes by time).
+//! 2. **`pop_due` ≡ drain** — popping due events at a sequence of
+//!    advancing deadlines yields the same event sequence as a full drain,
+//!    and `peek_time`/`pop_due` agree about what is due.
+//! 3. **Arrival accounting** — `has_pending_arrival` tracks exactly the
+//!    un-popped `Arrival` events; fault and completion events never count.
+
+use proptest::prelude::*;
+use serve::event::{Event, EventKind, EventQueue};
+
+/// Maps a drawn `(code, index)` pair onto an event kind. Every kind embeds
+/// the push index, so each pushed event is unique and the expected pop
+/// order is fully determined.
+fn kind_of(code: usize, i: usize) -> EventKind {
+    match code {
+        0 => EventKind::Arrival(i),
+        1 => EventKind::CancelAt { request: i as u64 },
+        2 => EventKind::DeadlineAt { request: i as u64 },
+        3 => EventKind::UnitDone { tokens: i },
+        _ => EventKind::RetryAt { slot: i },
+    }
+}
+
+/// Times drawn from a coarse grid so equal-time collisions are common —
+/// the tie-break is the property under test.
+fn time_of(slot: usize) -> f64 {
+    slot as f64 * 0.25
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pop_order_is_time_then_push_sequence(
+        entries in prop::collection::vec((0usize..8, 0usize..5), 0..40)
+    ) {
+        let mut q = EventQueue::with_capacity(entries.len());
+        for (i, (t, code)) in entries.iter().enumerate() {
+            q.push_at(time_of(*t), kind_of(*code, i));
+        }
+        prop_assert_eq!(q.len(), entries.len());
+        // expected order: a stable sort of the pushes by time (stable =
+        // push order among equal times)
+        let mut expected: Vec<(f64, usize)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (time_of(*t), i))
+            .collect();
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut popped: Vec<Event> = Vec::new();
+        while let Some(ev) = q.pop_next() {
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), expected.len());
+        for (ev, (t, i)) in popped.iter().zip(&expected) {
+            prop_assert_eq!(ev.time, *t);
+            prop_assert_eq!(ev.kind, kind_of(entries[*i].1, *i));
+        }
+        prop_assert!(q.is_empty());
+        prop_assert!(!q.has_pending_arrival());
+    }
+
+    #[test]
+    fn pop_due_at_advancing_deadlines_equals_a_full_drain(
+        entries in prop::collection::vec((0usize..8, 0usize..5), 0..40),
+        step in 1usize..4,
+    ) {
+        let mut by_due = EventQueue::with_capacity(4);
+        let mut by_next = EventQueue::with_capacity(4);
+        for (i, (t, code)) in entries.iter().enumerate() {
+            by_due.push_at(time_of(*t), kind_of(*code, i));
+            by_next.push_at(time_of(*t), kind_of(*code, i));
+        }
+        let mut drained: Vec<Event> = Vec::new();
+        let mut now = 0.0;
+        while !by_due.is_empty() {
+            while let Some(ev) = by_due.pop_due(now) {
+                prop_assert!(ev.time <= now, "popped a not-yet-due event");
+                drained.push(ev);
+            }
+            // pop_due and peek_time agree: everything still queued is in
+            // the future
+            if let Some(t) = by_due.peek_time() {
+                prop_assert!(t > now, "peek says due but pop_due declined");
+            }
+            now += step as f64 * 0.25;
+        }
+        let mut full: Vec<Event> = Vec::new();
+        while let Some(ev) = by_next.pop_next() {
+            full.push(ev);
+        }
+        prop_assert_eq!(drained, full);
+    }
+
+    #[test]
+    fn arrival_accounting_counts_only_arrival_events(
+        entries in prop::collection::vec((0usize..8, 0usize..5), 0..40)
+    ) {
+        let mut q = EventQueue::with_capacity(entries.len());
+        let mut arrivals_left = 0usize;
+        for (i, (t, code)) in entries.iter().enumerate() {
+            q.push_at(time_of(*t), kind_of(*code, i));
+            if *code == 0 {
+                arrivals_left += 1;
+            }
+            prop_assert_eq!(q.has_pending_arrival(), arrivals_left > 0);
+        }
+        while let Some(ev) = q.pop_next() {
+            if matches!(ev.kind, EventKind::Arrival(_)) {
+                arrivals_left -= 1;
+            }
+            prop_assert_eq!(q.has_pending_arrival(), arrivals_left > 0);
+        }
+        prop_assert_eq!(arrivals_left, 0);
+    }
+}

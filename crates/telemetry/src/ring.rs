@@ -43,6 +43,11 @@ pub enum EventKind {
     /// A session completed. `a` = generated tokens, `b` = completion time
     /// in virtual seconds.
     Complete,
+    /// A fault-injection event struck a live request: `a` = fault code
+    /// (0 = client cancel, 1 = deadline expired, 2 = worker abort/failure,
+    /// 3 = KV page loss, 4 = retry re-admission, 5 = degraded admission),
+    /// `b` = virtual time.
+    Fault,
 }
 
 impl EventKind {
@@ -59,6 +64,7 @@ impl EventKind {
             EventKind::Preempt => "preempt",
             EventKind::Resume => "resume",
             EventKind::Complete => "complete",
+            EventKind::Fault => "fault",
         }
     }
 }
